@@ -1,0 +1,121 @@
+//! Criterion benches: one per table/figure of the paper's evaluation.
+//!
+//! Each bench regenerates the artifact's data series through the full
+//! lowering + discrete-event simulation stack (the `reproduce` binary
+//! prints the same rows). The benched quantity is the cost of the
+//! reproduction itself; the assertions inside the experiment drivers'
+//! tests guard the values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scibench_core::experiments::{self, Setup, Step};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_complexity", |b| b.iter(|| black_box(experiments::table1())));
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let setup = Setup::default();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("a_neuro_sizes", |b| b.iter(|| black_box(experiments::fig10a())));
+    g.bench_function("b_astro_sizes", |b| b.iter(|| black_box(experiments::fig10b())));
+    g.bench_function("c_neuro_e2e_vs_data", |b| b.iter(|| black_box(experiments::fig10c(&setup))));
+    g.bench_function("d_astro_e2e_vs_data", |b| b.iter(|| black_box(experiments::fig10d(&setup))));
+    g.bench_function("e_neuro_normalized", |b| b.iter(|| black_box(experiments::fig10e(&setup))));
+    g.bench_function("f_astro_normalized", |b| b.iter(|| black_box(experiments::fig10f(&setup))));
+    g.bench_function("g_neuro_scaling", |b| b.iter(|| black_box(experiments::fig10g(&setup))));
+    g.bench_function("h_astro_scaling", |b| b.iter(|| black_box(experiments::fig10h(&setup))));
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let setup = Setup::default();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("ingest", |b| b.iter(|| black_box(experiments::fig11(&setup))));
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let setup = Setup::default();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("a_filter", |b| b.iter(|| black_box(experiments::fig12(&setup, Step::Filter))));
+    g.bench_function("b_mean", |b| b.iter(|| black_box(experiments::fig12(&setup, Step::Mean))));
+    g.bench_function("c_denoise", |b| b.iter(|| black_box(experiments::fig12(&setup, Step::Denoise))));
+    g.bench_function("d_coadd", |b| b.iter(|| black_box(experiments::fig12d(&setup))));
+    g.finish();
+}
+
+fn bench_tuning(c: &mut Criterion) {
+    let setup = Setup::default();
+    let mut g = c.benchmark_group("tuning");
+    g.sample_size(10);
+    g.bench_function("fig13_myria_workers", |b| b.iter(|| black_box(experiments::fig13(&setup))));
+    g.bench_function("fig14_spark_partitions", |b| b.iter(|| black_box(experiments::fig14(&setup))));
+    g.bench_function("fig15_memory_management", |b| b.iter(|| black_box(experiments::fig15(&setup))));
+    g.bench_function("s531_chunk_sweep", |b| b.iter(|| black_box(experiments::chunk_sweep(&setup))));
+    g.bench_function("s531_tf_assignment", |b| b.iter(|| black_box(experiments::tf_assignment(&setup))));
+    g.bench_function("s533_caching", |b| b.iter(|| black_box(experiments::caching(&setup))));
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let setup = Setup::default();
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("ablations", |b| b.iter(|| black_box(experiments::ablations(&setup))));
+    g.bench_function("autotune", |b| b.iter(|| black_box(experiments::autotune(&setup))));
+    g.bench_function("skew_report", |b| b.iter(|| black_box(experiments::skew_report(&setup))));
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use simcluster::{simulate, ClusterSpec, SchedPolicy, TaskGraph, TaskSpec};
+    // Raw scheduling throughput: a 10k-task fan-out/fan-in graph.
+    let mut g = TaskGraph::new();
+    let head = g.add(TaskSpec::compute("head", 1.0));
+    let mids: Vec<_> = (0..10_000)
+        .map(|i| {
+            g.add(
+                TaskSpec::compute("work", 1.0 + (i % 7) as f64)
+                    .s3(1_000_000)
+                    .output(500_000)
+                    .mem(10_000_000)
+                    .after(&[head]),
+            )
+        })
+        .collect();
+    g.barrier("sync", &mids);
+    let cluster = ClusterSpec::r3_2xlarge(16);
+    let mut grp = c.benchmark_group("simulator");
+    grp.sample_size(10);
+    grp.bench_function("simulate_10k_tasks", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(
+                    &g,
+                    &cluster,
+                    SchedPolicy::LocalityFifo { per_task_overhead: 0.01 },
+                    false,
+                )
+                .unwrap()
+                .makespan,
+            )
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_tuning,
+    bench_extensions,
+    bench_simulator
+);
+criterion_main!(figures);

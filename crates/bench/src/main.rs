@@ -1,0 +1,129 @@
+//! `reproduce` — regenerate every table and figure of the paper's
+//! evaluation section.
+//!
+//! Usage:
+//! ```text
+//! reproduce                # print everything, paper order
+//! reproduce fig11 fig13    # print selected artifacts
+//! reproduce --csv DIR      # also write one CSV per artifact into DIR
+//! reproduce --calibrated   # calibrate kernel costs against the real
+//!                          # sciops kernels on this machine first
+//! reproduce --list         # list artifact ids
+//! reproduce --check        # verify the paper's headline shape claims
+//! ```
+
+use scibench_core::costmodel::CostModel;
+use scibench_core::experiments::{self, Setup, Step};
+use scibench_core::report::Table;
+
+fn artifact(setup: &Setup, id: &str) -> Option<Vec<Table>> {
+    let t = match id {
+        "table1" => {
+            let (a, b) = experiments::table1();
+            return Some(vec![a, b]);
+        }
+        "fig10a" => experiments::fig10a(),
+        "fig10b" => experiments::fig10b(),
+        "fig10c" => experiments::fig10c(setup),
+        "fig10d" => experiments::fig10d(setup),
+        "fig10e" => experiments::fig10e(setup),
+        "fig10f" => experiments::fig10f(setup),
+        "fig10g" => experiments::fig10g(setup),
+        "fig10h" => experiments::fig10h(setup),
+        "fig11" => experiments::fig11(setup),
+        "fig12a" => experiments::fig12(setup, Step::Filter),
+        "fig12b" => experiments::fig12(setup, Step::Mean),
+        "fig12c" => experiments::fig12(setup, Step::Denoise),
+        "fig12d" => experiments::fig12d(setup),
+        "fig13" => experiments::fig13(setup),
+        "fig14" => experiments::fig14(setup),
+        "fig15" => experiments::fig15(setup),
+        "chunks" => experiments::chunk_sweep(setup),
+        "tf_assign" => experiments::tf_assignment(setup),
+        "caching" => experiments::caching(setup),
+        "ablations" => experiments::ablations(setup),
+        "autotune" => experiments::autotune(setup),
+        "skew" => experiments::skew_report(setup),
+        _ => return None,
+    };
+    Some(vec![t])
+}
+
+const IDS: &[&str] = &[
+    "table1", "fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f", "fig10g", "fig10h",
+    "fig11", "fig12a", "fig12b", "fig12c", "fig12d", "fig13", "fig14", "fig15", "chunks",
+    "tf_assign", "caching", "ablations", "autotune", "skew",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let calibrated = args.iter().any(|a| a == "--calibrated");
+    if args.iter().any(|a| a == "--check") {
+        let setup = Setup::default();
+        let checks = scibench_core::experiments::shape_checks(&setup);
+        let mut failed = 0;
+        for c in &checks {
+            println!("[{}] {}\n      {}", if c.pass { "PASS" } else { "FAIL" }, c.claim, c.detail);
+            if !c.pass {
+                failed += 1;
+            }
+        }
+        println!("\n{}/{} shape checks pass", checks.len() - failed, checks.len());
+        std::process::exit(if failed == 0 { 0 } else { 1 });
+    }
+
+    let mut setup = Setup::default();
+    if calibrated {
+        eprintln!("calibrating kernel costs against the local sciops kernels...");
+        setup.cm = CostModel::calibrated();
+        eprintln!(
+            "calibrated: denoise/volume = {:.1}s, mask/subject = {:.1}s, mean/subject = {:.2}s",
+            setup.cm.neuro_denoise_per_volume,
+            setup.cm.neuro_mask_per_subject,
+            setup.cm.neuro_mean_per_subject
+        );
+    }
+
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != csv_dir.as_ref().and_then(|p| p.to_str()))
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if selected.is_empty() { IDS.to_vec() } else { selected };
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create CSV dir");
+    }
+    for id in ids {
+        match artifact(&setup, id) {
+            Some(tables) => {
+                for (i, t) in tables.iter().enumerate() {
+                    println!("{}", t.render());
+                    if let Some(dir) = &csv_dir {
+                        let name = if tables.len() > 1 {
+                            format!("{id}_{i}.csv")
+                        } else {
+                            format!("{id}.csv")
+                        };
+                        std::fs::write(dir.join(name), t.to_csv()).expect("write CSV");
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown artifact {id:?}; use --list");
+                std::process::exit(2);
+            }
+        }
+    }
+}

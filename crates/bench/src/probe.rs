@@ -1,0 +1,65 @@
+//! Internal calibration probe: per-label time breakdowns for selected
+//! lowered graphs. Not part of the public benchmark surface.
+
+use scibench_core::costmodel::CostModel;
+use scibench_core::lower::{astro, Engine, EngineProfiles};
+use scibench_core::workload::AstroWorkload;
+use simcluster::{simulate, ClusterSpec};
+use std::collections::BTreeMap;
+
+fn breakdown(
+    name: &str,
+    g: &simcluster::TaskGraph,
+    cluster: &ClusterSpec,
+    policy: simcluster::SchedPolicy,
+    strict: bool,
+) {
+    match simulate(g, cluster, policy, strict) {
+        Ok(r) => {
+            let mut by_label: BTreeMap<&str, (f64, usize)> = BTreeMap::new();
+            for t in &r.timings {
+                let e = by_label.entry(t.label).or_default();
+                e.0 += t.finish - t.start;
+                e.1 += 1;
+            }
+            println!(
+                "--- {name}: makespan {:.0}s, util {:.2}, stolen {}",
+                r.makespan,
+                r.utilization(cluster.total_slots()),
+                r.tasks_stolen
+            );
+            for (label, (busy, n)) in by_label {
+                println!("    {label:<28} n={n:<6} busy={busy:>10.0} core-s");
+            }
+        }
+        Err(e) => println!("--- {name}: FAILED: {e}"),
+    }
+}
+
+fn main() {
+    let cm = CostModel::default();
+    let p = EngineProfiles::default();
+    let cluster = ClusterSpec::r3_2xlarge(16);
+    let w = AstroWorkload { visits: 24 };
+
+    let g = astro::spark(&w, &cm, &p, &cluster);
+    breakdown("spark astro 24v", &g, &cluster, p.policy(Engine::Spark), false);
+
+    let myria_cluster = cluster.clone().with_worker_slots(4);
+    let (g, strict) =
+        astro::myria(&w, &cm, &p, &myria_cluster, engine_rel::ExecutionMode::Materialized);
+    breakdown("myria astro materialized 24v", &g, &myria_cluster, p.policy(Engine::Myria), strict);
+
+    let w2 = AstroWorkload { visits: 2 };
+    let (g, strict) = astro::myria(
+        &w2,
+        &cm,
+        &p,
+        &myria_cluster,
+        engine_rel::ExecutionMode::MultiQuery { pieces: 2 },
+    );
+    breakdown("myria astro multiquery 2v", &g, &myria_cluster, p.policy(Engine::Myria), strict);
+    let (g, strict) =
+        astro::myria(&w2, &cm, &p, &myria_cluster, engine_rel::ExecutionMode::Pipelined);
+    breakdown("myria astro pipelined 2v", &g, &myria_cluster, p.policy(Engine::Myria), strict);
+}

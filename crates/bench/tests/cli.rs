@@ -1,0 +1,53 @@
+//! CLI tests for the `reproduce` binary.
+
+use std::process::Command;
+
+fn reproduce(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("run reproduce")
+}
+
+#[test]
+fn list_names_every_artifact() {
+    let out = reproduce(&["--list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for id in [
+        "table1", "fig10a", "fig10c", "fig11", "fig12d", "fig13", "fig14", "fig15", "chunks",
+        "caching", "ablations", "autotune", "skew",
+    ] {
+        assert!(text.lines().any(|l| l == id), "missing artifact {id}");
+    }
+}
+
+#[test]
+fn static_artifacts_render() {
+    let out = reproduce(&["table1", "fig10a", "fig10b"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Table 1 (paper)"));
+    assert!(text.contains("Table 1 (ours)"));
+    assert!(text.contains("105.0"), "25-subject input size");
+    assert!(text.contains("288.0"), "24-visit intermediate size");
+}
+
+#[test]
+fn unknown_artifact_fails_cleanly() {
+    let out = reproduce(&["figXX"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown artifact"));
+}
+
+#[test]
+fn csv_export_writes_files() {
+    let dir = std::env::temp_dir().join(format!("scibench_cli_csv_{}", std::process::id()));
+    let out = reproduce(&["fig10a", "--csv", dir.to_str().unwrap()]);
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(dir.join("fig10a.csv")).expect("csv written");
+    assert!(csv.starts_with("Subjects,Input,Largest Intermediate"));
+    assert_eq!(csv.lines().count(), 7);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,154 @@
+//! Table 1: implementation complexity per engine and pipeline step.
+//!
+//! The paper measures lines of code. We reproduce the published LoC
+//! numbers as the reference column and put our own implementations'
+//! complexity (plan operators / API calls, from the `usecases` module)
+//! beside them, with the same NA/impossible markers.
+
+use crate::lower::Engine;
+
+/// One Table 1 cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// Lines of code (paper) or API calls (ours).
+    Count(u32),
+    /// Not applicable (the engine cannot express the operation at all).
+    NotApplicable,
+    /// Not possible to implement in practice (the paper's ✗).
+    Impossible,
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cell::Count(n) => write!(f, "{n}"),
+            Cell::NotApplicable => write!(f, "NA"),
+            Cell::Impossible => write!(f, "X"),
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Use case ("Neuroscience" / "Astronomy").
+    pub use_case: &'static str,
+    /// Step name.
+    pub step: &'static str,
+    /// Per-engine cells in [Dask, SciDB, Spark, Myria, TensorFlow] order
+    /// (the paper's column order).
+    pub cells: [Cell; 5],
+}
+
+/// The paper's column order.
+pub const COLUMNS: [Engine; 5] =
+    [Engine::Dask, Engine::SciDb, Engine::Spark, Engine::Myria, Engine::TensorFlow];
+
+/// The published Table 1 (lines of code).
+pub fn paper_table1() -> Vec<Row> {
+    use Cell::*;
+    vec![
+        Row { use_case: "Neuroscience", step: "Re-used Reference", cells: [Count(30), Count(3), Count(32), Count(35), Count(0)] },
+        Row { use_case: "Neuroscience", step: "Data Ingest", cells: [Count(33), Count(60), Count(8), Count(5), Count(15)] },
+        Row { use_case: "Neuroscience", step: "Segmentation", cells: [Count(25), Count(40), Count(34), Count(10), Count(121)] },
+        Row { use_case: "Neuroscience", step: "Denoising", cells: [Count(19), Count(52), Count(1), Count(3), Count(128)] },
+        Row { use_case: "Neuroscience", step: "Model Fit.", cells: [Count(11), NotApplicable, Count(39), Count(15), NotApplicable] },
+        Row { use_case: "Astronomy", step: "Re-used Reference", cells: [Impossible, NotApplicable, Count(212), Count(225), NotApplicable] },
+        Row { use_case: "Astronomy", step: "Data Ingest", cells: [Impossible, Count(85), Count(12), Count(5), NotApplicable] },
+        Row { use_case: "Astronomy", step: "Pre-proc.", cells: [Impossible, Impossible, Count(1), Count(4), NotApplicable] },
+        Row { use_case: "Astronomy", step: "Patch Creation", cells: [Impossible, Impossible, Count(4), Count(9), NotApplicable] },
+        Row { use_case: "Astronomy", step: "Co-Addition", cells: [Impossible, Count(180), Count(2), Count(5), NotApplicable] },
+        Row { use_case: "Astronomy", step: "Source Detection", cells: [Impossible, NotApplicable, Count(7), Count(2), NotApplicable] },
+    ]
+}
+
+/// Our implementations' complexity in engine API calls / plan operators,
+/// with the same expressibility pattern (measured from `usecases`).
+pub fn our_table1() -> Vec<Row> {
+    use Cell::*;
+    vec![
+        Row { use_case: "Neuroscience", step: "Data Ingest", cells: [Count(3), Count(4), Count(2), Count(2), Count(4)] },
+        Row { use_case: "Neuroscience", step: "Segmentation", cells: [Count(4), Count(3), Count(4), Count(4), Count(7)] },
+        Row { use_case: "Neuroscience", step: "Denoising", cells: [Count(2), Count(2), Count(1), Count(2), Count(5)] },
+        Row { use_case: "Neuroscience", step: "Model Fit.", cells: [Count(3), NotApplicable, Count(3), Count(2), NotApplicable] },
+        Row { use_case: "Astronomy", step: "Data Ingest", cells: [Impossible, Count(3), Count(1), Count(1), NotApplicable] },
+        Row { use_case: "Astronomy", step: "Pre-proc.", cells: [Impossible, Impossible, Count(1), Count(1), NotApplicable] },
+        Row { use_case: "Astronomy", step: "Patch Creation", cells: [Impossible, Impossible, Count(2), Count(2), NotApplicable] },
+        Row { use_case: "Astronomy", step: "Co-Addition", cells: [Impossible, Count(9), Count(1), Count(1), NotApplicable] },
+        Row { use_case: "Astronomy", step: "Source Detection", cells: [Impossible, NotApplicable, Count(1), Count(1), NotApplicable] },
+    ]
+}
+
+/// Total count for an engine column (counting only `Count` cells).
+pub fn column_total(rows: &[Row], col: usize) -> u32 {
+    rows.iter()
+        .map(|r| match r.cells[col] {
+            Cell::Count(n) => n,
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_neuro_scidb_total_is_155() {
+        // "The SciDB implementation of the neuroscience use case took 155
+        // LoC" = 3 + 60 + 40 + 52.
+        let rows: Vec<Row> = paper_table1()
+            .into_iter()
+            .filter(|r| r.use_case == "Neuroscience")
+            .collect();
+        assert_eq!(column_total(&rows, 1), 155);
+    }
+
+    #[test]
+    fn expressibility_patterns_match_paper() {
+        // Whatever the counts, the NA/X pattern of our implementations
+        // must match the paper's: SciDB cannot fit the model, TensorFlow
+        // runs nothing in astronomy, Dask's astronomy was not runnable.
+        let ours = our_table1();
+        for r in &ours {
+            if r.use_case == "Astronomy" {
+                assert_eq!(r.cells[0], Cell::Impossible, "Dask astronomy ({})", r.step);
+                assert_eq!(r.cells[4], Cell::NotApplicable, "TF astronomy ({})", r.step);
+            }
+            if r.step == "Model Fit." {
+                assert_eq!(r.cells[1], Cell::NotApplicable, "SciDB model fit");
+            }
+        }
+    }
+
+    #[test]
+    fn spark_denoise_is_tersest() {
+        // The paper's famous "1 LoC" Spark denoise (a single map call):
+        // ours is also a single API call.
+        let ours = our_table1();
+        let denoise = ours.iter().find(|r| r.step == "Denoising").unwrap();
+        assert_eq!(denoise.cells[2], Cell::Count(1));
+    }
+
+    #[test]
+    fn our_scidb_coadd_count_matches_the_implementation() {
+        // The hand-recorded Table 1 cell must track the actual operator
+        // count of the AQL-style implementation.
+        let ours = our_table1();
+        let row = ours
+            .iter()
+            .find(|r| r.use_case == "Astronomy" && r.step == "Co-Addition")
+            .expect("coadd row");
+        assert_eq!(
+            row.cells[1],
+            Cell::Count(crate::usecases::astro::SCIDB_COADD_OPS as u32)
+        );
+    }
+
+    #[test]
+    fn display_cells() {
+        assert_eq!(Cell::Count(7).to_string(), "7");
+        assert_eq!(Cell::NotApplicable.to_string(), "NA");
+        assert_eq!(Cell::Impossible.to_string(), "X");
+    }
+}

@@ -1,0 +1,524 @@
+//! Astronomy use case lowering: Spark, Myria (three memory-management
+//! modes), and the SciDB co-addition (with the chunk-size knob and the
+//! optional incremental-iteration optimization).
+//!
+//! The pipeline: ingest FITS → Step 1A pre-process per sensor → Step 2A
+//! flatmap to patches + per-(patch, visit) merge → Step 3A sigma-clipped
+//! co-addition per patch → Step 4A source detection per patch.
+
+use crate::costmodel::CostModel;
+use crate::lower::EngineProfiles;
+use crate::workload::AstroWorkload;
+use engine_rel::ExecutionMode;
+use simcluster::{ClusterSpec, TaskGraph, TaskSpec};
+
+/// Deterministic per-sensor patch fan-out with the paper's 1–6 range and
+/// 2.5 average.
+pub fn fanout_of(sensor: usize) -> usize {
+    const PATTERN: [usize; 8] = [2, 3, 1, 2, 6, 2, 3, 1]; // mean 2.5
+    PATTERN[sensor % PATTERN.len()]
+}
+
+/// Bytes of one merged (patch, visit) exposure.
+pub fn patch_visit_bytes() -> u64 {
+    (AstroWorkload::visit_bytes() as f64 * AstroWorkload::PATCH_FANOUT
+        / AstroWorkload::PATCHES as f64) as u64
+}
+
+fn work_mem(bytes: u64) -> u64 {
+    3 * bytes
+}
+
+/// Relative data weight per patch: interior patches receive overlapping
+/// pieces from many sensors while edge patches see few. This produces the
+/// paper's skew: "the astronomy pipeline grows the data by 2.5× on average
+/// during processing, but some workers experience data growth of 6×".
+/// Weights average 1.0; the two hottest patches land on the same worker
+/// under the `patch % nodes` placement, making that worker's growth ~6×.
+pub fn patch_weight(patch: usize) -> f64 {
+    match patch {
+        0 | 16 => 2.2,
+        4 => 1.6,
+        9 => 1.4,
+        20 => 1.3,
+        _ => (28.0 - 8.7) / 23.0,
+    }
+}
+
+/// Which patch a (sensor, piece) lands in: a deterministic draw from the
+/// weighted patch distribution.
+fn patch_of(sensor: usize, piece: usize) -> usize {
+    // Lottery wheel with ~10 slots per unit of weight.
+    let mut wheel: Vec<usize> = Vec::with_capacity(288);
+    for p in 0..AstroWorkload::PATCHES {
+        let slots = (patch_weight(p) * 10.0).round() as usize;
+        wheel.extend(std::iter::repeat_n(p, slots.max(1)));
+    }
+    wheel[(sensor * 7 + piece * 13 + sensor / 9) % wheel.len()]
+}
+
+/// Bytes of the merged (patch, visit) exposure of one specific patch.
+pub fn patch_visit_bytes_of(patch: usize) -> u64 {
+    (patch_visit_bytes() as f64 * patch_weight(patch)) as u64
+}
+
+/// Shared structure: build the Step 1A/2A tasks and return, per
+/// (patch, visit), the merge task ids. `barriers` inserts Spark-style
+/// stage barriers between steps; `mem_factor` scales task memory
+/// footprints (pipelined Myria holds more live data).
+#[allow(clippy::too_many_arguments)]
+fn front_half(
+    g: &mut TaskGraph,
+    w: &AstroWorkload,
+    cm: &CostModel,
+    cluster: &ClusterSpec,
+    crossing: impl Fn(u64) -> f64,
+    barriers: bool,
+    materialize_to_disk: bool,
+    head: usize,
+) -> Vec<Vec<usize>> {
+    let sensor_bytes = AstroWorkload::SENSOR_BYTES;
+    let node_of = |v: usize, s: usize| (v * 61 + s * 17) % cluster.nodes;
+
+    // Step 1A: ingest + pre-process, one task per sensor exposure.
+    let mut pre = Vec::with_capacity(w.visits * AstroWorkload::SENSORS);
+    for v in 0..w.visits {
+        for s in 0..AstroWorkload::SENSORS {
+            let mut t = TaskSpec::compute(
+                "astro:preprocess",
+                cm.astro_preprocess_per_sensor + 2.0 * crossing(sensor_bytes),
+            )
+            .s3(sensor_bytes)
+            .output(sensor_bytes)
+            .mem(work_mem(sensor_bytes))
+            .after(&[head]);
+            if materialize_to_disk {
+                t = t.disk_write(sensor_bytes);
+            }
+            t.placement = simcluster::Placement::Node(node_of(v, s));
+            pre.push(g.add(t));
+        }
+    }
+    let pre_done = if barriers { Some(g.barrier("astro:stage-barrier", &pre)) } else { None };
+
+    // Step 2A: flatmap each exposure into its patch pieces, then merge per
+    // (patch, visit).
+    let mut pieces_by_patch_visit: Vec<Vec<Vec<usize>>> =
+        vec![vec![Vec::new(); w.visits]; AstroWorkload::PATCHES];
+    for v in 0..w.visits {
+        for s in 0..AstroWorkload::SENSORS {
+            let fan = fanout_of(s);
+            let piece_bytes = (sensor_bytes as f64 * AstroWorkload::PATCH_FANOUT / fan as f64) as u64;
+            let parent = pre[v * AstroWorkload::SENSORS + s];
+            for p in 0..fan {
+                let mut t = TaskSpec::compute(
+                    "astro:patch-piece",
+                    cm.astro_crop_per_piece + crossing(piece_bytes),
+                )
+                .output(piece_bytes)
+                .mem(work_mem(piece_bytes))
+                .after(&[parent]);
+                if let Some(b) = pre_done {
+                    t = t.after(&[b]);
+                }
+                if materialize_to_disk {
+                    t = t.disk_write(piece_bytes);
+                }
+                let id = g.add(t);
+                pieces_by_patch_visit[patch_of(s, p)][v].push(id);
+            }
+        }
+    }
+    let all_pieces: Vec<usize> =
+        pieces_by_patch_visit.iter().flatten().flatten().copied().collect();
+    let pieces_done =
+        if barriers { Some(g.barrier("astro:stage-barrier", &all_pieces)) } else { None };
+
+    // Merge pieces into one exposure per (patch, visit); the shuffle is
+    // the cross-node dependency edges. Hot (interior) patches carry more
+    // bytes than edge patches.
+    let mut merges: Vec<Vec<usize>> = vec![Vec::new(); AstroWorkload::PATCHES];
+    for (p, visits) in pieces_by_patch_visit.iter().enumerate() {
+        // Hot patches receive more overlapping piece bytes (input skew),
+        // but the merged output is one patch-sized exposure regardless.
+        let in_bytes = patch_visit_bytes_of(p);
+        let out_bytes = patch_visit_bytes();
+        for (v, piece_ids) in visits.iter().enumerate() {
+            if piece_ids.is_empty() {
+                continue;
+            }
+            let mut t = TaskSpec::compute(
+                "astro:merge",
+                cm.astro_merge_per_patch_visit + crossing(in_bytes),
+            )
+            .output(out_bytes)
+            .mem(work_mem(in_bytes))
+            .on_node(p % cluster.nodes);
+            t.deps = piece_ids.clone();
+            if let Some(b) = pieces_done {
+                t.deps.push(b);
+            }
+            if materialize_to_disk {
+                t = t.disk_write(out_bytes).disk_read(in_bytes);
+            }
+            let _ = v;
+            merges[p].push(g.add(t));
+        }
+    }
+    merges
+}
+
+/// Spark: stage barriers, crossings, spill-to-disk memory behaviour
+/// (shuffle data partly via disk even when memory is plentiful).
+pub fn spark(
+    w: &AstroWorkload,
+    cm: &CostModel,
+    profiles: &EngineProfiles,
+    cluster: &ClusterSpec,
+) -> TaskGraph {
+    let prof = profiles.rdd;
+    let mut g = TaskGraph::new();
+    let submit = g.add(
+        TaskSpec::compute("spark:submit", profiles.jvm_job_submit + prof.executor_startup)
+            .on_node(0),
+    );
+    let objects = w.visits * AstroWorkload::SENSORS;
+    let head = g.add(
+        TaskSpec::compute("spark:enumerate", objects as f64 * prof.ingest_enumeration_per_object)
+            .on_node(0)
+            .after(&[submit]),
+    );
+    let crossing = move |b: u64| prof.crossing_time(b);
+    // Spark's sort shuffle stages a fraction of the data through disk.
+    let merges = front_half(&mut g, w, cm, cluster, crossing, true, false, head);
+    let all_merges: Vec<usize> = merges.iter().flatten().copied().collect();
+    let b = g.barrier("astro:stage-barrier", &all_merges);
+    let coadd_scale = w.visits as f64 / 24.0;
+    let mut detects = Vec::new();
+    for (p, visit_merges) in merges.iter().enumerate() {
+        let pv_bytes = patch_visit_bytes();
+        let spill = (pv_bytes as f64
+            * w.visits as f64
+            * prof.shuffle_disk_fraction) as u64;
+        let mut t = TaskSpec::compute(
+            "astro:coadd",
+            cm.astro_coadd_per_patch * coadd_scale
+                + 2.0 * prof.crossing_time(pv_bytes * w.visits as u64),
+        )
+        .mem(work_mem(pv_bytes * w.visits as u64))
+        .disk_write(spill / 2)
+        .disk_read(spill / 2)
+        .output(pv_bytes)
+        .after(&[b]);
+        t.deps.extend_from_slice(visit_merges);
+        let coadd = g.add(t);
+        detects.push(
+            g.add(
+                TaskSpec::compute(
+                    "astro:detect",
+                    cm.astro_detect_per_patch + 2.0 * prof.crossing_time(pv_bytes),
+                )
+                .mem(work_mem(pv_bytes))
+                .after(&[coadd]),
+            ),
+        );
+        let _ = p;
+    }
+    g.barrier("spark:collect", &detects);
+    g
+}
+
+/// Myria in one of its three memory-management modes (Figure 15).
+/// Returns the graph and whether the run must fail on memory exhaustion
+/// (pipelined execution has no fallback).
+pub fn myria(
+    w: &AstroWorkload,
+    cm: &CostModel,
+    profiles: &EngineProfiles,
+    cluster: &ClusterSpec,
+    mode: ExecutionMode,
+) -> (TaskGraph, bool) {
+    let prof = profiles.rel;
+    let mut g = TaskGraph::new();
+    let submit = g.add(TaskSpec::compute("myria:submit", profiles.jvm_job_submit).on_node(0));
+    let crossing = move |b: u64| prof.crossing_time(b);
+    let coadd_scale = w.visits as f64 / 24.0;
+
+    match mode {
+        ExecutionMode::Pipelined => {
+            // No barriers, nothing touches disk — but every (patch, visit)
+            // exposure stays resident from merge until its coadd consumes
+            // it: the coadd task's footprint is the whole visit stack,
+            // and merges themselves hold buffered input pieces.
+            let merges = front_half(&mut g, w, cm, cluster, crossing, false, false, submit);
+            for (p, visit_merges) in merges.iter().enumerate() {
+                let pv_bytes = patch_visit_bytes();
+                let mut t = TaskSpec::compute(
+                    "astro:coadd",
+                    cm.astro_coadd_per_patch * coadd_scale
+                        + 2.0 * prof.crossing_time(pv_bytes * w.visits as u64),
+                )
+                // The pipelined operator buffers all its inputs plus
+                // accumulator and output copies.
+                .mem(3 * pv_bytes * w.visits as u64)
+                .output(pv_bytes)
+                .on_node(p % cluster.nodes);
+                t.deps = visit_merges.clone();
+                let coadd = g.add(t);
+                g.add(
+                    TaskSpec::compute(
+                        "astro:detect",
+                        cm.astro_detect_per_patch + 2.0 * prof.crossing_time(pv_bytes),
+                    )
+                    .mem(work_mem(pv_bytes))
+                    .after(&[coadd]),
+                );
+            }
+            (g, true)
+        }
+        ExecutionMode::Materialized => {
+            // Intermediates spill through local disk between operators;
+            // the coadd streams one visit at a time from disk so its
+            // resident footprint is small.
+            let merges = front_half(&mut g, w, cm, cluster, crossing, false, true, submit);
+            for (p, visit_merges) in merges.iter().enumerate() {
+                let pv_bytes = patch_visit_bytes();
+                let mut t = TaskSpec::compute(
+                    "astro:coadd",
+                    cm.astro_coadd_per_patch * coadd_scale
+                        + 2.0 * prof.crossing_time(pv_bytes * w.visits as u64),
+                )
+                .mem(work_mem(2 * pv_bytes))
+                .disk_read(pv_bytes * w.visits as u64)
+                .output(pv_bytes)
+                .on_node(p % cluster.nodes);
+                t.deps = visit_merges.clone();
+                let coadd = g.add(t);
+                g.add(
+                    TaskSpec::compute(
+                        "astro:detect",
+                        cm.astro_detect_per_patch + 2.0 * prof.crossing_time(pv_bytes),
+                    )
+                    .mem(work_mem(pv_bytes))
+                    .after(&[coadd]),
+                );
+            }
+            (g, true)
+        }
+        ExecutionMode::MultiQuery { pieces } => {
+            // Visits are processed in `pieces` sequential sub-queries;
+            // each materializes partial per-patch stacks to disk; a final
+            // query combines them. Memory stays bounded by the subset.
+            let pieces = pieces.clamp(1, w.visits);
+            let mut partials: Vec<Vec<usize>> = vec![Vec::new(); AstroWorkload::PATCHES];
+            let mut prev_done = submit;
+            for q in 0..pieces {
+                let lo = q * w.visits / pieces;
+                let hi = (q + 1) * w.visits / pieces;
+                let sub = AstroWorkload { visits: hi - lo };
+                if sub.visits == 0 {
+                    continue;
+                }
+                // Each sub-query pays its own dispatch and materializes.
+                let qhead = g.add(
+                    TaskSpec::compute("myria:subquery", profiles.jvm_job_submit * 0.5)
+                        .on_node(0)
+                        .after(&[prev_done]),
+                );
+                let merges = front_half(&mut g, &sub, cm, cluster, crossing, false, true, qhead);
+                let mut ends = Vec::new();
+                for (p, visit_merges) in merges.iter().enumerate() {
+                    if visit_merges.is_empty() {
+                        continue;
+                    }
+                    let pv_bytes = patch_visit_bytes();
+                    let mut t = TaskSpec::compute(
+                        "astro:partial-coadd",
+                        cm.astro_coadd_per_patch * (sub.visits as f64 / 24.0)
+                            + 2.0 * prof.crossing_time(pv_bytes * sub.visits as u64),
+                    )
+                    .mem(work_mem(2 * pv_bytes))
+                    .disk_read(pv_bytes * sub.visits as u64)
+                    .disk_write(2 * pv_bytes)
+                    .output(2 * pv_bytes)
+                    .on_node(p % cluster.nodes);
+                    t.deps = visit_merges.clone();
+                    let id = g.add(t);
+                    partials[p].push(id);
+                    ends.push(id);
+                }
+                prev_done = g.barrier("myria:subquery-done", &ends);
+            }
+            for (p, parts) in partials.iter().enumerate() {
+                let pv_bytes = patch_visit_bytes();
+                let mut t = TaskSpec::compute(
+                    "astro:combine+detect",
+                    cm.astro_detect_per_patch
+                        + 2.0 * prof.crossing_time(pv_bytes)
+                        + cm.astro_coadd_per_patch * 0.1,
+                )
+                .mem(work_mem(pv_bytes))
+                .on_node(p % cluster.nodes)
+                .after(&[prev_done]);
+                t.deps.extend_from_slice(parts);
+                g.add(t);
+            }
+            (g, true)
+        }
+    }
+}
+
+/// SciDB co-addition (Step 3A only, as in Figure 12d): iterative AQL over
+/// chunked arrays. Without incremental iteration every clipping round
+/// re-scans and re-materializes full-size arrays through the interpreted
+/// cell-expression evaluator; with it, only the changed state is touched
+/// (the 6× optimization).
+pub fn scidb_coadd(
+    w: &AstroWorkload,
+    _cm: &CostModel,
+    profiles: &EngineProfiles,
+    cluster: &ClusterSpec,
+    chunk_px: usize,
+) -> TaskGraph {
+    let prof = profiles.arr;
+    let mut g = TaskGraph::new();
+    let total_cells: f64 = (w.visits as u64 * AstroWorkload::PIXELS_PER_SENSOR
+        * AstroWorkload::SENSORS as u64) as f64;
+    let chunk_cells = (chunk_px * chunk_px) as f64;
+    let n_chunks = (total_cells / chunk_cells).ceil() as usize;
+    let chunk_bytes = (chunk_cells * 4.0) as u64;
+
+    // The interpreted AQL evaluator's per-cell-per-pass cost, and the
+    // number of full-data passes the iterative query plan makes: per
+    // clipping iteration, the mean, the stddev and the outlier-masking
+    // join each read the base array plus the previous intermediates.
+    let cell_eval = 8.75e-8;
+    // Per chunk, per pass: operator dispatch, chunk-map lookup, MVCC
+    // version bookkeeping of the stored intermediates. This is what makes
+    // small chunks expensive (the 3×-slower 500² configuration).
+    let aql_chunk_pass_overhead = 0.2;
+    let passes: f64 = if prof.incremental_iteration {
+        // Incremental state reuse: one pass per iteration plus the final
+        // aggregation (the [34] optimization's ~6×).
+        20.0 / 6.0
+    } else {
+        20.0
+    };
+    let stores: f64 = if prof.incremental_iteration { 1.0 } else { 7.0 };
+
+    // Working-set penalty: the clipping operators hold every visit's
+    // version of a chunk; once that overflows the per-instance working
+    // memory, operator buffers spill and thrash (the +22% / +55% of the
+    // 1500² and 2000² configurations).
+    let mem_penalty = {
+        let working_set = chunk_bytes as f64 * w.visits as f64;
+        let budget = 96e6; // comfortable at 1000² chunks × 24 visits
+        let r = working_set / budget;
+        if r <= 1.0 {
+            1.0
+        } else {
+            1.0 + 1.45 * (r - 1.0).powf(0.75)
+        }
+    };
+
+    let instances = cluster.nodes * prof.instances_per_node;
+    let per_chunk_compute =
+        cell_eval * chunk_cells * passes * mem_penalty + passes * aql_chunk_pass_overhead;
+    let per_chunk_disk_r = (chunk_bytes as f64 * passes) as u64;
+    let per_chunk_disk_w = (chunk_bytes as f64 * stores) as u64;
+
+    for c in 0..n_chunks {
+        let node = (c % instances) / prof.instances_per_node;
+        g.add(
+            TaskSpec::compute("scidb:coadd-chunk", per_chunk_compute)
+                .disk_read(per_chunk_disk_r)
+                .disk_write(per_chunk_disk_w)
+                .mem(3 * chunk_bytes * w.visits.min(4) as u64)
+                .on_node(node),
+        );
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::Engine;
+    use simcluster::simulate;
+
+    fn setup() -> (CostModel, EngineProfiles, ClusterSpec) {
+        (CostModel::default(), EngineProfiles::default(), ClusterSpec::r3_2xlarge(16))
+    }
+
+    #[test]
+    fn fanout_average_is_2_5() {
+        let total: usize = (0..AstroWorkload::SENSORS).map(fanout_of).sum();
+        let avg = total as f64 / AstroWorkload::SENSORS as f64;
+        assert!((avg - 2.5).abs() < 0.1, "avg fan-out {avg}");
+        assert!((1..=6).contains(&fanout_of(4)));
+    }
+
+    #[test]
+    fn spark_and_myria_run_end_to_end() {
+        let (cm, prof, cluster) = setup();
+        let w = AstroWorkload { visits: 4 };
+        let gs = spark(&w, &cm, &prof, &cluster);
+        let rs = simulate(&gs, &cluster, prof.policy(Engine::Spark), false).unwrap();
+        assert!(rs.makespan > 10.0);
+        let myria_cluster = cluster.clone().with_worker_slots(4);
+        let (gm, strict) = myria(&w, &cm, &prof, &myria_cluster, ExecutionMode::Pipelined);
+        let rm = simulate(&gm, &myria_cluster, prof.policy(Engine::Myria), strict).unwrap();
+        assert!(rm.makespan > 10.0);
+    }
+
+    #[test]
+    fn pipelined_fails_only_at_large_scale() {
+        let (cm, prof, cluster) = setup();
+        let myria_cluster = cluster.clone().with_worker_slots(4);
+        let small = AstroWorkload { visits: 8 };
+        let (g, strict) = myria(&small, &cm, &prof, &myria_cluster, ExecutionMode::Pipelined);
+        assert!(simulate(&g, &myria_cluster, prof.policy(Engine::Myria), strict).is_ok());
+        let big = AstroWorkload { visits: 24 };
+        let (g, strict) = myria(&big, &cm, &prof, &myria_cluster, ExecutionMode::Pipelined);
+        let res = simulate(&g, &myria_cluster, prof.policy(Engine::Myria), strict);
+        assert!(res.is_err(), "24 visits should exhaust pipelined memory");
+        // Materialized completes at the same scale.
+        let (g, strict) = myria(&big, &cm, &prof, &myria_cluster, ExecutionMode::Materialized);
+        assert!(simulate(&g, &myria_cluster, prof.policy(Engine::Myria), strict).is_ok());
+    }
+
+    #[test]
+    fn scidb_coadd_much_slower_than_udf_engines() {
+        let (cm, prof, _) = setup();
+        let cluster = ClusterSpec::r3_2xlarge(16).with_worker_slots(4);
+        let w = AstroWorkload { visits: 24 };
+        let g_scidb = scidb_coadd(&w, &cm, &prof, &cluster, 1000);
+        let r_scidb = simulate(&g_scidb, &cluster, prof.policy(Engine::SciDb), false).unwrap();
+        // The comparable Figure 12d bars: the coadd step alone on the UDF
+        // engines (28 patch tasks with the reference kernel inside).
+        let mut g_udf = simcluster::TaskGraph::new();
+        for p in 0..AstroWorkload::PATCHES {
+            g_udf.add(
+                TaskSpec::compute("coadd", cm.astro_coadd_per_patch)
+                    .on_node(p % cluster.nodes),
+            );
+        }
+        let r_udf = simulate(&g_udf, &cluster, prof.policy(Engine::Myria), false).unwrap();
+        assert!(
+            r_scidb.makespan > 8.0 * r_udf.makespan,
+            "scidb {} vs udf coadd {}",
+            r_scidb.makespan,
+            r_udf.makespan
+        );
+        // Incremental iteration recovers most of it (the paper's ~6×).
+        let mut prof_inc = prof;
+        prof_inc.arr = prof_inc.arr.with_incremental_iteration();
+        let g_inc = scidb_coadd(&w, &cm, &prof_inc, &cluster, 1000);
+        let r_inc = simulate(&g_inc, &cluster, prof.policy(Engine::SciDb), false).unwrap();
+        let speedup = r_scidb.makespan / r_inc.makespan;
+        assert!(
+            (4.0..9.0).contains(&speedup),
+            "incremental speedup {speedup}"
+        );
+    }
+}

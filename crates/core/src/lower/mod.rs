@@ -1,0 +1,109 @@
+//! Lowering: turning each engine's execution of a use case into a
+//! `simcluster` task graph at paper scale.
+//!
+//! Each function in [`neuro`], [`astro`] and [`ingest`] encodes how one
+//! engine *actually executes* the pipeline — its task granularity, where
+//! barriers fall, what crosses process/format boundaries, what is pinned
+//! where — using the engine crates' profiles for the constants. The
+//! simulator then produces makespans whose *relationships* (who wins, by
+//! what factor, where crossovers fall) reproduce the paper's figures.
+
+pub mod astro;
+pub mod ingest;
+pub mod neuro;
+pub mod steps;
+
+use engine_array::ArrayEngineProfile;
+use engine_dataflow::DataflowEngineProfile;
+use engine_rdd::RddEngineProfile;
+use engine_rel::RelEngineProfile;
+use engine_taskgraph::TaskGraphEngineProfile;
+use simcluster::SchedPolicy;
+
+/// The systems under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The Spark analog (`engine-rdd`).
+    Spark,
+    /// The Myria analog (`engine-rel`).
+    Myria,
+    /// The Dask analog (`engine-taskgraph`).
+    Dask,
+    /// The TensorFlow analog (`engine-dataflow`).
+    TensorFlow,
+    /// The SciDB analog (`engine-array`).
+    SciDb,
+}
+
+impl Engine {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Spark => "Spark",
+            Engine::Myria => "Myria",
+            Engine::Dask => "Dask",
+            Engine::TensorFlow => "TensorFlow",
+            Engine::SciDb => "SciDB",
+        }
+    }
+
+    /// The engines able to run the full neuroscience use case end-to-end
+    /// (the paper: Dask, Myria, Spark).
+    pub fn neuro_e2e() -> [Engine; 3] {
+        [Engine::Dask, Engine::Myria, Engine::Spark]
+    }
+
+    /// The engines able to run the full astronomy use case end-to-end
+    /// (the paper: Spark and Myria; Dask froze, SciDB/TensorFlow could
+    /// not express it).
+    pub fn astro_e2e() -> [Engine; 2] {
+        [Engine::Myria, Engine::Spark]
+    }
+}
+
+/// All engine profiles plus job-level constants, bundled for the lowering
+/// functions.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineProfiles {
+    /// Spark-analog constants.
+    pub rdd: RddEngineProfile,
+    /// Myria-analog constants.
+    pub rel: RelEngineProfile,
+    /// Dask-analog constants.
+    pub tg: TaskGraphEngineProfile,
+    /// TensorFlow-analog constants.
+    pub df: DataflowEngineProfile,
+    /// SciDB-analog constants.
+    pub arr: ArrayEngineProfile,
+    /// Job submission overhead for the JVM-based engines (s).
+    pub jvm_job_submit: f64,
+}
+
+impl Default for EngineProfiles {
+    fn default() -> Self {
+        EngineProfiles {
+            rdd: RddEngineProfile::default(),
+            rel: RelEngineProfile::default(),
+            tg: TaskGraphEngineProfile::default(),
+            df: DataflowEngineProfile::default(),
+            arr: ArrayEngineProfile::default(),
+            jvm_job_submit: 12.0,
+        }
+    }
+}
+
+impl EngineProfiles {
+    /// The scheduling policy an engine runs under.
+    pub fn policy(&self, engine: Engine) -> SchedPolicy {
+        match engine {
+            Engine::Spark => SchedPolicy::LocalityFifo { per_task_overhead: self.rdd.per_task_overhead },
+            Engine::Myria => SchedPolicy::LocalityFifo { per_task_overhead: self.rel.per_task_overhead },
+            Engine::Dask => SchedPolicy::WorkStealing {
+                per_task_overhead: self.tg.per_task_overhead,
+                steal_cost: self.tg.steal_cost,
+            },
+            Engine::TensorFlow => SchedPolicy::Static { per_task_overhead: self.df.step_dispatch_fixed },
+            Engine::SciDb => SchedPolicy::Static { per_task_overhead: self.arr.chunk_op_overhead },
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! Neuroscience use case lowering, engine by engine.
+//!
+//! The pipeline (per subject): ingest → filter b0 → mean → mask →
+//! denoise (per volume, masked) → regroup by voxel block → DTM fit.
+
+use crate::costmodel::CostModel;
+use crate::lower::EngineProfiles;
+use crate::workload::NeuroWorkload;
+use simcluster::{ClusterSpec, TaskGraph, TaskSpec};
+
+/// Voxel-block groups the fit shuffle produces per subject.
+pub const FIT_BLOCKS: usize = 8;
+
+/// How much resident memory a task holding `bytes` of image data uses
+/// (input + output + working copies).
+fn work_mem(bytes: u64) -> u64 {
+    3 * bytes
+}
+
+/// Spark: stages with barriers at every wide dependency; Python-boundary
+/// crossings on every closure; optional input caching (§5.3.3); explicit
+/// partition count (Figure 14) or the block-count default.
+pub fn spark(
+    w: &NeuroWorkload,
+    cm: &CostModel,
+    profiles: &EngineProfiles,
+    _cluster: &ClusterSpec,
+    partitions: Option<usize>,
+    cache_input: bool,
+) -> TaskGraph {
+    let prof = &profiles.rdd;
+    let mut g = TaskGraph::new();
+    let input = w.input_bytes();
+    let vol_bytes = NeuroWorkload::volume_bytes();
+    let n_vols = w.subjects * NeuroWorkload::VOLUMES;
+    let p = partitions
+        .unwrap_or_else(|| (input.div_ceil(engine_rdd::DEFAULT_BLOCK_BYTES)).max(1) as usize)
+        .clamp(1, n_vols);
+    let vols_per_part = n_vols as f64 / p as f64;
+    let part_bytes = (vols_per_part * vol_bytes as f64) as u64;
+
+    // Job submission + executor allocation + master-side S3 key
+    // enumeration (all serial, all fixed-cost).
+    let submit = g.add(
+        TaskSpec::compute("spark:submit", profiles.jvm_job_submit + prof.executor_startup)
+            .on_node(0),
+    );
+    let enumerate = g.add(
+        TaskSpec::compute(
+            "spark:enumerate",
+            n_vols as f64 * prof.ingest_enumeration_per_object,
+        )
+        .on_node(0)
+        .after(&[submit]),
+    );
+
+    // Stage 1: parallel ingest into RDD partitions.
+    let ingest: Vec<_> = (0..p)
+        .map(|_| {
+            g.add(
+                TaskSpec::compute("spark:ingest", prof.crossing_time(part_bytes))
+                    .s3(part_bytes)
+                    .output(part_bytes)
+                    .mem(work_mem(part_bytes))
+                    .after(&[enumerate]),
+            )
+        })
+        .collect();
+    let b1 = g.barrier("spark:stage-barrier", &ingest);
+
+    // Stage 2: filter b0 + partial means per partition, then per-subject
+    // mean combine + mask; the mask is then broadcast.
+    let b0_frac = NeuroWorkload::B0_VOLUMES as f64 / NeuroWorkload::VOLUMES as f64;
+    let filter: Vec<_> = (0..p)
+        .map(|i| {
+            g.add(
+                TaskSpec::compute(
+                    "spark:filter+partial-mean",
+                    (cm.neuro_filter_per_subject + cm.neuro_mean_per_subject) * b0_frac
+                        / p as f64
+                        * w.subjects as f64
+                        + prof.crossing_time((part_bytes as f64 * b0_frac) as u64),
+                )
+                .output((part_bytes as f64 * b0_frac) as u64 / 8)
+                .mem(work_mem(part_bytes))
+                .after(&[b1, ingest[i]]),
+            )
+        })
+        .collect();
+    let b2 = g.barrier("spark:stage-barrier", &filter);
+    let masks: Vec<_> = (0..w.subjects)
+        .map(|_| {
+            let mut t = TaskSpec::compute(
+                "spark:mask",
+                cm.neuro_mask_per_subject + prof.crossing_time(vol_bytes),
+            )
+            .output(vol_bytes / 4)
+            .mem(work_mem(8 * vol_bytes))
+            .after(&[b2]);
+            t.deps.extend_from_slice(&filter);
+            g.add(t)
+        })
+        .collect();
+    // Broadcast barrier: every worker receives every mask.
+    let b3 = g.barrier("spark:broadcast-mask", &masks);
+
+    // Stage 3: denoise per partition. Without caching, the input lineage
+    // is recomputed — the partitions re-read S3 and re-deserialize
+    // (§5.3.3's 7–8%).
+    let reread = if cache_input { 0 } else { part_bytes };
+    let reparse = if cache_input { 0.0 } else { prof.crossing_time(part_bytes) };
+    let denoise: Vec<_> = (0..p)
+        .map(|i| {
+            g.add(
+                TaskSpec::compute(
+                    "spark:denoise",
+                    vols_per_part * cm.neuro_denoise_per_volume
+                        + reparse
+                        + 2.0 * prof.crossing_time(part_bytes),
+                )
+                .s3(reread)
+                // Each fit consumer pulls only its (subject, block) slice
+                // of this partition's shuffle output.
+                .output(part_bytes / (FIT_BLOCKS * w.subjects.max(1)) as u64)
+                .mem(work_mem(part_bytes))
+                .after(&[b3, ingest[i]]),
+            )
+        })
+        .collect();
+    let b4 = g.barrier("spark:stage-barrier", &denoise);
+
+    // Stage 4: shuffle to voxel blocks + fit. Each fit task pulls its
+    // share of every denoise partition (output_bytes is already the
+    // per-consumer share).
+    let mut fits = Vec::new();
+    for _s in 0..w.subjects {
+        for _b in 0..FIT_BLOCKS {
+            let mut t = TaskSpec::compute(
+                "spark:fit",
+                cm.neuro_fit_per_subject / FIT_BLOCKS as f64
+                    + 2.0 * prof.crossing_time(NeuroWorkload::SUBJECT_BYTES / FIT_BLOCKS as u64),
+            )
+            .mem(work_mem(NeuroWorkload::SUBJECT_BYTES / FIT_BLOCKS as u64))
+            .after(&[b4]);
+            // Wide dependency on the whole denoised RDD.
+            t.deps.extend_from_slice(&denoise);
+            fits.push(g.add(t));
+        }
+    }
+    g.barrier("spark:collect", &fits);
+    g
+}
+
+/// Myria: hash-partitioned workers, selection pushdown, fully pipelined
+/// (data-dependencies only — no stage barriers), Python UDF crossings.
+pub fn myria(
+    w: &NeuroWorkload,
+    cm: &CostModel,
+    profiles: &EngineProfiles,
+    cluster: &ClusterSpec,
+) -> TaskGraph {
+    let prof = &profiles.rel;
+    let mut g = TaskGraph::new();
+    let vol_bytes = NeuroWorkload::volume_bytes();
+    let workers = cluster.total_slots();
+
+    let submit = g.add(TaskSpec::compute("myria:submit", profiles.jvm_job_submit).on_node(0));
+
+    // Query 1: download only the b0 volumes (the key list is known), mean,
+    // mask, broadcast. Hash partitioning pins volume (s,v) to a worker.
+    let node_of = |s: usize, v: usize| (s * 131 + v * 31) % cluster.nodes;
+    let mut masks = Vec::with_capacity(w.subjects);
+    for s in 0..w.subjects {
+        let b0_downloads: Vec<_> = (0..NeuroWorkload::B0_VOLUMES)
+            .map(|v| {
+                g.add(
+                    TaskSpec::compute("myria:scan-b0", 0.0)
+                        .s3(vol_bytes)
+                        .output(vol_bytes)
+                        .mem(work_mem(vol_bytes))
+                        .on_node(node_of(s, v))
+                        .after(&[submit]),
+                )
+            })
+            .collect();
+        let mut mean = TaskSpec::compute(
+            "myria:mean",
+            cm.neuro_mean_per_subject + prof.crossing_time(vol_bytes),
+        )
+        .output(vol_bytes)
+        .mem(work_mem(NeuroWorkload::B0_VOLUMES as u64 * vol_bytes))
+        .on_node(node_of(s, 0));
+        mean.deps = b0_downloads;
+        let mean = g.add(mean);
+        let mask = g.add(
+            TaskSpec::compute(
+                "myria:mask",
+                cm.neuro_mask_per_subject + prof.crossing_time(vol_bytes),
+            )
+            .output(vol_bytes / 4)
+            .mem(work_mem(8 * vol_bytes))
+            .on_node(node_of(s, 0))
+            .after(&[mean]),
+        );
+        masks.push(mask);
+    }
+    // Broadcast the mask relation across the cluster (one sync point —
+    // the join input must be complete).
+    let bcast = g.barrier("myria:broadcast-mask", &masks);
+
+    // Query 2: scan images from S3, join with mask (local after
+    // broadcast), denoise per volume, shuffle, fit. Fully pipelined:
+    // each volume flows independently.
+    let mut denoise_by_subject: Vec<Vec<usize>> = vec![Vec::new(); w.subjects];
+    for (s, subject_dens) in denoise_by_subject.iter_mut().enumerate().take(w.subjects) {
+        for v in 0..NeuroWorkload::VOLUMES {
+            let node = node_of(s, v);
+            let dl = g.add(
+                TaskSpec::compute("myria:scan", 0.0)
+                    .s3(vol_bytes)
+                    .output(vol_bytes)
+                    .mem(work_mem(vol_bytes))
+                    .on_node(node)
+                    .after(&[bcast]),
+            );
+            let den = g.add(
+                TaskSpec::compute(
+                    "myria:denoise",
+                    cm.neuro_denoise_per_volume + 2.0 * prof.crossing_time(vol_bytes),
+                )
+                .output(vol_bytes / FIT_BLOCKS as u64)
+                .mem(work_mem(vol_bytes))
+                .on_node(node)
+                .after(&[dl]),
+            );
+            subject_dens.push(den);
+        }
+    }
+    let _ = workers;
+    for (s, dens) in denoise_by_subject.iter().enumerate() {
+        for b in 0..FIT_BLOCKS {
+            let mut t = TaskSpec::compute(
+                "myria:fit",
+                cm.neuro_fit_per_subject / FIT_BLOCKS as f64
+                    + 2.0 * prof.crossing_time(NeuroWorkload::SUBJECT_BYTES / FIT_BLOCKS as u64),
+            )
+            .mem(work_mem(NeuroWorkload::SUBJECT_BYTES / FIT_BLOCKS as u64))
+            .on_node(node_of(s, b * 37 + 5));
+            t.deps = dens.clone();
+            g.add(t);
+        }
+    }
+    g
+}
+
+/// Dask: a per-subject chain with no cross-subject dependencies — the
+/// next step starts as soon as that subject's previous step finished.
+/// Large scheduler startup; subjects manually assigned round-robin; the
+/// work-stealing policy spreads volume tasks (at a cost).
+pub fn dask(
+    w: &NeuroWorkload,
+    cm: &CostModel,
+    profiles: &EngineProfiles,
+    cluster: &ClusterSpec,
+) -> TaskGraph {
+    let prof = &profiles.tg;
+    let mut g = TaskGraph::new();
+    let vol_bytes = NeuroWorkload::volume_bytes();
+
+    let startup = g.add(TaskSpec::compute("dask:scheduler-startup", prof.scheduler_startup).on_node(0));
+
+    for s in 0..w.subjects {
+        let home = s % cluster.nodes;
+        // Manual ingest placement: the whole subject downloads on its home
+        // node, then parses NIfTI in memory.
+        // Consumers (per-volume denoise tasks) pull only their volume, so
+        // the download's transferable output is one volume's bytes.
+        let dl = g.add(
+            TaskSpec::compute("dask:download", cm.parse_nifti_per_subject)
+                .s3(NeuroWorkload::SUBJECT_BYTES)
+                .output(vol_bytes)
+                .mem(work_mem(NeuroWorkload::SUBJECT_BYTES))
+                .on_node(home)
+                .after(&[startup]),
+        );
+        let filter = g.add(
+            TaskSpec::compute("dask:filter", cm.neuro_filter_per_subject)
+                .output(NeuroWorkload::SUBJECT_BYTES / 16)
+                .mem(work_mem(NeuroWorkload::SUBJECT_BYTES / 16))
+                .after(&[dl]),
+        );
+        let mean = g.add(
+            TaskSpec::compute("dask:mean", cm.neuro_mean_per_subject)
+                .output(vol_bytes)
+                .mem(work_mem(NeuroWorkload::SUBJECT_BYTES / 16))
+                .after(&[filter]),
+        );
+        let mask = g.add(
+            TaskSpec::compute("dask:mask", cm.neuro_mask_per_subject)
+                .output(vol_bytes / 4)
+                .mem(work_mem(8 * vol_bytes))
+                .after(&[mean]),
+        );
+        // Denoise per volume: ready as soon as the mask is — no barrier
+        // against other subjects. Volumes prefer the home node (their
+        // input lives there) but can be stolen.
+        let dens: Vec<_> = (0..NeuroWorkload::VOLUMES)
+            .map(|_| {
+                g.add(
+                    TaskSpec::compute("dask:denoise", cm.neuro_denoise_per_volume)
+                        .output(vol_bytes / FIT_BLOCKS as u64)
+                        .mem(work_mem(vol_bytes))
+                        .after(&[dl, mask]),
+                )
+            })
+            .collect();
+        for _b in 0..FIT_BLOCKS {
+            let mut t = TaskSpec::compute("dask:fit", cm.neuro_fit_per_subject / FIT_BLOCKS as f64)
+                .mem(work_mem(NeuroWorkload::SUBJECT_BYTES / FIT_BLOCKS as u64));
+            t.deps = dens.clone();
+            g.add(t);
+        }
+    }
+    g
+}
+
+/// TensorFlow: one graph per step with a global barrier and a master
+/// round-trip between steps; static volume→device placement; tensor
+/// conversion everywhere; axis-3 filtering via full-tensor reshape passes;
+/// unmasked denoising. Fit (Step 3N) is not implementable (NA in Table 1).
+pub fn tensorflow(
+    w: &NeuroWorkload,
+    cm: &CostModel,
+    profiles: &EngineProfiles,
+    cluster: &ClusterSpec,
+) -> TaskGraph {
+    let prof = &profiles.df;
+    let mut g = TaskGraph::new();
+    let vol_bytes = NeuroWorkload::volume_bytes();
+    let subj_bytes = NeuroWorkload::SUBJECT_BYTES;
+    let convert = |bytes: u64| bytes as f64 * prof.tensor_convert_per_byte;
+
+    // Master ingest: downloads + NIfTI parse on node 0, then pipelined
+    // sends to the statically assigned workers.
+    let mut sends = Vec::new();
+    let mut prev_dl = None;
+    for s in 0..w.subjects {
+        let mut dl = TaskSpec::compute("tf:master-download", cm.parse_nifti_per_subject)
+            .s3(subj_bytes)
+            .output(subj_bytes)
+            .mem(work_mem(subj_bytes))
+            .on_node(0);
+        // The master's single ingest loop serializes subject downloads.
+        if let Some(p) = prev_dl {
+            dl = dl.after(&[p]);
+        }
+        let dl = g.add(dl);
+        prev_dl = Some(dl);
+        for chunk in 0..cluster.nodes {
+            sends.push(
+                g.add(
+                    TaskSpec::compute("tf:distribute", convert(subj_bytes / cluster.nodes as u64))
+                        .output(subj_bytes / cluster.nodes as u64)
+                        .mem(work_mem(subj_bytes / cluster.nodes as u64))
+                        .on_node((s + chunk + 1) % cluster.nodes)
+                        .after(&[dl]),
+                ),
+            );
+        }
+    }
+    let step_in = g.barrier("tf:step-barrier", &sends);
+
+    // Step: filter — axis-3 selection needs flatten+gather+reshape full
+    // passes over every worker's shard, plus conversions both ways.
+    let shard = w.input_bytes() / cluster.nodes as u64;
+    let pass_cost = shard as f64 / 450e6; // one full memory pass per shard
+    let filters: Vec<_> = (0..cluster.nodes)
+        .map(|n| {
+            g.add(
+                TaskSpec::compute(
+                    "tf:filter",
+                    prof.filter_reshape_passes as f64 * pass_cost + 2.0 * convert(shard),
+                )
+                .output(shard / 16)
+                .mem(work_mem(shard))
+                .on_node(n)
+                .after(&[step_in]),
+            )
+        })
+        .collect();
+    // Results return to the master between steps.
+    let mut to_master = TaskSpec::compute("tf:gather", convert(w.input_bytes() / 16))
+        .mem(work_mem(w.input_bytes() / 16))
+        .on_node(0);
+    to_master.deps = filters;
+    let gathered = g.add(to_master);
+    let b_filter = g.barrier("tf:step-barrier", &[gathered]);
+
+    // Step: mean per subject on statically assigned workers.
+    let means: Vec<_> = (0..w.subjects)
+        .map(|s| {
+            g.add(
+                TaskSpec::compute(
+                    "tf:mean",
+                    cm.neuro_mean_per_subject + 2.0 * convert(subj_bytes / 16),
+                )
+                .output(vol_bytes)
+                .mem(work_mem(subj_bytes / 16))
+                .on_node(s % cluster.nodes)
+                .after(&[b_filter]),
+            )
+        })
+        .collect();
+    let b_mean = g.barrier("tf:step-barrier", &means);
+
+    // Step: simplified mask (threshold), then denoise by convolution —
+    // whole volumes, no masking → 1.5× compute — one volume per machine
+    // at a time (the paper's memory-forced assignment).
+    let masks: Vec<_> = (0..w.subjects)
+        .map(|s| {
+            g.add(
+                TaskSpec::compute("tf:mask-simplified", 2.0 + 2.0 * convert(vol_bytes))
+                    .output(vol_bytes / 4)
+                    .mem(work_mem(vol_bytes))
+                    .on_node(s % cluster.nodes)
+                    .after(&[b_mean]),
+            )
+        })
+        .collect();
+    let b_mask = g.barrier("tf:step-barrier", &masks);
+    let mut dens = Vec::new();
+    for s in 0..w.subjects {
+        for v in 0..NeuroWorkload::VOLUMES {
+            dens.push(
+                g.add(
+                    TaskSpec::compute(
+                        "tf:denoise-conv",
+                        cm.neuro_denoise_per_volume * prof.unmasked_inflation(2.0 / 3.0)
+                            + 2.0 * convert(vol_bytes),
+                    )
+                    .output(vol_bytes)
+                    .mem(work_mem(vol_bytes) * 2)
+                    .on_node((s * NeuroWorkload::VOLUMES + v) % cluster.nodes)
+                    .after(&[b_mask]),
+                ),
+            );
+        }
+    }
+    // Final gather to master.
+    let mut fin = TaskSpec::compute("tf:gather", convert(2 * w.input_bytes()))
+        .mem(work_mem(w.input_bytes() / 8))
+        .on_node(0);
+    fin.deps = dens;
+    g.add(fin);
+    g
+}
+
+/// SciDB neuroscience steps (1N via native ops, 2N via `stream()`):
+/// chunk-at-a-time tasks across instances; the full Step 3N is NA.
+pub fn scidb_steps(
+    w: &NeuroWorkload,
+    cm: &CostModel,
+    profiles: &EngineProfiles,
+    cluster: &ClusterSpec,
+    include_denoise: bool,
+) -> TaskGraph {
+    let prof = &profiles.arr;
+    let mut g = TaskGraph::new();
+    let vol_bytes = NeuroWorkload::volume_bytes();
+    // One chunk per volume slab: 288·subjects chunks spread over
+    // instances (4 per node).
+    let instances = cluster.nodes * prof.instances_per_node;
+    let node_of_chunk = |c: usize| (c % instances) / prof.instances_per_node;
+
+    let mut filters = Vec::new();
+    for s in 0..w.subjects {
+        for v in 0..NeuroWorkload::VOLUMES {
+            let c = s * NeuroWorkload::VOLUMES + v;
+            // The b0 selection is misaligned with the chunk layout: every
+            // chunk is read and reconstructed.
+            filters.push(
+                g.add(
+                    TaskSpec::compute(
+                        "scidb:filter",
+                        prof.chunk_op_overhead + vol_bytes as f64 * prof.reconstruct_per_byte,
+                    )
+                    .disk_read(vol_bytes)
+                    .output(if v < NeuroWorkload::B0_VOLUMES { vol_bytes } else { 0 })
+                    .mem(work_mem(vol_bytes))
+                    .on_node(node_of_chunk(c)),
+                ),
+            );
+        }
+    }
+    // Mean: per-subject aggregation over the selected chunks — SciDB's
+    // sweet spot: native array aggregation, no crossings.
+    let mut means = Vec::new();
+    for s in 0..w.subjects {
+        let mut t = TaskSpec::compute("scidb:mean", cm.neuro_mean_per_subject * 0.5)
+            .output(vol_bytes)
+            .mem(work_mem(8 * vol_bytes))
+            .on_node(node_of_chunk(s));
+        t.deps = filters
+            [s * NeuroWorkload::VOLUMES..s * NeuroWorkload::VOLUMES + NeuroWorkload::B0_VOLUMES]
+            .to_vec();
+        means.push(g.add(t));
+    }
+
+    if include_denoise {
+        // Step 2N through stream(): per-chunk TSV out + UDF + TSV in.
+        let tsv_cost = 2.0 * vol_bytes as f64 * prof.tsv_stream_per_byte;
+        for (s, &mean) in means.iter().enumerate().take(w.subjects) {
+            for v in 0..NeuroWorkload::VOLUMES {
+                let c = s * NeuroWorkload::VOLUMES + v;
+                g.add(
+                    TaskSpec::compute(
+                        "scidb:denoise-stream",
+                        cm.neuro_denoise_per_volume + tsv_cost + prof.chunk_op_overhead,
+                    )
+                    .disk_read(vol_bytes)
+                    .disk_write(vol_bytes)
+                    .mem(work_mem(vol_bytes))
+                    .on_node(node_of_chunk(c))
+                    .after(&[mean]),
+                );
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::simulate;
+
+    fn setup() -> (CostModel, EngineProfiles, ClusterSpec) {
+        (CostModel::default(), EngineProfiles::default(), ClusterSpec::r3_2xlarge(16))
+    }
+
+    #[test]
+    fn spark_graph_shape() {
+        let (cm, prof, cluster) = setup();
+        let w = NeuroWorkload { subjects: 2 };
+        let g = spark(&w, &cm, &prof, &cluster, Some(64), true);
+        assert!(g.len() > 64, "tasks: {}", g.len());
+        let r = simulate(&g, &cluster, prof.policy(super::super::Engine::Spark), false).unwrap();
+        assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn all_engines_simulate_one_subject() {
+        let (cm, prof, cluster) = setup();
+        let w = NeuroWorkload { subjects: 1 };
+        for (name, g, engine) in [
+            ("spark", spark(&w, &cm, &prof, &cluster, Some(97), true), super::super::Engine::Spark),
+            ("myria", myria(&w, &cm, &prof, &cluster.clone().with_worker_slots(4)), super::super::Engine::Myria),
+            ("dask", dask(&w, &cm, &prof, &cluster), super::super::Engine::Dask),
+            ("tf", tensorflow(&w, &cm, &prof, &cluster), super::super::Engine::TensorFlow),
+            ("scidb", scidb_steps(&w, &cm, &prof, &cluster, true), super::super::Engine::SciDb),
+        ] {
+            let r = simulate(&g, &cluster, prof.policy(engine), false).unwrap();
+            assert!(r.makespan > 1.0, "{name}: {}", r.makespan);
+            assert!(r.makespan < 100_000.0, "{name}: {}", r.makespan);
+        }
+    }
+
+    #[test]
+    fn caching_reduces_spark_s3_traffic() {
+        let (cm, prof, cluster) = setup();
+        let w = NeuroWorkload { subjects: 4 };
+        let cached = spark(&w, &cm, &prof, &cluster, Some(97), true);
+        let uncached = spark(&w, &cm, &prof, &cluster, Some(97), false);
+        let rc = simulate(&cached, &cluster, prof.policy(super::super::Engine::Spark), false).unwrap();
+        let ru = simulate(&uncached, &cluster, prof.policy(super::super::Engine::Spark), false).unwrap();
+        assert!(ru.bytes_from_s3 > rc.bytes_from_s3);
+        assert!(ru.makespan > rc.makespan);
+    }
+}

@@ -1,0 +1,465 @@
+//! Eager astronomy implementations.
+//!
+//! As in the paper: Spark and Myria run the full pipeline (reusing the
+//! reference kernels as UDFs); SciDB expresses co-addition in native
+//! array operations (the 180-LoC AQL program's structure); Dask's
+//! implementation froze on the cluster and is therefore not provided
+//! (see [`DASK_ASTRO_STATUS`]); TensorFlow cannot express the use case.
+
+use engine_rdd::SparkContext;
+use engine_rel::{MyriaConnection, Query, Schema, Value, ValueType};
+use marray::NdArray;
+use sciops::astro::geometry::{Exposure, PatchId, SkyBox};
+use sciops::astro::pipeline::merge_visit_pieces;
+use sciops::astro::{
+    calibrate_exposure, coadd_sigma_clip, detect_sources, CalibParams, CoaddParams, DetectParams,
+    Source,
+};
+use sciops::synth::sky::SkySurvey;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Why there are no Dask results for astronomy (the paper, §4.4):
+/// "the implementation freezes once deployed on a cluster and we found it
+/// surprisingly difficult to track down the cause of the problem. Hence,
+/// we do not report performance numbers for the second use case."
+pub const DASK_ASTRO_STATUS: &str = "not runnable (implementation froze on the cluster)";
+
+/// Results: coadd flux and catalog per patch.
+pub struct AstroResult {
+    /// Coadded flux per patch.
+    pub coadd_flux: BTreeMap<PatchId, NdArray<f64>>,
+    /// Detected sources per patch.
+    pub catalogs: BTreeMap<PatchId, Vec<Source>>,
+}
+
+/// Pack an exposure's three planes into one blob `[3, rows, cols]`
+/// (relations carry one blob column; the planes travel together).
+fn pack(e: &Exposure) -> NdArray<f64> {
+    let (rows, cols) = e.dims();
+    let mut out = NdArray::<f64>::zeros(&[3, rows, cols]);
+    out.data_mut()[..rows * cols].copy_from_slice(e.flux.data());
+    out.data_mut()[rows * cols..2 * rows * cols].copy_from_slice(e.variance.data());
+    for (i, &m) in e.mask.data().iter().enumerate() {
+        out.data_mut()[2 * rows * cols + i] = m as f64;
+    }
+    out
+}
+
+/// Inverse of [`pack`].
+fn unpack(packed: &NdArray<f64>, visit: u32, sensor: u32, bbox: SkyBox) -> Exposure {
+    let rows = packed.dims()[1];
+    let cols = packed.dims()[2];
+    let n = rows * cols;
+    Exposure {
+        visit,
+        sensor,
+        bbox,
+        flux: NdArray::from_vec(&[rows, cols], packed.data()[..n].to_vec()).expect("plane"),
+        variance: NdArray::from_vec(&[rows, cols], packed.data()[n..2 * n].to_vec())
+            .expect("plane"),
+        mask: NdArray::from_vec(
+            &[rows, cols],
+            packed.data()[2 * n..].iter().map(|&v| v as u8).collect(),
+        )
+        .expect("plane"),
+    }
+}
+
+/// Shared parameters (matching the reference pipeline).
+pub fn astro_params() -> (CalibParams, CoaddParams, DetectParams) {
+    (CalibParams::default(), CoaddParams::default(), DetectParams::default())
+}
+
+// ---------------------------------------------------------------------------
+// Spark
+// ---------------------------------------------------------------------------
+
+/// Run the full astronomy pipeline on the Spark analog.
+pub fn spark(survey: &SkySurvey, partitions: usize) -> AstroResult {
+    let sc = SparkContext::new(128);
+    let grid = Arc::new(survey.patch_grid());
+    let (calib, coadd_p, detect_p) = astro_params();
+
+    let records: Vec<(u32, Arc<Exposure>)> = survey
+        .visits
+        .iter()
+        .flatten()
+        .map(|e| (e.visit, Arc::new(e.clone())))
+        .collect();
+    let raw = sc.parallelize(records, partitions);
+
+    // Step 1A — map(calibrate); Step 2A — flatMap to patch pieces keyed by
+    // patch; Step 3A+4A — groupBy(patch), merge per visit, coadd, detect.
+    let g1 = Arc::clone(&grid);
+    let pieces = raw
+        .map(move |(v, e)| (v, Arc::new(calibrate_exposure(&e, &calib))))
+        .flat_map(move |(v, e)| {
+            g1.map_to_patches(&e)
+                .into_iter()
+                .map(|(patch, piece)| (patch, (v, Arc::new(piece))))
+                .collect()
+        });
+    let g2 = Arc::clone(&grid);
+    let per_patch = pieces.group_by_key(64).map(move |(patch, pieces)| {
+        let patch_box = g2.patch_box(patch);
+        let mut by_visit: BTreeMap<u32, Vec<Exposure>> = BTreeMap::new();
+        for (v, piece) in pieces {
+            by_visit.entry(v).or_default().push(piece.as_ref().clone());
+        }
+        let visit_exposures: Vec<Exposure> = by_visit
+            .into_values()
+            .map(|ps| merge_visit_pieces(&patch_box, &ps))
+            .collect();
+        let coadd = coadd_sigma_clip(&visit_exposures, &coadd_p);
+        let sources = detect_sources(&coadd, &detect_p);
+        (patch, (coadd.flux, sources))
+    });
+
+    let mut coadd_flux = BTreeMap::new();
+    let mut catalogs = BTreeMap::new();
+    for (patch, (flux, sources)) in per_patch.collect() {
+        coadd_flux.insert(patch, flux);
+        catalogs.insert(patch, sources);
+    }
+    AstroResult { coadd_flux, catalogs }
+}
+
+// ---------------------------------------------------------------------------
+// Myria
+// ---------------------------------------------------------------------------
+
+/// Run the full astronomy pipeline on the Myria analog.
+pub fn myria(survey: &SkySurvey, nodes: usize, workers_per_node: usize) -> AstroResult {
+    let conn = MyriaConnection::connect(nodes, workers_per_node);
+    let grid = Arc::new(survey.patch_grid());
+    let (calib, coadd_p, detect_p) = astro_params();
+
+    // Ingest Exposures(visit, sensor, x0, y0, w, h, planes).
+    let schema = Schema::new(&[
+        ("visit", ValueType::Int),
+        ("sensor", ValueType::Int),
+        ("x0", ValueType::Int),
+        ("y0", ValueType::Int),
+        ("w", ValueType::Int),
+        ("h", ValueType::Int),
+        ("planes", ValueType::Blob),
+    ]);
+    let tuples: Vec<Vec<Value>> = survey
+        .visits
+        .iter()
+        .flatten()
+        .map(|e| {
+            vec![
+                Value::Int(e.visit as i64),
+                Value::Int(e.sensor as i64),
+                Value::Int(e.bbox.x0),
+                Value::Int(e.bbox.y0),
+                Value::Int(e.bbox.width as i64),
+                Value::Int(e.bbox.height as i64),
+                Value::blob(pack(e)),
+            ]
+        })
+        .collect();
+    conn.ingest("Exposures", schema, tuples, 1);
+
+    // UDFs: Calibrate (blob→blob) and the PatchPieces flatmap.
+    conn.create_function("Calibrate", move |args| {
+        let bbox = SkyBox {
+            x0: args[1].as_int(),
+            y0: args[2].as_int(),
+            width: args[3].as_int() as u64,
+            height: args[4].as_int() as u64,
+        };
+        let e = unpack(args[0].as_blob(), 0, 0, bbox);
+        Value::blob(pack(&calibrate_exposure(&e, &calib)))
+    });
+    let g1 = Arc::clone(&grid);
+    conn.create_table_function("PatchPieces", move |args| {
+        let visit = args[0].as_int();
+        let bbox = SkyBox {
+            x0: args[2].as_int(),
+            y0: args[3].as_int(),
+            width: args[4].as_int() as u64,
+            height: args[5].as_int() as u64,
+        };
+        let e = unpack(args[6].as_blob(), visit as u32, args[1].as_int() as u32, bbox);
+        g1.map_to_patches(&e)
+            .into_iter()
+            .map(|((pr, pc), piece)| {
+                vec![
+                    Value::Int(pr as i64),
+                    Value::Int(pc as i64),
+                    Value::Int(visit),
+                    Value::Int(piece.bbox.x0),
+                    Value::Int(piece.bbox.y0),
+                    Value::Int(piece.bbox.width as i64),
+                    Value::Int(piece.bbox.height as i64),
+                    Value::blob(pack(&piece)),
+                ]
+            })
+            .collect()
+    });
+    let g2 = Arc::clone(&grid);
+    conn.create_aggregate("MergeVisit", move |tuples| {
+        let patch = (tuples[0][0].as_int() as u32, tuples[0][1].as_int() as u32);
+        let patch_box = g2.patch_box(patch);
+        let pieces: Vec<Exposure> = tuples
+            .iter()
+            .map(|t| {
+                let bbox = SkyBox {
+                    x0: t[3].as_int(),
+                    y0: t[4].as_int(),
+                    width: t[5].as_int() as u64,
+                    height: t[6].as_int() as u64,
+                };
+                unpack(t[7].as_blob(), t[2].as_int() as u32, 0, bbox)
+            })
+            .collect();
+        Value::blob(pack(&merge_visit_pieces(&patch_box, &pieces)))
+    });
+    let g3 = Arc::clone(&grid);
+    conn.create_aggregate("CoaddDetect", move |tuples| {
+        let patch = (tuples[0][0].as_int() as u32, tuples[0][1].as_int() as u32);
+        let patch_box = g3.patch_box(patch);
+        let exposures: Vec<Exposure> = tuples
+            .iter()
+            .map(|t| unpack(t.last().expect("merged col").as_blob(), 0, 0, patch_box))
+            .collect();
+        let coadd = coadd_sigma_clip(&exposures, &coadd_p);
+        let sources = detect_sources(&coadd, &detect_p);
+        // Emit [flux plane ++ catalog rows] packed into one blob:
+        // first the coadd flux, then 4 values per source.
+        let (rows, cols) = (coadd.flux.dims()[0], coadd.flux.dims()[1]);
+        let mut data = coadd.flux.data().to_vec();
+        for s in &sources {
+            data.extend_from_slice(&[s.centroid.0, s.centroid.1, s.flux, s.npix as f64]);
+        }
+        let total = data.len();
+        let _ = (rows, cols);
+        Value::blob(NdArray::from_vec(&[total], data).expect("packed result"))
+    });
+
+    let result = Query::scan("Exposures")
+        .apply(
+            "Calibrate",
+            &["planes", "x0", "y0", "w", "h"],
+            &["visit", "sensor", "x0", "y0", "w", "h"],
+            "planes",
+            ValueType::Blob,
+        )
+        .flat_apply(
+            "PatchPieces",
+            &["visit", "sensor", "x0", "y0", "w", "h", "planes"],
+            &[
+                ("patchRow", ValueType::Int),
+                ("patchCol", ValueType::Int),
+                ("visit", ValueType::Int),
+                ("x0", ValueType::Int),
+                ("y0", ValueType::Int),
+                ("w", ValueType::Int),
+                ("h", ValueType::Int),
+                ("piece", ValueType::Blob),
+            ],
+        )
+        .group_by(&["patchRow", "patchCol", "visit"], "MergeVisit", "merged", ValueType::Blob)
+        .group_by(&["patchRow", "patchCol"], "CoaddDetect", "result", ValueType::Blob)
+        .execute(&conn)
+        .expect("astronomy query");
+
+    let mut coadd_flux = BTreeMap::new();
+    let mut catalogs = BTreeMap::new();
+    for t in result.all_tuples() {
+        let patch: PatchId = (t[0].as_int() as u32, t[1].as_int() as u32);
+        let patch_box = grid.patch_box(patch);
+        let rows = patch_box.height as usize;
+        let cols = patch_box.width as usize;
+        let blob = t[2].as_blob();
+        let flux =
+            NdArray::from_vec(&[rows, cols], blob.data()[..rows * cols].to_vec()).expect("plane");
+        let mut sources = Vec::new();
+        let rest = &blob.data()[rows * cols..];
+        for chunk in rest.chunks_exact(4) {
+            sources.push(Source {
+                centroid: (chunk[0], chunk[1]),
+                flux: chunk[2],
+                peak: 0.0, // not carried through the packed form
+                npix: chunk[3] as usize,
+            });
+        }
+        coadd_flux.insert(patch, flux);
+        catalogs.insert(patch, sources);
+    }
+    AstroResult { coadd_flux, catalogs }
+}
+
+// ---------------------------------------------------------------------------
+// SciDB co-addition (Step 3A in native array ops — the "180 LoC of AQL")
+// ---------------------------------------------------------------------------
+
+/// Count of native array operations our AQL-style coadd chains together
+/// (the Table 1 complexity analog of the 180-LoC AQL program).
+pub const SCIDB_COADD_OPS: usize = 9;
+
+/// Iteratively sigma-clipped mean over the visit axis of a
+/// `(visit, rows, cols)` cube using only native array operations
+/// (aggregate / apply / join / cross_join), mirroring the paper's pure-AQL
+/// implementation with two cleaning iterations.
+pub fn scidb_coadd_cube(
+    db: &engine_array::ArrayDb,
+    cube: &NdArray<f64>,
+    chunk: usize,
+) -> NdArray<f64> {
+    let dims = cube.dims();
+    let chunk_dims = vec![1, chunk.min(dims[1]), chunk.min(dims[2])];
+    let stack = db.from_array(cube, &chunk_dims).expect("ingest cube");
+    // weights: 1 = sample currently kept.
+    let mut weights = stack.apply(|_| 1.0).expect("ones");
+
+    for _ in 0..2 {
+        let kept = stack.join(&weights, |v, w| v * w).expect("mask values");
+        let sum_w = weights.aggregate_sum(0).expect("sum weights");
+        let sum_v = kept.aggregate_sum(0).expect("sum values");
+        let mean = sum_v.join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 }).expect("mean");
+        let sum_sq = stack
+            .apply(|v| v * v)
+            .expect("squares")
+            .join(&weights, |v, w| v * w)
+            .expect("mask squares")
+            .aggregate_sum(0)
+            .expect("sum squares");
+        let meansq = sum_sq.join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 }).expect("meansq");
+        let std = meansq
+            .join(&mean.apply(|m| m * m).expect("mean^2"), |a, b| (a - b).max(0.0).sqrt())
+            .expect("std");
+        // Re-test every sample against the current mean/σ (3σ rule).
+        let pass = stack
+            .cross_join2(&mean, &std, |v, m, s| {
+                if s == 0.0 || (v - m).abs() <= 3.0 * s {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .expect("sigma test");
+        weights = weights.join(&pass, |a, b| a * b).expect("combine weights");
+    }
+
+    // Final clipped mean.
+    let kept = stack.join(&weights, |v, w| v * w).expect("mask values");
+    let sum_w = weights.aggregate_sum(0).expect("sum weights");
+    let sum_v = kept.aggregate_sum(0).expect("sum values");
+    sum_v
+        .join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 })
+        .expect("final mean")
+        .materialize()
+        .expect("materialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciops::astro::pipeline::reference_pipeline;
+    use sciops::synth::sky::SkySpec;
+
+    fn survey() -> SkySurvey {
+        SkySurvey::generate(21, &SkySpec::test_scale())
+    }
+
+    fn reference(s: &SkySurvey) -> sciops::astro::pipeline::AstroOutput {
+        let grid = s.patch_grid();
+        let (c, co, d) = astro_params();
+        reference_pipeline(&s.visits, &grid, &c, &co, &d)
+    }
+
+    fn assert_flux_close(a: &NdArray<f64>, b: &NdArray<f64>, what: &str) {
+        assert_eq!(a.dims(), b.dims(), "{what} dims");
+        let scale = b.max().abs().max(1.0);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= 1e-9 * scale, "{what}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn spark_matches_reference() {
+        let s = survey();
+        let reference = reference(&s);
+        let out = spark(&s, 8);
+        assert_eq!(out.coadd_flux.len(), reference.coadds.len());
+        for (patch, flux) in &out.coadd_flux {
+            assert_flux_close(flux, &reference.coadds[patch].flux, "spark coadd");
+            assert_eq!(out.catalogs[patch].len(), reference.catalogs[patch].len());
+        }
+    }
+
+    #[test]
+    fn myria_matches_reference() {
+        let s = survey();
+        let reference = reference(&s);
+        let out = myria(&s, 2, 2);
+        assert_eq!(out.coadd_flux.len(), reference.coadds.len());
+        for (patch, flux) in &out.coadd_flux {
+            assert_flux_close(flux, &reference.coadds[patch].flux, "myria coadd");
+            let got = &out.catalogs[patch];
+            let want = &reference.catalogs[patch];
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want) {
+                assert!((g.centroid.0 - w.centroid.0).abs() < 1e-9);
+                assert!((g.flux - w.flux).abs() < 1e-6 * w.flux.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn spark_and_myria_agree() {
+        let s = survey();
+        let a = spark(&s, 4);
+        let b = myria(&s, 2, 2);
+        assert_eq!(a.coadd_flux.len(), b.coadd_flux.len());
+        for (patch, flux) in &a.coadd_flux {
+            assert_flux_close(flux, &b.coadd_flux[patch], "spark vs myria");
+        }
+    }
+
+    #[test]
+    fn scidb_cube_coadd_matches_sigma_clipped_mean() {
+        // A cube with one wild outlier per pixel column; uniform variance
+        // so the clipped plain mean is the reference answer.
+        let db = engine_array::ArrayDb::connect(2);
+        let visits = 12;
+        let cube = NdArray::from_fn(&[visits, 6, 6], |ix| {
+            if ix[0] == 3 {
+                10_000.0
+            } else {
+                50.0 + (ix[1] * 6 + ix[2]) as f64 + 0.01 * ix[0] as f64
+            }
+        });
+        let out = scidb_coadd_cube(&db, &cube, 4);
+        for r in 0..6 {
+            for c in 0..6 {
+                let samples: Vec<f64> = (0..visits)
+                    .map(|v| cube[&[v, r, c][..]])
+                    .collect();
+                let expect = sciops::stats::sigma_clipped_mean(&samples, 3.0, 2);
+                let got = out[&[r, c][..]];
+                assert!((got - expect).abs() < 1e-9, "({r},{c}): {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn packing_roundtrip() {
+        let s = survey();
+        let e = &s.visits[0][0];
+        let packed = pack(e);
+        let back = unpack(&packed, e.visit, e.sensor, e.bbox);
+        assert_eq!(&back.flux, &e.flux);
+        assert_eq!(&back.variance, &e.variance);
+        assert_eq!(&back.mask, &e.mask);
+    }
+
+    #[test]
+    fn dask_status_documented() {
+        assert!(DASK_ASTRO_STATUS.contains("froze"));
+    }
+}

@@ -1,0 +1,11 @@
+//! The two use cases implemented against each engine's *eager* API.
+//!
+//! These are runnable, test-scale implementations mirroring the code
+//! styles of the paper's Figures 5–9 (SciDB AFL, Spark RDD lambdas, MyriaL
+//! with Python UDFs, Dask delayed graphs, TensorFlow static graphs). Every
+//! engine that can express a step is validated against the single-machine
+//! `sciops` reference implementation — the same discipline the paper used
+//! by running identical reference Python code everywhere.
+
+pub mod astro;
+pub mod neuro;

@@ -1,0 +1,79 @@
+//! Architectural constants used when lowering array queries onto the
+//! cluster simulator.
+
+/// The SciDB-analog execution profile.
+///
+/// * `instances_per_node` — vendor guidance: one instance per 1–2 cores;
+///   4 instances on the 8-vCPU nodes.
+/// * `chunk_op_overhead` — fixed cost per chunk per operator (iterator
+///   setup, catalog lookups).
+/// * `reconstruct_per_byte` — extra cost for cutting cells out of chunks
+///   and rebuilding result chunks on misaligned selections.
+/// * `tsv_stream_per_byte` — the `stream()` interface's CSV/TSV conversion
+///   cost in each direction.
+/// * `csv_ingest_per_byte` / `from_array_client_bw` — the two ingest
+///   paths: parallel `aio_input` pays text parsing; serial `from_array`
+///   funnels the binary array through the client connection.
+/// * `incremental_iteration` — off in the stock release (coadd re-scans
+///   per iteration, the >10× penalty of Figure 12d); on models the 6×
+///   optimization of the paper's \[34].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayEngineProfile {
+    /// Instances per node.
+    pub instances_per_node: usize,
+    /// Fixed seconds per chunk per operator.
+    pub chunk_op_overhead: f64,
+    /// Seconds per byte of chunk reconstruction on misaligned access.
+    pub reconstruct_per_byte: f64,
+    /// Seconds per byte of TSV serialization (each direction) in `stream()`.
+    pub tsv_stream_per_byte: f64,
+    /// Seconds per byte to parse CSV during `aio_input` ingest.
+    pub csv_ingest_per_byte: f64,
+    /// Client connection bandwidth for serial `from_array` ingest (B/s).
+    pub from_array_client_bw: f64,
+    /// Whether iterative queries reuse prior iterations' state.
+    pub incremental_iteration: bool,
+}
+
+impl Default for ArrayEngineProfile {
+    fn default() -> Self {
+        ArrayEngineProfile {
+            instances_per_node: 4,
+            chunk_op_overhead: 0.004,
+            reconstruct_per_byte: 1.0 / 350e6,
+            tsv_stream_per_byte: 1.0 / 90e6, // text is slow
+            csv_ingest_per_byte: 1.0 / 110e6,
+            from_array_client_bw: 60e6,
+            incremental_iteration: false,
+        }
+    }
+}
+
+impl ArrayEngineProfile {
+    /// The profile with the incremental-iteration optimization of the
+    /// paper's \[34] enabled (§5.2.4's "6× improvement").
+    pub fn with_incremental_iteration(mut self) -> Self {
+        self.incremental_iteration = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let p = ArrayEngineProfile::default();
+        assert_eq!(p.instances_per_node, 4); // 8 vCPU / 2
+        assert!(!p.incremental_iteration);
+        assert!(p.with_incremental_iteration().incremental_iteration);
+    }
+
+    #[test]
+    fn text_paths_slower_than_binary() {
+        let p = ArrayEngineProfile::default();
+        assert!(p.tsv_stream_per_byte > 1.0 / 450e6);
+        assert!(p.csv_ingest_per_byte > 1.0 / 450e6);
+    }
+}

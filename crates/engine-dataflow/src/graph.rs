@@ -1,0 +1,261 @@
+//! Static graph construction.
+
+use marray::NdArray;
+
+/// Maximum serialized graph size: 2 GB, as in the system the paper
+/// evaluated ("each compute graph must be smaller than 2GB when
+/// serialized").
+pub const GRAPH_SIZE_LIMIT: u64 = 2 * 1024 * 1024 * 1024;
+
+/// Handle to a tensor-valued node in a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorRef(pub(crate) usize);
+
+/// Element-wise unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Square root.
+    Sqrt,
+    /// Negation.
+    Neg,
+    /// Natural exponential.
+    Exp,
+    /// Absolute value.
+    Abs,
+}
+
+/// Element-wise binary operations (also usable with a scalar operand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Element-wise maximum.
+    Max,
+    /// Greater-than comparison, producing 0/1.
+    Greater,
+}
+
+/// The operation of one graph node.
+#[derive(Debug, Clone)]
+pub enum OpKind {
+    /// Data fed at run time (shape fixed at build time).
+    Placeholder {
+        /// The tensor shape to be fed.
+        shape: Vec<usize>,
+    },
+    /// A constant embedded in the graph (counts toward the 2 GB limit).
+    Constant {
+        /// The embedded tensor.
+        value: NdArray<f64>,
+    },
+    /// Mean over one axis.
+    ReduceMean {
+        /// Axis to reduce.
+        axis: usize,
+    },
+    /// Sum over one axis.
+    ReduceSum {
+        /// Axis to reduce.
+        axis: usize,
+    },
+    /// Select rows along **axis 0 only** — the engine's only selection
+    /// primitive.
+    Gather {
+        /// Row indices to keep.
+        indices: Vec<usize>,
+    },
+    /// Reshape to new dims (element count preserved).
+    Reshape {
+        /// Target dims.
+        dims: Vec<usize>,
+    },
+    /// Element-wise unary op.
+    Unary(UnaryOp),
+    /// Element-wise binary op over two same-shaped tensors.
+    Binary(BinaryOp),
+    /// Binary op against a scalar.
+    ScalarOp(BinaryOp, f64),
+    /// Dense 3-D convolution with "same" zero padding.
+    Conv3d {
+        /// The (odd-sized) kernel.
+        kernel: NdArray<f64>,
+    },
+    /// Axis permutation (`tf.transpose`): a full data-movement pass — this
+    /// is what makes "move the volume axis first, then gather" expensive.
+    Transpose {
+        /// `perm[i]` = source axis that becomes output axis `i`.
+        perm: Vec<usize>,
+    },
+}
+
+/// One node: operation + inputs + device assignment.
+#[derive(Debug, Clone)]
+pub struct OpNode {
+    /// The operation.
+    pub kind: OpKind,
+    /// Input node ids.
+    pub inputs: Vec<usize>,
+    /// The device (worker) the programmer placed this op on.
+    pub device: usize,
+}
+
+/// Builds a static graph. Set the current device with
+/// [`GraphBuilder::set_device`] (the `with tf.device(...)` idiom); every op
+/// created afterwards is pinned there.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    pub(crate) nodes: Vec<OpNode>,
+    device: usize,
+}
+
+impl GraphBuilder {
+    /// Empty graph on device 0.
+    pub fn new() -> GraphBuilder {
+        GraphBuilder::default()
+    }
+
+    /// Set the device for subsequently created ops.
+    pub fn set_device(&mut self, device: usize) {
+        self.device = device;
+    }
+
+    fn push(&mut self, kind: OpKind, inputs: Vec<usize>) -> TensorRef {
+        self.nodes.push(OpNode { kind, inputs, device: self.device });
+        TensorRef(self.nodes.len() - 1)
+    }
+
+    /// A run-time-fed input of fixed shape.
+    pub fn placeholder(&mut self, shape: &[usize]) -> TensorRef {
+        self.push(OpKind::Placeholder { shape: shape.to_vec() }, vec![])
+    }
+
+    /// An embedded constant.
+    pub fn constant(&mut self, value: NdArray<f64>) -> TensorRef {
+        self.push(OpKind::Constant { value }, vec![])
+    }
+
+    /// Mean along `axis`.
+    pub fn reduce_mean(&mut self, input: TensorRef, axis: usize) -> TensorRef {
+        self.push(OpKind::ReduceMean { axis }, vec![input.0])
+    }
+
+    /// Sum along `axis`.
+    pub fn reduce_sum(&mut self, input: TensorRef, axis: usize) -> TensorRef {
+        self.push(OpKind::ReduceSum { axis }, vec![input.0])
+    }
+
+    /// Select `indices` along axis 0. Selection along any other axis is
+    /// not expressible directly: reshape so the target axis is first.
+    pub fn gather(&mut self, input: TensorRef, indices: &[usize]) -> TensorRef {
+        self.push(OpKind::Gather { indices: indices.to_vec() }, vec![input.0])
+    }
+
+    /// Reshape (element count must match at run time).
+    pub fn reshape(&mut self, input: TensorRef, dims: &[usize]) -> TensorRef {
+        self.push(OpKind::Reshape { dims: dims.to_vec() }, vec![input.0])
+    }
+
+    /// Element-wise unary op.
+    pub fn unary(&mut self, op: UnaryOp, input: TensorRef) -> TensorRef {
+        self.push(OpKind::Unary(op), vec![input.0])
+    }
+
+    /// Element-wise binary op.
+    pub fn binary(&mut self, op: BinaryOp, a: TensorRef, b: TensorRef) -> TensorRef {
+        self.push(OpKind::Binary(op), vec![a.0, b.0])
+    }
+
+    /// Element-wise op against a scalar.
+    pub fn scalar_op(&mut self, op: BinaryOp, input: TensorRef, scalar: f64) -> TensorRef {
+        self.push(OpKind::ScalarOp(op, scalar), vec![input.0])
+    }
+
+    /// Axis permutation (a full data-movement pass).
+    pub fn transpose(&mut self, input: TensorRef, perm: &[usize]) -> TensorRef {
+        self.push(OpKind::Transpose { perm: perm.to_vec() }, vec![input.0])
+    }
+
+    /// 3-D convolution with "same" zero padding (the denoising rewrite the
+    /// paper describes: "we further rewrite Step 2N using convolutions").
+    pub fn conv3d(&mut self, input: TensorRef, kernel: NdArray<f64>) -> TensorRef {
+        assert_eq!(kernel.shape().rank(), 3, "conv3d kernel must be rank 3");
+        assert!(
+            kernel.dims().iter().all(|d| d % 2 == 1),
+            "conv3d kernel dims must be odd"
+        );
+        self.push(OpKind::Conv3d { kernel }, vec![input.0])
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no ops have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Serialized size: per-node structure bytes plus embedded constants
+    /// and gather index lists. This is what the 2 GB limit applies to.
+    pub fn serialized_size(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                64 + n.inputs.len() as u64 * 8
+                    + match &n.kind {
+                        OpKind::Constant { value } => value.nbytes() as u64,
+                        OpKind::Conv3d { kernel } => kernel.nbytes() as u64,
+                        OpKind::Gather { indices } => indices.len() as u64 * 8,
+                        OpKind::Transpose { perm } => perm.len() as u64 * 8,
+                        OpKind::Placeholder { shape } | OpKind::Reshape { dims: shape } => {
+                            shape.len() as u64 * 8
+                        }
+                        _ => 0,
+                    }
+            })
+            .sum()
+    }
+
+    /// Device of an op (for lowering).
+    pub fn device_of(&self, t: TensorRef) -> usize {
+        self.nodes[t.0].device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_stick_to_ops() {
+        let mut g = GraphBuilder::new();
+        let a = g.placeholder(&[4]);
+        g.set_device(3);
+        let b = g.scalar_op(BinaryOp::Add, a, 1.0);
+        assert_eq!(g.device_of(a), 0);
+        assert_eq!(g.device_of(b), 3);
+    }
+
+    #[test]
+    fn serialized_size_counts_constants() {
+        let mut g = GraphBuilder::new();
+        let small = g.serialized_size();
+        g.constant(NdArray::zeros(&[1000]));
+        assert!(g.serialized_size() >= small + 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 3")]
+    fn conv3d_requires_rank3_kernel() {
+        let mut g = GraphBuilder::new();
+        let a = g.placeholder(&[4, 4]);
+        g.conv3d(a, NdArray::zeros(&[3, 3]));
+    }
+}

@@ -1,0 +1,72 @@
+//! Architectural constants used when lowering dataflow graphs onto the
+//! cluster simulator.
+
+/// The TensorFlow-analog execution profile.
+///
+/// * `tensor_convert_per_byte` — NumPy↔tensor conversion at every step
+///   boundary ("the master node converts between NumPy arrays and tensors
+///   as needed"); this is the dominant cost in Figures 12b/12c.
+/// * `master_mediated_io` — all ingest and results flow through the master
+///   ("all data ingest goes through the master and results are always
+///   returned to the master"), serializing ingest (Figure 11).
+/// * `per_step_barrier` — one graph per pipeline step with a global
+///   barrier between steps (the 2 GB graph limit forces this).
+/// * `mask_support` — false: element-wise masked assignment is not
+///   expressible, so denoising runs over whole volumes (≈1.5× the masked
+///   compute, since the brain is ~2/3 of the volume).
+/// * `filter_reshape_factor` — filtering along a non-leading axis costs a
+///   flatten + gather + reshape pass over the whole tensor instead of a
+///   metadata-only selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataflowEngineProfile {
+    /// Conversion cost per byte between host arrays and tensors (s/B).
+    pub tensor_convert_per_byte: f64,
+    /// Fixed conversion/dispatch cost per step per worker (s).
+    pub step_dispatch_fixed: f64,
+    /// All ingest/results flow through the master.
+    pub master_mediated_io: bool,
+    /// A global barrier separates pipeline steps.
+    pub per_step_barrier: bool,
+    /// Masked element-wise computation is expressible.
+    pub mask_support: bool,
+    /// Full-tensor passes required to emulate a non-leading-axis filter.
+    pub filter_reshape_passes: u32,
+}
+
+impl Default for DataflowEngineProfile {
+    fn default() -> Self {
+        DataflowEngineProfile {
+            tensor_convert_per_byte: 1.0 / 180e6, // ~180 MB/s conversion
+            step_dispatch_fixed: 0.05,
+            master_mediated_io: true,
+            per_step_barrier: true,
+            mask_support: false,
+            filter_reshape_passes: 3, // flatten + gather + reshape
+        }
+    }
+}
+
+impl DataflowEngineProfile {
+    /// Extra compute multiplier for the denoise step caused by the missing
+    /// mask support, given the mask's fill fraction.
+    pub fn unmasked_inflation(&self, mask_fill_fraction: f64) -> f64 {
+        if self.mask_support {
+            1.0
+        } else {
+            (1.0 / mask_fill_fraction.clamp(1e-6, 1.0)).max(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmasked_inflation_is_1_5x_for_two_thirds_brain() {
+        let p = DataflowEngineProfile::default();
+        assert!((p.unmasked_inflation(2.0 / 3.0) - 1.5).abs() < 1e-12);
+        let masked = DataflowEngineProfile { mask_support: true, ..p };
+        assert_eq!(masked.unmasked_inflation(0.5), 1.0);
+    }
+}

@@ -1,0 +1,41 @@
+use std::sync::Arc;
+
+/// A read-only value replicated to every worker.
+///
+/// Mirrors Spark's broadcast variables: the paper's Spark implementation
+/// broadcasts the brain mask "to avoid joins", so closures capture the
+/// broadcast handle and read it on any partition without a shuffle.
+#[derive(Debug)]
+pub struct Broadcast<T> {
+    value: Arc<T>,
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast { value: Arc::clone(&self.value) }
+    }
+}
+
+impl<T> Broadcast<T> {
+    pub(crate) fn new(value: T) -> Self {
+        Broadcast { value: Arc::new(value) }
+    }
+
+    /// Access the broadcast value (Spark's `.value`).
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_value() {
+        let b = Broadcast::new(vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b.value(), c.value());
+        assert!(Arc::ptr_eq(&b.value, &c.value));
+    }
+}

@@ -1,0 +1,90 @@
+//! The driver-side entry point.
+
+use crate::broadcast::Broadcast;
+use crate::rdd::Rdd;
+
+/// Default storage block size: with no explicit partition count, the engine
+/// creates one partition per 128 MB block — the paper's observation that
+/// "if the number of data partitions is unspecified, Spark creates a
+/// partition for each HDFS block, which typically leads to a small number
+/// of large partitions".
+pub const DEFAULT_BLOCK_BYTES: u64 = 128 * 1024 * 1024;
+
+/// The cluster connection / driver context.
+#[derive(Debug, Clone)]
+pub struct SparkContext {
+    /// Worker slots available across the cluster (nodes × cores).
+    pub total_slots: usize,
+}
+
+impl SparkContext {
+    /// Connect to a cluster with the given number of total worker slots.
+    pub fn new(total_slots: usize) -> SparkContext {
+        SparkContext { total_slots: total_slots.max(1) }
+    }
+
+    /// Distribute a local collection into `num_partitions` partitions
+    /// (round-robin, like Spark's `parallelize` slicing).
+    pub fn parallelize<T: Clone + Send + Sync + 'static>(
+        &self,
+        items: Vec<T>,
+        num_partitions: usize,
+    ) -> Rdd<T> {
+        let p = num_partitions.max(1);
+        let mut partitions: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            partitions[i % p].push(item);
+        }
+        Rdd::from_partitions(partitions)
+    }
+
+    /// Partition count chosen when the user does not specify one: one per
+    /// storage block of the dataset.
+    pub fn default_partitions(&self, dataset_bytes: u64) -> usize {
+        (dataset_bytes.div_ceil(DEFAULT_BLOCK_BYTES)).max(1) as usize
+    }
+
+    /// Replicate a read-only value to all workers.
+    pub fn broadcast<T>(&self, value: T) -> Broadcast<T> {
+        Broadcast::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelize_round_robins() {
+        let sc = SparkContext::new(8);
+        let r = sc.parallelize((0..10).collect(), 3);
+        assert_eq!(r.num_partitions(), 3);
+        assert_eq!(r.count(), 10);
+    }
+
+    #[test]
+    fn default_partitions_is_block_count() {
+        let sc = SparkContext::new(128);
+        // A single 4.2 GB subject → only 4 blocks of ~128 MB... the paper:
+        // "for the neuroscience use case with a single subject, Spark
+        // creates only 4 partitions". Four 1 GB-ish volume groups → with
+        // 128 MB blocks a 4.2 GB subject would give 34 blocks; the paper's
+        // staged NumPy files were consolidated, yielding 4. We model the
+        // block rule itself.
+        assert_eq!(sc.default_partitions(512 * 1024 * 1024), 4);
+        assert_eq!(sc.default_partitions(1), 1);
+        assert_eq!(sc.default_partitions(DEFAULT_BLOCK_BYTES * 3 + 1), 4);
+    }
+
+    #[test]
+    fn broadcast_usable_in_closures() {
+        let sc = SparkContext::new(4);
+        let factor = sc.broadcast(10usize);
+        let r = sc.parallelize(vec![1usize, 2, 3], 2);
+        let f = factor.clone();
+        let out = r.map(move |x| x * *f.value()).collect();
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![10, 20, 30]);
+    }
+}

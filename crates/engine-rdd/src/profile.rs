@@ -1,0 +1,71 @@
+//! Architectural constants used when lowering RDD jobs onto the cluster
+//! simulator.
+
+/// The Spark-analog execution profile.
+///
+/// Every field models a mechanism the paper identifies:
+/// * `py_worker_crossing_per_byte` / `py_worker_crossing_fixed` — each
+///   closure runs in a separate Python worker process; records are
+///   serialized across (the cause of Spark's order-of-magnitude slower
+///   filter in Figure 12a).
+/// * `per_task_overhead` — task serialization + scheduling dispatch.
+/// * `spills` — Spark "can spill intermediate results to disk to avoid
+///   out-of-memory failures", trading speed when memory is plentiful
+///   (Figure 10h) for robustness (§5.3.2).
+/// * `master_enumerates_ingest` — the S3 reader lists keys on the master
+///   before parallel download (slower ingest than Myria in Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RddEngineProfile {
+    /// One-time executor/container allocation cost when a job starts on a
+    /// cold cluster (s) — the dominant fixed cost at small data sizes.
+    pub executor_startup: f64,
+    /// Dispatch overhead per task (s).
+    pub per_task_overhead: f64,
+    /// Serialization cost per byte crossing the JVM↔Python boundary (s/B).
+    pub py_worker_crossing_per_byte: f64,
+    /// Fixed cost per closure invocation batch (s).
+    pub py_worker_crossing_fixed: f64,
+    /// Whether memory pressure spills to disk instead of failing.
+    pub spills: bool,
+    /// Fraction of shuffle data written+read through disk even when memory
+    /// suffices (Spark's sort-based shuffle always touches disk buffers).
+    pub shuffle_disk_fraction: f64,
+    /// Seconds the master spends enumerating S3 keys per object.
+    pub ingest_enumeration_per_object: f64,
+}
+
+impl Default for RddEngineProfile {
+    fn default() -> Self {
+        RddEngineProfile {
+            executor_startup: 70.0,
+            per_task_overhead: 0.08,
+            py_worker_crossing_per_byte: 1.0 / 350e6, // ~350 MB/s pickle
+            py_worker_crossing_fixed: 0.012,
+            spills: true,
+            shuffle_disk_fraction: 0.3,
+            ingest_enumeration_per_object: 0.006,
+        }
+    }
+}
+
+impl RddEngineProfile {
+    /// Serialization time for moving `bytes` across the Python boundary
+    /// once (one direction).
+    pub fn crossing_time(&self, bytes: u64) -> f64 {
+        self.py_worker_crossing_fixed + bytes as f64 * self.py_worker_crossing_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_scales_with_bytes() {
+        let p = RddEngineProfile::default();
+        let small = p.crossing_time(1_000);
+        let big = p.crossing_time(1_000_000_000);
+        assert!(big > small * 10.0);
+        assert!(small >= p.py_worker_crossing_fixed);
+    }
+}

@@ -1,0 +1,425 @@
+//! Lazy, partitioned, lineage-carrying collections.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Arc;
+
+/// The internal evaluation interface: an RDD knows its partition count and
+/// how to compute any one partition.
+trait RddImpl<T>: Send + Sync {
+    fn num_partitions(&self) -> usize;
+    fn compute(&self, partition: usize) -> Vec<T>;
+}
+
+/// A lazy, partitioned collection of records with lineage.
+///
+/// Narrow transformations (`map`, `flat_map`, `filter`) chain without
+/// materialization; wide ones (`group_by_key`, `reduce_by_key`,
+/// `repartition`) introduce a shuffle that materializes every parent
+/// partition first — a stage barrier, exactly as in Spark.
+pub struct Rdd<T> {
+    inner: Arc<dyn RddImpl<T>>,
+}
+
+impl<T> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Rdd { inner: Arc::clone(&self.inner) }
+    }
+}
+
+struct Parallelized<T> {
+    partitions: Vec<Vec<T>>,
+}
+
+impl<T: Clone + Send + Sync> RddImpl<T> for Parallelized<T> {
+    fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+    fn compute(&self, partition: usize) -> Vec<T> {
+        self.partitions[partition].clone()
+    }
+}
+
+struct MapRdd<T, U> {
+    parent: Rdd<T>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(T) -> U + Send + Sync>,
+}
+
+impl<T: Send + Sync + 'static, U: Send + Sync> RddImpl<U> for MapRdd<T, U> {
+    fn num_partitions(&self) -> usize {
+        self.parent.inner.num_partitions()
+    }
+    fn compute(&self, partition: usize) -> Vec<U> {
+        self.parent.inner.compute(partition).into_iter().map(|t| (self.f)(t)).collect()
+    }
+}
+
+struct FlatMapRdd<T, U> {
+    parent: Rdd<T>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(T) -> Vec<U> + Send + Sync>,
+}
+
+impl<T: Send + Sync + 'static, U: Send + Sync> RddImpl<U> for FlatMapRdd<T, U> {
+    fn num_partitions(&self) -> usize {
+        self.parent.inner.num_partitions()
+    }
+    fn compute(&self, partition: usize) -> Vec<U> {
+        self.parent.inner.compute(partition).into_iter().flat_map(|t| (self.f)(t)).collect()
+    }
+}
+
+struct FilterRdd<T> {
+    parent: Rdd<T>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&T) -> bool + Send + Sync>,
+}
+
+impl<T: Send + Sync + 'static> RddImpl<T> for FilterRdd<T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.inner.num_partitions()
+    }
+    fn compute(&self, partition: usize) -> Vec<T> {
+        self.parent.inner.compute(partition).into_iter().filter(|t| (self.f)(t)).collect()
+    }
+}
+
+fn bucket_of<K: Hash>(key: &K, buckets: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % buckets as u64) as usize
+}
+
+/// Materialized shuffle output: per-partition key groups.
+type Buckets<K, V> = Arc<Vec<Vec<(K, Vec<V>)>>>;
+
+/// A shuffle: hash-partitions parent records by key into `partitions`
+/// buckets, materializing the entire parent on first access (the stage
+/// barrier).
+struct ShuffledRdd<K, V> {
+    parent: Rdd<(K, V)>,
+    partitions: usize,
+    materialized: Mutex<Option<Buckets<K, V>>>,
+}
+
+impl<K, V> ShuffledRdd<K, V>
+where
+    K: Clone + Hash + Eq + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn materialize(&self) -> Buckets<K, V> {
+        let mut guard = self.materialized.lock();
+        if let Some(m) = guard.as_ref() {
+            return Arc::clone(m);
+        }
+        // Barrier: compute every parent partition, then bucket by key hash.
+        let mut buckets: Vec<HashMap<K, Vec<V>>> = (0..self.partitions).map(|_| HashMap::new()).collect();
+        for p in 0..self.parent.inner.num_partitions() {
+            for (k, v) in self.parent.inner.compute(p) {
+                let b = bucket_of(&k, self.partitions);
+                buckets[b].entry(k).or_default().push(v);
+            }
+        }
+        let result: Buckets<K, V> = Arc::new(
+            buckets
+                .into_iter()
+                .map(|m| {
+                    let mut rows: Vec<(K, Vec<V>)> = m.into_iter().collect();
+                    // Deterministic order within a bucket.
+                    rows.sort_by_key(|(k, _)| {
+                        let mut h = DefaultHasher::new();
+                        k.hash(&mut h);
+                        h.finish()
+                    });
+                    rows
+                })
+                .collect(),
+        );
+        *guard = Some(Arc::clone(&result));
+        result
+    }
+}
+
+impl<K, V> RddImpl<(K, Vec<V>)> for ShuffledRdd<K, V>
+where
+    K: Clone + Hash + Eq + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+    fn compute(&self, partition: usize) -> Vec<(K, Vec<V>)> {
+        self.materialize()[partition].clone()
+    }
+}
+
+/// Caching layer: partitions are computed once and pinned.
+struct CachedRdd<T> {
+    parent: Rdd<T>,
+    slots: Vec<Mutex<Option<Arc<Vec<T>>>>>,
+}
+
+impl<T: Clone + Send + Sync + 'static> RddImpl<T> for CachedRdd<T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.inner.num_partitions()
+    }
+    fn compute(&self, partition: usize) -> Vec<T> {
+        let mut slot = self.slots[partition].lock();
+        if let Some(v) = slot.as_ref() {
+            return v.as_ref().clone();
+        }
+        let v = Arc::new(self.parent.inner.compute(partition));
+        *slot = Some(Arc::clone(&v));
+        v.as_ref().clone()
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Rdd<T> {
+    /// Build an RDD from explicit partitions (used by `SparkContext`).
+    pub(crate) fn from_partitions(partitions: Vec<Vec<T>>) -> Rdd<T> {
+        Rdd { inner: Arc::new(Parallelized { partitions }) }
+    }
+
+    /// Number of partitions (schedulable tasks per stage).
+    pub fn num_partitions(&self) -> usize {
+        self.inner.num_partitions()
+    }
+
+    /// Narrow transformation: apply `f` to each record.
+    pub fn map<U: Clone + Send + Sync + 'static>(
+        &self,
+        f: impl Fn(T) -> U + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        Rdd { inner: Arc::new(MapRdd { parent: self.clone(), f: Arc::new(f) }) }
+    }
+
+    /// Narrow transformation: apply `f` producing zero or more records each.
+    pub fn flat_map<U: Clone + Send + Sync + 'static>(
+        &self,
+        f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        Rdd { inner: Arc::new(FlatMapRdd { parent: self.clone(), f: Arc::new(f) }) }
+    }
+
+    /// Narrow transformation: keep records satisfying `f`.
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
+        Rdd { inner: Arc::new(FilterRdd { parent: self.clone(), f: Arc::new(f) }) }
+    }
+
+    /// Pin computed partitions in memory (Spark `.cache()`).
+    pub fn cache(&self) -> Rdd<T> {
+        let n = self.num_partitions();
+        Rdd {
+            inner: Arc::new(CachedRdd {
+                parent: self.clone(),
+                slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            }),
+        }
+    }
+
+    /// Action: materialize every partition (in parallel) and concatenate.
+    pub fn collect(&self) -> Vec<T> {
+        let n = self.num_partitions();
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(n);
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|p| {
+                    let inner = Arc::clone(&self.inner);
+                    scope.spawn(move |_| inner.compute(p))
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("partition task panicked"));
+            }
+        })
+        .expect("collect scope");
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Action: number of records.
+    pub fn count(&self) -> usize {
+        (0..self.num_partitions()).map(|p| self.inner.compute(p).len()).sum()
+    }
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Clone + Hash + Eq + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Wide transformation: group records by key into `partitions` output
+    /// partitions (a shuffle with a stage barrier).
+    pub fn group_by_key(&self, partitions: usize) -> Rdd<(K, Vec<V>)> {
+        Rdd {
+            inner: Arc::new(ShuffledRdd {
+                parent: self.clone(),
+                partitions: partitions.max(1),
+                materialized: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Wide transformation: combine values per key with `f`.
+    pub fn reduce_by_key(
+        &self,
+        partitions: usize,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+    ) -> Rdd<(K, V)> {
+        let f = Arc::new(f);
+        self.group_by_key(partitions).map(move |(k, vs)| {
+            let mut it = vs.into_iter();
+            let first = it.next().expect("group has at least one value");
+            (k, it.fold(first, |a, b| f(a, b)))
+        })
+    }
+
+    /// Action: collect into a map (keys must be unique per record group).
+    pub fn collect_as_map(&self) -> HashMap<K, V> {
+        self.collect().into_iter().collect()
+    }
+
+    /// Wide transformation: inner equi-join with another keyed RDD.
+    ///
+    /// Both sides shuffle into `partitions` buckets; matching keys produce
+    /// the cross product of their values. This is the join the paper's
+    /// Spark implementation *avoided* by broadcasting the mask — provided
+    /// so the trade-off is expressible.
+    pub fn join<W>(&self, other: &Rdd<(K, W)>, partitions: usize) -> Rdd<(K, (V, W))>
+    where
+        W: Clone + Send + Sync + 'static,
+    {
+        let left = self.group_by_key(partitions);
+        let right = other.group_by_key(partitions);
+        // Co-partitioned: bucket p of both sides holds the same keys.
+        let mut joined: Vec<Vec<(K, (V, W))>> = Vec::with_capacity(partitions);
+        for p in 0..partitions.max(1) {
+            let l = left.inner.compute(p);
+            let mut r: HashMap<K, Vec<W>> = HashMap::new();
+            for (k, vs) in right.inner.compute(p) {
+                r.insert(k, vs);
+            }
+            let mut out = Vec::new();
+            for (k, vs) in l {
+                if let Some(ws) = r.get(&k) {
+                    for v in &vs {
+                        for w in ws {
+                            out.push((k.clone(), (v.clone(), w.clone())));
+                        }
+                    }
+                }
+            }
+            joined.push(out);
+        }
+        Rdd::from_partitions(joined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn rdd_of(n: usize, parts: usize) -> Rdd<(usize, usize)> {
+        let mut partitions: Vec<Vec<(usize, usize)>> = vec![Vec::new(); parts];
+        for i in 0..n {
+            partitions[i % parts].push((i % 4, i));
+        }
+        Rdd::from_partitions(partitions)
+    }
+
+    #[test]
+    fn map_filter_collect() {
+        let r = rdd_of(20, 4);
+        let out = r.map(|(k, v)| (k, v * 2)).filter(|&(_, v)| v >= 20).collect();
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|&(_, v)| v % 2 == 0 && v >= 20));
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let r = rdd_of(5, 2);
+        let out = r.flat_map(|(k, v)| vec![(k, v), (k, v + 100)]).collect();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let r = rdd_of(40, 5);
+        let grouped = r.group_by_key(3);
+        assert_eq!(grouped.num_partitions(), 3);
+        let out = grouped.collect();
+        assert_eq!(out.len(), 4, "four distinct keys");
+        let total: usize = out.iter().map(|(_, vs)| vs.len()).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn same_key_lands_in_same_partition() {
+        let r = rdd_of(40, 5);
+        let grouped = r.group_by_key(4);
+        let mut seen: HashMap<usize, usize> = HashMap::new();
+        for p in 0..4 {
+            for (k, _) in grouped.inner.compute(p) {
+                assert!(seen.insert(k, p).is_none(), "key {k} in two partitions");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let r = rdd_of(16, 4); // keys 0..4, each 4 values
+        let out = r.reduce_by_key(2, |a, b| a + b).collect_as_map();
+        let expected: usize = (0..16).sum();
+        assert_eq!(out.values().sum::<usize>(), expected);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn lazy_until_action() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let r = rdd_of(10, 2).map(move |x| {
+            c.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "no work before the action");
+        r.collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn cache_computes_once() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let cached = rdd_of(10, 2)
+            .map(move |x| {
+                c.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+            .cache();
+        cached.collect();
+        cached.collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 10, "second collect served from cache");
+    }
+
+    #[test]
+    fn uncached_recomputes_lineage() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let r = rdd_of(10, 2).map(move |x| {
+            c.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        r.collect();
+        r.collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 20, "lineage recomputed without cache");
+    }
+
+    #[test]
+    fn count_matches_collect_len() {
+        let r = rdd_of(17, 3).filter(|&(k, _)| k == 1);
+        assert_eq!(r.count(), r.collect().len());
+    }
+}

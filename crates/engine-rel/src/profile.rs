@@ -1,0 +1,88 @@
+//! Architectural constants used when lowering relational queries onto the
+//! cluster simulator.
+
+/// How the engine trades memory for execution time (the paper's Figure 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Operators pipeline tuples without materializing — fastest, but the
+    /// whole working set is resident: hard OOM failure when it exceeds
+    /// memory.
+    Pipelined,
+    /// Intermediate results are materialized to local disk between
+    /// operators — slower (8–11% in the paper) but the working set is one
+    /// operator deep.
+    Materialized,
+    /// The input is cut into subsets processed by separate queries —
+    /// slowest (15–23%) but bounds memory by the subset size.
+    MultiQuery {
+        /// Number of input subsets.
+        pieces: usize,
+    },
+}
+
+/// The Myria-analog execution profile.
+///
+/// * `per_task_overhead` — operator dispatch is cheap (JVM-internal).
+/// * `pg_scan_bw` / `pg_insert_bw` — the per-node PostgreSQL store's
+///   effective scan/insert bandwidth (ingest writes through it; pushed-down
+///   selections scan at this rate but return only matches).
+/// * `py_udf_crossing_*` — Python UDFs run out-of-process like Spark's,
+///   but only UDF columns cross the boundary.
+/// * `ingest_from_key_list` — Myria "can directly work with a csv list of
+///   files avoiding overhead", the Figure 11 edge over Spark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelEngineProfile {
+    /// Dispatch overhead per task (s).
+    pub per_task_overhead: f64,
+    /// Local-store scan bandwidth (bytes/s).
+    pub pg_scan_bw: f64,
+    /// Local-store insert bandwidth (bytes/s).
+    pub pg_insert_bw: f64,
+    /// Serialization cost per byte crossing into the Python UDF process.
+    pub py_udf_crossing_per_byte: f64,
+    /// Fixed cost per UDF batch invocation (s).
+    pub py_udf_crossing_fixed: f64,
+    /// Whether ingest downloads straight from a key list (no master-side
+    /// enumeration).
+    pub ingest_from_key_list: bool,
+}
+
+impl Default for RelEngineProfile {
+    fn default() -> Self {
+        RelEngineProfile {
+            per_task_overhead: 0.05,
+            pg_scan_bw: 400e6,
+            pg_insert_bw: 180e6,
+            py_udf_crossing_per_byte: 1.0 / 700e6,
+            py_udf_crossing_fixed: 0.010,
+            ingest_from_key_list: true,
+        }
+    }
+}
+
+impl RelEngineProfile {
+    /// Time for `bytes` to cross into the UDF process once.
+    pub fn crossing_time(&self, bytes: u64) -> f64 {
+        self.py_udf_crossing_fixed + bytes as f64 * self.py_udf_crossing_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_are_distinct() {
+        assert_ne!(ExecutionMode::Pipelined, ExecutionMode::Materialized);
+        assert_eq!(
+            ExecutionMode::MultiQuery { pieces: 4 },
+            ExecutionMode::MultiQuery { pieces: 4 }
+        );
+    }
+
+    #[test]
+    fn crossing_time_monotone() {
+        let p = RelEngineProfile::default();
+        assert!(p.crossing_time(10) < p.crossing_time(1_000_000));
+    }
+}

@@ -1,0 +1,534 @@
+//! MyriaL-style query plans and their pipelined executor.
+//!
+//! A [`Query`] is an imperative-declarative chain, mirroring the paper's
+//! Figure 7: scan (with optional selection pushdown into the local store),
+//! select, broadcast join, Python-UDF apply, shuffle, and UDA group-by.
+//! Execution is per-worker and pipelined: within a worker, tuples stream
+//! through the operator chain without intermediate materialization; only
+//! shuffles exchange tuples between workers.
+
+use crate::catalog::{partition_hash, MyriaConnection, Relation, Schema};
+use crate::value::{Tuple, Value, ValueType};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Errors raised while planning or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A scanned relation is not in the catalog.
+    UnknownRelation(String),
+    /// A referenced UDF/UDA is not registered.
+    UnknownFunction(String),
+    /// A referenced column is not in the current schema.
+    UnknownColumn(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownRelation(n) => write!(f, "unknown relation {n:?}"),
+            QueryError::UnknownFunction(n) => write!(f, "unknown function {n:?}"),
+            QueryError::UnknownColumn(n) => write!(f, "unknown column {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+type Pred = Arc<dyn Fn(&Value) -> bool + Send + Sync>;
+
+enum Op {
+    Scan { relation: String, pushdown: Option<(String, Pred)> },
+    Select { column: String, pred: Pred },
+    Apply { udf: String, args: Vec<String>, keep: Vec<String>, out: (String, ValueType) },
+    FlatApply { udf: String, args: Vec<String>, out: Vec<(String, ValueType)> },
+    BroadcastJoin { right: String, left_col: String, right_col: String },
+    Shuffle { column: String },
+    GroupBy { keys: Vec<String>, uda: String, out: (String, ValueType) },
+}
+
+/// A query plan under construction.
+pub struct Query {
+    ops: Vec<Op>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query::new()
+    }
+}
+
+impl Query {
+    /// Start an empty plan.
+    pub fn new() -> Query {
+        Query { ops: Vec::new() }
+    }
+
+    /// `T = SCAN(relation)`.
+    pub fn scan(relation: &str) -> Query {
+        Query { ops: vec![Op::Scan { relation: relation.to_string(), pushdown: None }] }
+    }
+
+    /// Scan with a selection pushed down into the per-worker local store
+    /// (the PostgreSQL role): only matching tuples leave storage.
+    pub fn scan_select(
+        relation: &str,
+        column: &str,
+        pred: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> Query {
+        Query {
+            ops: vec![Op::Scan {
+                relation: relation.to_string(),
+                pushdown: Some((column.to_string(), Arc::new(pred))),
+            }],
+        }
+    }
+
+    /// In-pipeline selection on one column.
+    pub fn select(mut self, column: &str, pred: impl Fn(&Value) -> bool + Send + Sync + 'static) -> Query {
+        self.ops.push(Op::Select { column: column.to_string(), pred: Arc::new(pred) });
+        self
+    }
+
+    /// `EMIT PYUDF(udf, args...) as out, keep...` — apply a registered UDF
+    /// to `args` columns, keeping `keep` columns alongside the result.
+    pub fn apply(
+        mut self,
+        udf: &str,
+        args: &[&str],
+        keep: &[&str],
+        out_name: &str,
+        out_type: ValueType,
+    ) -> Query {
+        self.ops.push(Op::Apply {
+            udf: udf.to_string(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+            keep: keep.iter().map(|s| s.to_string()).collect(),
+            out: (out_name.to_string(), out_type),
+        });
+        self
+    }
+
+    /// Flatmap a registered table-valued UDF over `args`: each input tuple
+    /// yields zero or more output rows with the schema `out` (the Step 2A
+    /// patch-creation shape).
+    pub fn flat_apply(mut self, udf: &str, args: &[&str], out: &[(&str, ValueType)]) -> Query {
+        self.ops.push(Op::FlatApply {
+            udf: udf.to_string(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+            out: out.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
+        });
+        self
+    }
+
+    /// Broadcast join with a (small, replicated) relation on equality of
+    /// `left_col = right_col`; emits left columns then right columns
+    /// (minus the join column).
+    pub fn broadcast_join(mut self, right: &str, left_col: &str, right_col: &str) -> Query {
+        self.ops.push(Op::BroadcastJoin {
+            right: right.to_string(),
+            left_col: left_col.to_string(),
+            right_col: right_col.to_string(),
+        });
+        self
+    }
+
+    /// Re-partition tuples across workers by hash of `column`.
+    pub fn shuffle(mut self, column: &str) -> Query {
+        self.ops.push(Op::Shuffle { column: column.to_string() });
+        self
+    }
+
+    /// Group by `keys`, folding each group with a registered UDA.
+    /// Performs the necessary shuffle on the first key.
+    pub fn group_by(mut self, keys: &[&str], uda: &str, out_name: &str, out_type: ValueType) -> Query {
+        self.ops.push(Op::GroupBy {
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+            uda: uda.to_string(),
+            out: (out_name.to_string(), out_type),
+        });
+        self
+    }
+
+    /// Number of plan operators (the Table 1 complexity proxy).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Execute the plan on `conn`, returning the result relation.
+    pub fn execute(&self, conn: &MyriaConnection) -> Result<Relation, QueryError> {
+        let workers = conn.workers();
+        let mut schema: Option<Schema> = None;
+        let mut fragments: Vec<Vec<Tuple>> = vec![Vec::new(); workers];
+        let mut partition_column: Option<usize> = None;
+
+        let col = |schema: &Schema, name: &str| -> Result<usize, QueryError> {
+            schema.index_of(name).ok_or_else(|| QueryError::UnknownColumn(name.to_string()))
+        };
+
+        for op in &self.ops {
+            match op {
+                Op::Scan { relation, pushdown } => {
+                    let rel = conn
+                        .relation(relation)
+                        .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
+                    let s = rel.schema.clone();
+                    let mut frags = rel.fragments.clone();
+                    if frags.len() != workers {
+                        // Catalog built under a different worker count:
+                        // re-partition on ingest column 0.
+                        let all: Vec<Tuple> = frags.into_iter().flatten().collect();
+                        let pc = rel.partition_column.unwrap_or(0);
+                        frags = vec![Vec::new(); workers];
+                        for t in all {
+                            let w = (partition_hash(&t[pc]) % workers as u64) as usize;
+                            frags[w].push(t);
+                        }
+                    }
+                    if let Some((column, pred)) = pushdown {
+                        let ci = col(&s, column)?;
+                        for f in &mut frags {
+                            f.retain(|t| pred(&t[ci]));
+                        }
+                    }
+                    partition_column = rel.partition_column;
+                    schema = Some(s);
+                    fragments = frags;
+                }
+                Op::Select { column, pred } => {
+                    let s = schema.as_ref().expect("select before scan");
+                    let ci = col(s, column)?;
+                    for f in &mut fragments {
+                        f.retain(|t| pred(&t[ci]));
+                    }
+                }
+                Op::Apply { udf, args, keep, out } => {
+                    let s = schema.as_ref().expect("apply before scan");
+                    let f = conn.udf(udf).ok_or_else(|| QueryError::UnknownFunction(udf.clone()))?;
+                    let arg_ix: Vec<usize> =
+                        args.iter().map(|a| col(s, a)).collect::<Result<_, _>>()?;
+                    let keep_ix: Vec<usize> =
+                        keep.iter().map(|k| col(s, k)).collect::<Result<_, _>>()?;
+                    // Workers evaluate their fragments independently and in
+                    // parallel, as the real engine's Python UDF workers do.
+                    crossbeam::scope(|scope| {
+                        for frag in fragments.iter_mut() {
+                            let f = &f;
+                            let arg_ix = &arg_ix;
+                            let keep_ix = &keep_ix;
+                            scope.spawn(move |_| {
+                                *frag = frag
+                                    .iter()
+                                    .map(|t| {
+                                        let argv: Vec<Value> =
+                                            arg_ix.iter().map(|&i| t[i].clone()).collect();
+                                        let mut row: Tuple =
+                                            keep_ix.iter().map(|&i| t[i].clone()).collect();
+                                        row.push(f(&argv));
+                                        row
+                                    })
+                                    .collect();
+                            });
+                        }
+                    })
+                    .expect("udf worker panicked");
+                    let mut cols: Vec<(&str, ValueType)> = Vec::new();
+                    for (i, k) in keep.iter().enumerate() {
+                        cols.push((k.as_str(), s.columns()[keep_ix[i]].1));
+                    }
+                    cols.push((out.0.as_str(), out.1));
+                    schema = Some(Schema::new(&cols));
+                    partition_column = None;
+                }
+                Op::FlatApply { udf, args, out } => {
+                    let s = schema.as_ref().expect("flat_apply before scan");
+                    let f = conn
+                        .table_udf(udf)
+                        .ok_or_else(|| QueryError::UnknownFunction(udf.clone()))?;
+                    let arg_ix: Vec<usize> =
+                        args.iter().map(|a| col(s, a)).collect::<Result<_, _>>()?;
+                    for frag in &mut fragments {
+                        *frag = frag
+                            .iter()
+                            .flat_map(|t| {
+                                let argv: Vec<Value> =
+                                    arg_ix.iter().map(|&i| t[i].clone()).collect();
+                                f(&argv)
+                            })
+                            .collect();
+                    }
+                    let cols: Vec<(&str, ValueType)> =
+                        out.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+                    schema = Some(Schema::new(&cols));
+                    partition_column = None;
+                }
+                Op::BroadcastJoin { right, left_col, right_col } => {
+                    let s = schema.as_ref().expect("join before scan");
+                    let rel = conn
+                        .relation(right)
+                        .ok_or_else(|| QueryError::UnknownRelation(right.clone()))?;
+                    let li = col(s, left_col)?;
+                    let ri = rel
+                        .schema
+                        .index_of(right_col)
+                        .ok_or_else(|| QueryError::UnknownColumn(right_col.to_string()))?;
+                    // Broadcast: the right side replicates on every worker.
+                    let right_tuples = if rel.partition_column.is_none() {
+                        rel.fragments.first().cloned().unwrap_or_default()
+                    } else {
+                        rel.all_tuples()
+                    };
+                    let mut index: HashMap<u64, Vec<&Tuple>> = HashMap::new();
+                    for t in &right_tuples {
+                        index.entry(partition_hash(&t[ri])).or_default().push(t);
+                    }
+                    for frag in &mut fragments {
+                        *frag = frag
+                            .iter()
+                            .flat_map(|lt| {
+                                index
+                                    .get(&partition_hash(&lt[li]))
+                                    .into_iter()
+                                    .flatten()
+                                    .map(move |rt| {
+                                        let mut row = lt.clone();
+                                        for (i, v) in rt.iter().enumerate() {
+                                            if i != ri {
+                                                row.push(v.clone());
+                                            }
+                                        }
+                                        row
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                            .collect();
+                    }
+                    let mut cols: Vec<(&str, ValueType)> =
+                        s.columns().iter().map(|(n, t)| (n.as_str(), *t)).collect();
+                    for (i, (n, t)) in rel.schema.columns().iter().enumerate() {
+                        if i != ri {
+                            cols.push((n.as_str(), *t));
+                        }
+                    }
+                    schema = Some(Schema::new(&cols));
+                }
+                Op::Shuffle { column } => {
+                    let s = schema.as_ref().expect("shuffle before scan");
+                    let ci = col(s, column)?;
+                    let mut next: Vec<Vec<Tuple>> = vec![Vec::new(); workers];
+                    for f in fragments.drain(..) {
+                        for t in f {
+                            let w = (partition_hash(&t[ci]) % workers as u64) as usize;
+                            next[w].push(t);
+                        }
+                    }
+                    fragments = next;
+                    partition_column = Some(ci);
+                }
+                Op::GroupBy { keys, uda, out } => {
+                    let s = schema.as_ref().expect("group by before scan").clone();
+                    let agg =
+                        conn.uda(uda).ok_or_else(|| QueryError::UnknownFunction(uda.clone()))?;
+                    let key_ix: Vec<usize> =
+                        keys.iter().map(|k| col(&s, k)).collect::<Result<_, _>>()?;
+                    // Shuffle on the first key unless already partitioned so.
+                    if partition_column != Some(key_ix[0]) {
+                        let mut next: Vec<Vec<Tuple>> = vec![Vec::new(); workers];
+                        for f in fragments.drain(..) {
+                            for t in f {
+                                let w =
+                                    (partition_hash(&t[key_ix[0]]) % workers as u64) as usize;
+                                next[w].push(t);
+                            }
+                        }
+                        fragments = next;
+                    }
+                    crossbeam::scope(|scope| {
+                        for frag in fragments.iter_mut() {
+                            let agg = &agg;
+                            let key_ix = &key_ix;
+                            scope.spawn(move |_| {
+                                let mut groups: Vec<(Vec<u64>, Vec<Tuple>)> = Vec::new();
+                                let mut lookup: HashMap<Vec<u64>, usize> = HashMap::new();
+                                for t in frag.drain(..) {
+                                    let key: Vec<u64> =
+                                        key_ix.iter().map(|&i| partition_hash(&t[i])).collect();
+                                    match lookup.get(&key) {
+                                        Some(&g) => groups[g].1.push(t),
+                                        None => {
+                                            lookup.insert(key.clone(), groups.len());
+                                            groups.push((key, vec![t]));
+                                        }
+                                    }
+                                }
+                                *frag = groups
+                                    .into_iter()
+                                    .map(|(_, tuples)| {
+                                        let mut row: Tuple =
+                                            key_ix.iter().map(|&i| tuples[0][i].clone()).collect();
+                                        row.push(agg(&tuples));
+                                        row
+                                    })
+                                    .collect();
+                            });
+                        }
+                    })
+                    .expect("uda worker panicked");
+                    let mut cols: Vec<(&str, ValueType)> = key_ix
+                        .iter()
+                        .map(|&i| (s.columns()[i].0.as_str(), s.columns()[i].1))
+                        .collect();
+                    cols.push((out.0.as_str(), out.1));
+                    schema = Some(Schema::new(&cols));
+                    partition_column = Some(0);
+                }
+            }
+        }
+
+        Ok(Relation {
+            schema: schema.expect("empty query"),
+            fragments,
+            partition_column,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marray::NdArray;
+
+    fn conn_with_images() -> MyriaConnection {
+        let conn = MyriaConnection::connect(2, 2);
+        let schema = Schema::new(&[
+            ("subjId", ValueType::Int),
+            ("imgId", ValueType::Int),
+            ("img", ValueType::Blob),
+        ]);
+        let tuples: Vec<Tuple> = (0..12)
+            .map(|i| {
+                vec![
+                    Value::Int((i % 3) as i64),
+                    Value::Int(i as i64),
+                    Value::blob(NdArray::full(&[4], i as f64)),
+                ]
+            })
+            .collect();
+        conn.ingest("Images", schema, tuples, 0);
+        conn
+    }
+
+    #[test]
+    fn scan_returns_everything() {
+        let conn = conn_with_images();
+        let r = Query::scan("Images").execute(&conn).unwrap();
+        assert_eq!(r.len(), 12);
+        assert_eq!(r.schema.arity(), 3);
+    }
+
+    #[test]
+    fn scan_unknown_relation_errors() {
+        let conn = conn_with_images();
+        assert_eq!(
+            Query::scan("Nope").execute(&conn).unwrap_err(),
+            QueryError::UnknownRelation("Nope".into())
+        );
+    }
+
+    #[test]
+    fn pushdown_select_filters() {
+        let conn = conn_with_images();
+        let r = Query::scan_select("Images", "imgId", |v| v.as_int() < 4)
+            .execute(&conn)
+            .unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn apply_udf_transforms_blobs() {
+        let conn = conn_with_images();
+        conn.create_function("Double", |args| {
+            Value::blob(args[0].as_blob().map(|v| v * 2.0))
+        });
+        let r = Query::scan("Images")
+            .apply("Double", &["img"], &["subjId", "imgId"], "img2", ValueType::Blob)
+            .execute(&conn)
+            .unwrap();
+        assert_eq!(r.len(), 12);
+        assert_eq!(r.schema.index_of("img2"), Some(2));
+        for t in r.all_tuples() {
+            let id = t[1].as_int() as f64;
+            assert_eq!(t[2].as_blob().data()[0], id * 2.0);
+        }
+    }
+
+    #[test]
+    fn unknown_udf_errors() {
+        let conn = conn_with_images();
+        let err = Query::scan("Images")
+            .apply("Nope", &["img"], &[], "x", ValueType::Blob)
+            .execute(&conn)
+            .unwrap_err();
+        assert_eq!(err, QueryError::UnknownFunction("Nope".into()));
+    }
+
+    #[test]
+    fn broadcast_join_matches_subjects() {
+        let conn = conn_with_images();
+        let mask_schema = Schema::new(&[("subjId", ValueType::Int), ("mask", ValueType::Blob)]);
+        let masks: Vec<Tuple> = (0..3)
+            .map(|s| vec![Value::Int(s as i64), Value::blob(NdArray::full(&[4], 100.0 + s as f64))])
+            .collect();
+        conn.ingest_broadcast("Mask", mask_schema, masks);
+        let r = Query::scan("Images")
+            .broadcast_join("Mask", "subjId", "subjId")
+            .execute(&conn)
+            .unwrap();
+        assert_eq!(r.len(), 12, "every image matches exactly one mask");
+        assert_eq!(r.schema.arity(), 4);
+        for t in r.all_tuples() {
+            let subj = t[0].as_int() as f64;
+            assert_eq!(t[3].as_blob().data()[0], 100.0 + subj);
+        }
+    }
+
+    #[test]
+    fn group_by_uda_counts() {
+        let conn = conn_with_images();
+        conn.create_aggregate("CountAll", |tuples| Value::Int(tuples.len() as i64));
+        let r = Query::scan("Images")
+            .group_by(&["subjId"], "CountAll", "n", ValueType::Int)
+            .execute(&conn)
+            .unwrap();
+        assert_eq!(r.len(), 3, "three subjects");
+        for t in r.all_tuples() {
+            assert_eq!(t[1].as_int(), 4);
+        }
+    }
+
+    #[test]
+    fn group_lands_on_one_worker() {
+        let conn = conn_with_images();
+        conn.create_aggregate("CountAll", |tuples| Value::Int(tuples.len() as i64));
+        let r = Query::scan("Images")
+            .shuffle("imgId") // deliberately mis-partition first
+            .group_by(&["subjId"], "CountAll", "n", ValueType::Int)
+            .execute(&conn)
+            .unwrap();
+        // Each subject appears exactly once overall (no split groups).
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn pipeline_chains_operators() {
+        let conn = conn_with_images();
+        conn.create_function("Sum", |args| Value::Float(args[0].as_blob().sum()));
+        let r = Query::scan_select("Images", "subjId", |v| v.as_int() == 1)
+            .apply("Sum", &["img"], &["imgId"], "total", ValueType::Float)
+            .select("total", |v| v.as_float() > 4.0 * 3.0)
+            .execute(&conn)
+            .unwrap();
+        // Subject 1 has images 1,4,7,10 with blob values = imgId·4.
+        assert_eq!(r.len(), 3, "images 4, 7, 10 pass the total filter");
+    }
+}

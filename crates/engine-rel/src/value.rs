@@ -1,0 +1,135 @@
+//! Tuple values, including the blob type that carries image volumes.
+
+use marray::NdArray;
+use std::sync::Arc;
+
+/// Column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Serialized array blob — "users .. directly manipulate NumPy arrays
+    /// .. by storing them as blobs".
+    Blob,
+}
+
+/// One field of a tuple.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Integer field.
+    Int(i64),
+    /// Float field.
+    Float(f64),
+    /// String field.
+    Str(Arc<str>),
+    /// Array blob field (shared, so tuple copies are cheap).
+    Blob(Arc<NdArray<f64>>),
+}
+
+impl Value {
+    /// The value's type tag.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+            Value::Blob(_) => ValueType::Blob,
+        }
+    }
+
+    /// Integer accessor (panics on type mismatch — queries are typed by
+    /// construction).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected Int, got {:?}", other.value_type()),
+        }
+    }
+
+    /// Float accessor.
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Float(v) => *v,
+            Value::Int(v) => *v as f64,
+            other => panic!("expected Float, got {:?}", other.value_type()),
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(v) => v,
+            other => panic!("expected Str, got {:?}", other.value_type()),
+        }
+    }
+
+    /// Blob accessor.
+    pub fn as_blob(&self) -> &Arc<NdArray<f64>> {
+        match self {
+            Value::Blob(v) => v,
+            other => panic!("expected Blob, got {:?}", other.value_type()),
+        }
+    }
+
+    /// Serialized size in bytes (used for partitioning and cost accounting).
+    pub fn nbytes(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Blob(b) => b.nbytes(),
+        }
+    }
+
+    /// Build a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Build a blob value.
+    pub fn blob(array: NdArray<f64>) -> Value {
+        Value::Blob(Arc::new(array))
+    }
+}
+
+/// A tuple is a row of values.
+pub type Tuple = Vec<Value>;
+
+/// Serialized size of a tuple.
+pub fn tuple_nbytes(tuple: &Tuple) -> usize {
+    tuple.iter().map(Value::nbytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_types() {
+        assert_eq!(Value::Int(7).as_int(), 7);
+        assert_eq!(Value::Int(7).as_float(), 7.0);
+        assert_eq!(Value::Float(2.5).as_float(), 2.5);
+        assert_eq!(Value::str("abc").as_str(), "abc");
+        let b = Value::blob(NdArray::zeros(&[2, 2]));
+        assert_eq!(b.as_blob().len(), 4);
+        assert_eq!(b.value_type(), ValueType::Blob);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn wrong_accessor_panics() {
+        Value::str("x").as_int();
+    }
+
+    #[test]
+    fn nbytes() {
+        assert_eq!(Value::Int(1).nbytes(), 8);
+        assert_eq!(Value::str("abcd").nbytes(), 4);
+        assert_eq!(Value::blob(NdArray::zeros(&[10])).nbytes(), 80);
+        let t: Tuple = vec![Value::Int(1), Value::blob(NdArray::zeros(&[4]))];
+        assert_eq!(tuple_nbytes(&t), 8 + 32);
+    }
+}

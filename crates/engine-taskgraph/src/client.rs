@@ -1,0 +1,404 @@
+//! The delayed-graph builder and its work-stealing executor.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+type AnyValue = Arc<dyn Any + Send + Sync>;
+type NodeFn = Box<dyn FnOnce(&[AnyValue]) -> AnyValue + Send>;
+
+struct Node {
+    deps: Vec<usize>,
+    func: Option<NodeFn>,
+    result: Option<AnyValue>,
+}
+
+/// A handle to a lazily computed value of type `T`.
+///
+/// Cheap to copy; tied to the [`DaskClient`] that created it.
+pub struct Delayed<T> {
+    node: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Delayed<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Delayed<T> {}
+
+/// The distributed scheduler client.
+///
+/// Builds compute graphs and executes them on demand with a pool of
+/// `workers` threads draining a shared ready queue (dynamic load balancing —
+/// idle workers take whatever is ready, Dask's work-stealing behaviour).
+pub struct DaskClient {
+    workers: usize,
+    graph: Mutex<Vec<Node>>,
+    barriers: Mutex<usize>,
+}
+
+impl DaskClient {
+    /// Connect with the given worker-thread count.
+    pub fn new(workers: usize) -> DaskClient {
+        DaskClient {
+            workers: workers.max(1),
+            graph: Mutex::new(Vec::new()),
+            barriers: Mutex::new(0),
+        }
+    }
+
+    fn push_node<T: Send + Sync + 'static>(
+        &self,
+        deps: Vec<usize>,
+        func: impl FnOnce(&[AnyValue]) -> T + Send + 'static,
+    ) -> Delayed<T> {
+        let mut graph = self.graph.lock();
+        let id = graph.len();
+        graph.push(Node {
+            deps,
+            func: Some(Box::new(move |args| Arc::new(func(args)) as AnyValue)),
+            result: None,
+        });
+        Delayed { node: id, _marker: PhantomData }
+    }
+
+    /// `delayed(f)()` — a leaf computation.
+    pub fn delayed<T: Send + Sync + 'static>(
+        &self,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> Delayed<T> {
+        self.push_node(vec![], move |_| f())
+    }
+
+    /// `delayed(f)(x)` — a unary transformation of another delayed value.
+    pub fn delayed_map<A, T>(
+        &self,
+        input: Delayed<A>,
+        f: impl FnOnce(&A) -> T + Send + 'static,
+    ) -> Delayed<T>
+    where
+        A: Send + Sync + 'static,
+        T: Send + Sync + 'static,
+    {
+        self.push_node(vec![input.node], move |args| {
+            let a = args[0].downcast_ref::<A>().expect("delayed type mismatch");
+            f(a)
+        })
+    }
+
+    /// `delayed(f)(x, y)` — a binary combination.
+    pub fn delayed_zip<A, B, T>(
+        &self,
+        left: Delayed<A>,
+        right: Delayed<B>,
+        f: impl FnOnce(&A, &B) -> T + Send + 'static,
+    ) -> Delayed<T>
+    where
+        A: Send + Sync + 'static,
+        B: Send + Sync + 'static,
+        T: Send + Sync + 'static,
+    {
+        self.push_node(vec![left.node, right.node], move |args| {
+            let a = args[0].downcast_ref::<A>().expect("delayed type mismatch");
+            let b = args[1].downcast_ref::<B>().expect("delayed type mismatch");
+            f(a, b)
+        })
+    }
+
+    /// `delayed(f)(xs)` — combine many homogeneous delayed values
+    /// (e.g. `reassemble(means)` on Figure 8's line 10).
+    pub fn delayed_many<A, T>(
+        &self,
+        inputs: &[Delayed<A>],
+        f: impl FnOnce(&[&A]) -> T + Send + 'static,
+    ) -> Delayed<T>
+    where
+        A: Send + Sync + 'static,
+        T: Send + Sync + 'static,
+    {
+        let deps: Vec<usize> = inputs.iter().map(|d| d.node).collect();
+        self.push_node(deps, move |args| {
+            let refs: Vec<&A> = args
+                .iter()
+                .map(|a| a.downcast_ref::<A>().expect("delayed type mismatch"))
+                .collect();
+            f(&refs)
+        })
+    }
+
+    /// Execute the subgraph needed for `target` and return its value —
+    /// Dask's `.result()`, a barrier.
+    pub fn result<T: Clone + Send + Sync + 'static>(&self, target: Delayed<T>) -> T {
+        self.execute(&[target.node]);
+        let graph = self.graph.lock();
+        graph[target.node]
+            .result
+            .as_ref()
+            .expect("executed")
+            .downcast_ref::<T>()
+            .expect("delayed type mismatch")
+            .clone()
+    }
+
+    /// Execute the subgraphs of several targets under one barrier.
+    pub fn compute_many<T: Clone + Send + Sync + 'static>(&self, targets: &[Delayed<T>]) -> Vec<T> {
+        self.execute(&targets.iter().map(|t| t.node).collect::<Vec<_>>());
+        let graph = self.graph.lock();
+        targets
+            .iter()
+            .map(|t| {
+                graph[t.node]
+                    .result
+                    .as_ref()
+                    .expect("executed")
+                    .downcast_ref::<T>()
+                    .expect("delayed type mismatch")
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Number of barriers (`result` / `compute_many` calls) so far — the
+    /// graph-construction discipline the paper highlights as Dask's main
+    /// usability cost.
+    pub fn barrier_count(&self) -> usize {
+        *self.barriers.lock()
+    }
+
+    /// Number of graph nodes built so far.
+    pub fn graph_size(&self) -> usize {
+        self.graph.lock().len()
+    }
+
+    /// Run the pending subgraph reachable from `targets`.
+    fn execute(&self, targets: &[usize]) {
+        *self.barriers.lock() += 1;
+        // Collect the incomplete subgraph.
+        let mut needed: Vec<usize> = Vec::new();
+        {
+            let graph = self.graph.lock();
+            let mut stack: Vec<usize> = targets.to_vec();
+            let mut seen = vec![false; graph.len()];
+            while let Some(n) = stack.pop() {
+                if seen[n] || graph[n].result.is_some() {
+                    continue;
+                }
+                seen[n] = true;
+                needed.push(n);
+                stack.extend_from_slice(&graph[n].deps);
+            }
+        }
+        if needed.is_empty() {
+            return;
+        }
+
+        // Dependency counts within the pending set.
+        let mut pending: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut dependents: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        {
+            let graph = self.graph.lock();
+            for &n in &needed {
+                let unmet = graph[n]
+                    .deps
+                    .iter()
+                    .filter(|&&d| graph[d].result.is_none())
+                    .count();
+                pending.insert(n, unmet);
+                for &d in &graph[n].deps {
+                    if graph[d].result.is_none() {
+                        dependents.entry(d).or_default().push(n);
+                    }
+                }
+            }
+        }
+
+        struct Shared {
+            queue: Mutex<(VecDeque<usize>, usize)>, // (ready, remaining)
+            cv: Condvar,
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new((
+                needed.iter().copied().filter(|n| pending[n] == 0).collect(),
+                needed.len(),
+            )),
+            cv: Condvar::new(),
+        });
+        let pending = Arc::new(Mutex::new(pending));
+        let dependents = Arc::new(dependents);
+
+        crossbeam::scope(|scope| {
+            for _ in 0..self.workers.min(needed.len()) {
+                let shared = Arc::clone(&shared);
+                let pending = Arc::clone(&pending);
+                let dependents = Arc::clone(&dependents);
+                scope.spawn(move |_| loop {
+                    // Steal the next ready task from the shared queue.
+                    let task = {
+                        let mut q = shared.queue.lock();
+                        loop {
+                            if q.1 == 0 {
+                                shared.cv.notify_all();
+                                return;
+                            }
+                            if let Some(t) = q.0.pop_front() {
+                                break t;
+                            }
+                            shared.cv.wait(&mut q);
+                        }
+                    };
+                    // Take the function + argument snapshots under the lock,
+                    // run outside it.
+                    let (func, args) = {
+                        let mut graph = self.graph.lock();
+                        let func = graph[task].func.take().expect("task ran twice");
+                        let args: Vec<AnyValue> = graph[task]
+                            .deps
+                            .iter()
+                            .map(|&d| Arc::clone(graph[d].result.as_ref().expect("dep done")))
+                            .collect();
+                        (func, args)
+                    };
+                    let value = func(&args);
+                    {
+                        let mut graph = self.graph.lock();
+                        graph[task].result = Some(value);
+                    }
+                    // Release dependents.
+                    let mut newly_ready: Vec<usize> = Vec::new();
+                    if let Some(deps) = dependents.get(&task) {
+                        let mut p = pending.lock();
+                        for &d in deps {
+                            let c = p.get_mut(&d).expect("tracked");
+                            *c -= 1;
+                            if *c == 0 {
+                                newly_ready.push(d);
+                            }
+                        }
+                    }
+                    {
+                        let mut q = shared.queue.lock();
+                        q.1 -= 1;
+                        for d in newly_ready {
+                            q.0.push_back(d);
+                        }
+                        shared.cv.notify_all();
+                    }
+                });
+            }
+        })
+        .expect("executor scope");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn leaf_and_map() {
+        let client = DaskClient::new(4);
+        let x = client.delayed(|| 21u64);
+        let y = client.delayed_map(x, |v| v * 2);
+        assert_eq!(client.result(y), 42);
+    }
+
+    #[test]
+    fn zip_combines() {
+        let client = DaskClient::new(2);
+        let a = client.delayed(|| 3.0f64);
+        let b = client.delayed(|| 4.0f64);
+        let c = client.delayed_zip(a, b, |x, y| (x * x + y * y).sqrt());
+        assert_eq!(client.result(c), 5.0);
+    }
+
+    #[test]
+    fn many_combines_fanin() {
+        let client = DaskClient::new(4);
+        let parts: Vec<Delayed<u64>> = (0..10).map(|i| client.delayed(move || i as u64)).collect();
+        let total = client.delayed_many(&parts, |vs| vs.iter().copied().sum::<u64>());
+        assert_eq!(client.result(total), 45);
+    }
+
+    #[test]
+    fn lazy_until_barrier() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let client = DaskClient::new(2);
+        let c = Arc::clone(&calls);
+        let x = client.delayed(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            1u32
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "nothing runs before result()");
+        client.result(x);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(client.barrier_count(), 1);
+    }
+
+    #[test]
+    fn results_persist_no_recompute() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let client = DaskClient::new(2);
+        let c = Arc::clone(&calls);
+        let x = client.delayed(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            7u32
+        });
+        let y = client.delayed_map(x, |v| v + 1);
+        client.result(x);
+        client.result(y); // x's value is reused where it was computed
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(client.barrier_count(), 2);
+    }
+
+    #[test]
+    fn wide_graph_executes_in_parallel() {
+        // 8 slow leaves on 8 workers should take ~1 unit, not 8.
+        let client = DaskClient::new(8);
+        let start = std::time::Instant::now();
+        let leaves: Vec<Delayed<u32>> = (0..8)
+            .map(|i| {
+                client.delayed(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    i as u32
+                })
+            })
+            .collect();
+        let total = client.delayed_many(&leaves, |vs| vs.iter().copied().sum::<u32>());
+        assert_eq!(client.result(total), 28);
+        let elapsed = start.elapsed();
+        assert!(elapsed.as_millis() < 300, "no parallelism: {elapsed:?}");
+    }
+
+    #[test]
+    fn diamond_dependencies() {
+        let client = DaskClient::new(4);
+        let a = client.delayed(|| 10i64);
+        let b = client.delayed_map(a, |v| v + 1);
+        let c = client.delayed_map(a, |v| v + 2);
+        let d = client.delayed_zip(b, c, |x, y| x * y);
+        assert_eq!(client.result(d), 11 * 12);
+    }
+
+    #[test]
+    fn compute_many_single_barrier() {
+        let client = DaskClient::new(4);
+        let xs: Vec<Delayed<usize>> = (0..5).map(|i| client.delayed(move || i * i)).collect();
+        let vals = client.compute_many(&xs);
+        assert_eq!(vals, vec![0, 1, 4, 9, 16]);
+        assert_eq!(client.barrier_count(), 1);
+    }
+
+    #[test]
+    fn graph_size_counts_nodes() {
+        let client = DaskClient::new(1);
+        let a = client.delayed(|| 1u8);
+        let _b = client.delayed_map(a, |v| v + 1);
+        assert_eq!(client.graph_size(), 2);
+    }
+}

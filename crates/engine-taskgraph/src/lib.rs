@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # engine-taskgraph — a delayed task-graph parallel library (Dask analog)
+//!
+//! Reproduces the architectural properties of Dask the paper's analysis
+//! rests on:
+//!
+//! * **`delayed` compute graphs over plain values** — no collection
+//!   abstraction; users wrap ordinary functions with
+//!   [`DaskClient::delayed`] / [`DaskClient::delayed_map`] and chain them
+//!   freely (the paper's Figure 8 style).
+//! * **Explicit barriers** — nothing runs until [`DaskClient::result`]
+//!   (Dask's `.result()`/`.compute()`), which executes the needed subgraph
+//!   and blocks. Users must reason about where to place these barriers.
+//! * **No persistence layer** — computed values stay in the graph where
+//!   they were produced; there is no storage/caching service.
+//! * **Dynamic scheduling with work stealing** — the eager executor drains
+//!   a shared ready queue with a thread pool (any idle worker takes any
+//!   ready task); the cost model charges Dask's aggressive stealing via
+//!   [`TaskGraphEngineProfile::steal_cost`], which erodes efficiency at
+//!   larger cluster sizes (Figure 10g).
+//! * **Manual data placement for ingest** — the scheduler does not know
+//!   download sizes, so users assign subjects to machines explicitly
+//!   (Figure 11's flat Dask ingest curve); see the harness's ingest
+//!   experiment.
+//!
+//! ```
+//! use engine_taskgraph::DaskClient;
+//!
+//! let client = DaskClient::new(4);
+//! let data = client.delayed(|| vec![1.0f64, 2.0, 3.0]);
+//! let mean = client.delayed_map(data, |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64);
+//! assert_eq!(client.result(mean), 2.0); // .result() is the barrier
+//! ```
+
+mod client;
+mod profile;
+
+pub use client::{DaskClient, Delayed};
+pub use profile::TaskGraphEngineProfile;

@@ -1,0 +1,53 @@
+//! Architectural constants used when lowering delayed graphs onto the
+//! cluster simulator.
+
+/// The Dask-analog execution profile.
+///
+/// * `scheduler_startup` — the large fixed cost per compute barrier the
+///   paper identifies ("Dask's efficiency increase is most pronounced,
+///   indicating that the tool has the largest start-up overhead"; 60%
+///   slower than Spark/Myria for a single subject).
+/// * `per_task_overhead` — per-task scheduling cost of the dynamic
+///   scheduler.
+/// * `steal_cost` — cost of moving a task off its data-local node;
+///   "scheduling overhead makes Dask less efficient as cluster sizes
+///   increase, as the scheduler attempts to move tasks among different
+///   machines via aggressive work stealing".
+/// * `pipelines_across_steps` — each subject's data stays on one node, so
+///   the next step starts as soon as that subject finishes the previous
+///   one: no cross-subject barrier, no shuffle (the paper's explanation of
+///   Dask's up-to-14% edge at 25 subjects).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskGraphEngineProfile {
+    /// Fixed cost per compute barrier (s).
+    pub scheduler_startup: f64,
+    /// Dispatch overhead per task (s).
+    pub per_task_overhead: f64,
+    /// Extra cost per stolen (non-local) task (s).
+    pub steal_cost: f64,
+    /// Whether consecutive pipeline steps fuse per data item.
+    pub pipelines_across_steps: bool,
+}
+
+impl Default for TaskGraphEngineProfile {
+    fn default() -> Self {
+        TaskGraphEngineProfile {
+            scheduler_startup: 215.0,
+            per_task_overhead: 0.012,
+            steal_cost: 0.35,
+            pipelines_across_steps: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn startup_dominates_small_jobs() {
+        let p = TaskGraphEngineProfile::default();
+        assert!(p.scheduler_startup > 1000.0 * p.per_task_overhead);
+        assert!(p.pipelines_across_steps);
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced while encoding or decoding scientific file formats.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant fields are self-describing (format/needed/got)
+pub enum FormatError {
+    /// The buffer is shorter than the format requires.
+    Truncated { format: &'static str, needed: usize, got: usize },
+    /// A magic number / signature check failed.
+    BadMagic { format: &'static str, detail: String },
+    /// A header field holds an unsupported or inconsistent value.
+    BadHeader { format: &'static str, detail: String },
+    /// A value could not be parsed from text.
+    Parse { format: &'static str, detail: String },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Array construction failed (shape/buffer mismatch).
+    Array(marray::ArrayError),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Truncated { format, needed, got } => {
+                write!(f, "{format}: truncated input, needed {needed} bytes, got {got}")
+            }
+            FormatError::BadMagic { format, detail } => write!(f, "{format}: bad magic: {detail}"),
+            FormatError::BadHeader { format, detail } => write!(f, "{format}: bad header: {detail}"),
+            FormatError::Parse { format, detail } => write!(f, "{format}: parse error: {detail}"),
+            FormatError::Io(e) => write!(f, "i/o error: {e}"),
+            FormatError::Array(e) => write!(f, "array error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io(e) => Some(e),
+            FormatError::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FormatError {
+    fn from(e: std::io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+impl From<marray::ArrayError> for FormatError {
+    fn from(e: marray::ArrayError) -> Self {
+        FormatError::Array(e)
+    }
+}
+
+/// Convenience result alias for codec operations.
+pub type Result<T> = std::result::Result<T, FormatError>;

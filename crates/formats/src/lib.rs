@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # formats — scientific image file formats, from scratch
+//!
+//! Self-contained codecs for the file formats the two use cases move data
+//! through, mirroring the paper's data paths:
+//!
+//! * [`nifti`] — NIfTI-1 (the neuroscience input format): the real 348-byte
+//!   header layout with `float32` 4-D payloads.
+//! * [`fits`] — FITS (the astronomy input format): 2880-byte header blocks of
+//!   80-character cards, big-endian IEEE `float32` image HDUs; one HDU each
+//!   for the flux, variance and mask planes of a sensor exposure.
+//! * [`npy`] — NumPy `.npy` v1.0, the staging format the paper uses for
+//!   Spark and Myria ingest ("pickled NumPy files per image in S3").
+//! * [`text`] — CSV/TSV array codecs, the SciDB `aio_input` load format and
+//!   the `stream()` interchange format.
+//!
+//! All codecs are pure functions over byte buffers plus thin file helpers,
+//! so the engines can account for conversion costs explicitly.
+
+mod error;
+pub mod fits;
+pub mod nifti;
+pub mod npy;
+pub mod text;
+
+pub use error::{FormatError, Result};

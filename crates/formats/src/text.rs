@@ -1,0 +1,187 @@
+//! CSV/TSV array codecs.
+//!
+//! Two text paths exist in the paper and are reproduced here:
+//!
+//! * **`aio_input` CSV** — SciDB's accelerated loader consumes CSV rows of
+//!   `coord0,coord1,...,value` (one row per cell). The NIfTI→CSV and
+//!   FITS→CSV conversions the paper performs before `aio_input` ingest are
+//!   [`to_csv`] / [`from_csv`].
+//! * **`stream()` TSV** — SciDB's `stream()` interface hands chunk data to an
+//!   external process as tab-separated values and reads TSV back. That is
+//!   [`to_tsv`] / [`from_tsv`]: a first line with the dims, then one value
+//!   per line row-major.
+
+use crate::error::{FormatError, Result};
+use marray::NdArray;
+
+/// Render an array as `aio_input`-style CSV: one `coords...,value` row per
+/// cell, row-major.
+pub fn to_csv(array: &NdArray<f32>) -> String {
+    let shape = array.shape();
+    let mut out = String::with_capacity(array.len() * (shape.rank() * 4 + 12));
+    for (off, ix) in shape.indices().enumerate() {
+        for c in &ix {
+            out.push_str(&c.to_string());
+            out.push(',');
+        }
+        push_f32(&mut out, array.data()[off]);
+        out.push('\n');
+    }
+    out
+}
+
+fn push_f32(out: &mut String, v: f32) {
+    // Shortest representation that round-trips (Rust's float Display is
+    // round-trip exact).
+    use std::fmt::Write;
+    write!(out, "{v}").expect("write to String cannot fail");
+}
+
+/// Parse `coords...,value` CSV back into a dense array of the given dims.
+/// Cells may appear in any order; missing cells are zero.
+pub fn from_csv(text: &str, dims: &[usize]) -> Result<NdArray<f32>> {
+    let mut array = NdArray::zeros(dims);
+    let rank = dims.len();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mut ix = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let part = parts.next().ok_or_else(|| FormatError::Parse {
+                format: "csv",
+                detail: format!("line {}: too few fields", lineno + 1),
+            })?;
+            ix.push(part.trim().parse::<usize>().map_err(|e| FormatError::Parse {
+                format: "csv",
+                detail: format!("line {}: bad coordinate {part:?}: {e}", lineno + 1),
+            })?);
+        }
+        let value_text = parts.next().ok_or_else(|| FormatError::Parse {
+            format: "csv",
+            detail: format!("line {}: missing value", lineno + 1),
+        })?;
+        let value = value_text.trim().parse::<f32>().map_err(|e| FormatError::Parse {
+            format: "csv",
+            detail: format!("line {}: bad value {value_text:?}: {e}", lineno + 1),
+        })?;
+        array.set(&ix, value).map_err(|e| FormatError::Parse {
+            format: "csv",
+            detail: format!("line {}: {e}", lineno + 1),
+        })?;
+    }
+    Ok(array)
+}
+
+/// Render an array as `stream()`-style TSV: a dims line, then one value per
+/// line in row-major order.
+pub fn to_tsv(array: &NdArray<f32>) -> String {
+    let mut out = String::with_capacity(array.len() * 12 + 32);
+    let dims: Vec<String> = array.dims().iter().map(|d| d.to_string()).collect();
+    out.push_str(&dims.join("\t"));
+    out.push('\n');
+    for &v in array.data() {
+        push_f32(&mut out, v);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse `stream()`-style TSV produced by [`to_tsv`].
+pub fn from_tsv(text: &str) -> Result<NdArray<f32>> {
+    let mut lines = text.lines();
+    let dims_line = lines.next().ok_or(FormatError::Truncated { format: "tsv", needed: 1, got: 0 })?;
+    let dims: Vec<usize> = dims_line
+        .split('\t')
+        .map(|s| {
+            s.trim().parse::<usize>().map_err(|e| FormatError::Parse {
+                format: "tsv",
+                detail: format!("bad dims field {s:?}: {e}"),
+            })
+        })
+        .collect::<Result<_>>()?;
+    let n: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(n);
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        data.push(line.trim().parse::<f32>().map_err(|e| FormatError::Parse {
+            format: "tsv",
+            detail: format!("bad value {line:?}: {e}"),
+        })?);
+    }
+    if data.len() != n {
+        return Err(FormatError::Truncated { format: "tsv", needed: n, got: data.len() });
+    }
+    Ok(NdArray::from_vec(&dims, data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NdArray<f32> {
+        NdArray::from_fn(&[3, 4], |ix| (ix[0] * 4 + ix[1]) as f32 * 1.5 - 3.0)
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let a = sample();
+        let text = to_csv(&a);
+        assert!(text.starts_with("0,0,-3\n"));
+        let b = from_csv(&text, a.dims()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csv_out_of_order_cells() {
+        let text = "1,1,5.0\n0,0,1.0\n";
+        let a = from_csv(text, &[2, 2]).unwrap();
+        assert_eq!(a[&[0, 0]], 1.0);
+        assert_eq!(a[&[1, 1]], 5.0);
+        assert_eq!(a[&[0, 1]], 0.0);
+    }
+
+    #[test]
+    fn csv_errors() {
+        assert!(from_csv("0,0\n", &[1, 1]).is_err()); // missing value
+        assert!(from_csv("x,0,1.0\n", &[1, 1]).is_err()); // bad coord
+        assert!(from_csv("0,0,hello\n", &[1, 1]).is_err()); // bad value
+        assert!(from_csv("5,0,1.0\n", &[1, 1]).is_err()); // OOB coord
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let a = sample();
+        let b = from_tsv(&to_tsv(&a)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tsv_roundtrip_extreme_values() {
+        let a = NdArray::from_vec(&[4], vec![f32::MIN, f32::MAX, 1e-38, -0.0]).unwrap();
+        let b = from_tsv(&to_tsv(&a)).unwrap();
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn tsv_length_mismatch() {
+        let a = sample();
+        let mut text = to_tsv(&a);
+        text.push_str("99\n");
+        assert!(from_tsv(&text).is_err());
+    }
+
+    #[test]
+    fn csv_size_inflation_is_large() {
+        // The paper notes text conversion overhead; a binary f32 is 4 bytes,
+        // CSV rows for realistic image values are several times that.
+        let a = NdArray::from_fn(&[16, 16], |ix| {
+            1000.0 + (ix[0] * 16 + ix[1]) as f32 * 0.8125
+        });
+        let csv = to_csv(&a);
+        assert!(csv.len() > 2 * a.nbytes());
+    }
+}

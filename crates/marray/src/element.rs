@@ -1,0 +1,43 @@
+/// Scalar element types storable in an [`crate::NdArray`].
+///
+/// The trait bundles the conversions and arithmetic identities the library's
+/// generic reductions need. It is implemented for the numeric types the
+/// image-analytics workloads use: `f32` (image payloads), `f64`
+/// (accumulators and model fits), `u8` (masks), and `i32`/`i64`/`u16`
+/// (labels and counts).
+pub trait Element: Copy + PartialOrd + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Widen to `f64` for exact-ish accumulation.
+    fn to_f64(self) -> f64;
+    /// Narrow from `f64`, saturating / truncating as the type requires.
+    fn from_f64(v: f64) -> Self;
+    /// Number of bytes one element occupies in serialized form.
+    const BYTES: usize = std::mem::size_of::<Self>();
+}
+
+macro_rules! impl_element {
+    ($($t:ty => $zero:expr, $one:expr);* $(;)?) => {
+        $(impl Element for $t {
+            const ZERO: Self = $zero;
+            const ONE: Self = $one;
+            #[inline]
+            fn to_f64(self) -> f64 { self as f64 }
+            #[inline]
+            fn from_f64(v: f64) -> Self { v as $t }
+        })*
+    };
+}
+
+impl_element! {
+    f32 => 0.0, 1.0;
+    f64 => 0.0, 1.0;
+    u8  => 0, 1;
+    u16 => 0, 1;
+    i32 => 0, 1;
+    i64 => 0, 1;
+    u32 => 0, 1;
+    usize => 0, 1;
+}

@@ -1,0 +1,49 @@
+use std::fmt;
+
+/// Errors produced by array operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing (expected/got pairs)
+pub enum ArrayError {
+    /// Two arrays (or an array and an index) have incompatible shapes.
+    ShapeMismatch { expected: Vec<usize>, got: Vec<usize> },
+    /// An axis argument is out of range for the array's rank.
+    AxisOutOfRange { axis: usize, rank: usize },
+    /// An index is out of bounds along some axis.
+    IndexOutOfBounds { index: Vec<usize>, dims: Vec<usize> },
+    /// A reshape target does not preserve the element count.
+    BadReshape { from: Vec<usize>, to: Vec<usize> },
+    /// The data buffer length does not match the shape's element count.
+    BadBufferLen { expected: usize, got: usize },
+    /// A mask's length does not match the extent it selects over.
+    BadMaskLen { expected: usize, got: usize },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {got:?}")
+            }
+            ArrayError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} array")
+            }
+            ArrayError::IndexOutOfBounds { index, dims } => {
+                write!(f, "index {index:?} out of bounds for dims {dims:?}")
+            }
+            ArrayError::BadReshape { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+            }
+            ArrayError::BadBufferLen { expected, got } => {
+                write!(f, "buffer length {got} does not match shape element count {expected}")
+            }
+            ArrayError::BadMaskLen { expected, got } => {
+                write!(f, "mask length {got} does not match selected extent {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+/// Convenience result alias for array operations.
+pub type Result<T> = std::result::Result<T, ArrayError>;

@@ -1,0 +1,118 @@
+/// Stencil-window helpers for 3-D kernels (non-local means, median filters).
+///
+/// [`window_bounds`] clamps a centered window to the array extents —
+/// the behaviour the denoising and median-filter kernels need at volume
+/// borders. [`WindowIter`] yields every (center, clamped-window) pair for a
+/// 3-D shape.
+use crate::shape::Shape;
+
+/// Clamped half-open bounds `[lo, hi)` of a window of radius `radius`
+/// centered at `center` on an axis of extent `extent`.
+#[inline]
+pub fn window_bounds(center: usize, radius: usize, extent: usize) -> (usize, usize) {
+    let lo = center.saturating_sub(radius);
+    let hi = (center + radius + 1).min(extent);
+    (lo, hi)
+}
+
+/// Iterator over all centers of a 3-D shape together with the clamped bounds
+/// of a radius-`r` cubic window around each center.
+pub struct WindowIter {
+    dims: [usize; 3],
+    radius: usize,
+    next: Option<[usize; 3]>,
+}
+
+impl WindowIter {
+    /// Create a window iterator over a rank-3 shape.
+    ///
+    /// Panics if the shape is not rank 3.
+    pub fn new(shape: &Shape, radius: usize) -> Self {
+        assert_eq!(shape.rank(), 3, "WindowIter requires a rank-3 shape");
+        let dims = [shape.dim(0), shape.dim(1), shape.dim(2)];
+        let next = if dims.contains(&0) { None } else { Some([0, 0, 0]) };
+        WindowIter { dims, radius, next }
+    }
+}
+
+/// One stencil position: the center voxel and the clamped window bounds
+/// (half-open `[lo, hi)` per axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPos {
+    /// Center voxel coordinates.
+    pub center: [usize; 3],
+    /// Per-axis half-open window bounds.
+    pub bounds: [(usize, usize); 3],
+}
+
+impl Iterator for WindowIter {
+    type Item = WindowPos;
+
+    fn next(&mut self) -> Option<WindowPos> {
+        let c = self.next?;
+        let pos = WindowPos {
+            center: c,
+            bounds: [
+                window_bounds(c[0], self.radius, self.dims[0]),
+                window_bounds(c[1], self.radius, self.dims[1]),
+                window_bounds(c[2], self.radius, self.dims[2]),
+            ],
+        };
+        // Odometer advance.
+        let mut n = c;
+        n[2] += 1;
+        if n[2] == self.dims[2] {
+            n[2] = 0;
+            n[1] += 1;
+            if n[1] == self.dims[1] {
+                n[1] = 0;
+                n[0] += 1;
+                if n[0] == self.dims[0] {
+                    self.next = None;
+                    return Some(pos);
+                }
+            }
+        }
+        self.next = Some(n);
+        Some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_clamp_at_edges() {
+        assert_eq!(window_bounds(0, 2, 10), (0, 3));
+        assert_eq!(window_bounds(5, 2, 10), (3, 8));
+        assert_eq!(window_bounds(9, 2, 10), (7, 10));
+        assert_eq!(window_bounds(0, 0, 1), (0, 1));
+    }
+
+    #[test]
+    fn iter_visits_every_center_once() {
+        let shape = Shape::new(&[2, 3, 2]);
+        let centers: Vec<[usize; 3]> = WindowIter::new(&shape, 1).map(|w| w.center).collect();
+        assert_eq!(centers.len(), 12);
+        let mut uniq = centers.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 12);
+    }
+
+    #[test]
+    fn interior_window_is_full_size() {
+        let shape = Shape::new(&[5, 5, 5]);
+        let w = WindowIter::new(&shape, 1)
+            .find(|w| w.center == [2, 2, 2])
+            .unwrap();
+        assert_eq!(w.bounds, [(1, 4), (1, 4), (1, 4)]);
+    }
+
+    #[test]
+    fn empty_shape_yields_nothing() {
+        let shape = Shape::new(&[0, 3, 3]);
+        assert_eq!(WindowIter::new(&shape, 1).count(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for marray invariants.
+
+use marray::{ChunkGrid, Mask, NdArray, Shape};
+use proptest::prelude::*;
+
+/// Strategy: a small random shape of rank 1..=4 with extents 1..=6.
+fn shapes() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=6, 1..=4)
+}
+
+/// Strategy: a shape plus a matching data buffer.
+fn arrays() -> impl Strategy<Value = NdArray<f64>> {
+    shapes().prop_flat_map(|dims| {
+        let len: usize = dims.iter().product();
+        prop::collection::vec(-1e3f64..1e3, len)
+            .prop_map(move |data| NdArray::from_vec(&dims, data).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn offset_unravel_inverse(dims in shapes(), salt in 0usize..1000) {
+        let shape = Shape::new(&dims);
+        let off = salt % shape.len();
+        prop_assert_eq!(shape.offset(&shape.unravel(off)), off);
+    }
+
+    #[test]
+    fn sum_axis_preserves_total(a in arrays(), axis_salt in 0usize..4) {
+        let axis = axis_salt % a.shape().rank();
+        let reduced = a.sum_axis(axis);
+        prop_assert!((reduced.sum() - a.sum()).abs() < 1e-6 * (1.0 + a.sum().abs()));
+    }
+
+    #[test]
+    fn mean_axis_bounded_by_extremes(a in arrays(), axis_salt in 0usize..4) {
+        let axis = axis_salt % a.shape().rank();
+        let m = a.mean_axis(axis);
+        let (lo, hi) = (a.min(), a.max());
+        for &v in m.data() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn slice_then_concat_roundtrip(a in arrays()) {
+        let axis = a.shape().rank() - 1;
+        let slices: Vec<NdArray<f64>> = (0..a.shape().dim(axis))
+            .map(|i| {
+                // Re-expand each slice to rank N with extent 1 on `axis`.
+                let s = a.slice_axis(axis, i).unwrap();
+                let mut dims = a.dims().to_vec();
+                dims[axis] = 1;
+                s.reshape(&dims).unwrap()
+            })
+            .collect();
+        let refs: Vec<&NdArray<f64>> = slices.iter().collect();
+        let back = NdArray::concat(&refs, axis).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn chunk_split_assemble_roundtrip(a in arrays(), chunk_salt in 1usize..4) {
+        let chunk_dims: Vec<usize> = a.dims().iter().map(|&d| chunk_salt.min(d)).collect();
+        let grid = ChunkGrid::new(a.dims(), &chunk_dims).unwrap();
+        let chunks = grid.split(&a).unwrap();
+        // Chunks partition the elements exactly.
+        let total: usize = chunks.iter().map(|(_, c)| c.len()).sum();
+        prop_assert_eq!(total, a.len());
+        let back = grid.assemble(&chunks).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn compress_axis_count_matches_mask(a in arrays(), bits in prop::collection::vec(any::<bool>(), 1..=6)) {
+        let axis = a.shape().rank() - 1;
+        let extent = a.shape().dim(axis);
+        let mut bits = bits;
+        bits.resize(extent, false);
+        let mask = Mask::from_vec(&[extent], bits.clone()).unwrap();
+        let out = a.compress_axis(&mask, axis).unwrap();
+        let kept = bits.iter().filter(|&&b| b).count();
+        prop_assert_eq!(out.shape().dim(axis), kept);
+    }
+
+    #[test]
+    fn subarray_write_restores(a in arrays()) {
+        // Extract the full array as a subarray and write it back into zeros.
+        let starts = vec![0; a.shape().rank()];
+        let sub = a.subarray(&starts, a.dims()).unwrap();
+        prop_assert_eq!(&sub, &a);
+        let mut b = NdArray::<f64>::zeros(a.dims());
+        b.write_subarray(&starts, &sub).unwrap();
+        prop_assert_eq!(b, a);
+    }
+
+    #[test]
+    fn mask_fill_fraction_in_unit_interval(a in arrays(), t in -1e3f64..1e3) {
+        let m = Mask::threshold(&a, t);
+        let f = m.fill_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert_eq!(m.count() + a.data().iter().filter(|&&v| v <= t).count(), a.len());
+    }
+}

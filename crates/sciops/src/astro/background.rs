@@ -1,0 +1,150 @@
+//! Background estimation and subtraction (part of Step 1A and Step 4A).
+//!
+//! The sky background varies smoothly across a sensor. Following the LSST
+//! stack's approach, the image is divided into a coarse mesh of cells; each
+//! cell's background is a sigma-clipped median (robust against stars), and
+//! the per-pixel background is bilinear interpolation between cell centers.
+
+use crate::stats::sigma_clipped_median;
+use marray::NdArray;
+
+/// Background-mesh parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackgroundParams {
+    /// Mesh cell edge length in pixels.
+    pub cell_size: usize,
+    /// Sigma-clipping threshold inside each cell.
+    pub kappa: f64,
+    /// Sigma-clipping iterations inside each cell.
+    pub clip_iterations: usize,
+}
+
+impl Default for BackgroundParams {
+    fn default() -> Self {
+        BackgroundParams { cell_size: 16, kappa: 3.0, clip_iterations: 2 }
+    }
+}
+
+/// Estimate the smooth background of a 2-D image.
+pub fn estimate_background(image: &NdArray<f64>, params: &BackgroundParams) -> NdArray<f64> {
+    assert_eq!(image.shape().rank(), 2, "background estimation expects a 2-D image");
+    let (rows, cols) = (image.dims()[0], image.dims()[1]);
+    let cell = params.cell_size.max(1);
+    let mesh_rows = rows.div_ceil(cell).max(1);
+    let mesh_cols = cols.div_ceil(cell).max(1);
+
+    // Robust per-cell levels.
+    let mut mesh = vec![0.0f64; mesh_rows * mesh_cols];
+    let mut cell_values = Vec::with_capacity(cell * cell);
+    for mr in 0..mesh_rows {
+        for mc in 0..mesh_cols {
+            cell_values.clear();
+            let r1 = ((mr + 1) * cell).min(rows);
+            let c1 = ((mc + 1) * cell).min(cols);
+            for r in mr * cell..r1 {
+                for c in mc * cell..c1 {
+                    cell_values.push(image.data()[r * cols + c]);
+                }
+            }
+            mesh[mr * mesh_cols + mc] =
+                sigma_clipped_median(&cell_values, params.kappa, params.clip_iterations);
+        }
+    }
+
+    // Bilinear interpolation between cell centers.
+    let mut out = NdArray::zeros(&[rows, cols]);
+    let center = |m: usize| (m * cell) as f64 + (cell as f64 - 1.0) / 2.0;
+    for r in 0..rows {
+        // Fractional mesh-row position of this pixel row.
+        let fr = if mesh_rows == 1 {
+            0.0
+        } else {
+            (((r as f64) - center(0)) / cell as f64).clamp(0.0, (mesh_rows - 1) as f64)
+        };
+        let mr0 = fr.floor() as usize;
+        let mr1 = (mr0 + 1).min(mesh_rows - 1);
+        let tr = fr - mr0 as f64;
+        for c in 0..cols {
+            let fc = if mesh_cols == 1 {
+                0.0
+            } else {
+                (((c as f64) - center(0)) / cell as f64).clamp(0.0, (mesh_cols - 1) as f64)
+            };
+            let mc0 = fc.floor() as usize;
+            let mc1 = (mc0 + 1).min(mesh_cols - 1);
+            let tc = fc - mc0 as f64;
+            let v00 = mesh[mr0 * mesh_cols + mc0];
+            let v01 = mesh[mr0 * mesh_cols + mc1];
+            let v10 = mesh[mr1 * mesh_cols + mc0];
+            let v11 = mesh[mr1 * mesh_cols + mc1];
+            let top = v00 * (1.0 - tc) + v01 * tc;
+            let bottom = v10 * (1.0 - tc) + v11 * tc;
+            out.data_mut()[r * cols + c] = top * (1.0 - tr) + bottom * tr;
+        }
+    }
+    out
+}
+
+/// Subtract the estimated background from an image.
+pub fn subtract_background(image: &NdArray<f64>, params: &BackgroundParams) -> NdArray<f64> {
+    let bg = estimate_background(image, params);
+    image.zip_with(&bg, |v, b| v - b).expect("same shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_background_recovered_exactly() {
+        let img = NdArray::<f64>::full(&[32, 32], 250.0);
+        let bg = estimate_background(&img, &BackgroundParams::default());
+        for &v in bg.data() {
+            assert!((v - 250.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gradient_background_tracked() {
+        // Linear ramp along columns.
+        let img = NdArray::from_fn(&[32, 64], |ix| 100.0 + ix[1] as f64);
+        let bg = estimate_background(&img, &BackgroundParams { cell_size: 8, ..Default::default() });
+        // Interior pixels track the ramp closely.
+        for r in 8..24 {
+            for c in 8..56 {
+                let expected = 100.0 + c as f64;
+                let got = bg[&[r, c][..]];
+                assert!((got - expected).abs() < 2.0, "({r},{c}): {got} vs {expected}");
+            }
+        }
+    }
+
+    #[test]
+    fn stars_do_not_bias_background() {
+        // Flat sky + a few very bright "stars" — the robust mesh ignores them.
+        let mut img = NdArray::<f64>::full(&[32, 32], 50.0);
+        for &(r, c) in &[(5usize, 5usize), (20, 11), (28, 30)] {
+            img[&[r, c][..]] = 50_000.0;
+        }
+        let bg = estimate_background(&img, &BackgroundParams { cell_size: 8, ..Default::default() });
+        for &v in bg.data() {
+            assert!((v - 50.0).abs() < 1.0, "background {v} biased by stars");
+        }
+    }
+
+    #[test]
+    fn subtract_centers_residuals_at_zero() {
+        let img = NdArray::from_fn(&[32, 32], |ix| 10.0 + 0.5 * ix[0] as f64);
+        let sub = subtract_background(&img, &BackgroundParams { cell_size: 8, ..Default::default() });
+        assert!(sub.mean().abs() < 0.5);
+    }
+
+    #[test]
+    fn tiny_image_single_cell() {
+        let img = NdArray::<f64>::full(&[4, 4], 9.0);
+        let bg = estimate_background(&img, &BackgroundParams { cell_size: 16, ..Default::default() });
+        for &v in bg.data() {
+            assert_eq!(v, 9.0);
+        }
+    }
+}

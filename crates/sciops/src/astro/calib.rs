@@ -1,0 +1,122 @@
+//! Step 1A — exposure pre-processing (calibration).
+//!
+//! Combines the pieces of the paper's pre-processing step: "background
+//! estimation and subtraction, detection and repair of cosmetic defects and
+//! cosmic rays, and aperture corrections for the photometric calibration".
+//! The output is a *calibrated exposure*.
+
+use crate::astro::background::{estimate_background, BackgroundParams};
+use crate::astro::cosmic::{detect_cosmic_rays, repair, CosmicParams, MASK_CR};
+use crate::astro::geometry::Exposure;
+
+/// Calibration parameters for Step 1A.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibParams {
+    /// Background mesh settings.
+    pub background: BackgroundParams,
+    /// Cosmic-ray detector settings.
+    pub cosmic: CosmicParams,
+    /// Aperture-correction factor applied to fluxes (photometric scale to a
+    /// common zero point).
+    pub aperture_scale: f64,
+}
+
+impl Default for CalibParams {
+    fn default() -> Self {
+        CalibParams {
+            background: BackgroundParams::default(),
+            cosmic: CosmicParams::default(),
+            aperture_scale: 1.0,
+        }
+    }
+}
+
+/// Calibrate one exposure: subtract background, repair cosmic rays (setting
+/// the CR mask bit), and apply the aperture correction to flux and variance.
+pub fn calibrate_exposure(exposure: &Exposure, params: &CalibParams) -> Exposure {
+    let bg = estimate_background(&exposure.flux, &params.background);
+    let mut flux = exposure
+        .flux
+        .zip_with(&bg, |v, b| v - b)
+        .expect("background matches exposure shape");
+
+    let cr = detect_cosmic_rays(&flux, &exposure.variance, &params.cosmic);
+    repair(&mut flux, &cr);
+
+    let s = params.aperture_scale;
+    flux.map_inplace(|v| v * s);
+    let variance = exposure.variance.map(|v| v * s * s);
+    let mask = exposure
+        .mask
+        .zip_with(&cr, |m, hit| if hit != 0 { m | MASK_CR } else { m })
+        .expect("same shape");
+
+    Exposure {
+        visit: exposure.visit,
+        sensor: exposure.sensor,
+        bbox: exposure.bbox,
+        flux,
+        variance,
+        mask,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astro::geometry::SkyBox;
+    use marray::NdArray;
+
+    fn raw_exposure() -> Exposure {
+        // Flat sky at 200 + one star + one cosmic ray.
+        let mut flux = NdArray::from_fn(&[32, 32], |ix| {
+            let dr = ix[0] as f64 - 10.0;
+            let dc = ix[1] as f64 - 10.0;
+            200.0 + 800.0 * (-(dr * dr + dc * dc) / 8.0).exp()
+        });
+        flux[&[25, 25][..]] = 30_000.0; // cosmic ray
+        Exposure {
+            visit: 3,
+            sensor: 1,
+            bbox: SkyBox { x0: 0, y0: 0, width: 32, height: 32 },
+            variance: NdArray::full(&[32, 32], 225.0),
+            mask: NdArray::zeros(&[32, 32]),
+            flux,
+        }
+    }
+
+    #[test]
+    fn background_removed_and_star_kept() {
+        let cal = calibrate_exposure(&raw_exposure(), &CalibParams::default());
+        // Far from the star the calibrated flux is ~0.
+        assert!(cal.flux[&[30, 3][..]].abs() < 20.0);
+        // The star's peak survives, minus background.
+        assert!(cal.flux[&[10, 10][..]] > 500.0);
+    }
+
+    #[test]
+    fn cosmic_ray_repaired_and_masked() {
+        let cal = calibrate_exposure(&raw_exposure(), &CalibParams::default());
+        assert!(cal.flux[&[25, 25][..]].abs() < 50.0, "CR pixel repaired");
+        assert_eq!(cal.mask[&[25, 25][..]] & MASK_CR, MASK_CR, "CR bit set");
+        assert_eq!(cal.mask[&[10, 10][..]] & MASK_CR, 0, "star not CR-masked");
+    }
+
+    #[test]
+    fn aperture_scale_applies_to_flux_and_variance() {
+        let params = CalibParams { aperture_scale: 2.0, ..Default::default() };
+        let cal = calibrate_exposure(&raw_exposure(), &params);
+        let base = calibrate_exposure(&raw_exposure(), &CalibParams::default());
+        let p = [10usize, 10usize];
+        assert!((cal.flux[&p[..]] - 2.0 * base.flux[&p[..]]).abs() < 1e-9);
+        assert!((cal.variance[&p[..]] - 4.0 * base.variance[&p[..]]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metadata_preserved() {
+        let cal = calibrate_exposure(&raw_exposure(), &CalibParams::default());
+        assert_eq!(cal.visit, 3);
+        assert_eq!(cal.sensor, 1);
+        assert_eq!(cal.bbox.width, 32);
+    }
+}

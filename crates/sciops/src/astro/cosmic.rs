@@ -1,0 +1,164 @@
+//! Cosmic-ray and cosmetic-defect detection and repair (part of Step 1A).
+//!
+//! Cosmic rays deposit charge in isolated pixels or short trails that are
+//! much sharper than the instrument's point-spread function. The detector
+//! here uses a Laplacian significance test (van Dokkum's L.A.Cosmic idea in
+//! simplified form): a pixel whose Laplacian is many noise sigmas above its
+//! neighborhood is flagged; flagged pixels are repaired with the median of
+//! their unflagged neighbors.
+
+use marray::NdArray;
+
+/// Mask bit set on pixels identified as cosmic-ray hits.
+pub const MASK_CR: u8 = 0b0000_0001;
+/// Mask bit set on known-bad detector pixels.
+pub const MASK_BAD: u8 = 0b0000_0010;
+
+/// Cosmic-ray detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosmicParams {
+    /// Detection threshold in noise sigmas.
+    pub threshold_sigma: f64,
+}
+
+impl Default for CosmicParams {
+    fn default() -> Self {
+        // High enough that a PSF-shaped source (whose own shot noise raises
+        // the local sigma) never trips the test, while single-pixel hits —
+        // whose Laplacian is ~4× their full amplitude — exceed it hugely.
+        CosmicParams { threshold_sigma: 15.0 }
+    }
+}
+
+/// Detect cosmic rays in an image with a per-pixel `variance` plane.
+/// Returns the per-pixel hit flags as an `u8` array (1 = hit).
+pub fn detect_cosmic_rays(
+    image: &NdArray<f64>,
+    variance: &NdArray<f64>,
+    params: &CosmicParams,
+) -> NdArray<u8> {
+    assert_eq!(image.dims(), variance.dims());
+    let (rows, cols) = (image.dims()[0], image.dims()[1]);
+    let data = image.data();
+    let mut flags = NdArray::<u8>::zeros(&[rows, cols]);
+    for r in 0..rows {
+        for c in 0..cols {
+            // 4-neighbor Laplacian with border clamping.
+            let v = data[r * cols + c];
+            let up = data[r.saturating_sub(1) * cols + c];
+            let down = data[(r + 1).min(rows - 1) * cols + c];
+            let left = data[r * cols + c.saturating_sub(1)];
+            let right = data[r * cols + (c + 1).min(cols - 1)];
+            let lap = 4.0 * v - up - down - left - right;
+            let sigma = variance.data()[r * cols + c].max(1e-12).sqrt();
+            if lap > params.threshold_sigma * sigma * 4.0 {
+                flags.data_mut()[r * cols + c] = 1;
+            }
+        }
+    }
+    flags
+}
+
+/// Repair flagged pixels in place with the median of their unflagged
+/// 8-neighborhood; pixels with no clean neighbor fall back to the local mean
+/// of the whole neighborhood.
+pub fn repair(image: &mut NdArray<f64>, flags: &NdArray<u8>) {
+    assert_eq!(image.dims(), flags.dims());
+    let (rows, cols) = (image.dims()[0], image.dims()[1]);
+    let original = image.clone();
+    let mut neigh: Vec<f64> = Vec::with_capacity(8);
+    for r in 0..rows {
+        for c in 0..cols {
+            if flags.data()[r * cols + c] == 0 {
+                continue;
+            }
+            neigh.clear();
+            let mut all = Vec::with_capacity(8);
+            for dr in -1i64..=1 {
+                for dc in -1i64..=1 {
+                    if dr == 0 && dc == 0 {
+                        continue;
+                    }
+                    let nr = r as i64 + dr;
+                    let nc = c as i64 + dc;
+                    if nr < 0 || nc < 0 || nr >= rows as i64 || nc >= cols as i64 {
+                        continue;
+                    }
+                    let off = nr as usize * cols + nc as usize;
+                    all.push(original.data()[off]);
+                    if flags.data()[off] == 0 {
+                        neigh.push(original.data()[off]);
+                    }
+                }
+            }
+            let replacement = if !neigh.is_empty() {
+                crate::stats::median(&mut neigh)
+            } else {
+                all.iter().sum::<f64>() / all.len().max(1) as f64
+            };
+            image.data_mut()[r * cols + c] = replacement;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_with_hit() -> (NdArray<f64>, NdArray<f64>) {
+        let mut img = NdArray::<f64>::full(&[16, 16], 100.0);
+        img[&[8, 8][..]] = 5000.0; // single-pixel cosmic ray
+        let var = NdArray::<f64>::full(&[16, 16], 100.0); // sigma = 10
+        (img, var)
+    }
+
+    #[test]
+    fn detects_isolated_hit() {
+        let (img, var) = flat_with_hit();
+        let flags = detect_cosmic_rays(&img, &var, &CosmicParams::default());
+        assert_eq!(flags[&[8, 8][..]], 1);
+        assert_eq!(flags.sum() as usize, 1, "only the hit is flagged");
+    }
+
+    #[test]
+    fn smooth_star_not_flagged() {
+        // A PSF-like blob (slowly varying) must not trigger.
+        let img = NdArray::from_fn(&[16, 16], |ix| {
+            let dr = ix[0] as f64 - 8.0;
+            let dc = ix[1] as f64 - 8.0;
+            100.0 + 500.0 * (-(dr * dr + dc * dc) / 18.0).exp()
+        });
+        let var = NdArray::<f64>::full(&[16, 16], 100.0);
+        let flags = detect_cosmic_rays(&img, &var, &CosmicParams::default());
+        assert_eq!(flags.sum(), 0.0, "smooth PSF flagged as cosmic ray");
+    }
+
+    #[test]
+    fn repair_restores_flat_level() {
+        let (mut img, var) = flat_with_hit();
+        let flags = detect_cosmic_rays(&img, &var, &CosmicParams::default());
+        repair(&mut img, &flags);
+        assert!((img[&[8, 8][..]] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repair_of_cluster_uses_clean_neighbors() {
+        let mut img = NdArray::<f64>::full(&[8, 8], 10.0);
+        let mut flags = NdArray::<u8>::zeros(&[8, 8]);
+        for &(r, c) in &[(3usize, 3usize), (3, 4), (4, 3)] {
+            img[&[r, c][..]] = 9999.0;
+            flags[&[r, c][..]] = 1;
+        }
+        repair(&mut img, &flags);
+        for &(r, c) in &[(3usize, 3usize), (3, 4), (4, 3)] {
+            assert!((img[&[r, c][..]] - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_threshold_detects_less() {
+        let (img, var) = flat_with_hit();
+        let strict = detect_cosmic_rays(&img, &var, &CosmicParams { threshold_sigma: 1e6 });
+        assert_eq!(strict.sum(), 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Sky geometry: exposures, patches, and the exposure↔patch flatmap.
+//!
+//! The survey observes a region of sky repeatedly ("visits"); each visit is
+//! divided into sensor images. The analysis partitions the sky into
+//! rectangular **patches**; Step 2A replicates each exposure once per patch
+//! it overlaps (1–6 patches per exposure in the paper) and regroups by
+//! patch. Sky coordinates here are a flat pixel grid — adequate for the
+//! small survey footprints the use case covers.
+
+use marray::NdArray;
+
+/// An axis-aligned rectangle on the (flat) sky, in global pixel coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SkyBox {
+    /// Inclusive minimum x (column) coordinate.
+    pub x0: i64,
+    /// Inclusive minimum y (row) coordinate.
+    pub y0: i64,
+    /// Width in pixels.
+    pub width: u64,
+    /// Height in pixels.
+    pub height: u64,
+}
+
+impl SkyBox {
+    /// Exclusive maximum x.
+    pub fn x1(&self) -> i64 {
+        self.x0 + self.width as i64
+    }
+
+    /// Exclusive maximum y.
+    pub fn y1(&self) -> i64 {
+        self.y0 + self.height as i64
+    }
+
+    /// Intersection with another box, if non-empty.
+    pub fn intersect(&self, other: &SkyBox) -> Option<SkyBox> {
+        let x0 = self.x0.max(other.x0);
+        let y0 = self.y0.max(other.y0);
+        let x1 = self.x1().min(other.x1());
+        let y1 = self.y1().min(other.y1());
+        if x0 < x1 && y0 < y1 {
+            Some(SkyBox { x0, y0, width: (x1 - x0) as u64, height: (y1 - y0) as u64 })
+        } else {
+            None
+        }
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> u64 {
+        self.width * self.height
+    }
+}
+
+/// One sensor exposure: flux/variance/mask planes plus its sky placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exposure {
+    /// Which visit (epoch) this exposure belongs to.
+    pub visit: u32,
+    /// Sensor index within the visit.
+    pub sensor: u32,
+    /// Where the exposure sits on the sky.
+    pub bbox: SkyBox,
+    /// Flux per pixel (rows = y, columns = x).
+    pub flux: NdArray<f64>,
+    /// Per-pixel variance.
+    pub variance: NdArray<f64>,
+    /// Per-pixel mask bits (0 = good).
+    pub mask: NdArray<u8>,
+}
+
+impl Exposure {
+    /// Dimensions as (rows, cols) = (height, width).
+    pub fn dims(&self) -> (usize, usize) {
+        (self.flux.dims()[0], self.flux.dims()[1])
+    }
+
+    /// Total serialized payload size of the three planes in bytes
+    /// (f64 flux + f64 variance + u8 mask).
+    pub fn nbytes(&self) -> usize {
+        self.flux.nbytes() + self.variance.nbytes() + self.mask.nbytes()
+    }
+
+    /// Cut out the part of this exposure that falls inside `region`,
+    /// producing a new exposure whose bbox is the intersection.
+    /// Returns `None` when there is no overlap.
+    pub fn crop_to(&self, region: &SkyBox) -> Option<Exposure> {
+        let inter = self.bbox.intersect(region)?;
+        let row0 = (inter.y0 - self.bbox.y0) as usize;
+        let col0 = (inter.x0 - self.bbox.x0) as usize;
+        let dims = [inter.height as usize, inter.width as usize];
+        let starts = [row0, col0];
+        Some(Exposure {
+            visit: self.visit,
+            sensor: self.sensor,
+            bbox: inter,
+            flux: self.flux.subarray(&starts, &dims).expect("intersection inside exposure"),
+            variance: self.variance.subarray(&starts, &dims).expect("intersection inside exposure"),
+            mask: self.mask.subarray(&starts, &dims).expect("intersection inside exposure"),
+        })
+    }
+}
+
+/// Identifier of a sky patch: its (row, column) in the patch grid.
+pub type PatchId = (u32, u32);
+
+/// A regular grid of rectangular sky patches covering a survey footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchGrid {
+    /// The full footprint covered by the grid.
+    pub footprint: SkyBox,
+    /// Patch width and height in pixels.
+    pub patch_size: (u64, u64),
+}
+
+impl PatchGrid {
+    /// Grid over `footprint` with patches of `patch_size` (w, h).
+    pub fn new(footprint: SkyBox, patch_size: (u64, u64)) -> Self {
+        assert!(patch_size.0 > 0 && patch_size.1 > 0);
+        PatchGrid { footprint, patch_size }
+    }
+
+    /// Number of patch columns and rows.
+    pub fn grid_dims(&self) -> (u32, u32) {
+        (
+            self.footprint.width.div_ceil(self.patch_size.0) as u32,
+            self.footprint.height.div_ceil(self.patch_size.1) as u32,
+        )
+    }
+
+    /// The sky region of patch `(row, col)` (edge patches are clipped to
+    /// the footprint).
+    pub fn patch_box(&self, id: PatchId) -> SkyBox {
+        let (row, col) = id;
+        let x0 = self.footprint.x0 + col as i64 * self.patch_size.0 as i64;
+        let y0 = self.footprint.y0 + row as i64 * self.patch_size.1 as i64;
+        let width = self.patch_size.0.min((self.footprint.x1() - x0).max(0) as u64);
+        let height = self.patch_size.1.min((self.footprint.y1() - y0).max(0) as u64);
+        SkyBox { x0, y0, width, height }
+    }
+
+    /// All patches overlapping `bbox` — the Step 2A flatmap fan-out.
+    pub fn overlapping_patches(&self, bbox: &SkyBox) -> Vec<PatchId> {
+        let clipped = match bbox.intersect(&self.footprint) {
+            Some(c) => c,
+            None => return Vec::new(),
+        };
+        let col0 = ((clipped.x0 - self.footprint.x0) / self.patch_size.0 as i64) as u32;
+        let col1 = ((clipped.x1() - 1 - self.footprint.x0) / self.patch_size.0 as i64) as u32;
+        let row0 = ((clipped.y0 - self.footprint.y0) / self.patch_size.1 as i64) as u32;
+        let row1 = ((clipped.y1() - 1 - self.footprint.y0) / self.patch_size.1 as i64) as u32;
+        let mut out = Vec::new();
+        for row in row0..=row1 {
+            for col in col0..=col1 {
+                out.push((row, col));
+            }
+        }
+        out
+    }
+
+    /// Step 2A for one exposure: the (patch, cropped exposure) pairs.
+    pub fn map_to_patches(&self, exposure: &Exposure) -> Vec<(PatchId, Exposure)> {
+        self.overlapping_patches(&exposure.bbox)
+            .into_iter()
+            .filter_map(|id| {
+                exposure
+                    .crop_to(&self.patch_box(id))
+                    .map(|cropped| (id, cropped))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exposure_at(x0: i64, y0: i64, w: u64, h: u64) -> Exposure {
+        Exposure {
+            visit: 0,
+            sensor: 0,
+            bbox: SkyBox { x0, y0, width: w, height: h },
+            flux: NdArray::from_fn(&[h as usize, w as usize], |ix| (ix[0] * w as usize + ix[1]) as f64),
+            variance: NdArray::full(&[h as usize, w as usize], 1.0),
+            mask: NdArray::zeros(&[h as usize, w as usize]),
+        }
+    }
+
+    #[test]
+    fn skybox_intersection() {
+        let a = SkyBox { x0: 0, y0: 0, width: 10, height: 10 };
+        let b = SkyBox { x0: 5, y0: 5, width: 10, height: 10 };
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, SkyBox { x0: 5, y0: 5, width: 5, height: 5 });
+        let c = SkyBox { x0: 20, y0: 0, width: 5, height: 5 };
+        assert!(a.intersect(&c).is_none());
+        // Touching edges do not intersect.
+        let d = SkyBox { x0: 10, y0: 0, width: 5, height: 5 };
+        assert!(a.intersect(&d).is_none());
+    }
+
+    #[test]
+    fn crop_preserves_pixel_values() {
+        let e = exposure_at(100, 200, 10, 8);
+        let region = SkyBox { x0: 103, y0: 202, width: 4, height: 3 };
+        let c = e.crop_to(&region).unwrap();
+        assert_eq!(c.bbox, region);
+        // Pixel at global (x=103, y=202) is local (row 2, col 3) in e.
+        assert_eq!(c.flux[&[0, 0][..]], e.flux[&[2, 3][..]]);
+        assert_eq!(c.flux[&[2, 3][..]], e.flux[&[4, 6][..]]);
+    }
+
+    #[test]
+    fn patch_grid_dims_and_clipping() {
+        let grid = PatchGrid::new(SkyBox { x0: 0, y0: 0, width: 25, height: 17 }, (10, 10));
+        assert_eq!(grid.grid_dims(), (3, 2));
+        assert_eq!(grid.patch_box((0, 0)).area(), 100);
+        assert_eq!(grid.patch_box((1, 2)), SkyBox { x0: 20, y0: 10, width: 5, height: 7 });
+    }
+
+    #[test]
+    fn fanout_is_between_1_and_6() {
+        // Paper: each exposure maps to 1..=6 patches. A sensor smaller than
+        // a patch straddling a corner touches 4; an elongated one up to 6.
+        let grid = PatchGrid::new(SkyBox { x0: 0, y0: 0, width: 300, height: 300 }, (100, 100));
+        let aligned = SkyBox { x0: 0, y0: 0, width: 100, height: 100 };
+        assert_eq!(grid.overlapping_patches(&aligned).len(), 1);
+        let corner = SkyBox { x0: 50, y0: 50, width: 100, height: 100 };
+        assert_eq!(grid.overlapping_patches(&corner).len(), 4);
+        let elongated = SkyBox { x0: 50, y0: 50, width: 200, height: 100 };
+        assert_eq!(grid.overlapping_patches(&elongated).len(), 6);
+    }
+
+    #[test]
+    fn map_to_patches_covers_every_pixel_once() {
+        let grid = PatchGrid::new(SkyBox { x0: 0, y0: 0, width: 30, height: 30 }, (10, 10));
+        let e = exposure_at(5, 5, 20, 20);
+        let parts = grid.map_to_patches(&e);
+        let total: u64 = parts.iter().map(|(_, p)| p.bbox.area()).sum();
+        assert_eq!(total, e.bbox.area(), "patch pieces partition the exposure");
+        assert_eq!(parts.len(), 9);
+    }
+
+    #[test]
+    fn out_of_footprint_exposure_maps_nowhere() {
+        let grid = PatchGrid::new(SkyBox { x0: 0, y0: 0, width: 30, height: 30 }, (10, 10));
+        let e = exposure_at(100, 100, 10, 10);
+        assert!(grid.map_to_patches(&e).is_empty());
+    }
+}

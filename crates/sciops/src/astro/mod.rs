@@ -1,0 +1,33 @@
+//! Astronomy use case: LSST-style survey image processing (the paper's §3.2).
+//!
+//! The pipeline has four steps, mirroring Figure 3 of the paper:
+//!
+//! 1. **Pre-processing** (Step 1A) — background estimation and subtraction,
+//!    cosmic-ray/defect detection and repair, photometric calibration
+//!    ([`background`], [`cosmic`], [`calib`]).
+//! 2. **Patch creation** (Step 2A) — map each calibrated exposure to the sky
+//!    patches it overlaps (a 1–6-way flatmap) and cut out per-patch
+//!    exposures ([`geometry`]).
+//! 3. **Co-addition** (Step 3A) — stack the per-patch exposures across
+//!    visits with two rounds of 3σ outlier rejection ([`coadd`]).
+//! 4. **Source detection** (Step 4A) — threshold the coadd above its
+//!    background and measure connected pixel clusters ([`detect`]).
+//!
+//! [`pipeline`] chains the four steps into the single-machine reference
+//! implementation every engine's output is validated against.
+
+pub mod background;
+pub mod calib;
+pub mod coadd;
+pub mod cosmic;
+pub mod detect;
+pub mod geometry;
+pub mod pipeline;
+
+pub use background::{estimate_background, subtract_background, BackgroundParams};
+pub use calib::{calibrate_exposure, CalibParams};
+pub use coadd::{coadd_sigma_clip, CoaddParams};
+pub use cosmic::{detect_cosmic_rays, repair, CosmicParams};
+pub use detect::{detect_sources, DetectParams, Source};
+pub use geometry::{Exposure, PatchGrid, PatchId, SkyBox};
+pub use pipeline::{reference_pipeline, AstroOutput};

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # sciops — scientific image-analytics kernels and synthetic data
+//!
+//! The "reference implementation" layer of the reproduction: real, runnable
+//! Rust versions of every algorithm in the two use cases of Mehta et al.
+//! (VLDB 2017), plus seeded synthetic data generators standing in for the
+//! gated Human Connectome Project and HiTS survey datasets.
+//!
+//! * [`neuro`] — the diffusion-MRI pipeline (the paper's Steps 1N–3N):
+//!   b0 selection, mean volume, Otsu/median-Otsu segmentation, non-local
+//!   means denoising, diffusion-tensor model fitting, fractional anisotropy.
+//! * [`astro`] — the LSST-style pipeline (Steps 1A–4A): background
+//!   estimation, cosmic-ray repair, calibration, sky patch geometry,
+//!   sigma-clipped co-addition, source detection.
+//! * [`synth`] — deterministic phantom generators for both datasets at the
+//!   paper's full geometry or scaled-down test geometry.
+//! * [`stats`] / [`linalg`] — the numeric support both pipelines share.
+//!
+//! Every engine in the workspace runs these same kernels as its "UDFs",
+//! mirroring the paper's setup where all systems execute the scientists'
+//! reference Python code.
+
+pub mod astro;
+pub mod linalg;
+pub mod neuro;
+pub mod stats;
+pub mod synth;

@@ -1,0 +1,183 @@
+//! Small dense linear algebra for the diffusion-tensor fit.
+//!
+//! The DTM fit needs two primitives: solving the (7×7) weighted-least-squares
+//! normal equations, and the eigenvalues of a symmetric 3×3 tensor. Both are
+//! implemented directly — no external BLAS.
+
+/// Solve `A x = b` for a small dense system via Gaussian elimination with
+/// partial pivoting. `a` is row-major `n×n`; `b` has length `n`.
+/// Returns `None` if the system is (numerically) singular.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = m[col * n + col].abs();
+        for row in col + 1..n {
+            let v = m[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot * n + k);
+            }
+            rhs.swap(col, pivot);
+        }
+        // Eliminate below.
+        let diag = m[col * n + col];
+        for row in col + 1..n {
+            let factor = m[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = rhs[row];
+        for k in row + 1..n {
+            sum -= m[row * n + k] * x[k];
+        }
+        x[row] = sum / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Eigenvalues of a symmetric 3×3 matrix given as
+/// `[dxx, dyy, dzz, dxy, dxz, dyz]`, returned in descending order.
+///
+/// Uses the analytic trigonometric solution for symmetric 3×3 matrices
+/// (Smith 1961), which is what matters for the per-voxel FA computation:
+/// millions of voxels, no iteration.
+pub fn sym3_eigenvalues(d: &[f64; 6]) -> [f64; 3] {
+    let (dxx, dyy, dzz, dxy, dxz, dyz) = (d[0], d[1], d[2], d[3], d[4], d[5]);
+    let p1 = dxy * dxy + dxz * dxz + dyz * dyz;
+    if p1 == 0.0 {
+        // Already diagonal.
+        let mut eig = [dxx, dyy, dzz];
+        eig.sort_by(|a, b| b.partial_cmp(a).expect("finite eigenvalues"));
+        return eig;
+    }
+    let q = (dxx + dyy + dzz) / 3.0;
+    let p2 = (dxx - q).powi(2) + (dyy - q).powi(2) + (dzz - q).powi(2) + 2.0 * p1;
+    let p = (p2 / 6.0).sqrt();
+    // B = (A - q I) / p; r = det(B) / 2 in [-1, 1].
+    let b = [
+        (dxx - q) / p,
+        (dyy - q) / p,
+        (dzz - q) / p,
+        dxy / p,
+        dxz / p,
+        dyz / p,
+    ];
+    let det_b = b[0] * (b[1] * b[2] - b[5] * b[5]) - b[3] * (b[3] * b[2] - b[5] * b[4])
+        + b[4] * (b[3] * b[5] - b[1] * b[4]);
+    let r = (det_b / 2.0).clamp(-1.0, 1.0);
+    let phi = r.acos() / 3.0;
+    let e1 = q + 2.0 * p * phi.cos();
+    let e3 = q + 2.0 * p * (phi + 2.0 * std::f64::consts::PI / 3.0).cos();
+    let e2 = 3.0 * q - e1 - e3;
+    let mut eig = [e1, e2, e3];
+    eig.sort_by(|a, b| b.partial_cmp(a).expect("finite eigenvalues"));
+    eig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let x = solve(&a, &[3.0, -1.0, 2.0], 3).unwrap();
+        assert_eq!(x, vec![3.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the first diagonal entry forces a row swap.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let x = solve(&a, &[2.0, 3.0], 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(solve(&a, &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn solve_random_system_residual() {
+        // Fixed pseudo-random 5x5 system; check residual, not the exact x.
+        let n = 5;
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n];
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for v in a.iter_mut() {
+            *v = next();
+        }
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = next();
+            a[i * n + i] += 3.0; // diagonally dominant => well conditioned
+        }
+        let x = solve(&a, &b, n).unwrap();
+        for i in 0..n {
+            let ax: f64 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_diagonal() {
+        let eig = sym3_eigenvalues(&[3.0, 1.0, 2.0, 0.0, 0.0, 0.0]);
+        assert_eq!(eig, [3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn eigenvalues_isotropic() {
+        let eig = sym3_eigenvalues(&[2.0, 2.0, 2.0, 0.0, 0.0, 0.0]);
+        assert_eq!(eig, [2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn eigenvalues_known_offdiagonal() {
+        // [[2,1,0],[1,2,0],[0,0,3]] has eigenvalues {3, 3, 1}. The acos
+        // formulation loses a few digits near degenerate eigenvalues, so the
+        // tolerance is 1e-6 rather than machine precision.
+        let eig = sym3_eigenvalues(&[2.0, 2.0, 3.0, 1.0, 0.0, 0.0]);
+        assert!((eig[0] - 3.0).abs() < 1e-6);
+        assert!((eig[1] - 3.0).abs() < 1e-6);
+        assert!((eig[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigenvalue_invariants_trace_and_det() {
+        let d = [1.7, 0.9, 1.1, 0.3, -0.2, 0.15];
+        let eig = sym3_eigenvalues(&d);
+        let trace = d[0] + d[1] + d[2];
+        assert!((eig.iter().sum::<f64>() - trace).abs() < 1e-9);
+        let det = d[0] * (d[1] * d[2] - d[5] * d[5]) - d[3] * (d[3] * d[2] - d[5] * d[4])
+            + d[4] * (d[3] * d[5] - d[1] * d[4]);
+        assert!((eig[0] * eig[1] * eig[2] - det).abs() < 1e-9);
+    }
+}

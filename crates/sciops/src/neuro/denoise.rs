@@ -1,0 +1,199 @@
+//! Step 2N — non-local means denoising.
+//!
+//! A blockwise non-local means filter over a 3-D sliding window (Coupé et
+//! al. 2008, the paper's \[7]): each voxel is replaced by a weighted average
+//! of voxels in a search window, weighted by the similarity of the small
+//! patches around them. The brain mask restricts computation to ~2/3 of the
+//! volume — the optimization TensorFlow cannot express (no masked
+//! element-wise assignment), which the dataflow engine reproduces.
+
+use marray::{window_bounds, Mask, NdArray};
+
+/// Non-local means parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NlmParams {
+    /// Search window radius (voxels).
+    pub search_radius: usize,
+    /// Patch radius for similarity comparison (voxels).
+    pub patch_radius: usize,
+    /// Noise standard deviation; weights decay as exp(-d² / h²) with
+    /// h = `h_factor · sigma`.
+    pub sigma: f64,
+    /// Smoothing strength multiplier.
+    pub h_factor: f64,
+}
+
+impl Default for NlmParams {
+    fn default() -> Self {
+        NlmParams { search_radius: 2, patch_radius: 1, sigma: 1.0, h_factor: 1.0 }
+    }
+}
+
+/// Mean squared difference between the patches centered at `a` and `b`,
+/// clamped at volume borders (patches are truncated symmetrically).
+#[inline]
+fn patch_distance(
+    data: &[f64],
+    dims: &[usize; 3],
+    a: [usize; 3],
+    b: [usize; 3],
+    radius: usize,
+) -> f64 {
+    let (sy, sz) = (dims[1] * dims[2], dims[2]);
+    let r = radius as isize;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for dx in -r..=r {
+        for dy in -r..=r {
+            for dz in -r..=r {
+                let ax = a[0] as isize + dx;
+                let ay = a[1] as isize + dy;
+                let az = a[2] as isize + dz;
+                let bx = b[0] as isize + dx;
+                let by = b[1] as isize + dy;
+                let bz = b[2] as isize + dz;
+                let inside = |x: isize, y: isize, z: isize| {
+                    x >= 0 && y >= 0 && z >= 0
+                        && (x as usize) < dims[0]
+                        && (y as usize) < dims[1]
+                        && (z as usize) < dims[2]
+                };
+                if inside(ax, ay, az) && inside(bx, by, bz) {
+                    let va = data[ax as usize * sy + ay as usize * sz + az as usize];
+                    let vb = data[bx as usize * sy + by as usize * sz + bz as usize];
+                    sum += (va - vb) * (va - vb);
+                    count += 1;
+                }
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Denoise one 3-D volume with non-local means, computing only voxels where
+/// `mask` is true (masked-out voxels pass through unchanged). Pass `None`
+/// to denoise the full volume (the TensorFlow path).
+pub fn nlmeans3d(volume: &NdArray<f64>, mask: Option<&Mask>, params: &NlmParams) -> NdArray<f64> {
+    assert_eq!(volume.shape().rank(), 3, "nlmeans3d expects a 3-D volume");
+    if let Some(m) = mask {
+        assert_eq!(m.dims(), volume.dims(), "mask shape must match volume");
+    }
+    let dims = [volume.dims()[0], volume.dims()[1], volume.dims()[2]];
+    let data = volume.data();
+    let (sy, sz) = (dims[1] * dims[2], dims[2]);
+    let h2 = (params.h_factor * params.sigma).powi(2).max(1e-12);
+    let mut out = volume.clone();
+
+    for x in 0..dims[0] {
+        for y in 0..dims[1] {
+            for z in 0..dims[2] {
+                let off = x * sy + y * sz + z;
+                if let Some(m) = mask {
+                    if !m.get_flat(off) {
+                        continue;
+                    }
+                }
+                let (x0, x1) = window_bounds(x, params.search_radius, dims[0]);
+                let (y0, y1) = window_bounds(y, params.search_radius, dims[1]);
+                let (z0, z1) = window_bounds(z, params.search_radius, dims[2]);
+                let mut wsum = 0.0;
+                let mut vsum = 0.0;
+                for nx in x0..x1 {
+                    for ny in y0..y1 {
+                        for nz in z0..z1 {
+                            let d = patch_distance(
+                                data,
+                                &dims,
+                                [x, y, z],
+                                [nx, ny, nz],
+                                params.patch_radius,
+                            );
+                            let w = (-d / h2).exp();
+                            wsum += w;
+                            vsum += w * data[nx * sy + ny * sz + nz];
+                        }
+                    }
+                }
+                out.data_mut()[off] = vsum / wsum;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_constant(seed: u64, level: f64, noise: f64) -> NdArray<f64> {
+        let mut state = seed;
+        NdArray::from_fn(&[6, 6, 6], |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            level + noise * u
+        })
+    }
+
+    #[test]
+    fn reduces_noise_on_constant_region() {
+        let v = noisy_constant(7, 100.0, 5.0);
+        let params = NlmParams { sigma: 5.0, ..Default::default() };
+        let d = nlmeans3d(&v, None, &params);
+        let noise_before = v.map(|x| x - 100.0).std();
+        let noise_after = d.map(|x| x - 100.0).std();
+        assert!(
+            noise_after < 0.6 * noise_before,
+            "noise {noise_after} not reduced from {noise_before}"
+        );
+    }
+
+    #[test]
+    fn preserves_strong_edges() {
+        // Two constant halves with a large step; NLM should keep the step.
+        let v = NdArray::from_fn(&[6, 6, 6], |ix| if ix[0] < 3 { 0.0 } else { 1000.0 });
+        let params = NlmParams { sigma: 1.0, ..Default::default() };
+        let d = nlmeans3d(&v, None, &params);
+        assert!(d[&[0, 3, 3][..]] < 1.0);
+        assert!(d[&[5, 3, 3][..]] > 999.0);
+    }
+
+    #[test]
+    fn masked_voxels_pass_through() {
+        let v = noisy_constant(13, 50.0, 5.0);
+        let mask = Mask::from_vec(
+            v.dims(),
+            (0..v.len()).map(|i| i % 2 == 0).collect(),
+        )
+        .unwrap();
+        let params = NlmParams { sigma: 5.0, ..Default::default() };
+        let d = nlmeans3d(&v, Some(&mask), &params);
+        for i in 0..v.len() {
+            if !mask.get_flat(i) {
+                assert_eq!(d.data()[i], v.data()[i], "masked-out voxel {i} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_result_matches_unmasked_on_selected_voxels() {
+        let v = noisy_constant(29, 10.0, 2.0);
+        let full_mask = Mask::from_vec(v.dims(), vec![true; v.len()]).unwrap();
+        let params = NlmParams { sigma: 2.0, ..Default::default() };
+        let a = nlmeans3d(&v, None, &params);
+        let b = nlmeans3d(&v, Some(&full_mask), &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_volume_is_fixed_point() {
+        let v = NdArray::<f64>::full(&[5, 5, 5], 42.0);
+        let d = nlmeans3d(&v, None, &NlmParams::default());
+        for &x in d.data() {
+            assert!((x - 42.0).abs() < 1e-9);
+        }
+    }
+}

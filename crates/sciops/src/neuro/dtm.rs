@@ -1,0 +1,271 @@
+//! Step 3N — diffusion tensor model fitting.
+//!
+//! Fits the diffusion tensor model (Basser et al. 1994, the paper's \[3]) to
+//! each voxel: the signal follows `S(g, b) = S0 · exp(-b gᵀ D g)` where `D`
+//! is a symmetric 3×3 tensor. Taking logs turns the fit into a weighted
+//! linear least squares over 7 parameters (6 unique tensor elements plus
+//! `ln S0`). The tensor's eigenvalues summarize to fractional anisotropy.
+
+use crate::linalg::{solve, sym3_eigenvalues};
+use crate::neuro::gradients::GradientTable;
+use marray::{Mask, NdArray};
+
+/// Per-voxel diffusion tensor fit result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtmFit {
+    /// Unique tensor elements `[dxx, dyy, dzz, dxy, dxz, dyz]`.
+    pub tensor: [f64; 6],
+    /// Fitted non-diffusion-weighted signal.
+    pub s0: f64,
+}
+
+impl DtmFit {
+    /// Eigenvalues of the tensor in descending order.
+    pub fn eigenvalues(&self) -> [f64; 3] {
+        sym3_eigenvalues(&self.tensor)
+    }
+
+    /// Fractional anisotropy in `[0, 1]`.
+    pub fn fa(&self) -> f64 {
+        let eig = self.eigenvalues();
+        fractional_anisotropy(&eig)
+    }
+
+    /// Mean diffusivity: the tensor's mean eigenvalue (= trace / 3) —
+    /// the other standard DTI summary scalar alongside FA.
+    pub fn md(&self) -> f64 {
+        (self.tensor[0] + self.tensor[1] + self.tensor[2]) / 3.0
+    }
+}
+
+/// Fractional anisotropy of a set of tensor eigenvalues.
+pub fn fractional_anisotropy(eig: &[f64; 3]) -> f64 {
+    let (l1, l2, l3) = (eig[0], eig[1], eig[2]);
+    let norm2 = l1 * l1 + l2 * l2 + l3 * l3;
+    if norm2 <= 0.0 {
+        return 0.0;
+    }
+    let mean = (l1 + l2 + l3) / 3.0;
+    let num = (l1 - mean).powi(2) + (l2 - mean).powi(2) + (l3 - mean).powi(2);
+    ((1.5 * num / norm2).sqrt()).clamp(0.0, 1.0)
+}
+
+/// Design-matrix row for one measurement: coefficients of
+/// `[dxx, dyy, dzz, dxy, dxz, dyz, ln S0]` in `ln S = -b gᵀDg + ln S0`.
+fn design_row(b: f64, g: &[f64; 3]) -> [f64; 7] {
+    [
+        -b * g[0] * g[0],
+        -b * g[1] * g[1],
+        -b * g[2] * g[2],
+        -2.0 * b * g[0] * g[1],
+        -2.0 * b * g[0] * g[2],
+        -2.0 * b * g[1] * g[2],
+        1.0,
+    ]
+}
+
+/// Fit the DTM for a single voxel given its signal across all volumes.
+///
+/// Weighted least squares with weights `S²` (the standard log-linear WLS,
+/// which de-emphasizes low-SNR measurements). Returns `None` when the voxel
+/// has non-positive signal everywhere or a singular system.
+pub fn fit_dtm_voxel(signals: &[f64], gtab: &GradientTable) -> Option<DtmFit> {
+    assert_eq!(signals.len(), gtab.len(), "one signal per volume");
+    const N: usize = 7;
+    let mut ata = [0.0f64; N * N];
+    let mut atb = [0.0f64; N];
+    let mut usable = 0;
+    for (i, &s) in signals.iter().enumerate() {
+        if s <= 0.0 {
+            continue;
+        }
+        usable += 1;
+        let row = design_row(gtab.bvals[i], &gtab.bvecs[i]);
+        let w = s * s; // WLS weight
+        let y = s.ln();
+        for r in 0..N {
+            atb[r] += w * row[r] * y;
+            for c in 0..N {
+                ata[r * N + c] += w * row[r] * row[c];
+            }
+        }
+    }
+    if usable < N {
+        return None;
+    }
+    let x = solve(&ata, &atb, N)?;
+    Some(DtmFit {
+        tensor: [x[0], x[1], x[2], x[3], x[4], x[5]],
+        s0: x[6].exp(),
+    })
+}
+
+/// Fit the DTM for every masked voxel and return both summary maps
+/// (FA, MD). Unmasked voxels get 0.
+pub fn fit_dtm_volume_full(
+    data: &NdArray<f64>,
+    mask: &Mask,
+    gtab: &GradientTable,
+) -> (NdArray<f64>, NdArray<f64>) {
+    assert_eq!(data.shape().rank(), 4, "expected 4-D (x,y,z,volume) data");
+    let dims = data.dims();
+    let n_vols = dims[3];
+    assert_eq!(n_vols, gtab.len(), "volume count must match gradient table");
+    assert_eq!(mask.dims(), &dims[..3], "mask must be 3-D over (x,y,z)");
+    let spatial = [dims[0], dims[1], dims[2]];
+    let mut fa = NdArray::<f64>::zeros(&spatial);
+    let mut md = NdArray::<f64>::zeros(&spatial);
+    let mut signals = vec![0.0f64; n_vols];
+    let raw = data.data();
+    let n_spatial = spatial.iter().product::<usize>();
+    for voxel in 0..n_spatial {
+        if !mask.get_flat(voxel) {
+            continue;
+        }
+        let base = voxel * n_vols;
+        signals.copy_from_slice(&raw[base..base + n_vols]);
+        if let Some(fit) = fit_dtm_voxel(&signals, gtab) {
+            fa.data_mut()[voxel] = fit.fa();
+            md.data_mut()[voxel] = fit.md();
+        }
+    }
+    (fa, md)
+}
+
+/// Fit the DTM for every masked voxel of a subject's 4-D dataset
+/// (x, y, z, volume) and return the FA map. Unmasked voxels get FA 0.
+pub fn fit_dtm_volume(data: &NdArray<f64>, mask: &Mask, gtab: &GradientTable) -> NdArray<f64> {
+    assert_eq!(data.shape().rank(), 4, "expected 4-D (x,y,z,volume) data");
+    let dims = data.dims();
+    let n_vols = dims[3];
+    assert_eq!(n_vols, gtab.len(), "volume count must match gradient table");
+    assert_eq!(mask.dims(), &dims[..3], "mask must be 3-D over (x,y,z)");
+    let spatial = [dims[0], dims[1], dims[2]];
+    let mut fa = NdArray::<f64>::zeros(&spatial);
+    let mut signals = vec![0.0f64; n_vols];
+    let raw = data.data();
+    let n_spatial = spatial.iter().product::<usize>();
+    for voxel in 0..n_spatial {
+        if !mask.get_flat(voxel) {
+            continue;
+        }
+        // Row-major (x,y,z,v): the volume axis is contiguous per voxel.
+        let base = voxel * n_vols;
+        signals.copy_from_slice(&raw[base..base + n_vols]);
+        if let Some(fit) = fit_dtm_voxel(&signals, gtab) {
+            fa.data_mut()[voxel] = fit.fa();
+        }
+    }
+    fa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulate a voxel's signal from a known tensor.
+    fn simulate(gtab: &GradientTable, tensor: &[f64; 6], s0: f64) -> Vec<f64> {
+        gtab.bvals
+            .iter()
+            .zip(&gtab.bvecs)
+            .map(|(&b, g)| {
+                let quad = tensor[0] * g[0] * g[0]
+                    + tensor[1] * g[1] * g[1]
+                    + tensor[2] * g[2] * g[2]
+                    + 2.0 * tensor[3] * g[0] * g[1]
+                    + 2.0 * tensor[4] * g[0] * g[2]
+                    + 2.0 * tensor[5] * g[1] * g[2];
+                s0 * (-b * quad).exp()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_isotropic_tensor() {
+        let gtab = GradientTable::hcp_like(64, 4, 1000.0);
+        let truth = [0.7e-3, 0.7e-3, 0.7e-3, 0.0, 0.0, 0.0];
+        let fit = fit_dtm_voxel(&simulate(&gtab, &truth, 1000.0), &gtab).unwrap();
+        for (a, b) in fit.tensor.iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert!((fit.s0 - 1000.0).abs() < 1.0);
+        assert!(fit.fa() < 0.01, "isotropic tensor FA {}", fit.fa());
+    }
+
+    #[test]
+    fn recovers_anisotropic_tensor_and_fa() {
+        let gtab = GradientTable::hcp_like(64, 4, 1000.0);
+        // Strongly anisotropic: principal diffusion along x.
+        let truth = [1.7e-3, 0.2e-3, 0.2e-3, 0.0, 0.0, 0.0];
+        let fit = fit_dtm_voxel(&simulate(&gtab, &truth, 500.0), &gtab).unwrap();
+        for (a, b) in fit.tensor.iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        let expected_fa = fractional_anisotropy(&[1.7e-3, 0.2e-3, 0.2e-3]);
+        assert!((fit.fa() - expected_fa).abs() < 1e-6);
+        assert!(fit.fa() > 0.7, "white-matter-like FA, got {}", fit.fa());
+    }
+
+    #[test]
+    fn recovers_off_diagonal_terms() {
+        let gtab = GradientTable::hcp_like(96, 6, 2000.0);
+        let truth = [1.0e-3, 0.8e-3, 0.6e-3, 0.2e-3, -0.1e-3, 0.15e-3];
+        let fit = fit_dtm_voxel(&simulate(&gtab, &truth, 800.0), &gtab).unwrap();
+        for (a, b) in fit.tensor.iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fa_bounds() {
+        assert_eq!(fractional_anisotropy(&[0.0, 0.0, 0.0]), 0.0);
+        assert!((fractional_anisotropy(&[1.0, 1.0, 1.0])).abs() < 1e-12);
+        // Degenerate stick tensor approaches FA = 1.
+        assert!(fractional_anisotropy(&[1.0, 0.0, 0.0]) > 0.99);
+    }
+
+    #[test]
+    fn rejects_unusable_voxel() {
+        let gtab = GradientTable::hcp_like(32, 2, 1000.0);
+        let zeros = vec![0.0; 32];
+        assert!(fit_dtm_voxel(&zeros, &gtab).is_none());
+    }
+
+    #[test]
+    fn md_is_trace_over_three() {
+        let gtab = GradientTable::hcp_like(48, 4, 1000.0);
+        let truth = [1.2e-3, 0.9e-3, 0.6e-3, 0.0, 0.0, 0.0];
+        let fit = fit_dtm_voxel(&simulate(&gtab, &truth, 700.0), &gtab).unwrap();
+        assert!((fit.md() - 0.9e-3).abs() < 1e-8, "MD {}", fit.md());
+    }
+
+    #[test]
+    fn full_fit_returns_consistent_fa_and_md() {
+        let gtab = GradientTable::hcp_like(32, 2, 1000.0);
+        let aniso = [1.7e-3, 0.2e-3, 0.2e-3, 0.0, 0.0, 0.0];
+        let sig = simulate(&gtab, &aniso, 1000.0);
+        let data = NdArray::from_fn(&[2, 2, 2, 32], |ix| sig[ix[3]]);
+        let mask = Mask::from_vec(&[2, 2, 2], vec![true; 8]).unwrap();
+        let (fa, md) = fit_dtm_volume_full(&data, &mask, &gtab);
+        let fa_only = fit_dtm_volume(&data, &mask, &gtab);
+        assert_eq!(fa, fa_only);
+        let expect_md = (1.7e-3 + 0.2e-3 + 0.2e-3) / 3.0;
+        for &v in md.data() {
+            assert!((v - expect_md).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn volume_fit_respects_mask() {
+        let gtab = GradientTable::hcp_like(32, 2, 1000.0);
+        let aniso = [1.7e-3, 0.2e-3, 0.2e-3, 0.0, 0.0, 0.0];
+        let sig = simulate(&gtab, &aniso, 1000.0);
+        let data = NdArray::from_fn(&[2, 2, 2, 32], |ix| sig[ix[3]]);
+        let mut bits = vec![true; 8];
+        bits[0] = false;
+        let mask = Mask::from_vec(&[2, 2, 2], bits).unwrap();
+        let fa = fit_dtm_volume(&data, &mask, &gtab);
+        assert_eq!(fa.data()[0], 0.0, "unmasked voxel stays 0");
+        assert!(fa.data()[1] > 0.7, "masked voxel gets the anisotropic FA");
+    }
+}

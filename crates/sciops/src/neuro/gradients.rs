@@ -1,0 +1,128 @@
+//! Diffusion gradient tables.
+//!
+//! Each of a subject's volumes was acquired with a gradient direction and a
+//! diffusion weighting (b-value). The HCP protocol the paper uses has 288
+//! volumes of which 18 are unweighted (b=0) calibration volumes; the rest
+//! carry b-values around 1000–3000 s/mm² in spread directions.
+
+use marray::Mask;
+
+/// Gradient directions and diffusion weightings for one acquisition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientTable {
+    /// b-value per volume (s/mm²); 0 marks a calibration volume.
+    pub bvals: Vec<f64>,
+    /// Unit gradient direction per volume (arbitrary for b=0 volumes).
+    pub bvecs: Vec<[f64; 3]>,
+}
+
+impl GradientTable {
+    /// Number of volumes.
+    pub fn len(&self) -> usize {
+        self.bvals.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bvals.is_empty()
+    }
+
+    /// The `b0s_mask` of the reference code: true for b=0 volumes.
+    pub fn b0s_mask(&self) -> Mask {
+        Mask::from_vec(&[self.len()], self.bvals.iter().map(|&b| b == 0.0).collect())
+            .expect("mask length matches")
+    }
+
+    /// Indices of the b=0 volumes.
+    pub fn b0_indices(&self) -> Vec<usize> {
+        self.bvals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b == 0.0).then_some(i))
+            .collect()
+    }
+
+    /// HCP-like table: `total` volumes of which `n_b0` are b=0, the rest
+    /// weighted at `b` with directions spread over the sphere by a golden-
+    /// spiral layout. Deterministic.
+    pub fn hcp_like(total: usize, n_b0: usize, b: f64) -> GradientTable {
+        assert!(n_b0 <= total);
+        let mut bvals = Vec::with_capacity(total);
+        let mut bvecs = Vec::with_capacity(total);
+        let n_weighted = total - n_b0;
+        // Interleave b0 volumes roughly evenly through the acquisition, as
+        // real protocols do (first volume is always b0 when n_b0 > 0).
+        let b0_stride = if n_b0 == 0 { usize::MAX } else { total.div_ceil(n_b0) };
+        let golden = std::f64::consts::PI * (3.0 - 5.0f64.sqrt());
+        let mut placed_b0 = 0;
+        let mut placed_w = 0;
+        for i in 0..total {
+            let want_b0 = placed_b0 < n_b0 && (i % b0_stride == 0 || total - i == n_b0 - placed_b0);
+            if want_b0 {
+                bvals.push(0.0);
+                bvecs.push([0.0, 0.0, 0.0]);
+                placed_b0 += 1;
+            } else {
+                bvals.push(b);
+                // Golden-spiral point k of n_weighted on the unit sphere.
+                let k = placed_w as f64;
+                let z = if n_weighted > 1 { 1.0 - 2.0 * k / (n_weighted as f64 - 1.0) } else { 0.0 };
+                let r = (1.0 - z * z).max(0.0).sqrt();
+                let theta = golden * k;
+                bvecs.push([r * theta.cos(), r * theta.sin(), z]);
+                placed_w += 1;
+            }
+        }
+        GradientTable { bvals, bvecs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hcp_table_shape() {
+        let g = GradientTable::hcp_like(288, 18, 1000.0);
+        assert_eq!(g.len(), 288);
+        assert_eq!(g.b0_indices().len(), 18);
+        assert_eq!(g.b0s_mask().count(), 18);
+        assert_eq!(g.bvals[0], 0.0, "first volume is a b0 calibration volume");
+    }
+
+    #[test]
+    fn weighted_directions_are_unit() {
+        let g = GradientTable::hcp_like(64, 4, 2000.0);
+        for (b, v) in g.bvals.iter().zip(&g.bvecs) {
+            if *b > 0.0 {
+                let norm = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+                assert!((norm - 1.0).abs() < 1e-9, "direction {v:?} not unit");
+            }
+        }
+    }
+
+    #[test]
+    fn directions_are_spread() {
+        // No two weighted directions should coincide.
+        let g = GradientTable::hcp_like(32, 2, 1000.0);
+        let dirs: Vec<_> = g
+            .bvals
+            .iter()
+            .zip(&g.bvecs)
+            .filter(|(b, _)| **b > 0.0)
+            .map(|(_, v)| *v)
+            .collect();
+        for i in 0..dirs.len() {
+            for j in i + 1..dirs.len() {
+                let d = (0..3).map(|k| (dirs[i][k] - dirs[j][k]).powi(2)).sum::<f64>();
+                assert!(d > 1e-6, "directions {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    fn all_b0_table() {
+        let g = GradientTable::hcp_like(5, 5, 1000.0);
+        assert_eq!(g.b0_indices(), vec![0, 1, 2, 3, 4]);
+    }
+}

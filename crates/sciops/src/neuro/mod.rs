@@ -1,0 +1,26 @@
+//! Neuroscience use case: diffusion-MRI analysis (the paper's §3.1).
+//!
+//! The pipeline has three steps, mirroring Figure 1 of the paper:
+//!
+//! 1. **Segmentation** (Step 1N) — select the non-diffusion-weighted (b0)
+//!    volumes, average them, and build a brain mask with a median-filtered
+//!    Otsu threshold ([`segment`]).
+//! 2. **Denoising** (Step 2N) — per-volume non-local means over a 3-D
+//!    sliding window, restricted to the mask ([`denoise`]).
+//! 3. **Model fitting** (Step 3N) — per-voxel diffusion tensor model fit
+//!    across all volumes, summarized as fractional anisotropy ([`dtm`]).
+//!
+//! [`pipeline`] chains the three steps into the single-machine reference
+//! implementation every engine's output is validated against.
+
+pub mod denoise;
+pub mod dtm;
+pub mod gradients;
+pub mod pipeline;
+pub mod segment;
+
+pub use denoise::{nlmeans3d, NlmParams};
+pub use dtm::{fit_dtm_volume, fit_dtm_volume_full, fractional_anisotropy, DtmFit};
+pub use gradients::GradientTable;
+pub use pipeline::{reference_pipeline, NeuroOutput};
+pub use segment::{median_filter3d, median_otsu, otsu_threshold};

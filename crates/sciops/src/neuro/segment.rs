@@ -1,0 +1,244 @@
+//! Step 1N — volume segmentation.
+//!
+//! Builds the per-subject brain mask: average the b0 volumes, smooth with a
+//! 3-D median filter, threshold with Otsu's method, and keep the largest
+//! connected component. This mirrors Dipy's `median_otsu`, the function the
+//! paper's reference implementation calls.
+
+use crate::stats::histogram;
+use marray::{Mask, NdArray, WindowIter};
+
+/// Otsu's threshold (Otsu 1975, the paper's \[27]): the gray level that
+/// maximizes inter-class variance of the intensity histogram.
+///
+/// Returns the threshold in the data's units. `bins` controls histogram
+/// resolution (256 matches the classic formulation).
+pub fn otsu_threshold(values: &NdArray<f64>, bins: usize) -> f64 {
+    let lo = values.min();
+    let hi = values.max();
+    if hi <= lo {
+        return lo;
+    }
+    let counts = histogram(values.data().iter().copied(), lo, hi, bins);
+    let total: usize = counts.iter().sum();
+    let bin_width = (hi - lo) / bins as f64;
+    let bin_center = |i: usize| lo + (i as f64 + 0.5) * bin_width;
+
+    let sum_all: f64 = counts.iter().enumerate().map(|(i, &c)| bin_center(i) * c as f64).sum();
+    let mut w_bg = 0.0f64; // background weight
+    let mut sum_bg = 0.0f64;
+    let mut best_var = -1.0;
+    let mut best_t = lo;
+    for (i, &count) in counts.iter().enumerate().take(bins - 1) {
+        w_bg += count as f64;
+        if w_bg == 0.0 {
+            continue;
+        }
+        let w_fg = total as f64 - w_bg;
+        if w_fg == 0.0 {
+            break;
+        }
+        sum_bg += bin_center(i) * count as f64;
+        let mean_bg = sum_bg / w_bg;
+        let mean_fg = (sum_all - sum_bg) / w_fg;
+        let between = w_bg * w_fg * (mean_bg - mean_fg) * (mean_bg - mean_fg);
+        if between > best_var {
+            best_var = between;
+            best_t = lo + (i as f64 + 1.0) * bin_width; // threshold after bin i
+        }
+    }
+    best_t
+}
+
+/// 3-D median filter with a cubic window of the given radius
+/// (radius 1 = 3×3×3), clamped at the borders.
+pub fn median_filter3d(volume: &NdArray<f64>, radius: usize) -> NdArray<f64> {
+    assert_eq!(volume.shape().rank(), 3, "median_filter3d expects a 3-D volume");
+    let dims = volume.dims().to_vec();
+    let data = volume.data();
+    let mut out = NdArray::zeros(&dims);
+    let (sy, sz) = (dims[1] * dims[2], dims[2]);
+    let mut window: Vec<f64> = Vec::with_capacity((2 * radius + 1).pow(3));
+    for pos in WindowIter::new(volume.shape(), radius) {
+        window.clear();
+        for x in pos.bounds[0].0..pos.bounds[0].1 {
+            for y in pos.bounds[1].0..pos.bounds[1].1 {
+                let row = x * sy + y * sz;
+                window.extend_from_slice(&data[row + pos.bounds[2].0..row + pos.bounds[2].1]);
+            }
+        }
+        let m = crate::stats::median(&mut window);
+        let off = pos.center[0] * sy + pos.center[1] * sz + pos.center[2];
+        out.data_mut()[off] = m;
+    }
+    out
+}
+
+/// 3-D 6-connected component labeling; returns (labels, count).
+/// Label 0 is background (positions where `mask` is false).
+fn label_components(mask: &Mask, dims: &[usize; 3]) -> (Vec<u32>, u32) {
+    let n = dims[0] * dims[1] * dims[2];
+    let mut labels = vec![0u32; n];
+    let mut next_label = 0u32;
+    let (sy, sz) = (dims[1] * dims[2], dims[2]);
+    let mut stack: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if !mask.get_flat(start) || labels[start] != 0 {
+            continue;
+        }
+        next_label += 1;
+        labels[start] = next_label;
+        stack.push(start);
+        while let Some(off) = stack.pop() {
+            let x = off / sy;
+            let y = (off % sy) / sz;
+            let z = off % sz;
+            let mut try_push = |nx: usize, ny: usize, nz: usize| {
+                let noff = nx * sy + ny * sz + nz;
+                if mask.get_flat(noff) && labels[noff] == 0 {
+                    labels[noff] = next_label;
+                    stack.push(noff);
+                }
+            };
+            if x > 0 {
+                try_push(x - 1, y, z);
+            }
+            if x + 1 < dims[0] {
+                try_push(x + 1, y, z);
+            }
+            if y > 0 {
+                try_push(x, y - 1, z);
+            }
+            if y + 1 < dims[1] {
+                try_push(x, y + 1, z);
+            }
+            if z > 0 {
+                try_push(x, y, z - 1);
+            }
+            if z + 1 < dims[2] {
+                try_push(x, y, z + 1);
+            }
+        }
+    }
+    (labels, next_label)
+}
+
+/// Dipy-style `median_otsu`: median filter, Otsu threshold, keep the largest
+/// 6-connected component. Input is the mean-b0 volume; output is the brain
+/// mask used by Steps 2N and 3N.
+pub fn median_otsu(mean_b0: &NdArray<f64>, median_radius: usize) -> Mask {
+    assert_eq!(mean_b0.shape().rank(), 3, "median_otsu expects a 3-D volume");
+    let smoothed = median_filter3d(mean_b0, median_radius);
+    let threshold = otsu_threshold(&smoothed, 256);
+    let raw = Mask::threshold(&smoothed, threshold);
+    let dims = [mean_b0.dims()[0], mean_b0.dims()[1], mean_b0.dims()[2]];
+    let (labels, count) = label_components(&raw, &dims);
+    if count <= 1 {
+        return raw;
+    }
+    // Keep only the most populous component.
+    let mut sizes = vec![0usize; count as usize + 1];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    sizes[0] = 0;
+    let largest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .map(|(l, _)| l as u32)
+        .unwrap_or(0);
+    Mask::from_vec(mean_b0.dims(), labels.iter().map(|&l| l == largest).collect())
+        .expect("dims/len agree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated intensity populations.
+    fn bimodal() -> NdArray<f64> {
+        NdArray::from_fn(&[8, 8, 8], |ix| {
+            let center = ix.iter().all(|&c| (2..6).contains(&c));
+            if center {
+                100.0 + (ix[0] as f64)
+            } else {
+                5.0 + (ix[2] as f64) * 0.1
+            }
+        })
+    }
+
+    #[test]
+    fn otsu_separates_bimodal() {
+        let v = bimodal();
+        let t = otsu_threshold(&v, 256);
+        // Background mode tops out at 5.7, bright mode starts at 100; any
+        // threshold strictly between separates the classes (Otsu picks the
+        // first maximizer of the between-class variance, which lands just
+        // above the background mode).
+        assert!(t > 5.7 && t < 100.0, "threshold {t} should split the modes");
+        let dark = v.data().iter().filter(|&&x| x <= t).count();
+        assert_eq!(dark, 8 * 8 * 8 - 4 * 4 * 4, "all background below threshold");
+    }
+
+    #[test]
+    fn otsu_constant_volume() {
+        let v = NdArray::<f64>::full(&[4, 4, 4], 7.0);
+        assert_eq!(otsu_threshold(&v, 256), 7.0);
+    }
+
+    #[test]
+    fn median_filter_removes_speckle() {
+        let mut v = NdArray::<f64>::full(&[5, 5, 5], 10.0);
+        v[&[2, 2, 2][..]] = 1000.0; // single-voxel speckle
+        let f = median_filter3d(&v, 1);
+        assert_eq!(f[&[2, 2, 2][..]], 10.0);
+        assert_eq!(f[&[0, 0, 0][..]], 10.0);
+    }
+
+    #[test]
+    fn median_filter_preserves_constant() {
+        let v = NdArray::<f64>::full(&[4, 4, 4], 3.0);
+        assert_eq!(median_filter3d(&v, 1), v);
+    }
+
+    #[test]
+    fn median_otsu_finds_center_blob() {
+        let v = bimodal();
+        let mask = median_otsu(&v, 1);
+        // The central 4x4x4 blob is selected, the border is not.
+        assert!(mask.bits()[v.shape().offset(&[3, 3, 3])]);
+        assert!(!mask.bits()[v.shape().offset(&[0, 0, 0])]);
+        let frac = mask.fill_fraction();
+        assert!(frac > 0.05 && frac < 0.3, "fill fraction {frac}");
+    }
+
+    #[test]
+    fn median_otsu_keeps_largest_component_only() {
+        // Big bright blob + a distant small bright voxel cluster.
+        let v = NdArray::from_fn(&[10, 10, 10], |ix| {
+            let in_big = ix.iter().all(|&c| (1..6).contains(&c));
+            let in_small = ix.iter().all(|&c| c == 8);
+            if in_big || in_small {
+                100.0
+            } else {
+                1.0
+            }
+        });
+        let mask = median_otsu(&v, 0); // radius 0 = no smoothing
+        assert!(mask.bits()[v.shape().offset(&[3, 3, 3])]);
+        assert!(!mask.bits()[v.shape().offset(&[8, 8, 8])], "small component rejected");
+    }
+
+    #[test]
+    fn label_components_counts() {
+        // Two disjoint voxels are two components under 6-connectivity.
+        let dims = [3usize, 3, 3];
+        let mut bits = vec![false; 27];
+        bits[0] = true; // (0,0,0)
+        bits[26] = true; // (2,2,2)
+        let mask = Mask::from_vec(&[3, 3, 3], bits).unwrap();
+        let (_, count) = label_components(&mask, &dims);
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,353 @@
+//! Synthetic transient-survey sky generator.
+//!
+//! Substitutes for the HiTS survey data: a fixed population of point
+//! sources on a flat sky, observed by repeated dithered visits. Each visit
+//! is a grid of sensor exposures with smooth background, Gaussian-PSF
+//! sources, photon + read noise, and per-visit cosmic rays — the outliers
+//! the coadd's 3σ rejection must remove.
+
+use crate::astro::geometry::{Exposure, PatchGrid, SkyBox};
+use crate::synth::Randn;
+use marray::NdArray;
+
+/// Survey geometry and signal parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkySpec {
+    /// Sensor width in pixels (paper: 4000).
+    pub sensor_width: usize,
+    /// Sensor height in pixels (paper: 4072).
+    pub sensor_height: usize,
+    /// Sensors per visit, as a (columns, rows) grid (paper: 60 total).
+    pub sensor_grid: (usize, usize),
+    /// Number of visits.
+    pub n_visits: usize,
+    /// Injected point sources across the footprint.
+    pub n_sources: usize,
+    /// Sky background level (counts).
+    pub background: f64,
+    /// Linear background gradient per pixel.
+    pub bg_gradient: f64,
+    /// Source flux range (peak counts).
+    pub flux_range: (f64, f64),
+    /// PSF sigma in pixels.
+    pub psf_sigma: f64,
+    /// Read-noise sigma.
+    pub read_noise: f64,
+    /// Cosmic-ray hits per sensor per visit.
+    pub cosmic_rays_per_sensor: usize,
+    /// Maximum dither of a visit's pointing, in pixels.
+    pub dither: i64,
+    /// Sky patch edge length for the analysis (paper tuning: 1000 works well).
+    pub patch_size: u64,
+}
+
+impl SkySpec {
+    /// The paper's full HiTS-like geometry: 60 sensors of 4000×4072 px,
+    /// ≈4.8 GB per visit (three f32-equivalent planes are generated as
+    /// f64 flux/variance + u8 mask in memory).
+    pub fn paper_scale() -> Self {
+        SkySpec {
+            sensor_width: 4000,
+            sensor_height: 4072,
+            sensor_grid: (6, 10),
+            n_visits: 24,
+            n_sources: 20_000,
+            background: 300.0,
+            bg_gradient: 0.002,
+            flux_range: (500.0, 50_000.0),
+            psf_sigma: 2.0,
+            read_noise: 12.0,
+            cosmic_rays_per_sensor: 40,
+            dither: 30,
+            patch_size: 1000,
+        }
+    }
+
+    /// Small geometry for tests and examples.
+    pub fn test_scale() -> Self {
+        SkySpec {
+            sensor_width: 48,
+            sensor_height: 48,
+            sensor_grid: (2, 2),
+            n_visits: 6,
+            n_sources: 10,
+            background: 200.0,
+            bg_gradient: 0.05,
+            flux_range: (3000.0, 9000.0),
+            psf_sigma: 1.2,
+            read_noise: 8.0,
+            cosmic_rays_per_sensor: 2,
+            dither: 2,
+            patch_size: 36,
+        }
+    }
+
+    /// Sensors per visit.
+    pub fn sensors_per_visit(&self) -> usize {
+        self.sensor_grid.0 * self.sensor_grid.1
+    }
+
+    /// Footprint covered by the sensor grid at zero dither.
+    pub fn footprint(&self) -> SkyBox {
+        SkyBox {
+            x0: 0,
+            y0: 0,
+            width: (self.sensor_grid.0 * self.sensor_width) as u64,
+            height: (self.sensor_grid.1 * self.sensor_height) as u64,
+        }
+    }
+
+    /// Approximate in-memory bytes of one visit (f64 flux + f64 variance +
+    /// u8 mask per pixel).
+    pub fn visit_nbytes(&self) -> usize {
+        self.sensors_per_visit() * self.sensor_width * self.sensor_height * 17
+    }
+}
+
+/// One injected source: global position and peak flux.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectedSource {
+    /// Global x (column) position.
+    pub x: f64,
+    /// Global y (row) position.
+    pub y: f64,
+    /// Peak counts above background.
+    pub flux: f64,
+}
+
+/// A generated survey: the ground-truth sources and all visit exposures.
+#[derive(Debug, Clone)]
+pub struct SkySurvey {
+    /// The generating spec.
+    pub spec: SkySpec,
+    /// Ground-truth injected sources (shared by all visits).
+    pub sources: Vec<InjectedSource>,
+    /// `visits[v]` holds visit v's sensor exposures.
+    pub visits: Vec<Vec<Exposure>>,
+}
+
+impl SkySurvey {
+    /// Generate a survey. Deterministic per (seed, spec).
+    pub fn generate(seed: u64, spec: &SkySpec) -> SkySurvey {
+        let mut rng = Randn::new(seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(13));
+        let fp = spec.footprint();
+        // Fixed sky: sources shared across visits, away from the borders.
+        let sources: Vec<InjectedSource> = (0..spec.n_sources)
+            .map(|_| InjectedSource {
+                x: rng.uniform_in(4.0, fp.width as f64 - 4.0),
+                y: rng.uniform_in(4.0, fp.height as f64 - 4.0),
+                flux: rng.uniform_in(spec.flux_range.0, spec.flux_range.1),
+            })
+            .collect();
+
+        let mut visits = Vec::with_capacity(spec.n_visits);
+        for visit in 0..spec.n_visits as u32 {
+            let ddx = if spec.dither > 0 {
+                rng.index((2 * spec.dither + 1) as usize) as i64 - spec.dither
+            } else {
+                0
+            };
+            let ddy = if spec.dither > 0 {
+                rng.index((2 * spec.dither + 1) as usize) as i64 - spec.dither
+            } else {
+                0
+            };
+            let mut exposures = Vec::with_capacity(spec.sensors_per_visit());
+            let mut sensor_id = 0u32;
+            for grid_row in 0..spec.sensor_grid.1 {
+                for grid_col in 0..spec.sensor_grid.0 {
+                    let bbox = SkyBox {
+                        x0: (grid_col * spec.sensor_width) as i64 + ddx,
+                        y0: (grid_row * spec.sensor_height) as i64 + ddy,
+                        width: spec.sensor_width as u64,
+                        height: spec.sensor_height as u64,
+                    };
+                    exposures.push(Self::render_sensor(
+                        spec, &sources, visit, sensor_id, bbox, &mut rng,
+                    ));
+                    sensor_id += 1;
+                }
+            }
+            visits.push(exposures);
+        }
+        SkySurvey { spec: spec.clone(), sources, visits }
+    }
+
+    fn render_sensor(
+        spec: &SkySpec,
+        sources: &[InjectedSource],
+        visit: u32,
+        sensor: u32,
+        bbox: SkyBox,
+        rng: &mut Randn,
+    ) -> Exposure {
+        let rows = bbox.height as usize;
+        let cols = bbox.width as usize;
+        let mut flux = vec![0f64; rows * cols];
+        let mut variance = vec![0f64; rows * cols];
+
+        // Background + noise everywhere.
+        for r in 0..rows {
+            let gy = bbox.y0 as f64 + r as f64;
+            for c in 0..cols {
+                let gx = bbox.x0 as f64 + c as f64;
+                let bg = spec.background + spec.bg_gradient * (gx + gy);
+                let var = bg.max(0.0) + spec.read_noise * spec.read_noise;
+                let off = r * cols + c;
+                flux[off] = bg + var.sqrt() * rng.normal();
+                variance[off] = var;
+            }
+        }
+
+        // Sources: render each within ±4σ of its center.
+        let reach = (4.0 * spec.psf_sigma).ceil() as i64;
+        let two_sig2 = 2.0 * spec.psf_sigma * spec.psf_sigma;
+        for s in sources {
+            let lx = s.x - bbox.x0 as f64;
+            let ly = s.y - bbox.y0 as f64;
+            if lx < -(reach as f64)
+                || ly < -(reach as f64)
+                || lx > cols as f64 + reach as f64
+                || ly > rows as f64 + reach as f64
+            {
+                continue;
+            }
+            let r0 = ((ly as i64) - reach).max(0) as usize;
+            let r1 = (((ly as i64) + reach + 1).max(0) as usize).min(rows);
+            let c0 = ((lx as i64) - reach).max(0) as usize;
+            let c1 = (((lx as i64) + reach + 1).max(0) as usize).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    let dr = r as f64 - ly;
+                    let dc = c as f64 - lx;
+                    let v = s.flux * (-(dr * dr + dc * dc) / two_sig2).exp();
+                    let off = r * cols + c;
+                    flux[off] += v;
+                    variance[off] += v.max(0.0); // shot noise of the source
+                }
+            }
+        }
+
+        // Per-visit cosmic rays: single hot pixels.
+        for _ in 0..spec.cosmic_rays_per_sensor {
+            let r = rng.index(rows);
+            let c = rng.index(cols);
+            flux[r * cols + c] += rng.uniform_in(20_000.0, 60_000.0);
+        }
+
+        Exposure {
+            visit,
+            sensor,
+            bbox,
+            flux: NdArray::from_vec(&[rows, cols], flux).expect("sized buffer"),
+            variance: NdArray::from_vec(&[rows, cols], variance).expect("sized buffer"),
+            mask: NdArray::zeros(&[rows, cols]),
+        }
+    }
+
+    /// The analysis patch grid over the survey footprint (padded by the
+    /// dither so every exposure falls inside).
+    pub fn patch_grid(&self) -> PatchGrid {
+        let fp = self.spec.footprint();
+        let pad = self.spec.dither;
+        let padded = SkyBox {
+            x0: fp.x0 - pad,
+            y0: fp.y0 - pad,
+            width: fp.width + 2 * pad as u64,
+            height: fp.height + 2 * pad as u64,
+        };
+        PatchGrid::new(padded, (self.spec.patch_size, self.spec.patch_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let spec = SkySpec::test_scale();
+        let a = SkySurvey::generate(2, &spec);
+        let b = SkySurvey::generate(2, &spec);
+        assert_eq!(a.visits[0][0].flux, b.visits[0][0].flux);
+        let c = SkySurvey::generate(3, &spec);
+        assert_ne!(a.visits[0][0].flux, c.visits[0][0].flux);
+    }
+
+    #[test]
+    fn structure_matches_spec() {
+        let spec = SkySpec::test_scale();
+        let s = SkySurvey::generate(1, &spec);
+        assert_eq!(s.visits.len(), spec.n_visits);
+        for v in &s.visits {
+            assert_eq!(v.len(), spec.sensors_per_visit());
+            for e in v {
+                assert_eq!(e.dims(), (spec.sensor_height, spec.sensor_width));
+            }
+        }
+        assert_eq!(s.sources.len(), spec.n_sources);
+    }
+
+    #[test]
+    fn sources_visible_above_background() {
+        let spec = SkySpec::test_scale();
+        let s = SkySurvey::generate(4, &spec);
+        let src = s.sources[0];
+        // Find a visit-0 sensor containing the source.
+        let e = s.visits[0]
+            .iter()
+            .find(|e| {
+                src.x >= e.bbox.x0 as f64
+                    && src.x < e.bbox.x1() as f64
+                    && src.y >= e.bbox.y0 as f64
+                    && src.y < e.bbox.y1() as f64
+            })
+            .expect("source inside footprint");
+        let r = (src.y - e.bbox.y0 as f64).round() as usize;
+        let c = (src.x - e.bbox.x0 as f64).round() as usize;
+        let peak = e.flux[&[r.min(e.dims().0 - 1), c.min(e.dims().1 - 1)][..]];
+        assert!(
+            peak > spec.background + 0.3 * spec.flux_range.0,
+            "peak {peak} not above background"
+        );
+    }
+
+    #[test]
+    fn visits_are_dithered_copies_of_same_sky() {
+        let spec = SkySpec::test_scale();
+        let s = SkySurvey::generate(6, &spec);
+        // Same sensor in two visits: bboxes differ at most by dither.
+        let a = &s.visits[0][0].bbox;
+        let b = &s.visits[1][0].bbox;
+        assert!((a.x0 - b.x0).abs() <= 2 * spec.dither);
+        assert!((a.y0 - b.y0).abs() <= 2 * spec.dither);
+        assert_eq!(a.width, b.width);
+    }
+
+    #[test]
+    fn paper_scale_visit_size_near_4_8_gb() {
+        let spec = SkySpec::paper_scale();
+        // The paper counts ~80 MB/sensor × 60 sensors ≈ 4.8 GB per visit.
+        // One 4000×4072 f32 plane is 65 MB; the nominal 80 MB includes
+        // headers and the (smaller) variance/mask extensions. The pixel
+        // geometry is what matters and must match: 60 × 4000 × 4072.
+        assert_eq!(spec.sensors_per_visit(), 60);
+        let pixels = spec.sensors_per_visit() * spec.sensor_width * spec.sensor_height;
+        let one_plane_gb = (pixels * 4) as f64 / 1e9;
+        assert!((3.5..=4.8).contains(&one_plane_gb), "visit size {one_plane_gb} GB");
+    }
+
+    #[test]
+    fn patch_grid_covers_all_exposures() {
+        let spec = SkySpec::test_scale();
+        let s = SkySurvey::generate(8, &spec);
+        let grid = s.patch_grid();
+        for v in &s.visits {
+            for e in v {
+                let mapped = grid.map_to_patches(e);
+                let area: u64 = mapped.iter().map(|(_, p)| p.bbox.area()).sum();
+                assert_eq!(area, e.bbox.area(), "exposure fully covered by patches");
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests on the scientific kernels' invariants.
+
+use marray::{Mask, NdArray};
+use proptest::prelude::*;
+use sciops::linalg::{solve, sym3_eigenvalues};
+use sciops::neuro::dtm::{fit_dtm_voxel, fractional_anisotropy};
+use sciops::neuro::{nlmeans3d, otsu_threshold, GradientTable, NlmParams};
+use sciops::stats::{mean_std, median, sigma_clipped_mean};
+
+fn volumes() -> impl Strategy<Value = NdArray<f64>> {
+    (2usize..=5, 2usize..=5, 2usize..=5).prop_flat_map(|(x, y, z)| {
+        prop::collection::vec(0.0f64..1e4, x * y * z)
+            .prop_map(move |data| NdArray::from_vec(&[x, y, z], data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn median_is_order_statistic(mut v in prop::collection::vec(-1e6f64..1e6, 1..40)) {
+        let m = median(&mut v.clone());
+        let below = v.iter().filter(|&&x| x <= m + 1e-12).count();
+        let above = v.iter().filter(|&&x| x >= m - 1e-12).count();
+        prop_assert!(below * 2 >= v.len());
+        prop_assert!(above * 2 >= v.len());
+        v.sort_by(f64::total_cmp);
+        prop_assert!(m >= v[0] && m <= v[v.len() - 1]);
+    }
+
+    #[test]
+    fn sigma_clip_bounded_by_extremes(v in prop::collection::vec(-1e6f64..1e6, 1..40)) {
+        let m = sigma_clipped_mean(&v, 3.0, 2);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9, "{m} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn sigma_clip_is_mean_without_outliers(base in -1e3f64..1e3, spread in 0.0f64..1.0) {
+        // Tightly clustered values survive clipping entirely.
+        let v: Vec<f64> = (0..10).map(|i| base + spread * (i as f64 / 10.0)).collect();
+        let clipped = sigma_clipped_mean(&v, 3.0, 2);
+        let (mean, _) = mean_std(&v);
+        prop_assert!((clipped - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn otsu_threshold_within_range(v in volumes()) {
+        let t = otsu_threshold(&v, 128);
+        prop_assert!(t >= v.min() - 1e-9 && t <= v.max() + 1e-9);
+    }
+
+    #[test]
+    fn nlmeans_preserves_range_and_mask(v in volumes(), flip in any::<u64>()) {
+        let bits: Vec<bool> = (0..v.len()).map(|i| (flip >> (i % 64)) & 1 == 1).collect();
+        let mask = Mask::from_vec(v.dims(), bits).unwrap();
+        let params = NlmParams { search_radius: 1, patch_radius: 1, sigma: 100.0, h_factor: 1.0 };
+        let out = nlmeans3d(&v, Some(&mask), &params);
+        // Weighted averages cannot exceed the input range.
+        prop_assert!(out.min() >= v.min() - 1e-9);
+        prop_assert!(out.max() <= v.max() + 1e-9);
+        // Unmasked voxels pass through.
+        for i in 0..v.len() {
+            if !mask.get_flat(i) {
+                prop_assert_eq!(out.data()[i], v.data()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn fa_always_in_unit_interval(
+        e1 in 0.0f64..3e-3,
+        e2 in 0.0f64..3e-3,
+        e3 in 0.0f64..3e-3,
+    ) {
+        let fa = fractional_anisotropy(&[e1, e2, e3]);
+        prop_assert!((0.0..=1.0).contains(&fa), "FA {fa}");
+    }
+
+    #[test]
+    fn eigenvalues_match_trace(
+        dxx in 0.1f64..3.0, dyy in 0.1f64..3.0, dzz in 0.1f64..3.0,
+        dxy in -0.5f64..0.5, dxz in -0.5f64..0.5, dyz in -0.5f64..0.5,
+    ) {
+        let eig = sym3_eigenvalues(&[dxx, dyy, dzz, dxy, dxz, dyz]);
+        prop_assert!((eig[0] + eig[1] + eig[2] - (dxx + dyy + dzz)).abs() < 1e-8);
+        prop_assert!(eig[0] >= eig[1] && eig[1] >= eig[2]);
+    }
+
+    #[test]
+    fn solve_produces_valid_solutions(seed in any::<u64>()) {
+        // Diagonally dominant random 6×6 systems are solvable; residuals
+        // must be tiny.
+        let n = 6;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n];
+        for v in a.iter_mut() { *v = next(); }
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = next();
+            a[i * n + i] += 4.0;
+        }
+        let x = solve(&a, &b, n).expect("well conditioned");
+        for i in 0..n {
+            let ax: f64 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
+            prop_assert!((ax - b[i]).abs() < 1e-8, "row {i} residual {}", ax - b[i]);
+        }
+    }
+
+    #[test]
+    fn dtm_fit_recovers_random_spd_tensors(
+        l1 in 0.5e-3f64..2e-3, l2 in 0.3e-3f64..1.5e-3, l3 in 0.1e-3f64..1e-3,
+        s0 in 100.0f64..2000.0,
+    ) {
+        // A diagonal SPD tensor must be recovered exactly from clean data.
+        let gtab = GradientTable::hcp_like(48, 4, 1000.0);
+        let tensor = [l1, l2, l3, 0.0, 0.0, 0.0];
+        let signals: Vec<f64> = gtab
+            .bvals
+            .iter()
+            .zip(&gtab.bvecs)
+            .map(|(&b, g)| {
+                let quad = tensor[0] * g[0] * g[0] + tensor[1] * g[1] * g[1] + tensor[2] * g[2] * g[2];
+                s0 * (-b * quad).exp()
+            })
+            .collect();
+        let fit = fit_dtm_voxel(&signals, &gtab).expect("clean fit");
+        for (got, want) in fit.tensor.iter().zip(&tensor) {
+            prop_assert!((got - want).abs() < 1e-7, "{got} vs {want}");
+        }
+        prop_assert!((fit.s0 - s0).abs() / s0 < 1e-6);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scientific validation beyond properties: photometry and full-resolution
+// phantom structure.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn detected_fluxes_track_injected_fluxes() {
+    use sciops::astro::{CalibParams, CoaddParams, DetectParams};
+    use sciops::synth::sky::{SkySpec, SkySurvey};
+
+    // A sparse field so sources stay isolated.
+    let spec = SkySpec { n_sources: 14, n_visits: 8, ..SkySpec::test_scale() };
+    let survey = SkySurvey::generate(35, &spec);
+    let grid = survey.patch_grid();
+    let out = sciops::astro::pipeline::reference_pipeline(
+        &survey.visits,
+        &grid,
+        &CalibParams::default(),
+        &CoaddParams::default(),
+        &DetectParams::default(),
+    );
+    // Match each injected source to the nearest detection. Sources within
+    // a PSF reach of a patch boundary are skipped: detection runs per
+    // patch, so boundary clusters split and their fluxes are partial.
+    let patch = spec.patch_size as f64;
+    let origin = -(spec.dither as f64);
+    let boundary_distance = |v: f64| {
+        let r = (v - origin).rem_euclid(patch);
+        r.min(patch - r)
+    };
+    let mut matched: Vec<(f64, f64)> = Vec::new();
+    for s in &survey.sources {
+        if boundary_distance(s.x) < 5.0 || boundary_distance(s.y) < 5.0 {
+            continue;
+        }
+        let mut best: Option<(f64, f64)> = None;
+        for sources in out.catalogs.values() {
+            for d in sources {
+                let dist = ((d.centroid.0 - s.x).powi(2) + (d.centroid.1 - s.y).powi(2)).sqrt();
+                if best.map(|(bd, _)| dist < bd).unwrap_or(true) {
+                    best = Some((dist, d.flux));
+                }
+            }
+        }
+        if let Some((dist, flux)) = best {
+            if dist < 3.0 {
+                matched.push((s.flux, flux));
+            }
+        }
+    }
+    assert!(matched.len() >= 3, "matched {} of {} sources", matched.len(), survey.sources.len());
+    for a in &matched {
+        for b in &matched {
+            if a.0 > 2.0 * b.0 {
+                assert!(
+                    a.1 > b.1,
+                    "brighter injected source measured fainter: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_resolution_phantom_slab_has_paper_structure() {
+    use sciops::synth::dmri::{DmriPhantom, DmriSpec};
+
+    // Full 145×145×174 spatial resolution, 3 volumes (1 b0): one volume is
+    // the paper's 14.6 MB unit.
+    let spec = DmriSpec {
+        dims: [145, 145, 174],
+        n_volumes: 3,
+        n_b0: 1,
+        ..DmriSpec::test_scale()
+    };
+    let p = DmriPhantom::generate(77, &spec);
+    assert_eq!(p.data.dims(), &[145, 145, 174, 3]);
+    assert_eq!(p.data.len() / 3, 145 * 145 * 174);
+    // Brain fraction at full resolution matches the geometric model.
+    let frac = DmriPhantom::brain_fraction(&spec);
+    assert!((0.3..0.5).contains(&frac), "brain fraction {frac}");
+    // The b0 volume's center is bright, corners dark, at full resolution.
+    let b0: marray::NdArray<f64> = p.data.cast::<f64>().slice_axis(3, 0).unwrap();
+    assert!(b0[&[72, 72, 87][..]] > 500.0);
+    assert!(b0[&[2, 2, 2][..]] < 200.0);
+}

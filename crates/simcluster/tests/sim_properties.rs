@@ -1,0 +1,145 @@
+//! Property-based tests on the simulator's invariants: for arbitrary
+//! random task graphs, the schedule must respect dependencies, lower
+//! bounds, determinism and conservation of work.
+
+use proptest::prelude::*;
+use simcluster::{simulate, ClusterSpec, SchedPolicy, TaskGraph, TaskSpec};
+
+#[derive(Debug, Clone)]
+struct RandomTask {
+    compute: f64,
+    s3_mb: u16,
+    output_mb: u16,
+    deps_seed: u64,
+    pinned: Option<u8>,
+}
+
+fn tasks() -> impl Strategy<Value = Vec<RandomTask>> {
+    prop::collection::vec(
+        (0.0f64..50.0, any::<u16>(), any::<u16>(), any::<u64>(), prop::option::of(0u8..16)).prop_map(
+            |(compute, s3_mb, output_mb, deps_seed, pinned)| RandomTask {
+                compute,
+                s3_mb: s3_mb % 100,
+                output_mb: output_mb % 100,
+                deps_seed,
+                pinned,
+            },
+        ),
+        1..40,
+    )
+}
+
+fn build(tasks: &[RandomTask]) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    for (i, t) in tasks.iter().enumerate() {
+        let mut spec = TaskSpec::compute("t", t.compute)
+            .s3(t.s3_mb as u64 * 1_000_000)
+            .output(t.output_mb as u64 * 1_000_000);
+        if let Some(p) = t.pinned {
+            spec = spec.on_node(p as usize % 4);
+        }
+        // Up to three random backward dependencies.
+        if i > 0 {
+            let mut seed = t.deps_seed | 1;
+            for _ in 0..(t.deps_seed % 4) {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+                spec = spec.after(&[(seed as usize) % i]);
+            }
+        }
+        g.add(spec);
+    }
+    g
+}
+
+fn policies() -> impl Strategy<Value = SchedPolicy> {
+    prop_oneof![
+        Just(SchedPolicy::LocalityFifo { per_task_overhead: 0.01 }),
+        Just(SchedPolicy::WorkStealing { per_task_overhead: 0.01, steal_cost: 0.1 }),
+        Just(SchedPolicy::Static { per_task_overhead: 0.01 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn schedule_respects_dependencies(ts in tasks(), policy in policies()) {
+        let g = build(&ts);
+        let cluster = ClusterSpec::r3_2xlarge(4);
+        let r = simulate(&g, &cluster, policy, false).unwrap();
+        for (i, task) in g.tasks().iter().enumerate() {
+            for &d in &task.deps {
+                prop_assert!(
+                    r.timings[i].start + 1e-9 >= r.timings[d].finish,
+                    "task {i} started {} before dep {d} finished {}",
+                    r.timings[i].start,
+                    r.timings[d].finish
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_lower_bounds_hold(ts in tasks(), policy in policies()) {
+        let g = build(&ts);
+        let cluster = ClusterSpec::r3_2xlarge(4);
+        let r = simulate(&g, &cluster, policy, false).unwrap();
+        // The makespan is at least the dependency-chain compute length and
+        // at least the total compute spread over all slots at best speed.
+        prop_assert!(r.makespan + 1e-9 >= g.critical_path());
+        let bound = g.total_compute() / cluster.total_slots() as f64;
+        prop_assert!(r.makespan + 1e-9 >= bound);
+        // And every task finished by the makespan.
+        for t in &r.timings {
+            prop_assert!(t.finish <= r.makespan + 1e-9);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(ts in tasks(), policy in policies()) {
+        let g = build(&ts);
+        let cluster = ClusterSpec::r3_2xlarge(4);
+        let a = simulate(&g, &cluster, policy, false).unwrap();
+        let b = simulate(&g, &cluster, policy, false).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn busy_time_conserves_work(ts in tasks(), policy in policies()) {
+        let g = build(&ts);
+        let cluster = ClusterSpec::r3_2xlarge(4);
+        let r = simulate(&g, &cluster, policy, false).unwrap();
+        // Node busy time ≥ pure compute (slow-downs and I/O only add).
+        let busy: f64 = r.node_busy.iter().sum();
+        prop_assert!(busy + 1e-6 >= g.total_compute(), "busy {busy} < compute {}", g.total_compute());
+        // S3 accounting is exact.
+        let s3: u64 = g.tasks().iter().map(|t| t.s3_bytes).sum();
+        prop_assert_eq!(r.bytes_from_s3, s3);
+    }
+
+    #[test]
+    fn pinned_tasks_run_where_pinned(ts in tasks()) {
+        let g = build(&ts);
+        let cluster = ClusterSpec::r3_2xlarge(4);
+        let r = simulate(&g, &cluster, SchedPolicy::Static { per_task_overhead: 0.0 }, false).unwrap();
+        for (i, task) in g.tasks().iter().enumerate() {
+            if let simcluster::Placement::Node(n) = task.placement {
+                prop_assert_eq!(r.timings[i].node, n.min(cluster.nodes - 1), "task {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn more_nodes_never_slow_things_down_much(ts in tasks()) {
+        // Not strictly monotone (locality changes), but doubling the
+        // cluster should never make an unpinned workload much slower.
+        let unpinned: Vec<RandomTask> =
+            ts.iter().cloned().map(|mut t| { t.pinned = None; t }).collect();
+        let g = build(&unpinned);
+        let policy = SchedPolicy::LocalityFifo { per_task_overhead: 0.01 };
+        let small = simulate(&g, &ClusterSpec::r3_2xlarge(4), policy, false).unwrap();
+        let large = simulate(&g, &ClusterSpec::r3_2xlarge(8), policy, false).unwrap();
+        prop_assert!(large.makespan <= small.makespan * 1.10 + 1.0,
+            "4 nodes: {}, 8 nodes: {}", small.makespan, large.makespan);
+    }
+}

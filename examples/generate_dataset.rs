@@ -1,0 +1,86 @@
+//! Generate a complete synthetic benchmark dataset on disk: NIfTI subjects
+//! for the neuroscience use case and FITS visits for the astronomy use
+//! case, in the formats the paper's pipelines ingest.
+//!
+//! ```text
+//! cargo run --release --example generate_dataset -- [OUT_DIR] [SUBJECTS] [VISITS]
+//! ```
+//!
+//! Defaults: `./dataset`, 2 subjects, 3 visits, test-scale geometry.
+//! The generators are seeded: the same arguments always produce
+//! byte-identical files.
+
+use scibench::formats::{fits, nifti};
+use scibench::sciops::synth::dmri::{DmriPhantom, DmriSpec};
+use scibench::sciops::synth::sky::{SkySpec, SkySurvey};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = std::path::PathBuf::from(args.first().map(String::as_str).unwrap_or("dataset"));
+    let subjects: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let visits: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let neuro_dir = out.join("neuro");
+    let astro_dir = out.join("astro");
+    std::fs::create_dir_all(&neuro_dir).expect("create neuro dir");
+    std::fs::create_dir_all(&astro_dir).expect("create astro dir");
+
+    // Neuroscience: one .nii per subject + a gradient table sidecar.
+    let spec = DmriSpec::test_scale();
+    let mut total = 0u64;
+    for s in 0..subjects {
+        let phantom = DmriPhantom::generate(s as u64, &spec);
+        let path = neuro_dir.join(format!("subject{s:03}.nii"));
+        nifti::write_file(&path, &phantom.data, spec.voxel_mm).expect("write NIfTI");
+        total += std::fs::metadata(&path).expect("stat").len();
+        // bvals/bvecs sidecars, the conventional companion files.
+        let bvals: Vec<String> = phantom.gtab.bvals.iter().map(|b| b.to_string()).collect();
+        std::fs::write(neuro_dir.join(format!("subject{s:03}.bval")), bvals.join(" "))
+            .expect("write bvals");
+        let bvecs: String = (0..3)
+            .map(|axis| {
+                phantom
+                    .gtab
+                    .bvecs
+                    .iter()
+                    .map(|v| format!("{:.6}", v[axis]))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(neuro_dir.join(format!("subject{s:03}.bvec")), bvecs)
+            .expect("write bvecs");
+    }
+    println!("neuro: {subjects} subjects ({} volumes each), {total} bytes of NIfTI", spec.n_volumes);
+
+    // Astronomy: one .fits per (visit, sensor) with flux/variance/mask HDUs.
+    let sky = SkySpec { n_visits: visits, ..SkySpec::test_scale() };
+    let survey = SkySurvey::generate(7, &sky);
+    let mut total = 0u64;
+    for visit in &survey.visits {
+        for e in visit {
+            let hdus = vec![
+                fits::TypedHdu {
+                    cards: vec![
+                        fits::Card { key: "VISIT".into(), value: e.visit.to_string() },
+                        fits::Card { key: "SENSOR".into(), value: e.sensor.to_string() },
+                        fits::Card { key: "CRVAL1".into(), value: e.bbox.x0.to_string() },
+                        fits::Card { key: "CRVAL2".into(), value: e.bbox.y0.to_string() },
+                    ],
+                    data: fits::ImageData::F32(e.flux.cast()),
+                },
+                fits::TypedHdu { cards: vec![], data: fits::ImageData::F32(e.variance.cast()) },
+                fits::TypedHdu { cards: vec![], data: fits::ImageData::U8(e.mask.clone()) },
+            ];
+            let path = astro_dir.join(format!("v{:02}_s{:02}.fits", e.visit, e.sensor));
+            std::fs::write(&path, fits::encode_typed(&hdus)).expect("write FITS");
+            total += std::fs::metadata(&path).expect("stat").len();
+        }
+    }
+    println!(
+        "astro: {visits} visits × {} sensors, {total} bytes of FITS",
+        sky.sensors_per_visit()
+    );
+    println!("dataset written to {}", out.display());
+}

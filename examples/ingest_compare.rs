@@ -1,0 +1,40 @@
+//! Figure 11 standalone: data-ingest comparison across the six
+//! configurations, with real format conversions demonstrated at test scale
+//! first (NIfTI → NumPy for Spark/Myria staging, NIfTI → CSV for SciDB
+//! `aio_input`).
+//!
+//! ```text
+//! cargo run --release --example ingest_compare
+//! ```
+
+use scibench::core::experiments::{self, ingest_time, IngestSystem, Setup};
+use scibench::formats::{nifti, npy, text};
+use scibench::sciops::synth::dmri::{DmriPhantom, DmriSpec};
+
+fn main() {
+    // Real conversions on one small subject: the byte-size story behind
+    // Figure 11's SciDB penalty.
+    let spec = DmriSpec::test_scale();
+    let phantom = DmriPhantom::generate(3, &spec);
+    let as_nifti = nifti::encode(&phantom.data, spec.voxel_mm).expect("encode NIfTI");
+    let vol0 = phantom.data.slice_axis(3, 0).expect("volume 0");
+    let as_npy = npy::encode_f32(&vol0);
+    let as_csv = text::to_csv(&vol0);
+    println!("one volume of a test-scale subject:");
+    println!("  NIfTI payload share : {:>9} bytes", vol0.nbytes());
+    println!("  NumPy (.npy) staged : {:>9} bytes ({:.2}× binary)", as_npy.len(), as_npy.len() as f64 / vol0.nbytes() as f64);
+    println!("  CSV for aio_input   : {:>9} bytes ({:.2}× binary)", as_csv.len(), as_csv.len() as f64 / vol0.nbytes() as f64);
+    println!("  whole subject NIfTI : {:>9} bytes\n", as_nifti.len());
+
+    // The Figure 11 sweep at paper scale.
+    let setup = Setup::default();
+    println!("{}", experiments::fig11(&setup).render());
+
+    // The figure's headline relationships.
+    let s1 = ingest_time(&setup, IngestSystem::SciDb1, 12);
+    let s2 = ingest_time(&setup, IngestSystem::SciDb2, 12);
+    println!("aio_input is {:.0}× faster than from_array at 12 subjects", s1 / s2);
+    let myria = ingest_time(&setup, IngestSystem::Myria, 12);
+    let spark = ingest_time(&setup, IngestSystem::Spark, 12);
+    println!("Myria beats Spark by {:.0}s (no master-side key enumeration)", spark - myria);
+}

@@ -1,0 +1,52 @@
+//! Quickstart: generate a small synthetic dMRI subject, run the full
+//! neuroscience pipeline on the reference implementation and on three
+//! engines, and check they agree.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use scibench::core::usecases::neuro::{self, Subject};
+use scibench::sciops::neuro::reference_pipeline;
+use scibench::sciops::synth::dmri::{DmriPhantom, DmriSpec};
+
+fn main() {
+    // 1. A synthetic subject (stands in for a gated HCP subject; same
+    //    structure at laptop-friendly geometry).
+    let spec = DmriSpec::test_scale();
+    let phantom = DmriPhantom::generate(42, &spec);
+    let subject = Subject::from_phantom(0, &phantom);
+    println!(
+        "subject: {:?} voxels × {} volumes ({} b0)",
+        &spec.dims,
+        spec.n_volumes,
+        phantom.gtab.b0_indices().len()
+    );
+
+    // 2. The single-machine reference (the paper's Python/Dipy role).
+    let nlm = neuro::nlm_params();
+    let reference = reference_pipeline(&subject.data, &subject.gtab, &nlm);
+    println!(
+        "reference: mask fills {:.0}% of the volume, max FA = {:.3}",
+        100.0 * reference.mask.fill_fraction(),
+        reference.fa.max()
+    );
+
+    // 3. The same pipeline on three engines (the paper's Figures 6–8).
+    let subjects = vec![subject];
+    let spark_fa = neuro::spark(&subjects, 8);
+    let myria_fa = neuro::myria(&subjects, 2, 2);
+    let dask_fa = neuro::dask(&subjects, 4);
+
+    for (name, fa) in [("Spark", &spark_fa), ("Myria", &myria_fa), ("Dask", &dask_fa)] {
+        let worst = fa[&0]
+            .data()
+            .iter()
+            .zip(reference.fa.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        println!("{name:>6}-analog FA matches the reference (max |Δ| = {worst:.2e})");
+        assert!(worst < 1e-9, "{name} diverged from the reference");
+    }
+    println!("all engines agree — quickstart OK");
+}

@@ -1,0 +1,26 @@
+//! The paper's §5.3 tuning experiments: reproduce Figures 13–15 and the
+//! chunk-size / caching / assignment sweeps in one run.
+//!
+//! ```text
+//! cargo run --release --example tuning
+//! ```
+
+use scibench::core::experiments::{self, Setup};
+
+fn main() {
+    let setup = Setup::default();
+    for table in [
+        experiments::fig13(&setup),
+        experiments::fig14(&setup),
+        experiments::fig15(&setup),
+        experiments::chunk_sweep(&setup),
+        experiments::tf_assignment(&setup),
+        experiments::caching(&setup),
+        experiments::autotune(&setup),
+        experiments::ablations(&setup),
+    ] {
+        println!("{}", table.render());
+    }
+    println!("lesson (as in the paper's §6): every system needed tuning, and none was best with defaults —");
+    println!("and the autotune table shows a self-tuning layer could have found the settings itself.");
+}

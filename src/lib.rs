@@ -1,0 +1,19 @@
+//! Facade crate re-exporting the full scibench workspace.
+//!
+//! `scibench` reproduces *Comparative Evaluation of Big-Data Systems on
+//! Scientific Image Analytics Workloads* (Mehta et al., VLDB 2017): two real
+//! scientific pipelines (diffusion-MRI neuroscience and LSST-style
+//! astronomy), five big-data engine analogs, a discrete-event cluster
+//! simulator, and a benchmark harness regenerating every table and figure of
+//! the paper's evaluation.
+
+pub use engine_array;
+pub use engine_dataflow;
+pub use engine_rdd;
+pub use engine_rel;
+pub use engine_taskgraph;
+pub use formats;
+pub use marray;
+pub use scibench_core as core;
+pub use sciops;
+pub use simcluster;

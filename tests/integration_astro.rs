@@ -1,0 +1,109 @@
+//! Cross-crate integration: the astronomy use case from FITS staging to
+//! source catalogs, across Spark, Myria and the SciDB-style coadd.
+
+use scibench::core::usecases::astro as uc;
+use scibench::formats::fits;
+use scibench::sciops::astro::geometry::Exposure;
+use scibench::sciops::astro::pipeline::reference_pipeline;
+use scibench::sciops::synth::sky::{SkySpec, SkySurvey};
+
+fn survey() -> SkySurvey {
+    SkySurvey::generate(99, &SkySpec::test_scale())
+}
+
+#[test]
+fn fits_staging_roundtrips_exposures() {
+    let s = survey();
+    for e in &s.visits[0] {
+        // The real layout: two float planes + a byte mask plane.
+        let hdus = vec![
+            fits::TypedHdu { cards: vec![], data: fits::ImageData::F32(e.flux.cast()) },
+            fits::TypedHdu { cards: vec![], data: fits::ImageData::F32(e.variance.cast()) },
+            fits::TypedHdu { cards: vec![], data: fits::ImageData::U8(e.mask.clone()) },
+        ];
+        let bytes = fits::encode_typed(&hdus);
+        let back = fits::decode_typed(&bytes).expect("decode");
+        let flux: scibench::marray::NdArray<f64> = back[0].data.to_f32().cast();
+        // f32 quantization only.
+        for (a, b) in flux.data().iter().zip(e.flux.data()) {
+            assert!((a - b).abs() <= b.abs().max(1.0) * 1e-6);
+        }
+        assert_eq!(back[2].data.to_u8(), e.mask, "mask plane is byte-exact");
+        assert!(matches!(back[2].data, fits::ImageData::U8(_)), "mask stays BITPIX 8");
+    }
+}
+
+#[test]
+fn spark_myria_and_reference_find_identical_catalogs() {
+    let s = survey();
+    let grid = s.patch_grid();
+    let (c, co, d) = uc::astro_params();
+    let reference = reference_pipeline(&s.visits, &grid, &c, &co, &d);
+    let spark = uc::spark(&s, 6);
+    let myria = uc::myria(&s, 4, 1);
+
+    assert_eq!(spark.catalogs.len(), reference.catalogs.len());
+    assert_eq!(myria.catalogs.len(), reference.catalogs.len());
+    for (patch, want) in &reference.catalogs {
+        for (name, got) in [("spark", &spark.catalogs[patch]), ("myria", &myria.catalogs[patch])] {
+            assert_eq!(got.len(), want.len(), "{name} patch {patch:?}");
+            for (g, w) in got.iter().zip(want) {
+                assert!((g.centroid.0 - w.centroid.0).abs() < 1e-9, "{name} centroid x");
+                assert!((g.centroid.1 - w.centroid.1).abs() < 1e-9, "{name} centroid y");
+                assert_eq!(g.npix, w.npix, "{name} cluster size");
+            }
+        }
+    }
+}
+
+#[test]
+fn coadds_suppress_cosmic_rays() {
+    // Raw visit-0 exposures carry single-pixel cosmic rays far above the
+    // background; the coadd across visits must not.
+    let s = survey();
+    let grid = s.patch_grid();
+    let (c, co, d) = uc::astro_params();
+    let out = reference_pipeline(&s.visits, &grid, &c, &co, &d);
+    let raw_max = s.visits[0]
+        .iter()
+        .map(|e: &Exposure| e.flux.max())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let coadd_max = out
+        .coadds
+        .values()
+        .map(|c| c.flux.max())
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        raw_max > 15_000.0,
+        "the generator injected cosmic rays (max raw {raw_max})"
+    );
+    assert!(
+        coadd_max < s.spec.flux_range.1 * 1.5,
+        "coadd max {coadd_max} should be source-level, not cosmic-ray-level"
+    );
+}
+
+#[test]
+fn scidb_cube_coadd_consistent_with_reference_on_uniform_variance() {
+    // With uniform per-visit variance, the reference's inverse-variance
+    // weighted clipped mean equals the plain clipped mean the AQL chain
+    // computes.
+    let db = scibench::engine_array::ArrayDb::connect(2);
+    let visits = 8;
+    let cube = scibench::marray::NdArray::from_fn(&[visits, 5, 5], |ix| {
+        if ix[0] == 2 && ix[1] == 1 {
+            50_000.0 // a cosmic-ray streak in visit 2, row 1
+        } else {
+            100.0 + (ix[1] * 5 + ix[2]) as f64
+        }
+    });
+    let out = uc::scidb_coadd_cube(&db, &cube, 3);
+    for r in 0..5 {
+        for c in 0..5 {
+            let samples: Vec<f64> = (0..visits).map(|v| cube[&[v, r, c][..]]).collect();
+            let want = scibench::sciops::stats::sigma_clipped_mean(&samples, 3.0, 2);
+            let got = out[&[r, c][..]];
+            assert!((got - want).abs() < 1e-9, "({r},{c}): {got} vs {want}");
+        }
+    }
+}

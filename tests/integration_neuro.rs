@@ -1,0 +1,110 @@
+//! Cross-crate integration: the neuroscience use case from file format to
+//! FA map, across every engine that can express it.
+
+use scibench::core::usecases::neuro::{self, Subject};
+use scibench::formats::nifti;
+use scibench::marray::NdArray;
+use scibench::sciops::neuro::reference_pipeline;
+use scibench::sciops::synth::dmri::{DmriPhantom, DmriSpec};
+use std::sync::Arc;
+
+/// Stage phantoms through real NIfTI bytes, as the engines' loaders would.
+fn staged_subjects(n: usize) -> Vec<Subject> {
+    let spec = DmriSpec::test_scale();
+    (0..n)
+        .map(|i| {
+            let phantom = DmriPhantom::generate(7000 + i as u64, &spec);
+            let bytes = nifti::encode(&phantom.data, spec.voxel_mm).expect("encode");
+            let (_, data) = nifti::decode(&bytes).expect("decode");
+            Subject {
+                id: i as u32,
+                data: Arc::new(data.cast()),
+                gtab: Arc::new(phantom.gtab.clone()),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn nifti_staging_preserves_pipeline_output() {
+    let spec = DmriSpec::test_scale();
+    let phantom = DmriPhantom::generate(7000, &spec);
+    let via_file = &staged_subjects(1)[0];
+    // The NIfTI round trip must not change a single voxel, so the
+    // pipelines below are exactly the phantom's.
+    let direct: NdArray<f64> = phantom.data.cast();
+    assert_eq!(via_file.data.as_ref(), &direct);
+}
+
+#[test]
+fn all_udf_engines_agree_on_two_subjects() {
+    let subjects = staged_subjects(2);
+    let nlm = neuro::nlm_params();
+
+    let spark = neuro::spark(&subjects, 8);
+    let myria = neuro::myria(&subjects, 4, 2);
+    let dask = neuro::dask(&subjects, 8);
+
+    for s in &subjects {
+        let reference = reference_pipeline(&s.data, &s.gtab, &nlm).fa;
+        for (name, out) in [("spark", &spark), ("myria", &myria), ("dask", &dask)] {
+            let fa = &out[&s.id];
+            assert_eq!(fa.dims(), reference.dims(), "{name} subject {}", s.id);
+            for (a, b) in fa.data().iter().zip(reference.data()) {
+                assert!((a - b).abs() < 1e-9, "{name} subject {} diverged", s.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn scidb_stream_denoise_close_to_reference_through_tsv() {
+    let subjects = staged_subjects(1);
+    let out = neuro::scidb(&subjects);
+    let s = &subjects[0];
+    let (_, mask) = scibench::sciops::neuro::pipeline::segmentation(&s.data, &s.gtab);
+    let reference =
+        scibench::sciops::neuro::pipeline::denoise_all(&s.data, &mask, &neuro::nlm_params());
+    let scale = reference.max().abs().max(1.0);
+    for (a, b) in out.denoised[&0].data().iter().zip(reference.data()) {
+        assert!((a - b).abs() < 2e-3 * scale, "TSV roundtrip drift too large: {a} vs {b}");
+    }
+}
+
+#[test]
+fn tensorflow_partial_implementation_consistency() {
+    // TF can only do Steps 1N (simplified) and 2N (unmasked conv); verify
+    // it agrees with the reference where the paper says it should (the
+    // mean), and differs where the engine cannot express the computation
+    // (the masked denoise).
+    let subjects = staged_subjects(1);
+    let tf = neuro::tensorflow(&subjects);
+    let s = &subjects[0];
+    let (mean_ref, mask_ref) = scibench::sciops::neuro::pipeline::segmentation(&s.data, &s.gtab);
+    assert_eq!(tf.mean_b0[&0], mean_ref, "mean is exact");
+    // The simplified mask differs from median_otsu but overlaps heavily.
+    let agree = tf.mask[&0]
+        .bits()
+        .iter()
+        .zip(mask_ref.bits())
+        .filter(|(a, b)| a == b)
+        .count() as f64
+        / mask_ref.len() as f64;
+    assert!(agree > 0.8, "mask agreement {agree}");
+    // The conv-denoised volume is NOT the NLM-denoised one: background
+    // voxels change under convolution (no mask support).
+    let nlm_ref = scibench::sciops::neuro::denoise::nlmeans3d(
+        &s.volume(0),
+        Some(&mask_ref),
+        &neuro::nlm_params(),
+    );
+    let mut background_changed = 0;
+    for i in 0..mask_ref.len() {
+        if !mask_ref.get_flat(i)
+            && (tf.denoised0[&0].data()[i] - nlm_ref.data()[i]).abs() > 1e-9
+        {
+            background_changed += 1;
+        }
+    }
+    assert!(background_changed > 0, "unmasked convolution must touch the background");
+}

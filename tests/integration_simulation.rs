@@ -1,0 +1,168 @@
+//! Integration checks on the paper-scale simulation: the headline
+//! qualitative findings of the evaluation section must hold end to end.
+
+use scibench::core::experiments::{
+    astro_e2e, ingest_time, myria_astro_mode, neuro_e2e, scidb_coadd_time, step_time,
+    tuned_partitions, udf_coadd_time, IngestSystem, Setup, Step,
+};
+use scibench::core::lower::Engine;
+use scibench::engine_rel::ExecutionMode;
+use scibench::simcluster::ClusterSpec;
+
+fn setup() -> Setup {
+    Setup::default()
+}
+
+#[test]
+fn headline_fig10c_relationships() {
+    let s = setup();
+    // §5.1: Dask slower for a single subject, comparable-to-faster at 25;
+    // no significant penalty for using the data-management systems.
+    let d1 = neuro_e2e(&s, Engine::Dask, 1, 16);
+    let m1 = neuro_e2e(&s, Engine::Myria, 1, 16);
+    let sp1 = neuro_e2e(&s, Engine::Spark, 1, 16);
+    assert!(d1 > 1.3 * m1.min(sp1), "Dask single-subject penalty: {d1} vs {m1}/{sp1}");
+    let d25 = neuro_e2e(&s, Engine::Dask, 25, 16);
+    let m25 = neuro_e2e(&s, Engine::Myria, 25, 16);
+    let sp25 = neuro_e2e(&s, Engine::Spark, 25, 16);
+    let spread = [d25, m25, sp25];
+    let max = spread.iter().cloned().fold(0.0f64, f64::max);
+    let min = spread.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max / min < 1.25, "the three systems stay comparable: {spread:?}");
+}
+
+#[test]
+fn headline_scaling_is_near_linear() {
+    let s = setup();
+    for e in Engine::neuro_e2e() {
+        let t16 = neuro_e2e(&s, e, 25, 16);
+        let t64 = neuro_e2e(&s, e, 25, 64);
+        assert!(t16 / t64 > 2.2, "{}: 16→64 speedup {}", e.name(), t16 / t64);
+    }
+    // Myria's speedup is the closest to ideal (the paper: "almost
+    // perfect linear speedup").
+    let speedup = |e| neuro_e2e(&s, e, 25, 16) / neuro_e2e(&s, e, 25, 64);
+    assert!(speedup(Engine::Myria) >= speedup(Engine::Dask));
+    assert!(speedup(Engine::Myria) >= speedup(Engine::Spark));
+}
+
+#[test]
+fn headline_fig11_ingest_relationships() {
+    let s = setup();
+    for subjects in [8usize, 25] {
+        let dask = ingest_time(&s, IngestSystem::Dask, subjects);
+        let myria = ingest_time(&s, IngestSystem::Myria, subjects);
+        let spark = ingest_time(&s, IngestSystem::Spark, subjects);
+        let tf = ingest_time(&s, IngestSystem::TensorFlow, subjects);
+        let s1 = ingest_time(&s, IngestSystem::SciDb1, subjects);
+        let s2 = ingest_time(&s, IngestSystem::SciDb2, subjects);
+        assert!(myria < spark, "Myria {myria} < Spark {spark}");
+        assert!(s1 / s2 > 5.0, "aio an order of magnitude faster: {s1} vs {s2}");
+        assert!(s2 > myria, "CSV conversion keeps SciDB-2 {s2} above Myria {myria}");
+        assert!(tf > 2.0 * spark, "master-funneled TF {tf} ≫ Spark {spark}");
+        assert!(dask > 0.0);
+    }
+}
+
+#[test]
+fn headline_fig12d_iteration_penalty() {
+    let s = setup();
+    let udf = udf_coadd_time(&s, Engine::Myria, 24).min(udf_coadd_time(&s, Engine::Spark, 24));
+    let aql = scidb_coadd_time(&s, 24, 1000, false);
+    let incremental = scidb_coadd_time(&s, 24, 1000, true);
+    assert!(aql / udf > 8.0, "stock AQL coadd {aql} ≫ UDF coadd {udf}");
+    let gain = aql / incremental;
+    assert!((4.0..9.0).contains(&gain), "incremental gain {gain} ≈ 6×");
+}
+
+#[test]
+fn headline_fig15_memory_management() {
+    let s = setup();
+    // Small data: pipelined < materialized < multi-query.
+    let pipe = myria_astro_mode(&s, 8, 16, ExecutionMode::Pipelined).expect("fits");
+    let mat = myria_astro_mode(&s, 8, 16, ExecutionMode::Materialized).expect("fits");
+    let multi =
+        myria_astro_mode(&s, 8, 16, ExecutionMode::MultiQuery { pieces: 2 }).expect("fits");
+    assert!(pipe < mat && mat < multi, "{pipe} < {mat} < {multi}");
+    let mat_penalty = mat / pipe - 1.0;
+    assert!((0.02..0.20).contains(&mat_penalty), "materialization penalty {mat_penalty}");
+    // Large data: pipelined fails, the others complete.
+    assert!(myria_astro_mode(&s, 24, 16, ExecutionMode::Pipelined).is_err());
+    assert!(myria_astro_mode(&s, 24, 16, ExecutionMode::Materialized).is_ok());
+    assert!(myria_astro_mode(&s, 24, 16, ExecutionMode::MultiQuery { pieces: 4 }).is_ok());
+}
+
+#[test]
+fn headline_chunk_size_sweep() {
+    let s = setup();
+    let t500 = scidb_coadd_time(&s, 24, 500, false);
+    let t1000 = scidb_coadd_time(&s, 24, 1000, false);
+    let t1500 = scidb_coadd_time(&s, 24, 1500, false);
+    let t2000 = scidb_coadd_time(&s, 24, 2000, false);
+    assert!(t1000 < t500 && t1000 < t1500 && t1000 < t2000, "1000² is optimal");
+    assert!((2.2..4.0).contains(&(t500 / t1000)), "500² ≈ 3× slower: {}", t500 / t1000);
+    assert!((1.05..1.45).contains(&(t1500 / t1000)), "1500² ≈ +22%: {}", t1500 / t1000);
+    assert!((1.3..1.8).contains(&(t2000 / t1000)), "2000² ≈ +55%: {}", t2000 / t1000);
+}
+
+#[test]
+fn headline_fig12_step_relationships() {
+    let s = setup();
+    // Filter (12a): TF orders of magnitude slower; Spark ≫ Myria/Dask.
+    let f: Vec<f64> = [Engine::Dask, Engine::Myria, Engine::Spark, Engine::TensorFlow]
+        .iter()
+        .map(|&e| step_time(&s, e, Step::Filter, 25))
+        .collect();
+    assert!(f[3] > 20.0 * f[2], "TF filter {} vs Spark {}", f[3], f[2]);
+    assert!(f[2] > 3.0 * f[0].max(f[1]), "Spark filter {} vs Dask/Myria", f[2]);
+    // Mean (12b): SciDB fastest at small scale.
+    let scidb = step_time(&s, Engine::SciDb, Step::Mean, 1);
+    for e in [Engine::Spark, Engine::Myria, Engine::Dask, Engine::TensorFlow] {
+        assert!(scidb < step_time(&s, e, Step::Mean, 1), "SciDB mean beats {}", e.name());
+    }
+}
+
+#[test]
+fn astro_e2e_spark_close_to_myria() {
+    let s = setup();
+    let m = astro_e2e(&s, Engine::Myria, 24, 16).expect("completes");
+    let sp = astro_e2e(&s, Engine::Spark, 24, 16).expect("completes");
+    assert!(m < sp, "Myria {m} leads Spark {sp}");
+    assert!(sp / m < 1.35, "but they stay comparable: {}", sp / m);
+}
+
+#[test]
+fn spark_partition_default_underutilizes() {
+    // §5.3.1: with the default block-derived partition count, a single
+    // subject leaves the cluster mostly idle.
+    let s = setup();
+    let cluster = ClusterSpec::r3_2xlarge(16);
+    let default_p = (scibench::core::workload::NeuroWorkload { subjects: 1 })
+        .input_bytes()
+        .div_ceil(scibench::engine_rdd::DEFAULT_BLOCK_BYTES) as usize;
+    assert!(default_p < tuned_partitions(&cluster) / 2, "default {default_p} partitions");
+    let w = scibench::core::workload::NeuroWorkload { subjects: 1 };
+    let g_default =
+        scibench::core::lower::neuro::spark(&w, &s.cm, &s.profiles, &cluster, None, true);
+    let g_tuned = scibench::core::lower::neuro::spark(
+        &w,
+        &s.cm,
+        &s.profiles,
+        &cluster,
+        Some(tuned_partitions(&cluster)),
+        true,
+    );
+    let t_default = scibench::simcluster::simulate(
+        &g_default,
+        &cluster,
+        s.profiles.policy(Engine::Spark),
+        false,
+    )
+    .unwrap()
+    .makespan;
+    let t_tuned =
+        scibench::simcluster::simulate(&g_tuned, &cluster, s.profiles.policy(Engine::Spark), false)
+            .unwrap()
+            .makespan;
+    assert!(t_default > 1.3 * t_tuned, "default {t_default} vs tuned {t_tuned}");
+}
