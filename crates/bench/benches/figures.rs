@@ -11,21 +11,39 @@ use scibench_core::experiments::{self, Setup, Step};
 use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_complexity", |b| b.iter(|| black_box(experiments::table1())));
+    c.bench_function("table1_complexity", |b| {
+        b.iter(|| black_box(experiments::table1()));
+    });
 }
 
 fn bench_fig10(c: &mut Criterion) {
     let setup = Setup::default();
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);
-    g.bench_function("a_neuro_sizes", |b| b.iter(|| black_box(experiments::fig10a())));
-    g.bench_function("b_astro_sizes", |b| b.iter(|| black_box(experiments::fig10b())));
-    g.bench_function("c_neuro_e2e_vs_data", |b| b.iter(|| black_box(experiments::fig10c(&setup))));
-    g.bench_function("d_astro_e2e_vs_data", |b| b.iter(|| black_box(experiments::fig10d(&setup))));
-    g.bench_function("e_neuro_normalized", |b| b.iter(|| black_box(experiments::fig10e(&setup))));
-    g.bench_function("f_astro_normalized", |b| b.iter(|| black_box(experiments::fig10f(&setup))));
-    g.bench_function("g_neuro_scaling", |b| b.iter(|| black_box(experiments::fig10g(&setup))));
-    g.bench_function("h_astro_scaling", |b| b.iter(|| black_box(experiments::fig10h(&setup))));
+    g.bench_function("a_neuro_sizes", |b| {
+        b.iter(|| black_box(experiments::fig10a()));
+    });
+    g.bench_function("b_astro_sizes", |b| {
+        b.iter(|| black_box(experiments::fig10b()));
+    });
+    g.bench_function("c_neuro_e2e_vs_data", |b| {
+        b.iter(|| black_box(experiments::fig10c(&setup)));
+    });
+    g.bench_function("d_astro_e2e_vs_data", |b| {
+        b.iter(|| black_box(experiments::fig10d(&setup)));
+    });
+    g.bench_function("e_neuro_normalized", |b| {
+        b.iter(|| black_box(experiments::fig10e(&setup)));
+    });
+    g.bench_function("f_astro_normalized", |b| {
+        b.iter(|| black_box(experiments::fig10f(&setup)));
+    });
+    g.bench_function("g_neuro_scaling", |b| {
+        b.iter(|| black_box(experiments::fig10g(&setup)));
+    });
+    g.bench_function("h_astro_scaling", |b| {
+        b.iter(|| black_box(experiments::fig10h(&setup)));
+    });
     g.finish();
 }
 
@@ -33,7 +51,9 @@ fn bench_fig11(c: &mut Criterion) {
     let setup = Setup::default();
     let mut g = c.benchmark_group("fig11");
     g.sample_size(10);
-    g.bench_function("ingest", |b| b.iter(|| black_box(experiments::fig11(&setup))));
+    g.bench_function("ingest", |b| {
+        b.iter(|| black_box(experiments::fig11(&setup)));
+    });
     g.finish();
 }
 
@@ -41,10 +61,18 @@ fn bench_fig12(c: &mut Criterion) {
     let setup = Setup::default();
     let mut g = c.benchmark_group("fig12");
     g.sample_size(10);
-    g.bench_function("a_filter", |b| b.iter(|| black_box(experiments::fig12(&setup, Step::Filter))));
-    g.bench_function("b_mean", |b| b.iter(|| black_box(experiments::fig12(&setup, Step::Mean))));
-    g.bench_function("c_denoise", |b| b.iter(|| black_box(experiments::fig12(&setup, Step::Denoise))));
-    g.bench_function("d_coadd", |b| b.iter(|| black_box(experiments::fig12d(&setup))));
+    g.bench_function("a_filter", |b| {
+        b.iter(|| black_box(experiments::fig12(&setup, Step::Filter)));
+    });
+    g.bench_function("b_mean", |b| {
+        b.iter(|| black_box(experiments::fig12(&setup, Step::Mean)));
+    });
+    g.bench_function("c_denoise", |b| {
+        b.iter(|| black_box(experiments::fig12(&setup, Step::Denoise)));
+    });
+    g.bench_function("d_coadd", |b| {
+        b.iter(|| black_box(experiments::fig12d(&setup)));
+    });
     g.finish();
 }
 
@@ -52,12 +80,24 @@ fn bench_tuning(c: &mut Criterion) {
     let setup = Setup::default();
     let mut g = c.benchmark_group("tuning");
     g.sample_size(10);
-    g.bench_function("fig13_myria_workers", |b| b.iter(|| black_box(experiments::fig13(&setup))));
-    g.bench_function("fig14_spark_partitions", |b| b.iter(|| black_box(experiments::fig14(&setup))));
-    g.bench_function("fig15_memory_management", |b| b.iter(|| black_box(experiments::fig15(&setup))));
-    g.bench_function("s531_chunk_sweep", |b| b.iter(|| black_box(experiments::chunk_sweep(&setup))));
-    g.bench_function("s531_tf_assignment", |b| b.iter(|| black_box(experiments::tf_assignment(&setup))));
-    g.bench_function("s533_caching", |b| b.iter(|| black_box(experiments::caching(&setup))));
+    g.bench_function("fig13_myria_workers", |b| {
+        b.iter(|| black_box(experiments::fig13(&setup)));
+    });
+    g.bench_function("fig14_spark_partitions", |b| {
+        b.iter(|| black_box(experiments::fig14(&setup)));
+    });
+    g.bench_function("fig15_memory_management", |b| {
+        b.iter(|| black_box(experiments::fig15(&setup)));
+    });
+    g.bench_function("s531_chunk_sweep", |b| {
+        b.iter(|| black_box(experiments::chunk_sweep(&setup)));
+    });
+    g.bench_function("s531_tf_assignment", |b| {
+        b.iter(|| black_box(experiments::tf_assignment(&setup)));
+    });
+    g.bench_function("s533_caching", |b| {
+        b.iter(|| black_box(experiments::caching(&setup)));
+    });
     g.finish();
 }
 
@@ -65,9 +105,15 @@ fn bench_extensions(c: &mut Criterion) {
     let setup = Setup::default();
     let mut g = c.benchmark_group("extensions");
     g.sample_size(10);
-    g.bench_function("ablations", |b| b.iter(|| black_box(experiments::ablations(&setup))));
-    g.bench_function("autotune", |b| b.iter(|| black_box(experiments::autotune(&setup))));
-    g.bench_function("skew_report", |b| b.iter(|| black_box(experiments::skew_report(&setup))));
+    g.bench_function("ablations", |b| {
+        b.iter(|| black_box(experiments::ablations(&setup)));
+    });
+    g.bench_function("autotune", |b| {
+        b.iter(|| black_box(experiments::autotune(&setup)));
+    });
+    g.bench_function("skew_report", |b| {
+        b.iter(|| black_box(experiments::skew_report(&setup)));
+    });
     g.finish();
 }
 
@@ -97,13 +143,15 @@ fn bench_simulator(c: &mut Criterion) {
                 simulate(
                     &g,
                     &cluster,
-                    SchedPolicy::LocalityFifo { per_task_overhead: 0.01 },
+                    SchedPolicy::LocalityFifo {
+                        per_task_overhead: 0.01,
+                    },
                     false,
                 )
                 .unwrap()
                 .makespan,
             )
-        })
+        });
     });
     grp.finish();
 }

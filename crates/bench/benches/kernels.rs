@@ -15,27 +15,34 @@ fn neuro_kernels(c: &mut Criterion) {
     let spec = DmriSpec::test_scale();
     let phantom = DmriPhantom::generate(5, &spec);
     let data: NdArray<f64> = phantom.data.cast();
-    let (mean_b0, mask) = sciops::neuro::pipeline::segmentation(&data, &phantom.gtab);
+    let (mean_b0, mask) = neuro::pipeline::segmentation(&data, &phantom.gtab);
     let vol = data.slice_axis(3, 0).unwrap();
 
     let mut g = c.benchmark_group("neuro_kernels");
     g.throughput(Throughput::Bytes(vol.nbytes() as u64));
     g.bench_function("otsu_threshold", |b| {
-        b.iter(|| black_box(neuro::otsu_threshold(&mean_b0, 256)))
+        b.iter(|| black_box(neuro::otsu_threshold(&mean_b0, 256)));
     });
     g.bench_function("median_filter3d", |b| {
-        b.iter(|| black_box(neuro::median_filter3d(&mean_b0, 1)))
+        b.iter(|| black_box(neuro::median_filter3d(&mean_b0, 1)));
     });
-    g.bench_function("median_otsu_mask", |b| b.iter(|| black_box(neuro::median_otsu(&mean_b0, 1))));
-    let nlm = NlmParams { search_radius: 1, patch_radius: 1, sigma: 20.0, h_factor: 1.0 };
+    g.bench_function("median_otsu_mask", |b| {
+        b.iter(|| black_box(neuro::median_otsu(&mean_b0, 1)));
+    });
+    let nlm = NlmParams {
+        search_radius: 1,
+        patch_radius: 1,
+        sigma: 20.0,
+        h_factor: 1.0,
+    };
     g.bench_function("nlmeans3d_masked", |b| {
-        b.iter(|| black_box(neuro::nlmeans3d(&vol, Some(&mask), &nlm)))
+        b.iter(|| black_box(neuro::nlmeans3d(&vol, Some(&mask), &nlm)));
     });
     g.bench_function("nlmeans3d_unmasked", |b| {
-        b.iter(|| black_box(neuro::nlmeans3d(&vol, None, &nlm)))
+        b.iter(|| black_box(neuro::nlmeans3d(&vol, None, &nlm)));
     });
     g.bench_function("dtm_fit_volume", |b| {
-        b.iter(|| black_box(neuro::fit_dtm_volume(&data, &mask, &phantom.gtab)))
+        b.iter(|| black_box(neuro::fit_dtm_volume(&data, &mask, &phantom.gtab)));
     });
     g.finish();
 }
@@ -49,17 +56,28 @@ fn astro_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("astro_kernels");
     g.throughput(Throughput::Bytes(e.flux.nbytes() as u64));
     g.bench_function("estimate_background", |b| {
-        b.iter(|| black_box(astro::estimate_background(&e.flux, &BackgroundParams::default())))
+        b.iter(|| {
+            black_box(astro::estimate_background(
+                &e.flux,
+                &BackgroundParams::default(),
+            ))
+        });
     });
     g.bench_function("detect_cosmic_rays", |b| {
         b.iter(|| {
-            black_box(astro::detect_cosmic_rays(&e.flux, &e.variance, &CosmicParams::default()))
-        })
+            black_box(astro::detect_cosmic_rays(
+                &e.flux,
+                &e.variance,
+                &CosmicParams::default(),
+            ))
+        });
     });
     g.bench_function("calibrate_exposure", |b| {
-        b.iter(|| black_box(astro::calibrate_exposure(e, &CalibParams::default())))
+        b.iter(|| black_box(astro::calibrate_exposure(e, &CalibParams::default())));
     });
-    g.bench_function("map_to_patches", |b| b.iter(|| black_box(grid.map_to_patches(e))));
+    g.bench_function("map_to_patches", |b| {
+        b.iter(|| black_box(grid.map_to_patches(e)));
+    });
 
     // Coadd + detect on one merged patch stack.
     let calib = CalibParams::default();
@@ -78,11 +96,11 @@ fn astro_kernels(c: &mut Criterion) {
         })
         .collect();
     g.bench_function("coadd_sigma_clip", |b| {
-        b.iter(|| black_box(astro::coadd_sigma_clip(&stack, &CoaddParams::default())))
+        b.iter(|| black_box(astro::coadd_sigma_clip(&stack, &CoaddParams::default())));
     });
     let coadd = astro::coadd_sigma_clip(&stack, &CoaddParams::default());
     g.bench_function("detect_sources", |b| {
-        b.iter(|| black_box(astro::detect_sources(&coadd, &DetectParams::default())))
+        b.iter(|| black_box(astro::detect_sources(&coadd, &DetectParams::default())));
     });
     g.finish();
 }
@@ -99,21 +117,25 @@ fn format_codecs(c: &mut Criterion) {
     let mut g = c.benchmark_group("format_codecs");
     g.throughput(Throughput::Bytes(vol.nbytes() as u64));
     g.bench_function("nifti_encode", |b| {
-        b.iter(|| black_box(formats::nifti::encode(&phantom.data, 1.25).unwrap()))
+        b.iter(|| black_box(formats::nifti::encode(&phantom.data, 1.25).unwrap()));
     });
     g.bench_function("nifti_decode", |b| {
-        b.iter(|| black_box(formats::nifti::decode(&nifti_bytes).unwrap()))
+        b.iter(|| black_box(formats::nifti::decode(&nifti_bytes).unwrap()));
     });
-    g.bench_function("npy_encode", |b| b.iter(|| black_box(formats::npy::encode_f32(&vol))));
+    g.bench_function("npy_encode", |b| {
+        b.iter(|| black_box(formats::npy::encode_f32(&vol)));
+    });
     g.bench_function("npy_decode", |b| {
-        b.iter(|| black_box(formats::npy::decode_f32(&npy_bytes).unwrap()))
+        b.iter(|| black_box(formats::npy::decode_f32(&npy_bytes).unwrap()));
     });
-    g.bench_function("csv_encode", |b| b.iter(|| black_box(formats::text::to_csv(&vol))));
+    g.bench_function("csv_encode", |b| {
+        b.iter(|| black_box(formats::text::to_csv(&vol)));
+    });
     g.bench_function("csv_decode", |b| {
-        b.iter(|| black_box(formats::text::from_csv(&csv_text, vol.dims()).unwrap()))
+        b.iter(|| black_box(formats::text::from_csv(&csv_text, vol.dims()).unwrap()));
     });
     g.bench_function("tsv_roundtrip_stream_interface", |b| {
-        b.iter(|| black_box(formats::text::from_tsv(&tsv_text).unwrap()))
+        b.iter(|| black_box(formats::text::from_tsv(&tsv_text).unwrap()));
     });
     g.finish();
 }

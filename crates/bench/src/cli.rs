@@ -1,0 +1,273 @@
+//! The `scibench` command-line interface.
+//!
+//! `scibench lint` statically verifies every shipped lowering with
+//! [`plancheck`]: all engines, both use cases, the paper's full data-size
+//! sweeps, at 16 and 64 nodes. Non-memory errors always fail the lint.
+//! Memory errors are legitimate only where the paper reports them —
+//! Myria's pipelined astronomy run at 24 visits on 16 nodes (Figure 15) —
+//! and the lint *asserts* that configuration still trips the checker (and
+//! that its materialized fallback is clean), so the OOM reproduction is
+//! itself regression-tested.
+
+use engine_rel::ExecutionMode;
+use plancheck::{check, Code, Report};
+use scibench_core::experiments::{tuned_partitions, Setup};
+use scibench_core::lower::{astro, ingest, neuro, steps, Engine};
+use scibench_core::workload::{AstroWorkload, NeuroWorkload};
+
+const NODE_SWEEP: [usize; 2] = [16, 64];
+
+fn is_memory(code: Code) -> bool {
+    matches!(code, Code::M001 | Code::M002 | Code::M003 | Code::M004)
+}
+
+/// Accumulates lint rows and the failures that decide the exit code.
+struct Lint {
+    setup: Setup,
+    verbose: bool,
+    checked: usize,
+    failures: Vec<String>,
+}
+
+impl Lint {
+    fn new(verbose: bool) -> Self {
+        Lint {
+            setup: Setup::default(),
+            verbose,
+            checked: 0,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Check one lowered graph. `memory_expected` encodes whether this
+    /// configuration is *supposed* to overrun memory; a mismatch in either
+    /// direction is a failure.
+    fn row(
+        &mut self,
+        name: &str,
+        engine: Engine,
+        graph: &simcluster::TaskGraph,
+        cluster: &simcluster::ClusterSpec,
+        memory_expected: bool,
+    ) -> Report {
+        let report = check(graph, cluster, &self.setup.profiles.invariants(engine));
+        self.checked += 1;
+        let hard: Vec<&plancheck::Diagnostic> =
+            report.errors().filter(|d| !is_memory(d.code)).collect();
+        let mem_errors = report.errors().filter(|d| is_memory(d.code)).count();
+        let mut bad = Vec::new();
+        if !hard.is_empty() {
+            bad.push(format!("{} non-memory error(s)", hard.len()));
+        }
+        if mem_errors > 0 && !memory_expected {
+            bad.push(format!("{mem_errors} unexpected memory error(s)"));
+        }
+        if mem_errors == 0 && memory_expected {
+            bad.push("expected a memory-budget error but none fired".into());
+        }
+        let status = if bad.is_empty() { "ok  " } else { "FAIL" };
+        let note = if memory_expected {
+            " (expected OOM: Figure 15)"
+        } else {
+            ""
+        };
+        println!("{status} {name:<58} {}{note}", report.summary());
+        if self.verbose || !bad.is_empty() {
+            for line in report.render_table().lines() {
+                println!("       {line}");
+            }
+        }
+        for b in bad {
+            self.failures.push(format!("{name}: {b}"));
+        }
+        report
+    }
+}
+
+fn lint(verbose: bool) -> i32 {
+    let mut l = Lint::new(verbose);
+    let setup = Setup::default();
+
+    // Neuroscience, end-to-end and partial pipelines, Figure 10's sweep.
+    for &nodes in &NODE_SWEEP {
+        for w in NeuroWorkload::sweep() {
+            for engine in [
+                Engine::Dask,
+                Engine::Myria,
+                Engine::Spark,
+                Engine::TensorFlow,
+                Engine::SciDb,
+            ] {
+                let cluster = setup.cluster_for(engine, nodes);
+                let g = match engine {
+                    Engine::Spark => neuro::spark(
+                        &w,
+                        &setup.cm,
+                        &setup.profiles,
+                        &cluster,
+                        Some(tuned_partitions(&cluster)),
+                        true,
+                    ),
+                    Engine::Myria => neuro::myria(&w, &setup.cm, &setup.profiles, &cluster),
+                    Engine::Dask => neuro::dask(&w, &setup.cm, &setup.profiles, &cluster),
+                    Engine::TensorFlow => {
+                        neuro::tensorflow(&w, &setup.cm, &setup.profiles, &cluster)
+                    }
+                    Engine::SciDb => {
+                        neuro::scidb_steps(&w, &setup.cm, &setup.profiles, &cluster, true)
+                    }
+                };
+                let name = format!(
+                    "neuro e2e        {:<10} subjects={:<2} nodes={nodes}",
+                    engine.name(),
+                    w.subjects
+                );
+                l.row(&name, engine, &g, &cluster, false);
+            }
+        }
+    }
+
+    // Astronomy: Spark, Myria's three memory-management modes, and the
+    // SciDB co-addition step, over Figure 10's visit sweep.
+    for &nodes in &NODE_SWEEP {
+        for w in AstroWorkload::sweep() {
+            let cluster = setup.cluster_for(Engine::Spark, nodes);
+            let g = astro::spark(&w, &setup.cm, &setup.profiles, &cluster);
+            let name = format!(
+                "astro e2e        {:<10} visits={:<2}   nodes={nodes}",
+                "Spark", w.visits
+            );
+            l.row(&name, Engine::Spark, &g, &cluster, false);
+
+            let cluster = setup.cluster_for(Engine::Myria, nodes);
+            // Figure 15: pipelined execution exhausts memory only in the
+            // full 24-visit configuration on 16 nodes (the two hottest
+            // patches hash to one worker); both disk-backed modes stay
+            // within budget everywhere.
+            let oom = nodes == 16 && w.visits == 24;
+            for (mode, tag, expect_oom) in [
+                (ExecutionMode::Pipelined, "pipelined", oom),
+                (ExecutionMode::Materialized, "materialized", false),
+                (ExecutionMode::MultiQuery { pieces: 4 }, "multiquery", false),
+            ] {
+                let (g, _strict) = astro::myria(&w, &setup.cm, &setup.profiles, &cluster, mode);
+                let name = format!(
+                    "astro {tag:<10} {:<10} visits={:<2}   nodes={nodes}",
+                    "Myria", w.visits
+                );
+                l.row(&name, Engine::Myria, &g, &cluster, expect_oom);
+            }
+
+            let cluster = setup.cluster_for(Engine::SciDb, nodes);
+            let g = astro::scidb_coadd(&w, &setup.cm, &setup.profiles, &cluster, 1000);
+            let name = format!(
+                "astro coadd      {:<10} visits={:<2}   nodes={nodes}",
+                "SciDB", w.visits
+            );
+            l.row(&name, Engine::SciDb, &g, &cluster, false);
+        }
+    }
+
+    // Ingest, Figure 11's six configurations at the largest subject count.
+    let w = NeuroWorkload { subjects: 25 };
+    for &nodes in &NODE_SWEEP {
+        let configs: [(&str, Engine); 6] = [
+            ("Dask", Engine::Dask),
+            ("Myria", Engine::Myria),
+            ("Spark", Engine::Spark),
+            ("TensorFlow", Engine::TensorFlow),
+            ("SciDB-1", Engine::SciDb),
+            ("SciDB-2", Engine::SciDb),
+        ];
+        for (label, engine) in configs {
+            let cluster = setup.cluster_for(engine, nodes);
+            let g = match label {
+                "Dask" => ingest::dask(&w, &setup.cm, &setup.profiles, &cluster),
+                "Myria" => ingest::myria(&w, &setup.cm, &setup.profiles, &cluster),
+                "Spark" => ingest::spark(&w, &setup.cm, &setup.profiles, &cluster),
+                "TensorFlow" => ingest::tensorflow(&w, &setup.cm, &setup.profiles, &cluster),
+                "SciDB-1" => ingest::scidb_from_array(&w, &setup.cm, &setup.profiles, &cluster),
+                _ => ingest::scidb_aio(&w, &setup.cm, &setup.profiles, &cluster),
+            };
+            let name = format!("ingest           {label:<10} subjects=25 nodes={nodes}");
+            l.row(&name, engine, &g, &cluster, false);
+        }
+    }
+
+    // Individual steps, Figure 12's per-operation comparisons.
+    for engine in [
+        Engine::Spark,
+        Engine::Myria,
+        Engine::Dask,
+        Engine::TensorFlow,
+        Engine::SciDb,
+    ] {
+        let cluster = setup.cluster_for(engine, 16);
+        for (step, g) in [
+            (
+                "filter",
+                steps::filter_step(engine, &w, &setup.cm, &setup.profiles, &cluster),
+            ),
+            (
+                "mean",
+                steps::mean_step(engine, &w, &setup.cm, &setup.profiles, &cluster),
+            ),
+            (
+                "denoise",
+                steps::denoise_step(engine, &w, &setup.cm, &setup.profiles, &cluster),
+            ),
+        ] {
+            let name = format!("step {step:<12} {:<10} subjects=25 nodes=16", engine.name());
+            l.row(&name, engine, &g, &cluster, false);
+        }
+    }
+
+    println!();
+    if l.failures.is_empty() {
+        println!(
+            "plan lint: {} lowered graphs checked, all within expectations",
+            l.checked
+        );
+        0
+    } else {
+        println!(
+            "plan lint: {} graphs checked, {} FAILED:",
+            l.checked,
+            l.failures.len()
+        );
+        for f in &l.failures {
+            println!("  {f}");
+        }
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("lint") => {
+            let mut verbose = false;
+            let mut bad = None;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--verbose" | "-v" => verbose = true,
+                    other => bad = Some(other.to_string()),
+                }
+            }
+            if let Some(flag) = bad {
+                eprintln!("error: unknown argument `{flag}`");
+                eprintln!("usage: scibench lint [--verbose]");
+                2
+            } else {
+                lint(verbose)
+            }
+        }
+        _ => {
+            eprintln!("usage: scibench lint [--verbose]");
+            eprintln!();
+            eprintln!("  lint   statically verify every shipped lowering with plancheck");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,1 +1,5 @@
-pub fn placeholder() {}
+//! Library side of the bench crate. The substance lives in the binaries —
+//! `reproduce` (regenerate every table/figure), `probe` (calibration) and
+//! `scibench` (the `lint` static-verification sweep) — and in
+//! `scibench-core`; this library exists so `cargo bench` targets can link
+//! against the crate.

@@ -50,9 +50,29 @@ fn artifact(setup: &Setup, id: &str) -> Option<Vec<Table>> {
 }
 
 const IDS: &[&str] = &[
-    "table1", "fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f", "fig10g", "fig10h",
-    "fig11", "fig12a", "fig12b", "fig12c", "fig12d", "fig13", "fig14", "fig15", "chunks",
-    "tf_assign", "caching", "ablations", "autotune", "skew",
+    "table1",
+    "fig10a",
+    "fig10b",
+    "fig10c",
+    "fig10d",
+    "fig10e",
+    "fig10f",
+    "fig10g",
+    "fig10h",
+    "fig11",
+    "fig12a",
+    "fig12b",
+    "fig12c",
+    "fig12d",
+    "fig13",
+    "fig14",
+    "fig15",
+    "chunks",
+    "tf_assign",
+    "caching",
+    "ablations",
+    "autotune",
+    "skew",
 ];
 
 fn main() {
@@ -71,15 +91,24 @@ fn main() {
     let calibrated = args.iter().any(|a| a == "--calibrated");
     if args.iter().any(|a| a == "--check") {
         let setup = Setup::default();
-        let checks = scibench_core::experiments::shape_checks(&setup);
+        let checks = experiments::shape_checks(&setup);
         let mut failed = 0;
         for c in &checks {
-            println!("[{}] {}\n      {}", if c.pass { "PASS" } else { "FAIL" }, c.claim, c.detail);
+            println!(
+                "[{}] {}\n      {}",
+                if c.pass { "PASS" } else { "FAIL" },
+                c.claim,
+                c.detail
+            );
             if !c.pass {
                 failed += 1;
             }
         }
-        println!("\n{}/{} shape checks pass", checks.len() - failed, checks.len());
+        println!(
+            "\n{}/{} shape checks pass",
+            checks.len() - failed,
+            checks.len()
+        );
         std::process::exit(if failed == 0 { 0 } else { 1 });
     }
 
@@ -97,10 +126,16 @@ fn main() {
 
     let selected: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != csv_dir.as_ref().and_then(|p| p.to_str()))
+        .filter(|a| {
+            !a.starts_with("--") && Some(a.as_str()) != csv_dir.as_ref().and_then(|p| p.to_str())
+        })
         .map(String::as_str)
         .collect();
-    let ids: Vec<&str> = if selected.is_empty() { IDS.to_vec() } else { selected };
+    let ids: Vec<&str> = if selected.is_empty() {
+        IDS.to_vec()
+    } else {
+        selected
+    };
 
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create CSV dir");

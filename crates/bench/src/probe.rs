@@ -43,12 +43,29 @@ fn main() {
     let w = AstroWorkload { visits: 24 };
 
     let g = astro::spark(&w, &cm, &p, &cluster);
-    breakdown("spark astro 24v", &g, &cluster, p.policy(Engine::Spark), false);
+    breakdown(
+        "spark astro 24v",
+        &g,
+        &cluster,
+        p.policy(Engine::Spark),
+        false,
+    );
 
     let myria_cluster = cluster.clone().with_worker_slots(4);
-    let (g, strict) =
-        astro::myria(&w, &cm, &p, &myria_cluster, engine_rel::ExecutionMode::Materialized);
-    breakdown("myria astro materialized 24v", &g, &myria_cluster, p.policy(Engine::Myria), strict);
+    let (g, strict) = astro::myria(
+        &w,
+        &cm,
+        &p,
+        &myria_cluster,
+        engine_rel::ExecutionMode::Materialized,
+    );
+    breakdown(
+        "myria astro materialized 24v",
+        &g,
+        &myria_cluster,
+        p.policy(Engine::Myria),
+        strict,
+    );
 
     let w2 = AstroWorkload { visits: 2 };
     let (g, strict) = astro::myria(
@@ -58,8 +75,25 @@ fn main() {
         &myria_cluster,
         engine_rel::ExecutionMode::MultiQuery { pieces: 2 },
     );
-    breakdown("myria astro multiquery 2v", &g, &myria_cluster, p.policy(Engine::Myria), strict);
-    let (g, strict) =
-        astro::myria(&w2, &cm, &p, &myria_cluster, engine_rel::ExecutionMode::Pipelined);
-    breakdown("myria astro pipelined 2v", &g, &myria_cluster, p.policy(Engine::Myria), strict);
+    breakdown(
+        "myria astro multiquery 2v",
+        &g,
+        &myria_cluster,
+        p.policy(Engine::Myria),
+        strict,
+    );
+    let (g, strict) = astro::myria(
+        &w2,
+        &cm,
+        &p,
+        &myria_cluster,
+        engine_rel::ExecutionMode::Pipelined,
+    );
+    breakdown(
+        "myria astro pipelined 2v",
+        &g,
+        &myria_cluster,
+        p.policy(Engine::Myria),
+        strict,
+    );
 }

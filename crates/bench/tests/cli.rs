@@ -15,8 +15,19 @@ fn list_names_every_artifact() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     for id in [
-        "table1", "fig10a", "fig10c", "fig11", "fig12d", "fig13", "fig14", "fig15", "chunks",
-        "caching", "ablations", "autotune", "skew",
+        "table1",
+        "fig10a",
+        "fig10c",
+        "fig11",
+        "fig12d",
+        "fig13",
+        "fig14",
+        "fig15",
+        "chunks",
+        "caching",
+        "ablations",
+        "autotune",
+        "skew",
     ] {
         assert!(text.lines().any(|l| l == id), "missing artifact {id}");
     }

@@ -68,8 +68,7 @@ pub fn tune_spark_partitions(setup: &Setup, subjects: usize, nodes: usize) -> Tu
     };
 
     // Spark's own default: one partition per storage block.
-    let default_p = (NeuroWorkload { subjects }.input_bytes()
-        / engine_rdd::DEFAULT_BLOCK_BYTES)
+    let default_p = (NeuroWorkload { subjects }.input_bytes() / engine_rdd::DEFAULT_BLOCK_BYTES)
         .max(1) as usize;
     let default_time = eval(default_p);
 

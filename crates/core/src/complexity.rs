@@ -41,24 +41,85 @@ pub struct Row {
 }
 
 /// The paper's column order.
-pub const COLUMNS: [Engine; 5] =
-    [Engine::Dask, Engine::SciDb, Engine::Spark, Engine::Myria, Engine::TensorFlow];
+pub const COLUMNS: [Engine; 5] = [
+    Engine::Dask,
+    Engine::SciDb,
+    Engine::Spark,
+    Engine::Myria,
+    Engine::TensorFlow,
+];
 
 /// The published Table 1 (lines of code).
 pub fn paper_table1() -> Vec<Row> {
     use Cell::*;
     vec![
-        Row { use_case: "Neuroscience", step: "Re-used Reference", cells: [Count(30), Count(3), Count(32), Count(35), Count(0)] },
-        Row { use_case: "Neuroscience", step: "Data Ingest", cells: [Count(33), Count(60), Count(8), Count(5), Count(15)] },
-        Row { use_case: "Neuroscience", step: "Segmentation", cells: [Count(25), Count(40), Count(34), Count(10), Count(121)] },
-        Row { use_case: "Neuroscience", step: "Denoising", cells: [Count(19), Count(52), Count(1), Count(3), Count(128)] },
-        Row { use_case: "Neuroscience", step: "Model Fit.", cells: [Count(11), NotApplicable, Count(39), Count(15), NotApplicable] },
-        Row { use_case: "Astronomy", step: "Re-used Reference", cells: [Impossible, NotApplicable, Count(212), Count(225), NotApplicable] },
-        Row { use_case: "Astronomy", step: "Data Ingest", cells: [Impossible, Count(85), Count(12), Count(5), NotApplicable] },
-        Row { use_case: "Astronomy", step: "Pre-proc.", cells: [Impossible, Impossible, Count(1), Count(4), NotApplicable] },
-        Row { use_case: "Astronomy", step: "Patch Creation", cells: [Impossible, Impossible, Count(4), Count(9), NotApplicable] },
-        Row { use_case: "Astronomy", step: "Co-Addition", cells: [Impossible, Count(180), Count(2), Count(5), NotApplicable] },
-        Row { use_case: "Astronomy", step: "Source Detection", cells: [Impossible, NotApplicable, Count(7), Count(2), NotApplicable] },
+        Row {
+            use_case: "Neuroscience",
+            step: "Re-used Reference",
+            cells: [Count(30), Count(3), Count(32), Count(35), Count(0)],
+        },
+        Row {
+            use_case: "Neuroscience",
+            step: "Data Ingest",
+            cells: [Count(33), Count(60), Count(8), Count(5), Count(15)],
+        },
+        Row {
+            use_case: "Neuroscience",
+            step: "Segmentation",
+            cells: [Count(25), Count(40), Count(34), Count(10), Count(121)],
+        },
+        Row {
+            use_case: "Neuroscience",
+            step: "Denoising",
+            cells: [Count(19), Count(52), Count(1), Count(3), Count(128)],
+        },
+        Row {
+            use_case: "Neuroscience",
+            step: "Model Fit.",
+            cells: [
+                Count(11),
+                NotApplicable,
+                Count(39),
+                Count(15),
+                NotApplicable,
+            ],
+        },
+        Row {
+            use_case: "Astronomy",
+            step: "Re-used Reference",
+            cells: [
+                Impossible,
+                NotApplicable,
+                Count(212),
+                Count(225),
+                NotApplicable,
+            ],
+        },
+        Row {
+            use_case: "Astronomy",
+            step: "Data Ingest",
+            cells: [Impossible, Count(85), Count(12), Count(5), NotApplicable],
+        },
+        Row {
+            use_case: "Astronomy",
+            step: "Pre-proc.",
+            cells: [Impossible, Impossible, Count(1), Count(4), NotApplicable],
+        },
+        Row {
+            use_case: "Astronomy",
+            step: "Patch Creation",
+            cells: [Impossible, Impossible, Count(4), Count(9), NotApplicable],
+        },
+        Row {
+            use_case: "Astronomy",
+            step: "Co-Addition",
+            cells: [Impossible, Count(180), Count(2), Count(5), NotApplicable],
+        },
+        Row {
+            use_case: "Astronomy",
+            step: "Source Detection",
+            cells: [Impossible, NotApplicable, Count(7), Count(2), NotApplicable],
+        },
     ]
 }
 
@@ -67,15 +128,51 @@ pub fn paper_table1() -> Vec<Row> {
 pub fn our_table1() -> Vec<Row> {
     use Cell::*;
     vec![
-        Row { use_case: "Neuroscience", step: "Data Ingest", cells: [Count(3), Count(4), Count(2), Count(2), Count(4)] },
-        Row { use_case: "Neuroscience", step: "Segmentation", cells: [Count(4), Count(3), Count(4), Count(4), Count(7)] },
-        Row { use_case: "Neuroscience", step: "Denoising", cells: [Count(2), Count(2), Count(1), Count(2), Count(5)] },
-        Row { use_case: "Neuroscience", step: "Model Fit.", cells: [Count(3), NotApplicable, Count(3), Count(2), NotApplicable] },
-        Row { use_case: "Astronomy", step: "Data Ingest", cells: [Impossible, Count(3), Count(1), Count(1), NotApplicable] },
-        Row { use_case: "Astronomy", step: "Pre-proc.", cells: [Impossible, Impossible, Count(1), Count(1), NotApplicable] },
-        Row { use_case: "Astronomy", step: "Patch Creation", cells: [Impossible, Impossible, Count(2), Count(2), NotApplicable] },
-        Row { use_case: "Astronomy", step: "Co-Addition", cells: [Impossible, Count(9), Count(1), Count(1), NotApplicable] },
-        Row { use_case: "Astronomy", step: "Source Detection", cells: [Impossible, NotApplicable, Count(1), Count(1), NotApplicable] },
+        Row {
+            use_case: "Neuroscience",
+            step: "Data Ingest",
+            cells: [Count(3), Count(4), Count(2), Count(2), Count(4)],
+        },
+        Row {
+            use_case: "Neuroscience",
+            step: "Segmentation",
+            cells: [Count(4), Count(3), Count(4), Count(4), Count(7)],
+        },
+        Row {
+            use_case: "Neuroscience",
+            step: "Denoising",
+            cells: [Count(2), Count(2), Count(1), Count(2), Count(5)],
+        },
+        Row {
+            use_case: "Neuroscience",
+            step: "Model Fit.",
+            cells: [Count(3), NotApplicable, Count(3), Count(2), NotApplicable],
+        },
+        Row {
+            use_case: "Astronomy",
+            step: "Data Ingest",
+            cells: [Impossible, Count(3), Count(1), Count(1), NotApplicable],
+        },
+        Row {
+            use_case: "Astronomy",
+            step: "Pre-proc.",
+            cells: [Impossible, Impossible, Count(1), Count(1), NotApplicable],
+        },
+        Row {
+            use_case: "Astronomy",
+            step: "Patch Creation",
+            cells: [Impossible, Impossible, Count(2), Count(2), NotApplicable],
+        },
+        Row {
+            use_case: "Astronomy",
+            step: "Co-Addition",
+            cells: [Impossible, Count(9), Count(1), Count(1), NotApplicable],
+        },
+        Row {
+            use_case: "Astronomy",
+            step: "Source Detection",
+            cells: [Impossible, NotApplicable, Count(1), Count(1), NotApplicable],
+        },
     ]
 }
 

@@ -114,7 +114,12 @@ impl CostModel {
 
         // Measure one denoised volume and one mask build.
         let vol = data.slice_axis(3, 0).expect("volume 0");
-        let nlm = NlmParams { search_radius: 2, patch_radius: 1, sigma: 20.0, h_factor: 1.0 };
+        let nlm = NlmParams {
+            search_radius: 2,
+            patch_radius: 1,
+            sigma: 20.0,
+            h_factor: 1.0,
+        };
         let t0 = Instant::now();
         let _ = nlmeans3d(&vol, Some(&mask), &nlm);
         let denoise_small = t0.elapsed().as_secs_f64();
@@ -125,8 +130,8 @@ impl CostModel {
 
         let t2 = Instant::now();
         let _ = data.mean_axis(3);
-        let mean_small = t2.elapsed().as_secs_f64()
-            * (NeuroWorkload::B0_VOLUMES as f64 / spec.n_volumes as f64);
+        let mean_small =
+            t2.elapsed().as_secs_f64() * (NeuroWorkload::B0_VOLUMES as f64 / spec.n_volumes as f64);
 
         CostModel {
             neuro_denoise_per_volume: (denoise_small * voxel_scale).max(1.0),
@@ -158,7 +163,10 @@ mod tests {
     #[test]
     fn unmasked_denoise_is_1_5x() {
         let m = CostModel::default();
-        assert!((m.neuro_denoise_per_volume_unmasked() / m.neuro_denoise_per_volume - 1.5).abs() < 1e-12);
+        assert!(
+            (m.neuro_denoise_per_volume_unmasked() / m.neuro_denoise_per_volume - 1.5).abs()
+                < 1e-12
+        );
     }
 
     #[test]

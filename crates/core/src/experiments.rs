@@ -94,7 +94,10 @@ pub fn astro_e2e(
             myria_astro_mode(setup, visits, nodes, ExecutionMode::Pipelined)
                 .or_else(|_| myria_astro_mode(setup, visits, nodes, ExecutionMode::Materialized))
         }
-        other => panic!("{} cannot run the astronomy use case end-to-end", other.name()),
+        other => panic!(
+            "{} cannot run the astronomy use case end-to-end",
+            other.name()
+        ),
     }
 }
 
@@ -162,7 +165,10 @@ pub fn ingest_time(setup: &Setup, system: IngestSystem, subjects: usize) -> f64 
         IngestSystem::Dask => (Engine::Dask, setup.cluster_for(Engine::Dask, 16)),
         IngestSystem::Myria => (Engine::Myria, setup.cluster_for(Engine::Myria, 16)),
         IngestSystem::Spark => (Engine::Spark, setup.cluster_for(Engine::Spark, 16)),
-        IngestSystem::TensorFlow => (Engine::TensorFlow, setup.cluster_for(Engine::TensorFlow, 16)),
+        IngestSystem::TensorFlow => (
+            Engine::TensorFlow,
+            setup.cluster_for(Engine::TensorFlow, 16),
+        ),
         IngestSystem::SciDb1 | IngestSystem::SciDb2 => {
             (Engine::SciDb, setup.cluster_for(Engine::SciDb, 16))
         }
@@ -247,7 +253,15 @@ pub fn table1() -> (Table, Table) {
     let build = |rows: Vec<crate::complexity::Row>, title: &str| {
         let mut t = Table::new(
             title,
-            &["Use case", "Step", COLUMNS[0].name(), COLUMNS[1].name(), COLUMNS[2].name(), COLUMNS[3].name(), COLUMNS[4].name()],
+            &[
+                "Use case",
+                "Step",
+                COLUMNS[0].name(),
+                COLUMNS[1].name(),
+                COLUMNS[2].name(),
+                COLUMNS[3].name(),
+                COLUMNS[4].name(),
+            ],
         );
         for r in rows {
             t.push(vec![
@@ -263,8 +277,14 @@ pub fn table1() -> (Table, Table) {
         t
     };
     (
-        build(paper_table1(), "Table 1 (paper): lines of code per implementation"),
-        build(our_table1(), "Table 1 (ours): engine API calls / plan operators per implementation"),
+        build(
+            paper_table1(),
+            "Table 1 (paper): lines of code per implementation",
+        ),
+        build(
+            our_table1(),
+            "Table 1 (ours): engine API calls / plan operators per implementation",
+        ),
     )
 }
 
@@ -370,8 +390,10 @@ pub fn fig10f(setup: &Setup) -> Table {
         let m = astro_e2e(setup, Engine::Myria, w.visits, 16);
         t.push(vec![
             w.visits.to_string(),
-            s.map(|v| ratio(v / (n * base_spark))).unwrap_or_else(|_| FAILED.into()),
-            m.map(|v| ratio(v / (n * base_myria))).unwrap_or_else(|_| FAILED.into()),
+            s.map(|v| ratio(v / (n * base_spark)))
+                .unwrap_or_else(|_| FAILED.into()),
+            m.map(|v| ratio(v / (n * base_myria)))
+                .unwrap_or_else(|_| FAILED.into()),
         ]);
     }
     t
@@ -420,7 +442,15 @@ pub fn fig10h(setup: &Setup) -> Table {
 pub fn fig11(setup: &Setup) -> Table {
     let mut t = Table::new(
         "Fig 11: Data ingest time, 16 nodes (s; paper plots log scale)",
-        &["Subjects", "Dask", "Myria", "Spark", "TensorFlow", "SciDB-1", "SciDB-2"],
+        &[
+            "Subjects",
+            "Dask",
+            "Myria",
+            "Spark",
+            "TensorFlow",
+            "SciDB-1",
+            "SciDB-2",
+        ],
     );
     for subjects in [1usize, 2, 4, 8, 12, 25] {
         let mut row = vec![subjects.to_string()];
@@ -440,8 +470,17 @@ pub fn fig12(setup: &Setup, step: Step) -> Table {
         Step::Denoise => "Fig 12c: Denoise step, 25 subjects, 16 nodes (s; paper plots log scale)",
     };
     let mut t = Table::new(title, &["Engine", "Time"]);
-    for e in [Engine::Dask, Engine::Myria, Engine::Spark, Engine::SciDb, Engine::TensorFlow] {
-        t.push(vec![e.name().to_string(), secs(step_time(setup, e, step, 25))]);
+    for e in [
+        Engine::Dask,
+        Engine::Myria,
+        Engine::Spark,
+        Engine::SciDb,
+        Engine::TensorFlow,
+    ] {
+        t.push(vec![
+            e.name().to_string(),
+            secs(step_time(setup, e, step, 25)),
+        ]);
     }
     t
 }
@@ -452,9 +491,18 @@ pub fn fig12d(setup: &Setup) -> Table {
         "Fig 12d: Co-addition step, 24 visits, 16 nodes (s; paper plots log scale)",
         &["Engine", "Time"],
     );
-    t.push(vec!["Myria".into(), secs(udf_coadd_time(setup, Engine::Myria, 24))]);
-    t.push(vec!["Spark".into(), secs(udf_coadd_time(setup, Engine::Spark, 24))]);
-    t.push(vec!["SciDB (AQL)".into(), secs(scidb_coadd_time(setup, 24, 1000, false))]);
+    t.push(vec![
+        "Myria".into(),
+        secs(udf_coadd_time(setup, Engine::Myria, 24)),
+    ]);
+    t.push(vec![
+        "Spark".into(),
+        secs(udf_coadd_time(setup, Engine::Spark, 24)),
+    ]);
+    t.push(vec![
+        "SciDB (AQL)".into(),
+        secs(scidb_coadd_time(setup, 24, 1000, false)),
+    ]);
     t.push(vec![
         "SciDB (+incremental [34])".into(),
         secs(scidb_coadd_time(setup, 24, 1000, true)),
@@ -472,7 +520,10 @@ pub fn fig13(setup: &Setup) -> Table {
         let cluster = ClusterSpec::r3_2xlarge(16).with_worker_slots(workers);
         let w = NeuroWorkload { subjects: 25 };
         let g = neuro::myria(&w, &setup.cm, &setup.profiles, &cluster);
-        t.push(vec![workers.to_string(), secs(setup.run(Engine::Myria, &g, &cluster))]);
+        t.push(vec![
+            workers.to_string(),
+            secs(setup.run(Engine::Myria, &g, &cluster)),
+        ]);
     }
     t
 }
@@ -487,7 +538,10 @@ pub fn fig14(setup: &Setup) -> Table {
     for p in [1usize, 2, 4, 8, 16, 32, 64, 97, 128, 192, 256] {
         let w = NeuroWorkload { subjects: 1 };
         let g = neuro::spark(&w, &setup.cm, &setup.profiles, &cluster, Some(p), true);
-        t.push(vec![p.to_string(), secs(setup.run(Engine::Spark, &g, &cluster))]);
+        t.push(vec![
+            p.to_string(),
+            secs(setup.run(Engine::Spark, &g, &cluster)),
+        ]);
     }
     t
 }
@@ -544,7 +598,10 @@ pub fn tf_assignment(setup: &Setup) -> Table {
     for vpa in [1usize, 2, 4, 8] {
         let mut g = TaskGraph::new();
         steps::tf_filter_assignment(&mut g, &w, &setup.profiles, &cluster, vpa);
-        t.push(vec![vpa.to_string(), secs(setup.run(Engine::TensorFlow, &g, &cluster))]);
+        t.push(vec![
+            vpa.to_string(),
+            secs(setup.run(Engine::TensorFlow, &g, &cluster)),
+        ]);
     }
     t
 }
@@ -577,7 +634,15 @@ pub fn caching(setup: &Setup) -> Table {
 pub fn autotune(setup: &Setup) -> Table {
     let mut t = Table::new(
         "§6 extension: self-tuning searches (default vs tuned)",
-        &["Knob", "Default", "t(default) s", "Tuned", "t(tuned) s", "Gain", "Sim evals"],
+        &[
+            "Knob",
+            "Default",
+            "t(default) s",
+            "Tuned",
+            "t(tuned) s",
+            "Gain",
+            "Sim evals",
+        ],
     );
     for r in crate::autotune::run_all(setup) {
         t.push(vec![
@@ -641,7 +706,10 @@ mod tests {
         let d1 = neuro_e2e(&setup, Engine::Dask, 1, 16);
         let s1 = neuro_e2e(&setup, Engine::Spark, 1, 16);
         let m1 = neuro_e2e(&setup, Engine::Myria, 1, 16);
-        assert!(d1 > 1.2 * s1.min(m1), "Dask 1-subject {d1} vs Spark {s1} / Myria {m1}");
+        assert!(
+            d1 > 1.2 * s1.min(m1),
+            "Dask 1-subject {d1} vs Spark {s1} / Myria {m1}"
+        );
         let d25 = neuro_e2e(&setup, Engine::Dask, 25, 16);
         let s25 = neuro_e2e(&setup, Engine::Spark, 25, 16);
         let m25 = neuro_e2e(&setup, Engine::Myria, 25, 16);
@@ -649,7 +717,10 @@ mod tests {
         // other two; all three comparable (same UDFs, same partitioning).
         assert!(d25 < s25, "Dask 25-subject {d25} vs Spark {s25}");
         assert!(d25 < 1.08 * m25, "Dask 25-subject {d25} vs Myria {m25}");
-        assert!(d25 > 0.75 * s25, "Dask at best ~14-16% faster, got {d25} vs {s25}");
+        assert!(
+            d25 > 0.75 * s25,
+            "Dask at best ~14-16% faster, got {d25} vs {s25}"
+        );
     }
 
     #[test]
@@ -693,7 +764,10 @@ mod tests {
         let t128 = times[8];
         let t256 = times[10];
         assert!(times[4] > t128, "16 vs 128: {times:?}");
-        assert!((t256 - t128).abs() / t128 < 0.15, "flat beyond 128: {times:?}");
+        assert!(
+            (t256 - t128).abs() / t128 < 0.15,
+            "flat beyond 128: {times:?}"
+        );
     }
 }
 
@@ -727,14 +801,9 @@ pub fn ablations(setup: &Setup) -> Table {
         let w = NeuroWorkload { subjects: 25 };
         let cluster = setup.cluster_for(Engine::Dask, 16);
         let g = neuro::dask(&w, &setup.cm, &setup.profiles, &cluster);
-        let with = simulate(
-            &g,
-            &cluster,
-            setup.profiles.policy(Engine::Dask),
-            false,
-        )
-        .expect("runs")
-        .makespan;
+        let with = simulate(&g, &cluster, setup.profiles.policy(Engine::Dask), false)
+            .expect("runs")
+            .makespan;
         let without = simulate(
             &g,
             &cluster,
@@ -760,7 +829,13 @@ pub fn ablations(setup: &Setup) -> Table {
         )
         .expect("runs")
         .makespan;
-        row(&mut t, "Dask work stealing", "neuro e2e, 25 subj, 16 nodes (s)", with, frozen);
+        row(
+            &mut t,
+            "Dask work stealing",
+            "neuro e2e, 25 subj, 16 nodes (s)",
+            with,
+            frozen,
+        );
     }
 
     // 2. Spark's Python-boundary serialization: zero the crossing costs
@@ -771,7 +846,13 @@ pub fn ablations(setup: &Setup) -> Table {
         cheap.profiles.rdd.py_worker_crossing_fixed = 0.0;
         let with = step_time(setup, Engine::Spark, Step::Filter, 25);
         let without = step_time(&cheap, Engine::Spark, Step::Filter, 25);
-        row(&mut t, "Spark Python-boundary serialization", "filter step, 25 subj (s)", with, without);
+        row(
+            &mut t,
+            "Spark Python-boundary serialization",
+            "filter step, 25 subj (s)",
+            with,
+            without,
+        );
     }
 
     // 3. Myria selection pushdown: scan everything instead of the b0 pages.
@@ -781,7 +862,7 @@ pub fn ablations(setup: &Setup) -> Table {
         let with = step_time(setup, Engine::Myria, Step::Filter, 25);
         // Without pushdown the scan reads all 288 volumes per subject.
         let mut g = TaskGraph::new();
-        let vol = crate::workload::NeuroWorkload::volume_bytes();
+        let vol = NeuroWorkload::volume_bytes();
         for s in 0..w.subjects {
             for v in 0..NeuroWorkload::VOLUMES {
                 g.add(
@@ -795,7 +876,13 @@ pub fn ablations(setup: &Setup) -> Table {
             }
         }
         let without = setup.run(Engine::Myria, &g, &cluster);
-        row(&mut t, "Myria selection pushdown", "filter step, 25 subj (s)", with, without);
+        row(
+            &mut t,
+            "Myria selection pushdown",
+            "filter step, 25 subj (s)",
+            with,
+            without,
+        );
     }
 
     // 4. TensorFlow's missing masked assignment: grant it mask support and
@@ -819,7 +906,13 @@ pub fn ablations(setup: &Setup) -> Table {
     {
         let with = scidb_coadd_time(setup, 24, 1000, true);
         let without = scidb_coadd_time(setup, 24, 1000, false);
-        row(&mut t, "SciDB incremental iteration [34]", "coadd step, 24 visits (s)", with, without);
+        row(
+            &mut t,
+            "SciDB incremental iteration [34]",
+            "coadd step, 24 visits (s)",
+            with,
+            without,
+        );
     }
 
     // 6. Hyperthread contention model: give the node 8 full physical cores
@@ -888,7 +981,13 @@ mod ablation_tests {
 pub fn skew_report(setup: &Setup) -> Table {
     let w = AstroWorkload { visits: 24 };
     let cluster = setup.cluster_for(Engine::Myria, 16);
-    let (g, _) = astro::myria(&w, &setup.cm, &setup.profiles, &cluster, ExecutionMode::Pipelined);
+    let (g, _) = astro::myria(
+        &w,
+        &setup.cm,
+        &setup.profiles,
+        &cluster,
+        ExecutionMode::Pipelined,
+    );
 
     // Intermediate bytes per node: the merge operators' buffered inputs
     // (mem is 3× the held bytes in the lowering's work_mem convention).
@@ -915,7 +1014,11 @@ pub fn skew_report(setup: &Setup) -> Table {
     let total: u64 = per_node.iter().sum();
     let avg = total as f64 / cluster.nodes as f64 / input_per_node;
     let max = per_node.iter().copied().max().unwrap_or(0) as f64 / input_per_node;
-    t.push(vec!["avg".into(), gb(total / cluster.nodes as u64), format!("{avg:.1}x")]);
+    t.push(vec![
+        "avg".into(),
+        gb(total / cluster.nodes as u64),
+        format!("{avg:.1}x"),
+    ]);
     t.push(vec!["max".into(), String::new(), format!("{max:.1}x")]);
     t
 }
@@ -929,10 +1032,7 @@ mod skew_tests {
         let setup = Setup::default();
         let t = skew_report(&setup);
         let parse = |label: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == label)
-                .expect("summary row")[2]
+            t.rows.iter().find(|r| r[0] == label).expect("summary row")[2]
                 .trim_end_matches('x')
                 .parse()
                 .expect("numeric growth")
@@ -963,7 +1063,11 @@ pub struct ShapeCheck {
 pub fn shape_checks(setup: &Setup) -> Vec<ShapeCheck> {
     let mut out = Vec::new();
     let mut check = |claim: &'static str, pass: bool, detail: String| {
-        out.push(ShapeCheck { claim, pass, detail });
+        out.push(ShapeCheck {
+            claim,
+            pass,
+            detail,
+        });
     };
 
     // §5.1 end-to-end.
@@ -1065,7 +1169,11 @@ pub fn shape_checks(setup: &Setup) -> Vec<ShapeCheck> {
     check(
         "memory: pipelined fine at 12 visits, OOM at 24; materialization completes",
         pipe.is_ok() && pipe24.is_err() && mat24.is_ok(),
-        format!("pipelined@12 {:?}, pipelined@24 {:?}, materialized@24 ok", pipe.is_ok(), pipe24.is_err()),
+        format!(
+            "pipelined@12 {:?}, pipelined@24 {:?}, materialized@24 ok",
+            pipe.is_ok(),
+            pipe24.is_err()
+        ),
     );
     let c500 = scidb_coadd_time(setup, 24, 500, false);
     let c1000 = scidb_coadd_time(setup, 24, 1000, false);
@@ -1073,7 +1181,11 @@ pub fn shape_checks(setup: &Setup) -> Vec<ShapeCheck> {
     check(
         "SciDB chunk 1000² optimal; 500² ~3× slower; 2000² ~+55%",
         c1000 < c500 && c1000 < c2000 && c500 / c1000 > 2.2,
-        format!("500² {:.2}×, 2000² {:.2}× of 1000²", c500 / c1000, c2000 / c1000),
+        format!(
+            "500² {:.2}×, 2000² {:.2}× of 1000²",
+            c500 / c1000,
+            c2000 / c1000
+        ),
     );
 
     out

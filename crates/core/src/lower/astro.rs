@@ -99,7 +99,11 @@ fn front_half(
             pre.push(g.add(t));
         }
     }
-    let pre_done = if barriers { Some(g.barrier("astro:stage-barrier", &pre)) } else { None };
+    let pre_done = if barriers {
+        Some(g.barrier("astro:stage-barrier", &pre))
+    } else {
+        None
+    };
 
     // Step 2A: flatmap each exposure into its patch pieces, then merge per
     // (patch, visit).
@@ -108,7 +112,8 @@ fn front_half(
     for v in 0..w.visits {
         for s in 0..AstroWorkload::SENSORS {
             let fan = fanout_of(s);
-            let piece_bytes = (sensor_bytes as f64 * AstroWorkload::PATCH_FANOUT / fan as f64) as u64;
+            let piece_bytes =
+                (sensor_bytes as f64 * AstroWorkload::PATCH_FANOUT / fan as f64) as u64;
             let parent = pre[v * AstroWorkload::SENSORS + s];
             for p in 0..fan {
                 let mut t = TaskSpec::compute(
@@ -129,10 +134,17 @@ fn front_half(
             }
         }
     }
-    let all_pieces: Vec<usize> =
-        pieces_by_patch_visit.iter().flatten().flatten().copied().collect();
-    let pieces_done =
-        if barriers { Some(g.barrier("astro:stage-barrier", &all_pieces)) } else { None };
+    let all_pieces: Vec<usize> = pieces_by_patch_visit
+        .iter()
+        .flatten()
+        .flatten()
+        .copied()
+        .collect();
+    let pieces_done = if barriers {
+        Some(g.barrier("astro:stage-barrier", &all_pieces))
+    } else {
+        None
+    };
 
     // Merge pieces into one exposure per (patch, visit); the shuffle is
     // the cross-node dependency edges. Hot (interior) patches carry more
@@ -179,14 +191,20 @@ pub fn spark(
     let prof = profiles.rdd;
     let mut g = TaskGraph::new();
     let submit = g.add(
-        TaskSpec::compute("spark:submit", profiles.jvm_job_submit + prof.executor_startup)
-            .on_node(0),
+        TaskSpec::compute(
+            "spark:submit",
+            profiles.jvm_job_submit + prof.executor_startup,
+        )
+        .on_node(0),
     );
     let objects = w.visits * AstroWorkload::SENSORS;
     let head = g.add(
-        TaskSpec::compute("spark:enumerate", objects as f64 * prof.ingest_enumeration_per_object)
-            .on_node(0)
-            .after(&[submit]),
+        TaskSpec::compute(
+            "spark:enumerate",
+            objects as f64 * prof.ingest_enumeration_per_object,
+        )
+        .on_node(0)
+        .after(&[submit]),
     );
     let crossing = move |b: u64| prof.crossing_time(b);
     // Spark's sort shuffle stages a fraction of the data through disk.
@@ -197,9 +215,7 @@ pub fn spark(
     let mut detects = Vec::new();
     for (p, visit_merges) in merges.iter().enumerate() {
         let pv_bytes = patch_visit_bytes();
-        let spill = (pv_bytes as f64
-            * w.visits as f64
-            * prof.shuffle_disk_fraction) as u64;
+        let spill = (pv_bytes as f64 * w.visits as f64 * prof.shuffle_disk_fraction) as u64;
         let mut t = TaskSpec::compute(
             "astro:coadd",
             cm.astro_coadd_per_patch * coadd_scale
@@ -225,6 +241,7 @@ pub fn spark(
         let _ = p;
     }
     g.barrier("spark:collect", &detects);
+    super::debug_verify(&g, cluster, profiles, super::Engine::Spark);
     g
 }
 
@@ -244,7 +261,7 @@ pub fn myria(
     let crossing = move |b: u64| prof.crossing_time(b);
     let coadd_scale = w.visits as f64 / 24.0;
 
-    match mode {
+    let (g, strict) = match mode {
         ExecutionMode::Pipelined => {
             // No barriers, nothing touches disk — but every (patch, visit)
             // exposure stays resident from merge until its coadd consumes
@@ -365,7 +382,9 @@ pub fn myria(
             }
             (g, true)
         }
-    }
+    };
+    super::debug_verify(&g, cluster, profiles, super::Engine::Myria);
+    (g, strict)
 }
 
 /// SciDB co-addition (Step 3A only, as in Figure 12d): iterative AQL over
@@ -382,8 +401,8 @@ pub fn scidb_coadd(
 ) -> TaskGraph {
     let prof = profiles.arr;
     let mut g = TaskGraph::new();
-    let total_cells: f64 = (w.visits as u64 * AstroWorkload::PIXELS_PER_SENSOR
-        * AstroWorkload::SENSORS as u64) as f64;
+    let total_cells: f64 =
+        (w.visits as u64 * AstroWorkload::PIXELS_PER_SENSOR * AstroWorkload::SENSORS as u64) as f64;
     let chunk_cells = (chunk_px * chunk_px) as f64;
     let n_chunks = (total_cells / chunk_cells).ceil() as usize;
     let chunk_bytes = (chunk_cells * 4.0) as u64;
@@ -437,6 +456,7 @@ pub fn scidb_coadd(
                 .on_node(node),
         );
     }
+    super::debug_verify(&g, cluster, profiles, super::Engine::SciDb);
     g
 }
 
@@ -447,7 +467,11 @@ mod tests {
     use simcluster::simulate;
 
     fn setup() -> (CostModel, EngineProfiles, ClusterSpec) {
-        (CostModel::default(), EngineProfiles::default(), ClusterSpec::r3_2xlarge(16))
+        (
+            CostModel::default(),
+            EngineProfiles::default(),
+            ClusterSpec::r3_2xlarge(16),
+        )
     }
 
     #[test]
@@ -483,7 +507,13 @@ mod tests {
         let res = simulate(&g, &myria_cluster, prof.policy(Engine::Myria), strict);
         assert!(res.is_err(), "24 visits should exhaust pipelined memory");
         // Materialized completes at the same scale.
-        let (g, strict) = myria(&big, &cm, &prof, &myria_cluster, ExecutionMode::Materialized);
+        let (g, strict) = myria(
+            &big,
+            &cm,
+            &prof,
+            &myria_cluster,
+            ExecutionMode::Materialized,
+        );
         assert!(simulate(&g, &myria_cluster, prof.policy(Engine::Myria), strict).is_ok());
     }
 
@@ -496,11 +526,10 @@ mod tests {
         let r_scidb = simulate(&g_scidb, &cluster, prof.policy(Engine::SciDb), false).unwrap();
         // The comparable Figure 12d bars: the coadd step alone on the UDF
         // engines (28 patch tasks with the reference kernel inside).
-        let mut g_udf = simcluster::TaskGraph::new();
+        let mut g_udf = TaskGraph::new();
         for p in 0..AstroWorkload::PATCHES {
             g_udf.add(
-                TaskSpec::compute("coadd", cm.astro_coadd_per_patch)
-                    .on_node(p % cluster.nodes),
+                TaskSpec::compute("coadd", cm.astro_coadd_per_patch).on_node(p % cluster.nodes),
             );
         }
         let r_udf = simulate(&g_udf, &cluster, prof.policy(Engine::Myria), false).unwrap();

@@ -22,7 +22,7 @@ pub fn spark(
     w: &NeuroWorkload,
     cm: &CostModel,
     profiles: &EngineProfiles,
-    _cluster: &ClusterSpec,
+    cluster: &ClusterSpec,
 ) -> TaskGraph {
     let prof = profiles.rdd;
     let mut g = TaskGraph::new();
@@ -40,9 +40,12 @@ pub fn spark(
     let staged = g.barrier("ingest:staged", &converts);
     let n_objects = w.subjects * NeuroWorkload::VOLUMES;
     let enumerate = g.add(
-        TaskSpec::compute("ingest:enumerate", n_objects as f64 * prof.ingest_enumeration_per_object)
-            .on_node(0)
-            .after(&[staged]),
+        TaskSpec::compute(
+            "ingest:enumerate",
+            n_objects as f64 * prof.ingest_enumeration_per_object,
+        )
+        .on_node(0)
+        .after(&[staged]),
     );
     for _ in 0..n_objects {
         g.add(
@@ -52,6 +55,7 @@ pub fn spark(
                 .after(&[enumerate]),
         );
     }
+    super::debug_verify(&g, cluster, profiles, super::Engine::Spark);
     g
 }
 
@@ -61,7 +65,7 @@ pub fn myria(
     w: &NeuroWorkload,
     cm: &CostModel,
     profiles: &EngineProfiles,
-    _cluster: &ClusterSpec,
+    cluster: &ClusterSpec,
 ) -> TaskGraph {
     let prof = profiles.rel;
     let mut g = TaskGraph::new();
@@ -79,13 +83,17 @@ pub fn myria(
     let staged = g.barrier("ingest:staged", &converts);
     for _ in 0..w.subjects * NeuroWorkload::VOLUMES {
         g.add(
-            TaskSpec::compute("ingest:download+insert", vol_bytes as f64 / prof.pg_insert_bw)
-                .s3(vol_bytes)
-                .disk_write(vol_bytes)
-                .mem(work_mem(vol_bytes))
-                .after(&[staged]),
+            TaskSpec::compute(
+                "ingest:download+insert",
+                vol_bytes as f64 / prof.pg_insert_bw,
+            )
+            .s3(vol_bytes)
+            .disk_write(vol_bytes)
+            .mem(work_mem(vol_bytes))
+            .after(&[staged]),
         );
     }
+    super::debug_verify(&g, cluster, profiles, super::Engine::Myria);
     g
 }
 
@@ -120,6 +128,7 @@ pub fn dask(
         }
         prev_on_node[node] = Some(g.add(t));
     }
+    super::debug_verify(&g, cluster, profiles, super::Engine::Dask);
     g
 }
 
@@ -152,12 +161,15 @@ pub fn tensorflow(
         for n in 0..cluster.nodes {
             g.add(
                 TaskSpec::compute("ingest:distribute", 0.0)
-                    .mem(work_mem(NeuroWorkload::SUBJECT_BYTES / cluster.nodes as u64))
+                    .mem(work_mem(
+                        NeuroWorkload::SUBJECT_BYTES / cluster.nodes as u64,
+                    ))
                     .on_node((s + n + 1) % cluster.nodes)
                     .after(&[dl]),
             );
         }
     }
+    super::debug_verify(&g, cluster, profiles, super::Engine::TensorFlow);
     g
 }
 
@@ -167,16 +179,17 @@ pub fn scidb_from_array(
     w: &NeuroWorkload,
     cm: &CostModel,
     profiles: &EngineProfiles,
-    _cluster: &ClusterSpec,
+    cluster: &ClusterSpec,
 ) -> TaskGraph {
     let prof = profiles.arr;
     let mut g = TaskGraph::new();
     let mut prev = None;
     for _ in 0..w.subjects {
-        let mut convert = TaskSpec::compute("ingest:convert-npy", cm.convert_nifti_to_npy_per_subject)
-            .s3(NeuroWorkload::SUBJECT_BYTES)
-            .mem(work_mem(NeuroWorkload::SUBJECT_BYTES / 4))
-            .on_node(0);
+        let mut convert =
+            TaskSpec::compute("ingest:convert-npy", cm.convert_nifti_to_npy_per_subject)
+                .s3(NeuroWorkload::SUBJECT_BYTES)
+                .mem(work_mem(NeuroWorkload::SUBJECT_BYTES / 4))
+                .on_node(0);
         if let Some(p) = prev {
             convert = convert.after(&[p]);
         }
@@ -194,6 +207,7 @@ pub fn scidb_from_array(
         );
         prev = Some(load);
     }
+    super::debug_verify(&g, cluster, profiles, super::Engine::SciDb);
     g
 }
 
@@ -208,12 +222,15 @@ pub fn scidb_aio(
     let prof = profiles.arr;
     let mut g = TaskGraph::new();
     let converts: Vec<_> = (0..w.subjects)
-        .map(|_| {
+        .map(|s| {
+            // The conversion runs on the cluster itself: under SciDB's
+            // static placement every task needs an explicit home node.
             g.add(
                 TaskSpec::compute("ingest:convert-csv", cm.convert_nifti_to_csv_per_subject)
                     .s3(NeuroWorkload::SUBJECT_BYTES)
                     .disk_write(NeuroWorkload::SUBJECT_BYTES * 3) // CSV inflation
-                    .mem(work_mem(NeuroWorkload::SUBJECT_BYTES / 4)),
+                    .mem(work_mem(NeuroWorkload::SUBJECT_BYTES / 4))
+                    .on_node(s % cluster.nodes),
             )
         })
         .collect();
@@ -223,14 +240,18 @@ pub fn scidb_aio(
     let slab = NeuroWorkload::SUBJECT_BYTES * w.subjects as u64 / instances as u64;
     for i in 0..instances {
         g.add(
-            TaskSpec::compute("ingest:aio_input", slab as f64 * 3.0 * prof.csv_ingest_per_byte / 3.0)
-                .disk_read(slab * 3)
-                .disk_write(slab)
-                .mem(work_mem(slab / 4))
-                .on_node(i / prof.instances_per_node)
-                .after(&[staged]),
+            TaskSpec::compute(
+                "ingest:aio_input",
+                slab as f64 * 3.0 * prof.csv_ingest_per_byte / 3.0,
+            )
+            .disk_read(slab * 3)
+            .disk_write(slab)
+            .mem(work_mem(slab / 4))
+            .on_node(i / prof.instances_per_node)
+            .after(&[staged]),
         );
     }
+    super::debug_verify(&g, cluster, profiles, super::Engine::SciDb);
     g
 }
 
@@ -241,7 +262,9 @@ mod tests {
     use simcluster::simulate;
 
     fn run(g: &TaskGraph, cluster: &ClusterSpec, prof: &EngineProfiles, e: Engine) -> f64 {
-        simulate(g, cluster, prof.policy(e), false).unwrap().makespan
+        simulate(g, cluster, prof.policy(e), false)
+            .unwrap()
+            .makespan
     }
 
     #[test]
@@ -251,18 +274,57 @@ mod tests {
         let cluster = ClusterSpec::r3_2xlarge(16);
         let w = NeuroWorkload { subjects: 8 };
 
-        let t_spark = run(&spark(&w, &cm, &prof, &cluster), &cluster, &prof, Engine::Spark);
-        let t_myria = run(&myria(&w, &cm, &prof, &cluster), &cluster, &prof, Engine::Myria);
-        let t_dask = run(&dask(&w, &cm, &prof, &cluster), &cluster, &prof, Engine::Dask);
-        let t_tf = run(&tensorflow(&w, &cm, &prof, &cluster), &cluster, &prof, Engine::TensorFlow);
-        let t_s1 = run(&scidb_from_array(&w, &cm, &prof, &cluster), &cluster, &prof, Engine::SciDb);
-        let t_s2 = run(&scidb_aio(&w, &cm, &prof, &cluster), &cluster, &prof, Engine::SciDb);
+        let t_spark = run(
+            &spark(&w, &cm, &prof, &cluster),
+            &cluster,
+            &prof,
+            Engine::Spark,
+        );
+        let t_myria = run(
+            &myria(&w, &cm, &prof, &cluster),
+            &cluster,
+            &prof,
+            Engine::Myria,
+        );
+        let t_dask = run(
+            &dask(&w, &cm, &prof, &cluster),
+            &cluster,
+            &prof,
+            Engine::Dask,
+        );
+        let t_tf = run(
+            &tensorflow(&w, &cm, &prof, &cluster),
+            &cluster,
+            &prof,
+            Engine::TensorFlow,
+        );
+        let t_s1 = run(
+            &scidb_from_array(&w, &cm, &prof, &cluster),
+            &cluster,
+            &prof,
+            Engine::SciDb,
+        );
+        let t_s2 = run(
+            &scidb_aio(&w, &cm, &prof, &cluster),
+            &cluster,
+            &prof,
+            Engine::SciDb,
+        );
 
         // Figure 11's relationships:
-        assert!(t_myria < t_spark, "Myria {t_myria} beats Spark {t_spark} (no enumeration)");
+        assert!(
+            t_myria < t_spark,
+            "Myria {t_myria} beats Spark {t_spark} (no enumeration)"
+        );
         assert!(t_s1 > 5.0 * t_s2, "from_array {t_s1} ≫ aio {t_s2}");
-        assert!(t_s2 > t_myria, "aio {t_s2} pays CSV conversion over Myria {t_myria}");
-        assert!(t_tf > t_spark, "master-funneled TF {t_tf} slower than Spark {t_spark}");
+        assert!(
+            t_s2 > t_myria,
+            "aio {t_s2} pays CSV conversion over Myria {t_myria}"
+        );
+        assert!(
+            t_tf > t_spark,
+            "master-funneled TF {t_tf} slower than Spark {t_spark}"
+        );
         assert!(t_dask > 0.0 && t_s1 > t_dask);
     }
 
@@ -271,9 +333,24 @@ mod tests {
         let cm = CostModel::default();
         let prof = EngineProfiles::default();
         let cluster = ClusterSpec::r3_2xlarge(16);
-        let t8 = run(&dask(&NeuroWorkload { subjects: 8 }, &cm, &prof, &cluster), &cluster, &prof, Engine::Dask);
-        let t16 = run(&dask(&NeuroWorkload { subjects: 16 }, &cm, &prof, &cluster), &cluster, &prof, Engine::Dask);
-        let t25 = run(&dask(&NeuroWorkload { subjects: 25 }, &cm, &prof, &cluster), &cluster, &prof, Engine::Dask);
+        let t8 = run(
+            &dask(&NeuroWorkload { subjects: 8 }, &cm, &prof, &cluster),
+            &cluster,
+            &prof,
+            Engine::Dask,
+        );
+        let t16 = run(
+            &dask(&NeuroWorkload { subjects: 16 }, &cm, &prof, &cluster),
+            &cluster,
+            &prof,
+            Engine::Dask,
+        );
+        let t25 = run(
+            &dask(&NeuroWorkload { subjects: 25 }, &cm, &prof, &cluster),
+            &cluster,
+            &prof,
+            Engine::Dask,
+        );
         assert!((t16 / t8 - 1.0).abs() < 0.05, "flat: {t8} vs {t16}");
         assert!(t25 > 1.3 * t16, "grows past 16 subjects: {t16} vs {t25}");
     }

@@ -18,7 +18,7 @@ use engine_dataflow::DataflowEngineProfile;
 use engine_rdd::RddEngineProfile;
 use engine_rel::RelEngineProfile;
 use engine_taskgraph::TaskGraphEngineProfile;
-use simcluster::SchedPolicy;
+use simcluster::{ClusterSpec, SchedPolicy, TaskGraph};
 
 /// The systems under evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,14 +96,73 @@ impl EngineProfiles {
     /// The scheduling policy an engine runs under.
     pub fn policy(&self, engine: Engine) -> SchedPolicy {
         match engine {
-            Engine::Spark => SchedPolicy::LocalityFifo { per_task_overhead: self.rdd.per_task_overhead },
-            Engine::Myria => SchedPolicy::LocalityFifo { per_task_overhead: self.rel.per_task_overhead },
+            Engine::Spark => SchedPolicy::LocalityFifo {
+                per_task_overhead: self.rdd.per_task_overhead,
+            },
+            Engine::Myria => SchedPolicy::LocalityFifo {
+                per_task_overhead: self.rel.per_task_overhead,
+            },
             Engine::Dask => SchedPolicy::WorkStealing {
                 per_task_overhead: self.tg.per_task_overhead,
                 steal_cost: self.tg.steal_cost,
             },
-            Engine::TensorFlow => SchedPolicy::Static { per_task_overhead: self.df.step_dispatch_fixed },
-            Engine::SciDb => SchedPolicy::Static { per_task_overhead: self.arr.chunk_op_overhead },
+            Engine::TensorFlow => SchedPolicy::Static {
+                per_task_overhead: self.df.step_dispatch_fixed,
+            },
+            Engine::SciDb => SchedPolicy::Static {
+                per_task_overhead: self.arr.chunk_op_overhead,
+            },
         }
+    }
+
+    /// The static invariants [`plancheck::check`] should enforce against an
+    /// engine's lowered task graphs.
+    pub fn invariants(&self, engine: Engine) -> plancheck::InvariantProfile {
+        match engine {
+            Engine::Spark => self.rdd.invariants(),
+            Engine::Myria => self.rel.invariants(),
+            Engine::Dask => self.tg.invariants(),
+            Engine::TensorFlow => self.df.invariants(),
+            Engine::SciDb => self.arr.invariants(),
+        }
+    }
+}
+
+/// Debug-build guard run at the end of every lowering function: the graph
+/// must be free of structural, byte-conservation, placement and
+/// engine-shape *errors* before it is handed to anything else.
+///
+/// Memory findings (`M...`) are deliberately NOT fatal here — memory
+/// overruns are legitimate outcomes this repo models (Figure 15's
+/// pipelined OOM), reported by `plancheck` and decided by the simulator.
+/// Compiled to a no-op in release builds.
+pub(crate) fn debug_verify(
+    graph: &TaskGraph,
+    cluster: &ClusterSpec,
+    profiles: &EngineProfiles,
+    engine: Engine,
+) {
+    if cfg!(debug_assertions) {
+        let report = plancheck::check(graph, cluster, &profiles.invariants(engine));
+        let fatal: Vec<&plancheck::Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| {
+                d.severity == plancheck::Severity::Error
+                    && !matches!(
+                        d.code,
+                        plancheck::Code::M001
+                            | plancheck::Code::M002
+                            | plancheck::Code::M003
+                            | plancheck::Code::M004
+                    )
+            })
+            .collect();
+        assert!(
+            fatal.is_empty(),
+            "{} lowering produced an invalid task graph:\n{}",
+            engine.name(),
+            report.render_table()
+        );
     }
 }

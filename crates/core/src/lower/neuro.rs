@@ -24,7 +24,7 @@ pub fn spark(
     w: &NeuroWorkload,
     cm: &CostModel,
     profiles: &EngineProfiles,
-    _cluster: &ClusterSpec,
+    cluster: &ClusterSpec,
     partitions: Option<usize>,
     cache_input: bool,
 ) -> TaskGraph {
@@ -42,8 +42,11 @@ pub fn spark(
     // Job submission + executor allocation + master-side S3 key
     // enumeration (all serial, all fixed-cost).
     let submit = g.add(
-        TaskSpec::compute("spark:submit", profiles.jvm_job_submit + prof.executor_startup)
-            .on_node(0),
+        TaskSpec::compute(
+            "spark:submit",
+            profiles.jvm_job_submit + prof.executor_startup,
+        )
+        .on_node(0),
     );
     let enumerate = g.add(
         TaskSpec::compute(
@@ -76,8 +79,7 @@ pub fn spark(
             g.add(
                 TaskSpec::compute(
                     "spark:filter+partial-mean",
-                    (cm.neuro_filter_per_subject + cm.neuro_mean_per_subject) * b0_frac
-                        / p as f64
+                    (cm.neuro_filter_per_subject + cm.neuro_mean_per_subject) * b0_frac / p as f64
                         * w.subjects as f64
                         + prof.crossing_time((part_bytes as f64 * b0_frac) as u64),
                 )
@@ -108,7 +110,11 @@ pub fn spark(
     // is recomputed — the partitions re-read S3 and re-deserialize
     // (§5.3.3's 7–8%).
     let reread = if cache_input { 0 } else { part_bytes };
-    let reparse = if cache_input { 0.0 } else { prof.crossing_time(part_bytes) };
+    let reparse = if cache_input {
+        0.0
+    } else {
+        prof.crossing_time(part_bytes)
+    };
     let denoise: Vec<_> = (0..p)
         .map(|i| {
             g.add(
@@ -148,6 +154,7 @@ pub fn spark(
         }
     }
     g.barrier("spark:collect", &fits);
+    super::debug_verify(&g, cluster, profiles, super::Engine::Spark);
     g
 }
 
@@ -250,6 +257,7 @@ pub fn myria(
             g.add(t);
         }
     }
+    super::debug_verify(&g, cluster, profiles, super::Engine::Myria);
     g
 }
 
@@ -267,7 +275,8 @@ pub fn dask(
     let mut g = TaskGraph::new();
     let vol_bytes = NeuroWorkload::volume_bytes();
 
-    let startup = g.add(TaskSpec::compute("dask:scheduler-startup", prof.scheduler_startup).on_node(0));
+    let startup =
+        g.add(TaskSpec::compute("dask:scheduler-startup", prof.scheduler_startup).on_node(0));
 
     for s in 0..w.subjects {
         let home = s % cluster.nodes;
@@ -321,6 +330,7 @@ pub fn dask(
             g.add(t);
         }
     }
+    super::debug_verify(&g, cluster, profiles, super::Engine::Dask);
     g
 }
 
@@ -452,6 +462,7 @@ pub fn tensorflow(
         .on_node(0);
     fin.deps = dens;
     g.add(fin);
+    super::debug_verify(&g, cluster, profiles, super::Engine::TensorFlow);
     g
 }
 
@@ -485,7 +496,11 @@ pub fn scidb_steps(
                         prof.chunk_op_overhead + vol_bytes as f64 * prof.reconstruct_per_byte,
                     )
                     .disk_read(vol_bytes)
-                    .output(if v < NeuroWorkload::B0_VOLUMES { vol_bytes } else { 0 })
+                    .output(if v < NeuroWorkload::B0_VOLUMES {
+                        vol_bytes
+                    } else {
+                        0
+                    })
                     .mem(work_mem(vol_bytes))
                     .on_node(node_of_chunk(c)),
                 ),
@@ -526,6 +541,7 @@ pub fn scidb_steps(
             }
         }
     }
+    super::debug_verify(&g, cluster, profiles, super::Engine::SciDb);
     g
 }
 
@@ -535,7 +551,11 @@ mod tests {
     use simcluster::simulate;
 
     fn setup() -> (CostModel, EngineProfiles, ClusterSpec) {
-        (CostModel::default(), EngineProfiles::default(), ClusterSpec::r3_2xlarge(16))
+        (
+            CostModel::default(),
+            EngineProfiles::default(),
+            ClusterSpec::r3_2xlarge(16),
+        )
     }
 
     #[test]
@@ -544,7 +564,13 @@ mod tests {
         let w = NeuroWorkload { subjects: 2 };
         let g = spark(&w, &cm, &prof, &cluster, Some(64), true);
         assert!(g.len() > 64, "tasks: {}", g.len());
-        let r = simulate(&g, &cluster, prof.policy(super::super::Engine::Spark), false).unwrap();
+        let r = simulate(
+            &g,
+            &cluster,
+            prof.policy(super::super::Engine::Spark),
+            false,
+        )
+        .unwrap();
         assert!(r.makespan > 0.0);
     }
 
@@ -553,11 +579,31 @@ mod tests {
         let (cm, prof, cluster) = setup();
         let w = NeuroWorkload { subjects: 1 };
         for (name, g, engine) in [
-            ("spark", spark(&w, &cm, &prof, &cluster, Some(97), true), super::super::Engine::Spark),
-            ("myria", myria(&w, &cm, &prof, &cluster.clone().with_worker_slots(4)), super::super::Engine::Myria),
-            ("dask", dask(&w, &cm, &prof, &cluster), super::super::Engine::Dask),
-            ("tf", tensorflow(&w, &cm, &prof, &cluster), super::super::Engine::TensorFlow),
-            ("scidb", scidb_steps(&w, &cm, &prof, &cluster, true), super::super::Engine::SciDb),
+            (
+                "spark",
+                spark(&w, &cm, &prof, &cluster, Some(97), true),
+                super::super::Engine::Spark,
+            ),
+            (
+                "myria",
+                myria(&w, &cm, &prof, &cluster.clone().with_worker_slots(4)),
+                super::super::Engine::Myria,
+            ),
+            (
+                "dask",
+                dask(&w, &cm, &prof, &cluster),
+                super::super::Engine::Dask,
+            ),
+            (
+                "tf",
+                tensorflow(&w, &cm, &prof, &cluster),
+                super::super::Engine::TensorFlow,
+            ),
+            (
+                "scidb",
+                scidb_steps(&w, &cm, &prof, &cluster, true),
+                super::super::Engine::SciDb,
+            ),
         ] {
             let r = simulate(&g, &cluster, prof.policy(engine), false).unwrap();
             assert!(r.makespan > 1.0, "{name}: {}", r.makespan);
@@ -571,8 +617,20 @@ mod tests {
         let w = NeuroWorkload { subjects: 4 };
         let cached = spark(&w, &cm, &prof, &cluster, Some(97), true);
         let uncached = spark(&w, &cm, &prof, &cluster, Some(97), false);
-        let rc = simulate(&cached, &cluster, prof.policy(super::super::Engine::Spark), false).unwrap();
-        let ru = simulate(&uncached, &cluster, prof.policy(super::super::Engine::Spark), false).unwrap();
+        let rc = simulate(
+            &cached,
+            &cluster,
+            prof.policy(super::super::Engine::Spark),
+            false,
+        )
+        .unwrap();
+        let ru = simulate(
+            &uncached,
+            &cluster,
+            prof.policy(super::super::Engine::Spark),
+            false,
+        )
+        .unwrap();
         assert!(ru.bytes_from_s3 > rc.bytes_from_s3);
         assert!(ru.makespan > rc.makespan);
     }

@@ -90,6 +90,7 @@ pub fn filter_step(
             tf_filter_assignment(&mut g, w, profiles, cluster, 1);
         }
     }
+    super::debug_verify(&g, cluster, profiles, engine);
     g
 }
 
@@ -206,9 +207,8 @@ pub fn mean_step(
             // conversion covers the whole subject tensor, because the
             // volume-axis selection cannot happen before tensors exist.
             for s in 0..w.subjects {
-                let convert = 2.0
-                    * NeuroWorkload::SUBJECT_BYTES as f64
-                    * profiles.df.tensor_convert_per_byte;
+                let convert =
+                    2.0 * NeuroWorkload::SUBJECT_BYTES as f64 * profiles.df.tensor_convert_per_byte;
                 g.add(
                     TaskSpec::compute("mean", cm.neuro_mean_per_subject + convert)
                         .mem(work_mem(b0_bytes))
@@ -226,6 +226,7 @@ pub fn mean_step(
             g.add(t);
         }
     }
+    super::debug_verify(&g, cluster, profiles, engine);
     g
 }
 
@@ -316,6 +317,7 @@ pub fn denoise_step(
             }
         }
     }
+    super::debug_verify(&g, cluster, profiles, engine);
     g
 }
 
@@ -325,27 +327,64 @@ mod tests {
     use simcluster::simulate;
 
     fn run(engine: Engine, g: &TaskGraph, cluster: &ClusterSpec, p: &EngineProfiles) -> f64 {
-        simulate(g, cluster, p.policy(engine), false).unwrap().makespan
+        simulate(g, cluster, p.policy(engine), false)
+            .unwrap()
+            .makespan
     }
 
     fn setup() -> (CostModel, EngineProfiles, ClusterSpec) {
-        (CostModel::default(), EngineProfiles::default(), ClusterSpec::r3_2xlarge(16))
+        (
+            CostModel::default(),
+            EngineProfiles::default(),
+            ClusterSpec::r3_2xlarge(16),
+        )
     }
 
     #[test]
     fn figure_12a_orderings() {
         let (cm, p, cluster) = setup();
         let w = NeuroWorkload { subjects: 25 };
-        let t_myria = run(Engine::Myria, &filter_step(Engine::Myria, &w, &cm, &p, &cluster), &cluster, &p);
-        let t_dask = run(Engine::Dask, &filter_step(Engine::Dask, &w, &cm, &p, &cluster), &cluster, &p);
-        let t_spark = run(Engine::Spark, &filter_step(Engine::Spark, &w, &cm, &p, &cluster), &cluster, &p);
-        let t_scidb = run(Engine::SciDb, &filter_step(Engine::SciDb, &w, &cm, &p, &cluster), &cluster, &p);
-        let t_tf = run(Engine::TensorFlow, &filter_step(Engine::TensorFlow, &w, &cm, &p, &cluster), &cluster, &p);
+        let t_myria = run(
+            Engine::Myria,
+            &filter_step(Engine::Myria, &w, &cm, &p, &cluster),
+            &cluster,
+            &p,
+        );
+        let t_dask = run(
+            Engine::Dask,
+            &filter_step(Engine::Dask, &w, &cm, &p, &cluster),
+            &cluster,
+            &p,
+        );
+        let t_spark = run(
+            Engine::Spark,
+            &filter_step(Engine::Spark, &w, &cm, &p, &cluster),
+            &cluster,
+            &p,
+        );
+        let t_scidb = run(
+            Engine::SciDb,
+            &filter_step(Engine::SciDb, &w, &cm, &p, &cluster),
+            &cluster,
+            &p,
+        );
+        let t_tf = run(
+            Engine::TensorFlow,
+            &filter_step(Engine::TensorFlow, &w, &cm, &p, &cluster),
+            &cluster,
+            &p,
+        );
         // Paper: Myria and Dask fastest; Spark an order of magnitude
         // slower than Dask; SciDB slower than the fast pair; TF slowest by
         // orders of magnitude.
-        assert!(t_myria < t_spark && t_dask < t_spark, "{t_myria} {t_dask} {t_spark}");
-        assert!(t_spark > 5.0 * t_dask.min(t_myria), "spark {t_spark} vs {t_dask}/{t_myria}");
+        assert!(
+            t_myria < t_spark && t_dask < t_spark,
+            "{t_myria} {t_dask} {t_spark}"
+        );
+        assert!(
+            t_spark > 5.0 * t_dask.min(t_myria),
+            "spark {t_spark} vs {t_dask}/{t_myria}"
+        );
         assert!(t_scidb > t_myria && t_scidb > t_dask, "scidb {t_scidb}");
         assert!(t_tf > 10.0 * t_spark, "tf {t_tf} vs spark {t_spark}");
     }
@@ -354,10 +393,30 @@ mod tests {
     fn figure_12b_scidb_fastest_small_scale() {
         let (cm, p, cluster) = setup();
         let w = NeuroWorkload { subjects: 1 };
-        let t_scidb = run(Engine::SciDb, &mean_step(Engine::SciDb, &w, &cm, &p, &cluster), &cluster, &p);
-        let t_spark = run(Engine::Spark, &mean_step(Engine::Spark, &w, &cm, &p, &cluster), &cluster, &p);
-        let t_dask = run(Engine::Dask, &mean_step(Engine::Dask, &w, &cm, &p, &cluster), &cluster, &p);
-        let t_tf = run(Engine::TensorFlow, &mean_step(Engine::TensorFlow, &w, &cm, &p, &cluster), &cluster, &p);
+        let t_scidb = run(
+            Engine::SciDb,
+            &mean_step(Engine::SciDb, &w, &cm, &p, &cluster),
+            &cluster,
+            &p,
+        );
+        let t_spark = run(
+            Engine::Spark,
+            &mean_step(Engine::Spark, &w, &cm, &p, &cluster),
+            &cluster,
+            &p,
+        );
+        let t_dask = run(
+            Engine::Dask,
+            &mean_step(Engine::Dask, &w, &cm, &p, &cluster),
+            &cluster,
+            &p,
+        );
+        let t_tf = run(
+            Engine::TensorFlow,
+            &mean_step(Engine::TensorFlow, &w, &cm, &p, &cluster),
+            &cluster,
+            &p,
+        );
         assert!(t_scidb < t_spark, "scidb {t_scidb} vs spark {t_spark}");
         assert!(t_scidb < t_dask, "scidb {t_scidb} vs dask {t_dask}");
         assert!(t_tf > 5.0 * t_scidb, "tf {t_tf}");
@@ -399,6 +458,10 @@ mod tests {
             .collect();
         let max = times.iter().cloned().fold(0.0, f64::max);
         let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max / min > 1.5 && max / min < 4.0, "spread {}: {times:?}", max / min);
+        assert!(
+            max / min > 1.5 && max / min < 4.0,
+            "spread {}: {times:?}",
+            max / min
+        );
     }
 }

@@ -68,7 +68,11 @@ fn unpack(packed: &NdArray<f64>, visit: u32, sensor: u32, bbox: SkyBox) -> Expos
 
 /// Shared parameters (matching the reference pipeline).
 pub fn astro_params() -> (CalibParams, CoaddParams, DetectParams) {
-    (CalibParams::default(), CoaddParams::default(), DetectParams::default())
+    (
+        CalibParams::default(),
+        CoaddParams::default(),
+        DetectParams::default(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -122,7 +126,10 @@ pub fn spark(survey: &SkySurvey, partitions: usize) -> AstroResult {
         coadd_flux.insert(patch, flux);
         catalogs.insert(patch, sources);
     }
-    AstroResult { coadd_flux, catalogs }
+    AstroResult {
+        coadd_flux,
+        catalogs,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -183,7 +190,12 @@ pub fn myria(survey: &SkySurvey, nodes: usize, workers_per_node: usize) -> Astro
             width: args[4].as_int() as u64,
             height: args[5].as_int() as u64,
         };
-        let e = unpack(args[6].as_blob(), visit as u32, args[1].as_int() as u32, bbox);
+        let e = unpack(
+            args[6].as_blob(),
+            visit as u32,
+            args[1].as_int() as u32,
+            bbox,
+        );
         g1.map_to_patches(&e)
             .into_iter()
             .map(|((pr, pc), piece)| {
@@ -262,8 +274,18 @@ pub fn myria(survey: &SkySurvey, nodes: usize, workers_per_node: usize) -> Astro
                 ("piece", ValueType::Blob),
             ],
         )
-        .group_by(&["patchRow", "patchCol", "visit"], "MergeVisit", "merged", ValueType::Blob)
-        .group_by(&["patchRow", "patchCol"], "CoaddDetect", "result", ValueType::Blob)
+        .group_by(
+            &["patchRow", "patchCol", "visit"],
+            "MergeVisit",
+            "merged",
+            ValueType::Blob,
+        )
+        .group_by(
+            &["patchRow", "patchCol"],
+            "CoaddDetect",
+            "result",
+            ValueType::Blob,
+        )
         .execute(&conn)
         .expect("astronomy query");
 
@@ -290,7 +312,10 @@ pub fn myria(survey: &SkySurvey, nodes: usize, workers_per_node: usize) -> Astro
         coadd_flux.insert(patch, flux);
         catalogs.insert(patch, sources);
     }
-    AstroResult { coadd_flux, catalogs }
+    AstroResult {
+        coadd_flux,
+        catalogs,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -320,7 +345,9 @@ pub fn scidb_coadd_cube(
         let kept = stack.join(&weights, |v, w| v * w).expect("mask values");
         let sum_w = weights.aggregate_sum(0).expect("sum weights");
         let sum_v = kept.aggregate_sum(0).expect("sum values");
-        let mean = sum_v.join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 }).expect("mean");
+        let mean = sum_v
+            .join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 })
+            .expect("mean");
         let sum_sq = stack
             .apply(|v| v * v)
             .expect("squares")
@@ -328,9 +355,13 @@ pub fn scidb_coadd_cube(
             .expect("mask squares")
             .aggregate_sum(0)
             .expect("sum squares");
-        let meansq = sum_sq.join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 }).expect("meansq");
+        let meansq = sum_sq
+            .join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 })
+            .expect("meansq");
         let std = meansq
-            .join(&mean.apply(|m| m * m).expect("mean^2"), |a, b| (a - b).max(0.0).sqrt())
+            .join(&mean.apply(|m| m * m).expect("mean^2"), |a, b| {
+                (a - b).max(0.0).sqrt()
+            })
             .expect("std");
         // Re-test every sample against the current mean/σ (3σ rule).
         let pass = stack
@@ -437,9 +468,7 @@ mod tests {
         let out = scidb_coadd_cube(&db, &cube, 4);
         for r in 0..6 {
             for c in 0..6 {
-                let samples: Vec<f64> = (0..visits)
-                    .map(|v| cube[&[v, r, c][..]])
-                    .collect();
+                let samples: Vec<f64> = (0..visits).map(|v| cube[&[v, r, c][..]]).collect();
                 let expect = sciops::stats::sigma_clipped_mean(&samples, 3.0, 2);
                 let got = out[&[r, c][..]];
                 assert!((got - expect).abs() < 1e-9, "({r},{c}): {got} vs {expect}");

@@ -39,7 +39,12 @@ impl Subject {
 
 /// The NLM parameters every implementation shares (matching the reference).
 pub fn nlm_params() -> NlmParams {
-    NlmParams { search_radius: 1, patch_radius: 1, sigma: 20.0, h_factor: 1.0 }
+    NlmParams {
+        search_radius: 1,
+        patch_radius: 1,
+        sigma: 20.0,
+        h_factor: 1.0,
+    }
 }
 
 /// Assemble per-volume results back into a (x, y, z, volume) array.
@@ -72,9 +77,7 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> HashMap<u32, NdArray<f6
     type ImgRecord = ((u32, u32), Arc<NdArray<f64>>);
     let records: Vec<ImgRecord> = subjects
         .iter()
-        .flat_map(|s| {
-            (0..s.gtab.len()).map(move |v| ((s.id, v as u32), Arc::new(s.volume(v))))
-        })
+        .flat_map(|s| (0..s.gtab.len()).map(move |v| ((s.id, v as u32), Arc::new(s.volume(v)))))
         .collect();
     let img_rdd = sc.parallelize(records, partitions).cache();
 
@@ -82,7 +85,12 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> HashMap<u32, NdArray<f6
     // broadcast the masks.
     let b0_sets: HashMap<u32, Vec<u32>> = subjects
         .iter()
-        .map(|s| (s.id, s.gtab.b0_indices().iter().map(|&v| v as u32).collect()))
+        .map(|s| {
+            (
+                s.id,
+                s.gtab.b0_indices().iter().map(|&v| v as u32).collect(),
+            )
+        })
         .collect();
     let b0_sets = Arc::new(b0_sets);
     let b0s = Arc::clone(&b0_sets);
@@ -114,7 +122,10 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> HashMap<u32, NdArray<f6
 
     let models = img_rdd
         .map(move |((s, v), vol)| {
-            ((s, v), Arc::new(nlmeans3d(&vol, Some(&m1.value()[&s]), &params)))
+            (
+                (s, v),
+                Arc::new(nlmeans3d(&vol, Some(&m1.value()[&s]), &params)),
+            )
         })
         // repart: split each denoised volume into voxel blocks.
         .flat_map(move |((s, v), vol)| {
@@ -128,8 +139,10 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> HashMap<u32, NdArray<f6
         })
         .group_by_key(64);
 
-    let gtabs: HashMap<u32, Arc<GradientTable>> =
-        subjects.iter().map(|s| (s.id, Arc::clone(&s.gtab))).collect();
+    let gtabs: HashMap<u32, Arc<GradientTable>> = subjects
+        .iter()
+        .map(|s| (s.id, Arc::clone(&s.gtab)))
+        .collect();
     let gtabs = Arc::new(gtabs);
     let m2 = mask_bc.clone();
     let d3 = dims3.clone();
@@ -166,7 +179,10 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> HashMap<u32, NdArray<f6
     for (s, mut blocks) in by_subject {
         blocks.sort_by_key(|(b, _)| *b);
         let data: Vec<f64> = blocks.into_iter().flat_map(|(_, fa)| fa).collect();
-        out.insert(s, NdArray::from_vec(&dims3, data).expect("blocks partition voxels"));
+        out.insert(
+            s,
+            NdArray::from_vec(&dims3, data).expect("blocks partition voxels"),
+        );
     }
     out
 }
@@ -179,7 +195,11 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> HashMap<u32, NdArray<f6
 ///
 /// Mirrors Figure 7: ingest an `Images(subjId, imgId, img)` relation,
 /// compute and broadcast `Mask`, then join + PYUDF(Denoise) + a FitDTM UDA.
-pub fn myria(subjects: &[Subject], nodes: usize, workers_per_node: usize) -> HashMap<u32, NdArray<f64>> {
+pub fn myria(
+    subjects: &[Subject],
+    nodes: usize,
+    workers_per_node: usize,
+) -> HashMap<u32, NdArray<f64>> {
     let conn = MyriaConnection::connect(nodes, workers_per_node);
 
     // Ingest.
@@ -227,18 +247,31 @@ pub fn myria(subjects: &[Subject], nodes: usize, workers_per_node: usize) -> Has
 
     // Query 1: mask per subject (scan with b0 pushdown → mean → mask).
     let n_b0 = subjects[0].gtab.b0_indices().len() as i64;
-    let first_b0: Vec<i64> = subjects[0].gtab.b0_indices().iter().map(|&v| v as i64).collect();
+    let first_b0: Vec<i64> = subjects[0]
+        .gtab
+        .b0_indices()
+        .iter()
+        .map(|&v| v as i64)
+        .collect();
     let _ = n_b0;
     let mask_rel = Query::scan_select("Images", "imgId", move |v| first_b0.contains(&v.as_int()))
         .group_by(&["subjId"], "MeanVol", "mean", ValueType::Blob)
-        .apply("MedianOtsu", &["mean"], &["subjId"], "mask", ValueType::Blob)
+        .apply(
+            "MedianOtsu",
+            &["mean"],
+            &["subjId"],
+            "mask",
+            ValueType::Blob,
+        )
         .execute(&conn)
         .expect("mask query");
     conn.ingest_broadcast("Mask", mask_rel.schema.clone(), mask_rel.all_tuples());
 
     // FitDTM UDA: groups hold a subject's denoised volumes.
-    let gtabs: HashMap<i64, Arc<GradientTable>> =
-        subjects.iter().map(|s| (s.id as i64, Arc::clone(&s.gtab))).collect();
+    let gtabs: HashMap<i64, Arc<GradientTable>> = subjects
+        .iter()
+        .map(|s| (s.id as i64, Arc::clone(&s.gtab)))
+        .collect();
     conn.create_aggregate("FitDTM", move |tuples| {
         let subj = tuples[0][0].as_int();
         let gtab = &gtabs[&subj];
@@ -258,9 +291,21 @@ pub fn myria(subjects: &[Subject], nodes: usize, workers_per_node: usize) -> Has
     // Query 2: join, denoise, fit (Figure 7's flow + the Step 3N UDA).
     let result = Query::scan("Images")
         .broadcast_join("Mask", "subjId", "subjId")
-        .apply("Denoise", &["img", "mask"], &["subjId", "imgId", "mask"], "img", ValueType::Blob)
+        .apply(
+            "Denoise",
+            &["img", "mask"],
+            &["subjId", "imgId", "mask"],
+            "img",
+            ValueType::Blob,
+        )
         // Reorder for the UDA: (subjId, imgId, img, mask).
-        .apply("Identity", &["img"], &["subjId", "imgId", "img", "mask"], "ignored", ValueType::Blob)
+        .apply(
+            "Identity",
+            &["img"],
+            &["subjId", "imgId", "img", "mask"],
+            "ignored",
+            ValueType::Blob,
+        )
         .group_by(&["subjId"], "FitDTM", "fa", ValueType::Blob)
         .execute(&conn)
         .expect("denoise+fit query");
@@ -268,7 +313,12 @@ pub fn myria(subjects: &[Subject], nodes: usize, workers_per_node: usize) -> Has
     result
         .all_tuples()
         .into_iter()
-        .map(|t| (t[0].as_int() as u32, t.last().expect("fa col").as_blob().as_ref().clone()))
+        .map(|t| {
+            (
+                t[0].as_int() as u32,
+                t.last().expect("fa col").as_blob().as_ref().clone(),
+            )
+        })
         .collect()
 }
 
@@ -307,7 +357,9 @@ pub fn dask(subjects: &[Subject], workers: usize) -> HashMap<u32, NdArray<f64>> 
             })
             .collect();
         let all = client.delayed_many(&denoised, |vols: &[&(usize, NdArray<f64>)]| {
-            vols.iter().map(|(v, a)| (*v, a.clone())).collect::<Vec<_>>()
+            vols.iter()
+                .map(|(v, a)| (*v, a.clone()))
+                .collect::<Vec<_>>()
         });
         let subj2 = s.clone();
         let fa = client.delayed_zip(masked, all, move |(_, mask), vols| {
@@ -366,7 +418,11 @@ pub fn tensorflow(subjects: &[Subject]) -> TfNeuroOutput {
         let b0 = g1.gather(vm, &s.gtab.b0_indices());
         let mean = g1.reduce_mean(b0, 0);
         let out = session
-            .run(&g1, &[(p, s.data.as_ref().clone())].into_iter().collect(), &[mean])
+            .run(
+                &g1,
+                &[(p, s.data.as_ref().clone())].into_iter().collect(),
+                &[mean],
+            )
             .expect("graph 1 runs");
         let mean_vol = out[0].clone();
         assert_eq!(mean_vol.dims(), &dims3[..]);
@@ -401,8 +457,16 @@ pub fn tensorflow(subjects: &[Subject]) -> TfNeuroOutput {
         mask_out.insert(s.id, mask);
         denoised0.insert(s.id, out3[0].clone());
     }
-    assert_eq!(session.run_count(), subjects.len() * 3, "one run per step per subject");
-    TfNeuroOutput { mean_b0, mask: mask_out, denoised0 }
+    assert_eq!(
+        session.run_count(),
+        subjects.len() * 3,
+        "one run per step per subject"
+    );
+    TfNeuroOutput {
+        mean_b0,
+        mask: mask_out,
+        denoised0,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -516,7 +580,12 @@ mod tests {
         // stream() passes data through f32 TSV: small tolerance.
         let den_ref = sciops::neuro::pipeline::denoise_all(&s.data, &mask, &nlm_params());
         let scale = den_ref.max().abs().max(1.0);
-        assert_close(&out.denoised[&s.id], &den_ref, 1e-3 * scale, "scidb denoise");
+        assert_close(
+            &out.denoised[&s.id],
+            &den_ref,
+            1e-3 * scale,
+            "scidb denoise",
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl NeuroWorkload {
 
     /// The paper's subject sweep for Figure 10.
     pub fn sweep() -> Vec<NeuroWorkload> {
-        [1, 2, 4, 8, 12, 25].into_iter().map(|subjects| NeuroWorkload { subjects }).collect()
+        [1, 2, 4, 8, 12, 25]
+            .into_iter()
+            .map(|subjects| NeuroWorkload { subjects })
+            .collect()
     }
 }
 
@@ -83,7 +86,10 @@ impl AstroWorkload {
 
     /// The paper's visit sweep for Figure 10.
     pub fn sweep() -> Vec<AstroWorkload> {
-        [2, 4, 8, 12, 24].into_iter().map(|visits| AstroWorkload { visits }).collect()
+        [2, 4, 8, 12, 24]
+            .into_iter()
+            .map(|visits| AstroWorkload { visits })
+            .collect()
     }
 }
 
@@ -121,8 +127,10 @@ mod tests {
         for (g, e) in inputs.iter().zip(expected) {
             assert!((g - e).abs() < 0.1, "{g} vs {e}");
         }
-        let inter: Vec<f64> =
-            ws.iter().map(|w| w.largest_intermediate_bytes() as f64 / GB).collect();
+        let inter: Vec<f64> = ws
+            .iter()
+            .map(|w| w.largest_intermediate_bytes() as f64 / GB)
+            .collect();
         let expected_inter = [24.0, 48.0, 96.0, 144.0, 288.0];
         for (g, e) in inter.iter().zip(expected_inter) {
             assert!((g - e).abs() < 0.5, "{g} vs {e}");

@@ -22,7 +22,9 @@ pub enum ArrayDbError {
 impl std::fmt::Display for ArrayDbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ArrayDbError::Unsupported(op) => write!(f, "operation not supported by the engine: {op}"),
+            ArrayDbError::Unsupported(op) => {
+                write!(f, "operation not supported by the engine: {op}")
+            }
             ArrayDbError::Mismatch(s) => write!(f, "operand mismatch: {s}"),
             ArrayDbError::Array(e) => write!(f, "array error: {e}"),
             ArrayDbError::BadCsv(s) => write!(f, "aio_input parse error: {s}"),
@@ -86,7 +88,10 @@ pub struct ScidbArray {
 impl ArrayDb {
     /// Connect to a deployment with `instances` instances.
     pub fn connect(instances: usize) -> ArrayDb {
-        ArrayDb { instances: instances.max(1), stats: Arc::new(OpStats::default()) }
+        ArrayDb {
+            instances: instances.max(1),
+            stats: Arc::new(OpStats::default()),
+        }
     }
 
     /// Operator statistics for this connection.
@@ -97,10 +102,18 @@ impl ArrayDb {
     /// SciDB-1 ingest: the client-side `from_array()` path. The whole
     /// array travels through the client serially before being chunked —
     /// the slow path in Figure 11.
-    pub fn from_array(&self, array: &NdArray<f64>, chunk_dims: &[usize]) -> Result<ScidbArray, ArrayDbError> {
+    pub fn from_array(
+        &self,
+        array: &NdArray<f64>,
+        chunk_dims: &[usize],
+    ) -> Result<ScidbArray, ArrayDbError> {
         let grid = ChunkGrid::new(array.dims(), chunk_dims)?;
         let chunks = grid.split(array)?;
-        Ok(ScidbArray { db: self.clone(), grid, chunks })
+        Ok(ScidbArray {
+            db: self.clone(),
+            grid,
+            chunks,
+        })
     }
 
     /// SciDB-2 ingest: the parallel `aio_input()` CSV loader. Consumes the
@@ -142,8 +155,14 @@ impl ScidbArray {
     }
 
     pub(crate) fn record_scan(&self, chunks: u64, cells: u64) {
-        self.db.stats.chunks_scanned.fetch_add(chunks, Ordering::Relaxed);
-        self.db.stats.cells_processed.fetch_add(cells, Ordering::Relaxed);
+        self.db
+            .stats
+            .chunks_scanned
+            .fetch_add(chunks, Ordering::Relaxed);
+        self.db
+            .stats
+            .cells_processed
+            .fetch_add(cells, Ordering::Relaxed);
     }
 }
 

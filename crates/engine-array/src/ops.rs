@@ -48,7 +48,11 @@ impl ScidbArray {
             .collect();
         let grid = ChunkGrid::new(dims, &chunk_dims)?;
         let chunks = grid.split(&sub)?;
-        Ok(ScidbArray { db: self.db.clone(), grid, chunks })
+        Ok(ScidbArray {
+            db: self.db.clone(),
+            grid,
+            chunks,
+        })
     }
 
     /// `filter`/`compress`: keep positions along `axis` selected by a 1-D
@@ -71,7 +75,11 @@ impl ScidbArray {
             .collect();
         let grid = ChunkGrid::new(out.dims(), &chunk_dims)?;
         let chunks = grid.split(&out)?;
-        Ok(ScidbArray { db: self.db.clone(), grid, chunks })
+        Ok(ScidbArray {
+            db: self.db.clone(),
+            grid,
+            chunks,
+        })
     }
 
     /// `aggregate(avg(...), dim)`: mean along one axis — the operation
@@ -94,7 +102,11 @@ impl ScidbArray {
             .collect();
         let grid = ChunkGrid::new(out.dims(), &chunk_dims)?;
         let chunks = grid.split(&out)?;
-        Ok(ScidbArray { db: self.db.clone(), grid, chunks })
+        Ok(ScidbArray {
+            db: self.db.clone(),
+            grid,
+            chunks,
+        })
     }
 
     /// `aggregate(sum(...), dim)`: sum along one axis.
@@ -115,7 +127,11 @@ impl ScidbArray {
             .collect();
         let grid = ChunkGrid::new(out.dims(), &chunk_dims)?;
         let chunks = grid.split(&out)?;
-        Ok(ScidbArray { db: self.db.clone(), grid, chunks })
+        Ok(ScidbArray {
+            db: self.db.clone(),
+            grid,
+            chunks,
+        })
     }
 
     /// `cross_join`: combine a rank-(N) array with two rank-(N-1) arrays
@@ -149,7 +165,11 @@ impl ScidbArray {
             *v = f(*v, av.data()[p], bv.data()[p]);
         }
         let chunks = self.grid.split(&out)?;
-        Ok(ScidbArray { db: self.db.clone(), grid: self.grid.clone(), chunks })
+        Ok(ScidbArray {
+            db: self.db.clone(),
+            grid: self.grid.clone(),
+            chunks,
+        })
     }
 
     /// `apply`: element-wise function per chunk (no reconstruction).
@@ -161,7 +181,11 @@ impl ScidbArray {
             .iter()
             .map(|(ix, c)| (ix.clone(), c.map(&f)))
             .collect();
-        Ok(ScidbArray { db: self.db.clone(), grid: self.grid.clone(), chunks })
+        Ok(ScidbArray {
+            db: self.db.clone(),
+            grid: self.grid.clone(),
+            chunks,
+        })
     }
 
     /// `join`: element-wise combination of two identically chunked arrays.
@@ -185,7 +209,11 @@ impl ScidbArray {
             .zip(&other.chunks)
             .map(|((ix, a), (_, b))| Ok((ix.clone(), a.zip_with(b, &f)?)))
             .collect::<Result<Vec<_>, marray::ArrayError>>()?;
-        Ok(ScidbArray { db: self.db.clone(), grid: self.grid.clone(), chunks })
+        Ok(ScidbArray {
+            db: self.db.clone(),
+            grid: self.grid.clone(),
+            chunks,
+        })
     }
 
     /// `window(avg, radius)`: windowed mean. Supported (SciDB's `window()`
@@ -222,7 +250,11 @@ impl ScidbArray {
         }
         let grid = self.grid.clone();
         let chunks = grid.split(&out)?;
-        Ok(ScidbArray { db: self.db.clone(), grid, chunks })
+        Ok(ScidbArray {
+            db: self.db.clone(),
+            grid,
+            chunks,
+        })
     }
 
     /// `redimension`: re-chunk the array under a new chunk shape — the
@@ -239,7 +271,11 @@ impl ScidbArray {
             .stats
             .chunks_reconstructed
             .fetch_add(chunks.len() as u64, Ordering::Relaxed);
-        Ok(ScidbArray { db: self.db.clone(), grid, chunks })
+        Ok(ScidbArray {
+            db: self.db.clone(),
+            grid,
+            chunks,
+        })
     }
 
     /// High-dimensional convolution — **not available**, as in the
@@ -285,7 +321,11 @@ impl ScidbArray {
                 .fetch_add((outbound.len() + inbound.len()) as u64, Ordering::Relaxed);
             chunks.push((ix.clone(), back.cast()));
         }
-        Ok(ScidbArray { db: self.db.clone(), grid: self.grid.clone(), chunks })
+        Ok(ScidbArray {
+            db: self.db.clone(),
+            grid: self.grid.clone(),
+            chunks,
+        })
     }
 }
 
@@ -297,7 +337,10 @@ mod tests {
     fn stored(dims: &[usize], chunk: &[usize]) -> ScidbArray {
         let db = ArrayDb::connect(4);
         let a = NdArray::from_fn(dims, |ix| {
-            ix.iter().enumerate().map(|(k, &v)| v as f64 * 10f64.powi(k as i32)).sum()
+            ix.iter()
+                .enumerate()
+                .map(|(k, &v)| v as f64 * 10f64.powi(k as i32))
+                .sum()
         });
         db.from_array(&a, chunk).unwrap()
     }
@@ -323,7 +366,10 @@ mod tests {
         assert_eq!(after.1 - before.1, 4, "all four rebuilt");
         // Values still correct.
         let full = stored(&[20, 20], &[10, 10]).materialize().unwrap();
-        assert_eq!(sub.materialize().unwrap(), full.subarray(&[5, 5], &[10, 10]).unwrap());
+        assert_eq!(
+            sub.materialize().unwrap(),
+            full.subarray(&[5, 5], &[10, 10]).unwrap()
+        );
     }
 
     #[test]
@@ -341,7 +387,10 @@ mod tests {
         let s = stored(&[4, 4, 6], &[2, 2, 3]);
         let out = s.aggregate_mean(2).unwrap();
         assert_eq!(out.dims(), &[4, 4]);
-        assert_eq!(out.materialize().unwrap(), s.materialize().unwrap().mean_axis(2));
+        assert_eq!(
+            out.materialize().unwrap(),
+            s.materialize().unwrap().mean_axis(2)
+        );
     }
 
     #[test]
@@ -360,7 +409,10 @@ mod tests {
     fn join_requires_same_chunking() {
         let a = stored(&[6, 6], &[3, 3]);
         let b = stored(&[6, 6], &[2, 2]);
-        assert!(matches!(a.join(&b, |x, y| x + y), Err(ArrayDbError::Mismatch(_))));
+        assert!(matches!(
+            a.join(&b, |x, y| x + y),
+            Err(ArrayDbError::Mismatch(_))
+        ));
     }
 
     #[test]
@@ -380,7 +432,10 @@ mod tests {
     fn aggregate_sum_matches_reference() {
         let s = stored(&[3, 4], &[2, 2]);
         let out = s.aggregate_sum(0).unwrap();
-        assert_eq!(out.materialize().unwrap(), s.materialize().unwrap().sum_axis(0));
+        assert_eq!(
+            out.materialize().unwrap(),
+            s.materialize().unwrap().sum_axis(0)
+        );
     }
 
     #[test]
@@ -437,7 +492,10 @@ mod tests {
     fn convolution_is_unsupported() {
         let s = stored(&[4, 4], &[2, 2]);
         let err = s.convolve(&NdArray::zeros(&[3, 3])).unwrap_err();
-        assert_eq!(err, ArrayDbError::Unsupported("high-dimensional convolution"));
+        assert_eq!(
+            err,
+            ArrayDbError::Unsupported("high-dimensional convolution")
+        );
     }
 
     #[test]
@@ -450,7 +508,10 @@ mod tests {
         let m = out.materialize().unwrap();
         let base = s.materialize().unwrap();
         for (x, y) in m.data().iter().zip(base.data()) {
-            assert!((x - (y + 1.0)).abs() < 1e-3, "{x} vs {y}+1 (f32 TSV roundtrip)");
+            assert!(
+                (x - (y + 1.0)).abs() < 1e-3,
+                "{x} vs {y}+1 (f32 TSV roundtrip)"
+            );
         }
     }
 

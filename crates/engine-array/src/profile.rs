@@ -56,6 +56,20 @@ impl ArrayEngineProfile {
         self.incremental_iteration = true;
         self
     }
+
+    /// The statically checkable invariants of this engine's lowerings,
+    /// consumed by [`plancheck::check`]: every chunk operator belongs to a
+    /// specific instance (static placement), and operators read the
+    /// engine-managed chunk store, which is populated outside any one
+    /// query's graph.
+    pub fn invariants(&self) -> plancheck::InvariantProfile {
+        plancheck::InvariantProfile {
+            static_placement: true,
+            store_backed: true,
+            skew_ratio: 6.0,
+            ..plancheck::InvariantProfile::new("SciDB")
+        }
+    }
 }
 
 #[cfg(test)]

@@ -126,13 +126,22 @@ impl GraphBuilder {
     }
 
     fn push(&mut self, kind: OpKind, inputs: Vec<usize>) -> TensorRef {
-        self.nodes.push(OpNode { kind, inputs, device: self.device });
+        self.nodes.push(OpNode {
+            kind,
+            inputs,
+            device: self.device,
+        });
         TensorRef(self.nodes.len() - 1)
     }
 
     /// A run-time-fed input of fixed shape.
     pub fn placeholder(&mut self, shape: &[usize]) -> TensorRef {
-        self.push(OpKind::Placeholder { shape: shape.to_vec() }, vec![])
+        self.push(
+            OpKind::Placeholder {
+                shape: shape.to_vec(),
+            },
+            vec![],
+        )
     }
 
     /// An embedded constant.
@@ -153,12 +162,22 @@ impl GraphBuilder {
     /// Select `indices` along axis 0. Selection along any other axis is
     /// not expressible directly: reshape so the target axis is first.
     pub fn gather(&mut self, input: TensorRef, indices: &[usize]) -> TensorRef {
-        self.push(OpKind::Gather { indices: indices.to_vec() }, vec![input.0])
+        self.push(
+            OpKind::Gather {
+                indices: indices.to_vec(),
+            },
+            vec![input.0],
+        )
     }
 
     /// Reshape (element count must match at run time).
     pub fn reshape(&mut self, input: TensorRef, dims: &[usize]) -> TensorRef {
-        self.push(OpKind::Reshape { dims: dims.to_vec() }, vec![input.0])
+        self.push(
+            OpKind::Reshape {
+                dims: dims.to_vec(),
+            },
+            vec![input.0],
+        )
     }
 
     /// Element-wise unary op.
@@ -178,7 +197,12 @@ impl GraphBuilder {
 
     /// Axis permutation (a full data-movement pass).
     pub fn transpose(&mut self, input: TensorRef, perm: &[usize]) -> TensorRef {
-        self.push(OpKind::Transpose { perm: perm.to_vec() }, vec![input.0])
+        self.push(
+            OpKind::Transpose {
+                perm: perm.to_vec(),
+            },
+            vec![input.0],
+        )
     }
 
     /// 3-D convolution with "same" zero padding (the denoising rewrite the

@@ -47,6 +47,18 @@ impl Default for DataflowEngineProfile {
 }
 
 impl DataflowEngineProfile {
+    /// The statically checkable invariants of this engine's lowerings,
+    /// consumed by [`plancheck::check`]: every operation has an explicit
+    /// device placement (unpinned tasks are lowering bugs), and execution
+    /// is staged behind per-step global barriers.
+    pub fn invariants(&self) -> plancheck::InvariantProfile {
+        plancheck::InvariantProfile {
+            static_placement: true,
+            barriers: plancheck::BarrierDiscipline::Staged,
+            ..plancheck::InvariantProfile::new("TensorFlow")
+        }
+    }
+
     /// Extra compute multiplier for the denoise step caused by the missing
     /// mask support, given the mask's fill fraction.
     pub fn unmasked_inflation(&self, mask_fill_fraction: f64) -> f64 {
@@ -66,7 +78,10 @@ mod tests {
     fn unmasked_inflation_is_1_5x_for_two_thirds_brain() {
         let p = DataflowEngineProfile::default();
         assert!((p.unmasked_inflation(2.0 / 3.0) - 1.5).abs() < 1e-12);
-        let masked = DataflowEngineProfile { mask_support: true, ..p };
+        let masked = DataflowEngineProfile {
+            mask_support: true,
+            ..p
+        };
         assert_eq!(masked.unmasked_inflation(0.5), 1.0);
     }
 }

@@ -31,11 +31,21 @@ impl std::fmt::Display for DataflowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DataflowError::GraphTooLarge { size } => {
-                write!(f, "serialized graph is {size} bytes, over the {GRAPH_SIZE_LIMIT} limit")
+                write!(
+                    f,
+                    "serialized graph is {size} bytes, over the {GRAPH_SIZE_LIMIT} limit"
+                )
             }
             DataflowError::MissingFeed(n) => write!(f, "placeholder {n} was not fed"),
-            DataflowError::FeedShapeMismatch { node, expected, got } => {
-                write!(f, "feed for node {node}: expected {expected:?}, got {got:?}")
+            DataflowError::FeedShapeMismatch {
+                node,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "feed for node {node}: expected {expected:?}, got {got:?}"
+                )
             }
             DataflowError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
         }
@@ -80,7 +90,9 @@ impl Session {
         for (i, node) in graph.nodes.iter().enumerate() {
             let value = match &node.kind {
                 OpKind::Placeholder { shape } => {
-                    let fed = feeds.get(&TensorRef(i)).ok_or(DataflowError::MissingFeed(i))?;
+                    let fed = feeds
+                        .get(&TensorRef(i))
+                        .ok_or(DataflowError::MissingFeed(i))?;
                     if fed.dims() != shape.as_slice() {
                         return Err(DataflowError::FeedShapeMismatch {
                             node: i,
@@ -91,12 +103,14 @@ impl Session {
                     fed.clone()
                 }
                 OpKind::Constant { value } => value.clone(),
-                OpKind::ReduceMean { axis } => {
-                    values[node.inputs[0]].as_ref().expect("topo order").mean_axis(*axis)
-                }
-                OpKind::ReduceSum { axis } => {
-                    values[node.inputs[0]].as_ref().expect("topo order").sum_axis(*axis)
-                }
+                OpKind::ReduceMean { axis } => values[node.inputs[0]]
+                    .as_ref()
+                    .expect("topo order")
+                    .mean_axis(*axis),
+                OpKind::ReduceSum { axis } => values[node.inputs[0]]
+                    .as_ref()
+                    .expect("topo order")
+                    .sum_axis(*axis),
                 OpKind::Gather { indices } => values[node.inputs[0]]
                     .as_ref()
                     .expect("topo order")
@@ -172,7 +186,8 @@ fn apply_binary(
             }
         }
     };
-    a.zip_with(b, f).map_err(|e| DataflowError::ShapeMismatch(e.to_string()))
+    a.zip_with(b, f)
+        .map_err(|e| DataflowError::ShapeMismatch(e.to_string()))
 }
 
 /// Dense 3-D convolution with "same" zero padding.
@@ -242,11 +257,11 @@ mod tests {
         // volumes come first, gather, reshape back.
         let mut g = GraphBuilder::new();
         let p = g.placeholder(&[2, 2, 2, 4]); // (x,y,z,volume)
-        // Move the volume axis to the front by reshaping through 2-D:
-        // [spatial, volumes] → transpose is unavailable, so the
-        // implementation gathers flattened volume-major data fed in the
-        // right layout. Here we emulate the paper's "flatten, select,
-        // reshape" on a volume-major feed.
+                                              // Move the volume axis to the front by reshaping through 2-D:
+                                              // [spatial, volumes] → transpose is unavailable, so the
+                                              // implementation gathers flattened volume-major data fed in the
+                                              // right layout. Here we emulate the paper's "flatten, select,
+                                              // reshape" on a volume-major feed.
         let flat = g.reshape(p, &[2 * 2 * 2 * 4]);
         let back = g.reshape(flat, &[4, 2 * 2 * 2]); // volume-major view
         let sel = g.gather(back, &[0, 2]);
@@ -286,7 +301,10 @@ mod tests {
         let p = g.placeholder(&[2, 2]);
         let m = g.reduce_mean(p, 0);
         let mut s = Session::new();
-        assert_eq!(s.run(&g, &HashMap::new(), &[m]).unwrap_err(), DataflowError::MissingFeed(0));
+        assert_eq!(
+            s.run(&g, &HashMap::new(), &[m]).unwrap_err(),
+            DataflowError::MissingFeed(0)
+        );
         let bad = NdArray::<f64>::zeros(&[3, 3]);
         assert!(matches!(
             s.run(&g, &feed(&[(p, bad)]), &[m]).unwrap_err(),
@@ -341,7 +359,10 @@ mod tests {
         let center = out[0][&[2, 2, 2][..]];
         assert!(center < 60.0, "speckle smoothed: {center}");
         // Interior far from the speckle stays ~10.
-        assert!((out[0][&[0, 0, 0][..]] - 10.0 * 8.0 / 27.0).abs() < 1e-9, "border zero-padded");
+        assert!(
+            (out[0][&[0, 0, 0][..]] - 10.0 * 8.0 / 27.0).abs() < 1e-9,
+            "border zero-padded"
+        );
     }
 
     #[test]
@@ -369,7 +390,19 @@ mod tests {
         // scatter/assignment variant. This test documents the paper's
         // constraint; constructing a masked denoise therefore requires
         // whole-tensor arithmetic over the full volume.
-        let names = ["Placeholder", "Constant", "ReduceMean", "ReduceSum", "Gather", "Reshape", "Unary", "Binary", "ScalarOp", "Conv3d", "Transpose"];
+        let names = [
+            "Placeholder",
+            "Constant",
+            "ReduceMean",
+            "ReduceSum",
+            "Gather",
+            "Reshape",
+            "Unary",
+            "Binary",
+            "ScalarOp",
+            "Conv3d",
+            "Transpose",
+        ];
         assert_eq!(names.len(), 11);
     }
 }

@@ -12,13 +12,17 @@ pub struct Broadcast<T> {
 
 impl<T> Clone for Broadcast<T> {
     fn clone(&self) -> Self {
-        Broadcast { value: Arc::clone(&self.value) }
+        Broadcast {
+            value: Arc::clone(&self.value),
+        }
     }
 }
 
 impl<T> Broadcast<T> {
     pub(crate) fn new(value: T) -> Self {
-        Broadcast { value: Arc::new(value) }
+        Broadcast {
+            value: Arc::new(value),
+        }
     }
 
     /// Access the broadcast value (Spark's `.value`).

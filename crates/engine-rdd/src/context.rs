@@ -20,7 +20,9 @@ pub struct SparkContext {
 impl SparkContext {
     /// Connect to a cluster with the given number of total worker slots.
     pub fn new(total_slots: usize) -> SparkContext {
-        SparkContext { total_slots: total_slots.max(1) }
+        SparkContext {
+            total_slots: total_slots.max(1),
+        }
     }
 
     /// Distribute a local collection into `num_partitions` partitions

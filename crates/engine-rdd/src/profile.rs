@@ -54,6 +54,21 @@ impl RddEngineProfile {
     pub fn crossing_time(&self, bytes: u64) -> f64 {
         self.py_worker_crossing_fixed + bytes as f64 * self.py_worker_crossing_per_byte
     }
+
+    /// The statically checkable invariants of this engine's lowerings,
+    /// consumed by [`plancheck::check`]: staged execution (shuffle
+    /// barriers between wide stages — data edges must not bypass them),
+    /// spilling instead of failing under memory pressure, and the paper's
+    /// §5.3.2 observation that reliable runs wanted roughly twice the
+    /// input's footprint in cluster memory.
+    pub fn invariants(&self) -> plancheck::InvariantProfile {
+        plancheck::InvariantProfile {
+            spills: self.spills,
+            mem_requirement_factor: 2.0,
+            barriers: plancheck::BarrierDiscipline::Staged,
+            ..plancheck::InvariantProfile::new("Spark")
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,9 @@
 //! Lazy, partitioned, lineage-carrying collections.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// The internal evaluation interface: an RDD knows its partition count and
 /// how to compute any one partition.
@@ -24,7 +24,9 @@ pub struct Rdd<T> {
 
 impl<T> Clone for Rdd<T> {
     fn clone(&self) -> Self {
-        Rdd { inner: Arc::clone(&self.inner) }
+        Rdd {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -52,7 +54,12 @@ impl<T: Send + Sync + 'static, U: Send + Sync> RddImpl<U> for MapRdd<T, U> {
         self.parent.inner.num_partitions()
     }
     fn compute(&self, partition: usize) -> Vec<U> {
-        self.parent.inner.compute(partition).into_iter().map(|t| (self.f)(t)).collect()
+        self.parent
+            .inner
+            .compute(partition)
+            .into_iter()
+            .map(|t| (self.f)(t))
+            .collect()
     }
 }
 
@@ -67,7 +74,12 @@ impl<T: Send + Sync + 'static, U: Send + Sync> RddImpl<U> for FlatMapRdd<T, U> {
         self.parent.inner.num_partitions()
     }
     fn compute(&self, partition: usize) -> Vec<U> {
-        self.parent.inner.compute(partition).into_iter().flat_map(|t| (self.f)(t)).collect()
+        self.parent
+            .inner
+            .compute(partition)
+            .into_iter()
+            .flat_map(|t| (self.f)(t))
+            .collect()
     }
 }
 
@@ -82,7 +94,12 @@ impl<T: Send + Sync + 'static> RddImpl<T> for FilterRdd<T> {
         self.parent.inner.num_partitions()
     }
     fn compute(&self, partition: usize) -> Vec<T> {
-        self.parent.inner.compute(partition).into_iter().filter(|t| (self.f)(t)).collect()
+        self.parent
+            .inner
+            .compute(partition)
+            .into_iter()
+            .filter(|t| (self.f)(t))
+            .collect()
     }
 }
 
@@ -110,12 +127,13 @@ where
     V: Clone + Send + Sync + 'static,
 {
     fn materialize(&self) -> Buckets<K, V> {
-        let mut guard = self.materialized.lock();
+        let mut guard = self.materialized.lock().expect("shuffle lock poisoned");
         if let Some(m) = guard.as_ref() {
             return Arc::clone(m);
         }
         // Barrier: compute every parent partition, then bucket by key hash.
-        let mut buckets: Vec<HashMap<K, Vec<V>>> = (0..self.partitions).map(|_| HashMap::new()).collect();
+        let mut buckets: Vec<HashMap<K, Vec<V>>> =
+            (0..self.partitions).map(|_| HashMap::new()).collect();
         for p in 0..self.parent.inner.num_partitions() {
             for (k, v) in self.parent.inner.compute(p) {
                 let b = bucket_of(&k, self.partitions);
@@ -166,7 +184,7 @@ impl<T: Clone + Send + Sync + 'static> RddImpl<T> for CachedRdd<T> {
         self.parent.inner.num_partitions()
     }
     fn compute(&self, partition: usize) -> Vec<T> {
-        let mut slot = self.slots[partition].lock();
+        let mut slot = self.slots[partition].lock().expect("cache lock poisoned");
         if let Some(v) = slot.as_ref() {
             return v.as_ref().clone();
         }
@@ -179,7 +197,9 @@ impl<T: Clone + Send + Sync + 'static> RddImpl<T> for CachedRdd<T> {
 impl<T: Clone + Send + Sync + 'static> Rdd<T> {
     /// Build an RDD from explicit partitions (used by `SparkContext`).
     pub(crate) fn from_partitions(partitions: Vec<Vec<T>>) -> Rdd<T> {
-        Rdd { inner: Arc::new(Parallelized { partitions }) }
+        Rdd {
+            inner: Arc::new(Parallelized { partitions }),
+        }
     }
 
     /// Number of partitions (schedulable tasks per stage).
@@ -192,7 +212,12 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
         &self,
         f: impl Fn(T) -> U + Send + Sync + 'static,
     ) -> Rdd<U> {
-        Rdd { inner: Arc::new(MapRdd { parent: self.clone(), f: Arc::new(f) }) }
+        Rdd {
+            inner: Arc::new(MapRdd {
+                parent: self.clone(),
+                f: Arc::new(f),
+            }),
+        }
     }
 
     /// Narrow transformation: apply `f` producing zero or more records each.
@@ -200,12 +225,22 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
         &self,
         f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
     ) -> Rdd<U> {
-        Rdd { inner: Arc::new(FlatMapRdd { parent: self.clone(), f: Arc::new(f) }) }
+        Rdd {
+            inner: Arc::new(FlatMapRdd {
+                parent: self.clone(),
+                f: Arc::new(f),
+            }),
+        }
     }
 
     /// Narrow transformation: keep records satisfying `f`.
     pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
-        Rdd { inner: Arc::new(FilterRdd { parent: self.clone(), f: Arc::new(f) }) }
+        Rdd {
+            inner: Arc::new(FilterRdd {
+                parent: self.clone(),
+                f: Arc::new(f),
+            }),
+        }
     }
 
     /// Pin computed partitions in memory (Spark `.cache()`).
@@ -223,24 +258,25 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
     pub fn collect(&self) -> Vec<T> {
         let n = self.num_partitions();
         let mut parts: Vec<Vec<T>> = Vec::with_capacity(n);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .map(|p| {
                     let inner = Arc::clone(&self.inner);
-                    scope.spawn(move |_| inner.compute(p))
+                    scope.spawn(move || inner.compute(p))
                 })
                 .collect();
             for h in handles {
                 parts.push(h.join().expect("partition task panicked"));
             }
-        })
-        .expect("collect scope");
+        });
         parts.into_iter().flatten().collect()
     }
 
     /// Action: number of records.
     pub fn count(&self) -> usize {
-        (0..self.num_partitions()).map(|p| self.inner.compute(p).len()).sum()
+        (0..self.num_partitions())
+            .map(|p| self.inner.compute(p).len())
+            .sum()
     }
 }
 
@@ -332,7 +368,10 @@ mod tests {
     #[test]
     fn map_filter_collect() {
         let r = rdd_of(20, 4);
-        let out = r.map(|(k, v)| (k, v * 2)).filter(|&(_, v)| v >= 20).collect();
+        let out = r
+            .map(|(k, v)| (k, v * 2))
+            .filter(|&(_, v)| v >= 20)
+            .collect();
         assert_eq!(out.len(), 10);
         assert!(out.iter().all(|&(_, v)| v % 2 == 0 && v >= 20));
     }
@@ -401,7 +440,11 @@ mod tests {
             .cache();
         cached.collect();
         cached.collect();
-        assert_eq!(calls.load(Ordering::SeqCst), 10, "second collect served from cache");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            10,
+            "second collect served from cache"
+        );
     }
 
     #[test]
@@ -414,7 +457,11 @@ mod tests {
         });
         r.collect();
         r.collect();
-        assert_eq!(calls.load(Ordering::SeqCst), 20, "lineage recomputed without cache");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            20,
+            "lineage recomputed without cache"
+        );
     }
 
     #[test]

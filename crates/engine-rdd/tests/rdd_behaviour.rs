@@ -21,13 +21,15 @@ fn shuffle_is_deterministic_across_runs() {
 #[test]
 fn flat_map_can_drop_and_multiply() {
     let sc = SparkContext::new(4);
-    let r = sc.parallelize((0..10).collect::<Vec<i32>>(), 3).flat_map(|x| {
-        if x % 2 == 0 {
-            vec![]
-        } else {
-            vec![x; x as usize]
-        }
-    });
+    let r = sc
+        .parallelize((0..10).collect::<Vec<i32>>(), 3)
+        .flat_map(|x| {
+            if x % 2 == 0 {
+                vec![]
+            } else {
+                vec![x; x as usize]
+            }
+        });
     let out = r.collect();
     let expected: usize = (0..10).filter(|x| x % 2 == 1).map(|x| x as usize).sum();
     assert_eq!(out.len(), expected);
@@ -37,7 +39,10 @@ fn flat_map_can_drop_and_multiply() {
 fn chained_shuffles_compose() {
     let sc = SparkContext::new(8);
     let out = sc
-        .parallelize((0..120).map(|i| ((i % 4, i % 3), 1u32)).collect::<Vec<_>>(), 6)
+        .parallelize(
+            (0..120).map(|i| ((i % 4, i % 3), 1u32)).collect::<Vec<_>>(),
+            6,
+        )
         .reduce_by_key(4, |a, b| a + b) // per (i%4, i%3) pair: 10 each
         .map(|((a, _), n)| (a, n))
         .reduce_by_key(2, |a, b| a + b) // per i%4: 30 each
@@ -64,7 +69,11 @@ fn cache_interacts_with_branches() {
     let branch_b = base.filter(|&x| x > 7).collect();
     assert_eq!(branch_a.len(), 16);
     assert_eq!(branch_b.len(), 8);
-    assert_eq!(calls.load(Ordering::SeqCst), 16, "parent computed once, not twice");
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        16,
+        "parent computed once, not twice"
+    );
 }
 
 #[test]
@@ -72,13 +81,19 @@ fn uncached_branches_recompute_like_the_paper_says() {
     let calls = Arc::new(AtomicUsize::new(0));
     let sc = SparkContext::new(4);
     let c = Arc::clone(&calls);
-    let base = sc.parallelize((0..16).collect::<Vec<u32>>(), 4).map(move |x| {
-        c.fetch_add(1, Ordering::SeqCst);
-        x
-    });
+    let base = sc
+        .parallelize((0..16).collect::<Vec<u32>>(), 4)
+        .map(move |x| {
+            c.fetch_add(1, Ordering::SeqCst);
+            x
+        });
     base.map(|x| x * 2).collect();
     base.filter(|&x| x > 7).collect();
-    assert_eq!(calls.load(Ordering::SeqCst), 32, "branch re-executes the lineage");
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        32,
+        "branch re-executes the lineage"
+    );
 }
 
 #[test]
@@ -116,7 +131,10 @@ fn group_by_key_handles_skewed_keys() {
     let mut records: Vec<(u8, u32)> = (0..900).map(|i| (0u8, i)).collect();
     records.extend((0..100).map(|i| ((1 + (i % 5)) as u8, i)));
     let grouped = sc.parallelize(records, 10).group_by_key(4).collect();
-    let hot = grouped.iter().find(|(k, _)| *k == 0).expect("hot key present");
+    let hot = grouped
+        .iter()
+        .find(|(k, _)| *k == 0)
+        .expect("hot key present");
     assert_eq!(hot.1.len(), 900);
     let total: usize = grouped.iter().map(|(_, v)| v.len()).sum();
     assert_eq!(total, 1000);

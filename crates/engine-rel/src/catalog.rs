@@ -1,11 +1,11 @@
 //! Relations, schemas, and the connection/catalog.
 
 use crate::value::{Tuple, Value, ValueType};
-use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// A relation's column names and types.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,7 +16,9 @@ pub struct Schema {
 impl Schema {
     /// Build a schema from (name, type) pairs.
     pub fn new(columns: &[(&str, ValueType)]) -> Schema {
-        Schema { columns: columns.iter().map(|(n, t)| (n.to_string(), *t)).collect() }
+        Schema {
+            columns: columns.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
+        }
     }
 
     /// Column count.
@@ -37,7 +39,10 @@ impl Schema {
     /// Validate a tuple against this schema.
     pub fn check(&self, tuple: &Tuple) -> bool {
         tuple.len() == self.columns.len()
-            && tuple.iter().zip(&self.columns).all(|(v, (_, t))| v.value_type() == *t)
+            && tuple
+                .iter()
+                .zip(&self.columns)
+                .all(|(v, (_, t))| v.value_type() == *t)
     }
 }
 
@@ -74,14 +79,21 @@ impl Relation {
         partition_column: usize,
         workers: usize,
     ) -> Relation {
-        assert!(partition_column < schema.arity(), "partition column out of range");
+        assert!(
+            partition_column < schema.arity(),
+            "partition column out of range"
+        );
         let mut fragments: Vec<Vec<Tuple>> = (0..workers.max(1)).map(|_| Vec::new()).collect();
         for t in tuples {
             debug_assert!(schema.check(&t), "tuple does not match schema");
             let w = (partition_hash(&t[partition_column]) % fragments.len() as u64) as usize;
             fragments[w].push(t);
         }
-        Relation { schema, fragments, partition_column: Some(partition_column) }
+        Relation {
+            schema,
+            fragments,
+            partition_column: Some(partition_column),
+        }
     }
 
     /// Replicate `tuples` to every worker (a broadcast relation).
@@ -163,41 +175,62 @@ impl MyriaConnection {
     }
 
     /// Ingest tuples as a new hash-partitioned relation.
-    pub fn ingest(
-        &self,
-        name: &str,
-        schema: Schema,
-        tuples: Vec<Tuple>,
-        partition_column: usize,
-    ) {
+    pub fn ingest(&self, name: &str, schema: Schema, tuples: Vec<Tuple>, partition_column: usize) {
         let rel = Relation::partitioned(schema, tuples, partition_column, self.workers());
-        self.catalog.write().insert(name.to_string(), Arc::new(rel));
+        self.catalog
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name.to_string(), Arc::new(rel));
     }
 
     /// Store an already-built relation (e.g. a query result).
     pub fn store(&self, name: &str, relation: Relation) {
-        self.catalog.write().insert(name.to_string(), Arc::new(relation));
+        self.catalog
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name.to_string(), Arc::new(relation));
     }
 
     /// Ingest a broadcast relation (replicated everywhere).
     pub fn ingest_broadcast(&self, name: &str, schema: Schema, tuples: Vec<Tuple>) {
         let rel = Relation::broadcast(schema, tuples, self.workers());
-        self.catalog.write().insert(name.to_string(), Arc::new(rel));
+        self.catalog
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name.to_string(), Arc::new(rel));
     }
 
     /// Look up a relation.
     pub fn relation(&self, name: &str) -> Option<Arc<Relation>> {
-        self.catalog.read().get(name).cloned()
+        self.catalog
+            .read()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .cloned()
     }
 
     /// Register a Python-style UDF.
-    pub fn create_function(&self, name: &str, f: impl Fn(&[Value]) -> Value + Send + Sync + 'static) {
-        self.udfs.write().insert(name.to_string(), Arc::new(f));
+    pub fn create_function(
+        &self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) {
+        self.udfs
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name.to_string(), Arc::new(f));
     }
 
     /// Register a UDA.
-    pub fn create_aggregate(&self, name: &str, f: impl Fn(&[Tuple]) -> Value + Send + Sync + 'static) {
-        self.udas.write().insert(name.to_string(), Arc::new(f));
+    pub fn create_aggregate(
+        &self,
+        name: &str,
+        f: impl Fn(&[Tuple]) -> Value + Send + Sync + 'static,
+    ) {
+        self.udas
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name.to_string(), Arc::new(f));
     }
 
     /// Register a table-valued (flatmap) UDF.
@@ -206,19 +239,34 @@ impl MyriaConnection {
         name: &str,
         f: impl Fn(&[Value]) -> Vec<Vec<Value>> + Send + Sync + 'static,
     ) {
-        self.table_udfs.write().insert(name.to_string(), Arc::new(f));
+        self.table_udfs
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name.to_string(), Arc::new(f));
     }
 
     pub(crate) fn udf(&self, name: &str) -> Option<Udf> {
-        self.udfs.read().get(name).cloned()
+        self.udfs
+            .read()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .cloned()
     }
 
     pub(crate) fn table_udf(&self, name: &str) -> Option<TableUdf> {
-        self.table_udfs.read().get(name).cloned()
+        self.table_udfs
+            .read()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .cloned()
     }
 
     pub(crate) fn uda(&self, name: &str) -> Option<Uda> {
-        self.udas.read().get(name).cloned()
+        self.udas
+            .read()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .cloned()
     }
 }
 
@@ -231,7 +279,9 @@ mod tests {
     }
 
     fn tuples(n: usize) -> Vec<Tuple> {
-        (0..n).map(|i| vec![Value::Int((i % 5) as i64), Value::Int(i as i64)]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int((i % 5) as i64), Value::Int(i as i64)])
+            .collect()
     }
 
     #[test]

@@ -65,6 +65,20 @@ impl RelEngineProfile {
     pub fn crossing_time(&self, bytes: u64) -> f64 {
         self.py_udf_crossing_fixed + bytes as f64 * self.py_udf_crossing_per_byte
     }
+
+    /// The statically checkable invariants of this engine's lowerings,
+    /// consumed by [`plancheck::check`]: operators read the per-node
+    /// store (no in-graph writer required), pipelined execution does not
+    /// spill (the paper's Figure 15 OOM), and hash partitioning is
+    /// watched for the §5.3.3 hot-patch skew (a hot worker receiving ≥6×
+    /// its input share, vs. the workload's 2.5× mean growth).
+    pub fn invariants(&self) -> plancheck::InvariantProfile {
+        plancheck::InvariantProfile {
+            store_backed: true,
+            skew_ratio: 6.0,
+            ..plancheck::InvariantProfile::new("Myria")
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,13 +38,38 @@ impl std::error::Error for QueryError {}
 type Pred = Arc<dyn Fn(&Value) -> bool + Send + Sync>;
 
 enum Op {
-    Scan { relation: String, pushdown: Option<(String, Pred)> },
-    Select { column: String, pred: Pred },
-    Apply { udf: String, args: Vec<String>, keep: Vec<String>, out: (String, ValueType) },
-    FlatApply { udf: String, args: Vec<String>, out: Vec<(String, ValueType)> },
-    BroadcastJoin { right: String, left_col: String, right_col: String },
-    Shuffle { column: String },
-    GroupBy { keys: Vec<String>, uda: String, out: (String, ValueType) },
+    Scan {
+        relation: String,
+        pushdown: Option<(String, Pred)>,
+    },
+    Select {
+        column: String,
+        pred: Pred,
+    },
+    Apply {
+        udf: String,
+        args: Vec<String>,
+        keep: Vec<String>,
+        out: (String, ValueType),
+    },
+    FlatApply {
+        udf: String,
+        args: Vec<String>,
+        out: Vec<(String, ValueType)>,
+    },
+    BroadcastJoin {
+        right: String,
+        left_col: String,
+        right_col: String,
+    },
+    Shuffle {
+        column: String,
+    },
+    GroupBy {
+        keys: Vec<String>,
+        uda: String,
+        out: (String, ValueType),
+    },
 }
 
 /// A query plan under construction.
@@ -66,7 +91,12 @@ impl Query {
 
     /// `T = SCAN(relation)`.
     pub fn scan(relation: &str) -> Query {
-        Query { ops: vec![Op::Scan { relation: relation.to_string(), pushdown: None }] }
+        Query {
+            ops: vec![Op::Scan {
+                relation: relation.to_string(),
+                pushdown: None,
+            }],
+        }
     }
 
     /// Scan with a selection pushed down into the per-worker local store
@@ -85,8 +115,15 @@ impl Query {
     }
 
     /// In-pipeline selection on one column.
-    pub fn select(mut self, column: &str, pred: impl Fn(&Value) -> bool + Send + Sync + 'static) -> Query {
-        self.ops.push(Op::Select { column: column.to_string(), pred: Arc::new(pred) });
+    pub fn select(
+        mut self,
+        column: &str,
+        pred: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> Query {
+        self.ops.push(Op::Select {
+            column: column.to_string(),
+            pred: Arc::new(pred),
+        });
         self
     }
 
@@ -135,13 +172,21 @@ impl Query {
 
     /// Re-partition tuples across workers by hash of `column`.
     pub fn shuffle(mut self, column: &str) -> Query {
-        self.ops.push(Op::Shuffle { column: column.to_string() });
+        self.ops.push(Op::Shuffle {
+            column: column.to_string(),
+        });
         self
     }
 
     /// Group by `keys`, folding each group with a registered UDA.
     /// Performs the necessary shuffle on the first key.
-    pub fn group_by(mut self, keys: &[&str], uda: &str, out_name: &str, out_type: ValueType) -> Query {
+    pub fn group_by(
+        mut self,
+        keys: &[&str],
+        uda: &str,
+        out_name: &str,
+        out_type: ValueType,
+    ) -> Query {
         self.ops.push(Op::GroupBy {
             keys: keys.iter().map(|s| s.to_string()).collect(),
             uda: uda.to_string(),
@@ -163,7 +208,9 @@ impl Query {
         let mut partition_column: Option<usize> = None;
 
         let col = |schema: &Schema, name: &str| -> Result<usize, QueryError> {
-            schema.index_of(name).ok_or_else(|| QueryError::UnknownColumn(name.to_string()))
+            schema
+                .index_of(name)
+                .ok_or_else(|| QueryError::UnknownColumn(name.to_string()))
         };
 
         for op in &self.ops {
@@ -202,21 +249,28 @@ impl Query {
                         f.retain(|t| pred(&t[ci]));
                     }
                 }
-                Op::Apply { udf, args, keep, out } => {
+                Op::Apply {
+                    udf,
+                    args,
+                    keep,
+                    out,
+                } => {
                     let s = schema.as_ref().expect("apply before scan");
-                    let f = conn.udf(udf).ok_or_else(|| QueryError::UnknownFunction(udf.clone()))?;
+                    let f = conn
+                        .udf(udf)
+                        .ok_or_else(|| QueryError::UnknownFunction(udf.clone()))?;
                     let arg_ix: Vec<usize> =
                         args.iter().map(|a| col(s, a)).collect::<Result<_, _>>()?;
                     let keep_ix: Vec<usize> =
                         keep.iter().map(|k| col(s, k)).collect::<Result<_, _>>()?;
                     // Workers evaluate their fragments independently and in
                     // parallel, as the real engine's Python UDF workers do.
-                    crossbeam::scope(|scope| {
+                    std::thread::scope(|scope| {
                         for frag in fragments.iter_mut() {
                             let f = &f;
                             let arg_ix = &arg_ix;
                             let keep_ix = &keep_ix;
-                            scope.spawn(move |_| {
+                            scope.spawn(move || {
                                 *frag = frag
                                     .iter()
                                     .map(|t| {
@@ -230,8 +284,7 @@ impl Query {
                                     .collect();
                             });
                         }
-                    })
-                    .expect("udf worker panicked");
+                    });
                     let mut cols: Vec<(&str, ValueType)> = Vec::new();
                     for (i, k) in keep.iter().enumerate() {
                         cols.push((k.as_str(), s.columns()[keep_ix[i]].1));
@@ -262,7 +315,11 @@ impl Query {
                     schema = Some(Schema::new(&cols));
                     partition_column = None;
                 }
-                Op::BroadcastJoin { right, left_col, right_col } => {
+                Op::BroadcastJoin {
+                    right,
+                    left_col,
+                    right_col,
+                } => {
                     let s = schema.as_ref().expect("join before scan");
                     let rel = conn
                         .relation(right)
@@ -327,8 +384,9 @@ impl Query {
                 }
                 Op::GroupBy { keys, uda, out } => {
                     let s = schema.as_ref().expect("group by before scan").clone();
-                    let agg =
-                        conn.uda(uda).ok_or_else(|| QueryError::UnknownFunction(uda.clone()))?;
+                    let agg = conn
+                        .uda(uda)
+                        .ok_or_else(|| QueryError::UnknownFunction(uda.clone()))?;
                     let key_ix: Vec<usize> =
                         keys.iter().map(|k| col(&s, k)).collect::<Result<_, _>>()?;
                     // Shuffle on the first key unless already partitioned so.
@@ -336,18 +394,17 @@ impl Query {
                         let mut next: Vec<Vec<Tuple>> = vec![Vec::new(); workers];
                         for f in fragments.drain(..) {
                             for t in f {
-                                let w =
-                                    (partition_hash(&t[key_ix[0]]) % workers as u64) as usize;
+                                let w = (partition_hash(&t[key_ix[0]]) % workers as u64) as usize;
                                 next[w].push(t);
                             }
                         }
                         fragments = next;
                     }
-                    crossbeam::scope(|scope| {
+                    std::thread::scope(|scope| {
                         for frag in fragments.iter_mut() {
                             let agg = &agg;
                             let key_ix = &key_ix;
-                            scope.spawn(move |_| {
+                            scope.spawn(move || {
                                 let mut groups: Vec<(Vec<u64>, Vec<Tuple>)> = Vec::new();
                                 let mut lookup: HashMap<Vec<u64>, usize> = HashMap::new();
                                 for t in frag.drain(..) {
@@ -372,8 +429,7 @@ impl Query {
                                     .collect();
                             });
                         }
-                    })
-                    .expect("uda worker panicked");
+                    });
                     let mut cols: Vec<(&str, ValueType)> = key_ix
                         .iter()
                         .map(|&i| (s.columns()[i].0.as_str(), s.columns()[i].1))
@@ -451,7 +507,13 @@ mod tests {
             Value::blob(args[0].as_blob().map(|v| v * 2.0))
         });
         let r = Query::scan("Images")
-            .apply("Double", &["img"], &["subjId", "imgId"], "img2", ValueType::Blob)
+            .apply(
+                "Double",
+                &["img"],
+                &["subjId", "imgId"],
+                "img2",
+                ValueType::Blob,
+            )
             .execute(&conn)
             .unwrap();
         assert_eq!(r.len(), 12);
@@ -477,7 +539,12 @@ mod tests {
         let conn = conn_with_images();
         let mask_schema = Schema::new(&[("subjId", ValueType::Int), ("mask", ValueType::Blob)]);
         let masks: Vec<Tuple> = (0..3)
-            .map(|s| vec![Value::Int(s as i64), Value::blob(NdArray::full(&[4], 100.0 + s as f64))])
+            .map(|s| {
+                vec![
+                    Value::Int(s as i64),
+                    Value::blob(NdArray::full(&[4], 100.0 + s as f64)),
+                ]
+            })
             .collect();
         conn.ingest_broadcast("Mask", mask_schema, masks);
         let r = Query::scan("Images")

@@ -5,7 +5,11 @@ use engine_rel::{MyriaConnection, Query, Relation, Schema, Value, ValueType};
 use marray::NdArray;
 
 fn images_schema() -> Schema {
-    Schema::new(&[("subjId", ValueType::Int), ("imgId", ValueType::Int), ("img", ValueType::Blob)])
+    Schema::new(&[
+        ("subjId", ValueType::Int),
+        ("imgId", ValueType::Int),
+        ("img", ValueType::Blob),
+    ])
 }
 
 fn image_tuples(n: usize) -> Vec<Vec<Value>> {
@@ -50,7 +54,11 @@ fn flat_apply_fans_out_and_regroups() {
         .flat_apply(
             "FanOut",
             &["imgId"],
-            &[("grp", ValueType::Int), ("imgId", ValueType::Int), ("piece", ValueType::Int)],
+            &[
+                ("grp", ValueType::Int),
+                ("imgId", ValueType::Int),
+                ("piece", ValueType::Int),
+            ],
         )
         .group_by(&["grp"], "CountAll", "n", ValueType::Int)
         .execute(&conn)

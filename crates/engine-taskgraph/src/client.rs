@@ -1,10 +1,10 @@
 //! The delayed-graph builder and its work-stealing executor.
 
-use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
 
 type AnyValue = Arc<dyn Any + Send + Sync>;
 type NodeFn = Box<dyn FnOnce(&[AnyValue]) -> AnyValue + Send>;
@@ -56,14 +56,17 @@ impl DaskClient {
         deps: Vec<usize>,
         func: impl FnOnce(&[AnyValue]) -> T + Send + 'static,
     ) -> Delayed<T> {
-        let mut graph = self.graph.lock();
+        let mut graph = self.graph.lock().expect("graph lock poisoned");
         let id = graph.len();
         graph.push(Node {
             deps,
             func: Some(Box::new(move |args| Arc::new(func(args)) as AnyValue)),
             result: None,
         });
-        Delayed { node: id, _marker: PhantomData }
+        Delayed {
+            node: id,
+            _marker: PhantomData,
+        }
     }
 
     /// `delayed(f)()` — a leaf computation.
@@ -134,7 +137,7 @@ impl DaskClient {
     /// Dask's `.result()`, a barrier.
     pub fn result<T: Clone + Send + Sync + 'static>(&self, target: Delayed<T>) -> T {
         self.execute(&[target.node]);
-        let graph = self.graph.lock();
+        let graph = self.graph.lock().expect("graph lock poisoned");
         graph[target.node]
             .result
             .as_ref()
@@ -147,7 +150,7 @@ impl DaskClient {
     /// Execute the subgraphs of several targets under one barrier.
     pub fn compute_many<T: Clone + Send + Sync + 'static>(&self, targets: &[Delayed<T>]) -> Vec<T> {
         self.execute(&targets.iter().map(|t| t.node).collect::<Vec<_>>());
-        let graph = self.graph.lock();
+        let graph = self.graph.lock().expect("graph lock poisoned");
         targets
             .iter()
             .map(|t| {
@@ -166,21 +169,21 @@ impl DaskClient {
     /// graph-construction discipline the paper highlights as Dask's main
     /// usability cost.
     pub fn barrier_count(&self) -> usize {
-        *self.barriers.lock()
+        *self.barriers.lock().expect("barrier lock poisoned")
     }
 
     /// Number of graph nodes built so far.
     pub fn graph_size(&self) -> usize {
-        self.graph.lock().len()
+        self.graph.lock().expect("graph lock poisoned").len()
     }
 
     /// Run the pending subgraph reachable from `targets`.
     fn execute(&self, targets: &[usize]) {
-        *self.barriers.lock() += 1;
+        *self.barriers.lock().expect("barrier lock poisoned") += 1;
         // Collect the incomplete subgraph.
         let mut needed: Vec<usize> = Vec::new();
         {
-            let graph = self.graph.lock();
+            let graph = self.graph.lock().expect("graph lock poisoned");
             let mut stack: Vec<usize> = targets.to_vec();
             let mut seen = vec![false; graph.len()];
             while let Some(n) = stack.pop() {
@@ -201,7 +204,7 @@ impl DaskClient {
         let mut dependents: std::collections::HashMap<usize, Vec<usize>> =
             std::collections::HashMap::new();
         {
-            let graph = self.graph.lock();
+            let graph = self.graph.lock().expect("graph lock poisoned");
             for &n in &needed {
                 let unmet = graph[n]
                     .deps
@@ -231,15 +234,15 @@ impl DaskClient {
         let pending = Arc::new(Mutex::new(pending));
         let dependents = Arc::new(dependents);
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.workers.min(needed.len()) {
                 let shared = Arc::clone(&shared);
                 let pending = Arc::clone(&pending);
                 let dependents = Arc::clone(&dependents);
-                scope.spawn(move |_| loop {
+                scope.spawn(move || loop {
                     // Steal the next ready task from the shared queue.
                     let task = {
-                        let mut q = shared.queue.lock();
+                        let mut q = shared.queue.lock().expect("queue lock poisoned");
                         loop {
                             if q.1 == 0 {
                                 shared.cv.notify_all();
@@ -248,13 +251,13 @@ impl DaskClient {
                             if let Some(t) = q.0.pop_front() {
                                 break t;
                             }
-                            shared.cv.wait(&mut q);
+                            q = shared.cv.wait(q).expect("queue lock poisoned");
                         }
                     };
                     // Take the function + argument snapshots under the lock,
                     // run outside it.
                     let (func, args) = {
-                        let mut graph = self.graph.lock();
+                        let mut graph = self.graph.lock().expect("graph lock poisoned");
                         let func = graph[task].func.take().expect("task ran twice");
                         let args: Vec<AnyValue> = graph[task]
                             .deps
@@ -265,13 +268,13 @@ impl DaskClient {
                     };
                     let value = func(&args);
                     {
-                        let mut graph = self.graph.lock();
+                        let mut graph = self.graph.lock().expect("graph lock poisoned");
                         graph[task].result = Some(value);
                     }
                     // Release dependents.
                     let mut newly_ready: Vec<usize> = Vec::new();
                     if let Some(deps) = dependents.get(&task) {
-                        let mut p = pending.lock();
+                        let mut p = pending.lock().expect("pending lock poisoned");
                         for &d in deps {
                             let c = p.get_mut(&d).expect("tracked");
                             *c -= 1;
@@ -281,7 +284,7 @@ impl DaskClient {
                         }
                     }
                     {
-                        let mut q = shared.queue.lock();
+                        let mut q = shared.queue.lock().expect("queue lock poisoned");
                         q.1 -= 1;
                         for d in newly_ready {
                             q.0.push_back(d);
@@ -290,8 +293,7 @@ impl DaskClient {
                     }
                 });
             }
-        })
-        .expect("executor scope");
+        });
     }
 }
 
@@ -334,7 +336,11 @@ mod tests {
             c.fetch_add(1, Ordering::SeqCst);
             1u32
         });
-        assert_eq!(calls.load(Ordering::SeqCst), 0, "nothing runs before result()");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            0,
+            "nothing runs before result()"
+        );
         client.result(x);
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         assert_eq!(client.barrier_count(), 1);

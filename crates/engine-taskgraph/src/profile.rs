@@ -40,6 +40,25 @@ impl Default for TaskGraphEngineProfile {
     }
 }
 
+impl TaskGraphEngineProfile {
+    /// The statically checkable invariants of this engine's lowerings,
+    /// consumed by [`plancheck::check`]. When steps pipeline per item,
+    /// producers declare full-size outputs that consumers slice
+    /// per-transfer (so producer-side amplification accounting is off)
+    /// and no global barrier may appear in a lowering at all.
+    pub fn invariants(&self) -> plancheck::InvariantProfile {
+        plancheck::InvariantProfile {
+            transfer_slices: self.pipelines_across_steps,
+            barriers: if self.pipelines_across_steps {
+                plancheck::BarrierDiscipline::Forbidden
+            } else {
+                plancheck::BarrierDiscipline::Free
+            },
+            ..plancheck::InvariantProfile::new("Dask")
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,9 +36,16 @@ fn figure8_idiom_download_filter_mean_mask() {
         });
         let bits = client.result(mask);
         assert_eq!(bits.len(), 4);
-        assert_eq!(bits.iter().filter(|&&b| b).count(), 2, "half above the grand mean");
+        assert_eq!(
+            bits.iter().filter(|&&b| b).count(),
+            2,
+            "half above the grand mean"
+        );
     }
-    assert!(client.barrier_count() >= 4, "explicit barriers were counted");
+    assert!(
+        client.barrier_count() >= 4,
+        "explicit barriers were counted"
+    );
 }
 
 #[test]
@@ -61,7 +68,11 @@ fn thousand_task_graph_executes_once_each() {
         .collect();
     let total = client.delayed_many(&pairs, |vs: &[&u64]| vs.iter().copied().sum::<u64>());
     assert_eq!(client.result(total), (0..500).sum::<u64>());
-    assert_eq!(calls.load(Ordering::SeqCst), 500, "each leaf ran exactly once");
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        500,
+        "each leaf ran exactly once"
+    );
     assert_eq!(client.graph_size(), 500 + 250 + 1);
 }
 

@@ -5,13 +5,26 @@ use std::fmt;
 #[allow(missing_docs)] // variant fields are self-describing (format/needed/got)
 pub enum FormatError {
     /// The buffer is shorter than the format requires.
-    Truncated { format: &'static str, needed: usize, got: usize },
+    Truncated {
+        format: &'static str,
+        needed: usize,
+        got: usize,
+    },
     /// A magic number / signature check failed.
-    BadMagic { format: &'static str, detail: String },
+    BadMagic {
+        format: &'static str,
+        detail: String,
+    },
     /// A header field holds an unsupported or inconsistent value.
-    BadHeader { format: &'static str, detail: String },
+    BadHeader {
+        format: &'static str,
+        detail: String,
+    },
     /// A value could not be parsed from text.
-    Parse { format: &'static str, detail: String },
+    Parse {
+        format: &'static str,
+        detail: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// Array construction failed (shape/buffer mismatch).
@@ -21,11 +34,20 @@ pub enum FormatError {
 impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FormatError::Truncated { format, needed, got } => {
-                write!(f, "{format}: truncated input, needed {needed} bytes, got {got}")
+            FormatError::Truncated {
+                format,
+                needed,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{format}: truncated input, needed {needed} bytes, got {got}"
+                )
             }
             FormatError::BadMagic { format, detail } => write!(f, "{format}: bad magic: {detail}"),
-            FormatError::BadHeader { format, detail } => write!(f, "{format}: bad header: {detail}"),
+            FormatError::BadHeader { format, detail } => {
+                write!(f, "{format}: bad header: {detail}")
+            }
             FormatError::Parse { format, detail } => write!(f, "{format}: parse error: {detail}"),
             FormatError::Io(e) => write!(f, "i/o error: {e}"),
             FormatError::Array(e) => write!(f, "array error: {e}"),

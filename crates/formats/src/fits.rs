@@ -42,7 +42,12 @@ impl Card {
         let text = String::from_utf8_lossy(raw);
         let key = text[..8.min(text.len())].trim().to_string();
         let value = if text.len() > 10 && &text[8..10] == "= " {
-            text[10..].split('/').next().unwrap_or("").trim().to_string()
+            text[10..]
+                .split('/')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_string()
         } else {
             String::new()
         };
@@ -108,12 +113,16 @@ pub struct TypedHdu {
 impl Hdu {
     /// Look up a card's value text by keyword.
     pub fn value(&self, key: &str) -> Option<&str> {
-        self.cards.iter().find(|c| c.key == key).map(|c| c.value.as_str())
+        self.cards
+            .iter()
+            .find(|c| c.key == key)
+            .map(|c| c.value.as_str())
     }
 
     /// Look up a card and parse it as f64.
     pub fn value_f64(&self, key: &str) -> Option<f64> {
-        self.value(key).and_then(|v| v.trim_matches('\'').trim().parse().ok())
+        self.value(key)
+            .and_then(|v| v.trim_matches('\'').trim().parse().ok())
     }
 }
 
@@ -133,20 +142,47 @@ fn encode_hdu(cards_in: &[Card], data: &ImageData, primary: bool, out: &mut Vec<
     };
     let mut cards: Vec<Card> = Vec::new();
     if primary {
-        cards.push(Card { key: "SIMPLE".into(), value: "T".into() });
+        cards.push(Card {
+            key: "SIMPLE".into(),
+            value: "T".into(),
+        });
     } else {
-        cards.push(Card { key: "XTENSION".into(), value: "'IMAGE   '".into() });
+        cards.push(Card {
+            key: "XTENSION".into(),
+            value: "'IMAGE   '".into(),
+        });
     }
-    cards.push(Card { key: "BITPIX".into(), value: bitpix.into() });
-    cards.push(Card { key: "NAXIS".into(), value: "2".into() });
+    cards.push(Card {
+        key: "BITPIX".into(),
+        value: bitpix.into(),
+    });
+    cards.push(Card {
+        key: "NAXIS".into(),
+        value: "2".into(),
+    });
     // FITS NAXIS1 is the fastest-varying axis = our last (column) axis.
-    cards.push(Card { key: "NAXIS1".into(), value: dims[1].to_string() });
-    cards.push(Card { key: "NAXIS2".into(), value: dims[0].to_string() });
+    cards.push(Card {
+        key: "NAXIS1".into(),
+        value: dims[1].to_string(),
+    });
+    cards.push(Card {
+        key: "NAXIS2".into(),
+        value: dims[0].to_string(),
+    });
     if primary {
-        cards.push(Card { key: "EXTEND".into(), value: "T".into() });
+        cards.push(Card {
+            key: "EXTEND".into(),
+            value: "T".into(),
+        });
     } else {
-        cards.push(Card { key: "PCOUNT".into(), value: "0".into() });
-        cards.push(Card { key: "GCOUNT".into(), value: "1".into() });
+        cards.push(Card {
+            key: "PCOUNT".into(),
+            value: "0".into(),
+        });
+        cards.push(Card {
+            key: "GCOUNT".into(),
+            value: "1".into(),
+        });
     }
     cards.extend(cards_in.iter().cloned());
     for card in &cards {
@@ -171,7 +207,12 @@ fn encode_hdu(cards_in: &[Card], data: &ImageData, primary: bool, out: &mut Vec<
 pub fn encode(hdus: &[Hdu]) -> Vec<u8> {
     let mut out = Vec::new();
     for (i, hdu) in hdus.iter().enumerate() {
-        encode_hdu(&hdu.cards, &ImageData::F32(hdu.data.clone()), i == 0, &mut out);
+        encode_hdu(
+            &hdu.cards,
+            &ImageData::F32(hdu.data.clone()),
+            i == 0,
+            &mut out,
+        );
     }
     out
 }
@@ -188,7 +229,15 @@ pub fn encode_typed(hdus: &[TypedHdu]) -> Vec<u8> {
 fn reserved(key: &str) -> bool {
     matches!(
         key,
-        "SIMPLE" | "XTENSION" | "BITPIX" | "NAXIS" | "NAXIS1" | "NAXIS2" | "EXTEND" | "PCOUNT" | "GCOUNT"
+        "SIMPLE"
+            | "XTENSION"
+            | "BITPIX"
+            | "NAXIS"
+            | "NAXIS1"
+            | "NAXIS2"
+            | "EXTEND"
+            | "PCOUNT"
+            | "GCOUNT"
     )
 }
 
@@ -199,7 +248,11 @@ fn decode_hdu(buf: &[u8], pos: &mut usize, primary: bool) -> Result<TypedHdu> {
     let mut cursor = start;
     while !ended {
         if cursor + BLOCK > buf.len() {
-            return Err(FormatError::Truncated { format: "fits", needed: cursor + BLOCK, got: buf.len() });
+            return Err(FormatError::Truncated {
+                format: "fits",
+                needed: cursor + BLOCK,
+                got: buf.len(),
+            });
         }
         for c in 0..(BLOCK / CARD) {
             let raw = &buf[cursor + c * CARD..cursor + (c + 1) * CARD];
@@ -227,32 +280,53 @@ fn decode_hdu(buf: &[u8], pos: &mut usize, primary: bool) -> Result<TypedHdu> {
             .iter()
             .find(|c| c.key == key)
             .and_then(|c| c.value.trim().parse().ok())
-            .ok_or_else(|| FormatError::BadHeader { format: "fits", detail: format!("missing {key}") })
+            .ok_or_else(|| FormatError::BadHeader {
+                format: "fits",
+                detail: format!("missing {key}"),
+            })
     };
     let bitpix = find("BITPIX")?;
     if bitpix != -32 && bitpix != 8 {
-        return Err(FormatError::BadHeader { format: "fits", detail: format!("BITPIX {bitpix} unsupported") });
+        return Err(FormatError::BadHeader {
+            format: "fits",
+            detail: format!("BITPIX {bitpix} unsupported"),
+        });
     }
     let naxis = find("NAXIS")?;
     if naxis != 2 {
-        return Err(FormatError::BadHeader { format: "fits", detail: format!("NAXIS {naxis} unsupported") });
+        return Err(FormatError::BadHeader {
+            format: "fits",
+            detail: format!("NAXIS {naxis} unsupported"),
+        });
     }
     let n1 = find("NAXIS1")? as usize;
     let n2 = find("NAXIS2")? as usize;
     let cell = if bitpix == -32 { 4 } else { 1 };
     let nbytes = n1 * n2 * cell;
     if cursor + nbytes > buf.len() {
-        return Err(FormatError::Truncated { format: "fits", needed: cursor + nbytes, got: buf.len() });
+        return Err(FormatError::Truncated {
+            format: "fits",
+            needed: cursor + nbytes,
+            got: buf.len(),
+        });
     }
     let data = if bitpix == -32 {
         let mut v = Vec::with_capacity(n1 * n2);
         for i in 0..n1 * n2 {
             let o = cursor + 4 * i;
-            v.push(f32::from_be_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]));
+            v.push(f32::from_be_bytes([
+                buf[o],
+                buf[o + 1],
+                buf[o + 2],
+                buf[o + 3],
+            ]));
         }
         ImageData::F32(NdArray::from_vec(&[n2, n1], v)?)
     } else {
-        ImageData::U8(NdArray::from_vec(&[n2, n1], buf[cursor..cursor + nbytes].to_vec())?)
+        ImageData::U8(NdArray::from_vec(
+            &[n2, n1],
+            buf[cursor..cursor + nbytes].to_vec(),
+        )?)
     };
     cursor += nbytes;
     // Skip data padding.
@@ -262,7 +336,10 @@ fn decode_hdu(buf: &[u8], pos: &mut usize, primary: bool) -> Result<TypedHdu> {
     }
     *pos = cursor;
     let user_cards: Vec<Card> = cards.into_iter().filter(|c| !reserved(&c.key)).collect();
-    Ok(TypedHdu { cards: user_cards, data })
+    Ok(TypedHdu {
+        cards: user_cards,
+        data,
+    })
 }
 
 /// Decode every HDU in a FITS buffer as float images (BITPIX 8 payloads
@@ -270,14 +347,21 @@ fn decode_hdu(buf: &[u8], pos: &mut usize, primary: bool) -> Result<TypedHdu> {
 pub fn decode(buf: &[u8]) -> Result<Vec<Hdu>> {
     Ok(decode_typed(buf)?
         .into_iter()
-        .map(|h| Hdu { cards: h.cards, data: h.data.to_f32() })
+        .map(|h| Hdu {
+            cards: h.cards,
+            data: h.data.to_f32(),
+        })
         .collect())
 }
 
 /// Decode every HDU in a FITS buffer, preserving payload types.
 pub fn decode_typed(buf: &[u8]) -> Result<Vec<TypedHdu>> {
     if buf.len() < BLOCK {
-        return Err(FormatError::Truncated { format: "fits", needed: BLOCK, got: buf.len() });
+        return Err(FormatError::Truncated {
+            format: "fits",
+            needed: BLOCK,
+            got: buf.len(),
+        });
     }
     let mut pos = 0;
     let mut hdus = Vec::new();
@@ -316,13 +400,25 @@ mod tests {
         vec![
             Hdu {
                 cards: vec![
-                    Card { key: "VISIT".into(), value: "7".into() },
-                    Card { key: "SENSOR".into(), value: "12".into() },
+                    Card {
+                        key: "VISIT".into(),
+                        value: "7".into(),
+                    },
+                    Card {
+                        key: "SENSOR".into(),
+                        value: "12".into(),
+                    },
                 ],
                 data: plane(0.0, &[8, 10]),
             },
-            Hdu { cards: vec![], data: plane(10_000.0, &[8, 10]) },
-            Hdu { cards: vec![], data: plane(20_000.0, &[8, 10]) },
+            Hdu {
+                cards: vec![],
+                data: plane(10_000.0, &[8, 10]),
+            },
+            Hdu {
+                cards: vec![],
+                data: plane(20_000.0, &[8, 10]),
+            },
         ]
     }
 
@@ -350,7 +446,10 @@ mod tests {
 
     #[test]
     fn big_endian_payload() {
-        let hdu = Hdu { cards: vec![], data: NdArray::from_vec(&[1, 1], vec![1.0f32]).unwrap() };
+        let hdu = Hdu {
+            cards: vec![],
+            data: NdArray::from_vec(&[1, 1], vec![1.0f32]).unwrap(),
+        };
         let buf = encode(std::slice::from_ref(&hdu));
         // 1.0f32 big-endian = 3F 80 00 00, at the start of the data block.
         assert_eq!(&buf[BLOCK..BLOCK + 4], &[0x3f, 0x80, 0x00, 0x00]);
@@ -375,9 +474,18 @@ mod tests {
         // The use case's real layout: f32 flux + f32 variance + u8 mask.
         let mask = NdArray::from_fn(&[6, 9], |ix| ((ix[0] + ix[1]) % 3) as u8);
         let hdus = vec![
-            TypedHdu { cards: vec![], data: ImageData::F32(plane(0.0, &[6, 9])) },
-            TypedHdu { cards: vec![], data: ImageData::F32(plane(500.0, &[6, 9])) },
-            TypedHdu { cards: vec![], data: ImageData::U8(mask.clone()) },
+            TypedHdu {
+                cards: vec![],
+                data: ImageData::F32(plane(0.0, &[6, 9])),
+            },
+            TypedHdu {
+                cards: vec![],
+                data: ImageData::F32(plane(500.0, &[6, 9])),
+            },
+            TypedHdu {
+                cards: vec![],
+                data: ImageData::U8(mask.clone()),
+            },
         ];
         let buf = encode_typed(&hdus);
         let back = decode_typed(&buf).unwrap();

@@ -116,7 +116,7 @@ pub fn encode(array: &NdArray<f32>, voxel_mm: f32) -> Result<Vec<u8>> {
     put_f32(&mut buf, 112, 1.0); // scl_slope
     buf[148..228].copy_from_slice(&header.descrip); // descrip[80]
     buf[344..348].copy_from_slice(b"n+1\0"); // magic
-    // 4 bytes of extension flags (all zero = no extensions) at 348..352.
+                                             // 4 bytes of extension flags (all zero = no extensions) at 348..352.
     let mut off = VOX_OFFSET;
     for &v in array.data() {
         buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
@@ -128,7 +128,11 @@ pub fn encode(array: &NdArray<f32>, voxel_mm: f32) -> Result<Vec<u8>> {
 /// Decode a single-file NIfTI-1 byte buffer.
 pub fn decode(buf: &[u8]) -> Result<(NiftiHeader, NdArray<f32>)> {
     if buf.len() < VOX_OFFSET {
-        return Err(FormatError::Truncated { format: "nifti", needed: VOX_OFFSET, got: buf.len() });
+        return Err(FormatError::Truncated {
+            format: "nifti",
+            needed: VOX_OFFSET,
+            got: buf.len(),
+        });
     }
     if &buf[344..348] != b"n+1\0" {
         return Err(FormatError::BadMagic {
@@ -162,11 +166,21 @@ pub fn decode(buf: &[u8]) -> Result<(NiftiHeader, NdArray<f32>)> {
     let vox_offset = get_f32(buf, 108);
     let mut descrip = [0u8; 80];
     descrip.copy_from_slice(&buf[148..228]);
-    let header = NiftiHeader { dim, datatype, bitpix, pixdim, vox_offset, descrip };
+    let header = NiftiHeader {
+        dim,
+        datatype,
+        bitpix,
+        pixdim,
+        vox_offset,
+        descrip,
+    };
 
     let rank = header.dim[0];
     if !(1..=7).contains(&rank) {
-        return Err(FormatError::BadHeader { format: "nifti", detail: format!("dim[0] = {rank}") });
+        return Err(FormatError::BadHeader {
+            format: "nifti",
+            detail: format!("dim[0] = {rank}"),
+        });
     }
     // Every in-rank extent must be a positive i16; a corrupted header with
     // negative extents would otherwise wrap to enormous indices.
@@ -190,14 +204,26 @@ pub fn decode(buf: &[u8]) -> Result<(NiftiHeader, NdArray<f32>)> {
     let needed = n
         .checked_mul(4)
         .and_then(|b| b.checked_add(data_start))
-        .ok_or(FormatError::BadHeader { format: "nifti", detail: "size overflow".into() })?;
+        .ok_or(FormatError::BadHeader {
+            format: "nifti",
+            detail: "size overflow".into(),
+        })?;
     if buf.len() < needed {
-        return Err(FormatError::Truncated { format: "nifti", needed, got: buf.len() });
+        return Err(FormatError::Truncated {
+            format: "nifti",
+            needed,
+            got: buf.len(),
+        });
     }
     let mut data = Vec::with_capacity(n);
     for i in 0..n {
         let off = data_start + 4 * i;
-        data.push(f32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]));
+        data.push(f32::from_le_bytes([
+            buf[off],
+            buf[off + 1],
+            buf[off + 2],
+            buf[off + 3],
+        ]));
     }
     Ok((header, NdArray::from_vec(&dims, data)?))
 }

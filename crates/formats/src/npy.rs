@@ -14,12 +14,20 @@ const MAGIC: &[u8; 6] = b"\x93NUMPY";
 
 /// Encode a float32 array as `.npy` v1.0 bytes.
 pub fn encode_f32(array: &NdArray<f32>) -> Vec<u8> {
-    encode_raw("<f4", array.dims(), array.data().iter().flat_map(|v| v.to_le_bytes()).collect())
+    encode_raw(
+        "<f4",
+        array.dims(),
+        array.data().iter().flat_map(|v| v.to_le_bytes()).collect(),
+    )
 }
 
 /// Encode a float64 array as `.npy` v1.0 bytes.
 pub fn encode_f64(array: &NdArray<f64>) -> Vec<u8> {
-    encode_raw("<f8", array.dims(), array.data().iter().flat_map(|v| v.to_le_bytes()).collect())
+    encode_raw(
+        "<f8",
+        array.dims(),
+        array.data().iter().flat_map(|v| v.to_le_bytes()).collect(),
+    )
 }
 
 fn encode_raw(descr: &str, dims: &[usize], payload: Vec<u8>) -> Vec<u8> {
@@ -28,7 +36,10 @@ fn encode_raw(descr: &str, dims: &[usize], payload: Vec<u8>) -> Vec<u8> {
         1 => format!("({},)", dims[0]),
         _ => format!(
             "({})",
-            dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", ")
+            dims.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
     };
     let mut dict = format!("{{'descr': '{descr}', 'fortran_order': False, 'shape': {shape}, }}");
@@ -52,18 +63,32 @@ fn encode_raw(descr: &str, dims: &[usize], payload: Vec<u8>) -> Vec<u8> {
 
 fn parse_header(buf: &[u8]) -> Result<(String, Vec<usize>, usize)> {
     if buf.len() < 10 {
-        return Err(FormatError::Truncated { format: "npy", needed: 10, got: buf.len() });
+        return Err(FormatError::Truncated {
+            format: "npy",
+            needed: 10,
+            got: buf.len(),
+        });
     }
     if &buf[..6] != MAGIC {
-        return Err(FormatError::BadMagic { format: "npy", detail: format!("{:?}", &buf[..6]) });
+        return Err(FormatError::BadMagic {
+            format: "npy",
+            detail: format!("{:?}", &buf[..6]),
+        });
     }
     if buf[6] != 1 {
-        return Err(FormatError::BadHeader { format: "npy", detail: format!("version {}.{}", buf[6], buf[7]) });
+        return Err(FormatError::BadHeader {
+            format: "npy",
+            detail: format!("version {}.{}", buf[6], buf[7]),
+        });
     }
     let hlen = u16::from_le_bytes([buf[8], buf[9]]) as usize;
     let data_start = 10 + hlen;
     if buf.len() < data_start {
-        return Err(FormatError::Truncated { format: "npy", needed: data_start, got: buf.len() });
+        return Err(FormatError::Truncated {
+            format: "npy",
+            needed: data_start,
+            got: buf.len(),
+        });
     }
     let header = String::from_utf8_lossy(&buf[10..data_start]);
     let descr = extract_quoted(&header, "descr").ok_or_else(|| FormatError::Parse {
@@ -71,14 +96,20 @@ fn parse_header(buf: &[u8]) -> Result<(String, Vec<usize>, usize)> {
         detail: "missing descr".into(),
     })?;
     if header.contains("'fortran_order': True") {
-        return Err(FormatError::BadHeader { format: "npy", detail: "fortran_order unsupported".into() });
+        return Err(FormatError::BadHeader {
+            format: "npy",
+            detail: "fortran_order unsupported".into(),
+        });
     }
     let shape_src = header
         .split("'shape':")
         .nth(1)
         .and_then(|s| s.split('(').nth(1))
         .and_then(|s| s.split(')').next())
-        .ok_or_else(|| FormatError::Parse { format: "npy", detail: "missing shape".into() })?;
+        .ok_or_else(|| FormatError::Parse {
+            format: "npy",
+            detail: "missing shape".into(),
+        })?;
     let dims: Vec<usize> = shape_src
         .split(',')
         .map(str::trim)
@@ -105,17 +136,29 @@ fn extract_quoted(header: &str, key: &str) -> Option<String> {
 pub fn decode_f32(buf: &[u8]) -> Result<NdArray<f32>> {
     let (descr, dims, start) = parse_header(buf)?;
     if descr != "<f4" {
-        return Err(FormatError::BadHeader { format: "npy", detail: format!("descr {descr:?}, expected <f4") });
+        return Err(FormatError::BadHeader {
+            format: "npy",
+            detail: format!("descr {descr:?}, expected <f4"),
+        });
     }
     let n: usize = dims.iter().product();
     let needed = start + 4 * n;
     if buf.len() < needed {
-        return Err(FormatError::Truncated { format: "npy", needed, got: buf.len() });
+        return Err(FormatError::Truncated {
+            format: "npy",
+            needed,
+            got: buf.len(),
+        });
     }
     let mut data = Vec::with_capacity(n);
     for i in 0..n {
         let o = start + 4 * i;
-        data.push(f32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]));
+        data.push(f32::from_le_bytes([
+            buf[o],
+            buf[o + 1],
+            buf[o + 2],
+            buf[o + 3],
+        ]));
     }
     Ok(NdArray::from_vec(&dims, data)?)
 }
@@ -124,18 +167,32 @@ pub fn decode_f32(buf: &[u8]) -> Result<NdArray<f32>> {
 pub fn decode_f64(buf: &[u8]) -> Result<NdArray<f64>> {
     let (descr, dims, start) = parse_header(buf)?;
     if descr != "<f8" {
-        return Err(FormatError::BadHeader { format: "npy", detail: format!("descr {descr:?}, expected <f8") });
+        return Err(FormatError::BadHeader {
+            format: "npy",
+            detail: format!("descr {descr:?}, expected <f8"),
+        });
     }
     let n: usize = dims.iter().product();
     let needed = start + 8 * n;
     if buf.len() < needed {
-        return Err(FormatError::Truncated { format: "npy", needed, got: buf.len() });
+        return Err(FormatError::Truncated {
+            format: "npy",
+            needed,
+            got: buf.len(),
+        });
     }
     let mut data = Vec::with_capacity(n);
     for i in 0..n {
         let o = start + 8 * i;
         data.push(f64::from_le_bytes([
-            buf[o], buf[o + 1], buf[o + 2], buf[o + 3], buf[o + 4], buf[o + 5], buf[o + 6], buf[o + 7],
+            buf[o],
+            buf[o + 1],
+            buf[o + 2],
+            buf[o + 3],
+            buf[o + 4],
+            buf[o + 5],
+            buf[o + 6],
+            buf[o + 7],
         ]));
     }
     Ok(NdArray::from_vec(&dims, data)?)
@@ -180,9 +237,15 @@ mod tests {
         let a = NdArray::<f32>::zeros(&[3]);
         let mut buf = encode_f32(&a);
         buf[0] = 0;
-        assert!(matches!(decode_f32(&buf), Err(FormatError::BadMagic { .. })));
+        assert!(matches!(
+            decode_f32(&buf),
+            Err(FormatError::BadMagic { .. })
+        ));
         let buf = encode_f32(&a);
-        assert!(matches!(decode_f32(&buf[..buf.len() - 2]), Err(FormatError::Truncated { .. })));
+        assert!(matches!(
+            decode_f32(&buf[..buf.len() - 2]),
+            Err(FormatError::Truncated { .. })
+        ));
     }
 
     #[test]

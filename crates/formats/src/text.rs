@@ -53,19 +53,26 @@ pub fn from_csv(text: &str, dims: &[usize]) -> Result<NdArray<f32>> {
                 format: "csv",
                 detail: format!("line {}: too few fields", lineno + 1),
             })?;
-            ix.push(part.trim().parse::<usize>().map_err(|e| FormatError::Parse {
-                format: "csv",
-                detail: format!("line {}: bad coordinate {part:?}: {e}", lineno + 1),
-            })?);
+            ix.push(
+                part.trim()
+                    .parse::<usize>()
+                    .map_err(|e| FormatError::Parse {
+                        format: "csv",
+                        detail: format!("line {}: bad coordinate {part:?}: {e}", lineno + 1),
+                    })?,
+            );
         }
         let value_text = parts.next().ok_or_else(|| FormatError::Parse {
             format: "csv",
             detail: format!("line {}: missing value", lineno + 1),
         })?;
-        let value = value_text.trim().parse::<f32>().map_err(|e| FormatError::Parse {
-            format: "csv",
-            detail: format!("line {}: bad value {value_text:?}: {e}", lineno + 1),
-        })?;
+        let value = value_text
+            .trim()
+            .parse::<f32>()
+            .map_err(|e| FormatError::Parse {
+                format: "csv",
+                detail: format!("line {}: bad value {value_text:?}: {e}", lineno + 1),
+            })?;
         array.set(&ix, value).map_err(|e| FormatError::Parse {
             format: "csv",
             detail: format!("line {}: {e}", lineno + 1),
@@ -91,7 +98,11 @@ pub fn to_tsv(array: &NdArray<f32>) -> String {
 /// Parse `stream()`-style TSV produced by [`to_tsv`].
 pub fn from_tsv(text: &str) -> Result<NdArray<f32>> {
     let mut lines = text.lines();
-    let dims_line = lines.next().ok_or(FormatError::Truncated { format: "tsv", needed: 1, got: 0 })?;
+    let dims_line = lines.next().ok_or(FormatError::Truncated {
+        format: "tsv",
+        needed: 1,
+        got: 0,
+    })?;
     let dims: Vec<usize> = dims_line
         .split('\t')
         .map(|s| {
@@ -113,7 +124,11 @@ pub fn from_tsv(text: &str) -> Result<NdArray<f32>> {
         })?);
     }
     if data.len() != n {
-        return Err(FormatError::Truncated { format: "tsv", needed: n, got: data.len() });
+        return Err(FormatError::Truncated {
+            format: "tsv",
+            needed: n,
+            got: data.len(),
+        });
     }
     Ok(NdArray::from_vec(&dims, data)?)
 }

@@ -18,14 +18,20 @@ impl<T: Element> NdArray<T> {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        NdArray { shape, data: vec![T::ZERO; len] }
+        NdArray {
+            shape,
+            data: vec![T::ZERO; len],
+        }
     }
 
     /// Array filled with `value`.
     pub fn full(dims: &[usize], value: T) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        NdArray { shape, data: vec![value; len] }
+        NdArray {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// Array built by evaluating `f` at every multi-index (row-major order).
@@ -42,7 +48,10 @@ impl<T: Element> NdArray<T> {
     pub fn from_vec(dims: &[usize], data: Vec<T>) -> Result<Self> {
         let shape = Shape::new(dims);
         if shape.len() != data.len() {
-            return Err(ArrayError::BadBufferLen { expected: shape.len(), got: data.len() });
+            return Err(ArrayError::BadBufferLen {
+                expected: shape.len(),
+                got: data.len(),
+            });
         }
         Ok(NdArray { shape, data })
     }
@@ -115,13 +124,19 @@ impl<T: Element> NdArray<T> {
                 to: dims.to_vec(),
             });
         }
-        Ok(NdArray { shape: new, data: self.data })
+        Ok(NdArray {
+            shape: new,
+            data: self.data,
+        })
     }
 
     /// Flatten to rank 1.
     pub fn flatten(self) -> Self {
         let len = self.data.len();
-        NdArray { shape: Shape::new(&[len]), data: self.data }
+        NdArray {
+            shape: Shape::new(&[len]),
+            data: self.data,
+        }
     }
 
     /// Extract the rank-(N-1) sub-array at position `index` along `axis`.
@@ -129,7 +144,10 @@ impl<T: Element> NdArray<T> {
     /// E.g. `slice_axis(3, k)` on a 4-D dMRI dataset extracts 3-D volume `k`.
     pub fn slice_axis(&self, axis: usize, index: usize) -> Result<Self> {
         if axis >= self.shape.rank() {
-            return Err(ArrayError::AxisOutOfRange { axis, rank: self.shape.rank() });
+            return Err(ArrayError::AxisOutOfRange {
+                axis,
+                rank: self.shape.rank(),
+            });
         }
         if index >= self.shape.dim(axis) {
             return Err(ArrayError::IndexOutOfBounds {
@@ -150,13 +168,19 @@ impl<T: Element> NdArray<T> {
             let off: usize = src_ix.iter().zip(&strides).map(|(&i, &s)| i * s).sum();
             data.push(self.data[off]);
         }
-        Ok(NdArray { shape: out_shape, data })
+        Ok(NdArray {
+            shape: out_shape,
+            data,
+        })
     }
 
     /// Select a subset of positions along `axis` (NumPy `take`).
     pub fn take_axis(&self, axis: usize, positions: &[usize]) -> Result<Self> {
         if axis >= self.shape.rank() {
-            return Err(ArrayError::AxisOutOfRange { axis, rank: self.shape.rank() });
+            return Err(ArrayError::AxisOutOfRange {
+                axis,
+                rank: self.shape.rank(),
+            });
         }
         for &p in positions {
             if p >= self.shape.dim(axis) {
@@ -176,7 +200,10 @@ impl<T: Element> NdArray<T> {
             let off: usize = src_ix.iter().zip(&strides).map(|(&i, &s)| i * s).sum();
             data.push(self.data[off]);
         }
-        Ok(NdArray { shape: out_shape, data })
+        Ok(NdArray {
+            shape: out_shape,
+            data,
+        })
     }
 
     /// Extract the hyper-rectangle `[starts[i], starts[i] + dims[i])` on each
@@ -208,7 +235,10 @@ impl<T: Element> NdArray<T> {
                 .sum();
             data.push(self.data[off]);
         }
-        Ok(NdArray { shape: out_shape, data })
+        Ok(NdArray {
+            shape: out_shape,
+            data,
+        })
     }
 
     /// Write `patch` into this array at origin `starts` (inverse of
@@ -304,7 +334,10 @@ impl<T: Element> NdArray<T> {
             let off: usize = src_ix.iter().zip(&strides).map(|(&i, &s)| i * s).sum();
             data.push(self.data[off]);
         }
-        Ok(NdArray { shape: out_shape, data })
+        Ok(NdArray {
+            shape: out_shape,
+            data,
+        })
     }
 
     /// Apply `f` to every element, producing a new array.
@@ -397,7 +430,9 @@ mod tests {
     #[test]
     fn slice_axis_4d_volume() {
         // 4-D like dMRI data: x,y,z,volume — slicing axis 3 extracts a volume.
-        let a = NdArray::from_fn(&[2, 2, 2, 3], |ix| (ix[3] * 1000 + ix[0] * 4 + ix[1] * 2 + ix[2]) as f64);
+        let a = NdArray::from_fn(&[2, 2, 2, 3], |ix| {
+            (ix[3] * 1000 + ix[0] * 4 + ix[1] * 2 + ix[2]) as f64
+        });
         let vol = a.slice_axis(3, 2).unwrap();
         assert_eq!(vol.dims(), &[2, 2, 2]);
         for (off, &v) in vol.data().iter().enumerate() {

@@ -62,7 +62,10 @@ impl ChunkGrid {
 
     /// Origin (element coordinates) of chunk `ix`.
     pub fn chunk_origin(&self, ix: &[usize]) -> Vec<usize> {
-        ix.iter().zip(&self.chunk_dims).map(|(&g, &c)| g * c).collect()
+        ix.iter()
+            .zip(&self.chunk_dims)
+            .map(|(&g, &c)| g * c)
+            .collect()
     }
 
     /// Actual extents of chunk `ix` (edge chunks are clipped).
@@ -81,7 +84,10 @@ impl ChunkGrid {
 
     /// The chunk grid coordinates containing element coordinates `pos`.
     pub fn chunk_of(&self, pos: &[usize]) -> ChunkIx {
-        pos.iter().zip(&self.chunk_dims).map(|(&p, &c)| p / c).collect()
+        pos.iter()
+            .zip(&self.chunk_dims)
+            .map(|(&p, &c)| p / c)
+            .collect()
     }
 
     /// Chunk grid coordinates intersecting the hyper-rectangle

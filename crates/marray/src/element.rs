@@ -15,7 +15,7 @@ pub trait Element: Copy + PartialOrd + PartialEq + std::fmt::Debug + Send + Sync
     /// Narrow from `f64`, saturating / truncating as the type requires.
     fn from_f64(v: f64) -> Self;
     /// Number of bytes one element occupies in serialized form.
-    const BYTES: usize = std::mem::size_of::<Self>();
+    const BYTES: usize = size_of::<Self>();
 }
 
 macro_rules! impl_element {

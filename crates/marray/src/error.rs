@@ -5,7 +5,10 @@ use std::fmt;
 #[allow(missing_docs)] // variant fields are self-describing (expected/got pairs)
 pub enum ArrayError {
     /// Two arrays (or an array and an index) have incompatible shapes.
-    ShapeMismatch { expected: Vec<usize>, got: Vec<usize> },
+    ShapeMismatch {
+        expected: Vec<usize>,
+        got: Vec<usize>,
+    },
     /// An axis argument is out of range for the array's rank.
     AxisOutOfRange { axis: usize, rank: usize },
     /// An index is out of bounds along some axis.
@@ -31,13 +34,22 @@ impl fmt::Display for ArrayError {
                 write!(f, "index {index:?} out of bounds for dims {dims:?}")
             }
             ArrayError::BadReshape { from, to } => {
-                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+                write!(
+                    f,
+                    "cannot reshape {from:?} into {to:?}: element counts differ"
+                )
             }
             ArrayError::BadBufferLen { expected, got } => {
-                write!(f, "buffer length {got} does not match shape element count {expected}")
+                write!(
+                    f,
+                    "buffer length {got} does not match shape element count {expected}"
+                )
             }
             ArrayError::BadMaskLen { expected, got } => {
-                write!(f, "mask length {got} does not match selected extent {expected}")
+                write!(
+                    f,
+                    "mask length {got} does not match selected extent {expected}"
+                )
             }
         }
     }

@@ -20,15 +20,25 @@ impl Mask {
     pub fn from_vec(dims: &[usize], bits: Vec<bool>) -> Result<Self> {
         let expected: usize = dims.iter().product();
         if expected != bits.len() {
-            return Err(ArrayError::BadBufferLen { expected, got: bits.len() });
+            return Err(ArrayError::BadBufferLen {
+                expected,
+                got: bits.len(),
+            });
         }
-        Ok(Mask { bits, dims: dims.to_vec() })
+        Ok(Mask {
+            bits,
+            dims: dims.to_vec(),
+        })
     }
 
     /// Build by thresholding an array: `true` where `value > threshold`.
     pub fn threshold<T: Element>(array: &NdArray<T>, threshold: f64) -> Self {
         Mask {
-            bits: array.data().iter().map(|v| v.to_f64() > threshold).collect(),
+            bits: array
+                .data()
+                .iter()
+                .map(|v| v.to_f64() > threshold)
+                .collect(),
             dims: array.dims().to_vec(),
         }
     }
@@ -85,10 +95,18 @@ impl Mask {
     /// Logical AND with another mask of the same shape.
     pub fn and(&self, other: &Mask) -> Result<Mask> {
         if self.dims != other.dims {
-            return Err(ArrayError::ShapeMismatch { expected: self.dims.clone(), got: other.dims.clone() });
+            return Err(ArrayError::ShapeMismatch {
+                expected: self.dims.clone(),
+                got: other.dims.clone(),
+            });
         }
         Ok(Mask {
-            bits: self.bits.iter().zip(&other.bits).map(|(&a, &b)| a && b).collect(),
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| a && b)
+                .collect(),
             dims: self.dims.clone(),
         })
     }

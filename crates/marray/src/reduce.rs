@@ -14,12 +14,18 @@ impl<T: Element> NdArray<T> {
 
     /// Minimum element as `f64` (`INFINITY` for empty arrays).
     pub fn min(&self) -> f64 {
-        self.data().iter().map(|v| v.to_f64()).fold(f64::INFINITY, f64::min)
+        self.data()
+            .iter()
+            .map(|v| v.to_f64())
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum element as `f64` (`NEG_INFINITY` for empty arrays).
     pub fn max(&self) -> f64 {
-        self.data().iter().map(|v| v.to_f64()).fold(f64::NEG_INFINITY, f64::max)
+        self.data()
+            .iter()
+            .map(|v| v.to_f64())
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Population standard deviation of all elements.

@@ -13,7 +13,9 @@ pub struct Shape {
 impl Shape {
     /// Create a shape from axis extents. A zero-rank shape describes a scalar.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Axis extents.
@@ -69,9 +71,7 @@ impl Shape {
 
     /// Checked linear offset of a multi-index.
     pub fn offset_checked(&self, index: &[usize]) -> Result<usize> {
-        if index.len() != self.dims.len()
-            || index.iter().zip(&self.dims).any(|(&ix, &d)| ix >= d)
-        {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(&ix, &d)| ix >= d) {
             return Err(ArrayError::IndexOutOfBounds {
                 index: index.to_vec(),
                 dims: self.dims.clone(),
@@ -94,7 +94,10 @@ impl Shape {
     /// Shape with `axis` removed (the result of reducing along it).
     pub fn without_axis(&self, axis: usize) -> Result<Shape> {
         if axis >= self.rank() {
-            return Err(ArrayError::AxisOutOfRange { axis, rank: self.rank() });
+            return Err(ArrayError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
         }
         let mut dims = self.dims.clone();
         dims.remove(axis);
@@ -104,7 +107,10 @@ impl Shape {
     /// Shape with the extent of `axis` replaced by `extent`.
     pub fn with_axis(&self, axis: usize, extent: usize) -> Result<Shape> {
         if axis >= self.rank() {
-            return Err(ArrayError::AxisOutOfRange { axis, rank: self.rank() });
+            return Err(ArrayError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
         }
         let mut dims = self.dims.clone();
         dims[axis] = extent;
@@ -113,7 +119,11 @@ impl Shape {
 
     /// Iterate over all multi-indices in row-major order.
     pub fn indices(&self) -> IndexIter {
-        IndexIter { shape: self.clone(), next: Some(vec![0; self.dims.len()]), done: self.is_empty() }
+        IndexIter {
+            shape: self.clone(),
+            next: Some(vec![0; self.dims.len()]),
+            done: self.is_empty(),
+        }
     }
 }
 

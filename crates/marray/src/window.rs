@@ -30,7 +30,11 @@ impl WindowIter {
     pub fn new(shape: &Shape, radius: usize) -> Self {
         assert_eq!(shape.rank(), 3, "WindowIter requires a rank-3 shape");
         let dims = [shape.dim(0), shape.dim(1), shape.dim(2)];
-        let next = if dims.contains(&0) { None } else { Some([0, 0, 0]) };
+        let next = if dims.contains(&0) {
+            None
+        } else {
+            Some([0, 0, 0])
+        };
         WindowIter { dims, radius, next }
     }
 }

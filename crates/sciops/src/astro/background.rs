@@ -21,13 +21,21 @@ pub struct BackgroundParams {
 
 impl Default for BackgroundParams {
     fn default() -> Self {
-        BackgroundParams { cell_size: 16, kappa: 3.0, clip_iterations: 2 }
+        BackgroundParams {
+            cell_size: 16,
+            kappa: 3.0,
+            clip_iterations: 2,
+        }
     }
 }
 
 /// Estimate the smooth background of a 2-D image.
 pub fn estimate_background(image: &NdArray<f64>, params: &BackgroundParams) -> NdArray<f64> {
-    assert_eq!(image.shape().rank(), 2, "background estimation expects a 2-D image");
+    assert_eq!(
+        image.shape().rank(),
+        2,
+        "background estimation expects a 2-D image"
+    );
     let (rows, cols) = (image.dims()[0], image.dims()[1]);
     let cell = params.cell_size.max(1);
     let mesh_rows = rows.div_ceil(cell).max(1);
@@ -108,13 +116,22 @@ mod tests {
     fn gradient_background_tracked() {
         // Linear ramp along columns.
         let img = NdArray::from_fn(&[32, 64], |ix| 100.0 + ix[1] as f64);
-        let bg = estimate_background(&img, &BackgroundParams { cell_size: 8, ..Default::default() });
+        let bg = estimate_background(
+            &img,
+            &BackgroundParams {
+                cell_size: 8,
+                ..Default::default()
+            },
+        );
         // Interior pixels track the ramp closely.
         for r in 8..24 {
             for c in 8..56 {
                 let expected = 100.0 + c as f64;
                 let got = bg[&[r, c][..]];
-                assert!((got - expected).abs() < 2.0, "({r},{c}): {got} vs {expected}");
+                assert!(
+                    (got - expected).abs() < 2.0,
+                    "({r},{c}): {got} vs {expected}"
+                );
             }
         }
     }
@@ -126,7 +143,13 @@ mod tests {
         for &(r, c) in &[(5usize, 5usize), (20, 11), (28, 30)] {
             img[&[r, c][..]] = 50_000.0;
         }
-        let bg = estimate_background(&img, &BackgroundParams { cell_size: 8, ..Default::default() });
+        let bg = estimate_background(
+            &img,
+            &BackgroundParams {
+                cell_size: 8,
+                ..Default::default()
+            },
+        );
         for &v in bg.data() {
             assert!((v - 50.0).abs() < 1.0, "background {v} biased by stars");
         }
@@ -135,14 +158,26 @@ mod tests {
     #[test]
     fn subtract_centers_residuals_at_zero() {
         let img = NdArray::from_fn(&[32, 32], |ix| 10.0 + 0.5 * ix[0] as f64);
-        let sub = subtract_background(&img, &BackgroundParams { cell_size: 8, ..Default::default() });
+        let sub = subtract_background(
+            &img,
+            &BackgroundParams {
+                cell_size: 8,
+                ..Default::default()
+            },
+        );
         assert!(sub.mean().abs() < 0.5);
     }
 
     #[test]
     fn tiny_image_single_cell() {
         let img = NdArray::<f64>::full(&[4, 4], 9.0);
-        let bg = estimate_background(&img, &BackgroundParams { cell_size: 16, ..Default::default() });
+        let bg = estimate_background(
+            &img,
+            &BackgroundParams {
+                cell_size: 16,
+                ..Default::default()
+            },
+        );
         for &v in bg.data() {
             assert_eq!(v, 9.0);
         }

@@ -78,7 +78,12 @@ mod tests {
         Exposure {
             visit: 3,
             sensor: 1,
-            bbox: SkyBox { x0: 0, y0: 0, width: 32, height: 32 },
+            bbox: SkyBox {
+                x0: 0,
+                y0: 0,
+                width: 32,
+                height: 32,
+            },
             variance: NdArray::full(&[32, 32], 225.0),
             mask: NdArray::zeros(&[32, 32]),
             flux,
@@ -104,7 +109,10 @@ mod tests {
 
     #[test]
     fn aperture_scale_applies_to_flux_and_variance() {
-        let params = CalibParams { aperture_scale: 2.0, ..Default::default() };
+        let params = CalibParams {
+            aperture_scale: 2.0,
+            ..Default::default()
+        };
         let cal = calibrate_exposure(&raw_exposure(), &params);
         let base = calibrate_exposure(&raw_exposure(), &CalibParams::default());
         let p = [10usize, 10usize];

@@ -20,7 +20,10 @@ pub struct CoaddParams {
 
 impl Default for CoaddParams {
     fn default() -> Self {
-        CoaddParams { kappa: 3.0, iterations: 2 }
+        CoaddParams {
+            kappa: 3.0,
+            iterations: 2,
+        }
     }
 }
 
@@ -89,7 +92,12 @@ pub fn coadd_sigma_clip(exposures: &[Exposure], params: &CoaddParams) -> Coadd {
         depth.data_mut()[p] = samples.len() as u16;
     }
 
-    Coadd { bbox, flux, variance, depth }
+    Coadd {
+        bbox,
+        flux,
+        variance,
+        depth,
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +110,12 @@ mod tests {
         Exposure {
             visit,
             sensor: 0,
-            bbox: SkyBox { x0: 0, y0: 0, width: dims[1] as u64, height: dims[0] as u64 },
+            bbox: SkyBox {
+                x0: 0,
+                y0: 0,
+                width: dims[1] as u64,
+                height: dims[0] as u64,
+            },
             variance: NdArray::full(&dims, 4.0),
             mask: NdArray::zeros(&dims),
             flux,
@@ -112,7 +125,12 @@ mod tests {
     #[test]
     fn mean_of_identical_exposures() {
         let e = exposure(0, NdArray::full(&[4, 4], 10.0));
-        let stack: Vec<Exposure> = (0..6).map(|v| Exposure { visit: v, ..e.clone() }).collect();
+        let stack: Vec<Exposure> = (0..6)
+            .map(|v| Exposure {
+                visit: v,
+                ..e.clone()
+            })
+            .collect();
         let coadd = coadd_sigma_clip(&stack, &CoaddParams::default());
         for &v in coadd.flux.data() {
             assert!((v - 10.0).abs() < 1e-12);
@@ -128,7 +146,12 @@ mod tests {
     fn transient_outlier_rejected() {
         // 11 visits at 10, one at 10_000 (e.g. an uncaught cosmic ray/satellite).
         let mut stack: Vec<Exposure> = (0..11)
-            .map(|v| exposure(v, NdArray::from_fn(&[3, 3], |ix| 10.0 + 0.01 * (v as f64 + ix[0] as f64))))
+            .map(|v| {
+                exposure(
+                    v,
+                    NdArray::from_fn(&[3, 3], |ix| 10.0 + 0.01 * (v as f64 + ix[0] as f64)),
+                )
+            })
             .collect();
         stack.push(exposure(11, NdArray::full(&[3, 3], 10_000.0)));
         let coadd = coadd_sigma_clip(&stack, &CoaddParams::default());
@@ -155,7 +178,13 @@ mod tests {
         precise.variance = NdArray::full(&[1, 1], 1.0);
         let mut noisy = exposure(1, NdArray::full(&[1, 1], 10.0));
         noisy.variance = NdArray::full(&[1, 1], 9.0);
-        let coadd = coadd_sigma_clip(&[precise, noisy], &CoaddParams { kappa: 100.0, iterations: 0 });
+        let coadd = coadd_sigma_clip(
+            &[precise, noisy],
+            &CoaddParams {
+                kappa: 100.0,
+                iterations: 0,
+            },
+        );
         // Weighted mean = (0/1 + 10/9) / (1 + 1/9) = 1.0.
         assert!((coadd.flux[&[0, 0][..]] - 1.0).abs() < 1e-12);
     }
@@ -165,7 +194,12 @@ mod tests {
     fn mismatched_bboxes_panic() {
         let a = exposure(0, NdArray::full(&[2, 2], 1.0));
         let mut b = exposure(1, NdArray::full(&[2, 2], 1.0));
-        b.bbox = SkyBox { x0: 5, y0: 0, width: 2, height: 2 };
+        b.bbox = SkyBox {
+            x0: 5,
+            y0: 0,
+            width: 2,
+            height: 2,
+        };
         coadd_sigma_clip(&[a, b], &CoaddParams::default());
     }
 }

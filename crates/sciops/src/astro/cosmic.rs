@@ -26,7 +26,9 @@ impl Default for CosmicParams {
         // High enough that a PSF-shaped source (whose own shot noise raises
         // the local sigma) never trips the test, while single-pixel hits —
         // whose Laplacian is ~4× their full amplitude — exceed it hugely.
-        CosmicParams { threshold_sigma: 15.0 }
+        CosmicParams {
+            threshold_sigma: 15.0,
+        }
     }
 }
 
@@ -158,7 +160,13 @@ mod tests {
     #[test]
     fn higher_threshold_detects_less() {
         let (img, var) = flat_with_hit();
-        let strict = detect_cosmic_rays(&img, &var, &CosmicParams { threshold_sigma: 1e6 });
+        let strict = detect_cosmic_rays(
+            &img,
+            &var,
+            &CosmicParams {
+                threshold_sigma: 1e6,
+            },
+        );
         assert_eq!(strict.sum(), 0.0);
     }
 }

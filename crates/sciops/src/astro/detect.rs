@@ -22,7 +22,11 @@ pub struct DetectParams {
 
 impl Default for DetectParams {
     fn default() -> Self {
-        DetectParams { n_sigma: 5.0, min_pixels: 3, background: BackgroundParams::default() }
+        DetectParams {
+            n_sigma: 5.0,
+            min_pixels: 3,
+            background: BackgroundParams::default(),
+        }
     }
 }
 
@@ -198,7 +202,12 @@ mod tests {
             v
         });
         Coadd {
-            bbox: SkyBox { x0: 1000, y0: 2000, width: 48, height: 48 },
+            bbox: SkyBox {
+                x0: 1000,
+                y0: 2000,
+                width: 48,
+                height: 48,
+            },
             variance: NdArray::full(&[48, 48], 1.0),
             depth: NdArray::full(&[48, 48], 10),
             flux,
@@ -215,7 +224,10 @@ mod tests {
             let local = (s.centroid.0 - 1000.0, s.centroid.1 - 2000.0);
             let near_a = (local.0 - 12.0).abs() < 1.5 && (local.1 - 12.0).abs() < 1.5;
             let near_b = (local.0 - 30.0).abs() < 1.5 && (local.1 - 34.0).abs() < 1.5;
-            assert!(near_a || near_b, "centroid {local:?} matches no injected source");
+            assert!(
+                near_a || near_b,
+                "centroid {local:?} matches no injected source"
+            );
         }
     }
 
@@ -237,9 +249,21 @@ mod tests {
     fn min_pixels_filters_specks() {
         let mut coadd = coadd_with_sources(&[], 0.0);
         coadd.flux[&[5, 5][..]] = 10_000.0; // 1-pixel spike
-        let sources = detect_sources(&coadd, &DetectParams { min_pixels: 3, ..Default::default() });
+        let sources = detect_sources(
+            &coadd,
+            &DetectParams {
+                min_pixels: 3,
+                ..Default::default()
+            },
+        );
         assert!(sources.is_empty());
-        let loose = detect_sources(&coadd, &DetectParams { min_pixels: 1, ..Default::default() });
+        let loose = detect_sources(
+            &coadd,
+            &DetectParams {
+                min_pixels: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(loose.len(), 1);
     }
 
@@ -248,7 +272,10 @@ mod tests {
         let mut coadd = coadd_with_sources(&[(10, 10)], 300.0);
         let bright = coadd_with_sources(&[(35, 35)], 900.0);
         // Merge: add the bright source into the same image.
-        coadd.flux = coadd.flux.zip_with(&bright.flux, |a, b| a + b - 100.0).unwrap();
+        coadd.flux = coadd
+            .flux
+            .zip_with(&bright.flux, |a, b| a + b - 100.0)
+            .unwrap();
         let sources = detect_sources(&coadd, &DetectParams::default());
         assert_eq!(sources.len(), 2);
         assert!(sources[0].flux > sources[1].flux);

@@ -40,7 +40,12 @@ impl SkyBox {
         let x1 = self.x1().min(other.x1());
         let y1 = self.y1().min(other.y1());
         if x0 < x1 && y0 < y1 {
-            Some(SkyBox { x0, y0, width: (x1 - x0) as u64, height: (y1 - y0) as u64 })
+            Some(SkyBox {
+                x0,
+                y0,
+                width: (x1 - x0) as u64,
+                height: (y1 - y0) as u64,
+            })
         } else {
             None
         }
@@ -94,9 +99,18 @@ impl Exposure {
             visit: self.visit,
             sensor: self.sensor,
             bbox: inter,
-            flux: self.flux.subarray(&starts, &dims).expect("intersection inside exposure"),
-            variance: self.variance.subarray(&starts, &dims).expect("intersection inside exposure"),
-            mask: self.mask.subarray(&starts, &dims).expect("intersection inside exposure"),
+            flux: self
+                .flux
+                .subarray(&starts, &dims)
+                .expect("intersection inside exposure"),
+            variance: self
+                .variance
+                .subarray(&starts, &dims)
+                .expect("intersection inside exposure"),
+            mask: self
+                .mask
+                .subarray(&starts, &dims)
+                .expect("intersection inside exposure"),
         })
     }
 }
@@ -117,7 +131,10 @@ impl PatchGrid {
     /// Grid over `footprint` with patches of `patch_size` (w, h).
     pub fn new(footprint: SkyBox, patch_size: (u64, u64)) -> Self {
         assert!(patch_size.0 > 0 && patch_size.1 > 0);
-        PatchGrid { footprint, patch_size }
+        PatchGrid {
+            footprint,
+            patch_size,
+        }
     }
 
     /// Number of patch columns and rows.
@@ -134,9 +151,20 @@ impl PatchGrid {
         let (row, col) = id;
         let x0 = self.footprint.x0 + col as i64 * self.patch_size.0 as i64;
         let y0 = self.footprint.y0 + row as i64 * self.patch_size.1 as i64;
-        let width = self.patch_size.0.min((self.footprint.x1() - x0).max(0) as u64);
-        let height = self.patch_size.1.min((self.footprint.y1() - y0).max(0) as u64);
-        SkyBox { x0, y0, width, height }
+        let width = self
+            .patch_size
+            .0
+            .min((self.footprint.x1() - x0).max(0) as u64);
+        let height = self
+            .patch_size
+            .1
+            .min((self.footprint.y1() - y0).max(0) as u64);
+        SkyBox {
+            x0,
+            y0,
+            width,
+            height,
+        }
     }
 
     /// All patches overlapping `bbox` — the Step 2A flatmap fan-out.
@@ -179,8 +207,15 @@ mod tests {
         Exposure {
             visit: 0,
             sensor: 0,
-            bbox: SkyBox { x0, y0, width: w, height: h },
-            flux: NdArray::from_fn(&[h as usize, w as usize], |ix| (ix[0] * w as usize + ix[1]) as f64),
+            bbox: SkyBox {
+                x0,
+                y0,
+                width: w,
+                height: h,
+            },
+            flux: NdArray::from_fn(&[h as usize, w as usize], |ix| {
+                (ix[0] * w as usize + ix[1]) as f64
+            }),
             variance: NdArray::full(&[h as usize, w as usize], 1.0),
             mask: NdArray::zeros(&[h as usize, w as usize]),
         }
@@ -188,21 +223,54 @@ mod tests {
 
     #[test]
     fn skybox_intersection() {
-        let a = SkyBox { x0: 0, y0: 0, width: 10, height: 10 };
-        let b = SkyBox { x0: 5, y0: 5, width: 10, height: 10 };
+        let a = SkyBox {
+            x0: 0,
+            y0: 0,
+            width: 10,
+            height: 10,
+        };
+        let b = SkyBox {
+            x0: 5,
+            y0: 5,
+            width: 10,
+            height: 10,
+        };
         let i = a.intersect(&b).unwrap();
-        assert_eq!(i, SkyBox { x0: 5, y0: 5, width: 5, height: 5 });
-        let c = SkyBox { x0: 20, y0: 0, width: 5, height: 5 };
+        assert_eq!(
+            i,
+            SkyBox {
+                x0: 5,
+                y0: 5,
+                width: 5,
+                height: 5
+            }
+        );
+        let c = SkyBox {
+            x0: 20,
+            y0: 0,
+            width: 5,
+            height: 5,
+        };
         assert!(a.intersect(&c).is_none());
         // Touching edges do not intersect.
-        let d = SkyBox { x0: 10, y0: 0, width: 5, height: 5 };
+        let d = SkyBox {
+            x0: 10,
+            y0: 0,
+            width: 5,
+            height: 5,
+        };
         assert!(a.intersect(&d).is_none());
     }
 
     #[test]
     fn crop_preserves_pixel_values() {
         let e = exposure_at(100, 200, 10, 8);
-        let region = SkyBox { x0: 103, y0: 202, width: 4, height: 3 };
+        let region = SkyBox {
+            x0: 103,
+            y0: 202,
+            width: 4,
+            height: 3,
+        };
         let c = e.crop_to(&region).unwrap();
         assert_eq!(c.bbox, region);
         // Pixel at global (x=103, y=202) is local (row 2, col 3) in e.
@@ -212,28 +280,75 @@ mod tests {
 
     #[test]
     fn patch_grid_dims_and_clipping() {
-        let grid = PatchGrid::new(SkyBox { x0: 0, y0: 0, width: 25, height: 17 }, (10, 10));
+        let grid = PatchGrid::new(
+            SkyBox {
+                x0: 0,
+                y0: 0,
+                width: 25,
+                height: 17,
+            },
+            (10, 10),
+        );
         assert_eq!(grid.grid_dims(), (3, 2));
         assert_eq!(grid.patch_box((0, 0)).area(), 100);
-        assert_eq!(grid.patch_box((1, 2)), SkyBox { x0: 20, y0: 10, width: 5, height: 7 });
+        assert_eq!(
+            grid.patch_box((1, 2)),
+            SkyBox {
+                x0: 20,
+                y0: 10,
+                width: 5,
+                height: 7
+            }
+        );
     }
 
     #[test]
     fn fanout_is_between_1_and_6() {
         // Paper: each exposure maps to 1..=6 patches. A sensor smaller than
         // a patch straddling a corner touches 4; an elongated one up to 6.
-        let grid = PatchGrid::new(SkyBox { x0: 0, y0: 0, width: 300, height: 300 }, (100, 100));
-        let aligned = SkyBox { x0: 0, y0: 0, width: 100, height: 100 };
+        let grid = PatchGrid::new(
+            SkyBox {
+                x0: 0,
+                y0: 0,
+                width: 300,
+                height: 300,
+            },
+            (100, 100),
+        );
+        let aligned = SkyBox {
+            x0: 0,
+            y0: 0,
+            width: 100,
+            height: 100,
+        };
         assert_eq!(grid.overlapping_patches(&aligned).len(), 1);
-        let corner = SkyBox { x0: 50, y0: 50, width: 100, height: 100 };
+        let corner = SkyBox {
+            x0: 50,
+            y0: 50,
+            width: 100,
+            height: 100,
+        };
         assert_eq!(grid.overlapping_patches(&corner).len(), 4);
-        let elongated = SkyBox { x0: 50, y0: 50, width: 200, height: 100 };
+        let elongated = SkyBox {
+            x0: 50,
+            y0: 50,
+            width: 200,
+            height: 100,
+        };
         assert_eq!(grid.overlapping_patches(&elongated).len(), 6);
     }
 
     #[test]
     fn map_to_patches_covers_every_pixel_once() {
-        let grid = PatchGrid::new(SkyBox { x0: 0, y0: 0, width: 30, height: 30 }, (10, 10));
+        let grid = PatchGrid::new(
+            SkyBox {
+                x0: 0,
+                y0: 0,
+                width: 30,
+                height: 30,
+            },
+            (10, 10),
+        );
         let e = exposure_at(5, 5, 20, 20);
         let parts = grid.map_to_patches(&e);
         let total: u64 = parts.iter().map(|(_, p)| p.bbox.area()).sum();
@@ -243,7 +358,15 @@ mod tests {
 
     #[test]
     fn out_of_footprint_exposure_maps_nowhere() {
-        let grid = PatchGrid::new(SkyBox { x0: 0, y0: 0, width: 30, height: 30 }, (10, 10));
+        let grid = PatchGrid::new(
+            SkyBox {
+                x0: 0,
+                y0: 0,
+                width: 30,
+                height: 30,
+            },
+            (10, 10),
+        );
         let e = exposure_at(100, 100, 10, 10);
         assert!(grid.map_to_patches(&e).is_empty());
     }

@@ -42,7 +42,10 @@ pub fn create_patches(
 /// Within one visit, merge all the pieces covering the same patch into one
 /// exposure spanning the whole patch ("creates a new exposure object for
 /// each patch in each visit"). Pixels with no data carry a non-zero mask.
-pub fn merge_visit_pieces(patch_box: &crate::astro::geometry::SkyBox, pieces: &[Exposure]) -> Exposure {
+pub fn merge_visit_pieces(
+    patch_box: &crate::astro::geometry::SkyBox,
+    pieces: &[Exposure],
+) -> Exposure {
     use marray::NdArray;
     let rows = patch_box.height as usize;
     let cols = patch_box.width as usize;
@@ -53,9 +56,13 @@ pub fn merge_visit_pieces(patch_box: &crate::astro::geometry::SkyBox, pieces: &[
     for piece in pieces {
         let r0 = (piece.bbox.y0 - patch_box.y0) as usize;
         let c0 = (piece.bbox.x0 - patch_box.x0) as usize;
-        flux.write_subarray(&[r0, c0], &piece.flux).expect("piece inside patch");
-        variance.write_subarray(&[r0, c0], &piece.variance).expect("piece inside patch");
-        mask.write_subarray(&[r0, c0], &piece.mask).expect("piece inside patch");
+        flux.write_subarray(&[r0, c0], &piece.flux)
+            .expect("piece inside patch");
+        variance
+            .write_subarray(&[r0, c0], &piece.variance)
+            .expect("piece inside patch");
+        mask.write_subarray(&[r0, c0], &piece.mask)
+            .expect("piece inside patch");
     }
     Exposure {
         visit: pieces.first().map(|p| p.visit).unwrap_or(0),
@@ -164,18 +171,31 @@ mod tests {
             .filter(|&d| d > 0.0)
             .collect();
         let med = crate::stats::median(&mut depths);
-        assert!(med >= n_visits - 1.5, "median depth {med} for {n_visits} visits");
+        assert!(
+            med >= n_visits - 1.5,
+            "median depth {med} for {n_visits} visits"
+        );
     }
 
     #[test]
     fn merge_visit_pieces_masks_gaps() {
         use crate::astro::geometry::SkyBox;
         use marray::NdArray;
-        let patch_box = SkyBox { x0: 0, y0: 0, width: 10, height: 10 };
+        let patch_box = SkyBox {
+            x0: 0,
+            y0: 0,
+            width: 10,
+            height: 10,
+        };
         let piece = Exposure {
             visit: 2,
             sensor: 0,
-            bbox: SkyBox { x0: 0, y0: 0, width: 5, height: 10 },
+            bbox: SkyBox {
+                x0: 0,
+                y0: 0,
+                width: 5,
+                height: 10,
+            },
             flux: NdArray::full(&[10, 5], 7.0),
             variance: NdArray::full(&[10, 5], 1.0),
             mask: NdArray::zeros(&[10, 5]),

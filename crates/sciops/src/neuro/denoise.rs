@@ -25,7 +25,12 @@ pub struct NlmParams {
 
 impl Default for NlmParams {
     fn default() -> Self {
-        NlmParams { search_radius: 2, patch_radius: 1, sigma: 1.0, h_factor: 1.0 }
+        NlmParams {
+            search_radius: 2,
+            patch_radius: 1,
+            sigma: 1.0,
+            h_factor: 1.0,
+        }
     }
 }
 
@@ -53,7 +58,9 @@ fn patch_distance(
                 let by = b[1] as isize + dy;
                 let bz = b[2] as isize + dz;
                 let inside = |x: isize, y: isize, z: isize| {
-                    x >= 0 && y >= 0 && z >= 0
+                    x >= 0
+                        && y >= 0
+                        && z >= 0
                         && (x as usize) < dims[0]
                         && (y as usize) < dims[1]
                         && (z as usize) < dims[2]
@@ -132,7 +139,9 @@ mod tests {
     fn noisy_constant(seed: u64, level: f64, noise: f64) -> NdArray<f64> {
         let mut state = seed;
         NdArray::from_fn(&[6, 6, 6], |_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             level + noise * u
         })
@@ -141,7 +150,10 @@ mod tests {
     #[test]
     fn reduces_noise_on_constant_region() {
         let v = noisy_constant(7, 100.0, 5.0);
-        let params = NlmParams { sigma: 5.0, ..Default::default() };
+        let params = NlmParams {
+            sigma: 5.0,
+            ..Default::default()
+        };
         let d = nlmeans3d(&v, None, &params);
         let noise_before = v.map(|x| x - 100.0).std();
         let noise_after = d.map(|x| x - 100.0).std();
@@ -155,7 +167,10 @@ mod tests {
     fn preserves_strong_edges() {
         // Two constant halves with a large step; NLM should keep the step.
         let v = NdArray::from_fn(&[6, 6, 6], |ix| if ix[0] < 3 { 0.0 } else { 1000.0 });
-        let params = NlmParams { sigma: 1.0, ..Default::default() };
+        let params = NlmParams {
+            sigma: 1.0,
+            ..Default::default()
+        };
         let d = nlmeans3d(&v, None, &params);
         assert!(d[&[0, 3, 3][..]] < 1.0);
         assert!(d[&[5, 3, 3][..]] > 999.0);
@@ -164,12 +179,11 @@ mod tests {
     #[test]
     fn masked_voxels_pass_through() {
         let v = noisy_constant(13, 50.0, 5.0);
-        let mask = Mask::from_vec(
-            v.dims(),
-            (0..v.len()).map(|i| i % 2 == 0).collect(),
-        )
-        .unwrap();
-        let params = NlmParams { sigma: 5.0, ..Default::default() };
+        let mask = Mask::from_vec(v.dims(), (0..v.len()).map(|i| i % 2 == 0).collect()).unwrap();
+        let params = NlmParams {
+            sigma: 5.0,
+            ..Default::default()
+        };
         let d = nlmeans3d(&v, Some(&mask), &params);
         for i in 0..v.len() {
             if !mask.get_flat(i) {
@@ -182,7 +196,10 @@ mod tests {
     fn masked_result_matches_unmasked_on_selected_voxels() {
         let v = noisy_constant(29, 10.0, 2.0);
         let full_mask = Mask::from_vec(v.dims(), vec![true; v.len()]).unwrap();
-        let params = NlmParams { sigma: 2.0, ..Default::default() };
+        let params = NlmParams {
+            sigma: 2.0,
+            ..Default::default()
+        };
         let a = nlmeans3d(&v, None, &params);
         let b = nlmeans3d(&v, Some(&full_mask), &params);
         assert_eq!(a, b);

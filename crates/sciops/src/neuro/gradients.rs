@@ -29,8 +29,11 @@ impl GradientTable {
 
     /// The `b0s_mask` of the reference code: true for b=0 volumes.
     pub fn b0s_mask(&self) -> Mask {
-        Mask::from_vec(&[self.len()], self.bvals.iter().map(|&b| b == 0.0).collect())
-            .expect("mask length matches")
+        Mask::from_vec(
+            &[self.len()],
+            self.bvals.iter().map(|&b| b == 0.0).collect(),
+        )
+        .expect("mask length matches")
     }
 
     /// Indices of the b=0 volumes.
@@ -52,7 +55,11 @@ impl GradientTable {
         let n_weighted = total - n_b0;
         // Interleave b0 volumes roughly evenly through the acquisition, as
         // real protocols do (first volume is always b0 when n_b0 > 0).
-        let b0_stride = if n_b0 == 0 { usize::MAX } else { total.div_ceil(n_b0) };
+        let b0_stride = if n_b0 == 0 {
+            usize::MAX
+        } else {
+            total.div_ceil(n_b0)
+        };
         let golden = std::f64::consts::PI * (3.0 - 5.0f64.sqrt());
         let mut placed_b0 = 0;
         let mut placed_w = 0;
@@ -66,7 +73,11 @@ impl GradientTable {
                 bvals.push(b);
                 // Golden-spiral point k of n_weighted on the unit sphere.
                 let k = placed_w as f64;
-                let z = if n_weighted > 1 { 1.0 - 2.0 * k / (n_weighted as f64 - 1.0) } else { 0.0 };
+                let z = if n_weighted > 1 {
+                    1.0 - 2.0 * k / (n_weighted as f64 - 1.0)
+                } else {
+                    0.0
+                };
                 let r = (1.0 - z * z).max(0.0).sqrt();
                 let theta = golden * k;
                 bvecs.push([r * theta.cos(), r * theta.sin(), z]);
@@ -114,7 +125,9 @@ mod tests {
             .collect();
         for i in 0..dirs.len() {
             for j in i + 1..dirs.len() {
-                let d = (0..3).map(|k| (dirs[i][k] - dirs[j][k]).powi(2)).sum::<f64>();
+                let d = (0..3)
+                    .map(|k| (dirs[i][k] - dirs[j][k]).powi(2))
+                    .sum::<f64>();
                 assert!(d > 1e-6, "directions {i} and {j} coincide");
             }
         }

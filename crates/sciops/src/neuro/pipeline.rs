@@ -25,7 +25,9 @@ pub struct NeuroOutput {
 
 /// Step 1N in isolation: filter to b0 volumes, average, build the mask.
 pub fn segmentation(data: &NdArray<f64>, gtab: &GradientTable) -> (NdArray<f64>, Mask) {
-    let b0 = data.compress_axis(&gtab.b0s_mask(), 3).expect("b0 mask matches volume axis");
+    let b0 = data
+        .compress_axis(&gtab.b0s_mask(), 3)
+        .expect("b0 mask matches volume axis");
     let mean_b0 = b0.mean_axis(3);
     let mask = median_otsu(&mean_b0, 1);
     (mean_b0, mask)
@@ -59,7 +61,12 @@ pub fn reference_pipeline(
     let (mean_b0, mask) = segmentation(data, gtab);
     let denoised = denoise_all(data, &mask, nlm);
     let fa = fit_dtm_volume(&denoised, &mask, gtab);
-    NeuroOutput { mask, mean_b0, denoised, fa }
+    NeuroOutput {
+        mask,
+        mean_b0,
+        denoised,
+        fa,
+    }
 }
 
 #[cfg(test)]
@@ -76,7 +83,12 @@ mod tests {
     #[test]
     fn pipeline_produces_brain_fa() {
         let (data, gtab) = tiny_subject();
-        let nlm = NlmParams { search_radius: 1, patch_radius: 1, sigma: 20.0, h_factor: 1.0 };
+        let nlm = NlmParams {
+            search_radius: 1,
+            patch_radius: 1,
+            sigma: 20.0,
+            h_factor: 1.0,
+        };
         let out = reference_pipeline(&data, &gtab, &nlm);
         // Mask selects a substantial brain region (phantom brain ≈ half).
         let frac = out.mask.fill_fraction();
@@ -113,7 +125,12 @@ mod tests {
     fn denoise_preserves_shape_and_background() {
         let (data, gtab) = tiny_subject();
         let (_, mask) = segmentation(&data, &gtab);
-        let nlm = NlmParams { search_radius: 1, patch_radius: 1, sigma: 20.0, h_factor: 1.0 };
+        let nlm = NlmParams {
+            search_radius: 1,
+            patch_radius: 1,
+            sigma: 20.0,
+            h_factor: 1.0,
+        };
         let den = denoise_all(&data, &mask, &nlm);
         assert_eq!(den.dims(), data.dims());
         // Background voxels pass through unchanged in every volume.
@@ -121,7 +138,10 @@ mod tests {
         for voxel in 0..mask.len() {
             if !mask.get_flat(voxel) {
                 for v in 0..n_vols {
-                    assert_eq!(den.data()[voxel * n_vols + v], data.data()[voxel * n_vols + v]);
+                    assert_eq!(
+                        den.data()[voxel * n_vols + v],
+                        data.data()[voxel * n_vols + v]
+                    );
                 }
             }
         }

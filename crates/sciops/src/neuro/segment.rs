@@ -24,7 +24,11 @@ pub fn otsu_threshold(values: &NdArray<f64>, bins: usize) -> f64 {
     let bin_width = (hi - lo) / bins as f64;
     let bin_center = |i: usize| lo + (i as f64 + 0.5) * bin_width;
 
-    let sum_all: f64 = counts.iter().enumerate().map(|(i, &c)| bin_center(i) * c as f64).sum();
+    let sum_all: f64 = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| bin_center(i) * c as f64)
+        .sum();
     let mut w_bg = 0.0f64; // background weight
     let mut sum_bg = 0.0f64;
     let mut best_var = -1.0;
@@ -53,7 +57,11 @@ pub fn otsu_threshold(values: &NdArray<f64>, bins: usize) -> f64 {
 /// 3-D median filter with a cubic window of the given radius
 /// (radius 1 = 3×3×3), clamped at the borders.
 pub fn median_filter3d(volume: &NdArray<f64>, radius: usize) -> NdArray<f64> {
-    assert_eq!(volume.shape().rank(), 3, "median_filter3d expects a 3-D volume");
+    assert_eq!(
+        volume.shape().rank(),
+        3,
+        "median_filter3d expects a 3-D volume"
+    );
     let dims = volume.dims().to_vec();
     let data = volume.data();
     let mut out = NdArray::zeros(&dims);
@@ -127,7 +135,11 @@ fn label_components(mask: &Mask, dims: &[usize; 3]) -> (Vec<u32>, u32) {
 /// 6-connected component. Input is the mean-b0 volume; output is the brain
 /// mask used by Steps 2N and 3N.
 pub fn median_otsu(mean_b0: &NdArray<f64>, median_radius: usize) -> Mask {
-    assert_eq!(mean_b0.shape().rank(), 3, "median_otsu expects a 3-D volume");
+    assert_eq!(
+        mean_b0.shape().rank(),
+        3,
+        "median_otsu expects a 3-D volume"
+    );
     let smoothed = median_filter3d(mean_b0, median_radius);
     let threshold = otsu_threshold(&smoothed, 256);
     let raw = Mask::threshold(&smoothed, threshold);
@@ -148,8 +160,11 @@ pub fn median_otsu(mean_b0: &NdArray<f64>, median_radius: usize) -> Mask {
         .max_by_key(|(_, &s)| s)
         .map(|(l, _)| l as u32)
         .unwrap_or(0);
-    Mask::from_vec(mean_b0.dims(), labels.iter().map(|&l| l == largest).collect())
-        .expect("dims/len agree")
+    Mask::from_vec(
+        mean_b0.dims(),
+        labels.iter().map(|&l| l == largest).collect(),
+    )
+    .expect("dims/len agree")
 }
 
 #[cfg(test)]
@@ -178,7 +193,11 @@ mod tests {
         // above the background mode).
         assert!(t > 5.7 && t < 100.0, "threshold {t} should split the modes");
         let dark = v.data().iter().filter(|&&x| x <= t).count();
-        assert_eq!(dark, 8 * 8 * 8 - 4 * 4 * 4, "all background below threshold");
+        assert_eq!(
+            dark,
+            8 * 8 * 8 - 4 * 4 * 4,
+            "all background below threshold"
+        );
     }
 
     #[test]
@@ -227,7 +246,10 @@ mod tests {
         });
         let mask = median_otsu(&v, 0); // radius 0 = no smoothing
         assert!(mask.bits()[v.shape().offset(&[3, 3, 3])]);
-        assert!(!mask.bits()[v.shape().offset(&[8, 8, 8])], "small component rejected");
+        assert!(
+            !mask.bits()[v.shape().offset(&[8, 8, 8])],
+            "small component rejected"
+        );
     }
 
     #[test]

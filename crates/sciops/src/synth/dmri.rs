@@ -177,7 +177,11 @@ impl DmriPhantom {
             }
         }
         let data = NdArray::from_vec(&[nx, ny, nz, nv], data).expect("buffer sized to dims");
-        DmriPhantom { data, gtab, spec: spec.clone() }
+        DmriPhantom {
+            data,
+            gtab,
+            spec: spec.clone(),
+        }
     }
 
     /// Fraction of voxels inside the phantom brain (mask ground truth).
@@ -247,7 +251,10 @@ mod tests {
         let center = [6usize, 6, 5];
         let s_b0 = data[&[center[0], center[1], center[2], b0_ix][..]];
         let s_w = data[&[center[0], center[1], center[2], w_ix][..]];
-        assert!(s_w < s_b0, "weighted {s_w} should be attenuated vs b0 {s_b0}");
+        assert!(
+            s_w < s_b0,
+            "weighted {s_w} should be attenuated vs b0 {s_b0}"
+        );
     }
 
     #[test]

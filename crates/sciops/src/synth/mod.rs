@@ -25,7 +25,10 @@ pub struct Randn {
 impl Randn {
     /// Seeded sampler.
     pub fn new(seed: u64) -> Self {
-        Randn { state: seed.wrapping_add(0x9E3779B97F4A7C15), spare: None }
+        Randn {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+            spare: None,
+        }
     }
 
     /// Next uniform in `[0, 1)`.

@@ -170,7 +170,11 @@ impl SkySurvey {
             }
             visits.push(exposures);
         }
-        SkySurvey { spec: spec.clone(), sources, visits }
+        SkySurvey {
+            spec: spec.clone(),
+            sources,
+            visits,
+        }
     }
 
     fn render_sensor(
@@ -334,7 +338,10 @@ mod tests {
         assert_eq!(spec.sensors_per_visit(), 60);
         let pixels = spec.sensors_per_visit() * spec.sensor_width * spec.sensor_height;
         let one_plane_gb = (pixels * 4) as f64 / 1e9;
-        assert!((3.5..=4.8).contains(&one_plane_gb), "visit size {one_plane_gb} GB");
+        assert!(
+            (3.5..=4.8).contains(&one_plane_gb),
+            "visit size {one_plane_gb} GB"
+        );
     }
 
     #[test]

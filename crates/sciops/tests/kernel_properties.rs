@@ -148,7 +148,11 @@ fn detected_fluxes_track_injected_fluxes() {
     use sciops::synth::sky::{SkySpec, SkySurvey};
 
     // A sparse field so sources stay isolated.
-    let spec = SkySpec { n_sources: 14, n_visits: 8, ..SkySpec::test_scale() };
+    let spec = SkySpec {
+        n_sources: 14,
+        n_visits: 8,
+        ..SkySpec::test_scale()
+    };
     let survey = SkySurvey::generate(35, &spec);
     let grid = survey.patch_grid();
     let out = sciops::astro::pipeline::reference_pipeline(
@@ -187,7 +191,12 @@ fn detected_fluxes_track_injected_fluxes() {
             }
         }
     }
-    assert!(matched.len() >= 3, "matched {} of {} sources", matched.len(), survey.sources.len());
+    assert!(
+        matched.len() >= 3,
+        "matched {} of {} sources",
+        matched.len(),
+        survey.sources.len()
+    );
     for a in &matched {
         for b in &matched {
             if a.0 > 2.0 * b.0 {
@@ -219,7 +228,7 @@ fn full_resolution_phantom_slab_has_paper_structure() {
     let frac = DmriPhantom::brain_fraction(&spec);
     assert!((0.3..0.5).contains(&frac), "brain fraction {frac}");
     // The b0 volume's center is bright, corners dark, at full resolution.
-    let b0: marray::NdArray<f64> = p.data.cast::<f64>().slice_axis(3, 0).unwrap();
+    let b0: NdArray<f64> = p.data.cast::<f64>().slice_axis(3, 0).unwrap();
     assert!(b0[&[72, 72, 87][..]] > 500.0);
     assert!(b0[&[2, 2, 2][..]] < 200.0);
 }

@@ -76,13 +76,31 @@ impl TaskSpec {
     }
 
     /// Set the output size.
+    ///
+    /// An output must fit in the task's resident memory: a spec declaring
+    /// `output_bytes > mem_bytes` (with both set) describes a task that
+    /// emits data it never held, which silently corrupts the memory
+    /// analysis downstream. Debug builds reject it here.
     pub fn output(mut self, bytes: u64) -> Self {
+        debug_assert!(
+            self.mem_bytes == 0 || bytes <= self.mem_bytes,
+            "task {:?}: output ({bytes} B) exceeds declared resident memory ({} B)",
+            self.label,
+            self.mem_bytes
+        );
         self.output_bytes = bytes;
         self
     }
 
-    /// Set the resident memory footprint.
+    /// Set the resident memory footprint (see [`TaskSpec::output`] for the
+    /// output ≤ memory invariant enforced in debug builds).
     pub fn mem(mut self, bytes: u64) -> Self {
+        debug_assert!(
+            self.output_bytes == 0 || self.output_bytes <= bytes,
+            "task {:?}: declared resident memory ({bytes} B) below output size ({} B)",
+            self.label,
+            self.output_bytes
+        );
         self.mem_bytes = bytes;
         self
     }
@@ -97,6 +115,21 @@ impl TaskSpec {
     pub fn after(mut self, deps: &[TaskId]) -> Self {
         self.deps.extend_from_slice(deps);
         self
+    }
+}
+
+/// A structural violation found by [`TaskGraph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphViolation {
+    /// The offending task.
+    pub task: TaskId,
+    /// What is wrong with it, in words.
+    pub reason: String,
+}
+
+impl std::fmt::Display for GraphViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {}: {}", self.task, self.reason)
     }
 }
 
@@ -120,8 +153,106 @@ impl TaskGraph {
         for &d in &task.deps {
             assert!(d < id, "dependency {d} of task {id} does not exist yet");
         }
+        debug_assert!(
+            !task.is_barrier || Self::barrier_is_data_free(&task),
+            "barrier {:?} must not carry data (barriers synchronize; they do not move bytes)",
+            task.label
+        );
         self.tasks.push(task);
         id
+    }
+
+    /// Build a graph directly from a task list, bypassing the `add`-time
+    /// ordering assertions. The result may be arbitrarily broken — forward
+    /// dependencies, cycles, data-bearing barriers; [`TaskGraph::validate`]
+    /// (or `simulate_checked`) is the gate. Exists so analysis tooling and
+    /// tests can construct deliberately malformed graphs.
+    pub fn from_tasks_unchecked(tasks: Vec<TaskSpec>) -> TaskGraph {
+        TaskGraph { tasks }
+    }
+
+    fn barrier_is_data_free(t: &TaskSpec) -> bool {
+        t.s3_bytes == 0
+            && t.disk_read_bytes == 0
+            && t.disk_write_bytes == 0
+            && t.output_bytes == 0
+            && t.mem_bytes == 0
+    }
+
+    /// Cheap structural validation: every dependency exists, no task
+    /// depends on itself, the dependency relation is acyclic, and barriers
+    /// carry no data. Graphs built through [`TaskGraph::add`] satisfy the
+    /// first three by construction; graphs from
+    /// [`TaskGraph::from_tasks_unchecked`] may not. Semantic checking
+    /// (byte conservation, memory budgets, placement) lives in the
+    /// `plancheck` crate.
+    pub fn validate(&self) -> Result<(), GraphViolation> {
+        let n = self.tasks.len();
+        for (id, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                if d >= n {
+                    return Err(GraphViolation {
+                        task: id,
+                        reason: format!(
+                            "depends on task {d}, which does not exist (graph has {n} tasks)"
+                        ),
+                    });
+                }
+                if d == id {
+                    return Err(GraphViolation {
+                        task: id,
+                        reason: "depends on itself".into(),
+                    });
+                }
+            }
+            if t.is_barrier && !Self::barrier_is_data_free(t) {
+                return Err(GraphViolation {
+                    task: id,
+                    reason: format!(
+                        "barrier {:?} carries data; barriers must be byte-free",
+                        t.label
+                    ),
+                });
+            }
+        }
+        // Kahn's algorithm over the (now known-in-range) edges; anything
+        // left unprocessed sits on a cycle.
+        let mut indegree: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut consumers: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (id, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                consumers[d].push(id);
+            }
+        }
+        let mut ready: Vec<TaskId> = indegree
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut processed = 0usize;
+        while let Some(u) = ready.pop() {
+            processed += 1;
+            for &c in &consumers[u] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        if processed < n {
+            let on_cycle = indegree
+                .iter()
+                .enumerate()
+                .find(|&(_, &d)| d > 0)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            return Err(GraphViolation {
+                task: on_cycle,
+                reason: "sits on a dependency cycle (no topological order exists)".into(),
+            });
+        }
+        Ok(())
     }
 
     /// Add a zero-cost synchronization task depending on all of `deps` —
@@ -171,10 +302,63 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let t = TaskSpec::compute("x", 2.0).s3(100).output(50).mem(10).on_node(3).after(&[]);
+        let t = TaskSpec::compute("x", 2.0)
+            .s3(100)
+            .output(50)
+            .mem(80)
+            .on_node(3)
+            .after(&[]);
         assert_eq!(t.compute, 2.0);
         assert_eq!(t.s3_bytes, 100);
         assert_eq!(t.placement, Placement::Node(3));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "below output size"))]
+    fn output_larger_than_mem_is_rejected_in_debug() {
+        let t = TaskSpec::compute("x", 1.0).output(50).mem(10);
+        // Release builds keep the (inconsistent) spec; debug builds panic
+        // in `mem` above.
+        assert_eq!(t.output_bytes, 50);
+    }
+
+    #[test]
+    fn validate_accepts_built_graphs() {
+        let mut g = TaskGraph::new();
+        let a = g.add(TaskSpec::compute("a", 1.0));
+        let b = g.add(TaskSpec::compute("b", 1.0).after(&[a]));
+        g.barrier("sync", &[a, b]);
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_finds_cycles_and_missing_deps() {
+        let cyc = TaskGraph::from_tasks_unchecked(vec![
+            TaskSpec::compute("a", 1.0).after(&[1]),
+            TaskSpec::compute("b", 1.0).after(&[0]),
+        ]);
+        let v = cyc.validate().unwrap_err();
+        assert!(v.reason.contains("cycle"), "{v}");
+
+        let dangling =
+            TaskGraph::from_tasks_unchecked(vec![TaskSpec::compute("a", 1.0).after(&[7])]);
+        let v = dangling.validate().unwrap_err();
+        assert!(v.reason.contains("does not exist"), "{v}");
+
+        let selfdep =
+            TaskGraph::from_tasks_unchecked(vec![TaskSpec::compute("a", 1.0).after(&[0])]);
+        let v = selfdep.validate().unwrap_err();
+        assert!(v.reason.contains("itself"), "{v}");
+    }
+
+    #[test]
+    fn validate_rejects_data_bearing_barriers() {
+        let mut bar = TaskSpec::compute("sync", 0.0);
+        bar.is_barrier = true;
+        bar.output_bytes = 10;
+        let g = TaskGraph::from_tasks_unchecked(vec![bar]);
+        let v = g.validate().unwrap_err();
+        assert!(v.reason.contains("byte-free"), "{v}");
     }
 
     #[test]

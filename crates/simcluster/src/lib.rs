@@ -44,8 +44,8 @@ mod sched;
 mod sim;
 mod spec;
 
-pub use graph::{Placement, TaskGraph, TaskId, TaskSpec};
+pub use graph::{GraphViolation, Placement, TaskGraph, TaskId, TaskSpec};
 pub use report::{SimError, SimReport, TaskTiming};
 pub use sched::SchedPolicy;
-pub use sim::simulate;
+pub use sim::{simulate, simulate_checked};
 pub use spec::{ClusterSpec, NodeSpec};

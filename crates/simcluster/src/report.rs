@@ -28,6 +28,14 @@ pub enum SimError {
         /// The node's capacity.
         capacity_bytes: u64,
     },
+    /// The graph failed structural validation
+    /// ([`crate::TaskGraph::validate`]) before simulation started.
+    InvalidGraph {
+        /// The offending task.
+        task: usize,
+        /// The violation, in words.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -37,6 +45,9 @@ impl std::fmt::Display for SimError {
                 f,
                 "out of memory on node {node} at t={time:.1}s: {demand_bytes} bytes demanded, {capacity_bytes} available"
             ),
+            SimError::InvalidGraph { task, reason } => {
+                write!(f, "invalid task graph: task {task}: {reason}")
+            }
         }
     }
 }
@@ -94,7 +105,9 @@ impl SimReport {
     /// schedule's phase structure without a full Gantt chart.
     pub fn timeline(&self) -> String {
         use std::collections::BTreeMap;
-        let mut spans: BTreeMap<&'static str, (f64, f64, f64, usize)> = BTreeMap::new();
+        // (first start, last finish, total busy, task count) per label.
+        type Span = (f64, f64, f64, usize);
+        let mut spans: BTreeMap<&'static str, Span> = BTreeMap::new();
         for t in &self.timings {
             let e = spans.entry(t.label).or_insert((f64::INFINITY, 0.0, 0.0, 0));
             e.0 = e.0.min(t.start);
@@ -102,7 +115,7 @@ impl SimReport {
             e.2 += t.finish - t.start;
             e.3 += 1;
         }
-        let mut rows: Vec<(&'static str, (f64, f64, f64, usize))> = spans.into_iter().collect();
+        let mut rows: Vec<(&'static str, Span)> = spans.into_iter().collect();
         rows.sort_by(|a, b| a.1 .0.total_cmp(&b.1 .0));
         let mut out = String::new();
         for (label, (first, last, busy, n)) in rows {
@@ -129,8 +142,18 @@ mod tests {
             bytes_on_disk: 0,
             tasks_stolen: 0,
             timings: vec![
-                TaskTiming { label: "late", node: 0, start: 5.0, finish: 10.0 },
-                TaskTiming { label: "early", node: 0, start: 0.0, finish: 5.0 },
+                TaskTiming {
+                    label: "late",
+                    node: 0,
+                    start: 5.0,
+                    finish: 10.0,
+                },
+                TaskTiming {
+                    label: "early",
+                    node: 0,
+                    start: 0.0,
+                    finish: 5.0,
+                },
             ],
         };
         let tl = report.timeline();

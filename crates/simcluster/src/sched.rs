@@ -39,7 +39,9 @@ impl SchedPolicy {
     pub fn per_task_overhead(&self) -> f64 {
         match *self {
             SchedPolicy::LocalityFifo { per_task_overhead }
-            | SchedPolicy::WorkStealing { per_task_overhead, .. }
+            | SchedPolicy::WorkStealing {
+                per_task_overhead, ..
+            }
             | SchedPolicy::Static { per_task_overhead } => per_task_overhead,
         }
     }
@@ -64,9 +66,18 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let p = SchedPolicy::WorkStealing { per_task_overhead: 0.01, steal_cost: 0.2 };
+        let p = SchedPolicy::WorkStealing {
+            per_task_overhead: 0.01,
+            steal_cost: 0.2,
+        };
         assert_eq!(p.per_task_overhead(), 0.01);
         assert_eq!(p.steal_cost(), 0.2);
-        assert_eq!(SchedPolicy::LocalityFifo { per_task_overhead: 0.5 }.steal_cost(), 0.0);
+        assert_eq!(
+            SchedPolicy::LocalityFifo {
+                per_task_overhead: 0.5
+            }
+            .steal_cost(),
+            0.0
+        );
     }
 }

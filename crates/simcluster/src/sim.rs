@@ -43,6 +43,24 @@ impl Ord for ReadyKey {
     }
 }
 
+/// [`simulate`], preceded by [`TaskGraph::validate`]: a structurally
+/// invalid graph (cycle, dangling dependency, data-bearing barrier) is
+/// reported as [`SimError::InvalidGraph`] instead of debug-panicking.
+/// This is the entry point for graphs built from untrusted input, e.g.
+/// via [`TaskGraph::from_tasks_unchecked`].
+pub fn simulate_checked(
+    graph: &TaskGraph,
+    cluster: &ClusterSpec,
+    policy: SchedPolicy,
+    fail_if_over_memory: bool,
+) -> Result<SimReport, SimError> {
+    graph.validate().map_err(|v| SimError::InvalidGraph {
+        task: v.task,
+        reason: v.reason,
+    })?;
+    simulate(graph, cluster, policy, fail_if_over_memory)
+}
+
 /// Execute `graph` on `cluster` under `policy`.
 ///
 /// With `fail_if_over_memory`, the run aborts with
@@ -56,11 +74,20 @@ pub fn simulate(
     policy: SchedPolicy,
     fail_if_over_memory: bool,
 ) -> Result<SimReport, SimError> {
+    #[cfg(debug_assertions)]
+    if let Err(v) = graph.validate() {
+        panic!("structurally invalid task graph handed to simulate(): {v}");
+    }
     let tasks = graph.tasks();
     let n_tasks = tasks.len();
     let slots = cluster.node.worker_slots.max(1);
     let mut workers: Vec<Worker> = (0..cluster.nodes * slots)
-        .map(|_| Worker { free_at: 0.0, cur_mem: 0, cur_finish: 0.0, cur_s3: false })
+        .map(|_| Worker {
+            free_at: 0.0,
+            cur_mem: 0,
+            cur_finish: 0.0,
+            cur_s3: false,
+        })
         .collect();
 
     let mut remaining: Vec<usize> = tasks.iter().map(|t| t.deps.len()).collect();
@@ -80,7 +107,15 @@ pub fn simulate(
         }
     }
 
-    let mut timings = vec![TaskTiming { label: "", node: 0, start: 0.0, finish: 0.0 }; n_tasks];
+    let mut timings = vec![
+        TaskTiming {
+            label: "",
+            node: 0,
+            start: 0.0,
+            finish: 0.0
+        };
+        n_tasks
+    ];
     let mut node_busy = vec![0.0f64; cluster.nodes];
     let mut bytes_net = 0u64;
     let mut bytes_disk = 0u64;
@@ -98,8 +133,12 @@ pub fn simulate(
         if task.is_barrier {
             finish[tid] = ready_time;
             location[tid] = None;
-            timings[tid] =
-                TaskTiming { label: task.label, node: 0, start: ready_time, finish: ready_time };
+            timings[tid] = TaskTiming {
+                label: task.label,
+                node: 0,
+                start: ready_time,
+                finish: ready_time,
+            };
             scheduled += 1;
             for &j in &dependents[tid] {
                 remaining[j] -= 1;
@@ -263,7 +302,12 @@ pub fn simulate(
         finish[tid] = est_finish;
         location[tid] = Some(node);
         node_busy[node] += est_finish - start;
-        timings[tid] = TaskTiming { label: task.label, node, start, finish: est_finish };
+        timings[tid] = TaskTiming {
+            label: task.label,
+            node,
+            start,
+            finish: est_finish,
+        };
         if task.mem_bytes > 0 {
             mem_intervals.push((node, start, est_finish, task.mem_bytes));
         }
@@ -317,7 +361,9 @@ mod tests {
         ClusterSpec::r3_2xlarge(nodes)
     }
 
-    const FIFO: SchedPolicy = SchedPolicy::LocalityFifo { per_task_overhead: 0.0 };
+    const FIFO: SchedPolicy = SchedPolicy::LocalityFifo {
+        per_task_overhead: 0.0,
+    };
 
     #[test]
     fn single_task_makespan_is_compute() {
@@ -343,7 +389,11 @@ mod tests {
             g32.add(TaskSpec::compute("t", 1.0));
         }
         let r32 = simulate(&g32, &cluster(4), FIFO, false).unwrap();
-        assert!(r32.makespan > 1.0 && r32.makespan < 4.0, "makespan {}", r32.makespan);
+        assert!(
+            r32.makespan > 1.0 && r32.makespan < 4.0,
+            "makespan {}",
+            r32.makespan
+        );
     }
 
     #[test]
@@ -355,7 +405,12 @@ mod tests {
         let r16 = simulate(&g, &cluster(16), FIFO, false).unwrap();
         let r32 = simulate(&g, &cluster(32), FIFO, false).unwrap();
         // Doubling the cluster halves the makespan.
-        assert!((r16.makespan / r32.makespan - 2.0).abs() < 0.05, "{} vs {}", r16.makespan, r32.makespan);
+        assert!(
+            (r16.makespan / r32.makespan - 2.0).abs() < 0.05,
+            "{} vs {}",
+            r16.makespan,
+            r32.makespan
+        );
     }
 
     #[test]
@@ -374,7 +429,10 @@ mod tests {
         let producer = g.add(TaskSpec::compute("p", 1.0).output(1_000_000_000));
         g.add(TaskSpec::compute("c", 1.0).after(&[producer]));
         let r = simulate(&g, &cluster(4), FIFO, false).unwrap();
-        assert_eq!(r.bytes_over_network, 0, "consumer should run on producer's node");
+        assert_eq!(
+            r.bytes_over_network, 0,
+            "consumer should run on producer's node"
+        );
         assert_eq!(r.timings[0].node, r.timings[1].node);
     }
 
@@ -383,8 +441,15 @@ mod tests {
         let mut g = TaskGraph::new();
         let producer = g.add(TaskSpec::compute("p", 1.0).output(120_000_000).on_node(0));
         g.add(TaskSpec::compute("c", 1.0).after(&[producer]).on_node(1));
-        let r = simulate(&g, &cluster(2), SchedPolicy::Static { per_task_overhead: 0.0 }, false)
-            .unwrap();
+        let r = simulate(
+            &g,
+            &cluster(2),
+            SchedPolicy::Static {
+                per_task_overhead: 0.0,
+            },
+            false,
+        )
+        .unwrap();
         assert_eq!(r.bytes_over_network, 120_000_000);
         // 120 MB over 120 MB/s ≈ 1 s extra.
         assert!(r.makespan > 2.9, "makespan {}", r.makespan);
@@ -415,8 +480,18 @@ mod tests {
         let r8 = simulate(&g16, &cluster(1), FIFO, false).unwrap();
         let r16 = simulate(&g16, &cluster(1).with_worker_slots(16), FIFO, false).unwrap();
         assert!((r4.makespan - 4.0).abs() < 1e-9, "makespan {}", r4.makespan);
-        assert!(r8.makespan > r4.makespan, "{} vs {}", r8.makespan, r4.makespan);
-        assert!(r16.makespan > r8.makespan, "{} vs {}", r16.makespan, r8.makespan);
+        assert!(
+            r8.makespan > r4.makespan,
+            "{} vs {}",
+            r8.makespan,
+            r4.makespan
+        );
+        assert!(
+            r16.makespan > r8.makespan,
+            "{} vs {}",
+            r16.makespan,
+            r8.makespan
+        );
     }
 
     #[test]
@@ -457,7 +532,10 @@ mod tests {
         for &p in &producers {
             g.add(TaskSpec::compute("c", 1.0).after(&[p]));
         }
-        let steal = SchedPolicy::WorkStealing { per_task_overhead: 0.0, steal_cost: 0.5 };
+        let steal = SchedPolicy::WorkStealing {
+            per_task_overhead: 0.0,
+            steal_cost: 0.5,
+        };
         let r = simulate(&g, &cluster(2), steal, false).unwrap();
         assert!(r.tasks_stolen > 0, "expected steals");
         let fifo = simulate(&g, &cluster(2), FIFO, false).unwrap();
@@ -471,15 +549,24 @@ mod tests {
         for _ in 0..9 {
             prev = g.add(TaskSpec::compute("t", 0.1).after(&[prev]));
         }
-        let r = simulate(&g, &cluster(1), SchedPolicy::LocalityFifo { per_task_overhead: 1.0 }, false)
-            .unwrap();
+        let r = simulate(
+            &g,
+            &cluster(1),
+            SchedPolicy::LocalityFifo {
+                per_task_overhead: 1.0,
+            },
+            false,
+        )
+        .unwrap();
         assert!((r.makespan - 11.0).abs() < 1e-9, "makespan {}", r.makespan);
     }
 
     #[test]
     fn barrier_serializes_stages() {
         let mut g = TaskGraph::new();
-        let stage1: Vec<_> = (0..8).map(|_| g.add(TaskSpec::compute("s1", 1.0))).collect();
+        let stage1: Vec<_> = (0..8)
+            .map(|_| g.add(TaskSpec::compute("s1", 1.0)))
+            .collect();
         let bar = g.barrier("sync", &stage1);
         for _ in 0..8 {
             g.add(TaskSpec::compute("s2", 1.0).after(&[bar]));
@@ -491,13 +578,22 @@ mod tests {
             g1.add(TaskSpec::compute("s1", 1.0));
         }
         let r1 = simulate(&g1, &cluster(1), FIFO, false).unwrap();
-        assert!((r.makespan - 2.0 * r1.makespan).abs() < 1e-6, "{} vs 2×{}", r.makespan, r1.makespan);
+        assert!(
+            (r.makespan - 2.0 * r1.makespan).abs() < 1e-6,
+            "{} vs 2×{}",
+            r.makespan,
+            r1.makespan
+        );
     }
 
     #[test]
     fn report_bookkeeping() {
         let mut g = TaskGraph::new();
-        g.add(TaskSpec::compute("io", 1.0).disk_write(380_000_000).disk_read(450_000_000));
+        g.add(
+            TaskSpec::compute("io", 1.0)
+                .disk_write(380_000_000)
+                .disk_read(450_000_000),
+        );
         let r = simulate(&g, &cluster(1), FIFO, false).unwrap();
         assert_eq!(r.bytes_on_disk, 830_000_000);
         // 1 s write + 1 s read + 1 s compute.

@@ -94,7 +94,7 @@ impl ClusterSpec {
                 disk_read_bw: 450e6,
                 disk_write_bw: 380e6,
             },
-            net_bw: 120e6,     // ~1 Gbps effective per flow
+            net_bw: 120e6, // ~1 Gbps effective per flow
             net_latency: 0.5e-3,
             // 2016-era S3-to-EC2: ~25 MB/s per connection, ~60 MB/s
             // sustained per node across connections.
@@ -119,7 +119,8 @@ impl ClusterSpec {
     /// Effective S3 bandwidth for one task when `concurrent` downloads
     /// share a node.
     pub fn s3_rate(&self, concurrent: usize) -> f64 {
-        self.s3_bw_per_conn.min(self.s3_node_cap / concurrent.max(1) as f64)
+        self.s3_bw_per_conn
+            .min(self.s3_node_cap / concurrent.max(1) as f64)
     }
 }
 

@@ -16,15 +16,22 @@ struct RandomTask {
 
 fn tasks() -> impl Strategy<Value = Vec<RandomTask>> {
     prop::collection::vec(
-        (0.0f64..50.0, any::<u16>(), any::<u16>(), any::<u64>(), prop::option::of(0u8..16)).prop_map(
-            |(compute, s3_mb, output_mb, deps_seed, pinned)| RandomTask {
-                compute,
-                s3_mb: s3_mb % 100,
-                output_mb: output_mb % 100,
-                deps_seed,
-                pinned,
-            },
-        ),
+        (
+            0.0f64..50.0,
+            any::<u16>(),
+            any::<u16>(),
+            any::<u64>(),
+            prop::option::of(0u8..16),
+        )
+            .prop_map(
+                |(compute, s3_mb, output_mb, deps_seed, pinned)| RandomTask {
+                    compute,
+                    s3_mb: s3_mb % 100,
+                    output_mb: output_mb % 100,
+                    deps_seed,
+                    pinned,
+                },
+            ),
         1..40,
     )
 }
@@ -53,9 +60,16 @@ fn build(tasks: &[RandomTask]) -> TaskGraph {
 
 fn policies() -> impl Strategy<Value = SchedPolicy> {
     prop_oneof![
-        Just(SchedPolicy::LocalityFifo { per_task_overhead: 0.01 }),
-        Just(SchedPolicy::WorkStealing { per_task_overhead: 0.01, steal_cost: 0.1 }),
-        Just(SchedPolicy::Static { per_task_overhead: 0.01 }),
+        Just(SchedPolicy::LocalityFifo {
+            per_task_overhead: 0.01
+        }),
+        Just(SchedPolicy::WorkStealing {
+            per_task_overhead: 0.01,
+            steal_cost: 0.1
+        }),
+        Just(SchedPolicy::Static {
+            per_task_overhead: 0.01
+        }),
     ]
 }
 

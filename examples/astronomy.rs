@@ -41,13 +41,25 @@ fn main() {
         let hdus = vec![
             fits::TypedHdu {
                 cards: vec![
-                    fits::Card { key: "VISIT".into(), value: e.visit.to_string() },
-                    fits::Card { key: "SENSOR".into(), value: e.sensor.to_string() },
+                    fits::Card {
+                        key: "VISIT".into(),
+                        value: e.visit.to_string(),
+                    },
+                    fits::Card {
+                        key: "SENSOR".into(),
+                        value: e.sensor.to_string(),
+                    },
                 ],
                 data: fits::ImageData::F32(e.flux.cast()),
             },
-            fits::TypedHdu { cards: vec![], data: fits::ImageData::F32(e.variance.cast()) },
-            fits::TypedHdu { cards: vec![], data: fits::ImageData::U8(e.mask.clone()) },
+            fits::TypedHdu {
+                cards: vec![],
+                data: fits::ImageData::F32(e.variance.cast()),
+            },
+            fits::TypedHdu {
+                cards: vec![],
+                data: fits::ImageData::U8(e.mask.clone()),
+            },
         ];
         let path = dir.join(format!("v0_s{}.fits", e.sensor));
         std::fs::write(&path, fits::encode_typed(&hdus)).expect("write FITS");
@@ -84,14 +96,21 @@ fn main() {
     for (v, exposures) in survey.visits.iter().enumerate() {
         let calibrated: Vec<_> = exposures
             .iter()
-            .map(|e| scibench::sciops::astro::calibrate_exposure(e, &c))
+            .map(|e| sciops::astro::calibrate_exposure(e, &c))
             .collect();
-        let pieces: Vec<_> = calibrated.iter().filter_map(|e| e.crop_to(&patch_box)).collect();
-        let merged = scibench::sciops::astro::pipeline::merge_visit_pieces(&patch_box, &pieces);
-        let slice = merged.flux.clone().reshape(&[1, rows, cols]).expect("rank-3 slice");
+        let pieces: Vec<_> = calibrated
+            .iter()
+            .filter_map(|e| e.crop_to(&patch_box))
+            .collect();
+        let merged = sciops::astro::pipeline::merge_visit_pieces(&patch_box, &pieces);
+        let slice = merged
+            .flux
+            .clone()
+            .reshape(&[1, rows, cols])
+            .expect("rank-3 slice");
         cube.write_subarray(&[v, 0, 0], &slice).expect("cube slice");
     }
-    let db = scibench::engine_array::ArrayDb::connect(4);
+    let db = engine_array::ArrayDb::connect(4);
     let coadd = astro_uc::scidb_coadd_cube(&db, &cube, 24);
     println!(
         "SciDB-style AQL coadd of patch {:?}: {}×{} px, mean flux {:.1} (chunk ops recorded: {:?})",

@@ -35,8 +35,11 @@ fn main() {
         total += std::fs::metadata(&path).expect("stat").len();
         // bvals/bvecs sidecars, the conventional companion files.
         let bvals: Vec<String> = phantom.gtab.bvals.iter().map(|b| b.to_string()).collect();
-        std::fs::write(neuro_dir.join(format!("subject{s:03}.bval")), bvals.join(" "))
-            .expect("write bvals");
+        std::fs::write(
+            neuro_dir.join(format!("subject{s:03}.bval")),
+            bvals.join(" "),
+        )
+        .expect("write bvals");
         let bvecs: String = (0..3)
             .map(|axis| {
                 phantom
@@ -49,13 +52,18 @@ fn main() {
             })
             .collect::<Vec<_>>()
             .join("\n");
-        std::fs::write(neuro_dir.join(format!("subject{s:03}.bvec")), bvecs)
-            .expect("write bvecs");
+        std::fs::write(neuro_dir.join(format!("subject{s:03}.bvec")), bvecs).expect("write bvecs");
     }
-    println!("neuro: {subjects} subjects ({} volumes each), {total} bytes of NIfTI", spec.n_volumes);
+    println!(
+        "neuro: {subjects} subjects ({} volumes each), {total} bytes of NIfTI",
+        spec.n_volumes
+    );
 
     // Astronomy: one .fits per (visit, sensor) with flux/variance/mask HDUs.
-    let sky = SkySpec { n_visits: visits, ..SkySpec::test_scale() };
+    let sky = SkySpec {
+        n_visits: visits,
+        ..SkySpec::test_scale()
+    };
     let survey = SkySurvey::generate(7, &sky);
     let mut total = 0u64;
     for visit in &survey.visits {
@@ -63,15 +71,33 @@ fn main() {
             let hdus = vec![
                 fits::TypedHdu {
                     cards: vec![
-                        fits::Card { key: "VISIT".into(), value: e.visit.to_string() },
-                        fits::Card { key: "SENSOR".into(), value: e.sensor.to_string() },
-                        fits::Card { key: "CRVAL1".into(), value: e.bbox.x0.to_string() },
-                        fits::Card { key: "CRVAL2".into(), value: e.bbox.y0.to_string() },
+                        fits::Card {
+                            key: "VISIT".into(),
+                            value: e.visit.to_string(),
+                        },
+                        fits::Card {
+                            key: "SENSOR".into(),
+                            value: e.sensor.to_string(),
+                        },
+                        fits::Card {
+                            key: "CRVAL1".into(),
+                            value: e.bbox.x0.to_string(),
+                        },
+                        fits::Card {
+                            key: "CRVAL2".into(),
+                            value: e.bbox.y0.to_string(),
+                        },
                     ],
                     data: fits::ImageData::F32(e.flux.cast()),
                 },
-                fits::TypedHdu { cards: vec![], data: fits::ImageData::F32(e.variance.cast()) },
-                fits::TypedHdu { cards: vec![], data: fits::ImageData::U8(e.mask.clone()) },
+                fits::TypedHdu {
+                    cards: vec![],
+                    data: fits::ImageData::F32(e.variance.cast()),
+                },
+                fits::TypedHdu {
+                    cards: vec![],
+                    data: fits::ImageData::U8(e.mask.clone()),
+                },
             ];
             let path = astro_dir.join(format!("v{:02}_s{:02}.fits", e.visit, e.sensor));
             std::fs::write(&path, fits::encode_typed(&hdus)).expect("write FITS");

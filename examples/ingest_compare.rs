@@ -22,8 +22,16 @@ fn main() {
     let as_csv = text::to_csv(&vol0);
     println!("one volume of a test-scale subject:");
     println!("  NIfTI payload share : {:>9} bytes", vol0.nbytes());
-    println!("  NumPy (.npy) staged : {:>9} bytes ({:.2}× binary)", as_npy.len(), as_npy.len() as f64 / vol0.nbytes() as f64);
-    println!("  CSV for aio_input   : {:>9} bytes ({:.2}× binary)", as_csv.len(), as_csv.len() as f64 / vol0.nbytes() as f64);
+    println!(
+        "  NumPy (.npy) staged : {:>9} bytes ({:.2}× binary)",
+        as_npy.len(),
+        as_npy.len() as f64 / vol0.nbytes() as f64
+    );
+    println!(
+        "  CSV for aio_input   : {:>9} bytes ({:.2}× binary)",
+        as_csv.len(),
+        as_csv.len() as f64 / vol0.nbytes() as f64
+    );
     println!("  whole subject NIfTI : {:>9} bytes\n", as_nifti.len());
 
     // The Figure 11 sweep at paper scale.
@@ -33,8 +41,14 @@ fn main() {
     // The figure's headline relationships.
     let s1 = ingest_time(&setup, IngestSystem::SciDb1, 12);
     let s2 = ingest_time(&setup, IngestSystem::SciDb2, 12);
-    println!("aio_input is {:.0}× faster than from_array at 12 subjects", s1 / s2);
+    println!(
+        "aio_input is {:.0}× faster than from_array at 12 subjects",
+        s1 / s2
+    );
     let myria = ingest_time(&setup, IngestSystem::Myria, 12);
     let spark = ingest_time(&setup, IngestSystem::Spark, 12);
-    println!("Myria beats Spark by {:.0}s (no master-side key enumeration)", spark - myria);
+    println!(
+        "Myria beats Spark by {:.0}s (no master-side key enumeration)",
+        spark - myria
+    );
 }

@@ -46,7 +46,7 @@ fn main() {
 
     let fa = neuro::spark(&subjects, 8);
     for id in 0..2u32 {
-        let reference = scibench::sciops::neuro::reference_pipeline(
+        let reference = sciops::neuro::reference_pipeline(
             &subjects[id as usize].data,
             &subjects[id as usize].gtab,
             &neuro::nlm_params(),
@@ -56,7 +56,10 @@ fn main() {
             .iter()
             .zip(reference.fa.data())
             .all(|(a, b)| (a - b).abs() < 1e-9);
-        println!("subject {id}: FA map {} voxels, matches reference: {ok}", fa[&id].len());
+        println!(
+            "subject {id}: FA map {} voxels, matches reference: {ok}",
+            fa[&id].len()
+        );
         assert!(ok);
     }
 

@@ -38,7 +38,11 @@ fn main() {
     let myria_fa = neuro::myria(&subjects, 2, 2);
     let dask_fa = neuro::dask(&subjects, 4);
 
-    for (name, fa) in [("Spark", &spark_fa), ("Myria", &myria_fa), ("Dask", &dask_fa)] {
+    for (name, fa) in [
+        ("Spark", &spark_fa),
+        ("Myria", &myria_fa),
+        ("Dask", &dask_fa),
+    ] {
         let worst = fa[&0]
             .data()
             .iter()

@@ -22,5 +22,7 @@ fn main() {
         println!("{}", table.render());
     }
     println!("lesson (as in the paper's §6): every system needed tuning, and none was best with defaults —");
-    println!("and the autotune table shows a self-tuning layer could have found the settings itself.");
+    println!(
+        "and the autotune table shows a self-tuning layer could have found the settings itself."
+    );
 }

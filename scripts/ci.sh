@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, the workspace lint wall, the full test suite,
+# and the static plan lint over every shipped lowering. Run before every
+# push; CI runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace lint wall, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "== scibench lint (static verification of lowered task graphs)"
+cargo run --release -q -p scibench-bench --bin scibench -- lint
+
+echo "ci: all gates passed"

@@ -17,19 +17,31 @@ fn fits_staging_roundtrips_exposures() {
     for e in &s.visits[0] {
         // The real layout: two float planes + a byte mask plane.
         let hdus = vec![
-            fits::TypedHdu { cards: vec![], data: fits::ImageData::F32(e.flux.cast()) },
-            fits::TypedHdu { cards: vec![], data: fits::ImageData::F32(e.variance.cast()) },
-            fits::TypedHdu { cards: vec![], data: fits::ImageData::U8(e.mask.clone()) },
+            fits::TypedHdu {
+                cards: vec![],
+                data: fits::ImageData::F32(e.flux.cast()),
+            },
+            fits::TypedHdu {
+                cards: vec![],
+                data: fits::ImageData::F32(e.variance.cast()),
+            },
+            fits::TypedHdu {
+                cards: vec![],
+                data: fits::ImageData::U8(e.mask.clone()),
+            },
         ];
         let bytes = fits::encode_typed(&hdus);
         let back = fits::decode_typed(&bytes).expect("decode");
-        let flux: scibench::marray::NdArray<f64> = back[0].data.to_f32().cast();
+        let flux: marray::NdArray<f64> = back[0].data.to_f32().cast();
         // f32 quantization only.
         for (a, b) in flux.data().iter().zip(e.flux.data()) {
             assert!((a - b).abs() <= b.abs().max(1.0) * 1e-6);
         }
         assert_eq!(back[2].data.to_u8(), e.mask, "mask plane is byte-exact");
-        assert!(matches!(back[2].data, fits::ImageData::U8(_)), "mask stays BITPIX 8");
+        assert!(
+            matches!(back[2].data, fits::ImageData::U8(_)),
+            "mask stays BITPIX 8"
+        );
     }
 }
 
@@ -45,11 +57,20 @@ fn spark_myria_and_reference_find_identical_catalogs() {
     assert_eq!(spark.catalogs.len(), reference.catalogs.len());
     assert_eq!(myria.catalogs.len(), reference.catalogs.len());
     for (patch, want) in &reference.catalogs {
-        for (name, got) in [("spark", &spark.catalogs[patch]), ("myria", &myria.catalogs[patch])] {
+        for (name, got) in [
+            ("spark", &spark.catalogs[patch]),
+            ("myria", &myria.catalogs[patch]),
+        ] {
             assert_eq!(got.len(), want.len(), "{name} patch {patch:?}");
             for (g, w) in got.iter().zip(want) {
-                assert!((g.centroid.0 - w.centroid.0).abs() < 1e-9, "{name} centroid x");
-                assert!((g.centroid.1 - w.centroid.1).abs() < 1e-9, "{name} centroid y");
+                assert!(
+                    (g.centroid.0 - w.centroid.0).abs() < 1e-9,
+                    "{name} centroid x"
+                );
+                assert!(
+                    (g.centroid.1 - w.centroid.1).abs() < 1e-9,
+                    "{name} centroid y"
+                );
                 assert_eq!(g.npix, w.npix, "{name} cluster size");
             }
         }
@@ -88,9 +109,9 @@ fn scidb_cube_coadd_consistent_with_reference_on_uniform_variance() {
     // With uniform per-visit variance, the reference's inverse-variance
     // weighted clipped mean equals the plain clipped mean the AQL chain
     // computes.
-    let db = scibench::engine_array::ArrayDb::connect(2);
+    let db = engine_array::ArrayDb::connect(2);
     let visits = 8;
-    let cube = scibench::marray::NdArray::from_fn(&[visits, 5, 5], |ix| {
+    let cube = marray::NdArray::from_fn(&[visits, 5, 5], |ix| {
         if ix[0] == 2 && ix[1] == 1 {
             50_000.0 // a cosmic-ray streak in visit 2, row 1
         } else {
@@ -101,7 +122,7 @@ fn scidb_cube_coadd_consistent_with_reference_on_uniform_variance() {
     for r in 0..5 {
         for c in 0..5 {
             let samples: Vec<f64> = (0..visits).map(|v| cube[&[v, r, c][..]]).collect();
-            let want = scibench::sciops::stats::sigma_clipped_mean(&samples, 3.0, 2);
+            let want = sciops::stats::sigma_clipped_mean(&samples, 3.0, 2);
             let got = out[&[r, c][..]];
             assert!((got - want).abs() < 1e-9, "({r},{c}): {got} vs {want}");
         }

@@ -62,12 +62,14 @@ fn scidb_stream_denoise_close_to_reference_through_tsv() {
     let subjects = staged_subjects(1);
     let out = neuro::scidb(&subjects);
     let s = &subjects[0];
-    let (_, mask) = scibench::sciops::neuro::pipeline::segmentation(&s.data, &s.gtab);
-    let reference =
-        scibench::sciops::neuro::pipeline::denoise_all(&s.data, &mask, &neuro::nlm_params());
+    let (_, mask) = sciops::neuro::pipeline::segmentation(&s.data, &s.gtab);
+    let reference = sciops::neuro::pipeline::denoise_all(&s.data, &mask, &neuro::nlm_params());
     let scale = reference.max().abs().max(1.0);
     for (a, b) in out.denoised[&0].data().iter().zip(reference.data()) {
-        assert!((a - b).abs() < 2e-3 * scale, "TSV roundtrip drift too large: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 2e-3 * scale,
+            "TSV roundtrip drift too large: {a} vs {b}"
+        );
     }
 }
 
@@ -80,7 +82,7 @@ fn tensorflow_partial_implementation_consistency() {
     let subjects = staged_subjects(1);
     let tf = neuro::tensorflow(&subjects);
     let s = &subjects[0];
-    let (mean_ref, mask_ref) = scibench::sciops::neuro::pipeline::segmentation(&s.data, &s.gtab);
+    let (mean_ref, mask_ref) = sciops::neuro::pipeline::segmentation(&s.data, &s.gtab);
     assert_eq!(tf.mean_b0[&0], mean_ref, "mean is exact");
     // The simplified mask differs from median_otsu but overlaps heavily.
     let agree = tf.mask[&0]
@@ -93,18 +95,16 @@ fn tensorflow_partial_implementation_consistency() {
     assert!(agree > 0.8, "mask agreement {agree}");
     // The conv-denoised volume is NOT the NLM-denoised one: background
     // voxels change under convolution (no mask support).
-    let nlm_ref = scibench::sciops::neuro::denoise::nlmeans3d(
-        &s.volume(0),
-        Some(&mask_ref),
-        &neuro::nlm_params(),
-    );
+    let nlm_ref =
+        sciops::neuro::denoise::nlmeans3d(&s.volume(0), Some(&mask_ref), &neuro::nlm_params());
     let mut background_changed = 0;
     for i in 0..mask_ref.len() {
-        if !mask_ref.get_flat(i)
-            && (tf.denoised0[&0].data()[i] - nlm_ref.data()[i]).abs() > 1e-9
-        {
+        if !mask_ref.get_flat(i) && (tf.denoised0[&0].data()[i] - nlm_ref.data()[i]).abs() > 1e-9 {
             background_changed += 1;
         }
     }
-    assert!(background_changed > 0, "unmasked convolution must touch the background");
+    assert!(
+        background_changed > 0,
+        "unmasked convolution must touch the background"
+    );
 }

@@ -21,14 +21,20 @@ fn headline_fig10c_relationships() {
     let d1 = neuro_e2e(&s, Engine::Dask, 1, 16);
     let m1 = neuro_e2e(&s, Engine::Myria, 1, 16);
     let sp1 = neuro_e2e(&s, Engine::Spark, 1, 16);
-    assert!(d1 > 1.3 * m1.min(sp1), "Dask single-subject penalty: {d1} vs {m1}/{sp1}");
+    assert!(
+        d1 > 1.3 * m1.min(sp1),
+        "Dask single-subject penalty: {d1} vs {m1}/{sp1}"
+    );
     let d25 = neuro_e2e(&s, Engine::Dask, 25, 16);
     let m25 = neuro_e2e(&s, Engine::Myria, 25, 16);
     let sp25 = neuro_e2e(&s, Engine::Spark, 25, 16);
     let spread = [d25, m25, sp25];
     let max = spread.iter().cloned().fold(0.0f64, f64::max);
     let min = spread.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(max / min < 1.25, "the three systems stay comparable: {spread:?}");
+    assert!(
+        max / min < 1.25,
+        "the three systems stay comparable: {spread:?}"
+    );
 }
 
 #[test]
@@ -57,8 +63,14 @@ fn headline_fig11_ingest_relationships() {
         let s1 = ingest_time(&s, IngestSystem::SciDb1, subjects);
         let s2 = ingest_time(&s, IngestSystem::SciDb2, subjects);
         assert!(myria < spark, "Myria {myria} < Spark {spark}");
-        assert!(s1 / s2 > 5.0, "aio an order of magnitude faster: {s1} vs {s2}");
-        assert!(s2 > myria, "CSV conversion keeps SciDB-2 {s2} above Myria {myria}");
+        assert!(
+            s1 / s2 > 5.0,
+            "aio an order of magnitude faster: {s1} vs {s2}"
+        );
+        assert!(
+            s2 > myria,
+            "CSV conversion keeps SciDB-2 {s2} above Myria {myria}"
+        );
         assert!(tf > 2.0 * spark, "master-funneled TF {tf} ≫ Spark {spark}");
         assert!(dask > 0.0);
     }
@@ -81,11 +93,13 @@ fn headline_fig15_memory_management() {
     // Small data: pipelined < materialized < multi-query.
     let pipe = myria_astro_mode(&s, 8, 16, ExecutionMode::Pipelined).expect("fits");
     let mat = myria_astro_mode(&s, 8, 16, ExecutionMode::Materialized).expect("fits");
-    let multi =
-        myria_astro_mode(&s, 8, 16, ExecutionMode::MultiQuery { pieces: 2 }).expect("fits");
+    let multi = myria_astro_mode(&s, 8, 16, ExecutionMode::MultiQuery { pieces: 2 }).expect("fits");
     assert!(pipe < mat && mat < multi, "{pipe} < {mat} < {multi}");
     let mat_penalty = mat / pipe - 1.0;
-    assert!((0.02..0.20).contains(&mat_penalty), "materialization penalty {mat_penalty}");
+    assert!(
+        (0.02..0.20).contains(&mat_penalty),
+        "materialization penalty {mat_penalty}"
+    );
     // Large data: pipelined fails, the others complete.
     assert!(myria_astro_mode(&s, 24, 16, ExecutionMode::Pipelined).is_err());
     assert!(myria_astro_mode(&s, 24, 16, ExecutionMode::Materialized).is_ok());
@@ -99,26 +113,59 @@ fn headline_chunk_size_sweep() {
     let t1000 = scidb_coadd_time(&s, 24, 1000, false);
     let t1500 = scidb_coadd_time(&s, 24, 1500, false);
     let t2000 = scidb_coadd_time(&s, 24, 2000, false);
-    assert!(t1000 < t500 && t1000 < t1500 && t1000 < t2000, "1000² is optimal");
-    assert!((2.2..4.0).contains(&(t500 / t1000)), "500² ≈ 3× slower: {}", t500 / t1000);
-    assert!((1.05..1.45).contains(&(t1500 / t1000)), "1500² ≈ +22%: {}", t1500 / t1000);
-    assert!((1.3..1.8).contains(&(t2000 / t1000)), "2000² ≈ +55%: {}", t2000 / t1000);
+    assert!(
+        t1000 < t500 && t1000 < t1500 && t1000 < t2000,
+        "1000² is optimal"
+    );
+    assert!(
+        (2.2..4.0).contains(&(t500 / t1000)),
+        "500² ≈ 3× slower: {}",
+        t500 / t1000
+    );
+    assert!(
+        (1.05..1.45).contains(&(t1500 / t1000)),
+        "1500² ≈ +22%: {}",
+        t1500 / t1000
+    );
+    assert!(
+        (1.3..1.8).contains(&(t2000 / t1000)),
+        "2000² ≈ +55%: {}",
+        t2000 / t1000
+    );
 }
 
 #[test]
 fn headline_fig12_step_relationships() {
     let s = setup();
     // Filter (12a): TF orders of magnitude slower; Spark ≫ Myria/Dask.
-    let f: Vec<f64> = [Engine::Dask, Engine::Myria, Engine::Spark, Engine::TensorFlow]
-        .iter()
-        .map(|&e| step_time(&s, e, Step::Filter, 25))
-        .collect();
+    let f: Vec<f64> = [
+        Engine::Dask,
+        Engine::Myria,
+        Engine::Spark,
+        Engine::TensorFlow,
+    ]
+    .iter()
+    .map(|&e| step_time(&s, e, Step::Filter, 25))
+    .collect();
     assert!(f[3] > 20.0 * f[2], "TF filter {} vs Spark {}", f[3], f[2]);
-    assert!(f[2] > 3.0 * f[0].max(f[1]), "Spark filter {} vs Dask/Myria", f[2]);
+    assert!(
+        f[2] > 3.0 * f[0].max(f[1]),
+        "Spark filter {} vs Dask/Myria",
+        f[2]
+    );
     // Mean (12b): SciDB fastest at small scale.
     let scidb = step_time(&s, Engine::SciDb, Step::Mean, 1);
-    for e in [Engine::Spark, Engine::Myria, Engine::Dask, Engine::TensorFlow] {
-        assert!(scidb < step_time(&s, e, Step::Mean, 1), "SciDB mean beats {}", e.name());
+    for e in [
+        Engine::Spark,
+        Engine::Myria,
+        Engine::Dask,
+        Engine::TensorFlow,
+    ] {
+        assert!(
+            scidb < step_time(&s, e, Step::Mean, 1),
+            "SciDB mean beats {}",
+            e.name()
+        );
     }
 }
 
@@ -139,8 +186,11 @@ fn spark_partition_default_underutilizes() {
     let cluster = ClusterSpec::r3_2xlarge(16);
     let default_p = (scibench::core::workload::NeuroWorkload { subjects: 1 })
         .input_bytes()
-        .div_ceil(scibench::engine_rdd::DEFAULT_BLOCK_BYTES) as usize;
-    assert!(default_p < tuned_partitions(&cluster) / 2, "default {default_p} partitions");
+        .div_ceil(engine_rdd::DEFAULT_BLOCK_BYTES) as usize;
+    assert!(
+        default_p < tuned_partitions(&cluster) / 2,
+        "default {default_p} partitions"
+    );
     let w = scibench::core::workload::NeuroWorkload { subjects: 1 };
     let g_default =
         scibench::core::lower::neuro::spark(&w, &s.cm, &s.profiles, &cluster, None, true);
@@ -152,7 +202,7 @@ fn spark_partition_default_underutilizes() {
         Some(tuned_partitions(&cluster)),
         true,
     );
-    let t_default = scibench::simcluster::simulate(
+    let t_default = simcluster::simulate(
         &g_default,
         &cluster,
         s.profiles.policy(Engine::Spark),
@@ -160,9 +210,11 @@ fn spark_partition_default_underutilizes() {
     )
     .unwrap()
     .makespan;
-    let t_tuned =
-        scibench::simcluster::simulate(&g_tuned, &cluster, s.profiles.policy(Engine::Spark), false)
-            .unwrap()
-            .makespan;
-    assert!(t_default > 1.3 * t_tuned, "default {t_default} vs tuned {t_tuned}");
+    let t_tuned = simcluster::simulate(&g_tuned, &cluster, s.profiles.policy(Engine::Spark), false)
+        .unwrap()
+        .makespan;
+    assert!(
+        t_default > 1.3 * t_tuned,
+        "default {t_default} vs tuned {t_tuned}"
+    );
 }

@@ -1,0 +1,219 @@
+//! A small, dependency-free, offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! real `criterion` cannot be resolved. This shim implements the subset of
+//! its API that the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`Throughput`], and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock harness: each benchmark is warmed up once, timed for a fixed
+//! number of samples, and reported as mean time per iteration (plus
+//! throughput when declared).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared data volume per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean seconds per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call so lazy initialisation isn't measured.
+        std_black_box(routine());
+        let iters = self.samples.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(routine());
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn report(name: &str, mean_secs: f64, throughput: Option<Throughput>) {
+    let mut line = format!("bench {name:<40} {:>12}/iter", human_time(mean_secs));
+    if let Some(tp) = throughput {
+        if mean_secs > 0.0 {
+            match tp {
+                Throughput::Bytes(b) => {
+                    let gbps = b as f64 / mean_secs / 1e9;
+                    line.push_str(&format!("  {gbps:>8.3} GB/s"));
+                }
+                Throughput::Elements(n) => {
+                    let meps = n as f64 / mean_secs / 1e6;
+                    line.push_str(&format!("  {meps:>8.3} Melem/s"));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_secs: 0.0,
+        };
+        f(&mut b);
+        report(name, b.mean_secs, None);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Override the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no global time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-iteration data volume; subsequent benches report rates.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_secs: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{name}", self.name),
+            b.mean_secs,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group (no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[doc(hidden)]
+        #[allow(missing_docs)]
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box((0..100u64).sum::<u64>())
+            })
+        });
+        // warmup + 3 samples
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn group_reports_throughput() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.throughput(Throughput::Bytes(1_000_000));
+        g.bench_function("copy", |b| b.iter(|| black_box(vec![0u8; 1024])));
+        g.finish();
+    }
+}
