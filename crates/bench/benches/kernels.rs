@@ -9,7 +9,14 @@ use sciops::astro::{self, BackgroundParams, CalibParams, CoaddParams, CosmicPara
 use sciops::neuro::{self, NlmParams};
 use sciops::synth::dmri::{DmriPhantom, DmriSpec};
 use sciops::synth::sky::{SkySpec, SkySurvey};
+use sciops::Parallelism;
 use std::hint::black_box;
+
+/// Thread count for the `_par` bench variants: `SCIBENCH_THREADS` if set,
+/// else whatever the host offers.
+fn bench_par() -> Parallelism {
+    Parallelism::auto()
+}
 
 fn neuro_kernels(c: &mut Criterion) {
     let spec = DmriSpec::test_scale();
@@ -41,8 +48,15 @@ fn neuro_kernels(c: &mut Criterion) {
     g.bench_function("nlmeans3d_unmasked", |b| {
         b.iter(|| black_box(neuro::nlmeans3d(&vol, None, &nlm)));
     });
+    let par = bench_par();
+    g.bench_function("nlmeans3d_masked_par", |b| {
+        b.iter(|| black_box(neuro::nlmeans3d_par(&vol, Some(&mask), &nlm, par)));
+    });
     g.bench_function("dtm_fit_volume", |b| {
         b.iter(|| black_box(neuro::fit_dtm_volume(&data, &mask, &phantom.gtab)));
+    });
+    g.bench_function("dtm_fit_volume_par", |b| {
+        b.iter(|| black_box(neuro::fit_dtm_volume_par(&data, &mask, &phantom.gtab, par)));
     });
     g.finish();
 }
@@ -98,9 +112,37 @@ fn astro_kernels(c: &mut Criterion) {
     g.bench_function("coadd_sigma_clip", |b| {
         b.iter(|| black_box(astro::coadd_sigma_clip(&stack, &CoaddParams::default())));
     });
+    let par = bench_par();
+    g.bench_function("coadd_sigma_clip_par", |b| {
+        b.iter(|| {
+            black_box(astro::coadd_sigma_clip_par(
+                &stack,
+                &CoaddParams::default(),
+                par,
+            ))
+        });
+    });
     let coadd = astro::coadd_sigma_clip(&stack, &CoaddParams::default());
     g.bench_function("detect_sources", |b| {
         b.iter(|| black_box(astro::detect_sources(&coadd, &DetectParams::default())));
+    });
+    g.bench_function("detect_sources_par", |b| {
+        b.iter(|| {
+            black_box(astro::detect_sources_par(
+                &coadd,
+                &DetectParams::default(),
+                par,
+            ))
+        });
+    });
+    g.bench_function("estimate_background_par", |b| {
+        b.iter(|| {
+            black_box(astro::estimate_background_par(
+                &e.flux,
+                &BackgroundParams::default(),
+                par,
+            ))
+        });
     });
     g.finish();
 }

@@ -8,9 +8,17 @@
 //! and the lint *asserts* that configuration still trips the checker (and
 //! that its materialized fallback is clean), so the OOM reproduction is
 //! itself regression-tested.
+//!
+//! `scibench bench` times the five hottest kernels at a ladder of thread
+//! counts and emits the machine-readable `BENCH_kernels.json`;
+//! `scibench perf-smoke` asserts the serial and multi-threaded paths
+//! produce bit-identical outputs (the CI determinism gate). Both honor
+//! `--threads N` and the `SCIBENCH_THREADS` environment variable.
 
 use engine_rel::ExecutionMode;
+use parexec::{parse_threads, Parallelism};
 use plancheck::{check, Code, Report};
+use scibench_bench::kernels;
 use scibench_core::experiments::{tuned_partitions, Setup};
 use scibench_core::lower::{astro, ingest, neuro, steps, Engine};
 use scibench_core::workload::{AstroWorkload, NeuroWorkload};
@@ -242,6 +250,171 @@ fn lint(verbose: bool) -> i32 {
     }
 }
 
+/// Default thread ladder for `scibench bench`: serial anchor plus the
+/// counts the Figure 13 analysis cares about.
+const BENCH_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+/// Parse a `--threads` operand; exits with the usage error already printed.
+fn threads_arg(value: Option<&String>, usage: &str) -> Result<Parallelism, i32> {
+    let Some(v) = value else {
+        eprintln!("error: --threads requires a value");
+        eprintln!("{usage}");
+        return Err(2);
+    };
+    match parse_threads(v) {
+        Ok(p) => Ok(p),
+        Err(e) => {
+            eprintln!("error: invalid --threads value: {e}");
+            eprintln!("{usage}");
+            Err(2)
+        }
+    }
+}
+
+fn bench(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: scibench bench [--threads N] [--out PATH]";
+    let mut out_path: Option<std::path::PathBuf> = None;
+    let mut explicit: Option<Parallelism> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                match threads_arg(args.get(i + 1), USAGE) {
+                    Ok(p) => explicit = Some(p),
+                    Err(code) => return code,
+                }
+                i += 2;
+            }
+            "--out" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --out requires a path");
+                    eprintln!("{USAGE}");
+                    return 2;
+                };
+                out_path = Some(std::path::PathBuf::from(p));
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("{USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    // The ladder: default 1/2/4/8, extended by an explicit --threads value.
+    let mut levels: Vec<usize> = BENCH_LADDER.to_vec();
+    if let Some(p) = explicit {
+        levels.push(p.workers());
+    }
+    levels.sort_unstable();
+    levels.dedup();
+
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!("benching 5 kernels at threads {levels:?} (host parallelism: {host})...");
+    let results = kernels::run_bench(&levels, 2);
+    for r in &results {
+        eprintln!(
+            "  {:<20} {:<12} threads={:<3} {:>12} ns/iter  {:>5.2}x",
+            r.kernel, r.shape, r.threads, r.ns_per_iter, r.speedup_vs_serial
+        );
+    }
+    let json = kernels::results_to_json(&results, host);
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &json) {
+                eprintln!("error: cannot write {}: {e}", p.display());
+                return 1;
+            }
+            eprintln!("wrote {}", p.display());
+        }
+        None => print!("{json}"),
+    }
+    0
+}
+
+fn perf_smoke(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: scibench perf-smoke [--threads N]";
+    let mut par: Option<Parallelism> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                match threads_arg(args.get(i + 1), USAGE) {
+                    Ok(p) => par = Some(p),
+                    Err(code) => return code,
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("{USAGE}");
+                return 2;
+            }
+        }
+    }
+    // Flag beats SCIBENCH_THREADS beats the 2-thread default.
+    let par = par.unwrap_or_else(|| match std::env::var(parexec::THREADS_ENV) {
+        Ok(v) => match parse_threads(&v) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!(
+                    "warning: ignoring invalid {}={v}: {e}",
+                    parexec::THREADS_ENV
+                );
+                Parallelism::threads(2)
+            }
+        },
+        Err(_) => Parallelism::threads(2),
+    });
+
+    eprintln!(
+        "perf smoke: serial vs {} worker(s), asserting bit-identical outputs",
+        par.workers()
+    );
+    let mut failed = 0;
+    for case in kernels::suite() {
+        let serial = case.run(Parallelism::Serial);
+        let parallel = case.run(par);
+        let ok = serial == parallel;
+        println!(
+            "{} {:<20} {:<12} serial={serial:016x} threads={parallel:016x}",
+            if ok { "ok  " } else { "FAIL" },
+            case.name,
+            case.shape
+        );
+        if !ok {
+            failed += 1;
+        }
+    }
+    if failed == 0 {
+        println!(
+            "perf smoke: 5 kernels bit-identical at {} worker(s)",
+            par.workers()
+        );
+        0
+    } else {
+        println!("perf smoke: {failed} kernel(s) diverged");
+        1
+    }
+}
+
+fn usage() -> i32 {
+    eprintln!("usage: scibench <lint|bench|perf-smoke> [options]");
+    eprintln!();
+    eprintln!("  lint        statically verify every shipped lowering with plancheck");
+    eprintln!("              options: [--verbose]");
+    eprintln!("  bench       time the five hottest kernels across thread counts and");
+    eprintln!("              emit BENCH_kernels.json");
+    eprintln!("              options: [--threads N] [--out PATH]");
+    eprintln!("  perf-smoke  assert serial and multi-threaded kernel outputs are");
+    eprintln!("              bit-identical (CI gate)");
+    eprintln!("              options: [--threads N]");
+    2
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -262,12 +435,9 @@ fn main() {
                 lint(verbose)
             }
         }
-        _ => {
-            eprintln!("usage: scibench lint [--verbose]");
-            eprintln!();
-            eprintln!("  lint   statically verify every shipped lowering with plancheck");
-            2
-        }
+        Some("bench") => bench(&args[1..]),
+        Some("perf-smoke") => perf_smoke(&args[1..]),
+        _ => usage(),
     };
     std::process::exit(code);
 }

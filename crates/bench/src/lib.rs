@@ -1,5 +1,8 @@
 //! Library side of the bench crate. The substance lives in the binaries —
 //! `reproduce` (regenerate every table/figure), `probe` (calibration) and
-//! `scibench` (the `lint` static-verification sweep) — and in
-//! `scibench-core`; this library exists so `cargo bench` targets can link
-//! against the crate.
+//! `scibench` (the `lint` static-verification sweep plus the `bench` /
+//! `perf-smoke` kernel harness) — and in `scibench-core`; this library
+//! holds the shared kernel-benchmark cases ([`kernels`]) and lets
+//! `cargo bench` targets link against the crate.
+
+pub mod kernels;

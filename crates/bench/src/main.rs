@@ -8,6 +8,8 @@
 //! reproduce --csv DIR      # also write one CSV per artifact into DIR
 //! reproduce --calibrated   # calibrate kernel costs against the real
 //!                          # sciops kernels on this machine first
+//! reproduce scaling        # intra-node scaling table driven by a kernel
+//!                          # scaling curve measured on this machine
 //! reproduce --list         # list artifact ids
 //! reproduce --check        # verify the paper's headline shape claims
 //! ```
@@ -44,6 +46,11 @@ fn artifact(setup: &Setup, id: &str) -> Option<Vec<Table>> {
         "ablations" => experiments::ablations(setup),
         "autotune" => experiments::autotune(setup),
         "skew" => experiments::skew_report(setup),
+        "scaling" => {
+            eprintln!("measuring NLM denoise scaling on this host (1/2/4/8 threads)...");
+            let curve = scibench_core::costmodel::KernelScaling::measure(&[2, 4, 8]);
+            experiments::kernel_scaling(setup, &curve)
+        }
         _ => return None,
     };
     Some(vec![t])
@@ -73,6 +80,7 @@ const IDS: &[&str] = &[
     "ablations",
     "autotune",
     "skew",
+    "scaling",
 ];
 
 fn main() {

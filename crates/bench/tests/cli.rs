@@ -1,4 +1,4 @@
-//! CLI tests for the `reproduce` binary.
+//! CLI tests for the `reproduce` and `scibench` binaries.
 
 use std::process::Command;
 
@@ -7,6 +7,14 @@ fn reproduce(args: &[&str]) -> std::process::Output {
         .args(args)
         .output()
         .expect("run reproduce")
+}
+
+fn scibench(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_scibench"))
+        .args(args)
+        .env_remove("SCIBENCH_THREADS")
+        .output()
+        .expect("run scibench")
 }
 
 #[test]
@@ -61,4 +69,82 @@ fn csv_export_writes_files() {
     assert!(csv.starts_with("Subjects,Input,Largest Intermediate"));
     assert_eq!(csv.lines().count(), 7);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scibench_rejects_zero_threads_with_exit_2() {
+    for sub in ["bench", "perf-smoke"] {
+        let out = scibench(&[sub, "--threads", "0"]);
+        assert_eq!(out.status.code(), Some(2), "{sub} --threads 0");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
+}
+
+#[test]
+fn scibench_rejects_oversized_threads_with_exit_2() {
+    let out = scibench(&["bench", "--threads", "100000"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("exceeds the cap"), "{err}");
+}
+
+#[test]
+fn scibench_rejects_unknown_flag_with_exit_2() {
+    let out = scibench(&["perf-smoke", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown argument"), "{err}");
+}
+
+#[test]
+fn perf_smoke_passes_and_reports_identical_outputs() {
+    let out = scibench(&["perf-smoke", "--threads", "4"]);
+    assert!(out.status.success(), "{:?}", out);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("5 kernels bit-identical at 4 worker(s)"),
+        "{text}"
+    );
+    assert_eq!(text.matches("ok  ").count(), 5, "{text}");
+    assert!(!text.contains("FAIL"), "{text}");
+}
+
+#[test]
+fn perf_smoke_honors_threads_env() {
+    let out = Command::new(env!("CARGO_BIN_EXE_scibench"))
+        .args(["perf-smoke"])
+        .env("SCIBENCH_THREADS", "3")
+        .output()
+        .expect("run scibench");
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("serial vs 3 worker(s)"), "{err}");
+}
+
+#[test]
+fn bench_emits_schema_json_with_speedups() {
+    let path = std::env::temp_dir().join(format!("scibench_bench_{}.json", std::process::id()));
+    let out = scibench(&["bench", "--threads", "2", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{:?}", out);
+    let json = std::fs::read_to_string(&path).expect("json written");
+    std::fs::remove_file(&path).ok();
+    assert!(json.contains("\"schema\": \"scibench-bench-kernels/v1\""));
+    assert!(json.contains("\"available_parallelism\""));
+    for kernel in [
+        "nlm_denoise",
+        "dtm_fit",
+        "coadd_sigma_clip",
+        "background_estimate",
+        "detect_sources",
+    ] {
+        assert!(
+            json.contains(&format!("\"kernel\": \"{kernel}\"")),
+            "{kernel}"
+        );
+    }
+    // Serial anchor rows report speedup exactly 1.
+    assert!(json.contains("\"threads\": 1"));
+    assert!(json.contains("\"speedup_vs_serial\": 1.0000"));
 }

@@ -142,6 +142,106 @@ impl CostModel {
     }
 }
 
+/// A measured intra-node kernel scaling curve: aggregate speedup over the
+/// single-threaded run at each thread count, obtained by timing a real
+/// parallel kernel on the host (or loaded from a `scibench bench` run).
+///
+/// Feeds [`simcluster::ClusterSpec::with_measured_scaling`] so the engine
+/// analogs' per-node speedup model can be grounded in a measurement instead
+/// of the analytic hyper-threading curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelScaling {
+    /// `(threads, speedup)` points, sorted by thread count. `(1, 1.0)` is
+    /// the serial anchor.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl KernelScaling {
+    /// Build from explicit points; sorts by thread count.
+    pub fn from_points(mut points: Vec<(usize, f64)>) -> KernelScaling {
+        points.sort_by_key(|&(t, _)| t);
+        points.dedup_by_key(|&mut (t, _)| t);
+        KernelScaling { points }
+    }
+
+    /// Measure the NLM denoise kernel (the dominant cost of the
+    /// neuroscience pipeline) at each thread count on a small phantom and
+    /// return the speedup curve relative to the serial run.
+    ///
+    /// On a single-core host the curve is flat (~1×) — the measurement is
+    /// honest about the hardware it ran on.
+    pub fn measure(thread_counts: &[usize]) -> KernelScaling {
+        use sciops::neuro::{nlmeans3d_par, NlmParams};
+        use sciops::synth::dmri::{DmriPhantom, DmriSpec};
+        use sciops::Parallelism;
+
+        let spec = DmriSpec::test_scale();
+        let phantom = DmriPhantom::generate(3, &spec);
+        let data: marray::NdArray<f64> = phantom.data.cast();
+        let (_, mask) = sciops::neuro::pipeline::segmentation(&data, &phantom.gtab);
+        let vol = data.slice_axis(3, 0).expect("volume 0");
+        let nlm = NlmParams {
+            search_radius: 2,
+            patch_radius: 1,
+            sigma: 20.0,
+            h_factor: 1.0,
+        };
+
+        let time_at = |par: Parallelism| {
+            // Warm-up run, then time the better of two runs to shave
+            // scheduler noise on small inputs.
+            let _ = nlmeans3d_par(&vol, Some(&mask), &nlm, par);
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let t = Instant::now();
+                let _ = nlmeans3d_par(&vol, Some(&mask), &nlm, par);
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            best.max(1e-9)
+        };
+
+        let serial = time_at(Parallelism::Serial);
+        let mut points = vec![(1usize, 1.0f64)];
+        for &t in thread_counts {
+            if t <= 1 {
+                continue;
+            }
+            points.push((t, serial / time_at(Parallelism::threads(t))));
+        }
+        KernelScaling::from_points(points)
+    }
+
+    /// Aggregate speedup at `threads`: piecewise-linear between measured
+    /// points, flat beyond the ends, 1.0 for an empty curve.
+    pub fn speedup_at(&self, threads: usize) -> f64 {
+        let Some(&(first_t, first_s)) = self.points.first() else {
+            return 1.0;
+        };
+        let &(last_t, last_s) = self.points.last().expect("non-empty");
+        if threads <= first_t {
+            return first_s;
+        }
+        if threads >= last_t {
+            return last_s;
+        }
+        for pair in self.points.windows(2) {
+            let (t0, s0) = pair[0];
+            let (t1, s1) = pair[1];
+            if threads >= t0 && threads <= t1 {
+                let frac = (threads - t0) as f64 / (t1 - t0) as f64;
+                return s0 + frac * (s1 - s0);
+            }
+        }
+        last_s
+    }
+
+    /// Apply this curve to a cluster spec, replacing its analytic
+    /// intra-node scaling model.
+    pub fn apply_to(&self, cluster: simcluster::ClusterSpec) -> simcluster::ClusterSpec {
+        cluster.with_measured_scaling(self.points.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +278,36 @@ mod tests {
         // CSV is ~6× the bytes of the binary form; the conversion stays
         // within that byte-inflation multiple of the NumPy staging cost.
         assert!(m.convert_nifti_to_csv_per_subject < 6.0 * m.convert_nifti_to_npy_per_subject);
+    }
+
+    #[test]
+    fn kernel_scaling_interpolates_and_clamps() {
+        let s = KernelScaling::from_points(vec![(4, 3.0), (1, 1.0), (2, 1.8)]);
+        assert_eq!(s.points, vec![(1, 1.0), (2, 1.8), (4, 3.0)]);
+        assert_eq!(s.speedup_at(1), 1.0);
+        assert!((s.speedup_at(3) - 2.4).abs() < 1e-12);
+        assert_eq!(s.speedup_at(64), 3.0);
+        assert_eq!(KernelScaling::from_points(vec![]).speedup_at(8), 1.0);
+    }
+
+    #[test]
+    fn kernel_scaling_applies_to_cluster() {
+        let s = KernelScaling::from_points(vec![(1, 1.0), (2, 2.0), (4, 4.0)]);
+        let c = s.apply_to(simcluster::ClusterSpec::r3_2xlarge(1));
+        assert!((c.node.slot_speed(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_scaling_is_sane() {
+        // One small measurement: serial anchor present, all speedups
+        // positive, and the curve never claims superlinear scaling beyond
+        // the thread count.
+        let s = KernelScaling::measure(&[2]);
+        assert_eq!(s.points[0], (1, 1.0));
+        for &(t, sp) in &s.points {
+            assert!(sp > 0.0, "non-positive speedup at {t} threads");
+            assert!(sp <= t as f64 * 1.5, "implausible speedup {sp} at {t}");
+        }
     }
 
     #[test]

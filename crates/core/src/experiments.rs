@@ -528,6 +528,36 @@ pub fn fig13(setup: &Setup) -> Table {
     t
 }
 
+/// Intra-node scaling: re-run the Figure 13 sweep with a *measured* kernel
+/// scaling curve substituted for the analytic hyper-threading model, side
+/// by side with the analytic prediction. `measured` usually comes from
+/// [`crate::costmodel::KernelScaling::measure`] on the host or from a
+/// committed `BENCH_kernels.json` baseline.
+pub fn kernel_scaling(setup: &Setup, measured: &crate::costmodel::KernelScaling) -> Table {
+    let mut t = Table::new(
+        "Intra-node scaling: Myria neuro (25 subjects, 16 nodes), analytic vs measured curve",
+        &[
+            "Workers/node",
+            "Kernel speedup",
+            "Analytic (s)",
+            "Measured (s)",
+        ],
+    );
+    for workers in [1usize, 2, 4, 6, 8] {
+        let analytic = ClusterSpec::r3_2xlarge(16).with_worker_slots(workers);
+        let with_curve = measured.apply_to(analytic.clone());
+        let w = NeuroWorkload { subjects: 25 };
+        let g = neuro::myria(&w, &setup.cm, &setup.profiles, &analytic);
+        t.push(vec![
+            workers.to_string(),
+            ratio(measured.speedup_at(workers)),
+            secs(setup.run(Engine::Myria, &g, &analytic)),
+            secs(setup.run(Engine::Myria, &g, &with_curve)),
+        ]);
+    }
+    t
+}
+
 /// Figure 14: Spark input partitions, 1 subject, 16 nodes.
 pub fn fig14(setup: &Setup) -> Table {
     let mut t = Table::new(
@@ -689,6 +719,28 @@ pub fn all_tables(setup: &Setup) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kernel_scaling_table_reflects_curve() {
+        let setup = Setup::default();
+        // A perfectly linear measured curve can only speed runs up (or
+        // leave them equal) relative to the analytic model, which charges
+        // for hyper-thread interference above 4 workers/node.
+        let linear = crate::costmodel::KernelScaling::from_points(vec![
+            (1, 1.0),
+            (2, 2.0),
+            (4, 4.0),
+            (8, 8.0),
+        ]);
+        let t = kernel_scaling(&setup, &linear);
+        assert_eq!(t.header.len(), 4);
+        assert_eq!(t.rows.len(), 5);
+        // At 8 workers/node the analytic model penalizes hyper-threads;
+        // the linear measured curve does not, so it must be faster.
+        let parse = |s: &String| s.trim_end_matches('s').parse::<f64>().unwrap();
+        let last = &t.rows[4];
+        assert!(parse(&last[3]) < parse(&last[2]), "{last:?}");
+    }
 
     #[test]
     fn tables_have_expected_shapes() {

@@ -97,6 +97,49 @@ impl<T: Element> NdArray<T> {
         self.data
     }
 
+    /// Number of elements in one *slab*: the contiguous row-major run of
+    /// all elements sharing one index along axis 0. This is the natural
+    /// partition unit for data-parallel kernels (`parexec`): slab
+    /// boundaries never split an inner row, so per-slab work touches a
+    /// contiguous buffer range.
+    ///
+    /// For a rank-0 or rank-1 array the slab is a single element.
+    #[inline]
+    pub fn slab_len(&self) -> usize {
+        self.shape.dims().iter().skip(1).product::<usize>().max(1)
+    }
+
+    /// Number of slabs along axis 0 (`dims()[0]`, or the element count for
+    /// rank ≤ 1).
+    #[inline]
+    pub fn num_slabs(&self) -> usize {
+        if self.shape.rank() <= 1 {
+            self.data.len()
+        } else {
+            self.shape.dim(0)
+        }
+    }
+
+    /// Borrow slab `i` (the rank-(N-1) sub-array at axis-0 index `i`) as a
+    /// contiguous slice.
+    #[inline]
+    pub fn slab(&self, i: usize) -> &[T] {
+        let len = self.slab_len();
+        &self.data[i * len..(i + 1) * len]
+    }
+
+    /// Iterate the slabs along axis 0 as contiguous slices.
+    pub fn slabs(&self) -> std::slice::Chunks<'_, T> {
+        self.data.chunks(self.slab_len())
+    }
+
+    /// Iterate the slabs along axis 0 as disjoint mutable slices — the
+    /// handles a data-parallel runtime distributes across workers.
+    pub fn slabs_mut(&mut self) -> std::slice::ChunksMut<'_, T> {
+        let len = self.slab_len();
+        self.data.chunks_mut(len)
+    }
+
     /// Size of the array payload in bytes when serialized densely.
     #[inline]
     pub fn nbytes(&self) -> usize {
@@ -535,6 +578,34 @@ mod tests {
         assert!(a.permute_axes(&[0]).is_err());
         assert!(a.permute_axes(&[0, 0]).is_err());
         assert!(a.permute_axes(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn slab_views_partition_axis0() {
+        let a = iota(&[3, 2, 2]);
+        assert_eq!(a.slab_len(), 4);
+        assert_eq!(a.num_slabs(), 3);
+        assert_eq!(a.slab(1), &[4.0, 5.0, 6.0, 7.0]);
+        let collected: Vec<&[f64]> = a.slabs().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[2], a.slab(2));
+        // Mutable slabs are disjoint and cover the whole buffer.
+        let mut b = iota(&[3, 2, 2]);
+        for (i, slab) in b.slabs_mut().enumerate() {
+            for v in slab.iter_mut() {
+                *v = i as f64;
+            }
+        }
+        assert_eq!(b.slab(0), &[0.0; 4]);
+        assert_eq!(b.slab(2), &[2.0; 4]);
+    }
+
+    #[test]
+    fn slab_views_rank1_are_single_elements() {
+        let a = iota(&[5]);
+        assert_eq!(a.slab_len(), 1);
+        assert_eq!(a.num_slabs(), 5);
+        assert_eq!(a.slab(3), &[3.0]);
     }
 
     #[test]

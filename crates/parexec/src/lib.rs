@@ -1,0 +1,386 @@
+#![warn(missing_docs)]
+
+//! # parexec — safe, zero-dependency data-parallel runtime
+//!
+//! Intra-node parallelism for the `sciops` kernels: the expensive per-voxel
+//! and per-pixel loops (non-local-means denoising, tensor fitting,
+//! sigma-clipped co-addition, background meshes) are embarrassingly parallel
+//! across *slabs* — contiguous row-major runs of the output buffer. This
+//! crate provides the three primitives those kernels need:
+//!
+//! * [`par_chunks_mut`] — run a function over disjoint mutable chunks of a
+//!   buffer (each chunk is one slab of the output).
+//! * [`par_map_slabs`] — map a function over a slice of items, collecting
+//!   the results in input order.
+//! * [`par_reduce`] — map each item to a partial value, then fold the
+//!   partials **in item order** (an ordered reduction).
+//!
+//! ## Determinism
+//!
+//! Every primitive produces results that are bit-identical regardless of
+//! the worker count:
+//!
+//! * Slab boundaries are fixed by the *caller's* chunk size, never by the
+//!   worker count, so each output element is computed by exactly the same
+//!   code over exactly the same inputs at any [`Parallelism`].
+//! * Workers own statically assigned (round-robin) slab sets; there is no
+//!   dynamic stealing whose schedule could leak into results.
+//! * [`par_reduce`] folds partials in slab order on the calling thread.
+//!
+//! ## Safety
+//!
+//! No `unsafe` (the workspace lint wall denies it): mutable-buffer sharing
+//! uses `slice::chunks_mut` to obtain disjoint `&mut [T]` borrows, and
+//! [`std::thread::scope`] makes borrowing from the caller's stack sound.
+//! A panic in any worker is re-raised on the calling thread with its
+//! original payload.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding [`Parallelism::auto`]'s worker count
+/// (used by CI to pin thread counts for deterministic perf smoke runs).
+pub const THREADS_ENV: &str = "SCIBENCH_THREADS";
+
+/// Upper bound on the worker count accepted from user input (CLI flags and
+/// the [`THREADS_ENV`] variable). Far above any sane node size; exists so a
+/// typo cannot ask the OS for a million threads.
+pub const MAX_THREADS: usize = 256;
+
+/// How many workers a parallel primitive may use.
+///
+/// `Serial` is not merely `Threads(1)`: it runs entirely on the calling
+/// thread with no scope setup at all, so kernels can keep their original
+/// single-threaded execution as a directly assertable baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Parallelism {
+    /// Run on the calling thread (the reference single-threaded path).
+    Serial,
+    /// Run on up to this many worker threads.
+    Threads(NonZeroUsize),
+}
+
+impl Parallelism {
+    /// `Threads(n)`, panicking on `n == 0`. Caller-facing code (CLI flags)
+    /// should validate first; see [`parse_threads`].
+    pub fn threads(n: usize) -> Parallelism {
+        Parallelism::Threads(NonZeroUsize::new(n).expect("thread count must be >= 1"))
+    }
+
+    /// The available parallelism of the host, honoring the
+    /// [`THREADS_ENV`] override when set to a valid count.
+    pub fn auto() -> Parallelism {
+        if let Ok(v) = std::env::var(THREADS_ENV) {
+            if let Ok(n) = parse_threads(&v) {
+                return n;
+            }
+        }
+        let n = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Parallelism::threads(n)
+    }
+
+    /// Number of workers this setting uses (`Serial` → 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.get(),
+        }
+    }
+
+    /// True when work stays on the calling thread.
+    pub fn is_serial(self) -> bool {
+        self.workers() == 1
+    }
+}
+
+/// Parse a user-supplied thread count (CLI flag or [`THREADS_ENV`]):
+/// an integer in `1..=MAX_THREADS`, with `1` mapping to `Serial`.
+pub fn parse_threads(s: &str) -> Result<Parallelism, String> {
+    match s.trim().parse::<usize>() {
+        Ok(0) => Err("thread count must be at least 1".into()),
+        Ok(n) if n > MAX_THREADS => Err(format!("thread count {n} exceeds the cap {MAX_THREADS}")),
+        Ok(1) => Ok(Parallelism::Serial),
+        Ok(n) => Ok(Parallelism::threads(n)),
+        Err(_) => Err(format!("invalid thread count {s:?}")),
+    }
+}
+
+/// Apply `f(slab_index, slab)` to every `chunk_len`-sized slab of `data`
+/// (the final slab may be shorter), using up to `par.workers()` threads.
+///
+/// Slab boundaries depend only on `chunk_len`, so the work done per output
+/// element is identical at every parallelism level; slabs are assigned to
+/// workers round-robin. Panics in `f` propagate to the caller.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, par: Parallelism, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if data.is_empty() {
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = par.workers().min(n_chunks);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Deal the disjoint mutable slabs round-robin into per-worker hands.
+    let mut hands: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        hands[i % workers].push((i, chunk));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = hands
+            .into_iter()
+            .map(|hand| {
+                s.spawn(move || {
+                    for (i, chunk) in hand {
+                        f(i, chunk);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// Map `f(index, item)` over `items`, returning results in input order.
+///
+/// Items are assigned to workers round-robin; each worker's results are
+/// scattered back by index, so the output order (and therefore any
+/// order-sensitive consumer) is independent of the worker count.
+pub fn par_map_slabs<I, O, F>(items: &[I], par: Parallelism, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let workers = par.workers().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let f = &f;
+    let mut out: Vec<Option<O>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut produced = Vec::new();
+                    let mut i = w;
+                    while i < items.len() {
+                        produced.push((i, f(i, &items[i])));
+                        i += workers;
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(produced) => {
+                    for (i, v) in produced {
+                        out[i] = Some(v);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every index produced exactly once"))
+        .collect()
+}
+
+/// Map each item to a partial value with `map`, then fold the partials in
+/// **item order** with `reduce`, starting from `init`.
+///
+/// Because the fold happens in a fixed order on the calling thread, the
+/// result is bit-identical at every parallelism level even for
+/// non-associative operations such as floating-point sums.
+pub fn par_reduce<I, A, M, R>(items: &[I], par: Parallelism, map: M, init: A, reduce: R) -> A
+where
+    I: Sync,
+    A: Send,
+    M: Fn(usize, &I) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    par_map_slabs(items, par, map)
+        .into_iter()
+        .fold(init, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_workers() {
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert!(Parallelism::Serial.is_serial());
+        assert_eq!(Parallelism::threads(4).workers(), 4);
+        assert!(Parallelism::threads(1).is_serial());
+        assert!(!Parallelism::threads(2).is_serial());
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be >= 1")]
+    fn zero_threads_panics() {
+        let _ = Parallelism::threads(0);
+    }
+
+    #[test]
+    fn parse_threads_validates() {
+        assert_eq!(parse_threads("1").unwrap(), Parallelism::Serial);
+        assert_eq!(parse_threads("8").unwrap(), Parallelism::threads(8));
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("-3").is_err());
+        assert!(parse_threads("four").is_err());
+        assert!(parse_threads(&format!("{}", MAX_THREADS + 1)).is_err());
+        assert_eq!(
+            parse_threads(&format!("{MAX_THREADS}")).unwrap().workers(),
+            MAX_THREADS
+        );
+    }
+
+    #[test]
+    fn auto_honors_env_override() {
+        // Serialized by Rust's test harness only within this module; use a
+        // process-unique scope by setting and restoring around the call.
+        let prev = std::env::var(THREADS_ENV).ok();
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Parallelism::auto().workers(), 3);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(Parallelism::auto().workers() >= 1);
+        match prev {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+    }
+
+    #[test]
+    fn chunks_mut_empty_input_is_noop() {
+        let mut data: Vec<u64> = Vec::new();
+        par_chunks_mut(&mut data, 4, Parallelism::threads(8), |_, _| {
+            panic!("must not be called")
+        });
+    }
+
+    #[test]
+    fn chunks_mut_single_slab() {
+        let mut data = vec![0u64; 3];
+        par_chunks_mut(&mut data, 10, Parallelism::threads(8), |i, chunk| {
+            assert_eq!(i, 0);
+            for v in chunk.iter_mut() {
+                *v = 7;
+            }
+        });
+        assert_eq!(data, vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn chunks_mut_more_threads_than_slabs() {
+        let mut data = vec![0usize; 10];
+        par_chunks_mut(&mut data, 4, Parallelism::threads(64), |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn chunks_mut_matches_serial_at_every_width() {
+        let reference: Vec<usize> = {
+            let mut d = vec![0usize; 103];
+            par_chunks_mut(&mut d, 7, Parallelism::Serial, |i, c| {
+                for (k, v) in c.iter_mut().enumerate() {
+                    *v = i * 1000 + k;
+                }
+            });
+            d
+        };
+        for workers in [1usize, 2, 3, 4, 8, 17] {
+            let mut d = vec![0usize; 103];
+            par_chunks_mut(&mut d, 7, Parallelism::threads(workers), |i, c| {
+                for (k, v) in c.iter_mut().enumerate() {
+                    *v = i * 1000 + k;
+                }
+            });
+            assert_eq!(d, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn panic_in_worker_propagates_payload() {
+        let result = std::panic::catch_unwind(|| {
+            let mut data = vec![0u8; 16];
+            par_chunks_mut(&mut data, 2, Parallelism::threads(4), |i, _| {
+                if i == 5 {
+                    panic!("slab 5 exploded");
+                }
+            });
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_default()
+            .to_string();
+        assert!(msg.contains("slab 5 exploded"), "payload was {msg:?}");
+    }
+
+    #[test]
+    fn map_slabs_empty_and_order() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_slabs(&empty, Parallelism::threads(4), |_, &x| x).is_empty());
+        let items: Vec<u32> = (0..57).collect();
+        for workers in [1usize, 2, 5, 8, 100] {
+            let out = par_map_slabs(&items, Parallelism::threads(workers), |i, &x| {
+                (i as u32) * 2 + x
+            });
+            let expect: Vec<u32> = items.iter().map(|&x| x * 3).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_slabs_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map_slabs(&items, Parallelism::threads(3), |_, &x| {
+                assert!(x != 6, "item 6 rejected");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn reduce_is_ordered_and_deterministic() {
+        // A deliberately non-associative float sum: ordering matters at the
+        // bit level, so identical results across widths prove ordering.
+        let items: Vec<f64> = (0..1000).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let serial = par_reduce(&items, Parallelism::Serial, |_, &x| x, 0.0, |a, b| a + b);
+        for workers in [2usize, 3, 4, 8] {
+            let par = par_reduce(
+                &items,
+                Parallelism::threads(workers),
+                |_, &x| x,
+                0.0,
+                |a, b| a + b,
+            );
+            assert_eq!(par.to_bits(), serial.to_bits(), "workers={workers}");
+        }
+    }
+}

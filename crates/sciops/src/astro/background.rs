@@ -7,6 +7,7 @@
 
 use crate::stats::sigma_clipped_median;
 use marray::NdArray;
+use parexec::{par_chunks_mut, par_map_slabs, Parallelism};
 
 /// Background-mesh parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,6 +32,19 @@ impl Default for BackgroundParams {
 
 /// Estimate the smooth background of a 2-D image.
 pub fn estimate_background(image: &NdArray<f64>, params: &BackgroundParams) -> NdArray<f64> {
+    estimate_background_par(image, params, Parallelism::Serial)
+}
+
+/// [`estimate_background`] with explicit intra-node parallelism: mesh rows
+/// are clipped independently, then output pixel rows are interpolated
+/// independently, each across `par.workers()` threads. Both stages are
+/// per-row pure functions of read-only inputs, so output is bit-identical
+/// at every worker count.
+pub fn estimate_background_par(
+    image: &NdArray<f64>,
+    params: &BackgroundParams,
+    par: Parallelism,
+) -> NdArray<f64> {
     assert_eq!(
         image.shape().rank(),
         2,
@@ -41,11 +55,12 @@ pub fn estimate_background(image: &NdArray<f64>, params: &BackgroundParams) -> N
     let mesh_rows = rows.div_ceil(cell).max(1);
     let mesh_cols = cols.div_ceil(cell).max(1);
 
-    // Robust per-cell levels.
-    let mut mesh = vec![0.0f64; mesh_rows * mesh_cols];
-    let mut cell_values = Vec::with_capacity(cell * cell);
-    for mr in 0..mesh_rows {
-        for mc in 0..mesh_cols {
+    // Robust per-cell levels, one mesh row per slab.
+    let mesh_row_ids: Vec<usize> = (0..mesh_rows).collect();
+    let mesh: Vec<f64> = par_map_slabs(&mesh_row_ids, par, |_, &mr| {
+        let mut mesh_row = vec![0.0f64; mesh_cols];
+        let mut cell_values = Vec::with_capacity(cell * cell);
+        for (mc, slot) in mesh_row.iter_mut().enumerate() {
             cell_values.clear();
             let r1 = ((mr + 1) * cell).min(rows);
             let c1 = ((mc + 1) * cell).min(cols);
@@ -54,15 +69,21 @@ pub fn estimate_background(image: &NdArray<f64>, params: &BackgroundParams) -> N
                     cell_values.push(image.data()[r * cols + c]);
                 }
             }
-            mesh[mr * mesh_cols + mc] =
-                sigma_clipped_median(&cell_values, params.kappa, params.clip_iterations);
+            *slot = sigma_clipped_median(&cell_values, params.kappa, params.clip_iterations);
         }
-    }
+        mesh_row
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
-    // Bilinear interpolation between cell centers.
+    // Bilinear interpolation between cell centers, one pixel row per slab.
     let mut out = NdArray::zeros(&[rows, cols]);
     let center = |m: usize| (m * cell) as f64 + (cell as f64 - 1.0) / 2.0;
-    for r in 0..rows {
+    if cols == 0 {
+        return out;
+    }
+    par_chunks_mut(out.data_mut(), cols, par, |r, out_row| {
         // Fractional mesh-row position of this pixel row.
         let fr = if mesh_rows == 1 {
             0.0
@@ -72,7 +93,7 @@ pub fn estimate_background(image: &NdArray<f64>, params: &BackgroundParams) -> N
         let mr0 = fr.floor() as usize;
         let mr1 = (mr0 + 1).min(mesh_rows - 1);
         let tr = fr - mr0 as f64;
-        for c in 0..cols {
+        for (c, slot) in out_row.iter_mut().enumerate() {
             let fc = if mesh_cols == 1 {
                 0.0
             } else {
@@ -87,15 +108,24 @@ pub fn estimate_background(image: &NdArray<f64>, params: &BackgroundParams) -> N
             let v11 = mesh[mr1 * mesh_cols + mc1];
             let top = v00 * (1.0 - tc) + v01 * tc;
             let bottom = v10 * (1.0 - tc) + v11 * tc;
-            out.data_mut()[r * cols + c] = top * (1.0 - tr) + bottom * tr;
+            *slot = top * (1.0 - tr) + bottom * tr;
         }
-    }
+    });
     out
 }
 
 /// Subtract the estimated background from an image.
 pub fn subtract_background(image: &NdArray<f64>, params: &BackgroundParams) -> NdArray<f64> {
-    let bg = estimate_background(image, params);
+    subtract_background_par(image, params, Parallelism::Serial)
+}
+
+/// [`subtract_background`] with explicit intra-node parallelism.
+pub fn subtract_background_par(
+    image: &NdArray<f64>,
+    params: &BackgroundParams,
+    par: Parallelism,
+) -> NdArray<f64> {
+    let bg = estimate_background_par(image, params, par);
     image.zip_with(&bg, |v, b| v - b).expect("same shape")
 }
 
@@ -166,6 +196,22 @@ mod tests {
             },
         );
         assert!(sub.mean().abs() < 0.5);
+    }
+
+    #[test]
+    fn parallel_background_is_bit_identical() {
+        let img = NdArray::from_fn(&[33, 29], |ix| {
+            40.0 + 0.3 * ix[0] as f64 - 0.2 * ix[1] as f64 + ((ix[0] * 29 + ix[1]) % 7) as f64
+        });
+        let params = BackgroundParams {
+            cell_size: 8,
+            ..Default::default()
+        };
+        let serial = estimate_background_par(&img, &params, Parallelism::Serial);
+        for workers in [2usize, 4, 8] {
+            let par = estimate_background_par(&img, &params, Parallelism::threads(workers));
+            assert_eq!(serial, par, "workers={workers}");
+        }
     }
 
     #[test]

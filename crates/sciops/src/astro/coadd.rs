@@ -8,6 +8,7 @@
 
 use crate::astro::geometry::{Exposure, SkyBox};
 use marray::NdArray;
+use parexec::{par_map_slabs, Parallelism};
 
 /// Co-addition parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +47,18 @@ pub struct Coadd {
 /// different visits). Pixels where an input's mask is non-zero are excluded
 /// from that input's contribution.
 pub fn coadd_sigma_clip(exposures: &[Exposure], params: &CoaddParams) -> Coadd {
+    coadd_sigma_clip_par(exposures, params, Parallelism::Serial)
+}
+
+/// [`coadd_sigma_clip`] with explicit intra-node parallelism: pixel rows of
+/// the stack are clipped and averaged independently across
+/// `par.workers()` threads. Each pixel's rejection loop only reads its own
+/// column of samples, so output is bit-identical at every worker count.
+pub fn coadd_sigma_clip_par(
+    exposures: &[Exposure],
+    params: &CoaddParams,
+    par: Parallelism,
+) -> Coadd {
     let first = exposures.first().expect("coadd of zero exposures");
     let bbox = first.bbox;
     for e in exposures {
@@ -53,50 +66,64 @@ pub fn coadd_sigma_clip(exposures: &[Exposure], params: &CoaddParams) -> Coadd {
     }
     let (rows, cols) = first.dims();
     let n = exposures.len();
-    let mut flux = NdArray::<f64>::zeros(&[rows, cols]);
-    let mut variance = NdArray::<f64>::zeros(&[rows, cols]);
-    let mut depth = NdArray::<u16>::zeros(&[rows, cols]);
 
-    let mut samples: Vec<(f64, f64)> = Vec::with_capacity(n); // (flux, var)
-    for p in 0..rows * cols {
-        samples.clear();
-        for e in exposures {
-            if e.mask.data()[p] == 0 {
-                samples.push((e.flux.data()[p], e.variance.data()[p].max(1e-12)));
+    let row_ids: Vec<usize> = (0..rows).collect();
+    let stacked = par_map_slabs(&row_ids, par, |_, &r| {
+        let mut flux_row = vec![0.0f64; cols];
+        let mut var_row = vec![0.0f64; cols];
+        let mut depth_row = vec![0u16; cols];
+        let mut samples: Vec<(f64, f64)> = Vec::with_capacity(n); // (flux, var)
+        for c in 0..cols {
+            let p = r * cols + c;
+            samples.clear();
+            for e in exposures {
+                if e.mask.data()[p] == 0 {
+                    samples.push((e.flux.data()[p], e.variance.data()[p].max(1e-12)));
+                }
             }
+            if samples.is_empty() {
+                continue;
+            }
+            // Iterative 3-sigma rejection on the flux samples.
+            for _ in 0..params.iterations {
+                if samples.len() <= 1 {
+                    break;
+                }
+                let vals: Vec<f64> = samples.iter().map(|s| s.0).collect();
+                let (mean, std) = crate::stats::mean_std(&vals);
+                if std == 0.0 {
+                    break;
+                }
+                let before = samples.len();
+                samples.retain(|s| (s.0 - mean).abs() <= params.kappa * std);
+                if samples.is_empty() || samples.len() == before {
+                    break;
+                }
+            }
+            // Inverse-variance weighted mean of the survivors.
+            let wsum: f64 = samples.iter().map(|s| 1.0 / s.1).sum();
+            let fsum: f64 = samples.iter().map(|s| s.0 / s.1).sum();
+            flux_row[c] = fsum / wsum;
+            var_row[c] = 1.0 / wsum;
+            depth_row[c] = samples.len() as u16;
         }
-        if samples.is_empty() {
-            continue;
-        }
-        // Iterative 3-sigma rejection on the flux samples.
-        for _ in 0..params.iterations {
-            if samples.len() <= 1 {
-                break;
-            }
-            let vals: Vec<f64> = samples.iter().map(|s| s.0).collect();
-            let (mean, std) = crate::stats::mean_std(&vals);
-            if std == 0.0 {
-                break;
-            }
-            let before = samples.len();
-            samples.retain(|s| (s.0 - mean).abs() <= params.kappa * std);
-            if samples.is_empty() || samples.len() == before {
-                break;
-            }
-        }
-        // Inverse-variance weighted mean of the survivors.
-        let wsum: f64 = samples.iter().map(|s| 1.0 / s.1).sum();
-        let fsum: f64 = samples.iter().map(|s| s.0 / s.1).sum();
-        flux.data_mut()[p] = fsum / wsum;
-        variance.data_mut()[p] = 1.0 / wsum;
-        depth.data_mut()[p] = samples.len() as u16;
+        (flux_row, var_row, depth_row)
+    });
+
+    let mut flux = Vec::with_capacity(rows * cols);
+    let mut variance = Vec::with_capacity(rows * cols);
+    let mut depth = Vec::with_capacity(rows * cols);
+    for (flux_row, var_row, depth_row) in stacked {
+        flux.extend(flux_row);
+        variance.extend(var_row);
+        depth.extend(depth_row);
     }
-
     Coadd {
         bbox,
-        flux,
-        variance,
-        depth,
+        flux: NdArray::from_vec(&[rows, cols], flux).expect("row stitching preserves shape"),
+        variance: NdArray::from_vec(&[rows, cols], variance)
+            .expect("row stitching preserves shape"),
+        depth: NdArray::from_vec(&[rows, cols], depth).expect("row stitching preserves shape"),
     }
 }
 
@@ -187,6 +214,26 @@ mod tests {
         );
         // Weighted mean = (0/1 + 10/9) / (1 + 1/9) = 1.0.
         assert!((coadd.flux[&[0, 0][..]] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_coadd_is_bit_identical() {
+        let stack: Vec<Exposure> = (0..7)
+            .map(|v| {
+                exposure(
+                    v,
+                    NdArray::from_fn(&[9, 5], |ix| {
+                        10.0 + (v as f64) * 0.3 + (ix[0] * 5 + ix[1]) as f64 * 0.07
+                    }),
+                )
+            })
+            .collect();
+        let params = CoaddParams::default();
+        let serial = coadd_sigma_clip_par(&stack, &params, Parallelism::Serial);
+        for workers in [2usize, 4, 8] {
+            let par = coadd_sigma_clip_par(&stack, &params, Parallelism::threads(workers));
+            assert_eq!(serial, par, "workers={workers}");
+        }
     }
 
     #[test]

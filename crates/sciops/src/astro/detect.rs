@@ -5,9 +5,10 @@
 //! 8-connected pixel clusters, and measure each cluster's centroid, total
 //! flux and peak.
 
-use crate::astro::background::{estimate_background, BackgroundParams};
+use crate::astro::background::{estimate_background_par, BackgroundParams};
 use crate::astro::coadd::Coadd;
 use marray::NdArray;
+use parexec::{par_chunks_mut, par_map_slabs, Parallelism};
 
 /// Detection parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,15 +78,40 @@ impl UnionFind {
 /// Detect sources in a coadd. Centroids are reported in global sky
 /// coordinates using the coadd's bbox origin.
 pub fn detect_sources(coadd: &Coadd, params: &DetectParams) -> Vec<Source> {
+    detect_sources_par(coadd, params, Parallelism::Serial)
+}
+
+/// [`detect_sources`] with explicit intra-node parallelism: the background
+/// mesh, the residual subtraction, and the per-pixel threshold map are all
+/// computed row-parallel across `par.workers()` threads; the connected-
+/// component labeling stays serial (its scan order is part of the label
+/// semantics). Output is bit-identical at every worker count.
+pub fn detect_sources_par(coadd: &Coadd, params: &DetectParams, par: Parallelism) -> Vec<Source> {
     let (rows, cols) = (coadd.flux.dims()[0], coadd.flux.dims()[1]);
-    let bg = estimate_background(&coadd.flux, &params.background);
-    let sub: NdArray<f64> = coadd.flux.zip_with(&bg, |v, b| v - b).expect("same shape");
+    let bg = estimate_background_par(&coadd.flux, &params.background, par);
+    let mut sub: NdArray<f64> = coadd.flux.clone();
+    if cols > 0 {
+        par_chunks_mut(sub.data_mut(), cols, par, |r, row| {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v -= bg.data()[r * cols + c];
+            }
+        });
+    }
 
     // Per-pixel significance threshold from the coadd variance.
-    let above = |p: usize| {
-        let sigma = coadd.variance.data()[p].max(1e-12).sqrt();
-        sub.data()[p] > params.n_sigma * sigma
-    };
+    let row_ids: Vec<usize> = (0..rows).collect();
+    let above: Vec<bool> = par_map_slabs(&row_ids, par, |_, &r| {
+        let mut row = vec![false; cols];
+        for (c, flag) in row.iter_mut().enumerate() {
+            let p = r * cols + c;
+            let sigma = coadd.variance.data()[p].max(1e-12).sqrt();
+            *flag = sub.data()[p] > params.n_sigma * sigma;
+        }
+        row
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     // Two-pass 8-connected labeling.
     let mut labels = vec![0u32; rows * cols];
@@ -93,7 +119,7 @@ pub fn detect_sources(coadd: &Coadd, params: &DetectParams) -> Vec<Source> {
     for r in 0..rows {
         for c in 0..cols {
             let p = r * cols + c;
-            if !above(p) {
+            if !above[p] {
                 continue;
             }
             // Previously-visited neighbors: W, NW, N, NE.
@@ -265,6 +291,17 @@ mod tests {
             },
         );
         assert_eq!(loose.len(), 1);
+    }
+
+    #[test]
+    fn parallel_detection_is_bit_identical() {
+        let coadd = coadd_with_sources(&[(12, 12), (34, 30), (8, 40)], 600.0);
+        let params = DetectParams::default();
+        let serial = detect_sources_par(&coadd, &params, Parallelism::Serial);
+        for workers in [2usize, 4, 8] {
+            let par = detect_sources_par(&coadd, &params, Parallelism::threads(workers));
+            assert_eq!(serial, par, "workers={workers}");
+        }
     }
 
     #[test]

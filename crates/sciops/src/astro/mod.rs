@@ -24,10 +24,13 @@ pub mod detect;
 pub mod geometry;
 pub mod pipeline;
 
-pub use background::{estimate_background, subtract_background, BackgroundParams};
+pub use background::{
+    estimate_background, estimate_background_par, subtract_background, subtract_background_par,
+    BackgroundParams,
+};
 pub use calib::{calibrate_exposure, CalibParams};
-pub use coadd::{coadd_sigma_clip, CoaddParams};
+pub use coadd::{coadd_sigma_clip, coadd_sigma_clip_par, CoaddParams};
 pub use cosmic::{detect_cosmic_rays, repair, CosmicParams};
-pub use detect::{detect_sources, DetectParams, Source};
+pub use detect::{detect_sources, detect_sources_par, DetectParams, Source};
 pub use geometry::{Exposure, PatchGrid, PatchId, SkyBox};
-pub use pipeline::{reference_pipeline, AstroOutput};
+pub use pipeline::{reference_pipeline, reference_pipeline_par, AstroOutput};

@@ -4,9 +4,10 @@
 //! engines' outputs are validated against it.
 
 use crate::astro::calib::{calibrate_exposure, CalibParams};
-use crate::astro::coadd::{coadd_sigma_clip, Coadd, CoaddParams};
-use crate::astro::detect::{detect_sources, DetectParams, Source};
+use crate::astro::coadd::{coadd_sigma_clip_par, Coadd, CoaddParams};
+use crate::astro::detect::{detect_sources_par, DetectParams, Source};
 use crate::astro::geometry::{Exposure, PatchGrid, PatchId};
+use parexec::{par_map_slabs, Parallelism};
 use std::collections::BTreeMap;
 
 /// Output of the full astronomy pipeline.
@@ -84,12 +85,25 @@ pub fn reference_pipeline(
     coadd: &CoaddParams,
     detect: &DetectParams,
 ) -> AstroOutput {
-    // Step 1A: calibrate every exposure.
-    let calibrated: Vec<Exposure> = visits
-        .iter()
-        .flatten()
-        .map(|e| calibrate_exposure(e, calib))
-        .collect();
+    reference_pipeline_par(visits, grid, calib, coadd, detect, Parallelism::Serial)
+}
+
+/// [`reference_pipeline`] with explicit intra-node parallelism: calibration
+/// fans out over exposures, and each patch's co-add and detection use the
+/// row-parallel kernels. Patch iteration order (BTreeMap) and every
+/// per-pixel accumulation order are unchanged, so output is bit-identical
+/// at every worker count.
+pub fn reference_pipeline_par(
+    visits: &[Vec<Exposure>],
+    grid: &PatchGrid,
+    calib: &CalibParams,
+    coadd: &CoaddParams,
+    detect: &DetectParams,
+    par: Parallelism,
+) -> AstroOutput {
+    // Step 1A: calibrate every exposure (one exposure per slab).
+    let raw: Vec<&Exposure> = visits.iter().flatten().collect();
+    let calibrated: Vec<Exposure> = par_map_slabs(&raw, par, |_, e| calibrate_exposure(e, calib));
 
     // Step 2A: flatmap to patches, then merge pieces per (patch, visit).
     let by_patch = create_patches(&calibrated, grid);
@@ -110,13 +124,13 @@ pub fn reference_pipeline(
     // Step 3A: coadd each patch across visits.
     let coadds: BTreeMap<PatchId, Coadd> = merged
         .into_iter()
-        .map(|(patch, exposures)| (patch, coadd_sigma_clip(&exposures, coadd)))
+        .map(|(patch, exposures)| (patch, coadd_sigma_clip_par(&exposures, coadd, par)))
         .collect();
 
     // Step 4A: detect sources per coadd.
     let catalogs = coadds
         .iter()
-        .map(|(patch, c)| (*patch, detect_sources(c, detect)))
+        .map(|(patch, c)| (*patch, detect_sources_par(c, detect, par)))
         .collect();
 
     AstroOutput { coadds, catalogs }

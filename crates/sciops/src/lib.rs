@@ -26,3 +26,5 @@ pub mod linalg;
 pub mod neuro;
 pub mod stats;
 pub mod synth;
+
+pub use parexec::Parallelism;

@@ -6,8 +6,16 @@
 //! patches around them. The brain mask restricts computation to ~2/3 of the
 //! volume — the optimization TensorFlow cannot express (no masked
 //! element-wise assignment), which the dataflow engine reproduces.
+//!
+//! The kernel is slab-parallel: the volume partitions into axis-0 planes,
+//! each computed independently from the read-only input
+//! ([`nlmeans3d_par`]). Per center voxel, the patch around the center is
+//! gathered **once** and reused against every offset of the search window,
+//! instead of being re-read (with bounds checks) for each of the
+//! `(2r+1)³` candidates — a measurable win even single-threaded.
 
 use marray::{window_bounds, Mask, NdArray};
+use parexec::{par_chunks_mut, Parallelism};
 
 /// Non-local means parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,57 +42,54 @@ impl Default for NlmParams {
     }
 }
 
-/// Mean squared difference between the patches centered at `a` and `b`,
-/// clamped at volume borders (patches are truncated symmetrically).
-#[inline]
-fn patch_distance(
-    data: &[f64],
-    dims: &[usize; 3],
-    a: [usize; 3],
-    b: [usize; 3],
-    radius: usize,
-) -> f64 {
-    let (sy, sz) = (dims[1] * dims[2], dims[2]);
+/// The relative offsets of a cubic patch of radius `radius`, in the fixed
+/// `(dx, dy, dz)` row-major order every distance accumulation uses — the
+/// order is part of the determinism contract (float sums are
+/// order-sensitive).
+fn patch_offsets(radius: usize) -> Vec<[isize; 3]> {
     let r = radius as isize;
-    let mut sum = 0.0;
-    let mut count = 0usize;
+    let mut offsets = Vec::with_capacity((2 * radius + 1).pow(3));
     for dx in -r..=r {
         for dy in -r..=r {
             for dz in -r..=r {
-                let ax = a[0] as isize + dx;
-                let ay = a[1] as isize + dy;
-                let az = a[2] as isize + dz;
-                let bx = b[0] as isize + dx;
-                let by = b[1] as isize + dy;
-                let bz = b[2] as isize + dz;
-                let inside = |x: isize, y: isize, z: isize| {
-                    x >= 0
-                        && y >= 0
-                        && z >= 0
-                        && (x as usize) < dims[0]
-                        && (y as usize) < dims[1]
-                        && (z as usize) < dims[2]
-                };
-                if inside(ax, ay, az) && inside(bx, by, bz) {
-                    let va = data[ax as usize * sy + ay as usize * sz + az as usize];
-                    let vb = data[bx as usize * sy + by as usize * sz + bz as usize];
-                    sum += (va - vb) * (va - vb);
-                    count += 1;
-                }
+                offsets.push([dx, dy, dz]);
             }
         }
     }
-    if count == 0 {
-        0.0
-    } else {
-        sum / count as f64
-    }
+    offsets
+}
+
+#[inline]
+fn inside(dims: &[usize; 3], x: isize, y: isize, z: isize) -> bool {
+    x >= 0
+        && y >= 0
+        && z >= 0
+        && (x as usize) < dims[0]
+        && (y as usize) < dims[1]
+        && (z as usize) < dims[2]
 }
 
 /// Denoise one 3-D volume with non-local means, computing only voxels where
 /// `mask` is true (masked-out voxels pass through unchanged). Pass `None`
 /// to denoise the full volume (the TensorFlow path).
+///
+/// Single-threaded reference path: identical to
+/// [`nlmeans3d_par`] at [`Parallelism::Serial`].
 pub fn nlmeans3d(volume: &NdArray<f64>, mask: Option<&Mask>, params: &NlmParams) -> NdArray<f64> {
+    nlmeans3d_par(volume, mask, params, Parallelism::Serial)
+}
+
+/// [`nlmeans3d`] with explicit intra-node parallelism: axis-0 planes of the
+/// output are distributed across `par.workers()` threads. Output is
+/// bit-identical at every worker count — slab boundaries are fixed by the
+/// volume shape, every voxel's accumulation order is unchanged, and workers
+/// only write their own disjoint planes.
+pub fn nlmeans3d_par(
+    volume: &NdArray<f64>,
+    mask: Option<&Mask>,
+    params: &NlmParams,
+    par: Parallelism,
+) -> NdArray<f64> {
     assert_eq!(volume.shape().rank(), 3, "nlmeans3d expects a 3-D volume");
     if let Some(m) = mask {
         assert_eq!(m.dims(), volume.dims(), "mask shape must match volume");
@@ -93,16 +98,37 @@ pub fn nlmeans3d(volume: &NdArray<f64>, mask: Option<&Mask>, params: &NlmParams)
     let data = volume.data();
     let (sy, sz) = (dims[1] * dims[2], dims[2]);
     let h2 = (params.h_factor * params.sigma).powi(2).max(1e-12);
+    let offsets = patch_offsets(params.patch_radius);
     let mut out = volume.clone();
+    if sy == 0 {
+        return out;
+    }
 
-    for x in 0..dims[0] {
+    par_chunks_mut(out.data_mut(), sy, par, |x, plane| {
+        // Per-worker scratch: the center-patch cache, gathered once per
+        // voxel and reused for every search-window candidate.
+        let mut center_vals = vec![0.0f64; offsets.len()];
+        let mut center_ok = vec![false; offsets.len()];
         for y in 0..dims[1] {
             for z in 0..dims[2] {
-                let off = x * sy + y * sz + z;
+                let plane_off = y * sz + z;
+                let off = x * sy + plane_off;
                 if let Some(m) = mask {
                     if !m.get_flat(off) {
                         continue;
                     }
+                }
+                for (k, o) in offsets.iter().enumerate() {
+                    let ax = x as isize + o[0];
+                    let ay = y as isize + o[1];
+                    let az = z as isize + o[2];
+                    let ok = inside(&dims, ax, ay, az);
+                    center_ok[k] = ok;
+                    center_vals[k] = if ok {
+                        data[ax as usize * sy + ay as usize * sz + az as usize]
+                    } else {
+                        0.0
+                    };
                 }
                 let (x0, x1) = window_bounds(x, params.search_radius, dims[0]);
                 let (y0, y1) = window_bounds(y, params.search_radius, dims[1]);
@@ -112,23 +138,36 @@ pub fn nlmeans3d(volume: &NdArray<f64>, mask: Option<&Mask>, params: &NlmParams)
                 for nx in x0..x1 {
                     for ny in y0..y1 {
                         for nz in z0..z1 {
-                            let d = patch_distance(
-                                data,
-                                &dims,
-                                [x, y, z],
-                                [nx, ny, nz],
-                                params.patch_radius,
-                            );
+                            // Patch distance against the cached center
+                            // patch, accumulated in the fixed offset order.
+                            let mut sum = 0.0;
+                            let mut count = 0usize;
+                            for (k, o) in offsets.iter().enumerate() {
+                                if !center_ok[k] {
+                                    continue;
+                                }
+                                let bx = nx as isize + o[0];
+                                let by = ny as isize + o[1];
+                                let bz = nz as isize + o[2];
+                                if inside(&dims, bx, by, bz) {
+                                    let vb =
+                                        data[bx as usize * sy + by as usize * sz + bz as usize];
+                                    let d = center_vals[k] - vb;
+                                    sum += d * d;
+                                    count += 1;
+                                }
+                            }
+                            let d = if count == 0 { 0.0 } else { sum / count as f64 };
                             let w = (-d / h2).exp();
                             wsum += w;
                             vsum += w * data[nx * sy + ny * sz + nz];
                         }
                     }
                 }
-                out.data_mut()[off] = vsum / wsum;
+                plane[plane_off] = vsum / wsum;
             }
         }
-    }
+    });
     out
 }
 
@@ -211,6 +250,21 @@ mod tests {
         let d = nlmeans3d(&v, None, &NlmParams::default());
         for &x in d.data() {
             assert!((x - 42.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_bit_identical() {
+        let v = noisy_constant(41, 80.0, 6.0);
+        let mask = Mask::from_vec(v.dims(), (0..v.len()).map(|i| i % 3 != 0).collect()).unwrap();
+        let params = NlmParams {
+            sigma: 6.0,
+            ..Default::default()
+        };
+        let serial = nlmeans3d_par(&v, Some(&mask), &params, Parallelism::Serial);
+        for workers in [2usize, 4, 8] {
+            let par = nlmeans3d_par(&v, Some(&mask), &params, Parallelism::threads(workers));
+            assert_eq!(serial, par, "workers={workers}");
         }
     }
 }

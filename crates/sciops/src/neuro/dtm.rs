@@ -9,6 +9,7 @@
 use crate::linalg::{solve, sym3_eigenvalues};
 use crate::neuro::gradients::GradientTable;
 use marray::{Mask, NdArray};
+use parexec::{par_map_slabs, Parallelism};
 
 /// Per-voxel diffusion tensor fit result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,56 +108,73 @@ pub fn fit_dtm_volume_full(
     mask: &Mask,
     gtab: &GradientTable,
 ) -> (NdArray<f64>, NdArray<f64>) {
+    fit_dtm_volume_full_par(data, mask, gtab, Parallelism::Serial)
+}
+
+/// [`fit_dtm_volume_full`] with explicit intra-node parallelism: axis-0
+/// planes of the FA/MD maps are fitted independently across
+/// `par.workers()` threads. The per-voxel fit is independent by
+/// construction, so output is bit-identical at every worker count.
+pub fn fit_dtm_volume_full_par(
+    data: &NdArray<f64>,
+    mask: &Mask,
+    gtab: &GradientTable,
+    par: Parallelism,
+) -> (NdArray<f64>, NdArray<f64>) {
     assert_eq!(data.shape().rank(), 4, "expected 4-D (x,y,z,volume) data");
     let dims = data.dims();
     let n_vols = dims[3];
     assert_eq!(n_vols, gtab.len(), "volume count must match gradient table");
     assert_eq!(mask.dims(), &dims[..3], "mask must be 3-D over (x,y,z)");
     let spatial = [dims[0], dims[1], dims[2]];
-    let mut fa = NdArray::<f64>::zeros(&spatial);
-    let mut md = NdArray::<f64>::zeros(&spatial);
-    let mut signals = vec![0.0f64; n_vols];
+    let plane_len = spatial[1] * spatial[2];
     let raw = data.data();
+    let planes: Vec<usize> = (0..spatial[0]).collect();
+    let fitted = par_map_slabs(&planes, par, |_, &x| {
+        let mut fa_plane = vec![0.0f64; plane_len];
+        let mut md_plane = vec![0.0f64; plane_len];
+        let mut signals = vec![0.0f64; n_vols];
+        for p in 0..plane_len {
+            let voxel = x * plane_len + p;
+            if !mask.get_flat(voxel) {
+                continue;
+            }
+            // Row-major (x,y,z,v): the volume axis is contiguous per voxel.
+            let base = voxel * n_vols;
+            signals.copy_from_slice(&raw[base..base + n_vols]);
+            if let Some(fit) = fit_dtm_voxel(&signals, gtab) {
+                fa_plane[p] = fit.fa();
+                md_plane[p] = fit.md();
+            }
+        }
+        (fa_plane, md_plane)
+    });
     let n_spatial = spatial.iter().product::<usize>();
-    for voxel in 0..n_spatial {
-        if !mask.get_flat(voxel) {
-            continue;
-        }
-        let base = voxel * n_vols;
-        signals.copy_from_slice(&raw[base..base + n_vols]);
-        if let Some(fit) = fit_dtm_voxel(&signals, gtab) {
-            fa.data_mut()[voxel] = fit.fa();
-            md.data_mut()[voxel] = fit.md();
-        }
+    let mut fa = Vec::with_capacity(n_spatial);
+    let mut md = Vec::with_capacity(n_spatial);
+    for (fa_plane, md_plane) in fitted {
+        fa.extend(fa_plane);
+        md.extend(md_plane);
     }
+    let fa = NdArray::from_vec(&spatial, fa).expect("plane stitching preserves shape");
+    let md = NdArray::from_vec(&spatial, md).expect("plane stitching preserves shape");
     (fa, md)
 }
 
 /// Fit the DTM for every masked voxel of a subject's 4-D dataset
 /// (x, y, z, volume) and return the FA map. Unmasked voxels get FA 0.
 pub fn fit_dtm_volume(data: &NdArray<f64>, mask: &Mask, gtab: &GradientTable) -> NdArray<f64> {
-    assert_eq!(data.shape().rank(), 4, "expected 4-D (x,y,z,volume) data");
-    let dims = data.dims();
-    let n_vols = dims[3];
-    assert_eq!(n_vols, gtab.len(), "volume count must match gradient table");
-    assert_eq!(mask.dims(), &dims[..3], "mask must be 3-D over (x,y,z)");
-    let spatial = [dims[0], dims[1], dims[2]];
-    let mut fa = NdArray::<f64>::zeros(&spatial);
-    let mut signals = vec![0.0f64; n_vols];
-    let raw = data.data();
-    let n_spatial = spatial.iter().product::<usize>();
-    for voxel in 0..n_spatial {
-        if !mask.get_flat(voxel) {
-            continue;
-        }
-        // Row-major (x,y,z,v): the volume axis is contiguous per voxel.
-        let base = voxel * n_vols;
-        signals.copy_from_slice(&raw[base..base + n_vols]);
-        if let Some(fit) = fit_dtm_voxel(&signals, gtab) {
-            fa.data_mut()[voxel] = fit.fa();
-        }
-    }
-    fa
+    fit_dtm_volume_full_par(data, mask, gtab, Parallelism::Serial).0
+}
+
+/// [`fit_dtm_volume`] with explicit intra-node parallelism.
+pub fn fit_dtm_volume_par(
+    data: &NdArray<f64>,
+    mask: &Mask,
+    gtab: &GradientTable,
+    par: Parallelism,
+) -> NdArray<f64> {
+    fit_dtm_volume_full_par(data, mask, gtab, par).0
 }
 
 #[cfg(test)]
@@ -252,6 +270,24 @@ mod tests {
         let expect_md = (1.7e-3 + 0.2e-3 + 0.2e-3) / 3.0;
         for &v in md.data() {
             assert!((v - expect_md).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical() {
+        let gtab = GradientTable::hcp_like(32, 2, 1000.0);
+        let aniso = [1.5e-3, 0.4e-3, 0.3e-3, 0.1e-3, 0.0, -0.05e-3];
+        let sig = simulate(&gtab, &aniso, 900.0);
+        let data = NdArray::from_fn(&[5, 3, 3, 32], |ix| {
+            sig[ix[3]] * (1.0 + 0.01 * ix[0] as f64)
+        });
+        let mask = Mask::from_vec(&[5, 3, 3], (0..45).map(|i| i % 4 != 0).collect()).unwrap();
+        let (fa_s, md_s) = fit_dtm_volume_full_par(&data, &mask, &gtab, Parallelism::Serial);
+        for workers in [2usize, 4, 8] {
+            let (fa_p, md_p) =
+                fit_dtm_volume_full_par(&data, &mask, &gtab, Parallelism::threads(workers));
+            assert_eq!(fa_s, fa_p, "FA workers={workers}");
+            assert_eq!(md_s, md_p, "MD workers={workers}");
         }
     }
 

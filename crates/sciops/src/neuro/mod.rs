@@ -19,8 +19,11 @@ pub mod gradients;
 pub mod pipeline;
 pub mod segment;
 
-pub use denoise::{nlmeans3d, NlmParams};
-pub use dtm::{fit_dtm_volume, fit_dtm_volume_full, fractional_anisotropy, DtmFit};
+pub use denoise::{nlmeans3d, nlmeans3d_par, NlmParams};
+pub use dtm::{
+    fit_dtm_volume, fit_dtm_volume_full, fit_dtm_volume_full_par, fit_dtm_volume_par,
+    fractional_anisotropy, DtmFit,
+};
 pub use gradients::GradientTable;
-pub use pipeline::{reference_pipeline, NeuroOutput};
+pub use pipeline::{reference_pipeline, reference_pipeline_par, NeuroOutput};
 pub use segment::{median_filter3d, median_otsu, otsu_threshold};

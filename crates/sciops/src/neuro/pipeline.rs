@@ -4,11 +4,12 @@
 //! ("executes as a single process on one machine"): every engine's output is
 //! validated against it.
 
-use crate::neuro::denoise::{nlmeans3d, NlmParams};
-use crate::neuro::dtm::fit_dtm_volume;
+use crate::neuro::denoise::{nlmeans3d_par, NlmParams};
+use crate::neuro::dtm::fit_dtm_volume_par;
 use crate::neuro::gradients::GradientTable;
 use crate::neuro::segment::median_otsu;
 use marray::{Mask, NdArray};
+use parexec::Parallelism;
 
 /// Output of the full neuroscience pipeline for one subject.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,12 +36,24 @@ pub fn segmentation(data: &NdArray<f64>, gtab: &GradientTable) -> (NdArray<f64>,
 
 /// Step 2N in isolation: denoise every volume under the mask.
 pub fn denoise_all(data: &NdArray<f64>, mask: &Mask, params: &NlmParams) -> NdArray<f64> {
+    denoise_all_par(data, mask, params, Parallelism::Serial)
+}
+
+/// [`denoise_all`] with explicit intra-node parallelism: the volume loop
+/// stays serial (each volume is a full NLM invocation), and each volume's
+/// slabs run across `par.workers()` threads.
+pub fn denoise_all_par(
+    data: &NdArray<f64>,
+    mask: &Mask,
+    params: &NlmParams,
+    par: Parallelism,
+) -> NdArray<f64> {
     let dims = data.dims();
     let n_vols = dims[3];
     let mut volumes = Vec::with_capacity(n_vols);
     for v in 0..n_vols {
         let vol = data.slice_axis(3, v).expect("volume index in range");
-        let den = nlmeans3d(&vol, Some(mask), params);
+        let den = nlmeans3d_par(&vol, Some(mask), params, par);
         let mut vd = den.dims().to_vec();
         vd.push(1);
         volumes.push(den.reshape(&vd).expect("same element count"));
@@ -58,9 +71,21 @@ pub fn reference_pipeline(
     gtab: &GradientTable,
     nlm: &NlmParams,
 ) -> NeuroOutput {
+    reference_pipeline_par(data, gtab, nlm, Parallelism::Serial)
+}
+
+/// [`reference_pipeline`] with explicit intra-node parallelism threaded
+/// through the denoising and tensor-fitting steps (segmentation is a
+/// negligible fraction of the runtime and stays serial).
+pub fn reference_pipeline_par(
+    data: &NdArray<f64>,
+    gtab: &GradientTable,
+    nlm: &NlmParams,
+    par: Parallelism,
+) -> NeuroOutput {
     let (mean_b0, mask) = segmentation(data, gtab);
-    let denoised = denoise_all(data, &mask, nlm);
-    let fa = fit_dtm_volume(&denoised, &mask, gtab);
+    let denoised = denoise_all_par(data, &mask, nlm, par);
+    let fa = fit_dtm_volume_par(&denoised, &mask, gtab, par);
     NeuroOutput {
         mask,
         mean_b0,

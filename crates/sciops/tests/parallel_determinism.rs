@@ -1,0 +1,172 @@
+//! Bit-identical-output guarantees for the parallel kernel ports.
+//!
+//! Every `_par` kernel must produce *exactly* the same bytes at any worker
+//! count as the single-threaded reference path: slab boundaries are fixed
+//! by the input shape (not by the worker count) and every per-element
+//! accumulation order is unchanged, so there is no legal source of float
+//! divergence. These tests pin that contract on the real synthetic
+//! generators — the same phantoms the benchmarks and engines run on.
+
+use parexec::Parallelism;
+use sciops::astro::{
+    coadd_sigma_clip_par, detect_sources_par, estimate_background_par, reference_pipeline_par,
+    subtract_background_par, BackgroundParams, CalibParams, CoaddParams, DetectParams,
+};
+use sciops::neuro::pipeline::{denoise_all_par, segmentation};
+use sciops::neuro::{fit_dtm_volume_full_par, nlmeans3d_par, NlmParams};
+use sciops::synth::dmri::{DmriPhantom, DmriSpec};
+use sciops::synth::sky::{SkySpec, SkySurvey};
+
+const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn tiny_phantom() -> DmriPhantom {
+    let mut spec = DmriSpec::test_scale();
+    spec.dims = [8, 7, 6];
+    spec.n_volumes = 6;
+    DmriPhantom::generate(17, &spec)
+}
+
+#[test]
+fn nlm_denoise_bit_identical_across_thread_counts() {
+    let phantom = tiny_phantom();
+    let data = phantom.data.cast::<f64>();
+    let (_, mask) = segmentation(&data, &phantom.gtab);
+    let vol = data.slice_axis(3, 0).unwrap();
+    let nlm = NlmParams {
+        search_radius: 1,
+        patch_radius: 1,
+        sigma: 20.0,
+        h_factor: 1.0,
+    };
+    let serial = nlmeans3d_par(&vol, Some(&mask), &nlm, Parallelism::Serial);
+    for workers in WORKER_COUNTS {
+        let par = nlmeans3d_par(&vol, Some(&mask), &nlm, Parallelism::threads(workers));
+        assert_eq!(serial, par, "nlmeans3d workers={workers}");
+    }
+}
+
+#[test]
+fn denoise_all_volumes_bit_identical_across_thread_counts() {
+    let phantom = tiny_phantom();
+    let data = phantom.data.cast::<f64>();
+    let (_, mask) = segmentation(&data, &phantom.gtab);
+    let nlm = NlmParams {
+        search_radius: 1,
+        patch_radius: 1,
+        sigma: 20.0,
+        h_factor: 1.0,
+    };
+    let serial = denoise_all_par(&data, &mask, &nlm, Parallelism::Serial);
+    for workers in WORKER_COUNTS {
+        let par = denoise_all_par(&data, &mask, &nlm, Parallelism::threads(workers));
+        assert_eq!(serial, par, "denoise_all workers={workers}");
+    }
+}
+
+#[test]
+fn dtm_fit_bit_identical_across_thread_counts() {
+    let phantom = tiny_phantom();
+    let data = phantom.data.cast::<f64>();
+    let (_, mask) = segmentation(&data, &phantom.gtab);
+    let (fa_s, md_s) = fit_dtm_volume_full_par(&data, &mask, &phantom.gtab, Parallelism::Serial);
+    for workers in WORKER_COUNTS {
+        let (fa_p, md_p) =
+            fit_dtm_volume_full_par(&data, &mask, &phantom.gtab, Parallelism::threads(workers));
+        assert_eq!(fa_s, fa_p, "FA workers={workers}");
+        assert_eq!(md_s, md_p, "MD workers={workers}");
+    }
+}
+
+#[test]
+fn coadd_bit_identical_across_thread_counts() {
+    let survey = SkySurvey::generate(23, &SkySpec::test_scale());
+    let grid = survey.patch_grid();
+    let calib = CalibParams::default();
+    let calibrated: Vec<_> = survey
+        .visits
+        .iter()
+        .flatten()
+        .map(|e| sciops::astro::calibrate_exposure(e, &calib))
+        .collect();
+    let by_patch = sciops::astro::pipeline::create_patches(&calibrated, &grid);
+    let (patch, pieces) = by_patch.iter().next().expect("survey covers >= 1 patch");
+    let patch_box = grid.patch_box(*patch);
+    let merged: Vec<_> = pieces
+        .chunks(1)
+        .map(|chunk| sciops::astro::pipeline::merge_visit_pieces(&patch_box, chunk))
+        .collect();
+    let params = CoaddParams::default();
+    let serial = coadd_sigma_clip_par(&merged, &params, Parallelism::Serial);
+    for workers in WORKER_COUNTS {
+        let par = coadd_sigma_clip_par(&merged, &params, Parallelism::threads(workers));
+        assert_eq!(serial, par, "coadd workers={workers}");
+    }
+}
+
+#[test]
+fn background_bit_identical_across_thread_counts() {
+    let survey = SkySurvey::generate(29, &SkySpec::test_scale());
+    let exposure = &survey.visits[0][0];
+    let params = BackgroundParams {
+        cell_size: 8,
+        ..Default::default()
+    };
+    let bg_serial = estimate_background_par(&exposure.flux, &params, Parallelism::Serial);
+    let sub_serial = subtract_background_par(&exposure.flux, &params, Parallelism::Serial);
+    for workers in WORKER_COUNTS {
+        let par = Parallelism::threads(workers);
+        assert_eq!(
+            bg_serial,
+            estimate_background_par(&exposure.flux, &params, par),
+            "background workers={workers}"
+        );
+        assert_eq!(
+            sub_serial,
+            subtract_background_par(&exposure.flux, &params, par),
+            "subtract workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn detect_bit_identical_across_thread_counts() {
+    let survey = SkySurvey::generate(31, &SkySpec::test_scale());
+    let grid = survey.patch_grid();
+    let out = reference_pipeline_par(
+        &survey.visits,
+        &grid,
+        &CalibParams::default(),
+        &CoaddParams::default(),
+        &DetectParams::default(),
+        Parallelism::Serial,
+    );
+    let coadd = out.coadds.values().next().expect("at least one coadd");
+    let params = DetectParams::default();
+    let serial = detect_sources_par(coadd, &params, Parallelism::Serial);
+    for workers in WORKER_COUNTS {
+        let par = detect_sources_par(coadd, &params, Parallelism::threads(workers));
+        assert_eq!(serial, par, "detect workers={workers}");
+    }
+}
+
+#[test]
+fn full_astro_pipeline_bit_identical_across_thread_counts() {
+    let survey = SkySurvey::generate(37, &SkySpec::test_scale());
+    let grid = survey.patch_grid();
+    let run = |par| {
+        reference_pipeline_par(
+            &survey.visits,
+            &grid,
+            &CalibParams::default(),
+            &CoaddParams::default(),
+            &DetectParams::default(),
+            par,
+        )
+    };
+    let serial = run(Parallelism::Serial);
+    for workers in WORKER_COUNTS {
+        let par = run(Parallelism::threads(workers));
+        assert_eq!(serial.coadds, par.coadds, "coadds workers={workers}");
+        assert_eq!(serial.catalogs, par.catalogs, "catalogs workers={workers}");
+    }
+}

@@ -14,6 +14,13 @@ pub struct NodeSpec {
     pub disk_read_bw: f64,
     /// Local SSD sequential write bandwidth (bytes/s).
     pub disk_write_bw: f64,
+    /// Measured intra-node scaling curve: `(busy_slots, aggregate_speedup)`
+    /// points from a real kernel run (e.g. `scibench bench`'s
+    /// `BENCH_kernels.json`), sorted by `busy_slots`. When present it
+    /// replaces the analytic hyper-threading model in
+    /// [`NodeSpec::slot_speed`]; between points the aggregate speedup is
+    /// linearly interpolated, beyond the last point it is held flat.
+    pub measured_scaling: Option<Vec<(usize, f64)>>,
 }
 
 impl NodeSpec {
@@ -39,6 +46,11 @@ impl NodeSpec {
         if busy_slots == 0 {
             return 1.0;
         }
+        if let Some(curve) = &self.measured_scaling {
+            if !curve.is_empty() {
+                return Self::interp_aggregate(curve, busy_slots) / busy_slots as f64;
+            }
+        }
         let phys = self.physical_cores() as f64;
         let vcpu = self.cores as f64;
         let busy = busy_slots as f64;
@@ -59,6 +71,35 @@ impl NodeSpec {
     /// Memory available to each worker slot.
     pub fn mem_per_slot(&self) -> u64 {
         self.mem_bytes / self.worker_slots.max(1) as u64
+    }
+
+    /// Aggregate throughput at `busy_slots` from a measured curve:
+    /// piecewise-linear between points, flat beyond the ends.
+    fn interp_aggregate(curve: &[(usize, f64)], busy_slots: usize) -> f64 {
+        let busy = busy_slots as f64;
+        let first = curve[0];
+        let last = curve[curve.len() - 1];
+        if busy_slots <= first.0 {
+            // Below the first measurement, scale linearly from the origin:
+            // 1 busy slot is by definition aggregate 1× the serial rate.
+            if first.0 <= 1 {
+                return first.1;
+            }
+            let per_slot = (first.1 - 1.0) / (first.0 - 1) as f64;
+            return 1.0 + per_slot * (busy - 1.0);
+        }
+        if busy_slots >= last.0 {
+            return last.1;
+        }
+        for pair in curve.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            if busy_slots >= x0 && busy_slots <= x1 {
+                let t = (busy - x0 as f64) / (x1 - x0) as f64;
+                return y0 + t * (y1 - y0);
+            }
+        }
+        last.1
     }
 }
 
@@ -93,6 +134,7 @@ impl ClusterSpec {
                 mem_bytes: 61 * 1_000_000_000,
                 disk_read_bw: 450e6,
                 disk_write_bw: 380e6,
+                measured_scaling: None,
             },
             net_bw: 120e6, // ~1 Gbps effective per flow
             net_latency: 0.5e-3,
@@ -108,6 +150,18 @@ impl ClusterSpec {
     /// (the Figure 13 tuning knob).
     pub fn with_worker_slots(mut self, slots: usize) -> ClusterSpec {
         self.node.worker_slots = slots;
+        self
+    }
+
+    /// Same cluster with a measured intra-node scaling curve replacing the
+    /// analytic hyper-threading model (see [`NodeSpec::measured_scaling`]).
+    /// Points must be sorted by slot count.
+    pub fn with_measured_scaling(mut self, curve: Vec<(usize, f64)>) -> ClusterSpec {
+        debug_assert!(
+            curve.windows(2).all(|w| w[0].0 < w[1].0),
+            "scaling curve must be sorted by slot count"
+        );
+        self.node.measured_scaling = Some(curve);
         self
     }
 
@@ -171,5 +225,39 @@ mod tests {
     fn worker_slots_override() {
         let c = ClusterSpec::r3_2xlarge(16).with_worker_slots(4);
         assert_eq!(c.total_slots(), 64);
+    }
+
+    #[test]
+    fn measured_scaling_overrides_analytic_model() {
+        // A linear-scaling measurement: every slot runs at full speed.
+        let c = ClusterSpec::r3_2xlarge(1).with_measured_scaling(vec![
+            (1, 1.0),
+            (2, 2.0),
+            (4, 4.0),
+            (8, 8.0),
+        ]);
+        for busy in [1usize, 2, 4, 8] {
+            assert!((c.node.slot_speed(busy) - 1.0).abs() < 1e-12, "busy={busy}");
+        }
+        // A sublinear measurement interpolates between points and holds
+        // flat beyond the last one.
+        let c = ClusterSpec::r3_2xlarge(1).with_measured_scaling(vec![(2, 1.8), (4, 3.0)]);
+        assert!((c.node.slot_speed(2) - 0.9).abs() < 1e-12);
+        // busy=3 interpolates aggregate (1.8+3.0)/2 = 2.4 → speed 0.8.
+        assert!((c.node.slot_speed(3) - 0.8).abs() < 1e-12);
+        // Beyond the curve, aggregate stays 3.0 → per-slot speed declines.
+        assert!((c.node.slot_speed(8) - 3.0 / 8.0).abs() < 1e-12);
+        // Below the first point, interpolate from the serial anchor (1, 1.0).
+        assert!((c.node.slot_speed(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_measured_curve_falls_back_to_analytic() {
+        let mut c = ClusterSpec::r3_2xlarge(1);
+        c.node.measured_scaling = Some(Vec::new());
+        let reference = ClusterSpec::r3_2xlarge(1);
+        for busy in [1usize, 4, 8, 16] {
+            assert_eq!(c.node.slot_speed(busy), reference.node.slot_speed(busy));
+        }
     }
 }

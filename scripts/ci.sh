@@ -17,4 +17,10 @@ cargo test -q --workspace
 echo "== scibench lint (static verification of lowered task graphs)"
 cargo run --release -q -p scibench-bench --bin scibench -- lint
 
+echo "== scibench perf-smoke (serial vs parallel kernels, bit-identical)"
+# Tiny shapes, ~seconds: asserts every parallel kernel port matches the
+# serial reference bit for bit, and that SCIBENCH_THREADS is honored.
+SCIBENCH_THREADS=2 cargo run --release -q -p scibench-bench --bin scibench -- perf-smoke
+cargo run --release -q -p scibench-bench --bin scibench -- perf-smoke --threads 4
+
 echo "ci: all gates passed"
