@@ -313,6 +313,14 @@ fn bench(args: &[String]) -> i32 {
     let host = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    if host == 1 {
+        eprintln!("==========================================================================");
+        eprintln!("WARNING: this host exposes only ONE hardware thread.");
+        eprintln!("Every parallelism level below runs serially, so speedups will sit at ~1x.");
+        eprintln!("These numbers are NOT a scaling curve; the JSON output is marked with");
+        eprintln!("\"single_core_host\": true so downstream tooling can tell them apart.");
+        eprintln!("==========================================================================");
+    }
     eprintln!("benching 5 kernels at threads {levels:?} (host parallelism: {host})...");
     let results = kernels::run_bench(&levels, 2);
     for r in &results {

@@ -292,7 +292,13 @@ pub fn results_to_json(results: &[BenchResult], host_parallelism: usize) -> Stri
     out.push_str("  \"schema\": \"scibench-bench-kernels/v1\",\n");
     out.push_str("  \"host\": {\n");
     out.push_str(&format!(
-        "    \"available_parallelism\": {host_parallelism}\n"
+        "    \"available_parallelism\": {host_parallelism},\n"
+    ));
+    // Flagged explicitly so a ~1x curve from a one-core host can never be
+    // mistaken for a real scaling measurement.
+    out.push_str(&format!(
+        "    \"single_core_host\": {}\n",
+        host_parallelism == 1
     ));
     out.push_str("  },\n");
     out.push_str("  \"results\": [\n");
@@ -352,7 +358,11 @@ mod tests {
         let json = results_to_json(&results, 8);
         assert!(json.contains("\"schema\": \"scibench-bench-kernels/v1\""));
         assert!(json.contains("\"available_parallelism\": 8"));
+        assert!(json.contains("\"single_core_host\": false"));
         assert!(json.contains("\"threads\": 2"));
         assert!(!json.contains(",\n  ]"), "no trailing comma:\n{json}");
+
+        let single = results_to_json(&results, 1);
+        assert!(single.contains("\"single_core_host\": true"));
     }
 }

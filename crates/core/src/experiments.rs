@@ -1203,12 +1203,16 @@ pub fn shape_checks(setup: &Setup) -> Vec<ShapeCheck> {
 
     // Tuning.
     let t13 = fig13(setup);
-    let times13: Vec<f64> = t13.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+    let times13: Vec<f64> = t13
+        .rows
+        .iter()
+        .map(|r| r[1].parse().expect("fig13 time column is a decimal number"))
+        .collect();
     let best13 = times13
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .expect("fig13 sweeps at least one worker count")
         .0;
     check(
         "Myria optimum at 4 workers/node",

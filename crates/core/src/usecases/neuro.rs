@@ -7,7 +7,7 @@ use engine_taskgraph::{DaskClient, Delayed};
 use marray::{Mask, NdArray};
 use sciops::neuro::{fit_dtm_volume, median_otsu, nlmeans3d, GradientTable, NlmParams};
 use sciops::synth::dmri::DmriPhantom;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One subject's input: id, 4-D data and gradient table.
@@ -70,7 +70,7 @@ fn stack_volumes(dims3: &[usize], volumes: &mut [(usize, NdArray<f64>)]) -> NdAr
 ///
 /// Mirrors Figure 6: `imgRDD.map(denoise).flatMap(repart).groupBy(...)
 /// .map(regroup).map(fitmodel)`, with the mask as a broadcast variable.
-pub fn spark(subjects: &[Subject], partitions: usize) -> HashMap<u32, NdArray<f64>> {
+pub fn spark(subjects: &[Subject], partitions: usize) -> BTreeMap<u32, NdArray<f64>> {
     let sc = SparkContext::new(128);
 
     // imgRDD: ((subjId, imgId), volume)
@@ -83,7 +83,7 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> HashMap<u32, NdArray<f6
 
     // Step 1N: filter b0 volumes, mean per subject, median_otsu masks;
     // broadcast the masks.
-    let b0_sets: HashMap<u32, Vec<u32>> = subjects
+    let b0_sets: BTreeMap<u32, Vec<u32>> = subjects
         .iter()
         .map(|s| {
             (
@@ -107,7 +107,7 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> HashMap<u32, NdArray<f6
             acc.map_inplace(|x| x / n);
             (s, Arc::new(acc))
         });
-    let masks: HashMap<u32, Mask> = mean_rdd
+    let masks: BTreeMap<u32, Mask> = mean_rdd
         .map(|(s, mean)| (s, median_otsu(&mean, 1)))
         .collect_as_map();
     let mask_bc = sc.broadcast(masks);
@@ -139,7 +139,7 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> HashMap<u32, NdArray<f6
         })
         .group_by_key(64);
 
-    let gtabs: HashMap<u32, Arc<GradientTable>> = subjects
+    let gtabs: BTreeMap<u32, Arc<GradientTable>> = subjects
         .iter()
         .map(|s| (s.id, Arc::clone(&s.gtab)))
         .collect();
@@ -171,8 +171,8 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> HashMap<u32, NdArray<f6
     });
 
     // Collect and assemble FA maps per subject.
-    let mut out: HashMap<u32, NdArray<f64>> = HashMap::new();
-    let mut by_subject: HashMap<u32, Vec<(u32, Vec<f64>)>> = HashMap::new();
+    let mut out: BTreeMap<u32, NdArray<f64>> = BTreeMap::new();
+    let mut by_subject: BTreeMap<u32, Vec<(u32, Vec<f64>)>> = BTreeMap::new();
     for ((s, b), fa) in fa_blocks.collect() {
         by_subject.entry(s).or_default().push((b, fa));
     }
@@ -199,7 +199,7 @@ pub fn myria(
     subjects: &[Subject],
     nodes: usize,
     workers_per_node: usize,
-) -> HashMap<u32, NdArray<f64>> {
+) -> BTreeMap<u32, NdArray<f64>> {
     let conn = MyriaConnection::connect(nodes, workers_per_node);
 
     // Ingest.
@@ -268,7 +268,7 @@ pub fn myria(
     conn.ingest_broadcast("Mask", mask_rel.schema.clone(), mask_rel.all_tuples());
 
     // FitDTM UDA: groups hold a subject's denoised volumes.
-    let gtabs: HashMap<i64, Arc<GradientTable>> = subjects
+    let gtabs: BTreeMap<i64, Arc<GradientTable>> = subjects
         .iter()
         .map(|s| (s.id as i64, Arc::clone(&s.gtab)))
         .collect();
@@ -329,10 +329,10 @@ pub fn myria(
 /// Run the full pipeline on the Dask analog. Returns FA per subject.
 ///
 /// Mirrors Figure 8: per-subject `delayed` chains with explicit barriers.
-pub fn dask(subjects: &[Subject], workers: usize) -> HashMap<u32, NdArray<f64>> {
+pub fn dask(subjects: &[Subject], workers: usize) -> BTreeMap<u32, NdArray<f64>> {
     let client = DaskClient::new(workers);
     let params = nlm_params();
-    let mut out = HashMap::new();
+    let mut out = BTreeMap::new();
 
     // Build the whole graph first (delayed), then one barrier per subject.
     let mut targets: Vec<(u32, Delayed<NdArray<f64>>)> = Vec::new();
@@ -384,12 +384,12 @@ pub fn dask(subjects: &[Subject], workers: usize) -> HashMap<u32, NdArray<f64>> 
 /// expressible; model fitting is NA.
 pub struct TfNeuroOutput {
     /// Mean b0 volume per subject.
-    pub mean_b0: HashMap<u32, NdArray<f64>>,
+    pub mean_b0: BTreeMap<u32, NdArray<f64>>,
     /// Simplified (threshold) mask per subject.
-    pub mask: HashMap<u32, Mask>,
+    pub mask: BTreeMap<u32, Mask>,
     /// Convolution-denoised volume 0 per subject (whole volume — no mask
     /// support).
-    pub denoised0: HashMap<u32, NdArray<f64>>,
+    pub denoised0: BTreeMap<u32, NdArray<f64>>,
 }
 
 /// Run the expressible steps on the TensorFlow analog.
@@ -399,9 +399,9 @@ pub struct TfNeuroOutput {
 /// tensors via gather along axis 0.
 pub fn tensorflow(subjects: &[Subject]) -> TfNeuroOutput {
     let mut session = Session::new();
-    let mut mean_b0 = HashMap::new();
-    let mut mask_out = HashMap::new();
-    let mut denoised0 = HashMap::new();
+    let mut mean_b0 = BTreeMap::new();
+    let mut mask_out = BTreeMap::new();
+    let mut denoised0 = BTreeMap::new();
 
     for s in subjects {
         let dims3: Vec<usize> = s.data.dims()[..3].to_vec();
@@ -477,17 +477,17 @@ pub fn tensorflow(subjects: &[Subject]) -> TfNeuroOutput {
 /// Step 3N is NA.
 pub struct ScidbNeuroOutput {
     /// Mean b0 volume per subject (Figure 5's `mean(index=3)`).
-    pub mean_b0: HashMap<u32, NdArray<f64>>,
+    pub mean_b0: BTreeMap<u32, NdArray<f64>>,
     /// Denoised data per subject via `stream()`.
-    pub denoised: HashMap<u32, NdArray<f64>>,
+    pub denoised: BTreeMap<u32, NdArray<f64>>,
 }
 
 /// Run the expressible steps on the SciDB analog.
 pub fn scidb(subjects: &[Subject]) -> ScidbNeuroOutput {
     let db = engine_array::ArrayDb::connect(4);
     let params = nlm_params();
-    let mut mean_b0 = HashMap::new();
-    let mut denoised = HashMap::new();
+    let mut mean_b0 = BTreeMap::new();
+    let mut denoised = BTreeMap::new();
 
     for s in subjects {
         let dims = s.data.dims().to_vec();

@@ -8,7 +8,7 @@ use marray::NdArray;
 pub const GRAPH_SIZE_LIMIT: u64 = 2 * 1024 * 1024 * 1024;
 
 /// Handle to a tensor-valued node in a graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TensorRef(pub(crate) usize);
 
 /// Element-wise unary operations.

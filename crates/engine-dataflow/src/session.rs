@@ -2,7 +2,7 @@
 
 use crate::graph::{BinaryOp, GraphBuilder, OpKind, TensorRef, UnaryOp, GRAPH_SIZE_LIMIT};
 use marray::NdArray;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Errors raised by [`Session::run`].
 #[derive(Debug, Clone, PartialEq)]
@@ -78,7 +78,7 @@ impl Session {
     pub fn run(
         &mut self,
         graph: &GraphBuilder,
-        feeds: &HashMap<TensorRef, NdArray<f64>>,
+        feeds: &BTreeMap<TensorRef, NdArray<f64>>,
         fetches: &[TensorRef],
     ) -> Result<Vec<NdArray<f64>>, DataflowError> {
         let size = graph.serialized_size();
@@ -235,7 +235,7 @@ fn conv3d_same(input: &NdArray<f64>, kernel: &NdArray<f64>) -> NdArray<f64> {
 mod tests {
     use super::*;
 
-    fn feed(pairs: &[(TensorRef, NdArray<f64>)]) -> HashMap<TensorRef, NdArray<f64>> {
+    fn feed(pairs: &[(TensorRef, NdArray<f64>)]) -> BTreeMap<TensorRef, NdArray<f64>> {
         pairs.iter().cloned().collect()
     }
 
@@ -292,7 +292,7 @@ mod tests {
         assert!(g.serialized_size() > 128_000_000);
         // Still under the limit: runs fine.
         let mut s = Session::new();
-        assert!(s.run(&g, &HashMap::new(), &[]).is_ok());
+        assert!(s.run(&g, &BTreeMap::new(), &[]).is_ok());
     }
 
     #[test]
@@ -302,7 +302,7 @@ mod tests {
         let m = g.reduce_mean(p, 0);
         let mut s = Session::new();
         assert_eq!(
-            s.run(&g, &HashMap::new(), &[m]).unwrap_err(),
+            s.run(&g, &BTreeMap::new(), &[m]).unwrap_err(),
             DataflowError::MissingFeed(0)
         );
         let bad = NdArray::<f64>::zeros(&[3, 3]);

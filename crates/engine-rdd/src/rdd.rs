@@ -1,6 +1,6 @@
 //! Lazy, partitioned, lineage-carrying collections.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -123,7 +123,7 @@ struct ShuffledRdd<K, V> {
 
 impl<K, V> ShuffledRdd<K, V>
 where
-    K: Clone + Hash + Eq + Send + Sync + 'static,
+    K: Clone + Hash + Ord + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
     fn materialize(&self) -> Buckets<K, V> {
@@ -132,8 +132,10 @@ where
             return Arc::clone(m);
         }
         // Barrier: compute every parent partition, then bucket by key hash.
-        let mut buckets: Vec<HashMap<K, Vec<V>>> =
-            (0..self.partitions).map(|_| HashMap::new()).collect();
+        // BTreeMap keeps each bucket key-ordered, so shuffle output is
+        // deterministic regardless of any hash seed.
+        let mut buckets: Vec<BTreeMap<K, Vec<V>>> =
+            (0..self.partitions).map(|_| BTreeMap::new()).collect();
         for p in 0..self.parent.inner.num_partitions() {
             for (k, v) in self.parent.inner.compute(p) {
                 let b = bucket_of(&k, self.partitions);
@@ -143,16 +145,7 @@ where
         let result: Buckets<K, V> = Arc::new(
             buckets
                 .into_iter()
-                .map(|m| {
-                    let mut rows: Vec<(K, Vec<V>)> = m.into_iter().collect();
-                    // Deterministic order within a bucket.
-                    rows.sort_by_key(|(k, _)| {
-                        let mut h = DefaultHasher::new();
-                        k.hash(&mut h);
-                        h.finish()
-                    });
-                    rows
-                })
+                .map(|m| m.into_iter().collect::<Vec<(K, Vec<V>)>>())
                 .collect(),
         );
         *guard = Some(Arc::clone(&result));
@@ -162,7 +155,7 @@ where
 
 impl<K, V> RddImpl<(K, Vec<V>)> for ShuffledRdd<K, V>
 where
-    K: Clone + Hash + Eq + Send + Sync + 'static,
+    K: Clone + Hash + Ord + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
     fn num_partitions(&self) -> usize {
@@ -282,7 +275,7 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
 
 impl<K, V> Rdd<(K, V)>
 where
-    K: Clone + Hash + Eq + Send + Sync + 'static,
+    K: Clone + Hash + Ord + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
     /// Wide transformation: group records by key into `partitions` output
@@ -311,8 +304,9 @@ where
         })
     }
 
-    /// Action: collect into a map (keys must be unique per record group).
-    pub fn collect_as_map(&self) -> HashMap<K, V> {
+    /// Action: collect into an ordered map (keys must be unique per record
+    /// group). Ordered so downstream iteration is seed-independent.
+    pub fn collect_as_map(&self) -> BTreeMap<K, V> {
         self.collect().into_iter().collect()
     }
 
@@ -332,7 +326,7 @@ where
         let mut joined: Vec<Vec<(K, (V, W))>> = Vec::with_capacity(partitions);
         for p in 0..partitions.max(1) {
             let l = left.inner.compute(p);
-            let mut r: HashMap<K, Vec<W>> = HashMap::new();
+            let mut r: BTreeMap<K, Vec<W>> = BTreeMap::new();
             for (k, vs) in right.inner.compute(p) {
                 r.insert(k, vs);
             }
@@ -398,7 +392,7 @@ mod tests {
     fn same_key_lands_in_same_partition() {
         let r = rdd_of(40, 5);
         let grouped = r.group_by_key(4);
-        let mut seen: HashMap<usize, usize> = HashMap::new();
+        let mut seen: BTreeMap<usize, usize> = BTreeMap::new();
         for p in 0..4 {
             for (k, _) in grouped.inner.compute(p) {
                 assert!(seen.insert(k, p).is_none(), "key {k} in two partitions");

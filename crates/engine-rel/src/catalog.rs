@@ -2,7 +2,7 @@
 
 use crate::value::{Tuple, Value, ValueType};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::sync::RwLock;
@@ -150,10 +150,10 @@ pub struct MyriaConnection {
     pub nodes: usize,
     /// Workers per node (Figure 13's knob; the paper found 4 optimal).
     pub workers_per_node: usize,
-    catalog: RwLock<HashMap<String, Arc<Relation>>>,
-    udfs: RwLock<HashMap<String, Udf>>,
-    udas: RwLock<HashMap<String, Uda>>,
-    table_udfs: RwLock<HashMap<String, TableUdf>>,
+    catalog: RwLock<BTreeMap<String, Arc<Relation>>>,
+    udfs: RwLock<BTreeMap<String, Udf>>,
+    udas: RwLock<BTreeMap<String, Uda>>,
+    table_udfs: RwLock<BTreeMap<String, TableUdf>>,
 }
 
 impl MyriaConnection {
@@ -162,10 +162,10 @@ impl MyriaConnection {
         MyriaConnection {
             nodes: nodes.max(1),
             workers_per_node: workers_per_node.max(1),
-            catalog: RwLock::new(HashMap::new()),
-            udfs: RwLock::new(HashMap::new()),
-            udas: RwLock::new(HashMap::new()),
-            table_udfs: RwLock::new(HashMap::new()),
+            catalog: RwLock::new(BTreeMap::new()),
+            udfs: RwLock::new(BTreeMap::new()),
+            udas: RwLock::new(BTreeMap::new()),
+            table_udfs: RwLock::new(BTreeMap::new()),
         }
     }
 

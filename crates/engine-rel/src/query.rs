@@ -9,7 +9,7 @@
 
 use crate::catalog::{partition_hash, MyriaConnection, Relation, Schema};
 use crate::value::{Tuple, Value, ValueType};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Errors raised while planning or executing a query.
@@ -335,7 +335,7 @@ impl Query {
                     } else {
                         rel.all_tuples()
                     };
-                    let mut index: HashMap<u64, Vec<&Tuple>> = HashMap::new();
+                    let mut index: BTreeMap<u64, Vec<&Tuple>> = BTreeMap::new();
                     for t in &right_tuples {
                         index.entry(partition_hash(&t[ri])).or_default().push(t);
                     }
@@ -406,7 +406,7 @@ impl Query {
                             let key_ix = &key_ix;
                             scope.spawn(move || {
                                 let mut groups: Vec<(Vec<u64>, Vec<Tuple>)> = Vec::new();
-                                let mut lookup: HashMap<Vec<u64>, usize> = HashMap::new();
+                                let mut lookup: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
                                 for t in frag.drain(..) {
                                     let key: Vec<u64> =
                                         key_ix.iter().map(|&i| partition_hash(&t[i])).collect();

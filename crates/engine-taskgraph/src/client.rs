@@ -200,9 +200,10 @@ impl DaskClient {
         }
 
         // Dependency counts within the pending set.
-        let mut pending: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
-        let mut dependents: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
+        let mut pending: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
+        let mut dependents: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
         {
             let graph = self.graph.lock().expect("graph lock poisoned");
             for &n in &needed {

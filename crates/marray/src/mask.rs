@@ -120,6 +120,7 @@ impl Mask {
     /// Interpret a numeric array as a mask (non-zero = selected).
     pub fn from_array<T: Element>(array: &NdArray<T>) -> Self {
         Mask {
+            // scilint: allow(N001, NumPy truthiness semantics - exactly zero means unselected by definition)
             bits: array.data().iter().map(|v| v.to_f64() != 0.0).collect(),
             dims: array.dims().to_vec(),
         }

@@ -1,0 +1,4 @@
+pub fn elapsed_tag() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,4 @@
+pub fn tick_tag(counter: &mut u64) -> u64 {
+    *counter += 1;
+    *counter
+}

@@ -1,0 +1,4 @@
+pub fn jitter() -> u64 {
+    let state = std::collections::hash_map::RandomState::new();
+    std::hash::BuildHasher::hash_one(&state, 17u64)
+}

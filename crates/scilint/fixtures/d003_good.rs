@@ -1,0 +1,3 @@
+pub fn jitter(seed: u64) -> u64 {
+    seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}

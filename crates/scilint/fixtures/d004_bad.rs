@@ -1,0 +1,11 @@
+pub fn scale_par(xs: &mut [f64], k: f64) {
+    std::thread::scope(|scope| {
+        for chunk in xs.chunks_mut(64) {
+            scope.spawn(move || {
+                for x in chunk {
+                    *x *= k;
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,3 @@
+pub fn first_byte(buf: &[u8]) -> u8 {
+    *buf.first().unwrap()
+}

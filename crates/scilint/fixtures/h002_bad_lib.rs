@@ -1,0 +1,7 @@
+pub fn smooth_par(xs: &mut [f64], par: Parallelism) {
+    par_chunks_mut(xs, par, |chunk| {
+        for x in chunk {
+            *x *= 0.5;
+        }
+    });
+}

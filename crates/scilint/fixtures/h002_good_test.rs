@@ -1,0 +1,8 @@
+#[test]
+fn smooth_par_bit_identical_to_serial_twin() {
+    let mut a = vec![1.0, 2.0, 3.0];
+    let mut b = a.clone();
+    smooth(&mut a);
+    smooth_par(&mut b, Parallelism::threads(4));
+    assert_eq!(a, b);
+}

@@ -1,0 +1,3 @@
+pub fn is_background(value: f64) -> bool {
+    value.abs() < 1e-12
+}

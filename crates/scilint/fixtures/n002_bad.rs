@@ -1,0 +1,3 @@
+pub fn quantize(flux: f64) -> u32 {
+    (flux * 1000.0) as u32
+}

@@ -1,0 +1,3 @@
+pub fn widen(sample: f32) -> f64 {
+    f64::from(sample)
+}

@@ -1,0 +1,7 @@
+pub fn total(xs: &[f32]) -> f32 {
+    let mut acc: f32 = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}

@@ -1,0 +1,7 @@
+pub fn total(xs: &[f32]) -> f64 {
+    let mut acc: f64 = 0.0;
+    for &x in xs {
+        acc += f64::from(x);
+    }
+    acc
+}

@@ -1,0 +1,4 @@
+// scilint: allow(D001, fixture demonstrating a justified suppression of a lookup-only map)
+use std::collections::HashMap;
+
+pub fn touch() {}

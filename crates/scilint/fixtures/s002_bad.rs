@@ -1,0 +1,2 @@
+// scilint: allow(Z999, this rule id does not exist)
+pub fn touch() {}

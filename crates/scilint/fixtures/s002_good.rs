@@ -1,0 +1,4 @@
+pub fn is_zero(x: f64) -> bool {
+    // scilint: allow(N001, exact-zero sentinel fixture with a written reason)
+    x == 0.0
+}

@@ -1,0 +1,2 @@
+// scilint: allow(D002, nothing on the next line reads the clock)
+pub fn touch() {}

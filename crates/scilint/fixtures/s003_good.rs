@@ -1,0 +1,4 @@
+pub fn stamp() -> u128 {
+    // scilint: allow(D002, fixture timing a fixture - the clock read is the point)
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,529 @@
+//! A small, self-contained Rust lexer.
+//!
+//! Produces a flat token stream with line numbers plus the comment text the
+//! suppression parser needs. The lexer is deliberately approximate where
+//! exactness would require a full grammar (e.g. `1.` is lexed as an integer
+//! followed by a dot) — every rule built on top of it is a *lint*, not a
+//! compiler pass, and the fixture corpus pins the cases that matter.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Token classification.
+    pub kind: TokenKind,
+}
+
+/// Token classification. Only the distinctions the rules need are kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `as`, ...).
+    Ident(String),
+    /// Integer literal (no `.`/exponent and no float suffix).
+    Int,
+    /// Float literal; the suffix (`f32`/`f64`) is kept when present.
+    Float {
+        /// `Some("f32")` / `Some("f64")` when the literal carries a suffix.
+        suffix: Option<String>,
+    },
+    /// String, byte-string, or raw-string literal.
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation, longest-match for the operators the rules inspect
+    /// (`==`, `!=`, `::`, `->`, ...), single characters otherwise.
+    Punct(&'static str),
+    /// An opening delimiter: `(`, `[`, or `{`.
+    Open(char),
+    /// A closing delimiter: `)`, `]`, or `}`.
+    Close(char),
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, TokenKind::Punct(q) if *q == p)
+    }
+}
+
+/// A comment with its starting line, `//` and `/* */` alike. Doc comments
+/// are captured too but flagged: suppression directives must be plain
+/// comments, so prose *describing* the directive syntax never parses.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Comment body without the leading `//`, `///`, `//!` or `/*`.
+    pub text: String,
+    /// True for `///`, `//!`, `/**`, `/*!` doc comments.
+    pub doc: bool,
+}
+
+/// The output of [`lex`]: tokens plus comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+const MULTI_PUNCTS: [&str; 18] = [
+    "..=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "+=", "-=", "*=", "/=", "%=",
+    "..", "<<", ">>",
+];
+
+/// Lex `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let count_lines = |s: &[u8]| s.iter().filter(|&&c| c == b'\n').count() as u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let raw = &src[start..j];
+                // Strip the extra marker of doc comments.
+                let text = raw.strip_prefix(['/', '!']);
+                out.comments.push(Comment {
+                    line,
+                    text: text.unwrap_or(raw).to_string(),
+                    doc: text.is_some(),
+                });
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                let text = &src[(i + 2).min(j)..j.saturating_sub(2).max(i + 2)];
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: text.to_string(),
+                    doc: text.starts_with(['*', '!']) && text != "*",
+                });
+                i = j;
+            }
+            b'"' => {
+                let (j, nl) = scan_string(b, i);
+                line += nl;
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Str,
+                });
+                i = j;
+            }
+            b'r' | b'b' if starts_string_prefix(b, i) => {
+                let start_line = line;
+                let j = scan_prefixed_string(b, i);
+                line += count_lines(&b[i..j]);
+                out.tokens.push(Token {
+                    line: start_line,
+                    kind: TokenKind::Str,
+                });
+                i = j;
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                if let Some(j) = scan_char_literal(b, i) {
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Char,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Lifetime,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (j, kind) = scan_number(b, src, i);
+                out.tokens.push(Token { line, kind });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Ident(src[i..j].to_string()),
+                });
+                i = j;
+            }
+            b'(' | b'[' | b'{' => {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Open(c as char),
+                });
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Close(c as char),
+                });
+                i += 1;
+            }
+            _ => {
+                let rest = &src[i..];
+                let mut matched = None;
+                for p in MULTI_PUNCTS {
+                    if rest.starts_with(p) {
+                        matched = Some(p);
+                        break;
+                    }
+                }
+                match matched {
+                    Some(p) => {
+                        out.tokens.push(Token {
+                            line,
+                            kind: TokenKind::Punct(p),
+                        });
+                        i += p.len();
+                    }
+                    None => {
+                        out.tokens.push(Token {
+                            line,
+                            kind: TokenKind::Punct(single_punct(c)),
+                        });
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn single_punct(c: u8) -> &'static str {
+    const TABLE: &str = "!#$%&*+,-./:;<=>?@^|~\\";
+    const NAMES: [&str; 22] = [
+        "!", "#", "$", "%", "&", "*", "+", ",", "-", ".", "/", ":", ";", "<", "=", ">", "?", "@",
+        "^", "|", "~", "\\",
+    ];
+    match TABLE.find(c as char) {
+        Some(ix) => NAMES[ix],
+        None => "?",
+    }
+}
+
+fn starts_string_prefix(b: &[u8], i: usize) -> bool {
+    // r"..." r#"..."# b"..." br"..." b'..' — only treat as a string prefix
+    // when the quote actually follows, so identifiers like `radius` lex
+    // normally.
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < b.len() && (b[j] == b'"' || (b[j] == b'\'' && b[i] == b'b'))
+}
+
+fn scan_prefixed_string(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let mut hashes = 0;
+    if j < b.len() && b[j] == b'r' {
+        raw = true;
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if j >= b.len() {
+        return j;
+    }
+    if b[j] == b'\'' {
+        // Byte literal b'x'.
+        return scan_char_literal(b, j).unwrap_or(j + 1);
+    }
+    j += 1; // opening quote
+    if raw {
+        while j < b.len() {
+            if b[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0;
+                while k < b.len() && b[k] == b'#' && seen < hashes {
+                    k += 1;
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return k;
+                }
+            }
+            j += 1;
+        }
+        j
+    } else {
+        let (end, _) = scan_string(b, j - 1);
+        end
+    }
+}
+
+/// Scan a `"..."` string starting at the opening quote; returns
+/// (index past closing quote, newlines crossed).
+fn scan_string(b: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut nl = 0;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return (j + 1, nl),
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+/// Try to scan a char literal at `i` (which holds `'`). Returns the index
+/// past the closing quote, or `None` if this is a lifetime.
+fn scan_char_literal(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        j += 2;
+        // \u{...} escapes.
+        if j <= b.len() && j >= 1 && b[j - 1] == b'{' {
+            while j < b.len() && b[j] != b'}' {
+                j += 1;
+            }
+            j += 1;
+        }
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        (j < b.len()).then_some(j + 1)
+    } else {
+        // 'x' — exactly one char (or a UTF-8 sequence) then a quote.
+        let mut k = j + 1;
+        while k < b.len() && (b[k] & 0xC0) == 0x80 {
+            k += 1; // UTF-8 continuation bytes
+        }
+        (k < b.len() && b[k] == b'\'').then_some(k + 1)
+    }
+}
+
+fn scan_number(b: &[u8], src: &str, i: usize) -> (usize, TokenKind) {
+    let mut j = i;
+    let hex = src[i..].starts_with("0x") || src[i..].starts_with("0X");
+    let bin_oct = src[i..].starts_with("0b") || src[i..].starts_with("0o");
+    if hex || bin_oct {
+        j += 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (j, TokenKind::Int);
+    }
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    let mut is_float = false;
+    // A '.' continues the number only when followed by a digit (so `1.max`
+    // and `0..n` lex as integer + punct).
+    if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+        is_float = true;
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+            j += 1;
+        }
+    }
+    if j < b.len() && (b[j] == b'e' || b[j] == b'E') {
+        let mut k = j + 1;
+        if k < b.len() && (b[k] == b'+' || b[k] == b'-') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Suffix: f32/f64 force float; integer suffixes keep Int.
+    let suf_start = j;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    let suffix = &src[suf_start..j];
+    if suffix == "f32" || suffix == "f64" {
+        return (
+            j,
+            TokenKind::Float {
+                suffix: Some(suffix.to_string()),
+            },
+        );
+    }
+    if is_float {
+        (j, TokenKind::Float { suffix: None })
+    } else {
+        (j, TokenKind::Int)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let l = lex("fn main() { let x = 1.5f32; }");
+        let kinds: Vec<&TokenKind> = l.tokens.iter().map(|t| &t.kind).collect();
+        assert!(kinds.contains(&&TokenKind::Float {
+            suffix: Some("f32".into())
+        }));
+        assert_eq!(idents("fn main"), ["fn", "main"]);
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let l = lex("// one\nlet a = 1; // two\n/* three\nfour */ let b = 2;");
+        assert_eq!(l.comments.len(), 3);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.comments[2].line, 3);
+        let b_tok = l
+            .tokens
+            .iter()
+            .find(|t| t.kind.ident() == Some("b"))
+            .expect("b token");
+        assert_eq!(b_tok.line, 4);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'y' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn int_method_call_is_not_float() {
+        let l = lex("let x = 1.max(2); let r = 0..n; let f = 2.5;");
+        let floats = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Float { .. }))
+            .count();
+        assert_eq!(floats, 1);
+    }
+
+    #[test]
+    fn multi_char_puncts() {
+        let l = lex("a == b != c :: d -> e");
+        let puncts: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "::", "->"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let l = lex(r##"let a = r#"no " end"#; let b = b"bytes"; let c = "q";"##);
+        let strs = l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count();
+        assert_eq!(strs, 3);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let l = lex(r"let nl = '\n'; let q = '\''; let s: &'static str = x;");
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes, 1);
+    }
+}

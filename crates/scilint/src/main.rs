@@ -1,0 +1,76 @@
+//! The `scilint` binary: CI gate over the workspace sources.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use scilint::rules::RULES;
+
+const USAGE: &str = "usage: scilint [--root PATH] [--json] [--quiet] [--list-rules]
+
+  --root PATH    workspace root to analyze (default: .)
+  --json         print the machine-readable scilint/v1 report to stdout
+  --quiet        suppress the per-finding listing (summary only)
+  --list-rules   print the rule table and exit
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("scilint: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--list-rules" => {
+                for r in &RULES {
+                    println!("{}  [{}]  {}", r.id, r.family.name(), r.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("scilint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match scilint::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "scilint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    }
+    if !quiet && !report.findings.is_empty() {
+        eprint!("{}", report.listing());
+    }
+    eprint!("{}", report.crate_summary());
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

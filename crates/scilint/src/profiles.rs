@@ -1,0 +1,50 @@
+//! Per-crate rule profiles.
+//!
+//! Which rules a crate gets depends on its role in the workspace:
+//!
+//! * **Engine crates** (`engine-*`) simulate the paper's five systems; a
+//!   hash-seed-dependent iteration order there makes "engine behaviour"
+//!   depend on the process, so they get the full D family plus H001.
+//! * **`sciops`** holds the numeric kernels: the N family applies there
+//!   (and in `marray`, the array substrate), plus D-rules and the H002
+//!   serial-twin contract for its `_par` kernels.
+//! * **Infrastructure crates** (`formats`, `core`, `parexec`, `marray`,
+//!   `simcluster`, `plancheck`, `scilint`, the root `scibench` package)
+//!   get H001 and the D family where determinism matters.
+//! * **`bench`** is the timing harness: reading the clock is its job, so
+//!   it is fully exempt. `vendor/` shims are never walked at all.
+
+/// Crates whose `_par` kernels must satisfy H002.
+pub const KERNEL_CRATES: [&str; 1] = ["sciops"];
+
+/// Rule ids enabled for `crate_name`, or an empty slice when the crate is
+/// exempt. Crate names are directory names under `crates/`; the workspace
+/// root package is `"scibench"`.
+pub fn rules_for(crate_name: &str) -> &'static [&'static str] {
+    const ENGINE: &[&str] = &["D001", "D002", "D003", "H001"];
+    const SCIOPS: &[&str] = &[
+        "D001", "D002", "D003", "D004", "N001", "N002", "N003", "H001", "H002",
+    ];
+    const MARRAY: &[&str] = &["D001", "D002", "D003", "N001", "N003", "H001"];
+    const INFRA: &[&str] = &["D001", "D003", "H001"];
+    const HYGIENE_ONLY: &[&str] = &["H001"];
+    const EXEMPT: &[&str] = &[];
+
+    match crate_name {
+        "engine-array" | "engine-rdd" | "engine-rel" | "engine-taskgraph" | "engine-dataflow" => {
+            ENGINE
+        }
+        "sciops" => SCIOPS,
+        "marray" => MARRAY,
+        // parexec schedules threads and may legitimately time work; its
+        // determinism contract is behavioural (tests), so D002 is off.
+        "parexec" | "simcluster" | "plancheck" | "scilint" => INFRA,
+        // formats and core convert on purpose (N002 would be noise) but must
+        // not panic on bad input, and core's use-case drivers feed results.
+        "formats" => HYGIENE_ONLY,
+        "core" | "scibench" => INFRA,
+        // The bench harness exists to read the clock and print.
+        "bench" => EXEMPT,
+        _ => HYGIENE_ONLY,
+    }
+}

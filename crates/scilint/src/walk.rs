@@ -1,0 +1,103 @@
+//! Workspace walker: find and classify every `.rs` file that scilint lints.
+//!
+//! Layout assumptions match this repository: member crates under
+//! `crates/<name>/{src,tests,benches,examples}` plus the root package's
+//! `src/` and `tests/`. `vendor/` (offline shims), `target/`, and any
+//! `fixtures/` directory are never walked.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::source::{FileKind, SourceFile};
+
+/// Load every lintable source file under the workspace `root`.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let name = member
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            load_package(root, &member, &name, &mut files)?;
+        }
+    }
+    // The workspace root is itself a package named `scibench`.
+    load_package(root, root, "scibench", &mut files)?;
+
+    if files.is_empty() {
+        // A gate pointed at the wrong directory must fail loudly, not
+        // report a clean (empty) workspace.
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no Rust sources found under {}", root.display()),
+        ));
+    }
+
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn load_package(
+    root: &Path,
+    pkg: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    const DIRS: [(&str, FileKind); 4] = [
+        ("src", FileKind::Library),
+        ("tests", FileKind::Test),
+        ("benches", FileKind::Bench),
+        ("examples", FileKind::Example),
+    ];
+    for (dir, kind) in DIRS {
+        let base = pkg.join(dir);
+        if base.is_dir() {
+            collect_rs(root, &base, crate_name, kind, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    kind: FileKind,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            collect_rs(root, &path, crate_name, kind, out)?;
+        } else if name.ends_with(".rs") {
+            let src = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile::parse(&rel, crate_name, kind, &src));
+        }
+    }
+    Ok(())
+}

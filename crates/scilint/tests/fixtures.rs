@@ -1,0 +1,123 @@
+//! The fixture corpus: every shipped rule id must fire on its `_bad`
+//! fixture and stay silent on its `_good` fixture.
+//!
+//! Fixtures live in `fixtures/` (which the workspace walker skips) and are
+//! parsed here under a crate profile that enables the rule under test.
+//! Assertions are scoped to the target rule so a fixture exercising one
+//! rule may freely mention constructs another rule would flag.
+
+use std::path::Path;
+
+use scilint::report::Report;
+use scilint::rules::RULES;
+use scilint::source::{FileKind, SourceFile};
+
+fn fixture(name: &str, crate_name: &str, kind: FileKind) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    SourceFile::parse(name, crate_name, kind, &src)
+}
+
+fn analyze(files: &[SourceFile]) -> Report {
+    scilint::analyze_files(files)
+}
+
+fn fires(report: &Report, rule: &str) -> bool {
+    report.findings.iter().any(|f| f.rule == rule)
+}
+
+/// (rule, crate profile to parse under, bad fixture, good fixture).
+const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 10] = [
+    ("D001", "engine-rdd", "d001_bad.rs", "d001_good.rs"),
+    ("D002", "engine-rdd", "d002_bad.rs", "d002_good.rs"),
+    ("D003", "engine-rdd", "d003_bad.rs", "d003_good.rs"),
+    ("D004", "sciops", "d004_bad.rs", "d004_good.rs"),
+    ("N001", "sciops", "n001_bad.rs", "n001_good.rs"),
+    ("N002", "sciops", "n002_bad.rs", "n002_good.rs"),
+    ("N003", "sciops", "n003_bad.rs", "n003_good.rs"),
+    ("H001", "formats", "h001_bad.rs", "h001_good.rs"),
+    ("S001", "engine-rdd", "s001_bad.rs", "s001_good.rs"),
+    ("S003", "engine-rdd", "s003_bad.rs", "s003_good.rs"),
+];
+
+#[test]
+fn every_rule_fires_on_its_bad_fixture_and_not_on_its_good_one() {
+    for (rule, crate_name, bad, good) in SINGLE_FILE_CASES {
+        let report = analyze(&[fixture(bad, crate_name, FileKind::Library)]);
+        assert!(fires(&report, rule), "{rule} silent on {bad}");
+        let report = analyze(&[fixture(good, crate_name, FileKind::Library)]);
+        assert!(
+            !fires(&report, rule),
+            "{rule} fired on {good}: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn s002_unknown_rule_is_rejected_and_known_rule_accepted() {
+    let report = analyze(&[fixture("s002_bad.rs", "sciops", FileKind::Library)]);
+    assert!(fires(&report, "S002"), "unknown rule id accepted");
+    let report = analyze(&[fixture("s002_good.rs", "sciops", FileKind::Library)]);
+    assert!(!fires(&report, "S002"));
+    assert!(
+        report.is_clean(),
+        "justified allow should fully suppress: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn h002_par_kernel_needs_twin_and_test_reference() {
+    // Bad: a pub _par kernel with no serial twin and no test coverage
+    // produces both H002 complaints.
+    let report = analyze(&[fixture("h002_bad_lib.rs", "sciops", FileKind::Library)]);
+    let h002: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "H002")
+        .collect();
+    assert_eq!(h002.len(), 2, "expected twin + test findings: {h002:?}");
+
+    // Good: twin present, test file references the _par entry point.
+    let report = analyze(&[
+        fixture("h002_good_lib.rs", "sciops", FileKind::Library),
+        fixture("h002_good_test.rs", "sciops", FileKind::Test),
+    ]);
+    assert!(
+        !fires(&report, "H002"),
+        "H002 fired on the good pair: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn allow_without_reason_is_rejected() {
+    // The S001 contract end to end: the unsuppressed D001 finding survives
+    // AND the reasonless allow itself is reported.
+    let report = analyze(&[fixture("s001_bad.rs", "engine-rdd", FileKind::Library)]);
+    assert!(fires(&report, "S001"), "reasonless allow accepted");
+    assert!(
+        fires(&report, "D001"),
+        "a reasonless allow must not suppress anything"
+    );
+}
+
+#[test]
+fn every_shipped_rule_id_has_fixture_coverage() {
+    let covered: Vec<&str> = SINGLE_FILE_CASES
+        .iter()
+        .map(|(r, ..)| *r)
+        .chain(["S002", "H002"])
+        .collect();
+    for rule in &RULES {
+        assert!(
+            covered.contains(&rule.id),
+            "rule {} has no fixture case",
+            rule.id
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! The gate as a test: the whole workspace — scilint's own sources
+//! included — must be clean. This is the same analysis `scripts/ci.sh`
+//! runs, so a rule violation anywhere fails `cargo test` too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_including_scilint_itself_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/scilint sits two levels below the workspace root");
+    let report = scilint::analyze_workspace(root).expect("workspace readable");
+    assert!(
+        report.files > 100,
+        "walker found too few files — layout changed?"
+    );
+    assert!(
+        report.is_clean(),
+        "scilint findings in the workspace:\n{}",
+        report.listing()
+    );
+    // Every suppression in the tree carries a reason by construction
+    // (reasonless allows become S001 findings), so cleanliness here also
+    // certifies the suppression policy.
+}

@@ -91,6 +91,7 @@ pub fn coadd_sigma_clip_par(
                 }
                 let vals: Vec<f64> = samples.iter().map(|s| s.0).collect();
                 let (mean, std) = crate::stats::mean_std(&vals);
+                // scilint: allow(N001, exact-zero std is mean_std's all-equal-samples sentinel so clipping can never remove anything)
                 if std == 0.0 {
                     break;
                 }
@@ -105,6 +106,7 @@ pub fn coadd_sigma_clip_par(
             let fsum: f64 = samples.iter().map(|s| s.0 / s.1).sum();
             flux_row[c] = fsum / wsum;
             var_row[c] = 1.0 / wsum;
+            // scilint: allow(N002, depth counts visits per pixel which is far below u16::MAX)
             depth_row[c] = samples.len() as u16;
         }
         (flux_row, var_row, depth_row)

@@ -54,6 +54,7 @@ impl UnionFind {
         UnionFind { parent: vec![0] } // label 0 = background sentinel
     }
     fn make(&mut self) -> u32 {
+        // scilint: allow(N002, label count is bounded by the pixel count of one patch and cannot reach u32::MAX)
         let l = self.parent.len() as u32;
         self.parent.push(l);
         l
@@ -161,8 +162,9 @@ pub fn detect_sources_par(coadd: &Coadd, params: &DetectParams, par: Parallelism
         }
     }
 
-    // Second pass: resolve labels, accumulate measurements.
-    use std::collections::HashMap;
+    // Second pass: resolve labels, accumulate measurements. BTreeMap keeps
+    // accumulation order label-sorted, independent of any hash seed.
+    use std::collections::BTreeMap;
     #[derive(Default)]
     struct Acc {
         flux: f64,
@@ -171,7 +173,7 @@ pub fn detect_sources_par(coadd: &Coadd, params: &DetectParams, par: Parallelism
         wy: f64,
         npix: usize,
     }
-    let mut clusters: HashMap<u32, Acc> = HashMap::new();
+    let mut clusters: BTreeMap<u32, Acc> = BTreeMap::new();
     for r in 0..rows {
         for c in 0..cols {
             let p = r * cols + c;
@@ -202,12 +204,12 @@ pub fn detect_sources_par(coadd: &Coadd, params: &DetectParams, par: Parallelism
             npix: a.npix,
         })
         .collect();
-    // Deterministic order: brightest first, ties by position.
+    // Deterministic order: brightest first, ties by position. total_cmp is
+    // a total order, so NaN flux cannot panic the sort.
     sources.sort_by(|a, b| {
         b.flux
-            .partial_cmp(&a.flux)
-            .unwrap()
-            .then(a.centroid.0.partial_cmp(&b.centroid.0).unwrap())
+            .total_cmp(&a.flux)
+            .then(a.centroid.0.total_cmp(&b.centroid.0))
     });
     sources
 }

@@ -140,7 +140,9 @@ impl PatchGrid {
     /// Number of patch columns and rows.
     pub fn grid_dims(&self) -> (u32, u32) {
         (
+            // scilint: allow(N002, patch-grid columns are footprint/patch_size and far below u32::MAX)
             self.footprint.width.div_ceil(self.patch_size.0) as u32,
+            // scilint: allow(N002, patch-grid rows are footprint/patch_size and far below u32::MAX)
             self.footprint.height.div_ceil(self.patch_size.1) as u32,
         )
     }
@@ -173,9 +175,13 @@ impl PatchGrid {
             Some(c) => c,
             None => return Vec::new(),
         };
+        // scilint: allow(N002, clipped to the footprint so the patch column index fits u32)
         let col0 = ((clipped.x0 - self.footprint.x0) / self.patch_size.0 as i64) as u32;
+        // scilint: allow(N002, clipped to the footprint so the patch column index fits u32)
         let col1 = ((clipped.x1() - 1 - self.footprint.x0) / self.patch_size.0 as i64) as u32;
+        // scilint: allow(N002, clipped to the footprint so the patch row index fits u32)
         let row0 = ((clipped.y0 - self.footprint.y0) / self.patch_size.1 as i64) as u32;
+        // scilint: allow(N002, clipped to the footprint so the patch row index fits u32)
         let row1 = ((clipped.y1() - 1 - self.footprint.y0) / self.patch_size.1 as i64) as u32;
         let mut out = Vec::new();
         for row in row0..=row1 {

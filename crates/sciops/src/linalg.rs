@@ -36,6 +36,7 @@ pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
         let diag = m[col * n + col];
         for row in col + 1..n {
             let factor = m[row * n + col] / diag;
+            // scilint: allow(N001, exact-zero factor skips a no-op elimination row - any nonzero value takes the full path)
             if factor == 0.0 {
                 continue;
             }
@@ -66,6 +67,7 @@ pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
 pub fn sym3_eigenvalues(d: &[f64; 6]) -> [f64; 3] {
     let (dxx, dyy, dzz, dxy, dxz, dyz) = (d[0], d[1], d[2], d[3], d[4], d[5]);
     let p1 = dxy * dxy + dxz * dxz + dyz * dyz;
+    // scilint: allow(N001, exact-zero off-diagonal energy detects the already-diagonal case the analytic formula requires)
     if p1 == 0.0 {
         // Already diagonal.
         let mut eig = [dxx, dyy, dzz];

@@ -31,6 +31,7 @@ impl GradientTable {
     pub fn b0s_mask(&self) -> Mask {
         Mask::from_vec(
             &[self.len()],
+            // scilint: allow(N001, b=0 is the acquisition's exact sentinel for non-diffusion volumes)
             self.bvals.iter().map(|&b| b == 0.0).collect(),
         )
         .expect("mask length matches")
@@ -41,6 +42,7 @@ impl GradientTable {
         self.bvals
             .iter()
             .enumerate()
+            // scilint: allow(N001, b=0 is the acquisition's exact sentinel for non-diffusion volumes)
             .filter_map(|(i, &b)| (b == 0.0).then_some(i))
             .collect()
     }

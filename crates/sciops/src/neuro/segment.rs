@@ -35,10 +35,12 @@ pub fn otsu_threshold(values: &NdArray<f64>, bins: usize) -> f64 {
     let mut best_t = lo;
     for (i, &count) in counts.iter().enumerate().take(bins - 1) {
         w_bg += count as f64;
+        // scilint: allow(N001, class weights are integer histogram counts held exactly in f64 - zero means an empty class)
         if w_bg == 0.0 {
             continue;
         }
         let w_fg = total as f64 - w_bg;
+        // scilint: allow(N001, class weights are integer histogram counts held exactly in f64 - zero means an empty class)
         if w_fg == 0.0 {
             break;
         }
@@ -158,6 +160,7 @@ pub fn median_otsu(mean_b0: &NdArray<f64>, median_radius: usize) -> Mask {
         .iter()
         .enumerate()
         .max_by_key(|(_, &s)| s)
+        // scilint: allow(N002, component label index is bounded by the component count of one volume)
         .map(|(l, _)| l as u32)
         .unwrap_or(0);
     Mask::from_vec(

@@ -39,6 +39,7 @@ pub fn sigma_clipped_mean(values: &[f64], kappa: f64, iterations: usize) -> f64 
             break;
         }
         let (mean, std) = mean_std(&kept);
+        // scilint: allow(N001, exact-zero std is mean_std's all-equal-samples sentinel so clipping can never remove anything)
         if std == 0.0 {
             break;
         }
@@ -64,6 +65,7 @@ pub fn sigma_clipped_median(values: &[f64], kappa: f64, iterations: usize) -> f6
             break;
         }
         let (mean, std) = mean_std(&kept);
+        // scilint: allow(N001, exact-zero std is mean_std's all-equal-samples sentinel so clipping can never remove anything)
         if std == 0.0 {
             break;
         }

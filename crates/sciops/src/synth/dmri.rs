@@ -170,6 +170,7 @@ impl DmriPhantom {
                         // Gaussian noise on both channels.
                         let re = clean + spec.noise_sigma * rng.normal();
                         let im = spec.noise_sigma * rng.normal();
+                        // scilint: allow(N002, the phantom stores f32 by design to match scanner output precision)
                         data[off] = ((re * re + im * im).sqrt()) as f32;
                         off += 1;
                     }

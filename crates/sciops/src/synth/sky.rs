@@ -141,6 +141,7 @@ impl SkySurvey {
             .collect();
 
         let mut visits = Vec::with_capacity(spec.n_visits);
+        // scilint: allow(N002, visit counts are at most a few thousand and fit u32 trivially)
         for visit in 0..spec.n_visits as u32 {
             let ddx = if spec.dither > 0 {
                 rng.index((2 * spec.dither + 1) as usize) as i64 - spec.dither

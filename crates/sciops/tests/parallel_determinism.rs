@@ -13,7 +13,9 @@ use sciops::astro::{
     subtract_background_par, BackgroundParams, CalibParams, CoaddParams, DetectParams,
 };
 use sciops::neuro::pipeline::{denoise_all_par, segmentation};
-use sciops::neuro::{fit_dtm_volume_full_par, nlmeans3d_par, NlmParams};
+use sciops::neuro::{
+    fit_dtm_volume, fit_dtm_volume_full_par, fit_dtm_volume_par, nlmeans3d_par, NlmParams,
+};
 use sciops::synth::dmri::{DmriPhantom, DmriSpec};
 use sciops::synth::sky::{SkySpec, SkySurvey};
 
@@ -146,6 +148,20 @@ fn detect_bit_identical_across_thread_counts() {
     for workers in WORKER_COUNTS {
         let par = detect_sources_par(coadd, &params, Parallelism::threads(workers));
         assert_eq!(serial, par, "detect workers={workers}");
+    }
+}
+
+#[test]
+fn dtm_fa_wrapper_bit_identical_to_serial_twin() {
+    // The FA-only convenience wrapper: fit_dtm_volume_par at any worker
+    // count must reproduce fit_dtm_volume (the serial twin) bit for bit.
+    let phantom = tiny_phantom();
+    let data = phantom.data.cast::<f64>();
+    let (_, mask) = segmentation(&data, &phantom.gtab);
+    let serial = fit_dtm_volume(&data, &mask, &phantom.gtab);
+    for workers in WORKER_COUNTS {
+        let par = fit_dtm_volume_par(&data, &mask, &phantom.gtab, Parallelism::threads(workers));
+        assert_eq!(serial, par, "fit_dtm_volume workers={workers}");
     }
 }
 

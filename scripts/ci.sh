@@ -11,6 +11,11 @@ cargo fmt --all --check
 echo "== cargo clippy (workspace lint wall, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== scilint (source-level determinism & numeric-safety gate)"
+# Zero unsuppressed findings allowed; every suppression carries a reason.
+# Prints a one-line per-crate summary; details in DESIGN.md §3.9.
+cargo run --release -q -p scilint --bin scilint -- --quiet
+
 echo "== cargo test"
 cargo test -q --workspace
 
