@@ -11,14 +11,18 @@
 //!
 //! `scibench bench` times the five hottest kernels at a ladder of thread
 //! counts and emits the machine-readable `BENCH_kernels.json`;
-//! `scibench perf-smoke` asserts the serial and multi-threaded paths
-//! produce bit-identical outputs (the CI determinism gate). Both honor
-//! `--threads N` and the `SCIBENCH_THREADS` environment variable.
+//! `scibench bench e2e` runs every engine analog's full pipeline under the
+//! eager copy-everywhere baseline and the shared data plane, asserts the
+//! outputs are bit-identical, and emits `BENCH_e2e.json` with per-engine
+//! copy counts; `scibench perf-smoke` asserts the serial and
+//! multi-threaded paths produce bit-identical outputs (the CI determinism
+//! gate). `bench` and `perf-smoke` honor `--threads N` and the
+//! `SCIBENCH_THREADS` environment variable.
 
 use engine_rel::ExecutionMode;
 use parexec::{parse_threads, Parallelism};
 use plancheck::{check, Code, Report};
-use scibench_bench::kernels;
+use scibench_bench::{e2e, kernels};
 use scibench_core::experiments::{tuned_partitions, Setup};
 use scibench_core::lower::{astro, ingest, neuro, steps, Engine};
 use scibench_core::workload::{AstroWorkload, NeuroWorkload};
@@ -271,8 +275,90 @@ fn threads_arg(value: Option<&String>, usage: &str) -> Result<Parallelism, i32> 
     }
 }
 
+fn bench_e2e(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: scibench bench e2e [--quick] [--out PATH]";
+    let mut out_path: Option<std::path::PathBuf> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--out" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --out requires a path");
+                    eprintln!("{USAGE}");
+                    return 2;
+                };
+                out_path = Some(std::path::PathBuf::from(p));
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("{USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!(
+        "e2e copy accounting: each pipeline under the eager (copy-everywhere) baseline, \
+         then on the shared data plane{}...",
+        if quick { " (quick)" } else { "" }
+    );
+    let (results, skipped) = e2e::run_e2e(quick);
+    let mut diverged = 0;
+    for r in &results {
+        eprintln!(
+            "  {:<6} {:<11} copies {:>6} -> {:<6} ({:>5.1}% drop)  {:>8.1} ms -> {:<8.1} ms{}",
+            r.pipeline,
+            r.engine,
+            r.copies_before,
+            r.copies_after,
+            r.copy_drop * 100.0,
+            r.ms_before,
+            r.ms_after,
+            if r.outputs_identical {
+                ""
+            } else {
+                "  FINGERPRINT DIVERGED"
+            }
+        );
+        if !r.outputs_identical {
+            diverged += 1;
+        }
+    }
+    for s in &skipped {
+        eprintln!("  {:<6} {:<11} skipped: {}", s.pipeline, s.engine, s.status);
+    }
+    let json = e2e::results_to_json(&results, &skipped, host, quick);
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &json) {
+                eprintln!("error: cannot write {}: {e}", p.display());
+                return 1;
+            }
+            eprintln!("wrote {}", p.display());
+        }
+        None => print!("{json}"),
+    }
+    if diverged > 0 {
+        eprintln!("error: {diverged} pipeline(s) diverged between copy modes");
+        return 1;
+    }
+    0
+}
+
 fn bench(args: &[String]) -> i32 {
-    const USAGE: &str = "usage: scibench bench [--threads N] [--out PATH]";
+    const USAGE: &str = "usage: scibench bench [e2e] [--threads N] [--out PATH]";
+    if args.first().map(String::as_str) == Some("e2e") {
+        return bench_e2e(&args[1..]);
+    }
     let mut out_path: Option<std::path::PathBuf> = None;
     let mut explicit: Option<Parallelism> = None;
     let mut i = 0;
@@ -417,6 +503,10 @@ fn usage() -> i32 {
     eprintln!("  bench       time the five hottest kernels across thread counts and");
     eprintln!("              emit BENCH_kernels.json");
     eprintln!("              options: [--threads N] [--out PATH]");
+    eprintln!("  bench e2e   run every engine analog's full pipeline under the eager");
+    eprintln!("              copy-everywhere baseline and the shared data plane, and");
+    eprintln!("              emit BENCH_e2e.json with per-engine copy counts");
+    eprintln!("              options: [--quick] [--out PATH]");
     eprintln!("  perf-smoke  assert serial and multi-threaded kernel outputs are");
     eprintln!("              bit-identical (CI gate)");
     eprintln!("              options: [--threads N]");

@@ -1,0 +1,429 @@
+//! End-to-end pipeline benchmarks with copy accounting: each engine
+//! analog's full use-case pipeline, run twice — once under
+//! [`CopyMode::Eager`] (every chunk-handle clone deep-copies, the
+//! copy-everywhere baseline this workspace shipped before the shared data
+//! plane) and once under [`CopyMode::Shared`] (clones are refcount bumps;
+//! only COW mutations and sanctioned architectural copies touch memory).
+//!
+//! The two runs must produce bit-identical outputs (the fingerprints are
+//! compared), so the copy counts and wall times are measurements of the
+//! data plane alone, not of a different computation. Results serialize as
+//! `BENCH_e2e.json` (schema `scibench-bench-e2e/v1`).
+
+use crate::kernels::Fingerprint;
+use marray::{with_copy_mode, CopyCounter, CopyMode, CopyStats};
+use scibench_core::usecases::astro as astro_uc;
+use scibench_core::usecases::neuro as neuro_uc;
+use sciops::synth::dmri::{DmriPhantom, DmriSpec};
+use sciops::synth::sky::{SkySpec, SkySurvey};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One end-to-end benchmarkable pipeline on one engine analog.
+pub struct E2eCase {
+    /// Use case: `"neuro"` or `"astro"`.
+    pub pipeline: &'static str,
+    /// Engine analog: `spark`, `myria`, `dask`, `tensorflow` or `scidb`.
+    pub engine: &'static str,
+    runner: Box<dyn Fn() -> u64>,
+}
+
+impl E2eCase {
+    /// Run the pipeline once; returns the output fingerprint.
+    pub fn run(&self) -> u64 {
+        (self.runner)()
+    }
+}
+
+/// A pipeline/engine combination the paper reports as absent, carried in
+/// the JSON so the gap is documented rather than silent.
+#[derive(Debug, Clone)]
+pub struct E2eSkip {
+    /// Use case.
+    pub pipeline: &'static str,
+    /// Engine analog.
+    pub engine: &'static str,
+    /// Why there is no measurement (the paper's reason).
+    pub status: String,
+}
+
+/// One engine's before/after measurement.
+#[derive(Debug, Clone)]
+pub struct E2eResult {
+    /// Use case.
+    pub pipeline: &'static str,
+    /// Engine analog.
+    pub engine: &'static str,
+    /// Deep copies under the eager (copy-everywhere) baseline.
+    pub copies_before: u64,
+    /// Bytes deep-copied under the eager baseline.
+    pub bytes_before: u64,
+    /// Wall milliseconds for the eager run.
+    pub ms_before: f64,
+    /// Deep copies on the shared data plane (COW + sanctioned only).
+    pub copies_after: u64,
+    /// Bytes deep-copied on the shared data plane.
+    pub bytes_after: u64,
+    /// Wall milliseconds for the shared run.
+    pub ms_after: f64,
+    /// `1 - after/before` (0 when the baseline itself made no copies).
+    pub copy_drop: f64,
+    /// The copies that remain, by reason tag (the architectural ones).
+    pub reasons_after: Vec<(String, u64)>,
+    /// Eager and shared fingerprints matched bit for bit.
+    pub outputs_identical: bool,
+}
+
+fn subjects(n: usize) -> Vec<neuro_uc::Subject> {
+    let spec = DmriSpec::test_scale();
+    (0..n)
+        .map(|i| {
+            let phantom = DmriPhantom::generate(7000 + i as u64, &spec);
+            neuro_uc::Subject::from_phantom(i as u32, &phantom)
+        })
+        .collect()
+}
+
+fn fingerprint_fa(out: &std::collections::BTreeMap<u32, marray::NdArray<f64>>) -> u64 {
+    let mut fp = Fingerprint::new();
+    for (id, fa) in out {
+        fp.push_usize(*id as usize);
+        fp.push_slice(fa.data());
+    }
+    fp.finish()
+}
+
+fn fingerprint_astro(r: &astro_uc::AstroResult) -> u64 {
+    let mut fp = Fingerprint::new();
+    for (patch, flux) in &r.coadd_flux {
+        fp.push_usize(patch.0 as usize);
+        fp.push_usize(patch.1 as usize);
+        fp.push_slice(flux.data());
+    }
+    for sources in r.catalogs.values() {
+        fp.push_usize(sources.len());
+        for s in sources {
+            fp.push_f64(s.centroid.0);
+            fp.push_f64(s.centroid.1);
+            fp.push_f64(s.flux);
+            fp.push_f64(s.peak);
+            fp.push_usize(s.npix);
+        }
+    }
+    fp.finish()
+}
+
+/// The runnable pipeline/engine matrix: neuroscience on all five analogs;
+/// astronomy on Spark, Myria and the SciDB-style coadd (Dask froze on the
+/// paper's cluster, TensorFlow was neuroscience-only). `quick` shrinks the
+/// subject count for CI.
+pub fn suite(quick: bool) -> (Vec<E2eCase>, Vec<E2eSkip>) {
+    let mut cases = Vec::new();
+    let subs = Arc::new(subjects(if quick { 1 } else { 2 }));
+
+    {
+        let subs = Arc::clone(&subs);
+        cases.push(E2eCase {
+            pipeline: "neuro",
+            engine: "spark",
+            runner: Box::new(move || fingerprint_fa(&neuro_uc::spark(&subs, 8))),
+        });
+    }
+    {
+        let subs = Arc::clone(&subs);
+        cases.push(E2eCase {
+            pipeline: "neuro",
+            engine: "myria",
+            runner: Box::new(move || fingerprint_fa(&neuro_uc::myria(&subs, 4, 2))),
+        });
+    }
+    {
+        let subs = Arc::clone(&subs);
+        cases.push(E2eCase {
+            pipeline: "neuro",
+            engine: "dask",
+            runner: Box::new(move || fingerprint_fa(&neuro_uc::dask(&subs, 8))),
+        });
+    }
+    {
+        let subs = Arc::clone(&subs);
+        cases.push(E2eCase {
+            pipeline: "neuro",
+            engine: "tensorflow",
+            runner: Box::new(move || {
+                let out = neuro_uc::tensorflow(&subs);
+                let mut fp = Fingerprint::new();
+                for (id, v) in out.mean_b0.iter().chain(out.denoised0.iter()) {
+                    fp.push_usize(*id as usize);
+                    fp.push_slice(v.data());
+                }
+                fp.finish()
+            }),
+        });
+    }
+    {
+        let subs = Arc::clone(&subs);
+        cases.push(E2eCase {
+            pipeline: "neuro",
+            engine: "scidb",
+            runner: Box::new(move || {
+                let out = neuro_uc::scidb(&subs);
+                let mut fp = Fingerprint::new();
+                for (id, v) in out.mean_b0.iter().chain(out.denoised.iter()) {
+                    fp.push_usize(*id as usize);
+                    fp.push_slice(v.data());
+                }
+                fp.finish()
+            }),
+        });
+    }
+
+    let survey = Arc::new(SkySurvey::generate(99, &SkySpec::test_scale()));
+    {
+        let survey = Arc::clone(&survey);
+        cases.push(E2eCase {
+            pipeline: "astro",
+            engine: "spark",
+            runner: Box::new(move || fingerprint_astro(&astro_uc::spark(&survey, 6))),
+        });
+    }
+    {
+        let survey = Arc::clone(&survey);
+        cases.push(E2eCase {
+            pipeline: "astro",
+            engine: "myria",
+            runner: Box::new(move || fingerprint_astro(&astro_uc::myria(&survey, 4, 1))),
+        });
+    }
+    {
+        // SciDB: the pure-AQL clipped coadd over one patch's visit cube.
+        let cube = Arc::new(patch_cube(&survey));
+        cases.push(E2eCase {
+            pipeline: "astro",
+            engine: "scidb",
+            runner: Box::new(move || {
+                let db = engine_array::ArrayDb::connect(4);
+                let out = astro_uc::scidb_coadd_cube(&db, &cube, 8);
+                let mut fp = Fingerprint::new();
+                fp.push_slice(out.data());
+                fp.finish()
+            }),
+        });
+    }
+
+    let skipped = vec![
+        E2eSkip {
+            pipeline: "astro",
+            engine: "dask",
+            status: astro_uc::DASK_ASTRO_STATUS.to_string(),
+        },
+        E2eSkip {
+            pipeline: "astro",
+            engine: "tensorflow",
+            status: "not attempted (the paper's TensorFlow implementation covers only the \
+                     neuroscience use case)"
+                .to_string(),
+        },
+    ];
+    (cases, skipped)
+}
+
+/// Build the `(visit, rows, cols)` cube of merged exposures for the first
+/// patch of `survey` (the SciDB coadd's ingest input).
+fn patch_cube(survey: &SkySurvey) -> marray::NdArray<f64> {
+    let grid = survey.patch_grid();
+    let (calib, _, _) = astro_uc::astro_params();
+    let patch_box = grid.patch_box((0, 0));
+    let visits = survey.visits.len();
+    let rows = patch_box.height as usize;
+    let cols = patch_box.width as usize;
+    let mut cube = marray::NdArray::<f64>::zeros(&[visits, rows, cols]);
+    for (v, exposures) in survey.visits.iter().enumerate() {
+        let calibrated: Vec<_> = exposures
+            .iter()
+            .map(|e| sciops::astro::calibrate_exposure(e, &calib))
+            .collect();
+        let pieces: Vec<_> = calibrated
+            .iter()
+            .filter_map(|e| e.crop_to(&patch_box))
+            .collect();
+        let merged = sciops::astro::pipeline::merge_visit_pieces(&patch_box, &pieces);
+        let slice = merged
+            .flux
+            .clone()
+            .reshape(&[1, rows, cols])
+            .expect("rank-3 slice");
+        cube.write_subarray(&[v, 0, 0], &slice).expect("cube slice");
+    }
+    cube
+}
+
+/// Run `case` once under `mode`, returning (fingerprint, copy delta, ms).
+fn measure(case: &E2eCase, mode: CopyMode) -> (u64, CopyStats, f64) {
+    with_copy_mode(mode, || {
+        let before = CopyCounter::snapshot();
+        let t = Instant::now();
+        let fp = case.run();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        (fp, CopyCounter::snapshot().since(&before), ms)
+    })
+}
+
+/// Run the whole matrix: every case under the eager baseline, then under
+/// the shared data plane, asserting fingerprint equality between modes.
+pub fn run_e2e(quick: bool) -> (Vec<E2eResult>, Vec<E2eSkip>) {
+    let (cases, skipped) = suite(quick);
+    let mut results = Vec::new();
+    for case in &cases {
+        let (fp_eager, eager, ms_before) = measure(case, CopyMode::Eager);
+        let (fp_shared, shared, ms_after) = measure(case, CopyMode::Shared);
+        let copy_drop = if eager.copies > 0 {
+            1.0 - shared.copies as f64 / eager.copies as f64
+        } else {
+            0.0
+        };
+        results.push(E2eResult {
+            pipeline: case.pipeline,
+            engine: case.engine,
+            copies_before: eager.copies,
+            bytes_before: eager.bytes,
+            ms_before,
+            copies_after: shared.copies,
+            bytes_after: shared.bytes,
+            ms_after,
+            copy_drop,
+            reasons_after: shared
+                .by_reason
+                .iter()
+                .map(|(k, v)| (k.clone(), v.copies))
+                .collect(),
+            outputs_identical: fp_eager == fp_shared,
+        });
+    }
+    (results, skipped)
+}
+
+/// Render e2e results as the `BENCH_e2e.json` document
+/// (schema `scibench-bench-e2e/v1`). Hand-rolled like
+/// [`crate::kernels::results_to_json`]: no JSON dependency in the
+/// workspace.
+pub fn results_to_json(
+    results: &[E2eResult],
+    skipped: &[E2eSkip],
+    host_parallelism: usize,
+    quick: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"scibench-bench-e2e/v1\",\n");
+    out.push_str("  \"host\": {\n");
+    out.push_str(&format!(
+        "    \"available_parallelism\": {host_parallelism},\n"
+    ));
+    // Wall times from a one-core host are not a parallel measurement;
+    // flag them the same way BENCH_kernels.json does.
+    out.push_str(&format!(
+        "    \"single_core_host\": {}\n",
+        host_parallelism == 1
+    ));
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let reasons = r
+            .reasons_after
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"pipeline\": \"{}\", \"engine\": \"{}\", \"copies_before\": {}, \
+             \"bytes_before\": {}, \"ms_before\": {:.2}, \"copies_after\": {}, \
+             \"bytes_after\": {}, \"ms_after\": {:.2}, \"copy_drop\": {:.4}, \
+             \"outputs_identical\": {}, \"reasons_after\": {{{reasons}}}}}{}\n",
+            r.pipeline,
+            r.engine,
+            r.copies_before,
+            r.bytes_before,
+            r.ms_before,
+            r.copies_after,
+            r.bytes_after,
+            r.ms_after,
+            r.copy_drop,
+            r.outputs_identical,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"skipped\": [\n");
+    for (i, s) in skipped.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pipeline\": \"{}\", \"engine\": \"{}\", \"status\": \"{}\"}}{}\n",
+            s.pipeline,
+            s.engine,
+            s.status,
+            if i + 1 < skipped.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_all_five_engines_on_neuro_and_documents_astro_gaps() {
+        let (cases, skipped) = suite(true);
+        let neuro: Vec<&str> = cases
+            .iter()
+            .filter(|c| c.pipeline == "neuro")
+            .map(|c| c.engine)
+            .collect();
+        assert_eq!(neuro, ["spark", "myria", "dask", "tensorflow", "scidb"]);
+        let astro: Vec<&str> = cases
+            .iter()
+            .filter(|c| c.pipeline == "astro")
+            .map(|c| c.engine)
+            .collect();
+        assert_eq!(astro, ["spark", "myria", "scidb"]);
+        assert!(skipped
+            .iter()
+            .any(|s| s.pipeline == "astro" && s.engine == "dask"));
+        assert!(skipped
+            .iter()
+            .any(|s| s.pipeline == "astro" && s.engine == "tensorflow"));
+    }
+
+    #[test]
+    fn json_schema_and_fields_are_stable() {
+        let results = vec![E2eResult {
+            pipeline: "neuro",
+            engine: "spark",
+            copies_before: 100,
+            bytes_before: 800_000,
+            ms_before: 12.5,
+            copies_after: 10,
+            bytes_after: 80_000,
+            ms_after: 9.0,
+            copy_drop: 0.9,
+            reasons_after: vec![("cow".to_string(), 10)],
+            outputs_identical: true,
+        }];
+        let skipped = vec![E2eSkip {
+            pipeline: "astro",
+            engine: "dask",
+            status: "frozen".to_string(),
+        }];
+        let json = results_to_json(&results, &skipped, 1, true);
+        assert!(json.contains("\"schema\": \"scibench-bench-e2e/v1\""));
+        assert!(json.contains("\"single_core_host\": true"));
+        assert!(json.contains("\"copies_before\": 100"));
+        assert!(json.contains("\"copy_drop\": 0.9000"));
+        assert!(json.contains("\"reasons_after\": {\"cow\": 10}"));
+        assert!(json.contains("\"skipped\""));
+        assert!(!json.contains(",\n  ]"), "no trailing comma:\n{json}");
+    }
+}

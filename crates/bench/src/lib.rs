@@ -2,7 +2,9 @@
 //! `reproduce` (regenerate every table/figure), `probe` (calibration) and
 //! `scibench` (the `lint` static-verification sweep plus the `bench` /
 //! `perf-smoke` kernel harness) — and in `scibench-core`; this library
-//! holds the shared kernel-benchmark cases ([`kernels`]) and lets
-//! `cargo bench` targets link against the crate.
+//! holds the shared kernel-benchmark cases ([`kernels`]), the end-to-end
+//! copy-accounting harness ([`e2e`]), and lets `cargo bench` targets link
+//! against the crate.
 
+pub mod e2e;
 pub mod kernels;

@@ -35,8 +35,13 @@ pub struct AstroResult {
 
 /// Pack an exposure's three planes into one blob `[3, rows, cols]`
 /// (relations carry one blob column; the planes travel together).
+///
+/// A sanctioned architectural copy: the relational engine's blob column is
+/// a format-conversion boundary (§5.3's pathology for Myria), so every
+/// pack is recorded.
 fn pack(e: &Exposure) -> NdArray<f64> {
     let (rows, cols) = e.dims();
+    marray::record_copy("myria.pack-blob", 3 * rows * cols * 8);
     let mut out = NdArray::<f64>::zeros(&[3, rows, cols]);
     out.data_mut()[..rows * cols].copy_from_slice(e.flux.data());
     out.data_mut()[rows * cols..2 * rows * cols].copy_from_slice(e.variance.data());
@@ -46,11 +51,12 @@ fn pack(e: &Exposure) -> NdArray<f64> {
     out
 }
 
-/// Inverse of [`pack`].
+/// Inverse of [`pack`] — the matching architectural copy on the way out.
 fn unpack(packed: &NdArray<f64>, visit: u32, sensor: u32, bbox: SkyBox) -> Exposure {
     let rows = packed.dims()[1];
     let cols = packed.dims()[2];
     let n = rows * cols;
+    marray::record_copy("myria.unpack-blob", packed.nbytes());
     Exposure {
         visit,
         sensor,
@@ -243,7 +249,9 @@ pub fn myria(survey: &SkySurvey, nodes: usize, workers_per_node: usize) -> Astro
         // Emit [flux plane ++ catalog rows] packed into one blob:
         // first the coadd flux, then 4 values per source.
         let (rows, cols) = (coadd.flux.dims()[0], coadd.flux.dims()[1]);
-        let mut data = coadd.flux.data().to_vec();
+        // The coadd is freshly computed and uniquely owned, so moving its
+        // buffer out is free (the old `.to_vec()` deep-copied it).
+        let mut data = coadd.flux.into_vec();
         for s in &sources {
             data.extend_from_slice(&[s.centroid.0, s.centroid.1, s.flux, s.npix as f64]);
         }
@@ -297,6 +305,9 @@ pub fn myria(survey: &SkySurvey, nodes: usize, workers_per_node: usize) -> Astro
         let rows = patch_box.height as usize;
         let cols = patch_box.width as usize;
         let blob = t[2].as_blob();
+        // Result extraction at the client boundary: the flux plane leaves
+        // the packed result blob, a counted architectural copy.
+        marray::record_copy("myria.result-unpack", rows * cols * 8);
         let flux =
             NdArray::from_vec(&[rows, cols], blob.data()[..rows * cols].to_vec()).expect("plane");
         let mut sources = Vec::new();

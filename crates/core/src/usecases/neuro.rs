@@ -127,13 +127,15 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> BTreeMap<u32, NdArray<f
                 Arc::new(nlmeans3d(&vol, Some(&m1.value()[&s]), &params)),
             )
         })
-        // repart: split each denoised volume into voxel blocks.
+        // repart: split each denoised volume into voxel blocks. The blocks
+        // are zero-copy views into the shared denoised buffer — the
+        // shuffle moves refcounted handles, not voxels.
         .flat_map(move |((s, v), vol)| {
             (0..n_blocks)
                 .map(|b| {
                     let lo = b * block_len;
                     let hi = ((b + 1) * block_len).min(vol.len());
-                    ((s, b as u32), (v, vol.data()[lo..hi].to_vec()))
+                    ((s, b as u32), (v, vol.slice_view(lo, hi - lo)))
                 })
                 .collect()
         })
@@ -153,13 +155,14 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> BTreeMap<u32, NdArray<f
         let mask = &m2.value()[&s];
         let lo = b as usize * block_len;
         let n = pieces[0].1.len();
+        let slices: Vec<&[f64]> = pieces.iter().map(|(_, p)| p.as_slice()).collect();
         let mut fa = vec![0.0f64; n];
         let mut signals = vec![0.0f64; gtab.len()];
         for i in 0..n {
             if !mask.get_flat(lo + i) {
                 continue;
             }
-            for (v, (_, piece)) in pieces.iter().enumerate() {
+            for (v, piece) in slices.iter().enumerate() {
                 signals[v] = piece[i];
             }
             if let Some(fit) = sciops::neuro::dtm::fit_dtm_voxel(&signals, gtab) {

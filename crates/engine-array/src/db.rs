@@ -108,6 +108,10 @@ impl ArrayDb {
         chunk_dims: &[usize],
     ) -> Result<ScidbArray, ArrayDbError> {
         let grid = ChunkGrid::new(array.dims(), chunk_dims)?;
+        // Chunking the client array is the engine's architectural ingest
+        // copy (Figure 11's slow path): every cell is rewritten into chunk
+        // storage.
+        marray::record_copy("scidb.ingest-chunking", array.nbytes());
         let chunks = grid.split(array)?;
         Ok(ScidbArray {
             db: self.clone(),
@@ -150,8 +154,20 @@ impl ScidbArray {
 
     /// Assemble the full dense array (leaves the engine — used to return
     /// results to the client and to validate against the reference).
+    ///
+    /// This is a sanctioned architectural copy: SciDB's chunk-at-a-time
+    /// storage cannot hand out the dense array without rewriting every
+    /// chunk, so the rewrite is recorded under `"scidb.materialize"`.
     pub fn materialize(&self) -> Result<NdArray<f64>, ArrayDbError> {
+        let nbytes: usize = self.chunks.iter().map(|(_, c)| c.nbytes()).sum();
+        marray::record_copy("scidb.materialize", nbytes);
         Ok(self.grid.assemble(&self.chunks)?)
+    }
+
+    /// Record one chunked rewrite of `bytes` bytes (result re-chunking
+    /// after a misaligned or shape-changing operator).
+    pub(crate) fn record_rechunk(&self, bytes: usize) {
+        marray::record_copy("scidb.rechunk", bytes);
     }
 
     pub(crate) fn record_scan(&self, chunks: u64, cells: u64) {

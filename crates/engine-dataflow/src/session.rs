@@ -97,11 +97,14 @@ impl Session {
                         return Err(DataflowError::FeedShapeMismatch {
                             node: i,
                             expected: shape.clone(),
+                            // scilint: allow(C001, error-path dims copy - a few usize extents)
                             got: fed.dims().to_vec(),
                         });
                     }
+                    // scilint: allow(C001, feed handoff clones the NdArray handle - a ChunkBuf refcount bump)
                     fed.clone()
                 }
+                // scilint: allow(C001, constants are shared handles; clone is a refcount bump)
                 OpKind::Constant { value } => value.clone(),
                 OpKind::ReduceMean { axis } => values[node.inputs[0]]
                     .as_ref()
@@ -119,6 +122,7 @@ impl Session {
                 OpKind::Reshape { dims } => values[node.inputs[0]]
                     .as_ref()
                     .expect("topo order")
+                    // scilint: allow(C001, refcount bump; reshape then moves the shared buffer zero-copy)
                     .clone()
                     .reshape(dims)
                     .map_err(|e| DataflowError::ShapeMismatch(e.to_string()))?,
@@ -162,6 +166,7 @@ impl Session {
         }
         Ok(fetches
             .iter()
+            // scilint: allow(C001, fetch returns shared NdArray handles - refcount bumps per tensor)
             .map(|t| values[t.0].clone().expect("fetched node evaluated"))
             .collect())
     }

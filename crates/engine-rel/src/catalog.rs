@@ -100,6 +100,7 @@ impl Relation {
     pub fn broadcast(schema: Schema, tuples: Vec<Tuple>, workers: usize) -> Relation {
         Relation {
             schema,
+            // scilint: allow(C001, broadcast replicates per worker by design; tuples hold scalar Values)
             fragments: (0..workers.max(1)).map(|_| tuples.clone()).collect(),
             partition_column: None,
         }

@@ -220,6 +220,7 @@ impl Query {
                         .relation(relation)
                         .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
                     let s = rel.schema.clone();
+                    // scilint: allow(C001, scan copies stored fragments into the pipeline; tuples hold scalar Values rather than chunk buffers)
                     let mut frags = rel.fragments.clone();
                     if frags.len() != workers {
                         // Catalog built under a different worker count:
@@ -275,8 +276,10 @@ impl Query {
                                     .iter()
                                     .map(|t| {
                                         let argv: Vec<Value> =
+                                            // scilint: allow(C001, Value is a small scalar enum; per-cell clone)
                                             arg_ix.iter().map(|&i| t[i].clone()).collect();
                                         let mut row: Tuple =
+                                            // scilint: allow(C001, Value is a small scalar enum; per-cell clone)
                                             keep_ix.iter().map(|&i| t[i].clone()).collect();
                                         row.push(f(&argv));
                                         row
@@ -305,6 +308,7 @@ impl Query {
                             .iter()
                             .flat_map(|t| {
                                 let argv: Vec<Value> =
+                                    // scilint: allow(C001, Value is a small scalar enum; per-cell clone)
                                     arg_ix.iter().map(|&i| t[i].clone()).collect();
                                 f(&argv)
                             })
@@ -383,6 +387,7 @@ impl Query {
                     partition_column = Some(ci);
                 }
                 Op::GroupBy { keys, uda, out } => {
+                    // scilint: allow(C001, Schema clone - column-name metadata rather than payload)
                     let s = schema.as_ref().expect("group by before scan").clone();
                     let agg = conn
                         .uda(uda)
@@ -422,6 +427,7 @@ impl Query {
                                     .into_iter()
                                     .map(|(_, tuples)| {
                                         let mut row: Tuple =
+                                            // scilint: allow(C001, Value is a small scalar enum; per-cell clone)
                                             key_ix.iter().map(|&i| tuples[0][i].clone()).collect();
                                         row.push(agg(&tuples));
                                         row

@@ -144,6 +144,7 @@ impl DaskClient {
             .expect("executed")
             .downcast_ref::<T>()
             .expect("delayed type mismatch")
+            // scilint: allow(C001, result handoff clones the stored value; NdArray payloads are refcount bumps)
             .clone()
     }
 
@@ -160,6 +161,7 @@ impl DaskClient {
                     .expect("executed")
                     .downcast_ref::<T>()
                     .expect("delayed type mismatch")
+                    // scilint: allow(C001, result handoff clones the stored value; NdArray payloads are refcount bumps)
                     .clone()
             })
             .collect()

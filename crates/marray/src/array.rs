@@ -1,37 +1,54 @@
+use crate::chunkstore::{ChunkBuf, ChunkView};
 use crate::element::Element;
 use crate::error::{ArrayError, Result};
 use crate::shape::Shape;
 
-/// A dense, owned, row-major N-dimensional array.
+/// A dense, row-major N-dimensional array over a shared chunk buffer.
 ///
 /// This is the in-memory payload type flowing through every engine in the
 /// workspace: NIfTI volumes, FITS planes, masks, tensors, and blobs are all
 /// `NdArray<f32>` / `NdArray<f64>` / `NdArray<u8>` under the hood.
+///
+/// Storage is a reference-counted [`ChunkBuf`]: `clone()` shares the bytes
+/// (a refcount bump under [`crate::CopyMode::Shared`], the default), and
+/// mutation is copy-on-write — mutating accessors deep-copy only when the
+/// buffer is shared, and every deep copy is recorded by
+/// [`crate::CopyCounter`]. Use [`NdArray::materialize`] when a copy is
+/// architecturally required regardless of sharing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NdArray<T: Element> {
     shape: Shape,
-    data: Vec<T>,
+    data: ChunkBuf<T>,
 }
 
 impl<T: Element> NdArray<T> {
+    /// Internal: wrap a freshly built buffer (no copy, no counting).
+    #[inline]
+    fn from_parts(shape: Shape, data: Vec<T>) -> Self {
+        NdArray {
+            shape,
+            data: ChunkBuf::from_vec(data),
+        }
+    }
+
+    /// Internal: the raw element slice.
+    #[inline]
+    fn d(&self) -> &[T] {
+        self.data.as_slice()
+    }
+
     /// Array of `T::ZERO` with the given dims.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        NdArray {
-            shape,
-            data: vec![T::ZERO; len],
-        }
+        Self::from_parts(shape, vec![T::ZERO; len])
     }
 
     /// Array filled with `value`.
     pub fn full(dims: &[usize], value: T) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        NdArray {
-            shape,
-            data: vec![value; len],
-        }
+        Self::from_parts(shape, vec![value; len])
     }
 
     /// Array built by evaluating `f` at every multi-index (row-major order).
@@ -41,7 +58,7 @@ impl<T: Element> NdArray<T> {
         for ix in shape.indices() {
             data.push(f(&ix));
         }
-        NdArray { shape, data }
+        Self::from_parts(shape, data)
     }
 
     /// Wrap an existing buffer. Fails if the length does not match the shape.
@@ -53,7 +70,7 @@ impl<T: Element> NdArray<T> {
                 got: data.len(),
             });
         }
-        Ok(NdArray { shape, data })
+        Ok(Self::from_parts(shape, data))
     }
 
     /// The array's shape.
@@ -83,18 +100,56 @@ impl<T: Element> NdArray<T> {
     /// Raw row-major element buffer.
     #[inline]
     pub fn data(&self) -> &[T] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutable raw row-major element buffer.
+    ///
+    /// Copy-on-write: free when this array is the sole owner of its buffer,
+    /// otherwise a deep copy recorded under reason `"cow"`.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [T] {
-        &mut self.data
+        self.data.make_mut("cow")
     }
 
     /// Consume the array, returning its buffer.
+    ///
+    /// Free when this array is the sole owner of its buffer, otherwise a
+    /// deep copy recorded under reason `"unshare"`.
     pub fn into_vec(self) -> Vec<T> {
-        self.data
+        self.data.into_vec("unshare")
+    }
+
+    /// The shared buffer behind this array.
+    #[inline]
+    pub fn buf(&self) -> &ChunkBuf<T> {
+        &self.data
+    }
+
+    /// True when `self` and `other` share the same underlying allocation —
+    /// the property the zero-copy data plane preserves across engine
+    /// boundaries.
+    pub fn shares_buffer(&self, other: &NdArray<T>) -> bool {
+        self.data.ptr_eq(&other.data)
+    }
+
+    /// An explicit, always-counted deep copy of this array under `reason`.
+    ///
+    /// The sanctioned escape hatch for engine boundaries whose architectural
+    /// contract requires a private copy (e.g. the SciDB analog's chunked
+    /// rewrite); accidental copies should share instead.
+    pub fn materialize(&self, reason: &str) -> NdArray<T> {
+        NdArray {
+            shape: self.shape.clone(),
+            data: self.data.deep_copy(reason),
+        }
+    }
+
+    /// A zero-copy view of `len` contiguous row-major elements starting at
+    /// flat offset `start` — the slab handle partitioners hand to workers
+    /// instead of `data()[lo..hi].to_vec()`.
+    pub fn slice_view(&self, start: usize, len: usize) -> ChunkView<T> {
+        self.data.view(start, len)
     }
 
     /// Number of elements in one *slab*: the contiguous row-major run of
@@ -125,19 +180,19 @@ impl<T: Element> NdArray<T> {
     #[inline]
     pub fn slab(&self, i: usize) -> &[T] {
         let len = self.slab_len();
-        &self.data[i * len..(i + 1) * len]
+        &self.d()[i * len..(i + 1) * len]
     }
 
     /// Iterate the slabs along axis 0 as contiguous slices.
     pub fn slabs(&self) -> std::slice::Chunks<'_, T> {
-        self.data.chunks(self.slab_len())
+        self.d().chunks(self.slab_len())
     }
 
     /// Iterate the slabs along axis 0 as disjoint mutable slices — the
     /// handles a data-parallel runtime distributes across workers.
     pub fn slabs_mut(&mut self) -> std::slice::ChunksMut<'_, T> {
         let len = self.slab_len();
-        self.data.chunks_mut(len)
+        self.data.make_mut("cow").chunks_mut(len)
     }
 
     /// Size of the array payload in bytes when serialized densely.
@@ -148,13 +203,13 @@ impl<T: Element> NdArray<T> {
 
     /// Checked element access.
     pub fn get(&self, index: &[usize]) -> Result<T> {
-        Ok(self.data[self.shape.offset_checked(index)?])
+        Ok(self.d()[self.shape.offset_checked(index)?])
     }
 
     /// Checked element write.
     pub fn set(&mut self, index: &[usize], value: T) -> Result<()> {
         let off = self.shape.offset_checked(index)?;
-        self.data[off] = value;
+        self.data.make_mut("cow")[off] = value;
         Ok(())
     }
 
@@ -209,11 +264,11 @@ impl<T: Element> NdArray<T> {
             src_ix[axis] = index;
             src_ix[axis + 1..].copy_from_slice(tail);
             let off: usize = src_ix.iter().zip(&strides).map(|(&i, &s)| i * s).sum();
-            data.push(self.data[off]);
+            data.push(self.d()[off]);
         }
         Ok(NdArray {
             shape: out_shape,
-            data,
+            data: ChunkBuf::from_vec(data),
         })
     }
 
@@ -241,11 +296,11 @@ impl<T: Element> NdArray<T> {
             src_ix.copy_from_slice(&out_ix);
             src_ix[axis] = positions[out_ix[axis]];
             let off: usize = src_ix.iter().zip(&strides).map(|(&i, &s)| i * s).sum();
-            data.push(self.data[off]);
+            data.push(self.d()[off]);
         }
         Ok(NdArray {
             shape: out_shape,
-            data,
+            data: ChunkBuf::from_vec(data),
         })
     }
 
@@ -276,11 +331,11 @@ impl<T: Element> NdArray<T> {
                 .zip(&strides)
                 .map(|((&i, &s0), &s)| (i + s0) * s)
                 .sum();
-            data.push(self.data[off]);
+            data.push(self.d()[off]);
         }
         Ok(NdArray {
             shape: out_shape,
-            data,
+            data: ChunkBuf::from_vec(data),
         })
     }
 
@@ -302,6 +357,7 @@ impl<T: Element> NdArray<T> {
             }
         }
         let strides = self.shape.strides();
+        let dst = self.data.make_mut("cow");
         for src_ix in patch.shape.indices() {
             let off: usize = src_ix
                 .iter()
@@ -309,7 +365,7 @@ impl<T: Element> NdArray<T> {
                 .zip(&strides)
                 .map(|((&i, &s0), &s)| (i + s0) * s)
                 .sum();
-            self.data[off] = patch.data[patch.shape.offset(&src_ix)];
+            dst[off] = patch.d()[patch.shape.offset(&src_ix)];
         }
         Ok(())
     }
@@ -375,11 +431,11 @@ impl<T: Element> NdArray<T> {
                 src_ix[a] = out_ix[i];
             }
             let off: usize = src_ix.iter().zip(&strides).map(|(&i, &s)| i * s).sum();
-            data.push(self.data[off]);
+            data.push(self.d()[off]);
         }
         Ok(NdArray {
             shape: out_shape,
-            data,
+            data: ChunkBuf::from_vec(data),
         })
     }
 
@@ -387,13 +443,13 @@ impl<T: Element> NdArray<T> {
     pub fn map<U: Element>(&self, mut f: impl FnMut(T) -> U) -> NdArray<U> {
         NdArray {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data: ChunkBuf::from_vec(self.d().iter().map(|&v| f(v)).collect()),
         }
     }
 
     /// Apply `f` in place.
     pub fn map_inplace(&mut self, mut f: impl FnMut(T) -> T) {
-        for v in &mut self.data {
+        for v in self.data.make_mut("cow").iter_mut() {
             *v = f(*v);
         }
     }
@@ -412,12 +468,13 @@ impl<T: Element> NdArray<T> {
         }
         Ok(NdArray {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: ChunkBuf::from_vec(
+                self.d()
+                    .iter()
+                    .zip(other.d())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
         })
     }
 
@@ -431,7 +488,7 @@ impl<T: Element> std::ops::Index<&[usize]> for NdArray<T> {
     type Output = T;
     #[inline]
     fn index(&self, index: &[usize]) -> &T {
-        &self.data[self.shape.offset(index)]
+        &self.d()[self.shape.offset(index)]
     }
 }
 
@@ -439,7 +496,7 @@ impl<T: Element> std::ops::IndexMut<&[usize]> for NdArray<T> {
     #[inline]
     fn index_mut(&mut self, index: &[usize]) -> &mut T {
         let off = self.shape.offset(index);
-        &mut self.data[off]
+        &mut self.data.make_mut("cow")[off]
     }
 }
 

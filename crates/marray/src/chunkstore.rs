@@ -1,0 +1,524 @@
+//! The zero-copy data plane: shared immutable chunk buffers.
+//!
+//! Mehta et al. (VLDB 2017, §5.3) attribute much of the performance gap
+//! between the five evaluated systems to memory management at operator
+//! boundaries: engines that deep-copy or re-serialize image chunks at every
+//! partition / shuffle / broadcast / cache / scan boundary pay for it in
+//! both wall time and OOM-prone footprint. This module gives every engine
+//! analog in the workspace one shared substrate that makes the *cheap*
+//! behaviour the default:
+//!
+//! * [`ChunkBuf`] — a reference-counted immutable element buffer. Cloning
+//!   one is a refcount bump; the bytes are shared.
+//! * Copy-on-write mutation — [`ChunkBuf::make_mut`] hands out exclusive
+//!   access, deep-copying only when the buffer is actually shared, and
+//!   every such unshare is recorded.
+//! * [`CopyCounter`] — a process-wide ledger of deep copies, each tagged
+//!   with a reason (`"cow"`, `"eager-clone"`, `"scidb.materialize"`, ...),
+//!   so pipelines can report copies-per-run and the e2e bench can prove
+//!   the zero-copy path eliminates the accidental ones.
+//! * [`CopyMode`] — a global switch between the zero-copy plane
+//!   ([`CopyMode::Shared`], the default) and a faithful reproduction of
+//!   the copy-everywhere seed behaviour ([`CopyMode::Eager`], where every
+//!   clone is a counted deep copy). The bench runs both to measure the
+//!   before/after copy counts on identical code paths.
+//!
+//! Copies that an engine's architectural contract genuinely requires
+//! (e.g. the SciDB analog's chunked rewrite) are *kept* and tagged via
+//! [`record_copy`] or [`ChunkBuf::deep_copy`]: the goal is to delete the
+//! accidental copies while keeping each engine's intended copy behaviour
+//! faithful to the paper.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::element::Element;
+
+/// How [`ChunkBuf::clone`] behaves, process-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyMode {
+    /// Clones share the underlying buffer (refcount bump). The default.
+    Shared,
+    /// Clones deep-copy, reproducing the pre-chunkstore data plane; every
+    /// such copy is counted under the `"eager-clone"` reason. Used by the
+    /// e2e bench and bit-identity tests as the "copy path" baseline.
+    Eager,
+}
+
+/// 0 = Shared, 1 = Eager; mirrors [`CopyMode`] for the atomic cell.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Serializes [`with_copy_mode`] sections so concurrent tests/benches that
+/// flip the global mode (or assert on counter deltas) never interleave.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// The process-wide [`CopyMode`] currently in effect.
+pub fn copy_mode() -> CopyMode {
+    if MODE.load(Ordering::SeqCst) == 0 {
+        CopyMode::Shared
+    } else {
+        CopyMode::Eager
+    }
+}
+
+thread_local! {
+    /// Nesting depth of [`with_copy_mode`] sections on this thread, so
+    /// nested sections re-use the outer section's lock instead of
+    /// deadlocking on it.
+    static SECTION_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Restores the previous mode and section depth even if the closure panics.
+struct ModeGuard(u8);
+
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        MODE.store(self.0, Ordering::SeqCst);
+        SECTION_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Run `f` with the process-wide copy mode set to `mode`, then restore.
+///
+/// Sections are mutually exclusive across threads (a global lock is held
+/// for the duration of the outermost section; nested sections on the same
+/// thread are re-entrant), so copy-counter deltas observed inside one
+/// section are not polluted by another thread's section. Threads *spawned
+/// by* `f` (engine workers) see the requested mode, as it is
+/// process-global.
+pub fn with_copy_mode<R>(mode: CopyMode, f: impl FnOnce() -> R) -> R {
+    let outermost = SECTION_DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth == 0
+    });
+    let _section = if outermost {
+        Some(MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+    } else {
+        None
+    };
+    let _restore = ModeGuard(MODE.load(Ordering::SeqCst));
+    MODE.store(mode as u8, Ordering::SeqCst);
+    f()
+}
+
+/// Total deep copies recorded since process start.
+static COPIES: AtomicU64 = AtomicU64::new(0);
+/// Total bytes deep-copied since process start.
+static COPIED_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Per-reason breakdown. BTreeMap so reports iterate deterministically.
+static BY_REASON: Mutex<BTreeMap<String, ReasonStats>> = Mutex::new(BTreeMap::new());
+
+/// The process-wide deep-copy ledger.
+///
+/// `CopyCounter` is a namespace, not an instance: the counters are global
+/// because buffers flow across engine worker threads. Readers take
+/// [`CopyCounter::snapshot`]s and diff them with [`CopyStats::since`] to
+/// attribute copies to a pipeline run.
+pub struct CopyCounter;
+
+impl CopyCounter {
+    /// Record one deep copy of `bytes` bytes under `reason`.
+    pub fn record(reason: &str, bytes: usize) {
+        COPIES.fetch_add(1, Ordering::Relaxed);
+        COPIED_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+        let mut map = BY_REASON.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = map.entry(reason.to_string()).or_default();
+        slot.copies += 1;
+        slot.bytes += bytes as u64;
+    }
+
+    /// A consistent view of the ledger as of now.
+    pub fn snapshot() -> CopyStats {
+        // Lock first so totals cannot advance past the per-reason map.
+        let map = BY_REASON.lock().unwrap_or_else(|e| e.into_inner());
+        CopyStats {
+            copies: COPIES.load(Ordering::Relaxed),
+            bytes: COPIED_BYTES.load(Ordering::Relaxed),
+            by_reason: map.clone(),
+        }
+    }
+}
+
+/// Record one deep copy of `bytes` bytes under `reason`.
+///
+/// Free-function alias for [`CopyCounter::record`], for call sites that
+/// tag architectural copies performed with plain buffer writes (e.g. the
+/// SciDB analog's rechunk, TSV streaming round-trips).
+pub fn record_copy(reason: &str, bytes: usize) {
+    CopyCounter::record(reason, bytes);
+}
+
+/// Copy count and byte volume for one reason tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReasonStats {
+    /// Number of deep copies.
+    pub copies: u64,
+    /// Bytes deep-copied.
+    pub bytes: u64,
+}
+
+/// A snapshot (or delta) of the deep-copy ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CopyStats {
+    /// Total deep copies.
+    pub copies: u64,
+    /// Total bytes deep-copied.
+    pub bytes: u64,
+    /// Breakdown by reason tag, deterministically ordered.
+    pub by_reason: BTreeMap<String, ReasonStats>,
+}
+
+impl CopyStats {
+    /// The copies recorded between `earlier` and `self` (saturating, so a
+    /// stale snapshot never underflows).
+    pub fn since(&self, earlier: &CopyStats) -> CopyStats {
+        let mut by_reason = BTreeMap::new();
+        for (reason, now) in &self.by_reason {
+            let base = earlier.by_reason.get(reason).copied().unwrap_or_default();
+            let d = ReasonStats {
+                copies: now.copies.saturating_sub(base.copies),
+                bytes: now.bytes.saturating_sub(base.bytes),
+            };
+            if d.copies > 0 || d.bytes > 0 {
+                by_reason.insert(reason.clone(), d);
+            }
+        }
+        CopyStats {
+            copies: self.copies.saturating_sub(earlier.copies),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            by_reason,
+        }
+    }
+}
+
+/// A reference-counted immutable element buffer: the storage cell behind
+/// [`crate::NdArray`] and the unit shared across engine boundaries.
+///
+/// Cloning is a refcount bump under [`CopyMode::Shared`]; mutation goes
+/// through [`ChunkBuf::make_mut`], which deep-copies (and records the copy)
+/// only when the buffer is shared.
+#[derive(Debug)]
+pub struct ChunkBuf<T: Element> {
+    buf: Arc<Vec<T>>,
+}
+
+impl<T: Element> ChunkBuf<T> {
+    /// Wrap an owned vector (no copy).
+    pub fn from_vec(data: Vec<T>) -> Self {
+        ChunkBuf {
+            buf: Arc::new(data),
+        }
+    }
+
+    /// The elements, read-only.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Payload size in bytes.
+    #[inline]
+    pub fn nbytes(&self) -> usize {
+        self.buf.len() * T::BYTES
+    }
+
+    /// Number of handles currently sharing these bytes.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.buf)
+    }
+
+    /// True when `self` and `other` share the same underlying allocation.
+    pub fn ptr_eq(&self, other: &ChunkBuf<T>) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+
+    /// Exclusive access for mutation: copy-on-write.
+    ///
+    /// If this handle is the sole owner the call is free; otherwise the
+    /// buffer is deep-copied first and the copy is recorded under `reason`.
+    pub fn make_mut(&mut self, reason: &str) -> &mut Vec<T> {
+        if Arc::get_mut(&mut self.buf).is_none() {
+            CopyCounter::record(reason, self.nbytes());
+            self.buf = Arc::new(self.buf.as_ref().clone());
+        }
+        Arc::get_mut(&mut self.buf).expect("freshly unshared ChunkBuf has a sole owner")
+    }
+
+    /// Consume the handle, returning the owned vector.
+    ///
+    /// Free when this handle is the sole owner; otherwise a counted deep
+    /// copy under `reason`.
+    pub fn into_vec(self, reason: &str) -> Vec<T> {
+        match Arc::try_unwrap(self.buf) {
+            Ok(v) => v,
+            Err(shared) => {
+                CopyCounter::record(reason, shared.len() * T::BYTES);
+                shared.as_ref().clone()
+            }
+        }
+    }
+
+    /// An explicit, always-counted deep copy under `reason`.
+    ///
+    /// This is the sanctioned escape hatch for copies an engine's
+    /// architectural contract requires regardless of sharing.
+    pub fn deep_copy(&self, reason: &str) -> ChunkBuf<T> {
+        CopyCounter::record(reason, self.nbytes());
+        ChunkBuf::from_vec(self.buf.as_ref().clone())
+    }
+
+    /// A zero-copy view of `len` elements starting at `start`.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the buffer.
+    pub fn view(&self, start: usize, len: usize) -> ChunkView<T> {
+        assert!(
+            start + len <= self.buf.len(),
+            "ChunkBuf::view: range {start}..{} exceeds buffer of {} elements",
+            start + len,
+            self.buf.len()
+        );
+        ChunkView {
+            buf: ChunkBuf {
+                buf: Arc::clone(&self.buf),
+            },
+            start,
+            len,
+        }
+    }
+}
+
+impl<T: Element> Clone for ChunkBuf<T> {
+    /// Refcount bump under [`CopyMode::Shared`]; a counted deep copy
+    /// (reason `"eager-clone"`) under [`CopyMode::Eager`].
+    fn clone(&self) -> Self {
+        match copy_mode() {
+            CopyMode::Shared => ChunkBuf {
+                buf: Arc::clone(&self.buf),
+            },
+            CopyMode::Eager => self.deep_copy("eager-clone"),
+        }
+    }
+}
+
+impl<T: Element> PartialEq for ChunkBuf<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr_eq(other) || self.as_slice() == other.as_slice()
+    }
+}
+
+/// A zero-copy slice view into a shared [`ChunkBuf`]: the slab handle the
+/// partitioners hand to workers instead of `data[lo..hi].to_vec()`.
+///
+/// Note the clone semantics follow the buffer's: under [`CopyMode::Eager`]
+/// cloning a view deep-copies the *whole* backing buffer, faithfully
+/// reproducing the copy-everywhere baseline.
+#[derive(Debug, Clone)]
+pub struct ChunkView<T: Element> {
+    buf: ChunkBuf<T>,
+    start: usize,
+    len: usize,
+}
+
+impl<T: Element> ChunkView<T> {
+    /// The viewed elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf.as_slice()[self.start..self.start + self.len]
+    }
+
+    /// Number of elements in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Offset of the view's first element in the backing buffer.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Copy the viewed elements out into an owned vector, counted under
+    /// `reason` (views exist to *avoid* copies; copying out is explicit).
+    pub fn to_owned_vec(&self, reason: &str) -> Vec<T> {
+        CopyCounter::record(reason, self.len * T::BYTES);
+        self.as_slice().to_vec()
+    }
+}
+
+impl<T: Element> PartialEq for ChunkView<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(n: usize) -> ChunkBuf<f64> {
+        ChunkBuf::from_vec((0..n).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn shared_clone_is_a_refcount_bump() {
+        with_copy_mode(CopyMode::Shared, || {
+            let before = CopyCounter::snapshot();
+            let a = buf(16);
+            let b = a.clone();
+            assert!(a.ptr_eq(&b));
+            assert_eq!(a.ref_count(), 2);
+            let delta = CopyCounter::snapshot().since(&before);
+            assert_eq!(delta.copies, 0, "shared clone must not deep-copy");
+        });
+    }
+
+    #[test]
+    fn eager_clone_is_a_counted_deep_copy() {
+        with_copy_mode(CopyMode::Eager, || {
+            let before = CopyCounter::snapshot();
+            let a = buf(16);
+            let b = a.clone();
+            assert!(!a.ptr_eq(&b));
+            assert_eq!(a.as_slice(), b.as_slice());
+            let delta = CopyCounter::snapshot().since(&before);
+            assert_eq!(delta.copies, 1);
+            assert_eq!(delta.bytes, 16 * 8);
+            assert_eq!(
+                delta.by_reason.get("eager-clone"),
+                Some(&ReasonStats {
+                    copies: 1,
+                    bytes: 128
+                })
+            );
+        });
+    }
+
+    #[test]
+    fn make_mut_is_free_when_unique_and_cow_when_shared() {
+        with_copy_mode(CopyMode::Shared, || {
+            let before = CopyCounter::snapshot();
+            let mut a = buf(8);
+            a.make_mut("cow")[0] = 99.0; // sole owner: free
+            assert_eq!(CopyCounter::snapshot().since(&before).copies, 0);
+
+            let b = a.clone();
+            a.make_mut("cow")[1] = 7.0; // shared: copy-on-write
+            let delta = CopyCounter::snapshot().since(&before);
+            assert_eq!(delta.copies, 1);
+            assert!(delta.by_reason.contains_key("cow"));
+            // The writer sees its write; the other handle kept the original.
+            assert_eq!(a.as_slice()[1], 7.0);
+            assert_eq!(b.as_slice()[1], 1.0);
+            assert!(!a.ptr_eq(&b));
+        });
+    }
+
+    #[test]
+    fn into_vec_unshares_only_when_shared() {
+        with_copy_mode(CopyMode::Shared, || {
+            let before = CopyCounter::snapshot();
+            let a = buf(4);
+            let v = a.into_vec("unshare"); // sole owner: move
+            assert_eq!(v.len(), 4);
+            assert_eq!(CopyCounter::snapshot().since(&before).copies, 0);
+
+            let a = buf(4);
+            let _keep = a.clone();
+            let v = a.into_vec("unshare"); // shared: counted copy
+            assert_eq!(v.len(), 4);
+            let delta = CopyCounter::snapshot().since(&before);
+            assert_eq!(delta.copies, 1);
+            assert!(delta.by_reason.contains_key("unshare"));
+        });
+    }
+
+    #[test]
+    fn sanctioned_deep_copies_are_counted_and_tagged() {
+        with_copy_mode(CopyMode::Shared, || {
+            let before = CopyCounter::snapshot();
+            let a = buf(32);
+            let b = a.deep_copy("scidb.materialize");
+            assert!(!a.ptr_eq(&b));
+            record_copy("scidb.stream-tsv", 123);
+            let delta = CopyCounter::snapshot().since(&before);
+            assert_eq!(delta.copies, 2);
+            assert_eq!(
+                delta.by_reason.get("scidb.materialize"),
+                Some(&ReasonStats {
+                    copies: 1,
+                    bytes: 32 * 8
+                })
+            );
+            assert_eq!(
+                delta.by_reason.get("scidb.stream-tsv"),
+                Some(&ReasonStats {
+                    copies: 1,
+                    bytes: 123
+                })
+            );
+        });
+    }
+
+    #[test]
+    fn views_share_and_copy_out_is_counted() {
+        with_copy_mode(CopyMode::Shared, || {
+            let before = CopyCounter::snapshot();
+            let a = buf(10);
+            let v = a.view(3, 4);
+            assert_eq!(v.as_slice(), &[3.0, 4.0, 5.0, 6.0]);
+            assert_eq!(v.len(), 4);
+            assert_eq!(v.start(), 3);
+            assert_eq!(CopyCounter::snapshot().since(&before).copies, 0);
+            let owned = v.to_owned_vec("spark.collect");
+            assert_eq!(owned, vec![3.0, 4.0, 5.0, 6.0]);
+            let delta = CopyCounter::snapshot().since(&before);
+            assert_eq!(delta.copies, 1);
+            assert_eq!(
+                delta.by_reason.get("spark.collect").map(|r| r.bytes),
+                Some(32)
+            );
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn view_out_of_range_panics() {
+        let a = buf(4);
+        let _ = a.view(2, 3);
+    }
+
+    #[test]
+    fn with_copy_mode_restores_on_exit() {
+        assert_eq!(copy_mode(), CopyMode::Shared);
+        with_copy_mode(CopyMode::Eager, || {
+            assert_eq!(copy_mode(), CopyMode::Eager);
+            with_copy_mode(CopyMode::Shared, || {
+                assert_eq!(copy_mode(), CopyMode::Shared);
+            });
+            assert_eq!(copy_mode(), CopyMode::Eager);
+        });
+        assert_eq!(copy_mode(), CopyMode::Shared);
+    }
+}

@@ -9,9 +9,13 @@
 //! iteration, and regular chunking (the storage model of the SciDB-analog
 //! engine).
 //!
-//! Arrays are dense, row-major (C order) and owned. The library favours
-//! explicit index math over a general view/lifetime system: kernels that need
-//! raw speed index into `data()` slices directly with [`Shape::offset`].
+//! Arrays are dense, row-major (C order) and backed by reference-counted
+//! immutable chunk buffers ([`ChunkBuf`]): cloning shares bytes, mutation is
+//! copy-on-write, and every deep copy is recorded by the process-wide
+//! [`CopyCounter`] — the zero-copy data plane the engine analogs build on
+//! (see `chunkstore`). The library favours explicit index math over a
+//! general view/lifetime system: kernels that need raw speed index into
+//! `data()` slices directly with [`Shape::offset`].
 //!
 //! ```
 //! use marray::NdArray;
@@ -24,6 +28,7 @@
 
 mod array;
 mod chunk;
+mod chunkstore;
 mod element;
 mod error;
 mod mask;
@@ -33,6 +38,10 @@ mod window;
 
 pub use array::NdArray;
 pub use chunk::{ChunkGrid, ChunkIx};
+pub use chunkstore::{
+    copy_mode, record_copy, with_copy_mode, ChunkBuf, ChunkView, CopyCounter, CopyMode, CopyStats,
+    ReasonStats,
+};
 pub use element::Element;
 pub use error::{ArrayError, Result};
 pub use mask::Mask;

@@ -1,0 +1,8 @@
+pub fn reshuffle(chunks: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut out = Vec::new();
+    for chunk in chunks {
+        out.push(chunk.clone());
+    }
+    out.push(chunks.concat().to_vec());
+    out
+}

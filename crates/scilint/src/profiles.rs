@@ -4,7 +4,9 @@
 //!
 //! * **Engine crates** (`engine-*`) simulate the paper's five systems; a
 //!   hash-seed-dependent iteration order there makes "engine behaviour"
-//!   depend on the process, so they get the full D family plus H001.
+//!   depend on the process, so they get the full D family plus H001, and
+//!   C001 (chunk payloads ride the shared zero-copy plane; a deep copy
+//!   must be sanctioned or justified).
 //! * **`sciops`** holds the numeric kernels: the N family applies there
 //!   (and in `marray`, the array substrate), plus D-rules and the H002
 //!   serial-twin contract for its `_par` kernels.
@@ -21,7 +23,7 @@ pub const KERNEL_CRATES: [&str; 1] = ["sciops"];
 /// exempt. Crate names are directory names under `crates/`; the workspace
 /// root package is `"scibench"`.
 pub fn rules_for(crate_name: &str) -> &'static [&'static str] {
-    const ENGINE: &[&str] = &["D001", "D002", "D003", "H001"];
+    const ENGINE: &[&str] = &["D001", "D002", "D003", "H001", "C001"];
     const SCIOPS: &[&str] = &[
         "D001", "D002", "D003", "D004", "N001", "N002", "N003", "H001", "H002",
     ];

@@ -30,7 +30,7 @@ fn fires(report: &Report, rule: &str) -> bool {
 }
 
 /// (rule, crate profile to parse under, bad fixture, good fixture).
-const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 10] = [
+const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 11] = [
     ("D001", "engine-rdd", "d001_bad.rs", "d001_good.rs"),
     ("D002", "engine-rdd", "d002_bad.rs", "d002_good.rs"),
     ("D003", "engine-rdd", "d003_bad.rs", "d003_good.rs"),
@@ -39,6 +39,7 @@ const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 10] = [
     ("N002", "sciops", "n002_bad.rs", "n002_good.rs"),
     ("N003", "sciops", "n003_bad.rs", "n003_good.rs"),
     ("H001", "formats", "h001_bad.rs", "h001_good.rs"),
+    ("C001", "engine-rdd", "c001_bad.rs", "c001_good.rs"),
     ("S001", "engine-rdd", "s001_bad.rs", "s001_good.rs"),
     ("S003", "engine-rdd", "s003_bad.rs", "s003_good.rs"),
 ];

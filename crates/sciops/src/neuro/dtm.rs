@@ -111,10 +111,38 @@ pub fn fit_dtm_volume_full(
     fit_dtm_volume_full_par(data, mask, gtab, Parallelism::Serial)
 }
 
-/// [`fit_dtm_volume_full`] with explicit intra-node parallelism: axis-0
-/// planes of the FA/MD maps are fitted independently across
-/// `par.workers()` threads. The per-voxel fit is independent by
-/// construction, so output is bit-identical at every worker count.
+/// Contiguous voxel ranges used as the parallel work items of
+/// [`fit_dtm_volume_full_par`].
+///
+/// Granularity policy: aim for a handful of batches per worker (so
+/// round-robin assignment can still balance a spatially skewed mask) but
+/// never cut a batch smaller than one axis-0 plane — tiny items make the
+/// per-item dispatch and per-item output allocations dominate the voxel
+/// fits, which is how the per-plane version scaled below 1.0x. The ranges
+/// partition `0..n_spatial` exactly, in order, so stitching batch outputs
+/// back together is bit-identical to the serial scan regardless of
+/// `workers`.
+pub fn dtm_batch_ranges(
+    n_spatial: usize,
+    plane_len: usize,
+    workers: usize,
+) -> Vec<std::ops::Range<usize>> {
+    if n_spatial == 0 {
+        return Vec::new();
+    }
+    const BATCHES_PER_WORKER: usize = 4;
+    let target = workers.max(1) * BATCHES_PER_WORKER;
+    let batch_len = n_spatial.div_ceil(target).max(plane_len.max(1));
+    (0..n_spatial.div_ceil(batch_len))
+        .map(|b| b * batch_len..((b + 1) * batch_len).min(n_spatial))
+        .collect()
+}
+
+/// [`fit_dtm_volume_full`] with explicit intra-node parallelism: coarse
+/// contiguous voxel batches (see [`dtm_batch_ranges`]) are fitted
+/// independently across `par.workers()` threads. The per-voxel fit is
+/// independent by construction and the batches partition the volume in
+/// order, so output is bit-identical at every worker count.
 pub fn fit_dtm_volume_full_par(
     data: &NdArray<f64>,
     mask: &Mask,
@@ -128,14 +156,19 @@ pub fn fit_dtm_volume_full_par(
     assert_eq!(mask.dims(), &dims[..3], "mask must be 3-D over (x,y,z)");
     let spatial = [dims[0], dims[1], dims[2]];
     let plane_len = spatial[1] * spatial[2];
+    let n_spatial = spatial.iter().product::<usize>();
     let raw = data.data();
-    let planes: Vec<usize> = (0..spatial[0]).collect();
-    let fitted = par_map_slabs(&planes, par, |_, &x| {
-        let mut fa_plane = vec![0.0f64; plane_len];
-        let mut md_plane = vec![0.0f64; plane_len];
+    // Coarse voxel batches, not per-plane items: at realistic volume sizes
+    // an axis-0 plane holds too little work to amortize per-item dispatch,
+    // which is why the per-plane version scaled *negatively* (0.86x at 2
+    // threads in BENCH_kernels). Batching is invisible to the result: each
+    // voxel's fit is independent and batches stitch back in voxel order.
+    let batches = dtm_batch_ranges(n_spatial, plane_len, par.workers());
+    let fitted = par_map_slabs(&batches, par, |_, range| {
+        let mut fa_batch = vec![0.0f64; range.len()];
+        let mut md_batch = vec![0.0f64; range.len()];
         let mut signals = vec![0.0f64; n_vols];
-        for p in 0..plane_len {
-            let voxel = x * plane_len + p;
+        for (slot, voxel) in range.clone().enumerate() {
             if !mask.get_flat(voxel) {
                 continue;
             }
@@ -143,18 +176,17 @@ pub fn fit_dtm_volume_full_par(
             let base = voxel * n_vols;
             signals.copy_from_slice(&raw[base..base + n_vols]);
             if let Some(fit) = fit_dtm_voxel(&signals, gtab) {
-                fa_plane[p] = fit.fa();
-                md_plane[p] = fit.md();
+                fa_batch[slot] = fit.fa();
+                md_batch[slot] = fit.md();
             }
         }
-        (fa_plane, md_plane)
+        (fa_batch, md_batch)
     });
-    let n_spatial = spatial.iter().product::<usize>();
     let mut fa = Vec::with_capacity(n_spatial);
     let mut md = Vec::with_capacity(n_spatial);
-    for (fa_plane, md_plane) in fitted {
-        fa.extend(fa_plane);
-        md.extend(md_plane);
+    for (fa_batch, md_batch) in fitted {
+        fa.extend(fa_batch);
+        md.extend(md_batch);
     }
     let fa = NdArray::from_vec(&spatial, fa).expect("plane stitching preserves shape");
     let md = NdArray::from_vec(&spatial, md).expect("plane stitching preserves shape");
@@ -288,6 +320,83 @@ mod tests {
                 fit_dtm_volume_full_par(&data, &mask, &gtab, Parallelism::threads(workers));
             assert_eq!(fa_s, fa_p, "FA workers={workers}");
             assert_eq!(md_s, md_p, "MD workers={workers}");
+        }
+    }
+
+    #[test]
+    fn batch_ranges_partition_and_respect_granularity() {
+        // Exact partition of 0..n, in order, for a spread of shapes.
+        for (n_spatial, plane_len, workers) in [
+            (45usize, 9usize, 1usize),
+            (45, 9, 8),
+            (4096, 64, 2),
+            (4096, 64, 8),
+            (100_000, 256, 4),
+            (7, 9, 4),  // volume smaller than one plane
+            (1, 1, 16), // degenerate single voxel
+        ] {
+            let ranges = dtm_batch_ranges(n_spatial, plane_len, workers);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must be contiguous and ordered");
+                assert!(r.end > r.start, "ranges must be non-empty");
+                next = r.end;
+            }
+            assert_eq!(next, n_spatial, "ranges must cover every voxel");
+            // Granularity floor: no batch smaller than a plane except the
+            // final remainder.
+            let floor = plane_len.max(1).min(n_spatial);
+            for r in &ranges[..ranges.len().saturating_sub(1)] {
+                assert!(
+                    r.len() >= floor,
+                    "batch {r:?} finer than one plane ({plane_len}) \
+                     at n={n_spatial} workers={workers}"
+                );
+            }
+            // Coarseness ceiling: dispatch count stays within a small
+            // multiple of the worker count (this is what fixes the
+            // negative scaling — items can no longer outnumber the work).
+            assert!(
+                ranges.len() <= workers.max(1) * 4,
+                "{} batches for {} workers",
+                ranges.len(),
+                workers
+            );
+        }
+        assert!(dtm_batch_ranges(0, 16, 4).is_empty());
+    }
+
+    #[test]
+    fn batched_parallel_fit_matches_per_plane_serial_scan() {
+        // The batching change must be invisible to results: compare the
+        // batched path at several worker counts against a hand-rolled
+        // per-voxel serial scan (the pre-batching reference order).
+        let gtab = GradientTable::hcp_like(32, 2, 1000.0);
+        let aniso = [1.5e-3, 0.4e-3, 0.3e-3, 0.1e-3, 0.0, -0.05e-3];
+        let sig = simulate(&gtab, &aniso, 900.0);
+        let data = NdArray::from_fn(&[6, 4, 4, 32], |ix| {
+            sig[ix[3]] * (1.0 + 0.01 * ix[0] as f64 + 0.002 * ix[1] as f64)
+        });
+        let mask = Mask::from_vec(&[6, 4, 4], (0..96).map(|i| i % 5 != 0).collect()).unwrap();
+        let mut fa_ref = vec![0.0f64; 96];
+        let mut signals = vec![0.0f64; 32];
+        for (voxel, fa_slot) in fa_ref.iter_mut().enumerate() {
+            if !mask.get_flat(voxel) {
+                continue;
+            }
+            signals.copy_from_slice(&data.data()[voxel * 32..(voxel + 1) * 32]);
+            if let Some(fit) = fit_dtm_voxel(&signals, &gtab) {
+                *fa_slot = fit.fa();
+            }
+        }
+        for workers in [1usize, 2, 3, 8] {
+            let par = if workers == 1 {
+                Parallelism::Serial
+            } else {
+                Parallelism::threads(workers)
+            };
+            let (fa, _) = fit_dtm_volume_full_par(&data, &mask, &gtab, par);
+            assert_eq!(fa.data(), &fa_ref[..], "workers={workers}");
         }
     }
 

@@ -28,4 +28,19 @@ echo "== scibench perf-smoke (serial vs parallel kernels, bit-identical)"
 SCIBENCH_THREADS=2 cargo run --release -q -p scibench-bench --bin scibench -- perf-smoke
 cargo run --release -q -p scibench-bench --bin scibench -- perf-smoke --threads 4
 
+echo "== scibench bench e2e --quick (copy accounting, eager vs shared)"
+# Runs every engine pipeline under both copy modes (bit-identity enforced
+# by the tool: non-zero exit on fingerprint divergence) and checks the
+# committed BENCH_e2e.json still speaks the schema the tool emits.
+tmp_e2e="$(mktemp)"
+trap 'rm -f "$tmp_e2e"' EXIT
+cargo run --release -q -p scibench-bench --bin scibench -- bench e2e --quick --out "$tmp_e2e"
+schema_line='"schema": "scibench-bench-e2e/v1"'
+grep -qF "$schema_line" "$tmp_e2e" || {
+  echo "ci: FAIL - bench e2e no longer emits $schema_line" >&2; exit 1; }
+grep -qF "$schema_line" BENCH_e2e.json || {
+  echo "ci: FAIL - committed BENCH_e2e.json schema drifted from $schema_line" >&2
+  echo "     regenerate it: cargo run --release -p scibench-bench --bin scibench -- bench e2e --out BENCH_e2e.json" >&2
+  exit 1; }
+
 echo "ci: all gates passed"
