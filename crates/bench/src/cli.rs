@@ -14,7 +14,10 @@
 //! `scibench bench e2e` runs every engine analog's full pipeline under the
 //! eager copy-everywhere baseline and the shared data plane, asserts the
 //! outputs are bit-identical, and emits `BENCH_e2e.json` with per-engine
-//! copy counts; `scibench perf-smoke` asserts the serial and
+//! copy counts; `scibench bench skew` schedules a source-skewed astro
+//! field under morsel claiming and under static splits and emits
+//! `BENCH_skew.json` with per-worker imbalance and steal counts;
+//! `scibench perf-smoke` asserts the serial and
 //! multi-threaded paths produce bit-identical outputs (the CI determinism
 //! gate). `bench` and `perf-smoke` honor `--threads N` and the
 //! `SCIBENCH_THREADS` environment variable.
@@ -22,7 +25,7 @@
 use engine_rel::ExecutionMode;
 use parexec::{parse_threads, Parallelism};
 use plancheck::{check, Code, Report};
-use scibench_bench::{e2e, kernels};
+use scibench_bench::{e2e, kernels, skew};
 use scibench_core::experiments::{tuned_partitions, Setup};
 use scibench_core::lower::{astro, ingest, neuro, steps, Engine};
 use scibench_core::workload::{AstroWorkload, NeuroWorkload};
@@ -39,15 +42,29 @@ struct Lint {
     verbose: bool,
     checked: usize,
     failures: Vec<String>,
+    /// Measured static-split worker imbalance from a committed
+    /// `BENCH_skew.json`, when one is present in the working directory:
+    /// raises every engine's P004 skew threshold to what static splits
+    /// actually produced on the measured workload (§5.3.3).
+    measured_imbalance: Option<f64>,
 }
 
 impl Lint {
     fn new(verbose: bool) -> Self {
+        let measured_imbalance = std::fs::read_to_string("BENCH_skew.json")
+            .ok()
+            .as_deref()
+            .and_then(plancheck::measured_imbalance_from_bench)
+            .filter(|&m| m > 1.0);
+        if let Some(m) = measured_imbalance {
+            println!("lint: P004 skew threshold informed by BENCH_skew.json (measured static imbalance {m:.2}x)");
+        }
         Lint {
             setup: Setup::default(),
             verbose,
             checked: 0,
             failures: Vec::new(),
+            measured_imbalance,
         }
     }
 
@@ -62,7 +79,11 @@ impl Lint {
         cluster: &simcluster::ClusterSpec,
         memory_expected: bool,
     ) -> Report {
-        let report = check(graph, cluster, &self.setup.profiles.invariants(engine));
+        let mut profile = self.setup.profiles.invariants(engine);
+        if let Some(m) = self.measured_imbalance {
+            profile = profile.with_measured_imbalance(m);
+        }
+        let report = check(graph, cluster, &profile);
         self.checked += 1;
         let hard: Vec<&plancheck::Diagnostic> =
             report.errors().filter(|d| !is_memory(d.code)).collect();
@@ -354,10 +375,108 @@ fn bench_e2e(args: &[String]) -> i32 {
     0
 }
 
+fn bench_skew(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: scibench bench skew [--quick] [--out PATH]";
+    let mut out_path: Option<std::path::PathBuf> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--out" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --out requires a path");
+                    eprintln!("{USAGE}");
+                    return 2;
+                };
+                out_path = Some(std::path::PathBuf::from(p));
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("{USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if host == 1 {
+        eprintln!(
+            "note: one-core host — live thread timings below are not a parallel \
+             measurement; the model_imbalance columns (deterministic worker model \
+             over serially measured morsel costs) are the headline numbers."
+        );
+    }
+    eprintln!(
+        "skew bench: per-patch coadd+detect on a source-skewed sky, morsel claiming \
+         vs static splits{}...",
+        if quick { " (quick)" } else { "" }
+    );
+    let run = skew::run_skew(quick);
+    eprintln!(
+        "  {} patches in {} morsels; hottest morsel {:.1}% of total cost",
+        run.patches,
+        run.morsels,
+        100.0 * run.morsel_cost_nanos.iter().cloned().fold(0.0, f64::max)
+            / run.morsel_cost_nanos.iter().sum::<f64>().max(1.0)
+    );
+    let mut bad = 0;
+    for r in &run.results {
+        eprintln!(
+            "  workers={}  model imbalance: morsel {:.3} vs static {:.3}   steals={}  \
+             ({:.1} ms vs {:.1} ms){}",
+            r.workers,
+            r.morsel.model_imbalance,
+            r.static_split.model_imbalance,
+            r.morsel.steals,
+            r.morsel.ms,
+            r.static_split.ms,
+            if r.outputs_identical {
+                ""
+            } else {
+                "  FINGERPRINT DIVERGED"
+            }
+        );
+        // Bit-identity is enforced everywhere; the morsel<=static model
+        // regression only on the full run — the quick smoke field is too
+        // small for the scheduling gap to clear measurement noise.
+        if !r.outputs_identical
+            || (!quick && r.morsel.model_imbalance > r.static_split.model_imbalance + 1e-9)
+        {
+            bad += 1;
+        }
+    }
+    let json = skew::results_to_json(&run, host, quick);
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &json) {
+                eprintln!("error: cannot write {}: {e}", p.display());
+                return 1;
+            }
+            eprintln!("wrote {}", p.display());
+        }
+        None => print!("{json}"),
+    }
+    if bad > 0 {
+        eprintln!("error: {bad} worker count(s) diverged or scheduled worse than a static split");
+        return 1;
+    }
+    0
+}
+
 fn bench(args: &[String]) -> i32 {
-    const USAGE: &str = "usage: scibench bench [e2e] [--threads N] [--out PATH]";
+    const USAGE: &str = "usage: scibench bench [e2e|skew] [--threads N] [--out PATH]";
     if args.first().map(String::as_str) == Some("e2e") {
         return bench_e2e(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("skew") {
+        return bench_skew(&args[1..]);
     }
     let mut out_path: Option<std::path::PathBuf> = None;
     let mut explicit: Option<Parallelism> = None;
@@ -506,6 +625,10 @@ fn usage() -> i32 {
     eprintln!("  bench e2e   run every engine analog's full pipeline under the eager");
     eprintln!("              copy-everywhere baseline and the shared data plane, and");
     eprintln!("              emit BENCH_e2e.json with per-engine copy counts");
+    eprintln!("              options: [--quick] [--out PATH]");
+    eprintln!("  bench skew  schedule a source-skewed astro field under morsel claiming");
+    eprintln!("              and static splits, and emit BENCH_skew.json with worker");
+    eprintln!("              imbalance and steal counts");
     eprintln!("              options: [--quick] [--out PATH]");
     eprintln!("  perf-smoke  assert serial and multi-threaded kernel outputs are");
     eprintln!("              bit-identical (CI gate)");

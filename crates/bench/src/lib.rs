@@ -3,8 +3,9 @@
 //! `scibench` (the `lint` static-verification sweep plus the `bench` /
 //! `perf-smoke` kernel harness) — and in `scibench-core`; this library
 //! holds the shared kernel-benchmark cases ([`kernels`]), the end-to-end
-//! copy-accounting harness ([`e2e`]), and lets `cargo bench` targets link
-//! against the crate.
+//! copy-accounting harness ([`e2e`]), the scheduler-skew harness
+//! ([`skew`]), and lets `cargo bench` targets link against the crate.
 
 pub mod e2e;
 pub mod kernels;
+pub mod skew;

@@ -211,6 +211,31 @@ impl KernelScaling {
         KernelScaling::from_points(points)
     }
 
+    /// Predict the scaling curve a morsel-scheduled kernel would achieve
+    /// from its measured per-morsel cost profile: at each thread count,
+    /// speedup is the serial total over the makespan of
+    /// [`parexec::simulate_workers`]'s deterministic claim model. This is
+    /// the scheduler's `measured_scaling` feedback path — a skewed cost
+    /// profile caps the predicted speedup at `total / hottest_morsel` no
+    /// matter how many workers are added.
+    pub fn from_morsel_costs(costs: &[f64], thread_counts: &[usize]) -> KernelScaling {
+        let total: f64 = costs.iter().sum();
+        let mut points = vec![(1usize, 1.0f64)];
+        if total > 0.0 {
+            for &t in thread_counts {
+                if t <= 1 {
+                    continue;
+                }
+                let load = parexec::simulate_workers(costs, t, parexec::Schedule::Morsel);
+                let makespan = load.iter().cloned().fold(0.0f64, f64::max);
+                if makespan > 0.0 {
+                    points.push((t, total / makespan));
+                }
+            }
+        }
+        KernelScaling::from_points(points)
+    }
+
     /// Aggregate speedup at `threads`: piecewise-linear between measured
     /// points, flat beyond the ends, 1.0 for an empty curve.
     pub fn speedup_at(&self, threads: usize) -> f64 {
@@ -288,6 +313,27 @@ mod tests {
         assert!((s.speedup_at(3) - 2.4).abs() < 1e-12);
         assert_eq!(s.speedup_at(64), 3.0);
         assert_eq!(KernelScaling::from_points(vec![]).speedup_at(8), 1.0);
+    }
+
+    #[test]
+    fn morsel_cost_scaling_is_capped_by_the_hottest_morsel() {
+        // Uniform profile: near-linear until worker count passes the
+        // morsel count.
+        let uniform = KernelScaling::from_morsel_costs(&[1.0; 16], &[2, 4, 8]);
+        assert_eq!(uniform.points[0], (1, 1.0));
+        assert!((uniform.speedup_at(4) - 4.0).abs() < 1e-9);
+        // Skewed profile: one morsel carries half the work, so speedup
+        // saturates at total/max = 2.0 regardless of width.
+        let mut costs = vec![1.0f64; 15];
+        costs.push(15.0);
+        let skewed = KernelScaling::from_morsel_costs(&costs, &[2, 4, 8]);
+        assert!(skewed.speedup_at(8) <= 2.0 + 1e-9);
+        assert!(skewed.speedup_at(8) > 1.0);
+        // Degenerate inputs stay sane.
+        assert_eq!(
+            KernelScaling::from_morsel_costs(&[], &[2]).points,
+            vec![(1, 1.0)]
+        );
     }
 
     #[test]

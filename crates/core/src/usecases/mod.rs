@@ -8,4 +8,5 @@
 //! by running identical reference Python code everywhere.
 
 pub mod astro;
+pub mod ingest;
 pub mod neuro;

@@ -138,6 +138,12 @@ pub type Udf = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
 /// Registered UDA: folds a group's tuples into one value.
 pub type Uda = Arc<dyn Fn(&[Tuple]) -> Value + Send + Sync>;
 
+/// Registered multi-output UDA: folds a group's tuples into several output
+/// columns at once. This is what lets image-valued aggregates return their
+/// planes as separate blob columns instead of packing them into one blob
+/// (the pack/unpack round trip §5.3 charges Myria for).
+pub type MultiUda = Arc<dyn Fn(&[Tuple]) -> Vec<Value> + Send + Sync>;
+
 /// Registered table-valued UDF: maps one tuple's argument values to zero
 /// or more output rows (a flatmap, as Step 2A's patch creation needs).
 pub type TableUdf = Arc<dyn Fn(&[Value]) -> Vec<Vec<Value>> + Send + Sync>;
@@ -154,6 +160,7 @@ pub struct MyriaConnection {
     catalog: RwLock<BTreeMap<String, Arc<Relation>>>,
     udfs: RwLock<BTreeMap<String, Udf>>,
     udas: RwLock<BTreeMap<String, Uda>>,
+    multi_udas: RwLock<BTreeMap<String, MultiUda>>,
     table_udfs: RwLock<BTreeMap<String, TableUdf>>,
 }
 
@@ -166,6 +173,7 @@ impl MyriaConnection {
             catalog: RwLock::new(BTreeMap::new()),
             udfs: RwLock::new(BTreeMap::new()),
             udas: RwLock::new(BTreeMap::new()),
+            multi_udas: RwLock::new(BTreeMap::new()),
             table_udfs: RwLock::new(BTreeMap::new()),
         }
     }
@@ -234,6 +242,18 @@ impl MyriaConnection {
             .insert(name.to_string(), Arc::new(f));
     }
 
+    /// Register a multi-output UDA (see [`MultiUda`]).
+    pub fn create_multi_aggregate(
+        &self,
+        name: &str,
+        f: impl Fn(&[Tuple]) -> Vec<Value> + Send + Sync + 'static,
+    ) {
+        self.multi_udas
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name.to_string(), Arc::new(f));
+    }
+
     /// Register a table-valued (flatmap) UDF.
     pub fn create_table_function(
         &self,
@@ -264,6 +284,14 @@ impl MyriaConnection {
 
     pub(crate) fn uda(&self, name: &str) -> Option<Uda> {
         self.udas
+            .read()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    pub(crate) fn multi_uda(&self, name: &str) -> Option<MultiUda> {
+        self.multi_udas
             .read()
             .expect("catalog lock poisoned")
             .get(name)

@@ -42,7 +42,7 @@ mod profile;
 mod query;
 mod value;
 
-pub use catalog::{MyriaConnection, Relation, Schema};
+pub use catalog::{MultiUda, MyriaConnection, Relation, Schema, TableUdf, Uda, Udf};
 pub use profile::{ExecutionMode, RelEngineProfile};
 pub use query::{Query, QueryError};
 pub use value::{tuple_nbytes, Tuple, Value, ValueType};

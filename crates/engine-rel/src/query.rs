@@ -70,6 +70,11 @@ enum Op {
         uda: String,
         out: (String, ValueType),
     },
+    GroupByMulti {
+        keys: Vec<String>,
+        uda: String,
+        out: Vec<(String, ValueType)>,
+    },
 }
 
 /// A query plan under construction.
@@ -191,6 +196,20 @@ impl Query {
             keys: keys.iter().map(|s| s.to_string()).collect(),
             uda: uda.to_string(),
             out: (out_name.to_string(), out_type),
+        });
+        self
+    }
+
+    /// Group by `keys`, folding each group with a registered multi-output
+    /// UDA ([`MyriaConnection::create_multi_aggregate`]); the group's row
+    /// carries the key columns followed by every output column. Lets
+    /// image-valued aggregates keep their planes in separate blob columns
+    /// instead of packing them into one blob.
+    pub fn group_by_multi(mut self, keys: &[&str], uda: &str, out: &[(&str, ValueType)]) -> Query {
+        self.ops.push(Op::GroupByMulti {
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+            uda: uda.to_string(),
+            out: out.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
         });
         self
     }
@@ -444,6 +463,65 @@ impl Query {
                     schema = Some(Schema::new(&cols));
                     partition_column = Some(0);
                 }
+                Op::GroupByMulti { keys, uda, out } => {
+                    // scilint: allow(C001, Schema clone - column-name metadata rather than payload)
+                    let s = schema.as_ref().expect("group by before scan").clone();
+                    let agg = conn
+                        .multi_uda(uda)
+                        .ok_or_else(|| QueryError::UnknownFunction(uda.clone()))?;
+                    let key_ix: Vec<usize> =
+                        keys.iter().map(|k| col(&s, k)).collect::<Result<_, _>>()?;
+                    if partition_column != Some(key_ix[0]) {
+                        let mut next: Vec<Vec<Tuple>> = vec![Vec::new(); workers];
+                        for f in fragments.drain(..) {
+                            for t in f {
+                                let w = (partition_hash(&t[key_ix[0]]) % workers as u64) as usize;
+                                next[w].push(t);
+                            }
+                        }
+                        fragments = next;
+                    }
+                    std::thread::scope(|scope| {
+                        for frag in fragments.iter_mut() {
+                            let agg = &agg;
+                            let key_ix = &key_ix;
+                            scope.spawn(move || {
+                                let mut groups: Vec<(Vec<u64>, Vec<Tuple>)> = Vec::new();
+                                let mut lookup: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
+                                for t in frag.drain(..) {
+                                    let key: Vec<u64> =
+                                        key_ix.iter().map(|&i| partition_hash(&t[i])).collect();
+                                    match lookup.get(&key) {
+                                        Some(&g) => groups[g].1.push(t),
+                                        None => {
+                                            lookup.insert(key.clone(), groups.len());
+                                            groups.push((key, vec![t]));
+                                        }
+                                    }
+                                }
+                                *frag = groups
+                                    .into_iter()
+                                    .map(|(_, tuples)| {
+                                        let mut row: Tuple =
+                                            // scilint: allow(C001, Value is a small scalar enum; per-cell clone)
+                                            key_ix.iter().map(|&i| tuples[0][i].clone()).collect();
+                                        row.extend(agg(&tuples));
+                                        row
+                                    })
+                                    .collect();
+                            });
+                        }
+                    });
+                    let mut cols: Vec<(&str, ValueType)> = key_ix
+                        .iter()
+                        .map(|&i| (s.columns()[i].0.as_str(), s.columns()[i].1))
+                        .collect();
+                    for (n, t) in out {
+                        cols.push((n.as_str(), *t));
+                    }
+                    schema = Some(Schema::new(&cols));
+                    partition_column = Some(0);
+                }
             }
         }
 
@@ -577,6 +655,46 @@ mod tests {
         for t in r.all_tuples() {
             assert_eq!(t[1].as_int(), 4);
         }
+    }
+
+    #[test]
+    fn group_by_multi_emits_every_output_column() {
+        let conn = conn_with_images();
+        conn.create_multi_aggregate("CountAndSum", |tuples| {
+            let sum: f64 = tuples.iter().map(|t| t[2].as_blob().sum()).sum();
+            vec![Value::Int(tuples.len() as i64), Value::Float(sum)]
+        });
+        let r = Query::scan("Images")
+            .group_by_multi(
+                &["subjId"],
+                "CountAndSum",
+                &[("n", ValueType::Int), ("total", ValueType::Float)],
+            )
+            .execute(&conn)
+            .unwrap();
+        assert_eq!(r.len(), 3, "three subjects");
+        assert_eq!(r.schema.arity(), 3);
+        assert_eq!(r.schema.index_of("total"), Some(2));
+        for t in r.all_tuples() {
+            assert_eq!(t[1].as_int(), 4);
+            // Blobs are full(&[4], imgId): sum over the subject's images.
+            let subj = t[0].as_int();
+            let expect: f64 = (0..12)
+                .filter(|i| i % 3 == subj)
+                .map(|i| 4.0 * i as f64)
+                .sum();
+            assert_eq!(t[2].as_float(), expect);
+        }
+    }
+
+    #[test]
+    fn group_by_multi_unknown_uda_errors() {
+        let conn = conn_with_images();
+        let err = Query::scan("Images")
+            .group_by_multi(&["subjId"], "Nope", &[("n", ValueType::Int)])
+            .execute(&conn)
+            .unwrap_err();
+        assert_eq!(err, QueryError::UnknownFunction("Nope".into()));
     }
 
     #[test]

@@ -15,27 +15,45 @@
 //! * [`par_reduce`] — map each item to a partial value, then fold the
 //!   partials **in item order** (an ordered reduction).
 //!
+//! All three are thin wrappers over the [`MorselPool`] scheduler; kernels
+//! with non-uniform work can use the pool directly with a [`CostHint`]
+//! (see [`MorselPool::map_ranges`]), and ingest-bound pipelines can overlap
+//! decode with compute through [`pipeline::two_stage`].
+//!
 //! ## Determinism
 //!
 //! Every primitive produces results that are bit-identical regardless of
-//! the worker count:
+//! the worker count *and* of the scheduler's claim order:
 //!
-//! * Slab boundaries are fixed by the *caller's* chunk size, never by the
-//!   worker count, so each output element is computed by exactly the same
-//!   code over exactly the same inputs at any [`Parallelism`].
-//! * Workers own statically assigned (round-robin) slab sets; there is no
-//!   dynamic stealing whose schedule could leak into results.
+//! * Slab and morsel boundaries are fixed by the caller's chunk size, the
+//!   item count and the [`CostHint`] — never by runtime timing — so each
+//!   output element is computed by exactly the same code over exactly the
+//!   same inputs at any [`Parallelism`].
+//! * Workers claim morsels dynamically from a shared atomic cursor, but
+//!   every morsel's result is written into its pre-assigned slot: the
+//!   schedule decides *who* computes a morsel, never *what* is computed or
+//!   *where* it lands.
 //! * [`par_reduce`] folds partials in slab order on the calling thread.
 //!
 //! ## Safety
 //!
 //! No `unsafe` (the workspace lint wall denies it): mutable-buffer sharing
-//! uses `slice::chunks_mut` to obtain disjoint `&mut [T]` borrows, and
-//! [`std::thread::scope`] makes borrowing from the caller's stack sound.
-//! A panic in any worker is re-raised on the calling thread with its
-//! original payload.
+//! uses `slice::chunks_mut` to obtain disjoint `&mut [T]` borrows parked in
+//! take-once slots, and [`std::thread::scope`] makes borrowing from the
+//! caller's stack sound. All thread spawning lives in the [`MorselPool`]
+//! internals (`morsel.rs` — the single sanctioned spawn site, enforced by
+//! scilint rule D004). A panic in any worker is re-raised on the calling
+//! thread with its original payload.
 
 use std::num::NonZeroUsize;
+
+mod morsel;
+pub mod pipeline;
+
+pub use morsel::{
+    imbalance_ratio, morsel_ranges, simulate_workers, CostHint, MorselPool, PoolStats, Schedule,
+    MORSELS_PER_WORKER,
+};
 
 /// Environment variable overriding [`Parallelism::auto`]'s worker count
 /// (used by CI to pin thread counts for deterministic perf smoke runs).
@@ -110,96 +128,30 @@ pub fn parse_threads(s: &str) -> Result<Parallelism, String> {
 /// (the final slab may be shorter), using up to `par.workers()` threads.
 ///
 /// Slab boundaries depend only on `chunk_len`, so the work done per output
-/// element is identical at every parallelism level; slabs are assigned to
-/// workers round-robin. Panics in `f` propagate to the caller.
+/// element is identical at every parallelism level; slabs are grouped into
+/// morsels that workers claim dynamically (see [`MorselPool`]). Panics in
+/// `f` propagate to the caller.
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, par: Parallelism, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    assert!(chunk_len > 0, "chunk_len must be positive");
-    if data.is_empty() {
-        return;
-    }
-    let n_chunks = data.len().div_ceil(chunk_len);
-    let workers = par.workers().min(n_chunks);
-    if workers <= 1 {
-        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
-            f(i, chunk);
-        }
-        return;
-    }
-    // Deal the disjoint mutable slabs round-robin into per-worker hands.
-    let mut hands: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
-        hands[i % workers].push((i, chunk));
-    }
-    let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = hands
-            .into_iter()
-            .map(|hand| {
-                s.spawn(move || {
-                    for (i, chunk) in hand {
-                        f(i, chunk);
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
-        }
-    });
+    MorselPool::new(par).chunks_mut_with_stats(data, chunk_len, f);
 }
 
 /// Map `f(index, item)` over `items`, returning results in input order.
 ///
-/// Items are assigned to workers round-robin; each worker's results are
-/// scattered back by index, so the output order (and therefore any
-/// order-sensitive consumer) is independent of the worker count.
+/// Items are grouped into fixed-order morsels that workers claim from a
+/// shared cursor; each morsel's results land in pre-assigned slots, so the
+/// output order (and therefore any order-sensitive consumer) is independent
+/// of the worker count and of the claim order.
 pub fn par_map_slabs<I, O, F>(items: &[I], par: Parallelism, f: F) -> Vec<O>
 where
     I: Sync,
     O: Send,
     F: Fn(usize, &I) -> O + Sync,
 {
-    let workers = par.workers().min(items.len());
-    if workers <= 1 {
-        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
-    }
-    let f = &f;
-    let mut out: Vec<Option<O>> = Vec::new();
-    out.resize_with(items.len(), || None);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                s.spawn(move || {
-                    let mut produced = Vec::new();
-                    let mut i = w;
-                    while i < items.len() {
-                        produced.push((i, f(i, &items[i])));
-                        i += workers;
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(produced) => {
-                    for (i, v) in produced {
-                        out[i] = Some(v);
-                    }
-                }
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
-    out.into_iter()
-        .map(|v| v.expect("every index produced exactly once"))
-        .collect()
+    MorselPool::new(par).map(items, f)
 }
 
 /// Map each item to a partial value with `map`, then fold the partials in
@@ -215,9 +167,7 @@ where
     M: Fn(usize, &I) -> A + Sync,
     R: Fn(A, A) -> A,
 {
-    par_map_slabs(items, par, map)
-        .into_iter()
-        .fold(init, reduce)
+    MorselPool::new(par).reduce(items, map, init, reduce)
 }
 
 #[cfg(test)]
@@ -322,6 +272,24 @@ mod tests {
     }
 
     #[test]
+    fn chunks_mut_matches_serial_under_static_schedule() {
+        // The static-split baseline used by the skew benchmark must be just
+        // as deterministic as the claiming schedule.
+        let reference: Vec<usize> = (0..103).map(|k| (k / 7) * 1000 + k % 7).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let mut d = vec![0usize; 103];
+            MorselPool::new(Parallelism::threads(workers))
+                .with_schedule(Schedule::Static)
+                .chunks_mut_with_stats(&mut d, 7, |i, c| {
+                    for (k, v) in c.iter_mut().enumerate() {
+                        *v = i * 1000 + k;
+                    }
+                });
+            assert_eq!(d, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
     fn panic_in_worker_propagates_payload() {
         let result = std::panic::catch_unwind(|| {
             let mut data = vec![0u8; 16];
@@ -372,7 +340,7 @@ mod tests {
         // bit level, so identical results across widths prove ordering.
         let items: Vec<f64> = (0..1000).map(|i| 1.0 / (1.0 + i as f64)).collect();
         let serial = par_reduce(&items, Parallelism::Serial, |_, &x| x, 0.0, |a, b| a + b);
-        for workers in [2usize, 3, 4, 8] {
+        for workers in [1usize, 2, 3, 4, 8] {
             let par = par_reduce(
                 &items,
                 Parallelism::threads(workers),

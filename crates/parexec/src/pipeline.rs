@@ -1,0 +1,144 @@
+//! Two-stage bounded pipeline: overlap ingest with the first compute step.
+//!
+//! The paper's ingest-dominated workloads reward engines that pipeline I/O
+//! into compute (Dask, TensorFlow) over engines with a hard barrier between
+//! the two (§5's Figure 11). This module gives the use-case pipelines that
+//! overlap without giving up determinism: stage 1 (typically format decode)
+//! runs on one scoped producer thread feeding a bounded channel **in item
+//! order**, and stage 2 (the first compute step) consumes on the calling
+//! thread, also in item order. The only thing the pipeline changes is *when*
+//! stage 1 runs relative to stage 2 — never the order stage 2 observes — so
+//! output is byte-identical to sequential decode-then-compute.
+
+use crate::morsel::scoped_pair;
+use std::sync::mpsc::sync_channel;
+
+/// Run `stage1(i)` for `i in 0..n` on a producer thread and
+/// `stage2(i, stage1_out)` on the calling thread, overlapped through a
+/// channel holding at most `bound` in-flight items. Returns stage 2's
+/// outputs in item order.
+///
+/// `bound` trades memory for overlap: 1 already overlaps one decode with
+/// one compute; larger bounds absorb jitter between stage costs. Panics in
+/// either stage propagate to the caller with their original payload.
+pub fn two_stage<T, O, P, C>(n: usize, bound: usize, stage1: P, mut stage2: C) -> Vec<O>
+where
+    T: Send,
+    P: Fn(usize) -> T + Send,
+    C: FnMut(usize, T) -> O,
+{
+    assert!(bound > 0, "pipeline bound must be positive");
+    let (tx, rx) = sync_channel::<(usize, T)>(bound);
+    let (producer, out) = scoped_pair(
+        move || {
+            for i in 0..n {
+                // A send error means the consumer is gone (it panicked and
+                // dropped the receiver); stop producing and let the join
+                // below surface whichever panic happened.
+                if tx.send((i, stage1(i))).is_err() {
+                    break;
+                }
+            }
+        },
+        // `move` is load-bearing: the consumer must *own* the receiver so a
+        // stage-2 panic drops it during unwind. Capturing `rx` by reference
+        // would leave it alive in this frame while the scope join waits on a
+        // producer stuck in `send` against a full channel — a deadlock.
+        move || {
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in rx.iter() {
+                debug_assert_eq!(i, out.len(), "single producer preserves order");
+                out.push(stage2(i, item));
+            }
+            out
+        },
+    );
+    if let Err(payload) = producer {
+        std::panic::resume_unwind(payload);
+    }
+    assert_eq!(out.len(), n, "pipeline produced every item");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn matches_sequential_exactly() {
+        let decode = |i: usize| vec![i as f64; 4];
+        let sequential: Vec<f64> = (0..37)
+            .map(|i| decode(i).iter().sum::<f64>() + i as f64)
+            .collect();
+        for bound in [1usize, 2, 8] {
+            let got = two_stage(37, bound, decode, |i, v: Vec<f64>| {
+                v.iter().sum::<f64>() + i as f64
+            });
+            assert_eq!(got, sequential, "bound={bound}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = two_stage(0, 4, |i| i, |_, _| 1u32);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stage2_folds_in_item_order() {
+        // Non-associative float fold: bit-identity across bounds proves the
+        // consumer sees items in exactly the sequential order.
+        let seq: f64 = (0..500).fold(0.0, |acc, i| acc + 1.0 / (1.0 + i as f64));
+        for bound in [1usize, 3, 16] {
+            let mut acc = 0.0f64;
+            let _: Vec<()> = two_stage(
+                500,
+                bound,
+                |i| 1.0 / (1.0 + i as f64),
+                |_, x| {
+                    acc += x;
+                },
+            );
+            assert_eq!(acc.to_bits(), seq.to_bits(), "bound={bound}");
+        }
+    }
+
+    #[test]
+    fn producer_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            two_stage(
+                10,
+                2,
+                |i| {
+                    assert!(i != 4, "decode 4 corrupt");
+                    i
+                },
+                |_, x| x,
+            )
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn consumer_panic_propagates_without_deadlock() {
+        let produced = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            two_stage(
+                1000,
+                1,
+                |i| {
+                    produced.fetch_add(1, Ordering::Relaxed);
+                    i
+                },
+                |_, x| {
+                    assert!(x < 3, "compute rejects item 3");
+                    x
+                },
+            )
+        });
+        assert!(result.is_err());
+        // The producer stopped early instead of filling the channel forever.
+        assert!(produced.load(Ordering::Relaxed) < 1000);
+    }
+}

@@ -1,0 +1,12 @@
+// A parexec helper that spawns its own workers around the MorselPool:
+// claim order would no longer be the pool's, so D004 must fire even though
+// the function is not a `_par` kernel.
+pub fn drain(items: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; items.len()];
+    std::thread::scope(|scope| {
+        for (slot, x) in out.iter_mut().zip(items) {
+            scope.spawn(move || *slot = x * 2.0);
+        }
+    });
+    out
+}

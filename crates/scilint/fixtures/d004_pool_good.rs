@@ -1,0 +1,5 @@
+// The sanctioned shape: route the work through the MorselPool (which owns
+// the only spawn site) instead of spawning around it.
+pub fn drain(items: &[f64], par: Parallelism) -> Vec<f64> {
+    MorselPool::new(par).map(items, |_, x| x * 2.0)
+}

@@ -28,6 +28,7 @@ pub fn rules_for(crate_name: &str) -> &'static [&'static str] {
         "D001", "D002", "D003", "D004", "N001", "N002", "N003", "H001", "H002",
     ];
     const MARRAY: &[&str] = &["D001", "D002", "D003", "N001", "N003", "H001"];
+    const PAREXEC: &[&str] = &["D001", "D003", "D004", "H001"];
     const INFRA: &[&str] = &["D001", "D003", "H001"];
     const HYGIENE_ONLY: &[&str] = &["H001"];
     const EXEMPT: &[&str] = &[];
@@ -39,8 +40,11 @@ pub fn rules_for(crate_name: &str) -> &'static [&'static str] {
         "sciops" => SCIOPS,
         "marray" => MARRAY,
         // parexec schedules threads and may legitimately time work; its
-        // determinism contract is behavioural (tests), so D002 is off.
-        "parexec" | "simcluster" | "plancheck" | "scilint" => INFRA,
+        // determinism contract is behavioural (tests), so D002 is off. D004
+        // is on crate-wide: morsel.rs (the MorselPool internals) is the one
+        // sanctioned spawn site, everything else routes through the pool.
+        "parexec" => PAREXEC,
+        "simcluster" | "plancheck" | "scilint" => INFRA,
         // formats and core convert on purpose (N002 would be noise) but must
         // not panic on bad input, and core's use-case drivers feed results.
         "formats" => HYGIENE_ONLY,

@@ -30,11 +30,12 @@ fn fires(report: &Report, rule: &str) -> bool {
 }
 
 /// (rule, crate profile to parse under, bad fixture, good fixture).
-const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 11] = [
+const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 12] = [
     ("D001", "engine-rdd", "d001_bad.rs", "d001_good.rs"),
     ("D002", "engine-rdd", "d002_bad.rs", "d002_good.rs"),
     ("D003", "engine-rdd", "d003_bad.rs", "d003_good.rs"),
     ("D004", "sciops", "d004_bad.rs", "d004_good.rs"),
+    ("D004", "parexec", "d004_pool_bad.rs", "d004_pool_good.rs"),
     ("N001", "sciops", "n001_bad.rs", "n001_good.rs"),
     ("N002", "sciops", "n002_bad.rs", "n002_good.rs"),
     ("N003", "sciops", "n003_bad.rs", "n003_good.rs"),
@@ -91,6 +92,28 @@ fn h002_par_kernel_needs_twin_and_test_reference() {
     assert!(
         !fires(&report, "H002"),
         "H002 fired on the good pair: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn d004_sanctions_morsel_rs_as_parexec_spawn_site() {
+    // The same spawning code is legal inside the MorselPool internals —
+    // morsel.rs is the crate's one sanctioned spawn site.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("d004_pool_bad.rs");
+    let src = std::fs::read_to_string(&path).expect("fixture unreadable");
+    let file = SourceFile::parse(
+        "crates/parexec/src/morsel.rs",
+        "parexec",
+        FileKind::Library,
+        &src,
+    );
+    let report = analyze(&[file]);
+    assert!(
+        !fires(&report, "D004"),
+        "D004 fired inside the sanctioned spawn site: {:?}",
         report.findings
     );
 }

@@ -208,7 +208,7 @@ mod tests {
             ..Default::default()
         };
         let serial = estimate_background_par(&img, &params, Parallelism::Serial);
-        for workers in [2usize, 4, 8] {
+        for workers in [1usize, 2, 4, 8] {
             let par = estimate_background_par(&img, &params, Parallelism::threads(workers));
             assert_eq!(serial, par, "workers={workers}");
         }

@@ -232,7 +232,7 @@ mod tests {
             .collect();
         let params = CoaddParams::default();
         let serial = coadd_sigma_clip_par(&stack, &params, Parallelism::Serial);
-        for workers in [2usize, 4, 8] {
+        for workers in [1usize, 2, 4, 8] {
             let par = coadd_sigma_clip_par(&stack, &params, Parallelism::threads(workers));
             assert_eq!(serial, par, "workers={workers}");
         }

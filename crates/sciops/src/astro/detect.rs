@@ -300,7 +300,7 @@ mod tests {
         let coadd = coadd_with_sources(&[(12, 12), (34, 30), (8, 40)], 600.0);
         let params = DetectParams::default();
         let serial = detect_sources_par(&coadd, &params, Parallelism::Serial);
-        for workers in [2usize, 4, 8] {
+        for workers in [1usize, 2, 4, 8] {
             let par = detect_sources_par(&coadd, &params, Parallelism::threads(workers));
             assert_eq!(serial, par, "workers={workers}");
         }

@@ -33,4 +33,7 @@ pub use coadd::{coadd_sigma_clip, coadd_sigma_clip_par, CoaddParams};
 pub use cosmic::{detect_cosmic_rays, repair, CosmicParams};
 pub use detect::{detect_sources, detect_sources_par, DetectParams, Source};
 pub use geometry::{Exposure, PatchGrid, PatchId, SkyBox};
-pub use pipeline::{reference_pipeline, reference_pipeline_par, AstroOutput};
+pub use pipeline::{
+    reference_pipeline, reference_pipeline_calibrated, reference_pipeline_calibrated_par,
+    reference_pipeline_par, AstroOutput,
+};

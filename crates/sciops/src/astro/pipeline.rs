@@ -104,7 +104,29 @@ pub fn reference_pipeline_par(
     // Step 1A: calibrate every exposure (one exposure per slab).
     let raw: Vec<&Exposure> = visits.iter().flatten().collect();
     let calibrated: Vec<Exposure> = par_map_slabs(&raw, par, |_, e| calibrate_exposure(e, calib));
+    reference_pipeline_calibrated_par(calibrated, grid, coadd, detect, par)
+}
 
+/// Steps 2A → 4A over already-calibrated exposures, serial reference.
+pub fn reference_pipeline_calibrated(
+    calibrated: Vec<Exposure>,
+    grid: &PatchGrid,
+    coadd: &CoaddParams,
+    detect: &DetectParams,
+) -> AstroOutput {
+    reference_pipeline_calibrated_par(calibrated, grid, coadd, detect, Parallelism::Serial)
+}
+
+/// Steps 2A → 4A over already-calibrated exposures. Split out so ingest
+/// paths that overlap decode with calibration (see `parexec::pipeline`) can
+/// join the reference pipeline after Step 1A with bit-identical results.
+pub fn reference_pipeline_calibrated_par(
+    calibrated: Vec<Exposure>,
+    grid: &PatchGrid,
+    coadd: &CoaddParams,
+    detect: &DetectParams,
+    par: Parallelism,
+) -> AstroOutput {
     // Step 2A: flatmap to patches, then merge pieces per (patch, visit).
     let by_patch = create_patches(&calibrated, grid);
     let mut merged: BTreeMap<PatchId, Vec<Exposure>> = BTreeMap::new();

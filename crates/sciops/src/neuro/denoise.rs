@@ -262,7 +262,7 @@ mod tests {
             ..Default::default()
         };
         let serial = nlmeans3d_par(&v, Some(&mask), &params, Parallelism::Serial);
-        for workers in [2usize, 4, 8] {
+        for workers in [1usize, 2, 4, 8] {
             let par = nlmeans3d_par(&v, Some(&mask), &params, Parallelism::threads(workers));
             assert_eq!(serial, par, "workers={workers}");
         }

@@ -9,7 +9,7 @@
 use crate::linalg::{solve, sym3_eigenvalues};
 use crate::neuro::gradients::GradientTable;
 use marray::{Mask, NdArray};
-use parexec::{par_map_slabs, Parallelism};
+use parexec::{CostHint, MorselPool, Parallelism};
 
 /// Per-voxel diffusion tensor fit result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,38 +111,12 @@ pub fn fit_dtm_volume_full(
     fit_dtm_volume_full_par(data, mask, gtab, Parallelism::Serial)
 }
 
-/// Contiguous voxel ranges used as the parallel work items of
-/// [`fit_dtm_volume_full_par`].
-///
-/// Granularity policy: aim for a handful of batches per worker (so
-/// round-robin assignment can still balance a spatially skewed mask) but
-/// never cut a batch smaller than one axis-0 plane — tiny items make the
-/// per-item dispatch and per-item output allocations dominate the voxel
-/// fits, which is how the per-plane version scaled below 1.0x. The ranges
-/// partition `0..n_spatial` exactly, in order, so stitching batch outputs
-/// back together is bit-identical to the serial scan regardless of
-/// `workers`.
-pub fn dtm_batch_ranges(
-    n_spatial: usize,
-    plane_len: usize,
-    workers: usize,
-) -> Vec<std::ops::Range<usize>> {
-    if n_spatial == 0 {
-        return Vec::new();
-    }
-    const BATCHES_PER_WORKER: usize = 4;
-    let target = workers.max(1) * BATCHES_PER_WORKER;
-    let batch_len = n_spatial.div_ceil(target).max(plane_len.max(1));
-    (0..n_spatial.div_ceil(batch_len))
-        .map(|b| b * batch_len..((b + 1) * batch_len).min(n_spatial))
-        .collect()
-}
-
-/// [`fit_dtm_volume_full`] with explicit intra-node parallelism: coarse
-/// contiguous voxel batches (see [`dtm_batch_ranges`]) are fitted
-/// independently across `par.workers()` threads. The per-voxel fit is
-/// independent by construction and the batches partition the volume in
-/// order, so output is bit-identical at every worker count.
+/// [`fit_dtm_volume_full`] with explicit intra-node parallelism: the
+/// volume's voxels are split into morsels by [`parexec::MorselPool`] with a
+/// granularity floor of one axis-0 plane, and workers claim them from the
+/// shared cursor. The per-voxel fit is independent by construction and the
+/// morsels partition the volume in order, so output is bit-identical at
+/// every worker count and at any claim order.
 pub fn fit_dtm_volume_full_par(
     data: &NdArray<f64>,
     mask: &Mask,
@@ -158,13 +132,14 @@ pub fn fit_dtm_volume_full_par(
     let plane_len = spatial[1] * spatial[2];
     let n_spatial = spatial.iter().product::<usize>();
     let raw = data.data();
-    // Coarse voxel batches, not per-plane items: at realistic volume sizes
-    // an axis-0 plane holds too little work to amortize per-item dispatch,
-    // which is why the per-plane version scaled *negatively* (0.86x at 2
-    // threads in BENCH_kernels). Batching is invisible to the result: each
-    // voxel's fit is independent and batches stitch back in voxel order.
-    let batches = dtm_batch_ranges(n_spatial, plane_len, par.workers());
-    let fitted = par_map_slabs(&batches, par, |_, range| {
+    // Morsel granularity floor of one axis-0 plane: at realistic volume
+    // sizes a single plane holds too little work to amortize per-morsel
+    // dispatch, which is why the old per-plane version scaled *negatively*
+    // (0.86x at 2 threads in BENCH_kernels). The morsel split is invisible
+    // to the result: each voxel's fit is independent and morsel outputs
+    // stitch back in voxel order.
+    let pool = MorselPool::with_hint(par, CostHint::min_items(plane_len));
+    let fitted = pool.map_ranges(n_spatial, |_, range| {
         let mut fa_batch = vec![0.0f64; range.len()];
         let mut md_batch = vec![0.0f64; range.len()];
         let mut signals = vec![0.0f64; n_vols];
@@ -315,7 +290,7 @@ mod tests {
         });
         let mask = Mask::from_vec(&[5, 3, 3], (0..45).map(|i| i % 4 != 0).collect()).unwrap();
         let (fa_s, md_s) = fit_dtm_volume_full_par(&data, &mask, &gtab, Parallelism::Serial);
-        for workers in [2usize, 4, 8] {
+        for workers in [1usize, 2, 4, 8] {
             let (fa_p, md_p) =
                 fit_dtm_volume_full_par(&data, &mask, &gtab, Parallelism::threads(workers));
             assert_eq!(fa_s, fa_p, "FA workers={workers}");
@@ -324,52 +299,38 @@ mod tests {
     }
 
     #[test]
-    fn batch_ranges_partition_and_respect_granularity() {
-        // Exact partition of 0..n, in order, for a spread of shapes.
+    fn morsel_ranges_respect_plane_granularity() {
+        // The generic morsel sizing must preserve what the old bespoke
+        // dtm batching guaranteed: exact in-order partition, no morsel
+        // finer than one axis-0 plane (except the remainder), and a
+        // dispatch count bounded by a small multiple of the worker count.
         for (n_spatial, plane_len, workers) in [
             (45usize, 9usize, 1usize),
             (45, 9, 8),
             (4096, 64, 2),
-            (4096, 64, 8),
             (100_000, 256, 4),
             (7, 9, 4),  // volume smaller than one plane
             (1, 1, 16), // degenerate single voxel
         ] {
-            let ranges = dtm_batch_ranges(n_spatial, plane_len, workers);
+            let ranges = parexec::morsel_ranges(n_spatial, workers, CostHint::min_items(plane_len));
             let mut next = 0usize;
             for r in &ranges {
                 assert_eq!(r.start, next, "ranges must be contiguous and ordered");
-                assert!(r.end > r.start, "ranges must be non-empty");
                 next = r.end;
             }
             assert_eq!(next, n_spatial, "ranges must cover every voxel");
-            // Granularity floor: no batch smaller than a plane except the
-            // final remainder.
             let floor = plane_len.max(1).min(n_spatial);
             for r in &ranges[..ranges.len().saturating_sub(1)] {
-                assert!(
-                    r.len() >= floor,
-                    "batch {r:?} finer than one plane ({plane_len}) \
-                     at n={n_spatial} workers={workers}"
-                );
+                assert!(r.len() >= floor, "morsel {r:?} finer than one plane");
             }
-            // Coarseness ceiling: dispatch count stays within a small
-            // multiple of the worker count (this is what fixes the
-            // negative scaling — items can no longer outnumber the work).
-            assert!(
-                ranges.len() <= workers.max(1) * 4,
-                "{} batches for {} workers",
-                ranges.len(),
-                workers
-            );
+            assert!(ranges.len() <= workers.max(1) * parexec::MORSELS_PER_WORKER);
         }
-        assert!(dtm_batch_ranges(0, 16, 4).is_empty());
     }
 
     #[test]
-    fn batched_parallel_fit_matches_per_plane_serial_scan() {
-        // The batching change must be invisible to results: compare the
-        // batched path at several worker counts against a hand-rolled
+    fn morsel_parallel_fit_matches_per_voxel_serial_scan() {
+        // The morsel split must be invisible to results: compare the
+        // pooled path at several worker counts against a hand-rolled
         // per-voxel serial scan (the pre-batching reference order).
         let gtab = GradientTable::hcp_like(32, 2, 1000.0);
         let aniso = [1.5e-3, 0.4e-3, 0.3e-3, 0.1e-3, 0.0, -0.05e-3];

@@ -129,14 +129,47 @@ pub struct SkySurvey {
 impl SkySurvey {
     /// Generate a survey. Deterministic per (seed, spec).
     pub fn generate(seed: u64, spec: &SkySpec) -> SkySurvey {
+        Self::generate_clustered(seed, spec, 0.0)
+    }
+
+    /// Generate a survey whose source field is spatially skewed: 80% of
+    /// the sources are packed into a single patch-sized window in the
+    /// footprint's corner (the paper's §5.3.3 "patches with many sources
+    /// dominate a straggler worker" scenario), the rest stay uniform.
+    /// Deterministic per (seed, spec).
+    pub fn generate_skewed(seed: u64, spec: &SkySpec) -> SkySurvey {
+        Self::generate_clustered(seed, spec, 0.8)
+    }
+
+    fn generate_clustered(seed: u64, spec: &SkySpec, dense_fraction: f64) -> SkySurvey {
         let mut rng = Randn::new(seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(13));
         let fp = spec.footprint();
+        // The dense window: one patch-sized square in the corner (clamped
+        // to the footprint), inset so PSF tails stay on-sensor.
+        let win_w = (spec.patch_size as f64).min(fp.width as f64 - 8.0).max(1.0);
+        let win_h = (spec.patch_size as f64)
+            .min(fp.height as f64 - 8.0)
+            .max(1.0);
+        let n_dense = (spec.n_sources as f64 * dense_fraction).round() as usize;
         // Fixed sky: sources shared across visits, away from the borders.
         let sources: Vec<InjectedSource> = (0..spec.n_sources)
-            .map(|_| InjectedSource {
-                x: rng.uniform_in(4.0, fp.width as f64 - 4.0),
-                y: rng.uniform_in(4.0, fp.height as f64 - 4.0),
-                flux: rng.uniform_in(spec.flux_range.0, spec.flux_range.1),
+            .map(|i| {
+                let (x, y) = if i < n_dense {
+                    (
+                        rng.uniform_in(4.0, 4.0 + win_w),
+                        rng.uniform_in(4.0, 4.0 + win_h),
+                    )
+                } else {
+                    (
+                        rng.uniform_in(4.0, fp.width as f64 - 4.0),
+                        rng.uniform_in(4.0, fp.height as f64 - 4.0),
+                    )
+                };
+                InjectedSource {
+                    x,
+                    y,
+                    flux: rng.uniform_in(spec.flux_range.0, spec.flux_range.1),
+                }
             })
             .collect();
 
@@ -343,6 +376,30 @@ mod tests {
             (3.5..=4.8).contains(&one_plane_gb),
             "visit size {one_plane_gb} GB"
         );
+    }
+
+    #[test]
+    fn skewed_generation_clusters_sources_and_stays_deterministic() {
+        let spec = SkySpec::test_scale();
+        let s = SkySurvey::generate_skewed(2, &spec);
+        let t = SkySurvey::generate_skewed(2, &spec);
+        assert_eq!(s.visits[0][0].flux, t.visits[0][0].flux, "deterministic");
+        // 80% of sources must sit inside the corner patch window.
+        let win = 4.0 + spec.patch_size as f64;
+        let dense = s
+            .sources
+            .iter()
+            .filter(|src| src.x <= win && src.y <= win)
+            .count();
+        assert!(
+            dense >= (spec.n_sources * 4) / 5,
+            "{dense}/{} sources in the dense window",
+            spec.n_sources
+        );
+        // dense_fraction = 0.0 path reproduces the uniform generator.
+        let uniform = SkySurvey::generate(2, &spec);
+        let zero = SkySurvey::generate_clustered(2, &spec, 0.0);
+        assert_eq!(uniform.visits[0][0].flux, zero.visits[0][0].flux);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 
 use parexec::Parallelism;
 use sciops::astro::{
-    coadd_sigma_clip_par, detect_sources_par, estimate_background_par, reference_pipeline_par,
-    subtract_background_par, BackgroundParams, CalibParams, CoaddParams, DetectParams,
+    calibrate_exposure, coadd_sigma_clip_par, detect_sources_par, estimate_background_par,
+    reference_pipeline_calibrated, reference_pipeline_calibrated_par, reference_pipeline_par,
+    subtract_background_par, BackgroundParams, CalibParams, CoaddParams, DetectParams, Exposure,
 };
 use sciops::neuro::pipeline::{denoise_all_par, segmentation};
 use sciops::neuro::{
@@ -88,7 +89,7 @@ fn coadd_bit_identical_across_thread_counts() {
         .visits
         .iter()
         .flatten()
-        .map(|e| sciops::astro::calibrate_exposure(e, &calib))
+        .map(|e| calibrate_exposure(e, &calib))
         .collect();
     let by_patch = sciops::astro::pipeline::create_patches(&calibrated, &grid);
     let (patch, pieces) = by_patch.iter().next().expect("survey covers >= 1 patch");
@@ -162,6 +163,39 @@ fn dtm_fa_wrapper_bit_identical_to_serial_twin() {
     for workers in WORKER_COUNTS {
         let par = fit_dtm_volume_par(&data, &mask, &phantom.gtab, Parallelism::threads(workers));
         assert_eq!(serial, par, "fit_dtm_volume workers={workers}");
+    }
+}
+
+#[test]
+fn calibrated_entry_point_bit_identical_to_serial_twin() {
+    // The mid-pipeline entry (steps 2A → 4A over pre-calibrated exposures,
+    // used by the pipelined-ingest path) must reproduce its serial twin
+    // bit for bit at every worker count.
+    let survey = SkySurvey::generate(41, &SkySpec::test_scale());
+    let grid = survey.patch_grid();
+    let calib = CalibParams::default();
+    let calibrated: Vec<Exposure> = survey
+        .visits
+        .iter()
+        .flatten()
+        .map(|e| calibrate_exposure(e, &calib))
+        .collect();
+    let serial = reference_pipeline_calibrated(
+        calibrated.clone(),
+        &grid,
+        &CoaddParams::default(),
+        &DetectParams::default(),
+    );
+    for workers in WORKER_COUNTS {
+        let par = reference_pipeline_calibrated_par(
+            calibrated.clone(),
+            &grid,
+            &CoaddParams::default(),
+            &DetectParams::default(),
+            Parallelism::threads(workers),
+        );
+        assert_eq!(serial.coadds, par.coadds, "coadds workers={workers}");
+        assert_eq!(serial.catalogs, par.catalogs, "catalogs workers={workers}");
     }
 }
 

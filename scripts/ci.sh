@@ -33,7 +33,8 @@ echo "== scibench bench e2e --quick (copy accounting, eager vs shared)"
 # by the tool: non-zero exit on fingerprint divergence) and checks the
 # committed BENCH_e2e.json still speaks the schema the tool emits.
 tmp_e2e="$(mktemp)"
-trap 'rm -f "$tmp_e2e"' EXIT
+tmp_skew="$(mktemp)"
+trap 'rm -f "$tmp_e2e" "$tmp_skew"' EXIT
 cargo run --release -q -p scibench-bench --bin scibench -- bench e2e --quick --out "$tmp_e2e"
 schema_line='"schema": "scibench-bench-e2e/v1"'
 grep -qF "$schema_line" "$tmp_e2e" || {
@@ -41,6 +42,21 @@ grep -qF "$schema_line" "$tmp_e2e" || {
 grep -qF "$schema_line" BENCH_e2e.json || {
   echo "ci: FAIL - committed BENCH_e2e.json schema drifted from $schema_line" >&2
   echo "     regenerate it: cargo run --release -p scibench-bench --bin scibench -- bench e2e --out BENCH_e2e.json" >&2
+  exit 1; }
+
+echo "== scibench bench skew --quick (morsel vs static worker imbalance)"
+# Runs the skewed astro field through both schedules at 2/4/8 workers
+# (bit-identity is enforced by the tool: non-zero exit on fingerprint
+# divergence; the morsel<=static model-imbalance regression is enforced
+# on the full run that regenerates the committed artifact) and checks the
+# committed BENCH_skew.json still speaks the schema the tool emits.
+cargo run --release -q -p scibench-bench --bin scibench -- bench skew --quick --out "$tmp_skew"
+skew_schema='"schema": "scibench-bench-skew/v1"'
+grep -qF "$skew_schema" "$tmp_skew" || {
+  echo "ci: FAIL - bench skew no longer emits $skew_schema" >&2; exit 1; }
+grep -qF "$skew_schema" BENCH_skew.json || {
+  echo "ci: FAIL - committed BENCH_skew.json schema drifted from $skew_schema" >&2
+  echo "     regenerate it: cargo run --release -p scibench-bench --bin scibench -- bench skew --out BENCH_skew.json" >&2
   exit 1; }
 
 echo "ci: all gates passed"
