@@ -255,6 +255,38 @@ fn lint(verbose: bool) -> i32 {
         }
     }
 
+    // The source gate rides along: `scibench lint` also runs sciflow, the
+    // interprocedural effect analysis, so a panic/nondet/copy/spawn sink
+    // reachable from an engine entry point fails this command the same way
+    // a bad lowering does.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/bench sits two levels below the workspace root");
+    match scilint::analyze_workspace(root) {
+        Ok(report) => {
+            print!("{}", report.flow_summary());
+            if !report.is_flow_clean() {
+                if verbose {
+                    print!("{}", report.flow_listing());
+                }
+                for f in &report.flow_findings {
+                    l.failures.push(format!(
+                        "sciflow {}: {}:{} {} reachable from `{}`",
+                        f.rule,
+                        f.path,
+                        f.line,
+                        f.sink,
+                        f.chain.first().map_or("?", |h| h.name.as_str()),
+                    ));
+                }
+            }
+        }
+        Err(e) => l
+            .failures
+            .push(format!("sciflow: workspace unreadable: {e}")),
+    }
+
     println!();
     if l.failures.is_empty() {
         println!(

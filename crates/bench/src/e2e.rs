@@ -203,7 +203,7 @@ pub fn suite(quick: bool) -> (Vec<E2eCase>, Vec<E2eSkip>) {
             engine: "scidb",
             runner: Box::new(move || {
                 let db = engine_array::ArrayDb::connect(4);
-                let out = astro_uc::scidb_coadd_cube(&db, &cube, 8);
+                let out = astro_uc::scidb_coadd_cube(&db, &cube, 8).expect("scidb coadd runs");
                 let mut fp = Fingerprint::new();
                 fp.push_slice(out.data());
                 fp.finish()

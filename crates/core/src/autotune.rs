@@ -41,6 +41,7 @@ impl TuningResult {
     }
 }
 
+// scilint: allow(F001, paper-script experiment driver: an infra fault aborts the whole run as the original cluster scripts do; TODO(flow): thread Result into the bench CLI)
 fn spark_time(
     cm: &CostModel,
     profiles: &EngineProfiles,
@@ -113,6 +114,7 @@ pub fn tune_spark_partitions(setup: &Setup, subjects: usize, nodes: usize) -> Tu
 
 /// Tune Myria's workers-per-node for the neuroscience workload (the
 /// paper's manual Figure 13 sweep as a search).
+// scilint: allow(F001, paper-script experiment driver: an infra fault aborts the whole run as the original cluster scripts do; TODO(flow): thread Result into the bench CLI)
 pub fn tune_myria_workers(setup: &Setup, subjects: usize, nodes: usize) -> TuningResult {
     let w = NeuroWorkload { subjects };
     let mut evals = 0;
@@ -151,6 +153,7 @@ pub fn tune_myria_workers(setup: &Setup, subjects: usize, nodes: usize) -> Tunin
 
 /// Tune SciDB's chunk edge length for the co-addition (the paper's §5.3.1
 /// trial-and-error made a search).
+// scilint: allow(F001, paper-script experiment driver: an infra fault aborts the whole run as the original cluster scripts do; TODO(flow): thread Result into the bench CLI)
 pub fn tune_scidb_chunk(setup: &Setup, visits: usize) -> TuningResult {
     let cluster = setup.cluster_for(Engine::SciDb, 16);
     let w = AstroWorkload { visits };

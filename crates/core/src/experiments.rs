@@ -35,6 +35,7 @@ impl Setup {
         }
     }
 
+    // scilint: allow(F001, paper-script experiment driver: an infra fault aborts the whole run as the original cluster scripts do; TODO(flow): thread Result into the bench CLI)
     fn run(&self, engine: Engine, g: &TaskGraph, cluster: &ClusterSpec) -> f64 {
         simulate(g, cluster, self.profiles.policy(engine), false)
             .expect("non-strict run cannot fail")
@@ -74,6 +75,7 @@ pub fn neuro_e2e(setup: &Setup, engine: Engine, subjects: usize, nodes: usize) -
 }
 
 /// End-to-end astronomy runtime (Figure 10d/h); `Err` = out of memory.
+// scilint: allow(F001, paper-script experiment driver: an infra fault aborts the whole run as the original cluster scripts do; TODO(flow): thread Result into the bench CLI)
 pub fn astro_e2e(
     setup: &Setup,
     engine: Engine,
@@ -377,6 +379,7 @@ pub fn fig10e(setup: &Setup) -> Table {
 }
 
 /// Figure 10f: normalized astronomy runtime per visit.
+// scilint: allow(F001, paper-script experiment driver: an infra fault aborts the whole run as the original cluster scripts do; TODO(flow): thread Result into the bench CLI)
 pub fn fig10f(setup: &Setup) -> Table {
     let mut t = Table::new(
         "Fig 10f: Astronomy normalized runtime per visit",
@@ -832,6 +835,7 @@ mod tests {
 /// with and without it. This is an extension beyond the paper, quantifying
 /// how much of each engine's behaviour our model attributes to each
 /// mechanism.
+// scilint: allow(F001, paper-script experiment driver: an infra fault aborts the whole run as the original cluster scripts do; TODO(flow): thread Result into the bench CLI)
 pub fn ablations(setup: &Setup) -> Table {
     let mut t = Table::new(
         "Ablations: one mechanism removed at a time",
@@ -1112,6 +1116,7 @@ pub struct ShapeCheck {
 /// cost model (the `reproduce --check` mode). Every check also exists as a
 /// test; this entry point is for CI-style reporting after someone edits
 /// the model.
+// scilint: allow(F001, paper-script experiment driver: an infra fault aborts the whole run as the original cluster scripts do; TODO(flow): thread Result into the bench CLI)
 pub fn shape_checks(setup: &Setup) -> Vec<ShapeCheck> {
     let mut out = Vec::new();
     let mut check = |claim: &'static str, pass: bool, detail: String| {

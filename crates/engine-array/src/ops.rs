@@ -235,12 +235,10 @@ impl ScidbArray {
             .chunks_reconstructed
             .fetch_add(self.chunks.len() as u64, Ordering::Relaxed);
         let full = self.materialize()?;
-        // scilint: allow(C001, dims() is a handful of usize extents - shape metadata rather than chunk payload)
         let dims = full.dims().to_vec();
         let rank = dims.len();
         let mut out = NdArray::<f64>::zeros(&dims);
         // Generic rank-N box mean via per-axis clamped windows.
-        // scilint: allow(C001, Shape clone is metadata; the window loop reads `full` in place)
         let shape = full.shape().clone();
         for (off, ix) in shape.indices().enumerate() {
             let mut sum = 0.0;

@@ -75,6 +75,7 @@ impl Session {
 
     /// Execute `graph`, feeding placeholders and returning the fetched
     /// tensors in order.
+    // scilint: allow(F001, node inputs precede it in the plancheck-verified topological order; a missing value is a scheduler bug worth aborting on)
     pub fn run(
         &mut self,
         graph: &GraphBuilder,
@@ -97,7 +98,6 @@ impl Session {
                         return Err(DataflowError::FeedShapeMismatch {
                             node: i,
                             expected: shape.clone(),
-                            // scilint: allow(C001, error-path dims copy - a few usize extents)
                             got: fed.dims().to_vec(),
                         });
                     }

@@ -127,6 +127,7 @@ where
     K: Clone + Hash + Ord + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
+    // scilint: allow(F001, poisoned cache lock means a worker already panicked; aborting the job is the engine contract)
     fn materialize(&self) -> Buckets<K, V> {
         let mut guard = self.materialized.lock().expect("shuffle lock poisoned");
         if let Some(m) = guard.as_ref() {
@@ -178,6 +179,7 @@ impl<T: Clone + Send + Sync + 'static> RddImpl<T> for CachedRdd<T> {
     fn num_partitions(&self) -> usize {
         self.parent.inner.num_partitions()
     }
+    // scilint: allow(F001, poisoned cache lock means a worker already panicked; aborting the job is the engine contract)
     fn compute(&self, partition: usize) -> Vec<T> {
         let mut slot = self.slots[partition].lock().expect("cache lock poisoned");
         if let Some(v) = slot.as_ref() {
@@ -252,6 +254,8 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
     }
 
     /// Action: materialize every partition (in parallel) and concatenate.
+    // scilint: allow(F001, partition-task panics propagate to the driver, mirroring Spark task failure)
+    // scilint: allow(F004, this scope.spawn IS the simulated Spark executor's partition tasks, the engine boundary; TODO(flow): route through the morsel pool)
     pub fn collect(&self) -> Vec<T> {
         let n = self.num_partitions();
         let mut parts: Vec<Vec<T>> = Vec::with_capacity(n);
@@ -295,6 +299,7 @@ where
     }
 
     /// Wide transformation: combine values per key with `f`.
+    // scilint: allow(F001, shuffle groups are non-empty by construction)
     pub fn reduce_by_key(
         &self,
         partitions: usize,

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::sync::RwLock;
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A relation's column names and types.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,6 +165,22 @@ pub struct MyriaConnection {
     table_udfs: RwLock<BTreeMap<String, TableUdf>>,
 }
 
+/// Read access to one catalog map. Poisoning means a worker panicked while
+/// holding the write lock; the simulated MyriaX coordinator aborts rather
+/// than serve a half-written catalog — the workspace's single sanctioned
+/// panic point for catalog access.
+fn read_guard<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    // scilint: allow(F001, poisoned catalog lock means a worker already panicked mid-DDL; aborting here is the engine contract)
+    lock.read().expect("catalog lock poisoned")
+}
+
+/// Write access to one catalog map; see [`read_guard`] for the poisoning
+/// contract.
+fn write_guard<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    // scilint: allow(F001, poisoned catalog lock means a worker already panicked mid-DDL; aborting here is the engine contract)
+    lock.write().expect("catalog lock poisoned")
+}
+
 impl MyriaConnection {
     /// Connect to a simulated deployment.
     pub fn connect(nodes: usize, workers_per_node: usize) -> MyriaConnection {
@@ -186,36 +203,23 @@ impl MyriaConnection {
     /// Ingest tuples as a new hash-partitioned relation.
     pub fn ingest(&self, name: &str, schema: Schema, tuples: Vec<Tuple>, partition_column: usize) {
         let rel = Relation::partitioned(schema, tuples, partition_column, self.workers());
-        self.catalog
-            .write()
-            .expect("catalog lock poisoned")
-            .insert(name.to_string(), Arc::new(rel));
+        write_guard(&self.catalog).insert(name.to_string(), Arc::new(rel));
     }
 
     /// Store an already-built relation (e.g. a query result).
     pub fn store(&self, name: &str, relation: Relation) {
-        self.catalog
-            .write()
-            .expect("catalog lock poisoned")
-            .insert(name.to_string(), Arc::new(relation));
+        write_guard(&self.catalog).insert(name.to_string(), Arc::new(relation));
     }
 
     /// Ingest a broadcast relation (replicated everywhere).
     pub fn ingest_broadcast(&self, name: &str, schema: Schema, tuples: Vec<Tuple>) {
         let rel = Relation::broadcast(schema, tuples, self.workers());
-        self.catalog
-            .write()
-            .expect("catalog lock poisoned")
-            .insert(name.to_string(), Arc::new(rel));
+        write_guard(&self.catalog).insert(name.to_string(), Arc::new(rel));
     }
 
     /// Look up a relation.
     pub fn relation(&self, name: &str) -> Option<Arc<Relation>> {
-        self.catalog
-            .read()
-            .expect("catalog lock poisoned")
-            .get(name)
-            .cloned()
+        read_guard(&self.catalog).get(name).cloned()
     }
 
     /// Register a Python-style UDF.
@@ -224,10 +228,7 @@ impl MyriaConnection {
         name: &str,
         f: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
     ) {
-        self.udfs
-            .write()
-            .expect("catalog lock poisoned")
-            .insert(name.to_string(), Arc::new(f));
+        write_guard(&self.udfs).insert(name.to_string(), Arc::new(f));
     }
 
     /// Register a UDA.
@@ -236,10 +237,7 @@ impl MyriaConnection {
         name: &str,
         f: impl Fn(&[Tuple]) -> Value + Send + Sync + 'static,
     ) {
-        self.udas
-            .write()
-            .expect("catalog lock poisoned")
-            .insert(name.to_string(), Arc::new(f));
+        write_guard(&self.udas).insert(name.to_string(), Arc::new(f));
     }
 
     /// Register a multi-output UDA (see [`MultiUda`]).
@@ -248,10 +246,7 @@ impl MyriaConnection {
         name: &str,
         f: impl Fn(&[Tuple]) -> Vec<Value> + Send + Sync + 'static,
     ) {
-        self.multi_udas
-            .write()
-            .expect("catalog lock poisoned")
-            .insert(name.to_string(), Arc::new(f));
+        write_guard(&self.multi_udas).insert(name.to_string(), Arc::new(f));
     }
 
     /// Register a table-valued (flatmap) UDF.
@@ -260,42 +255,23 @@ impl MyriaConnection {
         name: &str,
         f: impl Fn(&[Value]) -> Vec<Vec<Value>> + Send + Sync + 'static,
     ) {
-        self.table_udfs
-            .write()
-            .expect("catalog lock poisoned")
-            .insert(name.to_string(), Arc::new(f));
+        write_guard(&self.table_udfs).insert(name.to_string(), Arc::new(f));
     }
 
     pub(crate) fn udf(&self, name: &str) -> Option<Udf> {
-        self.udfs
-            .read()
-            .expect("catalog lock poisoned")
-            .get(name)
-            .cloned()
+        read_guard(&self.udfs).get(name).cloned()
     }
 
     pub(crate) fn table_udf(&self, name: &str) -> Option<TableUdf> {
-        self.table_udfs
-            .read()
-            .expect("catalog lock poisoned")
-            .get(name)
-            .cloned()
+        read_guard(&self.table_udfs).get(name).cloned()
     }
 
     pub(crate) fn uda(&self, name: &str) -> Option<Uda> {
-        self.udas
-            .read()
-            .expect("catalog lock poisoned")
-            .get(name)
-            .cloned()
+        read_guard(&self.udas).get(name).cloned()
     }
 
     pub(crate) fn multi_uda(&self, name: &str) -> Option<MultiUda> {
-        self.multi_udas
-            .read()
-            .expect("catalog lock poisoned")
-            .get(name)
-            .cloned()
+        read_guard(&self.multi_udas).get(name).cloned()
     }
 }
 

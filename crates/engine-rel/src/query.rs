@@ -220,6 +220,8 @@ impl Query {
     }
 
     /// Execute the plan on `conn`, returning the result relation.
+    // scilint: allow(F001, operator invariants (schema before scan, non-empty plan) abort the simulated query like a coordinator fault)
+    // scilint: allow(F004, this scope.spawn IS the simulated engine's own worker pool, the engine boundary; TODO(flow): route through the morsel pool)
     pub fn execute(&self, conn: &MyriaConnection) -> Result<Relation, QueryError> {
         let workers = conn.workers();
         let mut schema: Option<Schema> = None;

@@ -43,6 +43,7 @@ impl Value {
 
     /// Integer accessor (panics on type mismatch — queries are typed by
     /// construction).
+    // scilint: allow(F001, typed Value accessor panics on a column type mismatch, the simulated engine's schema contract)
     pub fn as_int(&self) -> i64 {
         match self {
             Value::Int(v) => *v,
@@ -51,6 +52,7 @@ impl Value {
     }
 
     /// Float accessor.
+    // scilint: allow(F001, typed Value accessor panics on a column type mismatch, the simulated engine's schema contract)
     pub fn as_float(&self) -> f64 {
         match self {
             Value::Float(v) => *v,
@@ -60,6 +62,7 @@ impl Value {
     }
 
     /// String accessor.
+    // scilint: allow(F001, typed Value accessor panics on a column type mismatch, the simulated engine's schema contract)
     pub fn as_str(&self) -> &str {
         match self {
             Value::Str(v) => v,
@@ -68,6 +71,7 @@ impl Value {
     }
 
     /// Blob accessor.
+    // scilint: allow(F001, typed Value accessor panics on a column type mismatch, the simulated engine's schema contract)
     pub fn as_blob(&self) -> &Arc<NdArray<f64>> {
         match self {
             Value::Blob(v) => v,

@@ -4,7 +4,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::Arc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 type AnyValue = Arc<dyn Any + Send + Sync>;
 type NodeFn = Box<dyn FnOnce(&[AnyValue]) -> AnyValue + Send>;
@@ -41,7 +41,31 @@ pub struct DaskClient {
     barriers: Mutex<usize>,
 }
 
+/// Downcast a stored value to its static type — the simulated Dask engine's
+/// dynamic-typing boundary. A mismatch means the graph was built with
+/// inconsistent types, which the real engine also surfaces as a task error;
+/// this helper is the single sanctioned panic point for it.
+fn cast<A: 'static>(value: &AnyValue) -> &A {
+    // scilint: allow(F001, delayed-graph type mismatch is a graph-construction bug; the engine aborts the computation like Dask surfaces a task exception)
+    value.downcast_ref::<A>().expect("delayed type mismatch")
+}
+
 impl DaskClient {
+    /// The graph under its lock. Poisoning means a worker panicked holding
+    /// it; the scheduler aborts rather than schedule on a torn graph — the
+    /// single sanctioned panic point for graph access.
+    fn graph(&self) -> MutexGuard<'_, Vec<Node>> {
+        // scilint: allow(F001, poisoned graph lock means a worker already panicked; aborting the scheduler is the engine contract)
+        self.graph.lock().expect("graph lock poisoned")
+    }
+
+    /// The barrier counter under its lock; see [`DaskClient::graph`] for the
+    /// poisoning contract.
+    fn barrier_counter(&self) -> MutexGuard<'_, usize> {
+        // scilint: allow(F001, poisoned barrier lock means a worker already panicked; aborting the scheduler is the engine contract)
+        self.barriers.lock().expect("barrier lock poisoned")
+    }
+
     /// Connect with the given worker-thread count.
     pub fn new(workers: usize) -> DaskClient {
         DaskClient {
@@ -56,7 +80,7 @@ impl DaskClient {
         deps: Vec<usize>,
         func: impl FnOnce(&[AnyValue]) -> T + Send + 'static,
     ) -> Delayed<T> {
-        let mut graph = self.graph.lock().expect("graph lock poisoned");
+        let mut graph = self.graph();
         let id = graph.len();
         graph.push(Node {
             deps,
@@ -88,7 +112,7 @@ impl DaskClient {
         T: Send + Sync + 'static,
     {
         self.push_node(vec![input.node], move |args| {
-            let a = args[0].downcast_ref::<A>().expect("delayed type mismatch");
+            let a = cast::<A>(&args[0]);
             f(a)
         })
     }
@@ -106,8 +130,8 @@ impl DaskClient {
         T: Send + Sync + 'static,
     {
         self.push_node(vec![left.node, right.node], move |args| {
-            let a = args[0].downcast_ref::<A>().expect("delayed type mismatch");
-            let b = args[1].downcast_ref::<B>().expect("delayed type mismatch");
+            let a = cast::<A>(&args[0]);
+            let b = cast::<B>(&args[1]);
             f(a, b)
         })
     }
@@ -125,10 +149,7 @@ impl DaskClient {
     {
         let deps: Vec<usize> = inputs.iter().map(|d| d.node).collect();
         self.push_node(deps, move |args| {
-            let refs: Vec<&A> = args
-                .iter()
-                .map(|a| a.downcast_ref::<A>().expect("delayed type mismatch"))
-                .collect();
+            let refs: Vec<&A> = args.iter().map(cast::<A>).collect();
             f(&refs)
         })
     }
@@ -137,13 +158,9 @@ impl DaskClient {
     /// Dask's `.result()`, a barrier.
     pub fn result<T: Clone + Send + Sync + 'static>(&self, target: Delayed<T>) -> T {
         self.execute(&[target.node]);
-        let graph = self.graph.lock().expect("graph lock poisoned");
-        graph[target.node]
-            .result
-            .as_ref()
-            .expect("executed")
-            .downcast_ref::<T>()
-            .expect("delayed type mismatch")
+        let graph = self.graph();
+        // scilint: allow(F001, the barrier above just executed the target; a missing result is a scheduler bug worth aborting on)
+        cast::<T>(graph[target.node].result.as_ref().expect("executed"))
             // scilint: allow(C001, result handoff clones the stored value; NdArray payloads are refcount bumps)
             .clone()
     }
@@ -151,16 +168,12 @@ impl DaskClient {
     /// Execute the subgraphs of several targets under one barrier.
     pub fn compute_many<T: Clone + Send + Sync + 'static>(&self, targets: &[Delayed<T>]) -> Vec<T> {
         self.execute(&targets.iter().map(|t| t.node).collect::<Vec<_>>());
-        let graph = self.graph.lock().expect("graph lock poisoned");
+        let graph = self.graph();
         targets
             .iter()
             .map(|t| {
-                graph[t.node]
-                    .result
-                    .as_ref()
-                    .expect("executed")
-                    .downcast_ref::<T>()
-                    .expect("delayed type mismatch")
+                // scilint: allow(F001, the barrier above just executed every target; a missing result is a scheduler bug worth aborting on)
+                cast::<T>(graph[t.node].result.as_ref().expect("executed"))
                     // scilint: allow(C001, result handoff clones the stored value; NdArray payloads are refcount bumps)
                     .clone()
             })
@@ -171,21 +184,27 @@ impl DaskClient {
     /// graph-construction discipline the paper highlights as Dask's main
     /// usability cost.
     pub fn barrier_count(&self) -> usize {
-        *self.barriers.lock().expect("barrier lock poisoned")
+        *self.barrier_counter()
     }
 
     /// Number of graph nodes built so far.
     pub fn graph_size(&self) -> usize {
-        self.graph.lock().expect("graph lock poisoned").len()
+        self.graph().len()
     }
 
     /// Run the pending subgraph reachable from `targets`.
+    ///
+    /// The worker pool below is the simulated engine's own work-stealing
+    /// executor (the paper's Dask analog), so its spawns and its
+    /// poisoned-lock aborts are the engine boundary, not kernel code.
+    // scilint: allow(F001, worker-pool lock poisoning and ran-twice/dep-done invariants abort the scheduler by design; TODO(flow): route through morsel pool once engines share it)
+    // scilint: allow(F004, this scope.spawn IS the simulated Dask work-stealing pool, the engine's executor boundary)
     fn execute(&self, targets: &[usize]) {
-        *self.barriers.lock().expect("barrier lock poisoned") += 1;
+        *self.barrier_counter() += 1;
         // Collect the incomplete subgraph.
         let mut needed: Vec<usize> = Vec::new();
         {
-            let graph = self.graph.lock().expect("graph lock poisoned");
+            let graph = self.graph();
             let mut stack: Vec<usize> = targets.to_vec();
             let mut seen = vec![false; graph.len()];
             while let Some(n) = stack.pop() {
@@ -207,7 +226,7 @@ impl DaskClient {
         let mut dependents: std::collections::BTreeMap<usize, Vec<usize>> =
             std::collections::BTreeMap::new();
         {
-            let graph = self.graph.lock().expect("graph lock poisoned");
+            let graph = self.graph();
             for &n in &needed {
                 let unmet = graph[n]
                     .deps
@@ -260,7 +279,7 @@ impl DaskClient {
                     // Take the function + argument snapshots under the lock,
                     // run outside it.
                     let (func, args) = {
-                        let mut graph = self.graph.lock().expect("graph lock poisoned");
+                        let mut graph = self.graph();
                         let func = graph[task].func.take().expect("task ran twice");
                         let args: Vec<AnyValue> = graph[task]
                             .deps
@@ -271,7 +290,7 @@ impl DaskClient {
                     };
                     let value = func(&args);
                     {
-                        let mut graph = self.graph.lock().expect("graph lock poisoned");
+                        let mut graph = self.graph();
                         graph[task].result = Some(value);
                     }
                     // Release dependents.

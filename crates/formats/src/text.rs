@@ -32,9 +32,9 @@ pub fn to_csv(array: &NdArray<f32>) -> String {
 
 fn push_f32(out: &mut String, v: f32) {
     // Shortest representation that round-trips (Rust's float Display is
-    // round-trip exact).
+    // round-trip exact). Writing to a String is infallible.
     use std::fmt::Write;
-    write!(out, "{v}").expect("write to String cannot fail");
+    let _ = write!(out, "{v}");
 }
 
 /// Parse `coords...,value` CSV back into a dense array of the given dims.

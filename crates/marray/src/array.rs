@@ -371,6 +371,7 @@ impl<T: Element> NdArray<T> {
     }
 
     /// Concatenate arrays along `axis`. All other extents must agree.
+    // scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
     pub fn concat(parts: &[&NdArray<T>], axis: usize) -> Result<Self> {
         let first = parts.first().expect("concat of zero arrays");
         let rank = first.shape.rank();

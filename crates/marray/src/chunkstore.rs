@@ -250,6 +250,8 @@ impl<T: Element> ChunkBuf<T> {
     ///
     /// If this handle is the sole owner the call is free; otherwise the
     /// buffer is deep-copied first and the copy is recorded under `reason`.
+    // scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
+    // scilint: allow(F003, the copy-on-write unshare: the plane's one sanctioned deep copy besides deep_copy())
     pub fn make_mut(&mut self, reason: &str) -> &mut Vec<T> {
         if Arc::get_mut(&mut self.buf).is_none() {
             CopyCounter::record(reason, self.nbytes());

@@ -112,6 +112,7 @@ impl Mask {
     }
 
     /// Render as a `u8` array (1 = selected), e.g. for serializing to NIfTI.
+    // scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
     pub fn to_array(&self) -> NdArray<u8> {
         NdArray::from_vec(&self.dims, self.bits.iter().map(|&b| b as u8).collect())
             .expect("dims/len agree")

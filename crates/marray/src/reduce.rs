@@ -48,6 +48,7 @@ impl<T: Element> NdArray<T> {
     ///
     /// `init` seeds each output cell; `fold` combines an accumulator with
     /// one input element; `finish` post-processes with the reduced extent.
+    // scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
     pub fn fold_axis(
         &self,
         axis: usize,

@@ -78,10 +78,11 @@ pub enum Parallelism {
 }
 
 impl Parallelism {
-    /// `Threads(n)`, panicking on `n == 0`. Caller-facing code (CLI flags)
+    /// `Threads(n)`, asserting `n >= 1`. Caller-facing code (CLI flags)
     /// should validate first; see [`parse_threads`].
     pub fn threads(n: usize) -> Parallelism {
-        Parallelism::Threads(NonZeroUsize::new(n).expect("thread count must be >= 1"))
+        assert!(n >= 1, "thread count must be >= 1");
+        Parallelism::Threads(NonZeroUsize::new(n.max(1)).unwrap_or(NonZeroUsize::MIN))
     }
 
     /// The available parallelism of the host, honoring the

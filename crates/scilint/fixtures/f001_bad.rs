@@ -1,0 +1,11 @@
+//! F001 bad fixture: a panic sink one call away from a pub entry point.
+//! `expect()` passes the token rules (H001 flags only `unwrap()`), so only
+//! the interprocedural pass can see that `entry`'s result path may abort.
+
+pub fn entry(values: &[f64]) -> f64 {
+    helper(values)
+}
+
+fn helper(values: &[f64]) -> f64 {
+    values.first().copied().expect("non-empty input")
+}

@@ -1,0 +1,10 @@
+//! F001 good fixture: the helper surfaces absence as an Option and the
+//! entry point handles it; no panic sink is reachable.
+
+pub fn entry(values: &[f64]) -> f64 {
+    helper(values).unwrap_or(0.0)
+}
+
+fn helper(values: &[f64]) -> Option<f64> {
+    values.first().copied()
+}

@@ -1,0 +1,11 @@
+//! F002 bad fixture: a clock read buried in a helper reachable from a pub
+//! entry point.
+
+pub fn entry() -> u128 {
+    helper()
+}
+
+fn helper() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

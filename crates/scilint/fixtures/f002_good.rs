@@ -1,0 +1,12 @@
+//! F002 good fixture: the clock read carries a justified D002 allow, which
+//! sanctions the sink at the source — nothing seeds the nondet effect.
+
+pub fn entry() -> u128 {
+    helper()
+}
+
+fn helper() -> u128 {
+    // scilint: allow(D002, fixture: observational timing that never feeds a result payload)
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,10 @@
+//! F003 bad fixture: a helper deep-copies a chunk payload and is reachable
+//! from a pub entry point (interprocedural C001).
+
+pub fn entry(chunk: &[f64]) -> Vec<f64> {
+    helper(chunk)
+}
+
+fn helper(chunk: &[f64]) -> Vec<f64> {
+    chunk.to_vec()
+}

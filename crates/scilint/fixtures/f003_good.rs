@@ -1,0 +1,10 @@
+//! F003 good fixture: the copy happens inside a `materialize*` function,
+//! the sanctioned deep-copy point of the copy-discipline contract.
+
+pub fn entry(chunk: &[f64]) -> Vec<f64> {
+    materialize_chunk(chunk)
+}
+
+fn materialize_chunk(chunk: &[f64]) -> Vec<f64> {
+    chunk.to_vec()
+}

@@ -1,0 +1,14 @@
+//! F004 bad fixture: a thread spawn outside parexec/src/morsel.rs,
+//! reachable from a pub entry point.
+
+pub fn entry(xs: &mut [f64]) {
+    helper(xs);
+}
+
+fn helper(xs: &mut [f64]) {
+    std::thread::scope(|s| {
+        for x in xs.iter_mut() {
+            s.spawn(move || *x += 1.0);
+        }
+    });
+}

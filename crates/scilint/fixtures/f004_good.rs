@@ -1,0 +1,12 @@
+//! F004 good fixture: the helper stays on the calling thread; no spawn is
+//! reachable.
+
+pub fn entry(xs: &mut [f64]) {
+    helper(xs);
+}
+
+fn helper(xs: &mut [f64]) {
+    for x in xs.iter_mut() {
+        *x += 1.0;
+    }
+}

@@ -1,0 +1,12 @@
+//! Suppressed-boundary fixture: the sink carries a reasoned F001 allow on
+//! its own statement, so the chain-anchored finding is consumed without
+//! going S003-stale.
+
+pub fn entry(xs: &[i64]) -> i64 {
+    boundary(xs)
+}
+
+fn boundary(xs: &[i64]) -> i64 {
+    // scilint: allow(F001, fixture: sanctioned boundary abort on empty input)
+    *xs.first().expect("boundary fixture input")
+}

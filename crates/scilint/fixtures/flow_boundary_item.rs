@@ -1,0 +1,9 @@
+//! Item-scoped suppression fixture: one allow above the `fn` covers every
+//! sink inside its body, the way an `#[allow]` attribute would.
+
+// scilint: allow(F001, fixture: whole-fn boundary; both expects are the engine contract)
+pub fn entry(xs: &[i64]) -> i64 {
+    let first = *xs.first().expect("boundary fixture input");
+    let last = *xs.last().expect("boundary fixture input");
+    first + last
+}

@@ -1,0 +1,14 @@
+//! Two-hop transitive fixture: the panic sink is two calls away from the
+//! root; the witness chain must read root -> mid -> leaf.
+
+pub fn chain_entry(xs: &[i64]) -> i64 {
+    mid(xs)
+}
+
+fn mid(xs: &[i64]) -> i64 {
+    leaf(xs)
+}
+
+fn leaf(xs: &[i64]) -> i64 {
+    *xs.first().expect("chain fixture input")
+}

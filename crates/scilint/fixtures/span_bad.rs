@@ -1,0 +1,13 @@
+//! Suppression-span regression fixture (bad): the allow ends with its
+//! statement; the second unwrap after it must still be reported.
+
+pub fn escaped(values: &[Option<f64>]) -> f64 {
+    // scilint: allow(H001, fixture: covers only the following statement)
+    let first = values
+        .first()
+        .copied()
+        .flatten()
+        .unwrap();
+    let second = values.last().copied().flatten().unwrap();
+    first + second
+}

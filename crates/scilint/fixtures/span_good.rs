@@ -1,0 +1,11 @@
+//! Suppression-span regression fixture (good): the allow covers the whole
+//! multi-line chained statement, not just "this line and the next".
+
+pub fn covered(values: &[Option<f64>]) -> f64 {
+    // scilint: allow(H001, fixture: absence handled by the chained default two lines down)
+    values
+        .first()
+        .copied()
+        .flatten()
+        .unwrap()
+}

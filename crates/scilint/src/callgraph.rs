@@ -1,0 +1,253 @@
+//! The approximate call graph behind sciflow.
+//!
+//! Resolution is by name plus two hints, and is *deliberately
+//! over-approximate*: when the tokens cannot tell which function a call
+//! lands on, the graph keeps every candidate edge rather than dropping the
+//! call. An edge that does not exist at runtime can only make the effect
+//! analysis report *more*, never less — the right polarity for a gate.
+//!
+//! The resolution ladder for a call to `name`:
+//!
+//! 1. `self::name` / `crate::name` / `Self::name` → definitions named
+//!    `name` in the caller's crate.
+//! 2. `qual::name` where `qual` matches a workspace crate's import name
+//!    (`engine_rdd`, `scibench_core`, ...) → that crate's definitions.
+//! 3. `qual::name` where `qual` is a known-`std` path segment (`std`,
+//!    `thread`, `cmp`, ...) → external, no edge (sinks inside such calls
+//!    are caught by the token-level seed scan instead).
+//! 4. `Type::name` where some workspace file defines or impls `Type` →
+//!    definitions named `name` in those files.
+//! 5. Method calls `recv.name(...)` → every workspace definition named
+//!    `name` (receiver types are unknown at token level).
+//! 6. Plain `name(...)` → same-crate definitions when any exist, else
+//!    every workspace definition named `name` (covers `use`-imported
+//!    free functions).
+//!
+//! Known blind spots (see DESIGN.md §3.12): trait-object dispatch and fn
+//! pointers produce no call token and therefore no edge; closures are
+//! attributed to the defining function.
+
+use std::collections::BTreeSet;
+
+use crate::symbols::SymbolTable;
+
+/// `std` path segments that mark a qualified call as external.
+const EXTERNAL_QUALIFIERS: [&str; 36] = [
+    "std",
+    "core",
+    "alloc",
+    "thread",
+    "time",
+    "fs",
+    "io",
+    "env",
+    "process",
+    "mem",
+    "cmp",
+    "fmt",
+    "str",
+    "slice",
+    "iter",
+    "collections",
+    "num",
+    "sync",
+    "ops",
+    "array",
+    "vec",
+    "f32",
+    "f64",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "usize",
+    "i32",
+    "i64",
+    "char",
+    "ptr",
+    "convert",
+    "atomic",
+    "mpsc",
+    "hash",
+];
+
+/// Map a path qualifier to the workspace crate directory name it imports
+/// (`engine_rdd` → `engine-rdd`, `scibench_core` → `core`).
+fn crate_for_qualifier(q: &str) -> String {
+    match q {
+        "scibench_core" => "core".to_string(),
+        "scibench_bench" => "bench".to_string(),
+        other => other.replace('_', "-"),
+    }
+}
+
+/// The call graph: `edges[f]` is the set of functions `f` may call.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Adjacency, indexed by [`SymbolTable::fns`] id.
+    pub edges: Vec<BTreeSet<u32>>,
+    /// Total edge count (for reporting).
+    pub edge_count: usize,
+}
+
+impl CallGraph {
+    /// Reverse adjacency, for backward effect propagation.
+    pub fn reversed(&self) -> Vec<BTreeSet<u32>> {
+        let mut rev: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); self.edges.len()];
+        for (from, outs) in self.edges.iter().enumerate() {
+            for &to in outs {
+                rev[to as usize].insert(from as u32);
+            }
+        }
+        rev
+    }
+}
+
+/// Build the call graph over `tab` using the resolution ladder above.
+pub fn build(tab: &SymbolTable) -> CallGraph {
+    let crate_names: BTreeSet<&str> = tab.fns.iter().map(|f| f.crate_name.as_str()).collect();
+    let mut graph = CallGraph {
+        edges: vec![BTreeSet::new(); tab.fns.len()],
+        ..CallGraph::default()
+    };
+
+    for call in &tab.calls {
+        let Some(cands) = tab.by_name.get(&call.name) else {
+            continue; // external or std — no workspace definition
+        };
+        let caller_crate = &tab.fns[call.caller as usize].crate_name;
+        let targets: Vec<u32> = if let Some(q) = &call.qualifier {
+            // The external check runs before the crate match: the workspace
+            // `core` crate imports as `scibench_core`, so a bare `core::`
+            // path is always `std`-core.
+            let as_crate = crate_for_qualifier(q);
+            if q == "self" || q == "crate" || q == "Self" {
+                same_crate(tab, cands, caller_crate)
+            } else if EXTERNAL_QUALIFIERS.contains(&q.as_str()) {
+                Vec::new()
+            } else if crate_names.contains(as_crate.as_str()) {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| tab.fns[c as usize].crate_name == as_crate)
+                    .collect()
+            } else if let Some(files) = tab.types.get(q) {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| files.contains(&tab.fns[c as usize].file))
+                    .collect()
+            } else {
+                // Unknown qualifier: over-approximate to every candidate.
+                cands.clone()
+            }
+        } else if call.method {
+            // Receiver type unknown: every candidate.
+            cands.clone()
+        } else {
+            let local = same_crate(tab, cands, caller_crate);
+            if local.is_empty() {
+                cands.clone()
+            } else {
+                local
+            }
+        };
+        for t in targets {
+            if graph.edges[call.caller as usize].insert(t) {
+                graph.edge_count += 1;
+            }
+        }
+    }
+    graph
+}
+
+fn same_crate(tab: &SymbolTable, cands: &[u32], krate: &str) -> Vec<u32> {
+    cands
+        .iter()
+        .copied()
+        .filter(|&c| tab.fns[c as usize].crate_name == krate)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+    use crate::symbols::extract;
+
+    fn graph_of(files: &[(&str, &str, &str)]) -> (SymbolTable, CallGraph) {
+        let parsed: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, krate, src)| SourceFile::parse(path, krate, FileKind::Library, src))
+            .collect();
+        let tab = extract(&parsed, &|_| true);
+        let g = build(&tab);
+        (tab, g)
+    }
+
+    fn fn_ix(tab: &SymbolTable, name: &str) -> u32 {
+        tab.by_name.get(name).expect("fn known")[0]
+    }
+
+    #[test]
+    fn plain_call_prefers_same_crate() {
+        let (tab, g) = graph_of(&[
+            ("a.rs", "ca", "pub fn root() { work(); }\nfn work() {}\n"),
+            ("b.rs", "cb", "fn work() {}\n"),
+        ]);
+        let root = fn_ix(&tab, "root");
+        let edges = &g.edges[root as usize];
+        assert_eq!(edges.len(), 1);
+        let target = *edges.iter().next().expect("edge");
+        assert_eq!(tab.fns[target as usize].crate_name, "ca");
+    }
+
+    #[test]
+    fn method_call_fans_out_to_every_candidate() {
+        let (tab, g) = graph_of(&[
+            ("a.rs", "ca", "pub fn root(x: T) { x.work(); }\n"),
+            ("b.rs", "cb", "fn work() {}\n"),
+            ("c.rs", "cc", "fn work() {}\n"),
+        ]);
+        let root = fn_ix(&tab, "root");
+        assert_eq!(g.edges[root as usize].len(), 2);
+    }
+
+    #[test]
+    fn crate_qualifier_narrows() {
+        let (tab, g) = graph_of(&[
+            ("a.rs", "ca", "pub fn root() { engine_rdd::work(); }\n"),
+            ("b.rs", "engine-rdd", "fn work() {}\n"),
+            ("c.rs", "cc", "fn work() {}\n"),
+        ]);
+        let root = fn_ix(&tab, "root");
+        let edges = &g.edges[root as usize];
+        assert_eq!(edges.len(), 1);
+        let target = *edges.iter().next().expect("edge");
+        assert_eq!(tab.fns[target as usize].crate_name, "engine-rdd");
+    }
+
+    #[test]
+    fn type_qualifier_narrows_to_impl_files() {
+        let (tab, g) = graph_of(&[
+            ("a.rs", "ca", "pub fn root() { Pool::work(); }\n"),
+            ("b.rs", "cb", "struct Pool;\nimpl Pool { fn work() {} }\n"),
+            ("c.rs", "cc", "fn work() {}\n"),
+        ]);
+        let root = fn_ix(&tab, "root");
+        let edges = &g.edges[root as usize];
+        assert_eq!(edges.len(), 1);
+        let target = *edges.iter().next().expect("edge");
+        assert_eq!(tab.fns[target as usize].path, "b.rs");
+    }
+
+    #[test]
+    fn std_qualified_calls_have_no_edge() {
+        let (tab, g) = graph_of(&[
+            ("a.rs", "ca", "pub fn root() { thread::spawn(|| {}); }\n"),
+            ("b.rs", "cb", "fn spawn() {}\n"),
+        ]);
+        let root = fn_ix(&tab, "root");
+        assert!(g.edges[root as usize].is_empty());
+    }
+}

@@ -1,0 +1,502 @@
+//! sciflow: interprocedural effect propagation over the approximate call
+//! graph, with witness call chains.
+//!
+//! The token rules (D/N/H/C) see one file at a time; a helper that calls
+//! `expect()` two crates away passes them even when every engine result
+//! path runs through it. This pass closes that gap: every function is
+//! tagged with the effect lattice {`panics`, `nondet`, `copies`, `spawns`}
+//! seeded from the same sinks the token rules recognize, effects flow
+//! caller-ward to a fixed point, and four rules fire on sinks *reachable
+//! from an engine/kernel/pipeline entry point*:
+//!
+//! * **F001** — a panic sink (`panic!`/`unwrap()`/`expect()`/...) on a
+//!   result path,
+//! * **F002** — a transitive nondeterminism source (hash-order iteration,
+//!   clock reads, ambient randomness),
+//! * **F003** — a transitive unsanctioned payload copy (interprocedural
+//!   C001),
+//! * **F004** — a thread spawn outside `parexec/src/morsel.rs`, the
+//!   workspace's single sanctioned spawn site.
+//!
+//! Each finding is anchored at the **sink line** — one justified
+//! `// scilint: allow(F00x, reason)` there covers every chain that reaches
+//! the sink — and carries the **shortest witness chain** root → … → sink,
+//! computed by a deterministic multi-source BFS from the root set. A sink
+//! already covered by the corresponding token-rule allow (H001 for panics,
+//! D001/D002/D003 for nondet, C001 for copies, D004 for spawns) is treated
+//! as sanctioned at the source and seeds nothing.
+//!
+//! Determinism contract: function ids are assigned in sorted (path, token)
+//! order, all sets are `BTreeSet`/`BTreeMap`, the BFS visits neighbors in
+//! id order, and ties break by (path, line) — two runs over the same tree
+//! emit byte-identical reports.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph;
+use crate::lex::TokenKind;
+use crate::profiles;
+use crate::rules::{self, Finding};
+use crate::source::SourceFile;
+use crate::symbols::{self, SymbolTable};
+
+/// One effect in the lattice. The discriminant is the bitmask position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Effect {
+    /// May panic (macro or `unwrap`/`expect`).
+    Panics = 0,
+    /// May observe hash order, the clock, or ambient randomness.
+    Nondet = 1,
+    /// May deep-copy a chunk payload outside `materialize()`.
+    Copies = 2,
+    /// May spawn a thread outside the sanctioned morsel pool.
+    Spawns = 3,
+}
+
+/// All effects, in report order.
+pub const EFFECTS: [Effect; 4] = [
+    Effect::Panics,
+    Effect::Nondet,
+    Effect::Copies,
+    Effect::Spawns,
+];
+
+impl Effect {
+    /// Bitmask bit for this effect.
+    pub fn bit(self) -> u8 {
+        1 << (self as u8)
+    }
+
+    /// The F-rule that reports this effect.
+    pub fn rule(self) -> &'static str {
+        match self {
+            Effect::Panics => "F001",
+            Effect::Nondet => "F002",
+            Effect::Copies => "F003",
+            Effect::Spawns => "F004",
+        }
+    }
+
+    /// Lattice element name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Effect::Panics => "panics",
+            Effect::Nondet => "nondet",
+            Effect::Copies => "copies",
+            Effect::Spawns => "spawns",
+        }
+    }
+
+    /// Token rules whose `allow` sanctions a sink of this effect at the
+    /// source (the allow's reason covers the interprocedural story too).
+    fn sanctioning_rules(self) -> &'static [&'static str] {
+        match self {
+            Effect::Panics => &["H001"],
+            Effect::Nondet => &["D001", "D002", "D003"],
+            Effect::Copies => &["C001"],
+            Effect::Spawns => &["D004"],
+        }
+    }
+}
+
+/// One effect sink: the concrete token that seeds an effect.
+#[derive(Debug, Clone)]
+struct Sink {
+    /// Function the sink sits in (id into [`SymbolTable::fns`]).
+    owner: u32,
+    /// Which effect it seeds.
+    effect: Effect,
+    /// 1-based line of the sink token.
+    line: u32,
+    /// Short description (`.expect()`, `HashMap`, ...).
+    what: String,
+}
+
+/// One hop of a witness call chain.
+#[derive(Debug, Clone)]
+pub struct ChainHop {
+    /// Function name.
+    pub name: String,
+    /// Workspace-relative path of its definition.
+    pub path: String,
+    /// Line of the `fn` token.
+    pub line: u32,
+}
+
+/// One interprocedural finding with its witness chain.
+#[derive(Debug, Clone)]
+pub struct FlowFinding {
+    /// `F001`..`F004`.
+    pub rule: &'static str,
+    /// The effect that fired.
+    pub effect: Effect,
+    /// Crate of the *sink*.
+    pub crate_name: String,
+    /// Path of the sink file (where the allow belongs).
+    pub path: String,
+    /// Line of the sink token.
+    pub line: u32,
+    /// Sink description (`.expect()`, `spawn(`, ...).
+    pub sink: String,
+    /// Shortest witness chain, root first, sink-owning function last.
+    pub chain: Vec<ChainHop>,
+    /// Rendered message (chain included) for the unified report.
+    pub message: String,
+}
+
+impl FlowFinding {
+    /// Downgrade to a plain [`Finding`] for the unified gate.
+    pub fn to_finding(&self) -> Finding {
+        Finding {
+            rule: self.rule,
+            path: self.path.clone(),
+            crate_name: self.crate_name.clone(),
+            line: self.line,
+            message: self.message.clone(),
+        }
+    }
+}
+
+/// Workspace-level statistics for the `sciflow/v1` report.
+#[derive(Debug, Clone, Default)]
+pub struct FlowStats {
+    /// Functions in the symbol table.
+    pub functions: usize,
+    /// Call-graph edges.
+    pub edges: usize,
+    /// Entry points (pub fns of the root crates).
+    pub roots: usize,
+    /// Functions tagged with each effect after propagation, by name.
+    pub tagged: BTreeMap<&'static str, usize>,
+}
+
+/// Run the full flow analysis. Returns the findings (unsuppressed — the
+/// report layer applies `allow(F00x)` filtering) and the stats.
+pub fn analyze(files: &[SourceFile]) -> (Vec<FlowFinding>, FlowStats) {
+    let tab = symbols::extract(files, &|krate| !profiles::flow_exempt(krate));
+    let graph = callgraph::build(&tab);
+    let sinks = find_sinks(files, &tab);
+
+    // Fixed-point effect propagation, callee → caller, via a worklist over
+    // the reverse graph.
+    let mut masks = vec![0u8; tab.fns.len()];
+    for s in &sinks {
+        masks[s.owner as usize] |= s.effect.bit();
+    }
+    let rev = graph.reversed();
+    let mut work: Vec<u32> = (0..tab.fns.len() as u32)
+        .filter(|&f| masks[f as usize] != 0)
+        .collect();
+    while let Some(f) = work.pop() {
+        let m = masks[f as usize];
+        for &caller in &rev[f as usize] {
+            let before = masks[caller as usize];
+            if before | m != before {
+                masks[caller as usize] = before | m;
+                work.push(caller);
+            }
+        }
+    }
+
+    // Deterministic multi-source BFS from the root set, recording parents
+    // for shortest witness chains. Roots and neighbors are visited in id
+    // order; ids are already sorted by (path, token position).
+    let roots: Vec<u32> = (0..tab.fns.len() as u32)
+        .filter(|&f| {
+            let sym = &tab.fns[f as usize];
+            sym.is_pub && profiles::flow_root(&sym.crate_name)
+        })
+        .collect();
+    let mut parent: Vec<Option<u32>> = vec![None; tab.fns.len()];
+    let mut seen = vec![false; tab.fns.len()];
+    let mut queue: std::collections::VecDeque<u32> = roots.iter().copied().collect();
+    for &r in &roots {
+        seen[r as usize] = true;
+    }
+    while let Some(f) = queue.pop_front() {
+        for &callee in &graph.edges[f as usize] {
+            if !seen[callee as usize] {
+                seen[callee as usize] = true;
+                parent[callee as usize] = Some(f);
+                queue.push_back(callee);
+            }
+        }
+    }
+
+    // One finding per reachable sink line, shortest chain attached.
+    let mut findings: BTreeMap<(String, u32, &'static str), FlowFinding> = BTreeMap::new();
+    for s in &sinks {
+        if !seen[s.owner as usize] {
+            continue;
+        }
+        let chain = chain_to(&tab, &parent, s.owner);
+        let key = (
+            tab.fns[s.owner as usize].path.clone(),
+            s.line,
+            s.effect.rule(),
+        );
+        let sym = &tab.fns[s.owner as usize];
+        let entry = FlowFinding {
+            rule: s.effect.rule(),
+            effect: s.effect,
+            crate_name: sym.crate_name.clone(),
+            path: sym.path.clone(),
+            line: s.line,
+            sink: s.what.clone(),
+            message: render_message(s, &chain),
+            chain,
+        };
+        // Keep the first (shortest-chain) finding per (path, line, rule);
+        // BFS parents make chains minimal already, so first wins is stable.
+        findings.entry(key).or_insert(entry);
+    }
+
+    let mut tagged = BTreeMap::new();
+    for e in EFFECTS {
+        tagged.insert(
+            e.name(),
+            masks.iter().filter(|&&m| m & e.bit() != 0).count(),
+        );
+    }
+    let stats = FlowStats {
+        functions: tab.fns.len(),
+        edges: graph.edge_count,
+        roots: roots.len(),
+        tagged,
+    };
+    (findings.into_values().collect(), stats)
+}
+
+/// Walk parent pointers from the sink's function back to its root.
+fn chain_to(tab: &SymbolTable, parent: &[Option<u32>], sink_fn: u32) -> Vec<ChainHop> {
+    let mut chain = Vec::new();
+    let mut cur = Some(sink_fn);
+    while let Some(f) = cur {
+        let sym = &tab.fns[f as usize];
+        chain.push(ChainHop {
+            name: sym.name.clone(),
+            path: sym.path.clone(),
+            line: sym.line,
+        });
+        cur = parent[f as usize];
+        if chain.len() > 64 {
+            break; // cycle guard; BFS parents cannot cycle, belt and braces
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+fn render_message(s: &Sink, chain: &[ChainHop]) -> String {
+    let what = match s.effect {
+        Effect::Panics => "panic sink",
+        Effect::Nondet => "nondeterminism source",
+        Effect::Copies => "unsanctioned payload copy",
+        Effect::Spawns => "thread spawn outside morsel.rs",
+    };
+    let names: Vec<&str> = chain.iter().map(|h| h.name.as_str()).collect();
+    let shown = if names.len() > 10 {
+        format!(
+            "{} -> ... -> {} ({} hops)",
+            names[..4].join(" -> "),
+            names[names.len() - 4..].join(" -> "),
+            names.len()
+        )
+    } else {
+        names.join(" -> ")
+    };
+    format!(
+        "{what} `{}` reachable from entry point `{}`; witness: {shown}",
+        s.what,
+        chain.first().map_or("?", |h| h.name.as_str()),
+    )
+}
+
+/// True when a token-rule suppression covering `line` sanctions `effect`.
+fn sanctioned(file: &SourceFile, line: u32, effect: Effect) -> bool {
+    file.suppressions
+        .iter()
+        .any(|s| s.covers(line) && effect.sanctioning_rules().contains(&s.rule.as_str()))
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+const RAND_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "RandomState"];
+/// Receiver identifiers the copy sink treats as chunk payloads — the same
+/// list C001 uses.
+const PAYLOAD_RECEIVERS: [&str; 12] = [
+    "chunk",
+    "chunks",
+    "full",
+    "value",
+    "fed",
+    "vol",
+    "volume",
+    "tuples",
+    "fragments",
+    "blob",
+    "payload",
+    "buf",
+];
+
+/// Scan the symbolized files for effect sinks, skipping sinks already
+/// sanctioned by a covering token-rule allow.
+fn find_sinks(files: &[SourceFile], tab: &SymbolTable) -> Vec<Sink> {
+    let mut out = Vec::new();
+    for &fx in &tab.files_used {
+        let file = &files[fx];
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            let Some(owner) = tab.owner[fx][i] else {
+                continue;
+            };
+            if file.is_test_code(i) {
+                continue;
+            }
+            let TokenKind::Ident(s) = &t.kind else {
+                continue;
+            };
+            let next_is = |p: &str| toks.get(i + 1).is_some_and(|n| n.kind.is_punct(p));
+            let next_open = toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Open('('));
+            let prev_is = |p: &str| i > 0 && toks[i - 1].kind.is_punct(p);
+
+            let sink: Option<(Effect, String)> = if PANIC_MACROS.contains(&s.as_str())
+                && next_is("!")
+            {
+                Some((Effect::Panics, format!("{s}!")))
+            } else if (s == "unwrap" || s == "expect") && prev_is(".") && next_open {
+                Some((Effect::Panics, format!(".{s}()")))
+            } else if HASH_TYPES.contains(&s.as_str()) {
+                Some((Effect::Nondet, format!("{s} (hash order)")))
+            } else if CLOCK_TYPES.contains(&s.as_str()) {
+                Some((Effect::Nondet, format!("{s} (clock)")))
+            } else if RAND_IDENTS.contains(&s.as_str()) || (s == "rand" && next_is("::")) {
+                Some((Effect::Nondet, format!("{s} (randomness)")))
+            } else if (s == "clone" || s == "to_vec")
+                && prev_is(".")
+                && next_open
+                && i >= 2
+                && match &toks[i - 2].kind {
+                    TokenKind::Close(')') | TokenKind::Close(']') => true,
+                    TokenKind::Ident(recv) => PAYLOAD_RECEIVERS.contains(&recv.as_str()),
+                    _ => false,
+                }
+                && !rules::copies_metadata(toks, i)
+                && !rules::sanctioned_copy_fn(&tab.fns[owner as usize].name)
+            {
+                Some((Effect::Copies, format!(".{s}() on a payload")))
+            } else if s == "spawn" && next_open && !file.path.ends_with("parexec/src/morsel.rs") {
+                Some((Effect::Spawns, "spawn(".to_string()))
+            } else {
+                None
+            };
+
+            if let Some((effect, what)) = sink {
+                if !sanctioned(file, t.line, effect) {
+                    out.push(Sink {
+                        owner,
+                        effect,
+                        line: t.line,
+                        what,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn run(files: &[(&str, &str, &str)]) -> (Vec<FlowFinding>, FlowStats) {
+        let parsed: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, krate, src)| SourceFile::parse(path, krate, FileKind::Library, src))
+            .collect();
+        analyze(&parsed)
+    }
+
+    #[test]
+    fn panic_reachable_from_engine_root_fires_f001() {
+        let (findings, _) = run(&[(
+            "lib.rs",
+            "engine-rdd",
+            "pub fn entry() { helper(); }\nfn helper() { None::<u32>.expect(\"boom\"); }\n",
+        )]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "F001");
+        assert_eq!(findings[0].line, 2);
+        let names: Vec<&str> = findings[0].chain.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, ["entry", "helper"]);
+    }
+
+    #[test]
+    fn unreachable_sink_is_silent() {
+        let (findings, stats) = run(&[(
+            "lib.rs",
+            "engine-rdd",
+            "pub fn entry() {}\nfn orphan() { None::<u32>.expect(\"boom\"); }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(stats.tagged["panics"], 1); // tagged but unreachable
+    }
+
+    #[test]
+    fn non_root_crate_pub_fn_is_not_a_root() {
+        let (findings, stats) = run(&[(
+            "lib.rs",
+            "plancheck",
+            "pub fn entry() { helper(); }\nfn helper() { None::<u32>.expect(\"boom\"); }\n",
+        )]);
+        assert!(findings.is_empty());
+        assert_eq!(stats.roots, 0);
+    }
+
+    #[test]
+    fn token_rule_allow_sanctions_the_sink_at_source() {
+        let (findings, stats) = run(&[(
+            "lib.rs",
+            "engine-rdd",
+            "pub fn entry() { helper(); }\n\
+             fn helper() {\n\
+                 // scilint: allow(H001, boundary: poisoned-lock recovery is a programming error)\n\
+                 None::<u32>.unwrap();\n\
+             }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(stats.tagged["panics"], 0);
+    }
+
+    #[test]
+    fn effects_reach_fixed_point_across_three_hops() {
+        let (_, stats) = run(&[(
+            "lib.rs",
+            "engine-rdd",
+            "pub fn a() { b(); }\nfn b() { c(); }\nfn c() { panic!(\"x\"); }\n",
+        )]);
+        assert_eq!(stats.tagged["panics"], 3);
+    }
+
+    #[test]
+    fn morsel_rs_spawns_are_sanctioned() {
+        let (findings, _) = run(&[
+            (
+                "crates/parexec/src/morsel.rs",
+                "parexec",
+                "pub fn run_pool() { scope(|s| { s.spawn(|| {}); }); }\n",
+            ),
+            (
+                "lib.rs",
+                "sciops",
+                "pub fn kernel_par() { parexec::run_pool(); }\n",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -14,11 +14,14 @@
 //! ([`report`]) with JSON output for tooling. See DESIGN.md §3.9 for the
 //! rule table and the suppression policy.
 
+pub mod callgraph;
+pub mod flow;
 pub mod lex;
 pub mod profiles;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 pub mod walk;
 
 use std::io;
@@ -41,10 +44,33 @@ pub fn analyze_files(files: &[SourceFile]) -> Report {
         .filter(|k| files.iter().any(|f| f.crate_name == *k))
         .collect();
     rules::check_par_twins(files, &kernels, &mut raw);
+    // The interprocedural pass: F001–F004 findings land at their sink with
+    // a witness chain in the message; the structured chains are kept on the
+    // report for the `sciflow/v1` view.
+    let (flow_findings, flow_stats) = flow::analyze(files);
+    raw.extend(flow_findings.iter().map(flow::FlowFinding::to_finding));
     // Findings of rules a crate's profile does not enable are dropped here
-    // so check_par_twins stays profile-agnostic.
-    raw.retain(|f| f.rule.starts_with('S') || profiles::rules_for(&f.crate_name).contains(&f.rule));
-    Report::build(files, raw)
+    // so check_par_twins stays profile-agnostic. S-rules (suppression
+    // grammar) and F-rules (workspace-level reachability, anchored at the
+    // sink's crate) bypass per-crate profiles.
+    raw.retain(|f| {
+        f.rule.starts_with('S')
+            || f.rule.starts_with('F')
+            || profiles::rules_for(&f.crate_name).contains(&f.rule)
+    });
+    let mut report = Report::build(files, raw);
+    let surviving: Vec<flow::FlowFinding> = flow_findings
+        .into_iter()
+        .filter(|ff| {
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == ff.rule && f.path == ff.path && f.line == ff.line)
+        })
+        .collect();
+    report.flow_findings = surviving;
+    report.flow_stats = flow_stats;
+    report
 }
 
 /// Walk the workspace at `root` and analyze every member crate.

@@ -7,10 +7,13 @@ use std::process::ExitCode;
 
 use scilint::rules::RULES;
 
-const USAGE: &str = "usage: scilint [--root PATH] [--json] [--quiet] [--list-rules]
+const USAGE: &str = "usage: scilint [--root PATH] [--flow] [--json] [--quiet] [--list-rules]
 
   --root PATH    workspace root to analyze (default: .)
-  --json         print the machine-readable scilint/v1 report to stdout
+  --flow         interprocedural view: gate on the F-family only and report
+                 witness call chains; with --json, emit sciflow/v1
+  --json         print the machine-readable report to stdout
+                 (scilint/v1, or sciflow/v1 under --flow)
   --quiet        suppress the per-finding listing (summary only)
   --list-rules   print the rule table and exit
 ";
@@ -19,6 +22,7 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json = false;
     let mut quiet = false;
+    let mut flow = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
             },
             "--json" => json = true,
             "--quiet" => quiet = true,
+            "--flow" => flow = true,
             "--list-rules" => {
                 for r in &RULES {
                     println!("{}  [{}]  {}", r.id, r.family.name(), r.description);
@@ -59,6 +64,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if flow {
+        // Flow view: sciflow/v1 JSON, witness-chain listing, F-only gate.
+        if json {
+            print!("{}", report.to_flow_json());
+        }
+        if !quiet && !report.is_flow_clean() {
+            eprint!("{}", report.flow_listing());
+        }
+        eprint!("{}", report.flow_summary());
+        return if report.is_flow_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
 
     if json {
         print!("{}", report.to_json());

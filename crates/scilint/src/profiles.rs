@@ -19,6 +19,31 @@
 /// Crates whose `_par` kernels must satisfy H002.
 pub const KERNEL_CRATES: [&str; 1] = ["sciops"];
 
+/// Crates whose `pub fn`s are sciflow entry points (F001–F004 roots): the
+/// five engine analogs produce result payloads, `sciops` holds the kernels,
+/// and `core` drives the use-case pipelines. Everything a pub fn of these
+/// crates can reach — in any crate — is on a result path.
+pub const FLOW_ROOT_CRATES: [&str; 7] = [
+    "engine-array",
+    "engine-dataflow",
+    "engine-rdd",
+    "engine-rel",
+    "engine-taskgraph",
+    "sciops",
+    "core",
+];
+
+/// True when `crate_name`'s pub fns seed the sciflow reachability BFS.
+pub fn flow_root(crate_name: &str) -> bool {
+    FLOW_ROOT_CRATES.contains(&crate_name)
+}
+
+/// Crates excluded from the sciflow call graph entirely: the bench harness
+/// reads the clock and spawns by design and is never called by an engine.
+pub fn flow_exempt(crate_name: &str) -> bool {
+    crate_name == "bench"
+}
+
 /// Rule ids enabled for `crate_name`, or an empty slice when the crate is
 /// exempt. Crate names are directory names under `crates/`; the workspace
 /// root package is `"scibench"`.

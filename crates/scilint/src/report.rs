@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::flow::{FlowFinding, FlowStats};
 use crate::rules::{rule, Finding};
 use crate::source::SourceFile;
 
@@ -9,19 +10,27 @@ use crate::source::SourceFile;
 #[derive(Debug, Default)]
 pub struct Report {
     /// Findings that were not covered by a valid suppression, in
-    /// (path, line, rule) order.
+    /// (path, line, rule) order. Includes the F-family (flow) findings.
     pub findings: Vec<Finding>,
     /// Count of findings that *were* suppressed, per rule id.
     pub suppressed: BTreeMap<String, usize>,
     /// Number of files analyzed.
     pub files: usize,
+    /// Surviving interprocedural findings with their witness chains (the
+    /// same findings also appear in `findings`, chain rendered into the
+    /// message).
+    pub flow_findings: Vec<FlowFinding>,
+    /// Call-graph and effect-lattice statistics from the flow pass.
+    pub flow_stats: FlowStats,
 }
 
 impl Report {
     /// Apply the suppression policy to `raw` findings from `files`.
     ///
     /// A `// scilint: allow(RULE, reason)` comment covers findings of RULE
-    /// on the comment's own line and the line after it. Malformed
+    /// from the comment's own line to the end of the statement that follows
+    /// it (see [`crate::source::Suppression::covers`]), so multi-line
+    /// chained calls and signatures cannot silently escape. Malformed
     /// suppressions (S001/S002) and suppressions that matched nothing
     /// (S003) become findings themselves, so the gate stays exact.
     pub fn build(files: &[SourceFile], mut raw: Vec<Finding>) -> Report {
@@ -36,18 +45,20 @@ impl Report {
                 if f.path != file.path {
                     return true;
                 }
-                let hit =
-                    file.suppressions.iter().enumerate().find(|(_, s)| {
-                        s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line)
-                    });
-                match hit {
-                    Some((ix, s)) => {
+                // Every covering suppression is marked used (stacked allows
+                // above one statement must not go S003-stale), the finding
+                // is counted suppressed once.
+                let mut matched = false;
+                for (ix, s) in file.suppressions.iter().enumerate() {
+                    if s.rule == f.rule && s.covers(f.line) {
                         used[ix] = true;
-                        *report.suppressed.entry(s.rule.clone()).or_insert(0) += 1;
-                        false
+                        if !matched {
+                            *report.suppressed.entry(s.rule.clone()).or_insert(0) += 1;
+                        }
+                        matched = true;
                     }
-                    None => true,
                 }
+                !matched
             });
             for b in &file.bad_suppressions {
                 raw.push(Finding {
@@ -166,6 +177,127 @@ impl Report {
                 f.line,
                 escape(&f.message)
             ));
+        }
+        s.push_str(if first { "]\n}\n" } else { "\n  ]\n}\n" });
+        s
+    }
+
+    /// True when no F-family finding survived suppression.
+    pub fn is_flow_clean(&self) -> bool {
+        self.flow_findings.is_empty()
+    }
+
+    /// Human-readable flow listing: one finding per block, witness chain
+    /// rendered hop by hop.
+    pub fn flow_listing(&self) -> String {
+        let mut out = String::new();
+        for f in &self.flow_findings {
+            out.push_str(&format!(
+                "{}:{}: {} [{}] sink `{}`\n",
+                f.path,
+                f.line,
+                f.rule,
+                f.effect.name(),
+                f.sink
+            ));
+            for (i, hop) in f.chain.iter().enumerate() {
+                let marker = if i == 0 { "root" } else { "  ->" };
+                out.push_str(&format!(
+                    "    {marker} {} ({}:{})\n",
+                    hop.name, hop.path, hop.line
+                ));
+            }
+        }
+        out
+    }
+
+    /// One-line flow summary for CI logs.
+    pub fn flow_summary(&self) -> String {
+        let t = &self.flow_stats.tagged;
+        let suppressed: usize = self
+            .suppressed
+            .iter()
+            .filter(|(r, _)| r.starts_with('F'))
+            .map(|(_, n)| n)
+            .sum();
+        format!(
+            "sciflow: {} fn(s), {} edge(s), {} root(s); tagged panics={} nondet={} copies={} \
+             spawns={}; {} finding(s), {} suppressed\n",
+            self.flow_stats.functions,
+            self.flow_stats.edges,
+            self.flow_stats.roots,
+            t.get("panics").copied().unwrap_or(0),
+            t.get("nondet").copied().unwrap_or(0),
+            t.get("copies").copied().unwrap_or(0),
+            t.get("spawns").copied().unwrap_or(0),
+            self.flow_findings.len(),
+            suppressed
+        )
+    }
+
+    /// Machine-readable interprocedural report, schema `sciflow/v1`:
+    /// call-graph stats, per-effect tagged-function counts, and every
+    /// surviving finding with its structured witness chain.
+    pub fn to_flow_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": \"sciflow/v1\",\n");
+        s.push_str(&format!(
+            "  \"functions\": {},\n",
+            self.flow_stats.functions
+        ));
+        s.push_str(&format!("  \"edges\": {},\n", self.flow_stats.edges));
+        s.push_str(&format!("  \"roots\": {},\n", self.flow_stats.roots));
+        s.push_str("  \"tagged\": {");
+        let mut first = true;
+        for (e, n) in &self.flow_stats.tagged {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\n    \"{e}\": {n}"));
+        }
+        s.push_str(if first { "},\n" } else { "\n  },\n" });
+        s.push_str(&format!("  \"clean\": {},\n", self.is_flow_clean()));
+        s.push_str("  \"suppressed\": {");
+        let mut first = true;
+        for (r, n) in self.suppressed.iter().filter(|(r, _)| r.starts_with('F')) {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\n    \"{r}\": {n}"));
+        }
+        s.push_str(if first { "},\n" } else { "\n  },\n" });
+        s.push_str("  \"findings\": [");
+        let mut first = true;
+        for f in &self.flow_findings {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"effect\": \"{}\", \"crate\": \"{}\", \
+                 \"path\": \"{}\", \"line\": {}, \"sink\": \"{}\", \"chain\": [",
+                f.rule,
+                f.effect.name(),
+                escape(&f.crate_name),
+                escape(&f.path),
+                f.line,
+                escape(&f.sink)
+            ));
+            let mut first_hop = true;
+            for hop in &f.chain {
+                if !first_hop {
+                    s.push_str(", ");
+                }
+                first_hop = false;
+                s.push_str(&format!(
+                    "{{\"fn\": \"{}\", \"path\": \"{}\", \"line\": {}}}",
+                    escape(&hop.name),
+                    escape(&hop.path),
+                    hop.line
+                ));
+            }
+            s.push_str("]}");
         }
         s.push_str(if first { "]\n}\n" } else { "\n  ]\n}\n" });
         s

@@ -27,8 +27,19 @@ pub struct Suppression {
     pub rule: String,
     /// The mandatory justification.
     pub reason: String,
-    /// Line of the comment; the suppression covers this line and the next.
+    /// Line of the comment.
     pub line: u32,
+    /// Last line the suppression covers: the end of the statement that
+    /// follows the comment (so multi-line chained calls and signatures stay
+    /// covered), and never less than `line + 1`.
+    pub end_line: u32,
+}
+
+impl Suppression {
+    /// True when the suppression covers findings on `line`.
+    pub fn covers(&self, line: u32) -> bool {
+        self.line <= line && line <= self.end_line
+    }
 }
 
 /// A malformed suppression (missing reason or unknown rule id).
@@ -72,7 +83,10 @@ impl SourceFile {
     pub fn parse(path: &str, crate_name: &str, kind: FileKind, src: &str) -> SourceFile {
         let lexed = lex(src);
         let (in_test, enclosing_fn, fn_names) = annotate(&lexed.tokens);
-        let (suppressions, bad_suppressions) = parse_suppressions(&lexed.comments);
+        let (mut suppressions, bad_suppressions) = parse_suppressions(&lexed.comments);
+        for s in &mut suppressions {
+            s.end_line = statement_end(&lexed.tokens, s.line).max(s.line + 1);
+        }
         SourceFile {
             path: path.to_string(),
             crate_name: crate_name.to_string(),
@@ -177,6 +191,60 @@ fn annotate(tokens: &[Token]) -> (Vec<bool>, Vec<Option<u32>>, Vec<String>) {
     (in_test, enclosing, fn_names)
 }
 
+/// Last line of the statement (or item) a suppression on `from_line`
+/// targets: scan from the first token at or after that line to the first
+/// `;` or `,` at the scan's own delimiter depth, the `}` closing the first
+/// top-level brace group (so a fn/impl/match *body* is part of its item's
+/// span), or a `}` closing the enclosing block. Multi-line chained calls,
+/// long signatures, and whole items are thus covered to their end instead
+/// of only "the next line" — an allow above `fn f()` covers all of `f`,
+/// the way an `#[allow]` attribute would.
+fn statement_end(tokens: &[Token], from_line: u32) -> u32 {
+    let start = tokens.partition_point(|t| t.line < from_line);
+    let mut last = from_line;
+
+    // Item heads (`pub fn f<A, B>(...) -> Result<X, Y> {`) legitimately
+    // contain `,` outside any bracket pair the lexer pairs up (generics are
+    // plain `<` `>` puncts), so for items the span runs to the end of the
+    // body's balanced brace group instead of stopping at punctuation.
+    let is_item = tokens[start..].iter().take(6).any(|t| {
+        matches!(
+            t.kind.ident(),
+            Some("fn" | "impl" | "mod" | "struct" | "enum" | "trait" | "union")
+        )
+    }) || tokens.get(start).is_some_and(|t| t.kind.is_punct("#"));
+
+    let mut depth: i32 = 0;
+    let mut entered_body = false;
+    for t in &tokens[start..] {
+        last = t.line;
+        match &t.kind {
+            TokenKind::Open(c) => {
+                if is_item && *c == '{' && depth == 0 {
+                    entered_body = true;
+                }
+                depth += 1;
+            }
+            TokenKind::Close(c) => {
+                if depth == 0 {
+                    // The enclosing block ended before the statement did.
+                    return last;
+                }
+                depth -= 1;
+                if depth == 0 && *c == '}' && (entered_body || !is_item) {
+                    // A top-level `{ ... }` body closed: end of the item
+                    // (or of a block statement such as a whole `match`).
+                    return last;
+                }
+            }
+            TokenKind::Punct(";") if depth == 0 => return last,
+            TokenKind::Punct(",") if depth == 0 && !is_item => return last,
+            _ => {}
+        }
+    }
+    last
+}
+
 /// Parse `scilint: allow(RULE, reason)` out of comment text.
 fn parse_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<BadSuppression>) {
     let mut good = Vec::new();
@@ -239,6 +307,9 @@ fn parse_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<BadSuppres
             rule: rule.to_string(),
             reason: reason.to_string(),
             line: c.line,
+            // Refined to the enclosing statement's end by the caller, which
+            // has the token stream.
+            end_line: c.line + 1,
         });
     }
     (good, bad)
@@ -309,6 +380,35 @@ mod tests {
         assert!(f.suppressions.is_empty());
         assert_eq!(f.bad_suppressions.len(), 1);
         assert_eq!(f.bad_suppressions[0].code, "S001");
+    }
+
+    #[test]
+    fn suppression_spans_multiline_statement() {
+        let f = parse(
+            "// scilint: allow(H001, reason here)\nlet x = foo()\n    .bar()\n    .unwrap();\nlet y = 1;\n",
+        );
+        assert_eq!(f.suppressions.len(), 1);
+        let s = &f.suppressions[0];
+        assert!(s.covers(4), "chained-call end uncovered: {s:?}");
+        assert!(!s.covers(5), "next statement must not be covered: {s:?}");
+    }
+
+    #[test]
+    fn suppression_spans_whole_item_body() {
+        let f = parse(
+            "// scilint: allow(F001, boundary)\nfn driver() {\n    step()\n        .unwrap();\n}\nfn other() {}\n",
+        );
+        let s = &f.suppressions[0];
+        assert!(s.covers(5), "fn body end uncovered: {s:?}");
+        assert!(!s.covers(6), "next item must not be covered: {s:?}");
+    }
+
+    #[test]
+    fn suppression_at_block_end_stays_minimal() {
+        let f = parse("fn f() {\n    let x = 1;\n    // scilint: allow(D001, stale)\n}\n");
+        let s = &f.suppressions[0];
+        // The enclosing block closes immediately; span stays line..=line+1.
+        assert_eq!(s.end_line, s.line + 1, "{s:?}");
     }
 
     #[test]

@@ -30,7 +30,11 @@ fn fires(report: &Report, rule: &str) -> bool {
 }
 
 /// (rule, crate profile to parse under, bad fixture, good fixture).
-const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 12] = [
+///
+/// The F-family fixtures parse under `engine-rdd` — a flow-root crate, so
+/// their `pub fn entry` becomes an analysis root and the helper's sink is
+/// reachable interprocedurally.
+const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 16] = [
     ("D001", "engine-rdd", "d001_bad.rs", "d001_good.rs"),
     ("D002", "engine-rdd", "d002_bad.rs", "d002_good.rs"),
     ("D003", "engine-rdd", "d003_bad.rs", "d003_good.rs"),
@@ -43,6 +47,10 @@ const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 12] = [
     ("C001", "engine-rdd", "c001_bad.rs", "c001_good.rs"),
     ("S001", "engine-rdd", "s001_bad.rs", "s001_good.rs"),
     ("S003", "engine-rdd", "s003_bad.rs", "s003_good.rs"),
+    ("F001", "engine-rdd", "f001_bad.rs", "f001_good.rs"),
+    ("F002", "engine-rdd", "f002_bad.rs", "f002_good.rs"),
+    ("F003", "engine-rdd", "f003_bad.rs", "f003_good.rs"),
+    ("F004", "engine-rdd", "f004_bad.rs", "f004_good.rs"),
 ];
 
 #[test]
@@ -127,6 +135,77 @@ fn allow_without_reason_is_rejected() {
     assert!(
         fires(&report, "D001"),
         "a reasonless allow must not suppress anything"
+    );
+}
+
+#[test]
+fn two_hop_transitive_chain_is_witnessed_root_first() {
+    // `chain_entry` never panics locally; the sink is two calls down. The
+    // shortest witness chain must read root -> mid -> leaf and the finding
+    // must anchor at the sink's line, where an allow would belong.
+    let report = analyze(&[fixture("flow_chain.rs", "engine-rdd", FileKind::Library)]);
+    assert!(fires(&report, "F001"), "two-hop sink not reached");
+    let f = report
+        .flow_findings
+        .iter()
+        .find(|f| f.rule == "F001")
+        .expect("F001 flow finding with chain");
+    let names: Vec<&str> = f.chain.iter().map(|h| h.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["chain_entry", "mid", "leaf"],
+        "witness chain wrong: {names:?}"
+    );
+    assert_eq!(f.sink, ".expect()");
+    assert!(
+        report.to_flow_json().contains("\"chain_entry\""),
+        "sciflow/v1 JSON must carry the witness chain"
+    );
+}
+
+#[test]
+fn suppressed_boundary_is_flow_clean_and_allow_counts_as_used() {
+    // A reasoned `allow(F001)` at the sink consumes the chain-anchored
+    // finding: flow-clean, and no S003 stale-allow complaint either.
+    for name in ["flow_boundary.rs", "flow_boundary_item.rs"] {
+        let report = analyze(&[fixture(name, "engine-rdd", FileKind::Library)]);
+        assert!(!fires(&report, "F001"), "{name}: allow did not suppress");
+        assert!(report.is_flow_clean(), "{name}: flow gate not clean");
+        assert!(
+            report.is_clean(),
+            "{name}: allow went stale or leaked a finding: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn allow_span_covers_its_whole_multiline_statement() {
+    // Regression for the span bug: the allow used to cover only its own
+    // line plus one, so an unwrap three lines into the chained statement
+    // escaped suppression (and the allow itself went S003-stale).
+    let report = analyze(&[fixture("span_good.rs", "formats", FileKind::Library)]);
+    assert!(
+        report.is_clean(),
+        "allow must span the chained statement: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn allow_span_ends_with_its_statement() {
+    // The widened span must not over-reach: the second unwrap sits after
+    // the suppressed statement and must still be reported.
+    let report = analyze(&[fixture("span_bad.rs", "formats", FileKind::Library)]);
+    let h001: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "H001")
+        .collect();
+    assert_eq!(h001.len(), 1, "exactly the trailing unwrap: {h001:?}");
+    assert!(
+        !fires(&report, "S003"),
+        "the allow did real work on the first statement"
     );
 }
 

@@ -120,6 +120,7 @@ pub fn subtract_background(image: &NdArray<f64>, params: &BackgroundParams) -> N
 }
 
 /// [`subtract_background`] with explicit intra-node parallelism.
+// scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
 pub fn subtract_background_par(
     image: &NdArray<f64>,
     params: &BackgroundParams,

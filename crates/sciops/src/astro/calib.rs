@@ -33,6 +33,7 @@ impl Default for CalibParams {
 
 /// Calibrate one exposure: subtract background, repair cosmic rays (setting
 /// the CR mask bit), and apply the aperture correction to flux and variance.
+// scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
 pub fn calibrate_exposure(exposure: &Exposure, params: &CalibParams) -> Exposure {
     let bg = estimate_background(&exposure.flux, &params.background);
     let mut flux = exposure

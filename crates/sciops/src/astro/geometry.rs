@@ -89,6 +89,7 @@ impl Exposure {
     /// Cut out the part of this exposure that falls inside `region`,
     /// producing a new exposure whose bbox is the intersection.
     /// Returns `None` when there is no overlap.
+    // scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
     pub fn crop_to(&self, region: &SkyBox) -> Option<Exposure> {
         let inter = self.bbox.intersect(region)?;
         let row0 = (inter.y0 - self.bbox.y0) as usize;

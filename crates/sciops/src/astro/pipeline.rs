@@ -43,6 +43,7 @@ pub fn create_patches(
 /// Within one visit, merge all the pieces covering the same patch into one
 /// exposure spanning the whole patch ("creates a new exposure object for
 /// each patch in each visit"). Pixels with no data carry a non-zero mask.
+// scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
 pub fn merge_visit_pieces(
     patch_box: &crate::astro::geometry::SkyBox,
     pieces: &[Exposure],

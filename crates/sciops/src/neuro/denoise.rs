@@ -84,6 +84,7 @@ pub fn nlmeans3d(volume: &NdArray<f64>, mask: Option<&Mask>, params: &NlmParams)
 /// bit-identical at every worker count — slab boundaries are fixed by the
 /// volume shape, every voxel's accumulation order is unchanged, and workers
 /// only write their own disjoint planes.
+// scilint: allow(F003, output starts as a handle clone (refcount bump) and unshares on first write via make_mut)
 pub fn nlmeans3d_par(
     volume: &NdArray<f64>,
     mask: Option<&Mask>,

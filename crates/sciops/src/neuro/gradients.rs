@@ -28,6 +28,7 @@ impl GradientTable {
     }
 
     /// The `b0s_mask` of the reference code: true for b=0 volumes.
+    // scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
     pub fn b0s_mask(&self) -> Mask {
         Mask::from_vec(
             &[self.len()],

@@ -25,6 +25,7 @@ pub struct NeuroOutput {
 }
 
 /// Step 1N in isolation: filter to b0 volumes, average, build the mask.
+// scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
 pub fn segmentation(data: &NdArray<f64>, gtab: &GradientTable) -> (NdArray<f64>, Mask) {
     let b0 = data
         .compress_axis(&gtab.b0s_mask(), 3)
@@ -42,6 +43,7 @@ pub fn denoise_all(data: &NdArray<f64>, mask: &Mask, params: &NlmParams) -> NdAr
 /// [`denoise_all`] with explicit intra-node parallelism: the volume loop
 /// stays serial (each volume is a full NLM invocation), and each volume's
 /// slabs run across `par.workers()` threads.
+// scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
 pub fn denoise_all_par(
     data: &NdArray<f64>,
     mask: &Mask,

@@ -136,6 +136,7 @@ fn label_components(mask: &Mask, dims: &[usize; 3]) -> (Vec<u32>, u32) {
 /// Dipy-style `median_otsu`: median filter, Otsu threshold, keep the largest
 /// 6-connected component. Input is the mean-b0 volume; output is the brain
 /// mask used by Steps 2N and 3N.
+// scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
 pub fn median_otsu(mean_b0: &NdArray<f64>, median_radius: usize) -> Mask {
     assert_eq!(
         mean_b0.shape().rank(),

@@ -140,6 +140,7 @@ fn tensor_of(tissue: Tissue, dir: &[f64; 3]) -> [f64; 6] {
 
 impl DmriPhantom {
     /// Generate subject `seed` under `spec`. Deterministic per (seed, spec).
+    // scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
     pub fn generate(seed: u64, spec: &DmriSpec) -> DmriPhantom {
         let gtab = GradientTable::hcp_like(spec.n_volumes, spec.n_b0, spec.bval);
         let [nx, ny, nz] = spec.dims;

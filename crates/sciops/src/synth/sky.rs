@@ -211,6 +211,7 @@ impl SkySurvey {
         }
     }
 
+    // scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
     fn render_sensor(
         spec: &SkySpec,
         sources: &[InjectedSource],

@@ -68,6 +68,7 @@ pub fn simulate_checked(
 /// memory would exceed its capacity — the behaviour of fully pipelined
 /// execution without spilling (Myria in the paper's Figure 15). Otherwise
 /// over-subscribed memory slows tasks down (thrashing) but never fails.
+// scilint: allow(F001, simulate() validates the task graph up front; these invariants hold for every validated graph)
 pub fn simulate(
     graph: &TaskGraph,
     cluster: &ClusterSpec,

@@ -111,7 +111,7 @@ fn main() {
         cube.write_subarray(&[v, 0, 0], &slice).expect("cube slice");
     }
     let db = engine_array::ArrayDb::connect(4);
-    let coadd = astro_uc::scidb_coadd_cube(&db, &cube, 24);
+    let coadd = astro_uc::scidb_coadd_cube(&db, &cube, 24).expect("scidb coadd runs");
     println!(
         "SciDB-style AQL coadd of patch {:?}: {}×{} px, mean flux {:.1} (chunk ops recorded: {:?})",
         patch,

@@ -16,6 +16,17 @@ echo "== scilint (source-level determinism & numeric-safety gate)"
 # Prints a one-line per-crate summary; details in DESIGN.md §3.9.
 cargo run --release -q -p scilint --bin scilint -- --quiet
 
+echo "== scilint --flow (sciflow: interprocedural effect gate)"
+# Panic/nondet/copy/spawn sinks reachable from engine entry points, each
+# with its witness call chain; details in DESIGN.md §3.12. Also checks the
+# machine-readable report still speaks sciflow/v1.
+tmp_flow="$(mktemp)"
+trap 'rm -f "$tmp_flow"' EXIT
+cargo run --release -q -p scilint --bin scilint -- --flow --json > "$tmp_flow"
+flow_schema='"schema": "sciflow/v1"'
+grep -qF "$flow_schema" "$tmp_flow" || {
+  echo "ci: FAIL - scilint --flow no longer emits $flow_schema" >&2; exit 1; }
+
 echo "== cargo test"
 cargo test -q --workspace
 
@@ -34,7 +45,7 @@ echo "== scibench bench e2e --quick (copy accounting, eager vs shared)"
 # committed BENCH_e2e.json still speaks the schema the tool emits.
 tmp_e2e="$(mktemp)"
 tmp_skew="$(mktemp)"
-trap 'rm -f "$tmp_e2e" "$tmp_skew"' EXIT
+trap 'rm -f "$tmp_e2e" "$tmp_skew" "$tmp_flow"' EXIT
 cargo run --release -q -p scibench-bench --bin scibench -- bench e2e --quick --out "$tmp_e2e"
 schema_line='"schema": "scibench-bench-e2e/v1"'
 grep -qF "$schema_line" "$tmp_e2e" || {

@@ -118,7 +118,7 @@ fn scidb_cube_coadd_consistent_with_reference_on_uniform_variance() {
             100.0 + (ix[1] * 5 + ix[2]) as f64
         }
     });
-    let out = uc::scidb_coadd_cube(&db, &cube, 3);
+    let out = uc::scidb_coadd_cube(&db, &cube, 3).expect("scidb coadd runs");
     for r in 0..5 {
         for c in 0..5 {
             let samples: Vec<f64> = (0..visits).map(|v| cube[&[v, r, c][..]]).collect();
