@@ -17,7 +17,11 @@
 //! copy counts; `scibench bench skew` schedules a source-skewed astro
 //! field under morsel claiming and under static splits and emits
 //! `BENCH_skew.json` with per-worker imbalance and steal counts;
-//! `scibench perf-smoke` asserts the serial and
+//! `scibench bench compress` measures per-codec compression ratios at the
+//! engine ingest boundary, runs the run-level kernel fast paths against
+//! their dense twins, replays two full pipelines under `CompressMode`
+//! Off and Auto (fingerprint equality enforced), and emits
+//! `BENCH_compress.json`; `scibench perf-smoke` asserts the serial and
 //! multi-threaded paths produce bit-identical outputs (the CI determinism
 //! gate). `bench` and `perf-smoke` honor `--threads N` and the
 //! `SCIBENCH_THREADS` environment variable.
@@ -25,7 +29,7 @@
 use engine_rel::ExecutionMode;
 use parexec::{parse_threads, Parallelism};
 use plancheck::{check, Code, Report};
-use scibench_bench::{e2e, kernels, skew};
+use scibench_bench::{compress, e2e, kernels, skew};
 use scibench_core::experiments::{tuned_partitions, Setup};
 use scibench_core::lower::{astro, ingest, neuro, steps, Engine};
 use scibench_core::workload::{AstroWorkload, NeuroWorkload};
@@ -502,13 +506,131 @@ fn bench_skew(args: &[String]) -> i32 {
     0
 }
 
+fn bench_compress(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: scibench bench compress [--quick] [--out PATH]";
+    let mut out_path: Option<std::path::PathBuf> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--out" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --out requires a path");
+                    eprintln!("{USAGE}");
+                    return 2;
+                };
+                out_path = Some(std::path::PathBuf::from(p));
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("{USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!(
+        "compress bench: codec ratios at the engine boundary, run-level kernels \
+         compressed vs dense, and Off-vs-Auto pipeline fingerprints{}...",
+        if quick { " (quick)" } else { "" }
+    );
+    let run = compress::run_compress(quick);
+    let mut bad = 0;
+    for p in &run.planes {
+        eprintln!(
+            "  plane {:<9} repr={:<5} {:>8} -> {:<8} bytes ({:>6.1}x)",
+            p.plane,
+            p.repr.as_str(),
+            p.dense_bytes,
+            p.stored_bytes,
+            p.ratio
+        );
+        // The acceptance floor: mask and variance planes must compress at
+        // least 2x on this workload; noisy flux legitimately stays dense.
+        if p.plane != "flux" && p.ratio < 2.0 {
+            eprintln!(
+                "    FAIL: {} ratio {:.2} below the 2x floor",
+                p.plane, p.ratio
+            );
+            bad += 1;
+        }
+    }
+    for k in &run.kernels {
+        eprintln!(
+            "  kernel {:<20} {:>10} ns -> {:<10} ns ({:.2}x)  bytes {:>8} -> {:<8}{}",
+            k.kernel,
+            k.dense_ns,
+            k.compressed_ns,
+            k.time_ratio,
+            k.dense_bytes_read,
+            k.compressed_bytes_read,
+            if k.outputs_identical {
+                ""
+            } else {
+                "  FINGERPRINT DIVERGED"
+            }
+        );
+        // Each run-level kernel must win on time or bytes moved, and must
+        // be bit-identical to the dense execution.
+        if !k.outputs_identical
+            || (k.compressed_ns >= k.dense_ns && k.compressed_bytes_read >= k.dense_bytes_read)
+        {
+            bad += 1;
+        }
+    }
+    for p in &run.pipelines {
+        eprintln!(
+            "  pipeline {:<6} {:<6} {:>8.1} ms -> {:<8.1} ms{}",
+            p.pipeline,
+            p.engine,
+            p.dense_ms,
+            p.compressed_ms,
+            if p.outputs_identical {
+                ""
+            } else {
+                "  FINGERPRINT DIVERGED"
+            }
+        );
+        if !p.outputs_identical {
+            bad += 1;
+        }
+    }
+    let json = compress::results_to_json(&run, host, quick);
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &json) {
+                eprintln!("error: cannot write {}: {e}", p.display());
+                return 1;
+            }
+            eprintln!("wrote {}", p.display());
+        }
+        None => print!("{json}"),
+    }
+    if bad > 0 {
+        eprintln!("error: {bad} compression check(s) failed (ratio floor, win, or fingerprint)");
+        return 1;
+    }
+    0
+}
+
 fn bench(args: &[String]) -> i32 {
-    const USAGE: &str = "usage: scibench bench [e2e|skew] [--threads N] [--out PATH]";
+    const USAGE: &str = "usage: scibench bench [e2e|skew|compress] [--threads N] [--out PATH]";
     if args.first().map(String::as_str) == Some("e2e") {
         return bench_e2e(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("skew") {
         return bench_skew(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("compress") {
+        return bench_compress(&args[1..]);
     }
     let mut out_path: Option<std::path::PathBuf> = None;
     let mut explicit: Option<Parallelism> = None;
@@ -661,6 +783,12 @@ fn usage() -> i32 {
     eprintln!("  bench skew  schedule a source-skewed astro field under morsel claiming");
     eprintln!("              and static splits, and emit BENCH_skew.json with worker");
     eprintln!("              imbalance and steal counts");
+    eprintln!("              options: [--quick] [--out PATH]");
+    eprintln!("  bench compress");
+    eprintln!("              measure per-codec compression ratios at the engine");
+    eprintln!("              boundary, run-level kernels on compressed vs dense");
+    eprintln!("              chunks, and Off-vs-Auto pipeline fingerprints, and");
+    eprintln!("              emit BENCH_compress.json");
     eprintln!("              options: [--quick] [--out PATH]");
     eprintln!("  perf-smoke  assert serial and multi-threaded kernel outputs are");
     eprintln!("              bit-identical (CI gate)");

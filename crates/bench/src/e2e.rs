@@ -74,7 +74,7 @@ pub struct E2eResult {
     pub outputs_identical: bool,
 }
 
-fn subjects(n: usize) -> Vec<neuro_uc::Subject> {
+pub(crate) fn subjects(n: usize) -> Vec<neuro_uc::Subject> {
     let spec = DmriSpec::test_scale();
     (0..n)
         .map(|i| {
@@ -84,7 +84,7 @@ fn subjects(n: usize) -> Vec<neuro_uc::Subject> {
         .collect()
 }
 
-fn fingerprint_fa(out: &std::collections::BTreeMap<u32, marray::NdArray<f64>>) -> u64 {
+pub(crate) fn fingerprint_fa(out: &std::collections::BTreeMap<u32, marray::NdArray<f64>>) -> u64 {
     let mut fp = Fingerprint::new();
     for (id, fa) in out {
         fp.push_usize(*id as usize);
@@ -93,7 +93,7 @@ fn fingerprint_fa(out: &std::collections::BTreeMap<u32, marray::NdArray<f64>>) -
     fp.finish()
 }
 
-fn fingerprint_astro(r: &astro_uc::AstroResult) -> u64 {
+pub(crate) fn fingerprint_astro(r: &astro_uc::AstroResult) -> u64 {
     let mut fp = Fingerprint::new();
     for (patch, flux) in &r.coadd_flux {
         fp.push_usize(patch.0 as usize);

@@ -73,6 +73,20 @@ pub struct KernelCase {
 }
 
 impl KernelCase {
+    /// Build a case from its parts (used by [`crate::compress`] to add the
+    /// compressed-vs-dense rows to the bench matrix).
+    pub(crate) fn new(
+        name: &'static str,
+        shape: String,
+        runner: Box<dyn Fn(Parallelism) -> u64>,
+    ) -> KernelCase {
+        KernelCase {
+            name,
+            shape,
+            runner,
+        }
+    }
+
     /// Run the kernel once; returns the output fingerprint.
     pub fn run(&self, par: Parallelism) -> u64 {
         (self.runner)(par)
@@ -259,11 +273,14 @@ pub struct BenchResult {
     pub speedup_vs_serial: f64,
 }
 
-/// Time every kernel of [`suite`] at each thread level. Level 1 runs the
-/// serial path and anchors the speedup column.
+/// Time every kernel of [`suite`] — plus the compressed-vs-dense pairs
+/// from [`crate::compress::bench_cases`] — at each thread level. Level 1
+/// runs the serial path and anchors the speedup column.
 pub fn run_bench(thread_levels: &[usize], reps: usize) -> Vec<BenchResult> {
     let mut results = Vec::new();
-    for case in suite() {
+    let mut cases = suite();
+    cases.extend(crate::compress::bench_cases());
+    for case in cases {
         let serial_ns = case.time_ns(Parallelism::Serial, reps);
         for &threads in thread_levels {
             let ns = if threads <= 1 {

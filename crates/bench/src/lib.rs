@@ -4,8 +4,10 @@
 //! `perf-smoke` kernel harness) — and in `scibench-core`; this library
 //! holds the shared kernel-benchmark cases ([`kernels`]), the end-to-end
 //! copy-accounting harness ([`e2e`]), the scheduler-skew harness
-//! ([`skew`]), and lets `cargo bench` targets link against the crate.
+//! ([`skew`]), the chunk-compression harness ([`compress`]), and lets
+//! `cargo bench` targets link against the crate.
 
+pub mod compress;
 pub mod e2e;
 pub mod kernels;
 pub mod skew;

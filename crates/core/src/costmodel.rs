@@ -144,6 +144,65 @@ impl CostModel {
     }
 }
 
+/// What a plane holds, as known at an engine boundary — the prior the
+/// chunk-representation heuristic combines with a measured run length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneKind {
+    /// Mask bits (0 = good): overwhelmingly constant, often a single run.
+    Mask,
+    /// Per-pixel variance: a constant read-noise floor except under
+    /// sources — long runs on calibrated detectors.
+    Variance,
+    /// Flux / image payload: noise in every pixel, effectively
+    /// incompressible; only strongly runny planes (zero-padded patch
+    /// borders) are worth an encode pass.
+    Flux,
+    /// Anything else (labels, model outputs, staging buffers).
+    Other,
+}
+
+/// Should a chunk of `kind` attempt compression before crossing the next
+/// engine boundary, given the mean bit-pattern run length measured on a
+/// sample of it ([`marray::codec::mean_run_len`])?
+///
+/// The thresholds mirror the codecs' break-even points: an RLE run of
+/// f64s stores 12 bytes (4-byte count + 8-byte value) against 8 bytes per
+/// dense element, so RLE shrinks once runs average >1.5 elements. Masks
+/// always try — they are tiny, usually a single Const run, and skipping
+/// the mask load is what the coadd's run-level fast path feeds on. Flux
+/// pays a full encode scan that almost never shrinks, so it needs clear
+/// run structure before the pass is worth scheduling.
+pub fn choose_repr(kind: PlaneKind, mean_run_len: f64) -> bool {
+    match kind {
+        PlaneKind::Mask => true,
+        PlaneKind::Variance | PlaneKind::Other => mean_run_len >= 1.5,
+        PlaneKind::Flux => mean_run_len >= 3.0,
+    }
+}
+
+/// Apply [`choose_repr`] at an engine boundary: measure the run length on
+/// a bounded prefix sample and re-encode when the heuristic says the
+/// crossing wins. Returns `None` (keep the caller's handle) when the
+/// global [`marray::CompressMode`] is off, the array is already
+/// non-dense, the heuristic declines, or no codec actually shrinks it.
+pub fn pack_for_boundary<T: marray::Element>(
+    arr: &marray::NdArray<T>,
+    kind: PlaneKind,
+) -> Option<marray::NdArray<T>> {
+    if marray::compress_mode() == marray::CompressMode::Off
+        || arr.len() < 2
+        || arr.repr() != marray::ChunkRepr::Dense
+    {
+        return None;
+    }
+    let sample = &arr.data()[..arr.len().min(4096)];
+    if !choose_repr(kind, marray::codec::mean_run_len(sample)) {
+        return None;
+    }
+    let packed = arr.compressed();
+    (packed.repr() != marray::ChunkRepr::Dense).then_some(packed)
+}
+
 /// A measured intra-node kernel scaling curve: aggregate speedup over the
 /// single-threaded run at each thread count, obtained by timing a real
 /// parallel kernel on the host (or loaded from a `scibench bench` run).
@@ -358,6 +417,51 @@ mod tests {
             assert!(sp > 0.0, "non-positive speedup at {t} threads");
             assert!(sp <= t as f64 * 1.5, "implausible speedup {sp} at {t}");
         }
+    }
+
+    #[test]
+    fn boundary_packing_follows_plane_kind() {
+        // Mask planes always attempt and a zero mask lands on Const.
+        let mask: marray::NdArray<u8> = marray::NdArray::zeros(&[32, 32]);
+        let packed = pack_for_boundary(&mask, PlaneKind::Mask).expect("mask should pack");
+        assert_eq!(packed.repr(), marray::ChunkRepr::Const);
+        assert_eq!(packed.data(), mask.data());
+
+        // Noise in every pixel: the flux prior declines without scanning.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let noisy = marray::NdArray::<f64>::from_fn(&[24, 24], |_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        });
+        assert!(pack_for_boundary(&noisy, PlaneKind::Flux).is_none());
+
+        // A mostly-constant variance plane (read-noise floor + a few
+        // source pixels) clears the RLE break-even and packs.
+        let mut var = marray::NdArray::full(&[24, 24], 64.0);
+        for p in [5usize, 100, 101, 300] {
+            var.data_mut()[p] = 90.5;
+        }
+        let packed = pack_for_boundary(&var, PlaneKind::Variance).expect("variance should pack");
+        assert_eq!(packed.repr(), marray::ChunkRepr::Rle);
+        assert!(packed.stored_nbytes() < var.nbytes() / 2);
+        assert_eq!(packed.data(), var.data());
+
+        // Already-encoded and degenerate arrays keep the caller's handle.
+        assert!(pack_for_boundary(&packed, PlaneKind::Variance).is_none());
+        let single: marray::NdArray<f64> = marray::NdArray::zeros(&[1]);
+        assert!(pack_for_boundary(&single, PlaneKind::Mask).is_none());
+    }
+
+    #[test]
+    fn choose_repr_thresholds() {
+        assert!(choose_repr(PlaneKind::Mask, 1.0));
+        assert!(!choose_repr(PlaneKind::Variance, 1.2));
+        assert!(choose_repr(PlaneKind::Variance, 1.5));
+        assert!(!choose_repr(PlaneKind::Flux, 2.0));
+        assert!(choose_repr(PlaneKind::Flux, 3.5));
+        assert!(choose_repr(PlaneKind::Other, 4.0));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! implementation froze on the cluster and is therefore not provided
 //! (see [`DASK_ASTRO_STATUS`]); TensorFlow cannot express the use case.
 
+use crate::costmodel::{pack_for_boundary, PlaneKind};
 use engine_rdd::SparkContext;
 use engine_rel::{MyriaConnection, Query, Schema, Value, ValueType};
 use marray::NdArray;
@@ -33,6 +34,25 @@ pub struct AstroResult {
     pub catalogs: BTreeMap<PatchId, Vec<Source>>,
 }
 
+/// Choose chunk representations for an exposure's planes at an engine
+/// ingest boundary: the cost-model heuristic
+/// ([`crate::costmodel::choose_repr`]) packs the mask and any
+/// sufficiently runny variance plane, while noisy flux stays dense. The
+/// clone is a refcount bump when the heuristic declines, an encoded
+/// (smaller) buffer when it packs — downstream kernels' run-level fast
+/// paths consume the encoded forms directly.
+fn pack_exposure(e: &Exposure) -> Exposure {
+    Exposure {
+        visit: e.visit,
+        sensor: e.sensor,
+        bbox: e.bbox,
+        flux: pack_for_boundary(&e.flux, PlaneKind::Flux).unwrap_or_else(|| e.flux.clone()),
+        variance: pack_for_boundary(&e.variance, PlaneKind::Variance)
+            .unwrap_or_else(|| e.variance.clone()),
+        mask: pack_for_boundary(&e.mask, PlaneKind::Mask).unwrap_or_else(|| e.mask.clone()),
+    }
+}
+
 /// Re-type an exposure's u8 mask plane into the engine's f64 blob column.
 ///
 /// This is the only genuinely required copy on the way into the relational
@@ -43,10 +63,13 @@ pub struct AstroResult {
 // scilint: allow(F001, volume index and shape invariants are upheld by the pipeline driver; TODO(flow): propagate Result through the use-case API)
 fn mask_to_blob(mask: &NdArray<u8>) -> Value {
     marray::record_copy("myria.pack-blob", mask.len() * 8);
-    Value::blob(
-        NdArray::from_vec(mask.dims(), mask.data().iter().map(|&m| m as f64).collect())
-            .expect("mask plane"),
-    )
+    let blob = NdArray::from_vec(mask.dims(), mask.data().iter().map(|&m| m as f64).collect())
+        .expect("mask plane");
+    // The freshly re-typed mask is the runniest plane in the pipeline:
+    // pack it so the blob column crosses worker boundaries at its
+    // encoded size.
+    let blob = pack_for_boundary(&blob, PlaneKind::Mask).unwrap_or(blob);
+    Value::blob(blob)
 }
 
 /// Inverse of [`mask_to_blob`] — the matching required copy on the way out.
@@ -112,7 +135,7 @@ pub fn spark(survey: &SkySurvey, partitions: usize) -> AstroResult {
         .visits
         .iter()
         .flatten()
-        .map(|e| (e.visit, Arc::new(e.clone())))
+        .map(|e| (e.visit, Arc::new(pack_exposure(e))))
         .collect();
     let raw = sc.parallelize(records, partitions);
 
@@ -200,8 +223,13 @@ pub fn myria(survey: &SkySurvey, nodes: usize, workers_per_node: usize) -> Astro
                 Value::Int(e.bbox.y0),
                 Value::Int(e.bbox.width as i64),
                 Value::Int(e.bbox.height as i64),
-                Value::blob(e.flux.clone()),
-                Value::blob(e.variance.clone()),
+                Value::blob(
+                    pack_for_boundary(&e.flux, PlaneKind::Flux).unwrap_or_else(|| e.flux.clone()),
+                ),
+                Value::blob(
+                    pack_for_boundary(&e.variance, PlaneKind::Variance)
+                        .unwrap_or_else(|| e.variance.clone()),
+                ),
                 mask_to_blob(&e.mask),
             ]
         })
@@ -585,5 +613,26 @@ mod tests {
     #[test]
     fn dask_status_documented() {
         assert!(DASK_ASTRO_STATUS.contains("froze"));
+    }
+
+    #[test]
+    fn ingest_packing_preserves_planes_and_compresses_masks() {
+        let s = survey();
+        let e = &s.visits[0][0];
+        let packed = pack_exposure(e);
+        // The all-good mask is a single Const run; flux is noise in every
+        // pixel and must stay dense.
+        assert_eq!(packed.mask.repr(), marray::ChunkRepr::Const);
+        assert_eq!(packed.flux.repr(), marray::ChunkRepr::Dense);
+        assert!(packed.stored_nbytes() <= e.nbytes());
+        // Whatever representation the heuristic chose, the pixel values
+        // are untouched.
+        assert_eq!(packed.flux.data(), e.flux.data());
+        assert_eq!(packed.variance.data(), e.variance.data());
+        assert_eq!(packed.mask.data(), e.mask.data());
+        // The re-typed mask blob also crosses the boundary encoded.
+        let blob = mask_to_blob(&e.mask);
+        assert_eq!(blob.as_blob().repr(), marray::ChunkRepr::Const);
+        assert!(blob.nbytes() < e.mask.len());
     }
 }

@@ -38,6 +38,15 @@ impl Subject {
     }
 }
 
+/// Choose a chunk representation for a volume crossing an engine ingest
+/// boundary. dMRI volumes carry noise in every voxel, so the cost-model
+/// heuristic ([`crate::costmodel::choose_repr`]) usually keeps them dense
+/// after a cheap run-length probe — the boundary *chooses*, it does not
+/// blindly encode. Zero-padded or masked-out volumes do pack.
+fn pack_volume(vol: NdArray<f64>) -> NdArray<f64> {
+    crate::costmodel::pack_for_boundary(&vol, crate::costmodel::PlaneKind::Other).unwrap_or(vol)
+}
+
 /// The NLM parameters every implementation shares (matching the reference).
 pub fn nlm_params() -> NlmParams {
     NlmParams {
@@ -82,7 +91,9 @@ pub fn spark(subjects: &[Subject], partitions: usize) -> BTreeMap<u32, NdArray<f
     type ImgRecord = ((u32, u32), Arc<NdArray<f64>>);
     let records: Vec<ImgRecord> = subjects
         .iter()
-        .flat_map(|s| (0..s.gtab.len()).map(move |v| ((s.id, v as u32), Arc::new(s.volume(v)))))
+        .flat_map(|s| {
+            (0..s.gtab.len()).map(move |v| ((s.id, v as u32), Arc::new(pack_volume(s.volume(v)))))
+        })
         .collect();
     let img_rdd = sc.parallelize(records, partitions).cache();
 
@@ -225,7 +236,7 @@ pub fn myria(
                 vec![
                     Value::Int(s.id as i64),
                     Value::Int(v as i64),
-                    Value::blob(s.volume(v)),
+                    Value::blob(pack_volume(s.volume(v))),
                 ]
             })
         })
@@ -349,7 +360,13 @@ pub fn dask(subjects: &[Subject], workers: usize) -> BTreeMap<u32, NdArray<f64>>
     // Build the whole graph first (delayed), then one barrier per subject.
     let mut targets: Vec<(u32, Delayed<NdArray<f64>>)> = Vec::new();
     for s in subjects {
-        let subj = s.clone();
+        // Boundary probe at graph-load time: the loaded subject carries
+        // whatever representation the cost model chose.
+        let subj = Subject {
+            id: s.id,
+            data: Arc::new(pack_volume(s.data.as_ref().clone())),
+            gtab: Arc::clone(&s.gtab),
+        };
         let loaded = client.delayed(move || subj);
         let mean = client.delayed_map(loaded, |s: &Subject| {
             let b0s = s.gtab.b0s_mask();
@@ -434,7 +451,9 @@ pub fn tensorflow(subjects: &[Subject]) -> TfNeuroOutput {
         let out = session
             .run(
                 &g1,
-                &[(p, s.data.as_ref().clone())].into_iter().collect(),
+                &[(p, pack_volume(s.data.as_ref().clone()))]
+                    .into_iter()
+                    .collect(),
                 &[mean],
             )
             .expect("graph 1 runs");
@@ -507,9 +526,12 @@ pub fn scidb(subjects: &[Subject]) -> ScidbNeuroOutput {
 
     for s in subjects {
         let dims = s.data.dims().to_vec();
-        // Chunk one volume per chunk along the volume axis.
+        // Chunk one volume per chunk along the volume axis. The boundary
+        // probe picks the ingest representation; `from_array` keeps it
+        // chunk-by-chunk.
         let chunk_dims = vec![dims[0], dims[1], dims[2], 1];
-        let stored = db.from_array(&s.data, &chunk_dims).expect("ingest");
+        let ingest = pack_volume(s.data.as_ref().clone());
+        let stored = db.from_array(&ingest, &chunk_dims).expect("ingest");
 
         // Figure 5: compress(b0s_mask, axis=3) then mean(index=3).
         let filtered = stored.compress(&s.gtab.b0s_mask(), 3).expect("compress");

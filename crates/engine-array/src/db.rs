@@ -110,9 +110,19 @@ impl ArrayDb {
         let grid = ChunkGrid::new(array.dims(), chunk_dims)?;
         // Chunking the client array is the engine's architectural ingest
         // copy (Figure 11's slow path): every cell is rewritten into chunk
-        // storage.
-        marray::record_copy("scidb.ingest-chunking", array.nbytes());
-        let chunks = grid.split(array)?;
+        // storage. The charge is the stored footprint — a compressed
+        // client array crosses the boundary in its encoded form.
+        marray::record_copy("scidb.ingest-chunking", array.stored_nbytes());
+        let mut chunks = grid.split(array)?;
+        // A compressed ingest array stays compressed chunk-by-chunk: each
+        // split chunk re-encodes (or stays dense when its slice no longer
+        // shrinks), so downstream operators see the same representations
+        // the cost-model heuristic chose at the boundary.
+        if array.repr() != marray::ChunkRepr::Dense {
+            for (_, chunk) in &mut chunks {
+                *chunk = chunk.compressed();
+            }
+        }
         Ok(ScidbArray {
             db: self.clone(),
             grid,
@@ -159,7 +169,7 @@ impl ScidbArray {
     /// storage cannot hand out the dense array without rewriting every
     /// chunk, so the rewrite is recorded under `"scidb.materialize"`.
     pub fn materialize(&self) -> Result<NdArray<f64>, ArrayDbError> {
-        let nbytes: usize = self.chunks.iter().map(|(_, c)| c.nbytes()).sum();
+        let nbytes: usize = self.chunks.iter().map(|(_, c)| c.stored_nbytes()).sum();
         marray::record_copy("scidb.materialize", nbytes);
         Ok(self.grid.assemble(&self.chunks)?)
     }

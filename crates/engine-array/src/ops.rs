@@ -47,7 +47,7 @@ impl ScidbArray {
             .map(|(&c, &d)| c.min(d).max(1))
             .collect();
         let grid = ChunkGrid::new(dims, &chunk_dims)?;
-        self.record_rechunk(sub.nbytes());
+        self.record_rechunk(sub.stored_nbytes());
         let chunks = grid.split(&sub)?;
         Ok(ScidbArray {
             db: self.db.clone(),
@@ -75,7 +75,7 @@ impl ScidbArray {
             .map(|(&c, &d)| c.min(d).max(1))
             .collect();
         let grid = ChunkGrid::new(out.dims(), &chunk_dims)?;
-        self.record_rechunk(out.nbytes());
+        self.record_rechunk(out.stored_nbytes());
         let chunks = grid.split(&out)?;
         Ok(ScidbArray {
             db: self.db.clone(),
@@ -103,7 +103,7 @@ impl ScidbArray {
             .map(|(c, &d)| c.min(d).max(1))
             .collect();
         let grid = ChunkGrid::new(out.dims(), &chunk_dims)?;
-        self.record_rechunk(out.nbytes());
+        self.record_rechunk(out.stored_nbytes());
         let chunks = grid.split(&out)?;
         Ok(ScidbArray {
             db: self.db.clone(),
@@ -129,7 +129,7 @@ impl ScidbArray {
             .map(|(c, &d)| c.min(d).max(1))
             .collect();
         let grid = ChunkGrid::new(out.dims(), &chunk_dims)?;
-        self.record_rechunk(out.nbytes());
+        self.record_rechunk(out.stored_nbytes());
         let chunks = grid.split(&out)?;
         Ok(ScidbArray {
             db: self.db.clone(),
@@ -170,7 +170,7 @@ impl ScidbArray {
             out_data.push(f(v, av.data()[i % inner], bv.data()[i % inner]));
         }
         let out = NdArray::from_vec(full.dims(), out_data)?;
-        self.record_rechunk(out.nbytes());
+        self.record_rechunk(out.stored_nbytes());
         let chunks = self.grid.split(&out)?;
         Ok(ScidbArray {
             db: self.db.clone(),
@@ -256,7 +256,7 @@ impl ScidbArray {
             out.data_mut()[off] = sum / count as f64;
         }
         let grid = self.grid.clone();
-        self.record_rechunk(out.nbytes());
+        self.record_rechunk(out.stored_nbytes());
         let chunks = grid.split(&out)?;
         Ok(ScidbArray {
             db: self.db.clone(),
@@ -274,7 +274,7 @@ impl ScidbArray {
         self.record_scan(self.chunks.len() as u64, cells);
         let full = self.materialize()?;
         let grid = ChunkGrid::new(full.dims(), chunk_dims)?;
-        self.record_rechunk(full.nbytes());
+        self.record_rechunk(full.stored_nbytes());
         let chunks = grid.split(&full)?;
         self.db
             .stats

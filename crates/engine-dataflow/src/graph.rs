@@ -234,8 +234,8 @@ impl GraphBuilder {
             .map(|n| {
                 64 + n.inputs.len() as u64 * 8
                     + match &n.kind {
-                        OpKind::Constant { value } => value.nbytes() as u64,
-                        OpKind::Conv3d { kernel } => kernel.nbytes() as u64,
+                        OpKind::Constant { value } => value.stored_nbytes() as u64,
+                        OpKind::Conv3d { kernel } => kernel.stored_nbytes() as u64,
                         OpKind::Gather { indices } => indices.len() as u64 * 8,
                         OpKind::Transpose { perm } => perm.len() as u64 * 8,
                         OpKind::Placeholder { shape } | OpKind::Reshape { dims: shape } => {

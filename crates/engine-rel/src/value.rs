@@ -80,11 +80,13 @@ impl Value {
     }
 
     /// Serialized size in bytes (used for partitioning and cost accounting).
+    /// Blobs charge their stored footprint, so a compressed plane crossing
+    /// a worker boundary costs its encoded bytes, not its dense shape.
     pub fn nbytes(&self) -> usize {
         match self {
             Value::Int(_) | Value::Float(_) => 8,
             Value::Str(s) => s.len(),
-            Value::Blob(b) => b.nbytes(),
+            Value::Blob(b) => b.stored_nbytes(),
         }
     }
 

@@ -245,7 +245,6 @@ fn reserved(key: &str) -> bool {
     )
 }
 
-// scilint: allow(F003, decode copies bytes out of the transport buffer into the array store, the format boundary)
 fn decode_hdu(buf: &[u8], pos: &mut usize, primary: bool) -> Result<TypedHdu> {
     let start = *pos;
     let mut cards = Vec::new();

@@ -145,6 +145,38 @@ impl<T: Element> NdArray<T> {
         }
     }
 
+    /// Re-encode this array's buffer into the smallest compressed
+    /// representation (see [`crate::codec`]), when a codec actually
+    /// shrinks it and the global [`crate::CompressMode`] allows it;
+    /// otherwise a cheap handle clone. Reads through [`NdArray::data`]
+    /// keep working transparently (lazy shared decode); mutation
+    /// materializes a private dense buffer (COW).
+    pub fn compressed(&self) -> NdArray<T> {
+        NdArray {
+            shape: self.shape.clone(),
+            data: self.data.compressed(),
+        }
+    }
+
+    /// The stored representation of this array's buffer.
+    pub fn repr(&self) -> crate::ChunkRepr {
+        self.data.repr()
+    }
+
+    /// The compressed form, when the buffer holds one — run-consuming
+    /// kernels branch on this to do run-level arithmetic instead of
+    /// decoding to per-pixel data.
+    pub fn encoded(&self) -> Option<&crate::Encoded<T>> {
+        self.data.encoded()
+    }
+
+    /// Bytes the stored representation occupies: equals [`NdArray::nbytes`]
+    /// for dense arrays, the encoded footprint for compressed ones — the
+    /// volume that actually crosses an engine boundary carrying this array.
+    pub fn stored_nbytes(&self) -> usize {
+        self.data.stored_nbytes()
+    }
+
     /// A zero-copy view of `len` contiguous row-major elements starting at
     /// flat offset `start` — the slab handle partitioners hand to workers
     /// instead of `data()[lo..hi].to_vec()`.

@@ -31,8 +31,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::codec::{compress_mode, ChunkRepr, CompressMode, Encoded};
 use crate::element::Element;
 
 /// How [`ChunkBuf::clone`] behaves, process-wide.
@@ -69,14 +70,57 @@ thread_local! {
     static SECTION_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
 }
 
-/// Restores the previous mode and section depth even if the closure panics.
-struct ModeGuard(u8);
+/// Restores a global mode cell to its captured value even if the closure
+/// panics. Shared by the copy-mode and compress-mode sections.
+pub(crate) struct RestoreMode {
+    cell: &'static AtomicU8,
+    prev: u8,
+}
 
-impl Drop for ModeGuard {
+impl RestoreMode {
+    /// Capture `cell`'s current value for restoration on drop.
+    pub(crate) fn new(cell: &'static AtomicU8) -> RestoreMode {
+        RestoreMode {
+            cell,
+            prev: cell.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for RestoreMode {
     fn drop(&mut self) {
-        MODE.store(self.0, Ordering::SeqCst);
+        self.cell.store(self.prev, Ordering::SeqCst);
+    }
+}
+
+/// Decrements the section depth on drop.
+struct DepthGuard;
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
         SECTION_DEPTH.with(|d| d.set(d.get() - 1));
     }
+}
+
+/// Run `f` inside a global mode section: mutually exclusive across threads
+/// (the lock is held for the duration of the outermost section), re-entrant
+/// on one thread. [`with_copy_mode`] and [`crate::with_compress_mode`] both
+/// nest through this one lock, so mixed-mode sections cannot deadlock and
+/// counter deltas observed inside one section are not polluted by another
+/// thread's section.
+pub(crate) fn with_mode_section<R>(f: impl FnOnce() -> R) -> R {
+    let outermost = SECTION_DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth == 0
+    });
+    let _depth = DepthGuard;
+    let _section = if outermost {
+        Some(MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+    } else {
+        None
+    };
+    f()
 }
 
 /// Run `f` with the process-wide copy mode set to `mode`, then restore.
@@ -88,19 +132,11 @@ impl Drop for ModeGuard {
 /// by* `f` (engine workers) see the requested mode, as it is
 /// process-global.
 pub fn with_copy_mode<R>(mode: CopyMode, f: impl FnOnce() -> R) -> R {
-    let outermost = SECTION_DEPTH.with(|d| {
-        let depth = d.get();
-        d.set(depth + 1);
-        depth == 0
-    });
-    let _section = if outermost {
-        Some(MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner()))
-    } else {
-        None
-    };
-    let _restore = ModeGuard(MODE.load(Ordering::SeqCst));
-    MODE.store(mode as u8, Ordering::SeqCst);
-    f()
+    with_mode_section(|| {
+        let _restore = RestoreMode::new(&MODE);
+        MODE.store(mode as u8, Ordering::SeqCst);
+        f()
+    })
 }
 
 /// Total deep copies recorded since process start.
@@ -193,79 +229,225 @@ impl CopyStats {
     }
 }
 
+/// The storage behind a [`ChunkBuf`]: dense bytes or a compressed cell.
+#[derive(Debug, Clone)]
+enum Payload<T: Element> {
+    /// Uncompressed shared vector.
+    Dense(Arc<Vec<T>>),
+    /// Compressed form plus a lazily materialized dense cache shared by
+    /// every handle to the cell.
+    Encoded(Arc<EncodedCell<T>>),
+}
+
+/// A compressed buffer with a shared lazy dense cache: readers that need a
+/// slice decode once per cell, not once per handle, and the decode never
+/// disturbs other handles (COW-safe — the encoded form stays authoritative).
+#[derive(Debug)]
+struct EncodedCell<T: Element> {
+    enc: Encoded<T>,
+    dense: OnceLock<Vec<T>>,
+}
+
+impl<T: Element> EncodedCell<T> {
+    /// The dense elements, decoding (counted) on first access.
+    fn dense(&self) -> &Vec<T> {
+        self.dense.get_or_init(|| self.enc.decode_counted())
+    }
+}
+
 /// A reference-counted immutable element buffer: the storage cell behind
 /// [`crate::NdArray`] and the unit shared across engine boundaries.
 ///
 /// Cloning is a refcount bump under [`CopyMode::Shared`]; mutation goes
 /// through [`ChunkBuf::make_mut`], which deep-copies (and records the copy)
 /// only when the buffer is shared.
+///
+/// A buffer may hold a compressed representation ([`ChunkBuf::repr`] says
+/// which; see [`crate::codec`]). Reads through [`ChunkBuf::as_slice`]
+/// materialize a dense cache lazily, shared by every handle to the same
+/// cell; mutation through [`ChunkBuf::make_mut`] / [`ChunkBuf::into_vec`]
+/// leaves the compressed domain with a private dense buffer, so
+/// copy-on-write semantics are preserved exactly.
 #[derive(Debug)]
 pub struct ChunkBuf<T: Element> {
-    buf: Arc<Vec<T>>,
+    payload: Payload<T>,
 }
 
 impl<T: Element> ChunkBuf<T> {
     /// Wrap an owned vector (no copy).
     pub fn from_vec(data: Vec<T>) -> Self {
         ChunkBuf {
-            buf: Arc::new(data),
+            payload: Payload::Dense(Arc::new(data)),
+        }
+    }
+
+    /// Wrap an already-encoded buffer (no copy, no ledger traffic).
+    pub fn from_encoded(enc: Encoded<T>) -> Self {
+        ChunkBuf {
+            payload: Payload::Encoded(Arc::new(EncodedCell {
+                enc,
+                dense: OnceLock::new(),
+            })),
         }
     }
 
     /// The elements, read-only.
+    ///
+    /// For a compressed buffer this materializes the dense cache on first
+    /// access (a counted `"codec.decode"`), shared by every handle to the
+    /// same cell.
     #[inline]
     pub fn as_slice(&self) -> &[T] {
-        &self.buf
+        match &self.payload {
+            Payload::Dense(v) => v,
+            Payload::Encoded(cell) => cell.dense(),
+        }
     }
 
     /// Number of elements.
     #[inline]
     pub fn len(&self) -> usize {
-        self.buf.len()
+        match &self.payload {
+            Payload::Dense(v) => v.len(),
+            Payload::Encoded(cell) => cell.enc.len(),
+        }
     }
 
     /// True when the buffer holds no elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
-    /// Payload size in bytes.
+    /// Logical payload size in bytes (dense footprint, whatever the
+    /// stored representation).
     #[inline]
     pub fn nbytes(&self) -> usize {
-        self.buf.len() * T::BYTES
+        self.len() * T::BYTES
+    }
+
+    /// Bytes the stored representation occupies: the dense footprint for
+    /// [`ChunkRepr::Dense`], the encoded footprint otherwise. This is the
+    /// volume that actually crosses an engine boundary carrying this
+    /// handle, which is what the bytes-moved ledgers charge.
+    pub fn stored_nbytes(&self) -> usize {
+        match &self.payload {
+            Payload::Dense(v) => v.len() * T::BYTES,
+            Payload::Encoded(cell) => cell.enc.encoded_bytes(),
+        }
+    }
+
+    /// The stored representation.
+    pub fn repr(&self) -> ChunkRepr {
+        match &self.payload {
+            Payload::Dense(_) => ChunkRepr::Dense,
+            Payload::Encoded(cell) => cell.enc.repr(),
+        }
+    }
+
+    /// The compressed form, when the buffer holds one. The encoded runs
+    /// stay authoritative even after a dense cache materializes, so
+    /// run-consuming kernels can branch on this without forcing a decode.
+    pub fn encoded(&self) -> Option<&Encoded<T>> {
+        match &self.payload {
+            Payload::Dense(_) => None,
+            Payload::Encoded(cell) => Some(&cell.enc),
+        }
     }
 
     /// Number of handles currently sharing these bytes.
     pub fn ref_count(&self) -> usize {
-        Arc::strong_count(&self.buf)
+        match &self.payload {
+            Payload::Dense(v) => Arc::strong_count(v),
+            Payload::Encoded(cell) => Arc::strong_count(cell),
+        }
     }
 
     /// True when `self` and `other` share the same underlying allocation.
     pub fn ptr_eq(&self, other: &ChunkBuf<T>) -> bool {
-        Arc::ptr_eq(&self.buf, &other.buf)
+        match (&self.payload, &other.payload) {
+            (Payload::Dense(a), Payload::Dense(b)) => Arc::ptr_eq(a, b),
+            (Payload::Encoded(a), Payload::Encoded(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Internal: a handle clone (refcount bump) regardless of the global
+    /// [`CopyMode`] — for representation changes that must never be
+    /// charged as payload copies.
+    // scilint: allow(F003, Payload is an enum of Arcs: cloning it bumps refcounts, never copies chunk bytes)
+    fn handle_clone(&self) -> ChunkBuf<T> {
+        ChunkBuf {
+            payload: self.payload.clone(),
+        }
+    }
+
+    /// Re-encode into the smallest compressed representation, if any codec
+    /// shrinks the buffer and the global [`CompressMode`] allows it;
+    /// otherwise (or for an already-compressed buffer) a handle clone.
+    /// Encodes are counted (`"codec.encode"`).
+    pub fn compressed(&self) -> ChunkBuf<T> {
+        if compress_mode() == CompressMode::Off {
+            return self.handle_clone();
+        }
+        match &self.payload {
+            Payload::Encoded(_) => self.handle_clone(),
+            Payload::Dense(v) => match Encoded::encode_counted(v) {
+                Some(enc) => ChunkBuf::from_encoded(enc),
+                None => self.handle_clone(),
+            },
+        }
+    }
+
+    /// Internal: leave the compressed domain, making the payload dense.
+    ///
+    /// Decoding straight out of the encoded form is counted as a
+    /// `"codec.decode"`; cloning an already-materialized cache is an
+    /// ordinary deep copy under `reason`.
+    fn ensure_dense(&mut self, reason: &str) {
+        if let Payload::Encoded(cell) = &self.payload {
+            let v = match cell.dense.get() {
+                Some(cached) => {
+                    CopyCounter::record(reason, cached.len() * T::BYTES);
+                    cached.clone()
+                }
+                None => cell.enc.decode_counted(),
+            };
+            self.payload = Payload::Dense(Arc::new(v));
+        }
     }
 
     /// Exclusive access for mutation: copy-on-write.
     ///
-    /// If this handle is the sole owner the call is free; otherwise the
-    /// buffer is deep-copied first and the copy is recorded under `reason`.
+    /// If this handle is the sole owner of a dense buffer the call is
+    /// free; a shared buffer is deep-copied first (recorded under
+    /// `reason`), and a compressed buffer is materialized to a private
+    /// dense buffer (the decode is counted).
     // scilint: allow(F001, shape invariant upheld by construction; a violation is a kernel bug, not a data error)
     // scilint: allow(F003, the copy-on-write unshare: the plane's one sanctioned deep copy besides deep_copy())
     pub fn make_mut(&mut self, reason: &str) -> &mut Vec<T> {
-        if Arc::get_mut(&mut self.buf).is_none() {
-            CopyCounter::record(reason, self.nbytes());
-            self.buf = Arc::new(self.buf.as_ref().clone());
+        self.ensure_dense(reason);
+        let Payload::Dense(arc) = &mut self.payload else {
+            unreachable!("ensure_dense leaves a dense payload")
+        };
+        if Arc::get_mut(arc).is_none() {
+            CopyCounter::record(reason, arc.len() * T::BYTES);
+            *arc = Arc::new(arc.as_ref().clone());
         }
-        Arc::get_mut(&mut self.buf).expect("freshly unshared ChunkBuf has a sole owner")
+        Arc::get_mut(arc).expect("freshly unshared ChunkBuf has a sole owner")
     }
 
     /// Consume the handle, returning the owned vector.
     ///
-    /// Free when this handle is the sole owner; otherwise a counted deep
-    /// copy under `reason`.
-    pub fn into_vec(self, reason: &str) -> Vec<T> {
-        match Arc::try_unwrap(self.buf) {
+    /// Free when this handle is the sole owner of a dense buffer;
+    /// otherwise a counted deep copy under `reason` (or a counted decode
+    /// for a compressed buffer).
+    pub fn into_vec(mut self, reason: &str) -> Vec<T> {
+        self.ensure_dense(reason);
+        let Payload::Dense(arc) = self.payload else {
+            unreachable!("ensure_dense leaves a dense payload")
+        };
+        match Arc::try_unwrap(arc) {
             Ok(v) => v,
             Err(shared) => {
                 CopyCounter::record(reason, shared.len() * T::BYTES);
@@ -277,10 +459,12 @@ impl<T: Element> ChunkBuf<T> {
     /// An explicit, always-counted deep copy under `reason`.
     ///
     /// This is the sanctioned escape hatch for copies an engine's
-    /// architectural contract requires regardless of sharing.
+    /// architectural contract requires regardless of sharing. The copy is
+    /// always dense — faithful to the copy-everywhere baseline the eager
+    /// path reproduces.
     pub fn deep_copy(&self, reason: &str) -> ChunkBuf<T> {
         CopyCounter::record(reason, self.nbytes());
-        ChunkBuf::from_vec(self.buf.as_ref().clone())
+        ChunkBuf::from_vec(self.as_slice().to_vec())
     }
 
     /// A zero-copy view of `len` elements starting at `start`.
@@ -289,15 +473,13 @@ impl<T: Element> ChunkBuf<T> {
     /// Panics when the range exceeds the buffer.
     pub fn view(&self, start: usize, len: usize) -> ChunkView<T> {
         assert!(
-            start + len <= self.buf.len(),
+            start + len <= self.len(),
             "ChunkBuf::view: range {start}..{} exceeds buffer of {} elements",
             start + len,
-            self.buf.len()
+            self.len()
         );
         ChunkView {
-            buf: ChunkBuf {
-                buf: Arc::clone(&self.buf),
-            },
+            buf: self.handle_clone(),
             start,
             len,
         }
@@ -309,9 +491,7 @@ impl<T: Element> Clone for ChunkBuf<T> {
     /// (reason `"eager-clone"`) under [`CopyMode::Eager`].
     fn clone(&self) -> Self {
         match copy_mode() {
-            CopyMode::Shared => ChunkBuf {
-                buf: Arc::clone(&self.buf),
-            },
+            CopyMode::Shared => self.handle_clone(),
             CopyMode::Eager => self.deep_copy("eager-clone"),
         }
     }
@@ -509,6 +689,86 @@ mod tests {
     fn view_out_of_range_panics() {
         let a = buf(4);
         let _ = a.view(2, 3);
+    }
+
+    #[test]
+    fn compressed_buffer_decodes_lazily_and_shares_the_cache() {
+        with_copy_mode(CopyMode::Shared, || {
+            let a = ChunkBuf::from_vec(vec![2.5f64; 4096]);
+            let c = a.compressed();
+            assert_eq!(c.repr(), ChunkRepr::Const);
+            assert_eq!(c.len(), 4096);
+            assert_eq!(c.nbytes(), 4096 * 8);
+            assert!(c.stored_nbytes() < 64, "const chunk stays tiny");
+
+            let before = CopyCounter::snapshot();
+            let d = c.clone(); // handle clone of the encoded cell
+            assert!(c.ptr_eq(&d));
+            // First read decodes (counted once); the clone reuses the cache.
+            assert_eq!(c.as_slice()[7], 2.5);
+            assert_eq!(d.as_slice()[7], 2.5);
+            let delta = CopyCounter::snapshot().since(&before);
+            assert_eq!(
+                delta.by_reason.get("codec.decode").map(|r| r.copies),
+                Some(1),
+                "one shared decode for two handles"
+            );
+        });
+    }
+
+    #[test]
+    fn make_mut_on_compressed_buffer_goes_private_dense() {
+        with_copy_mode(CopyMode::Shared, || {
+            let a = ChunkBuf::from_vec(vec![1.0f64; 512]).compressed();
+            let keep = a.clone();
+            let mut b = a.clone();
+            b.make_mut("cow")[0] = 9.0;
+            assert_eq!(b.repr(), ChunkRepr::Dense);
+            assert_eq!(b.as_slice()[0], 9.0);
+            // The other handles still see the encoded original.
+            assert_eq!(keep.repr(), ChunkRepr::Const);
+            assert_eq!(keep.as_slice()[0], 1.0);
+        });
+    }
+
+    #[test]
+    fn eager_clone_of_compressed_buffer_is_a_dense_deep_copy() {
+        let a = with_copy_mode(CopyMode::Shared, || {
+            ChunkBuf::from_vec(vec![4.0f64; 256]).compressed()
+        });
+        with_copy_mode(CopyMode::Eager, || {
+            let before = CopyCounter::snapshot();
+            let b = a.clone();
+            assert_eq!(b.repr(), ChunkRepr::Dense);
+            assert_eq!(b.as_slice(), a.as_slice());
+            let delta = CopyCounter::snapshot().since(&before);
+            assert!(delta.by_reason.contains_key("eager-clone"));
+        });
+    }
+
+    #[test]
+    fn compress_mode_off_keeps_buffers_dense() {
+        crate::codec::with_compress_mode(CompressMode::Off, || {
+            let a = ChunkBuf::from_vec(vec![0.0f64; 1024]);
+            let c = a.compressed();
+            assert_eq!(c.repr(), ChunkRepr::Dense);
+            assert!(a.ptr_eq(&c), "Off-mode compressed() is a handle clone");
+        });
+    }
+
+    #[test]
+    fn incompressible_buffer_stays_dense() {
+        let a = ChunkBuf::from_vec((0..257).map(|i| (i * i) as f64).collect::<Vec<_>>());
+        let c = a.compressed();
+        assert_eq!(c.repr(), ChunkRepr::Dense);
+        assert!(a.ptr_eq(&c));
+    }
+
+    #[test]
+    fn views_over_compressed_buffers_read_through() {
+        let a = ChunkBuf::from_vec(vec![3.0f64; 64]).compressed();
+        let v = a.view(8, 4);
+        assert_eq!(v.as_slice(), &[3.0, 3.0, 3.0, 3.0]);
     }
 
     #[test]

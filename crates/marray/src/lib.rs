@@ -29,6 +29,7 @@
 mod array;
 mod chunk;
 mod chunkstore;
+pub mod codec;
 mod element;
 mod error;
 mod mask;
@@ -41,6 +42,10 @@ pub use chunk::{ChunkGrid, ChunkIx};
 pub use chunkstore::{
     copy_mode, record_copy, with_copy_mode, ChunkBuf, ChunkView, CopyCounter, CopyMode, CopyStats,
     ReasonStats,
+};
+pub use codec::{
+    compress_mode, with_compress_mode, ChunkRepr, CodecCounter, CodecReprStats, CodecStats,
+    CompressMode, Encoded,
 };
 pub use element::Element;
 pub use error::{ArrayError, Result};

@@ -1,0 +1,5 @@
+pub fn repack(chunks: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    // A representation change outside the codec boundary: the payload walk
+    // is unmetered, so C001 must flag it.
+    chunks.iter().map(|chunk| chunk.clone()).collect()
+}

@@ -34,7 +34,7 @@ fn fires(report: &Report, rule: &str) -> bool {
 /// The F-family fixtures parse under `engine-rdd` — a flow-root crate, so
 /// their `pub fn entry` becomes an analysis root and the helper's sink is
 /// reachable interprocedurally.
-const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 16] = [
+const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 17] = [
     ("D001", "engine-rdd", "d001_bad.rs", "d001_good.rs"),
     ("D002", "engine-rdd", "d002_bad.rs", "d002_good.rs"),
     ("D003", "engine-rdd", "d003_bad.rs", "d003_good.rs"),
@@ -45,6 +45,12 @@ const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 16] = [
     ("N003", "sciops", "n003_bad.rs", "n003_good.rs"),
     ("H001", "formats", "h001_bad.rs", "h001_good.rs"),
     ("C001", "engine-rdd", "c001_bad.rs", "c001_good.rs"),
+    (
+        "C001",
+        "engine-rdd",
+        "c001_codec_bad.rs",
+        "c001_codec_good.rs",
+    ),
     ("S001", "engine-rdd", "s001_bad.rs", "s001_good.rs"),
     ("S003", "engine-rdd", "s003_bad.rs", "s003_good.rs"),
     ("F001", "engine-rdd", "f001_bad.rs", "f001_good.rs"),

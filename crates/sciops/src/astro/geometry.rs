@@ -86,6 +86,13 @@ impl Exposure {
         self.flux.nbytes() + self.variance.nbytes() + self.mask.nbytes()
     }
 
+    /// Bytes the three planes' stored representations occupy — what the
+    /// exposure actually costs to carry across an engine boundary when
+    /// some planes are compressed (see `marray::codec`).
+    pub fn stored_nbytes(&self) -> usize {
+        self.flux.stored_nbytes() + self.variance.stored_nbytes() + self.mask.stored_nbytes()
+    }
+
     /// Cut out the part of this exposure that falls inside `region`,
     /// producing a new exposure whose bbox is the intersection.
     /// Returns `None` when there is no overlap.

@@ -84,15 +84,26 @@ pub fn fit_dtm_voxel(signals: &[f64], gtab: &GradientTable) -> Option<DtmFit> {
         let row = design_row(gtab.bvals[i], &gtab.bvecs[i]);
         let w = s * s; // WLS weight
         let y = s.ln();
+        // ata is symmetric, so accumulate only the upper triangle and
+        // mirror it once after the sample loop — ~45% fewer multiplies per
+        // sample. The product is associated as w·(row[r]·row[c]): IEEE
+        // multiplication is commutative in the result bits, so the mirror
+        // equals what direct lower-triangle accumulation would produce.
         for r in 0..N {
-            atb[r] += w * row[r] * y;
-            for c in 0..N {
-                ata[r * N + c] += w * row[r] * row[c];
+            let wr = w * row[r];
+            atb[r] += wr * y;
+            for c in r..N {
+                ata[r * N + c] += w * (row[r] * row[c]);
             }
         }
     }
     if usable < N {
         return None;
+    }
+    for r in 1..N {
+        for c in 0..r {
+            ata[r * N + c] = ata[c * N + r];
+        }
     }
     let x = solve(&ata, &atb, N)?;
     Some(DtmFit {
@@ -143,15 +154,14 @@ pub fn fit_dtm_volume_full_par(
     let fitted = pool.map_ranges(n_spatial, |_, range| {
         let mut fa_batch = vec![0.0f64; range.len()];
         let mut md_batch = vec![0.0f64; range.len()];
-        let mut signals = vec![0.0f64; n_vols];
         for (slot, voxel) in range.clone().enumerate() {
             if !mask.get_flat(voxel) {
                 continue;
             }
-            // Row-major (x,y,z,v): the volume axis is contiguous per voxel.
+            // Row-major (x,y,z,v): the volume axis is contiguous per voxel,
+            // so the fit reads the signal lane in place — no staging copy.
             let base = voxel * n_vols;
-            signals.copy_from_slice(&raw[base..base + n_vols]);
-            if let Some(fit) = fit_dtm_voxel(&signals, gtab) {
+            if let Some(fit) = fit_dtm_voxel(&raw[base..base + n_vols], gtab) {
                 fa_batch[slot] = fit.fa();
                 md_batch[slot] = fit.md();
             }

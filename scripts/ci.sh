@@ -45,7 +45,8 @@ echo "== scibench bench e2e --quick (copy accounting, eager vs shared)"
 # committed BENCH_e2e.json still speaks the schema the tool emits.
 tmp_e2e="$(mktemp)"
 tmp_skew="$(mktemp)"
-trap 'rm -f "$tmp_e2e" "$tmp_skew" "$tmp_flow"' EXIT
+tmp_compress="$(mktemp)"
+trap 'rm -f "$tmp_e2e" "$tmp_skew" "$tmp_compress" "$tmp_flow"' EXIT
 cargo run --release -q -p scibench-bench --bin scibench -- bench e2e --quick --out "$tmp_e2e"
 schema_line='"schema": "scibench-bench-e2e/v1"'
 grep -qF "$schema_line" "$tmp_e2e" || {
@@ -68,6 +69,22 @@ grep -qF "$skew_schema" "$tmp_skew" || {
 grep -qF "$skew_schema" BENCH_skew.json || {
   echo "ci: FAIL - committed BENCH_skew.json schema drifted from $skew_schema" >&2
   echo "     regenerate it: cargo run --release -p scibench-bench --bin scibench -- bench skew --out BENCH_skew.json" >&2
+  exit 1; }
+
+echo "== scibench bench compress --quick (codec ratios + run-level kernel wins)"
+# Measures per-plane compression at the engine ingest boundary, runs the
+# run-level kernel fast paths against their dense twins, and replays two
+# full pipelines under CompressMode Off and Auto (the tool exits non-zero
+# on a fingerprint divergence, a mask/variance ratio below 2x, or a kernel
+# row with neither a time nor a bytes-moved win). Also checks the committed
+# BENCH_compress.json still speaks the schema the tool emits.
+cargo run --release -q -p scibench-bench --bin scibench -- bench compress --quick --out "$tmp_compress"
+compress_schema='"schema": "scibench-bench-compress/v1"'
+grep -qF "$compress_schema" "$tmp_compress" || {
+  echo "ci: FAIL - bench compress no longer emits $compress_schema" >&2; exit 1; }
+grep -qF "$compress_schema" BENCH_compress.json || {
+  echo "ci: FAIL - committed BENCH_compress.json schema drifted from $compress_schema" >&2
+  echo "     regenerate it: cargo run --release -p scibench-bench --bin scibench -- bench compress --out BENCH_compress.json" >&2
   exit 1; }
 
 echo "ci: all gates passed"
