@@ -26,15 +26,11 @@
 //! gate). `bench` and `perf-smoke` honor `--threads N` and the
 //! `SCIBENCH_THREADS` environment variable.
 
-use engine_rel::ExecutionMode;
 use parexec::{parse_threads, Parallelism};
 use plancheck::{check, Code, Report};
-use scibench_bench::{compress, e2e, kernels, skew};
-use scibench_core::experiments::{tuned_partitions, Setup};
-use scibench_core::lower::{astro, ingest, neuro, steps, Engine};
-use scibench_core::workload::{AstroWorkload, NeuroWorkload};
-
-const NODE_SWEEP: [usize; 2] = [16, 64];
+use scibench_bench::{compress, e2e, hostinfo, kernels, memo, plans, skew};
+use scibench_core::experiments::Setup;
+use scibench_core::lower::Engine;
 
 fn is_memory(code: Code) -> bool {
     matches!(code, Code::M001 | Code::M002 | Code::M003 | Code::M004)
@@ -123,140 +119,11 @@ impl Lint {
 
 fn lint(verbose: bool) -> i32 {
     let mut l = Lint::new(verbose);
-    let setup = Setup::default();
 
-    // Neuroscience, end-to-end and partial pipelines, Figure 10's sweep.
-    for &nodes in &NODE_SWEEP {
-        for w in NeuroWorkload::sweep() {
-            for engine in [
-                Engine::Dask,
-                Engine::Myria,
-                Engine::Spark,
-                Engine::TensorFlow,
-                Engine::SciDb,
-            ] {
-                let cluster = setup.cluster_for(engine, nodes);
-                let g = match engine {
-                    Engine::Spark => neuro::spark(
-                        &w,
-                        &setup.cm,
-                        &setup.profiles,
-                        &cluster,
-                        Some(tuned_partitions(&cluster)),
-                        true,
-                    ),
-                    Engine::Myria => neuro::myria(&w, &setup.cm, &setup.profiles, &cluster),
-                    Engine::Dask => neuro::dask(&w, &setup.cm, &setup.profiles, &cluster),
-                    Engine::TensorFlow => {
-                        neuro::tensorflow(&w, &setup.cm, &setup.profiles, &cluster)
-                    }
-                    Engine::SciDb => {
-                        neuro::scidb_steps(&w, &setup.cm, &setup.profiles, &cluster, true)
-                    }
-                };
-                let name = format!(
-                    "neuro e2e        {:<10} subjects={:<2} nodes={nodes}",
-                    engine.name(),
-                    w.subjects
-                );
-                l.row(&name, engine, &g, &cluster, false);
-            }
-        }
-    }
-
-    // Astronomy: Spark, Myria's three memory-management modes, and the
-    // SciDB co-addition step, over Figure 10's visit sweep.
-    for &nodes in &NODE_SWEEP {
-        for w in AstroWorkload::sweep() {
-            let cluster = setup.cluster_for(Engine::Spark, nodes);
-            let g = astro::spark(&w, &setup.cm, &setup.profiles, &cluster);
-            let name = format!(
-                "astro e2e        {:<10} visits={:<2}   nodes={nodes}",
-                "Spark", w.visits
-            );
-            l.row(&name, Engine::Spark, &g, &cluster, false);
-
-            let cluster = setup.cluster_for(Engine::Myria, nodes);
-            // Figure 15: pipelined execution exhausts memory only in the
-            // full 24-visit configuration on 16 nodes (the two hottest
-            // patches hash to one worker); both disk-backed modes stay
-            // within budget everywhere.
-            let oom = nodes == 16 && w.visits == 24;
-            for (mode, tag, expect_oom) in [
-                (ExecutionMode::Pipelined, "pipelined", oom),
-                (ExecutionMode::Materialized, "materialized", false),
-                (ExecutionMode::MultiQuery { pieces: 4 }, "multiquery", false),
-            ] {
-                let (g, _strict) = astro::myria(&w, &setup.cm, &setup.profiles, &cluster, mode);
-                let name = format!(
-                    "astro {tag:<10} {:<10} visits={:<2}   nodes={nodes}",
-                    "Myria", w.visits
-                );
-                l.row(&name, Engine::Myria, &g, &cluster, expect_oom);
-            }
-
-            let cluster = setup.cluster_for(Engine::SciDb, nodes);
-            let g = astro::scidb_coadd(&w, &setup.cm, &setup.profiles, &cluster, 1000);
-            let name = format!(
-                "astro coadd      {:<10} visits={:<2}   nodes={nodes}",
-                "SciDB", w.visits
-            );
-            l.row(&name, Engine::SciDb, &g, &cluster, false);
-        }
-    }
-
-    // Ingest, Figure 11's six configurations at the largest subject count.
-    let w = NeuroWorkload { subjects: 25 };
-    for &nodes in &NODE_SWEEP {
-        let configs: [(&str, Engine); 6] = [
-            ("Dask", Engine::Dask),
-            ("Myria", Engine::Myria),
-            ("Spark", Engine::Spark),
-            ("TensorFlow", Engine::TensorFlow),
-            ("SciDB-1", Engine::SciDb),
-            ("SciDB-2", Engine::SciDb),
-        ];
-        for (label, engine) in configs {
-            let cluster = setup.cluster_for(engine, nodes);
-            let g = match label {
-                "Dask" => ingest::dask(&w, &setup.cm, &setup.profiles, &cluster),
-                "Myria" => ingest::myria(&w, &setup.cm, &setup.profiles, &cluster),
-                "Spark" => ingest::spark(&w, &setup.cm, &setup.profiles, &cluster),
-                "TensorFlow" => ingest::tensorflow(&w, &setup.cm, &setup.profiles, &cluster),
-                "SciDB-1" => ingest::scidb_from_array(&w, &setup.cm, &setup.profiles, &cluster),
-                _ => ingest::scidb_aio(&w, &setup.cm, &setup.profiles, &cluster),
-            };
-            let name = format!("ingest           {label:<10} subjects=25 nodes={nodes}");
-            l.row(&name, engine, &g, &cluster, false);
-        }
-    }
-
-    // Individual steps, Figure 12's per-operation comparisons.
-    for engine in [
-        Engine::Spark,
-        Engine::Myria,
-        Engine::Dask,
-        Engine::TensorFlow,
-        Engine::SciDb,
-    ] {
-        let cluster = setup.cluster_for(engine, 16);
-        for (step, g) in [
-            (
-                "filter",
-                steps::filter_step(engine, &w, &setup.cm, &setup.profiles, &cluster),
-            ),
-            (
-                "mean",
-                steps::mean_step(engine, &w, &setup.cm, &setup.profiles, &cluster),
-            ),
-            (
-                "denoise",
-                steps::denoise_step(engine, &w, &setup.cm, &setup.profiles, &cluster),
-            ),
-        ] {
-            let name = format!("step {step:<12} {:<10} subjects=25 nodes=16", engine.name());
-            l.row(&name, engine, &g, &cluster, false);
-        }
+    // The shipped-configuration catalog: one enumeration shared with the
+    // `--memo` cacheability sweep, so the two gates check the same plans.
+    for c in plans::shipped_configs(&Setup::default()) {
+        l.row(&c.name, c.engine, &c.graph, &c.cluster, c.memory_expected);
     }
 
     // The source gate rides along: `scibench lint` also runs sciflow, the
@@ -311,6 +178,65 @@ fn lint(verbose: bool) -> i32 {
     }
 }
 
+/// `scibench lint --memo`: the memoization-soundness sweep. Certifies
+/// every shipped lowering with [`scimemo`] (purity verdicts joined with
+/// canonical plan fingerprints) and emits the `scimemo/v1` report to
+/// stdout or `--out`. Human-readable progress goes to stderr so the JSON
+/// stream stays clean, mirroring the bench subcommands.
+fn lint_memo(out_path: Option<std::path::PathBuf>) -> i32 {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/bench sits two levels below the workspace root");
+    eprintln!("memo lint: certifying every shipped lowering for result-cache soundness...");
+    let sweep = match memo::run_memo(root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: workspace unreadable: {e}");
+            return 1;
+        }
+    };
+    for (family, (tasks, certified)) in sweep.report.family_certified() {
+        eprintln!("  {family:<8} {certified:>5}/{tasks:<5} tasks certified");
+    }
+    for fx in &sweep.report.fixtures {
+        let rejected: Vec<_> = fx.cert.rejections().collect();
+        match rejected.first() {
+            Some(n) => {
+                eprintln!("  fixture  {} rejected: {}", fx.name, n.reason);
+                for hop in &n.witness {
+                    eprintln!("             {hop}");
+                }
+            }
+            None => eprintln!("  fixture  {} NOT rejected", fx.name),
+        }
+    }
+    let json = sweep.report.to_json();
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &json) {
+                eprintln!("error: cannot write {}: {e}", p.display());
+                return 1;
+            }
+            eprintln!("wrote {}", p.display());
+        }
+        None => print!("{json}"),
+    }
+    if sweep.failures.is_empty() {
+        eprintln!(
+            "memo lint: {} configs certified, unsafe fixture rejected",
+            sweep.report.configs.len()
+        );
+        0
+    } else {
+        eprintln!("memo lint: {} failure(s):", sweep.failures.len());
+        for f in &sweep.failures {
+            eprintln!("  {f}");
+        }
+        1
+    }
+}
+
 /// Default thread ladder for `scibench bench`: serial anchor plus the
 /// counts the Figure 13 analysis cares about.
 const BENCH_LADDER: [usize; 4] = [1, 2, 4, 8];
@@ -360,9 +286,7 @@ fn bench_e2e(args: &[String]) -> i32 {
         }
     }
 
-    let host = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let host = hostinfo::available_parallelism();
     eprintln!(
         "e2e copy accounting: each pipeline under the eager (copy-everywhere) baseline, \
          then on the shared data plane{}...",
@@ -439,9 +363,7 @@ fn bench_skew(args: &[String]) -> i32 {
         }
     }
 
-    let host = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let host = hostinfo::available_parallelism();
     if host == 1 {
         eprintln!(
             "note: one-core host — live thread timings below are not a parallel \
@@ -534,9 +456,7 @@ fn bench_compress(args: &[String]) -> i32 {
         }
     }
 
-    let host = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let host = hostinfo::available_parallelism();
     eprintln!(
         "compress bench: codec ratios at the engine boundary, run-level kernels \
          compressed vs dense, and Off-vs-Auto pipeline fingerprints{}...",
@@ -669,9 +589,7 @@ fn bench(args: &[String]) -> i32 {
     levels.sort_unstable();
     levels.dedup();
 
-    let host = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let host = hostinfo::available_parallelism();
     if host == 1 {
         eprintln!("==========================================================================");
         eprintln!("WARNING: this host exposes only ONE hardware thread.");
@@ -773,6 +691,10 @@ fn usage() -> i32 {
     eprintln!();
     eprintln!("  lint        statically verify every shipped lowering with plancheck");
     eprintln!("              options: [--verbose]");
+    eprintln!("  lint --memo certify every shipped lowering for result-cache soundness");
+    eprintln!("              (scimemo purity x fingerprint join) and emit the");
+    eprintln!("              scimemo/v1 JSON report");
+    eprintln!("              options: [--out PATH]");
     eprintln!("  bench       time the five hottest kernels across thread counts and");
     eprintln!("              emit BENCH_kernels.json");
     eprintln!("              options: [--threads N] [--out PATH]");
@@ -800,17 +722,40 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("lint") => {
+            const USAGE: &str =
+                "usage: scibench lint [--verbose] | scibench lint --memo [--out PATH]";
             let mut verbose = false;
+            let mut memo_mode = false;
+            let mut out_path: Option<std::path::PathBuf> = None;
             let mut bad = None;
-            for a in &args[1..] {
-                match a.as_str() {
+            let rest = &args[1..];
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
                     "--verbose" | "-v" => verbose = true,
+                    "--memo" => memo_mode = true,
+                    "--out" => {
+                        let Some(p) = rest.get(i + 1) else {
+                            eprintln!("error: --out requires a path");
+                            eprintln!("{USAGE}");
+                            std::process::exit(2);
+                        };
+                        out_path = Some(std::path::PathBuf::from(p));
+                        i += 1;
+                    }
                     other => bad = Some(other.to_string()),
                 }
+                i += 1;
             }
             if let Some(flag) = bad {
                 eprintln!("error: unknown argument `{flag}`");
-                eprintln!("usage: scibench lint [--verbose]");
+                eprintln!("{USAGE}");
+                2
+            } else if memo_mode {
+                lint_memo(out_path)
+            } else if out_path.is_some() {
+                eprintln!("error: --out only applies to `lint --memo`");
+                eprintln!("{USAGE}");
                 2
             } else {
                 lint(verbose)

@@ -368,17 +368,7 @@ pub fn results_to_json(run: &CompressRun, host_parallelism: usize, quick: bool) 
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"scibench-bench-compress/v1\",\n");
-    out.push_str("  \"host\": {\n");
-    out.push_str(&format!(
-        "    \"available_parallelism\": {host_parallelism},\n"
-    ));
-    // Same single-core flag the kernels and e2e artifacts carry: wall
-    // times from a one-core host are not a parallel measurement.
-    out.push_str(&format!(
-        "    \"single_core_host\": {}\n",
-        host_parallelism == 1
-    ));
-    out.push_str("  },\n");
+    out.push_str(&crate::hostinfo::host_block(host_parallelism));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"planes\": [\n");
     for (i, p) in run.planes.iter().enumerate() {

@@ -316,17 +316,7 @@ pub fn results_to_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"scibench-bench-e2e/v1\",\n");
-    out.push_str("  \"host\": {\n");
-    out.push_str(&format!(
-        "    \"available_parallelism\": {host_parallelism},\n"
-    ));
-    // Wall times from a one-core host are not a parallel measurement;
-    // flag them the same way BENCH_kernels.json does.
-    out.push_str(&format!(
-        "    \"single_core_host\": {}\n",
-        host_parallelism == 1
-    ));
-    out.push_str("  },\n");
+    out.push_str(&crate::hostinfo::host_block(host_parallelism));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {

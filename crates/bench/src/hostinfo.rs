@@ -1,0 +1,41 @@
+//! The shared `"host"` block of every bench JSON artifact.
+//!
+//! All four emitters (`BENCH_kernels.json`, `BENCH_e2e.json`,
+//! `BENCH_skew.json`, `BENCH_compress.json`) stamp the host's available
+//! parallelism and the single-core flag so a ~1x curve or a serial wall
+//! time from a one-core host can never be mistaken for a real parallel
+//! measurement. One writer here keeps the four schemas byte-compatible.
+
+/// Detect the host's available parallelism (1 when the query fails).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Render the shared host block, indented for a top-level JSON object:
+/// `  "host": {...},` plus the trailing newline.
+pub fn host_block(host_parallelism: usize) -> String {
+    format!(
+        "  \"host\": {{\n    \"available_parallelism\": {host_parallelism},\n    \
+         \"single_core_host\": {}\n  }},\n",
+        host_parallelism == 1
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_flag_tracks_parallelism() {
+        assert!(host_block(1).contains("\"single_core_host\": true"));
+        assert!(host_block(8).contains("\"single_core_host\": false"));
+        assert!(host_block(8).contains("\"available_parallelism\": 8"));
+    }
+
+    #[test]
+    fn detection_reports_at_least_one() {
+        assert!(available_parallelism() >= 1);
+    }
+}

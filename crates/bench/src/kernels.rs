@@ -307,17 +307,7 @@ pub fn results_to_json(results: &[BenchResult], host_parallelism: usize) -> Stri
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"scibench-bench-kernels/v1\",\n");
-    out.push_str("  \"host\": {\n");
-    out.push_str(&format!(
-        "    \"available_parallelism\": {host_parallelism},\n"
-    ));
-    // Flagged explicitly so a ~1x curve from a one-core host can never be
-    // mistaken for a real scaling measurement.
-    out.push_str(&format!(
-        "    \"single_core_host\": {}\n",
-        host_parallelism == 1
-    ));
-    out.push_str("  },\n");
+    out.push_str(&crate::hostinfo::host_block(host_parallelism));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(

@@ -9,5 +9,8 @@
 
 pub mod compress;
 pub mod e2e;
+pub mod hostinfo;
 pub mod kernels;
+pub mod memo;
+pub mod plans;
 pub mod skew;

@@ -292,17 +292,7 @@ pub fn results_to_json(run: &SkewRun, host_parallelism: usize, quick: bool) -> S
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"scibench-bench-skew/v1\",\n");
-    out.push_str("  \"host\": {\n");
-    out.push_str(&format!(
-        "    \"available_parallelism\": {host_parallelism},\n"
-    ));
-    // Live thread timings from a one-core host are not a parallel
-    // measurement; the model numbers are the headline there.
-    out.push_str(&format!(
-        "    \"single_core_host\": {}\n",
-        host_parallelism == 1
-    ));
-    out.push_str("  },\n");
+    out.push_str(&crate::hostinfo::host_block(host_parallelism));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"patches\": {},\n", run.patches));
     out.push_str(&format!("  \"morsels\": {},\n", run.morsels));

@@ -1,0 +1,80 @@
+//! Cross-process determinism of the `scimemo/v1` report: a result cache
+//! keyed by plan fingerprints is only trustworthy if the certification
+//! itself is reproducible, so the full memo sweep — config lowering,
+//! purity analysis, fingerprinting, and JSON rendering — must be
+//! byte-identical across *separate processes*.
+//!
+//! Per-process state (hash seeds, allocator layout, environment) cannot
+//! leak into the report without failing here: the parent re-execs this
+//! test binary twice with `SCIBENCH_MEMO_CHILD=1` and compares digests of
+//! the JSON the children print.
+
+use scibench_bench::memo;
+use std::path::Path;
+use std::process::Command;
+
+const CHILD_ENV: &str = "SCIBENCH_MEMO_CHILD";
+
+/// FNV-1a over the rendered report: stable, dependency-free fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn report_json() -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/bench sits two levels below the workspace root");
+    let sweep = memo::run_memo(root).expect("workspace readable");
+    assert_eq!(sweep.failures, Vec::<String>::new());
+    sweep.report.to_json()
+}
+
+/// Child half: prints the report digest when invoked by the parent,
+/// no-ops in a normal `cargo test` run.
+#[test]
+fn child_digest() {
+    if std::env::var(CHILD_ENV).is_err() {
+        return;
+    }
+    println!("DIGEST={:016x}", fnv1a(report_json().as_bytes()));
+}
+
+/// Parent half: two fresh processes must render byte-identical reports.
+#[test]
+fn scimemo_report_is_byte_identical_across_processes() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let digest_of_run = || {
+        let out = Command::new(&exe)
+            .args(["--exact", "child_digest", "--nocapture", "--test-threads=1"])
+            .env(CHILD_ENV, "1")
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            out.status.success(),
+            "child run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        // With --nocapture the digest may share a line with the harness's
+        // `test child_digest ...` prefix, so match anywhere in the line.
+        stdout
+            .lines()
+            .find_map(|l| l.split_once("DIGEST=").map(|(_, d)| d.trim().to_string()))
+            .unwrap_or_else(|| panic!("no DIGEST line in child output:\n{stdout}"))
+    };
+    let first = digest_of_run();
+    let second = digest_of_run();
+    assert_eq!(
+        first, second,
+        "scimemo/v1 report depends on per-process state"
+    );
+    // And the in-process rendering matches too: the report is a pure
+    // function of the workspace, not of any per-process state.
+    assert_eq!(first, format!("{:016x}", fnv1a(report_json().as_bytes())));
+}

@@ -126,7 +126,75 @@ impl EngineProfiles {
             Engine::SciDb => self.arr.invariants(),
         }
     }
+
+    /// The operator → kernel binding tables for `engine`'s lowerings, for
+    /// the scimemo cacheability certifier: the engine's own table first,
+    /// then [`SHARED_OP_BINDINGS`] for the labels the cross-engine
+    /// lowerings (`astro:*`, `ingest:*`, bare step names) emit. First
+    /// match wins; an unlisted label is deliberately unbound and the
+    /// certifier treats it as unsafe.
+    pub fn op_bindings(&self, engine: Engine) -> [&'static [plancheck::OpBinding]; 2] {
+        let own = match engine {
+            Engine::Spark => self.rdd.op_bindings(),
+            Engine::Myria => self.rel.op_bindings(),
+            Engine::Dask => self.tg.op_bindings(),
+            Engine::TensorFlow => self.df.op_bindings(),
+            Engine::SciDb => self.arr.op_bindings(),
+        };
+        [own, SHARED_OP_BINDINGS]
+    }
 }
+
+/// Bindings for the labels every engine's lowerings share: the astronomy
+/// stages, the ingest benchmark, and the per-step neuro graphs. Kernel
+/// names refer to the sciops entry points the use-case drivers
+/// (`crate::usecases`) call for the same stage; the scimemo certifier
+/// joins each name over the workspace purity table.
+pub const SHARED_OP_BINDINGS: &[plancheck::OpBinding] = &{
+    use plancheck::{OpBinding, OpClass};
+    // Pure data movement: no kernel runs, output = forwarded inputs.
+    const MOVE: OpClass = OpClass::Kernel(&[]);
+    [
+        // Astronomy stages (lower/astro.rs).
+        OpBinding::new("astro:stage-barrier", OpClass::Infra),
+        OpBinding::new("astro:preprocess", OpClass::Kernel(&["calibrate_exposure"])),
+        OpBinding::new("astro:patch-piece", OpClass::Kernel(&["create_patches"])),
+        OpBinding::new("astro:merge", OpClass::Kernel(&["merge_visit_pieces"])),
+        OpBinding::new("astro:coadd", OpClass::Kernel(&["coadd_sigma_clip"])),
+        OpBinding::new(
+            "astro:partial-coadd",
+            OpClass::Kernel(&["coadd_sigma_clip"]),
+        ),
+        OpBinding::new(
+            "astro:combine+detect",
+            OpClass::Kernel(&["coadd_sigma_clip", "detect_sources"]),
+        ),
+        OpBinding::new("astro:detect", OpClass::Kernel(&["detect_sources"])),
+        OpBinding::new("coadd", OpClass::Kernel(&["coadd_sigma_clip"])),
+        // Ingest benchmark (lower/ingest.rs): versioned synthetic inputs,
+        // so downloads/conversions are deterministic sources.
+        OpBinding::new("ingest:enumerate", OpClass::Infra),
+        OpBinding::new("ingest:staged", OpClass::Infra),
+        OpBinding::new("ingest:startup", OpClass::Infra),
+        OpBinding::new("ingest:convert-npy", OpClass::Source),
+        OpBinding::new("ingest:convert-csv", OpClass::Source),
+        OpBinding::new("ingest:download", OpClass::Source),
+        OpBinding::new("ingest:download+insert", OpClass::Source),
+        OpBinding::new("ingest:download+parse", OpClass::Source),
+        OpBinding::new("ingest:master-download", OpClass::Source),
+        OpBinding::new("ingest:from_array", OpClass::Source),
+        OpBinding::new("ingest:aio_input", OpClass::Source),
+        OpBinding::new("ingest:distribute", MOVE),
+        // Per-step neuro graphs (lower/steps.rs).
+        OpBinding::new("filter", OpClass::Kernel(&["segmentation"])),
+        OpBinding::new("filter-gather", MOVE),
+        OpBinding::new("mean", OpClass::Kernel(&["segmentation"])),
+        OpBinding::new("mean-gather", MOVE),
+        OpBinding::new("mean-startup", OpClass::Infra),
+        OpBinding::new("denoise", OpClass::Kernel(&["nlmeans3d"])),
+        OpBinding::new("denoise-startup", OpClass::Infra),
+    ]
+};
 
 /// Debug-build guard run at the end of every lowering function: the graph
 /// must be free of structural, byte-conservation, placement and

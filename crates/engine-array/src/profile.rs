@@ -70,7 +70,24 @@ impl ArrayEngineProfile {
             ..plancheck::InvariantProfile::new("SciDB")
         }
     }
+
+    /// What each SciDB-analog task label executes, for the scimemo
+    /// cacheability certifier (shared `astro:*`/`ingest:*`/step labels
+    /// live in core's table).
+    pub fn op_bindings(&self) -> &'static [plancheck::OpBinding] {
+        SCIDB_OPS
+    }
 }
+
+const SCIDB_OPS: &[plancheck::OpBinding] = &{
+    use plancheck::{OpBinding, OpClass};
+    [
+        OpBinding::new("scidb:filter", OpClass::Kernel(&["segmentation"])),
+        OpBinding::new("scidb:mean", OpClass::Kernel(&["segmentation"])),
+        OpBinding::new("scidb:denoise-stream", OpClass::Kernel(&["nlmeans3d"])),
+        OpBinding::new("scidb:coadd-chunk", OpClass::Kernel(&["coadd_sigma_clip"])),
+    ]
+};
 
 #[cfg(test)]
 mod tests {

@@ -59,6 +59,13 @@ impl DataflowEngineProfile {
         }
     }
 
+    /// What each TensorFlow-analog task label executes, for the scimemo
+    /// cacheability certifier (shared `astro:*`/`ingest:*`/step labels
+    /// live in core's table).
+    pub fn op_bindings(&self) -> &'static [plancheck::OpBinding] {
+        TF_OPS
+    }
+
     /// Extra compute multiplier for the denoise step caused by the missing
     /// mask support, given the mask's fill fraction.
     pub fn unmasked_inflation(&self, mask_fill_fraction: f64) -> f64 {
@@ -69,6 +76,21 @@ impl DataflowEngineProfile {
         }
     }
 }
+
+const TF_OPS: &[plancheck::OpBinding] = &{
+    use plancheck::{OpBinding, OpClass};
+    const EMPTY: &[&str] = &[]; // pure data movement, no kernel runs
+    [
+        OpBinding::new("tf:step-barrier", OpClass::Infra),
+        OpBinding::new("tf:master-download", OpClass::Source),
+        OpBinding::new("tf:distribute", OpClass::Kernel(EMPTY)),
+        OpBinding::new("tf:gather", OpClass::Kernel(EMPTY)),
+        OpBinding::new("tf:filter", OpClass::Kernel(&["segmentation"])),
+        OpBinding::new("tf:mean", OpClass::Kernel(&["segmentation"])),
+        OpBinding::new("tf:mask-simplified", OpClass::Kernel(&["median_otsu"])),
+        OpBinding::new("tf:denoise-conv", OpClass::Kernel(&["nlmeans3d"])),
+    ]
+};
 
 #[cfg(test)]
 mod tests {

@@ -69,7 +69,35 @@ impl RddEngineProfile {
             ..plancheck::InvariantProfile::new("Spark")
         }
     }
+
+    /// What each Spark-analog task label executes, for the scimemo
+    /// cacheability certifier. Labels the shared lowerings emit
+    /// (`astro:*`, `ingest:*`, bare step names) live in core's shared
+    /// table; this one covers the `spark:`-prefixed operators.
+    pub fn op_bindings(&self) -> &'static [plancheck::OpBinding] {
+        SPARK_OPS
+    }
 }
+
+const SPARK_OPS: &[plancheck::OpBinding] = &{
+    use plancheck::{OpBinding, OpClass};
+    const EMPTY: &[&str] = &[]; // pure data movement, no kernel runs
+    [
+        OpBinding::new("spark:submit", OpClass::Infra),
+        OpBinding::new("spark:enumerate", OpClass::Infra),
+        OpBinding::new("spark:stage-barrier", OpClass::Infra),
+        OpBinding::new("spark:ingest", OpClass::Source),
+        OpBinding::new("spark:collect", OpClass::Kernel(EMPTY)),
+        OpBinding::new("spark:broadcast-mask", OpClass::Kernel(EMPTY)),
+        OpBinding::new(
+            "spark:filter+partial-mean",
+            OpClass::Kernel(&["segmentation"]),
+        ),
+        OpBinding::new("spark:mask", OpClass::Kernel(&["median_otsu"])),
+        OpBinding::new("spark:denoise", OpClass::Kernel(&["nlmeans3d"])),
+        OpBinding::new("spark:fit", OpClass::Kernel(&["fit_dtm_volume"])),
+    ]
+};
 
 #[cfg(test)]
 mod tests {

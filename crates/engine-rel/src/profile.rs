@@ -79,7 +79,31 @@ impl RelEngineProfile {
             ..plancheck::InvariantProfile::new("Myria")
         }
     }
+
+    /// What each Myria-analog task label executes, for the scimemo
+    /// cacheability certifier (shared `astro:*`/`ingest:*`/step labels
+    /// live in core's table).
+    pub fn op_bindings(&self) -> &'static [plancheck::OpBinding] {
+        MYRIA_OPS
+    }
 }
+
+const MYRIA_OPS: &[plancheck::OpBinding] = &{
+    use plancheck::{OpBinding, OpClass};
+    const EMPTY: &[&str] = &[]; // pure data movement, no kernel runs
+    [
+        OpBinding::new("myria:submit", OpClass::Infra),
+        OpBinding::new("myria:subquery", OpClass::Infra),
+        OpBinding::new("myria:subquery-done", OpClass::Infra),
+        OpBinding::new("myria:scan", OpClass::Source),
+        OpBinding::new("myria:scan-b0", OpClass::Source),
+        OpBinding::new("myria:broadcast-mask", OpClass::Kernel(EMPTY)),
+        OpBinding::new("myria:mean", OpClass::Kernel(&["segmentation"])),
+        OpBinding::new("myria:mask", OpClass::Kernel(&["median_otsu"])),
+        OpBinding::new("myria:denoise", OpClass::Kernel(&["nlmeans3d"])),
+        OpBinding::new("myria:fit", OpClass::Kernel(&["fit_dtm_volume"])),
+    ]
+};
 
 #[cfg(test)]
 mod tests {

@@ -57,7 +57,27 @@ impl TaskGraphEngineProfile {
             ..plancheck::InvariantProfile::new("Dask")
         }
     }
+
+    /// What each Dask-analog task label executes, for the scimemo
+    /// cacheability certifier (shared `astro:*`/`ingest:*`/step labels
+    /// live in core's table).
+    pub fn op_bindings(&self) -> &'static [plancheck::OpBinding] {
+        DASK_OPS
+    }
 }
+
+const DASK_OPS: &[plancheck::OpBinding] = &{
+    use plancheck::{OpBinding, OpClass};
+    [
+        OpBinding::new("dask:scheduler-startup", OpClass::Infra),
+        OpBinding::new("dask:download", OpClass::Source),
+        OpBinding::new("dask:filter", OpClass::Kernel(&["segmentation"])),
+        OpBinding::new("dask:mean", OpClass::Kernel(&["segmentation"])),
+        OpBinding::new("dask:mask", OpClass::Kernel(&["median_otsu"])),
+        OpBinding::new("dask:denoise", OpClass::Kernel(&["nlmeans3d"])),
+        OpBinding::new("dask:fit", OpClass::Kernel(&["fit_dtm_volume"])),
+    ]
+};
 
 #[cfg(test)]
 mod tests {

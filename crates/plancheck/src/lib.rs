@@ -54,10 +54,14 @@
 
 mod analysis;
 mod diag;
+pub mod fingerprint;
+pub mod memo;
 mod passes;
 mod profile;
 
 pub use diag::{Code, Diagnostic, Report, Severity};
+pub use fingerprint::{graph_fingerprint, node_fingerprints};
+pub use memo::{OpBinding, OpClass};
 pub use profile::{measured_imbalance_from_bench, BarrierDiscipline, InvariantProfile};
 
 use analysis::Analysis;

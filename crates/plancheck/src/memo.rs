@@ -1,0 +1,73 @@
+//! Operator → kernel bindings: the metadata each engine publishes about
+//! what its lowered task labels *execute*, consumed by the scimemo
+//! certifier.
+//!
+//! The lowerings emit `simcluster` tasks with `&'static str` labels; the
+//! real pipelines (`core::usecases`) run sciops kernels. Nothing at the
+//! plan level says which kernel a label stands for — so nothing could
+//! decide whether caching a node's output is sound. Each engine profile
+//! now declares that mapping as a static table of [`OpBinding`]s, and the
+//! certifier refuses to certify any label an engine did not declare (an
+//! undeclared operator is treated as unsafe, the right polarity for a
+//! cache gate).
+
+/// What a lowered task label stands for, cacheability-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Deterministic ingest of versioned catalog inputs (downloads,
+    /// scans, format conversions of immutable synthetic data). The input
+    /// fingerprint *is* the content key, so sources are certifiable
+    /// without a kernel verdict.
+    Source,
+    /// Control-plane work that produces no result payload: startup,
+    /// job submission, barriers, scheduler bookkeeping. Never cached,
+    /// never blocks certification of downstream nodes.
+    Infra,
+    /// A data operator bound to the named kernel entry points. The node
+    /// is certifiable only if *every* named kernel's purity verdict is
+    /// `Pure`/`DetImpure` (the certifier joins over same-named fns, so
+    /// an ambiguous name inherits the worst candidate).
+    Kernel(&'static [&'static str]),
+}
+
+/// One label → class binding in an engine's operator table.
+#[derive(Debug, Clone, Copy)]
+pub struct OpBinding {
+    /// The task label exactly as the lowering emits it.
+    pub label: &'static str,
+    /// What executing it means.
+    pub class: OpClass,
+}
+
+impl OpBinding {
+    /// Shorthand constructor.
+    pub const fn new(label: &'static str, class: OpClass) -> OpBinding {
+        OpBinding { label, class }
+    }
+}
+
+/// Look up `label` in a concatenation of binding tables (engine-specific
+/// first, shared tables after; first match wins).
+pub fn lookup<'a>(tables: &[&'a [OpBinding]], label: &str) -> Option<&'a OpBinding> {
+    tables
+        .iter()
+        .flat_map(|t| t.iter())
+        .find(|b| b.label == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_prefers_earlier_tables() {
+        const A: &[OpBinding] = &[OpBinding::new("x", OpClass::Infra)];
+        const B: &[OpBinding] = &[
+            OpBinding::new("x", OpClass::Source),
+            OpBinding::new("y", OpClass::Source),
+        ];
+        assert_eq!(lookup(&[A, B], "x").map(|b| b.class), Some(OpClass::Infra));
+        assert_eq!(lookup(&[A, B], "y").map(|b| b.class), Some(OpClass::Source));
+        assert!(lookup(&[A, B], "z").is_none());
+    }
+}

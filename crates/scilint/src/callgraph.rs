@@ -19,9 +19,10 @@
 //!    definitions named `name` in those files.
 //! 5. Method calls `recv.name(...)` → every workspace definition named
 //!    `name` (receiver types are unknown at token level).
-//! 6. Plain `name(...)` → same-crate definitions when any exist, else
-//!    every workspace definition named `name` (covers `use`-imported
-//!    free functions).
+//! 6. Plain `name(...)` → same-*file* definitions when any exist (a local
+//!    definition always shadows anything imported), else same-crate
+//!    definitions, else every workspace definition named `name` (covers
+//!    `use`-imported free functions).
 //!
 //! Known blind spots (see DESIGN.md §3.12): trait-object dispatch and fn
 //! pointers produce no call token and therefore no edge; closures are
@@ -145,11 +146,26 @@ pub fn build(tab: &SymbolTable) -> CallGraph {
             // Receiver type unknown: every candidate.
             cands.clone()
         } else {
-            let local = same_crate(tab, cands, caller_crate);
-            if local.is_empty() {
-                cands.clone()
+            // Same-file → same-crate → whole-workspace ladder. Rust scoping
+            // makes the first rung exact, not heuristic: a definition in the
+            // calling module shadows any imported name, so when the caller's
+            // own file defines `name`, a crate- or workspace-wide fan-out
+            // would mis-resolve witness chains through unrelated crates.
+            let caller_file = tab.fns[call.caller as usize].file;
+            let in_file: Vec<u32> = cands
+                .iter()
+                .copied()
+                .filter(|&c| tab.fns[c as usize].file == caller_file)
+                .collect();
+            if !in_file.is_empty() {
+                in_file
             } else {
-                local
+                let local = same_crate(tab, cands, caller_crate);
+                if local.is_empty() {
+                    cands.clone()
+                } else {
+                    local
+                }
             }
         };
         for t in targets {
@@ -200,6 +216,56 @@ mod tests {
         assert_eq!(edges.len(), 1);
         let target = *edges.iter().next().expect("edge");
         assert_eq!(tab.fns[target as usize].crate_name, "ca");
+    }
+
+    #[test]
+    fn plain_call_prefers_same_file_over_same_crate() {
+        // `root` and a local `work` share a file; a second `work` lives in
+        // another file of the same crate. The local definition shadows it,
+        // so the edge must land on the same-file `work` only.
+        let (tab, g) = graph_of(&[
+            ("a.rs", "ca", "pub fn root() { work(); }\nfn work() {}\n"),
+            ("a2.rs", "ca", "fn work() {}\n"),
+        ]);
+        let root = fn_ix(&tab, "root");
+        let edges = &g.edges[root as usize];
+        assert_eq!(edges.len(), 1);
+        let target = *edges.iter().next().expect("edge");
+        assert_eq!(tab.fns[target as usize].path, "a.rs");
+    }
+
+    #[test]
+    fn same_crate_shadowing_of_workspace_unique_name_resolves_locally() {
+        // Regression: crate `ca` defines its own `lookup` (in another file)
+        // shadowing a name that is otherwise unique to crate `cb`. The call
+        // must resolve inside `ca`, not to `cb`'s workspace-unique fn —
+        // otherwise a sink inside cb::lookup would be blamed on ca's
+        // witness chains.
+        let (tab, g) = graph_of(&[
+            ("a.rs", "ca", "pub fn root() { lookup(); }\n"),
+            ("a2.rs", "ca", "fn lookup() {}\n"),
+            (
+                "b.rs",
+                "cb",
+                "pub fn lookup() { let _ = Instant::now(); }\n",
+            ),
+        ]);
+        let root = fn_ix(&tab, "root");
+        let edges = &g.edges[root as usize];
+        assert_eq!(edges.len(), 1);
+        let target = *edges.iter().next().expect("edge");
+        assert_eq!(tab.fns[target as usize].crate_name, "ca");
+    }
+
+    #[test]
+    fn plain_call_without_local_def_still_fans_out_workspace_wide() {
+        let (tab, g) = graph_of(&[
+            ("a.rs", "ca", "pub fn root() { imported(); }\n"),
+            ("b.rs", "cb", "pub fn imported() {}\n"),
+            ("c.rs", "cc", "pub fn imported() {}\n"),
+        ]);
+        let root = fn_ix(&tab, "root");
+        assert_eq!(g.edges[root as usize].len(), 2);
     }
 
     #[test]

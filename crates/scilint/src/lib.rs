@@ -18,6 +18,7 @@ pub mod callgraph;
 pub mod flow;
 pub mod lex;
 pub mod profiles;
+pub mod purity;
 pub mod report;
 pub mod rules;
 pub mod source;

@@ -7,11 +7,15 @@ use std::process::ExitCode;
 
 use scilint::rules::RULES;
 
-const USAGE: &str = "usage: scilint [--root PATH] [--flow] [--json] [--quiet] [--list-rules]
+const USAGE: &str =
+    "usage: scilint [--root PATH] [--flow] [--purity] [--json] [--quiet] [--list-rules]
 
   --root PATH    workspace root to analyze (default: .)
   --flow         interprocedural view: gate on the F-family only and report
                  witness call chains; with --json, emit sciflow/v1
+  --purity       purity view: print every pub fn's purity verdict
+                 (pure/det_impure/ambient_read/nondet) with witness chains
+                 for the non-memoizable ones; informational, always exit 0
   --json         print the machine-readable report to stdout
                  (scilint/v1, or sciflow/v1 under --flow)
   --quiet        suppress the per-finding listing (summary only)
@@ -23,6 +27,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut quiet = false;
     let mut flow = false;
+    let mut purity = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,6 +42,7 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--flow" => flow = true,
+            "--purity" => purity = true,
             "--list-rules" => {
                 for r in &RULES {
                     println!("{}  [{}]  {}", r.id, r.family.name(), r.description);
@@ -52,6 +58,51 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if purity {
+        // Purity view: the memoization-soundness half of scimemo. Every
+        // pub fn's verdict, witness chains for the non-memoizable ones.
+        let table = match scilint::purity::analyze_workspace(&root) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "scilint: failed to read workspace at {}: {e}",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        if !quiet {
+            for v in table.verdicts.iter().filter(|v| v.is_pub) {
+                println!(
+                    "{:<12} {}::{} ({}:{})",
+                    v.level.name(),
+                    v.crate_name,
+                    v.name,
+                    v.path,
+                    v.line
+                );
+                if !v.level.memoizable() {
+                    let names: Vec<&str> = v.witness.iter().map(|h| h.name.as_str()).collect();
+                    println!(
+                        "             witness: {} -> `{}`",
+                        names.join(" -> "),
+                        v.sink
+                    );
+                }
+            }
+        }
+        let s = table.summary();
+        println!(
+            "purity: {} fns — {} pure, {} det_impure, {} ambient_read, {} nondet",
+            table.verdicts.len(),
+            s["pure"],
+            s["det_impure"],
+            s["ambient_read"],
+            s["nondet"]
+        );
+        return ExitCode::SUCCESS;
     }
 
     let report = match scilint::analyze_workspace(&root) {

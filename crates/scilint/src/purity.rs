@@ -1,0 +1,505 @@
+//! scimemo's source half: a purity lattice over the sciflow call graph.
+//!
+//! The result cache sketched in ROADMAP item 1 is sound only when a
+//! pipeline node's output is a pure function of its cache key. The effect
+//! lattice ([`crate::flow`]) answers "does this function panic / copy /
+//! spawn"; this pass answers the memoization question directly: every
+//! function is placed on the four-point purity lattice
+//!
+//! ```text
+//! Pure < DetImpure < AmbientRead < Nondet
+//! ```
+//!
+//! * **`Pure`** — output depends only on the arguments; no observable
+//!   side effects.
+//! * **`DetImpure`** — output still depends only on the arguments, but the
+//!   function has benign deterministic side effects (copy-ledger bumps,
+//!   diagnostics printing). Memoizing it skips the side effects, never
+//!   changes a result — still cacheable.
+//! * **`AmbientRead`** — reads process-ambient state that is *not* part of
+//!   any cache key: environment variables, config files, thread counts,
+//!   the working directory. A cached result could leak one environment's
+//!   answer into another — not cacheable.
+//! * **`Nondet`** — observes hash order, the clock, or randomness; two
+//!   calls with equal arguments may disagree — not cacheable.
+//!
+//! Seeds come from a token-level sink grammar (below), levels propagate
+//! callee → caller over the same over-approximate call graph sciflow uses
+//! (join = lattice max), and every function gets a **shortest witness
+//! chain** to a sink of its verdict level via a per-level multi-source BFS
+//! over the reverse graph. A nondet sink already sanctioned by a covering
+//! `allow(D001/D002/D003/F002, reason)` is trusted not to reach results
+//! (the reviewed reason covers the memoization story too) and seeds
+//! nothing.
+//!
+//! Determinism contract: same as sciflow — ids are (path, token)-ordered,
+//! BFS visits in id order, so two runs emit byte-identical tables.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::callgraph;
+use crate::flow::ChainHop;
+use crate::lex::TokenKind;
+use crate::profiles;
+use crate::source::SourceFile;
+use crate::symbols::{self, SymbolTable};
+use crate::walk;
+
+/// One point on the purity lattice. Discriminants are ordered so that
+/// `max` is the lattice join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Purity {
+    /// Output is a function of the arguments; no observable effects.
+    Pure = 0,
+    /// Deterministic result with benign side effects (ledgers, logging).
+    DetImpure = 1,
+    /// Reads ambient process state (env, config files, thread counts).
+    AmbientRead = 2,
+    /// Observes hash order, the clock, or randomness.
+    Nondet = 3,
+}
+
+/// All levels, in lattice order.
+pub const LEVELS: [Purity; 4] = [
+    Purity::Pure,
+    Purity::DetImpure,
+    Purity::AmbientRead,
+    Purity::Nondet,
+];
+
+impl Purity {
+    /// Lattice join.
+    pub fn join(self, other: Purity) -> Purity {
+        self.max(other)
+    }
+
+    /// Report name (`pure`, `det_impure`, `ambient_read`, `nondet`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Purity::Pure => "pure",
+            Purity::DetImpure => "det_impure",
+            Purity::AmbientRead => "ambient_read",
+            Purity::Nondet => "nondet",
+        }
+    }
+
+    /// True when a result produced by a function of this level may be
+    /// served from a fingerprint-keyed cache.
+    pub fn memoizable(self) -> bool {
+        self <= Purity::DetImpure
+    }
+
+    fn from_u8(v: u8) -> Purity {
+        match v {
+            0 => Purity::Pure,
+            1 => Purity::DetImpure,
+            2 => Purity::AmbientRead,
+            _ => Purity::Nondet,
+        }
+    }
+}
+
+/// The purity verdict for one function, with its witness.
+#[derive(Debug, Clone)]
+pub struct PurityVerdict {
+    /// Function name (unqualified).
+    pub name: String,
+    /// Owning crate.
+    pub crate_name: String,
+    /// Workspace-relative path of the definition.
+    pub path: String,
+    /// Line of the `fn` token.
+    pub line: u32,
+    /// True for `pub` functions.
+    pub is_pub: bool,
+    /// The verdict.
+    pub level: Purity,
+    /// Shortest witness chain, this function first, sink owner last.
+    /// Empty for `Pure` functions.
+    pub witness: Vec<ChainHop>,
+    /// Description of the sink that decides the verdict (`Instant
+    /// (clock)`, `env::var (ambient)`, ...). Empty for `Pure`.
+    pub sink: String,
+    /// Sink location, for the report. Zero line for `Pure`.
+    pub sink_path: String,
+    /// 1-based sink line, 0 for `Pure`.
+    pub sink_line: u32,
+}
+
+/// The workspace purity table.
+#[derive(Debug, Default)]
+pub struct PurityTable {
+    /// One verdict per analyzed function, in symbol-table id order
+    /// (sorted by (path, token position)).
+    pub verdicts: Vec<PurityVerdict>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl PurityTable {
+    /// The worst verdict over every function named `name` — the safe
+    /// answer when a kernel binding names a function the token-level
+    /// resolver cannot disambiguate. Ties break by table order, which is
+    /// (path, token) order, so the answer is deterministic.
+    pub fn worst_named(&self, name: &str) -> Option<&PurityVerdict> {
+        let ids = self.by_name.get(name)?;
+        ids.iter()
+            .map(|&i| &self.verdicts[i])
+            .max_by_key(|v| (v.level, std::cmp::Reverse((v.path.clone(), v.line))))
+    }
+
+    /// Functions per level, for the summary line of reports.
+    pub fn summary(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for l in LEVELS {
+            out.insert(l.name(), 0usize);
+        }
+        for v in &self.verdicts {
+            *out.entry(v.level.name()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// One purity sink.
+struct PuritySink {
+    owner: u32,
+    level: Purity,
+    line: u32,
+    what: String,
+}
+
+/// Nondet sink grammar — the same sources sciflow's `F002` recognizes.
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+const RAND_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "RandomState"];
+
+/// Ambient-read sink grammar: qualified calls that read env / config /
+/// thread-count / process state (`env::var(..)`, `fs::read_to_string(..)`,
+/// `thread::available_parallelism()`, ...).
+const AMBIENT_READS: [&str; 9] = [
+    "var",
+    "var_os",
+    "vars",
+    "args",
+    "args_os",
+    "current_dir",
+    "available_parallelism",
+    "read_to_string",
+    "read_dir",
+];
+
+/// Deterministic-side-effect sink grammar: diagnostics macros and atomic
+/// read-modify-writes (global ledgers such as `CopyCounter`).
+const PRINT_MACROS: [&str; 4] = ["println", "eprintln", "print", "eprint"];
+const ATOMIC_RMW: [&str; 8] = [
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "compare_exchange",
+];
+
+/// Token rules whose covering `allow` sanctions a nondet sink for purity
+/// purposes: the reviewed reason ("results stay bit-identical", "order
+/// never observed") is exactly a memoization-soundness argument. `F002`
+/// is included because sciflow's burn-down anchored its allows at the
+/// same sink lines.
+const NONDET_SANCTIONS: [&str; 4] = ["D001", "D002", "D003", "F002"];
+
+fn sanctioned_nondet(file: &SourceFile, line: u32) -> bool {
+    file.suppressions
+        .iter()
+        .any(|s| s.covers(line) && NONDET_SANCTIONS.contains(&s.rule.as_str()))
+}
+
+/// Scan for purity sinks, skipping test regions and sanctioned nondet
+/// sources.
+fn find_sinks(files: &[SourceFile], tab: &SymbolTable) -> Vec<PuritySink> {
+    let mut out = Vec::new();
+    for &fx in &tab.files_used {
+        let file = &files[fx];
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            let Some(owner) = tab.owner[fx][i] else {
+                continue;
+            };
+            if file.is_test_code(i) {
+                continue;
+            }
+            let TokenKind::Ident(s) = &t.kind else {
+                continue;
+            };
+            let next_is = |p: &str| toks.get(i + 1).is_some_and(|n| n.kind.is_punct(p));
+            let next_open = toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Open('('));
+            let prev_is = |p: &str| i > 0 && toks[i - 1].kind.is_punct(p);
+
+            let sink: Option<(Purity, String)> = if HASH_TYPES.contains(&s.as_str()) {
+                Some((Purity::Nondet, format!("{s} (hash order)")))
+            } else if CLOCK_TYPES.contains(&s.as_str()) {
+                Some((Purity::Nondet, format!("{s} (clock)")))
+            } else if RAND_IDENTS.contains(&s.as_str()) || (s == "rand" && next_is("::")) {
+                Some((Purity::Nondet, format!("{s} (randomness)")))
+            } else if AMBIENT_READS.contains(&s.as_str()) && next_open && prev_is("::") {
+                Some((Purity::AmbientRead, format!("{s}() (ambient read)")))
+            } else if PRINT_MACROS.contains(&s.as_str()) && next_is("!") {
+                Some((Purity::DetImpure, format!("{s}!")))
+            } else if ATOMIC_RMW.contains(&s.as_str()) && next_open && prev_is(".") {
+                Some((Purity::DetImpure, format!(".{s}() (global ledger)")))
+            } else {
+                None
+            };
+
+            if let Some((level, what)) = sink {
+                if level == Purity::Nondet && sanctioned_nondet(file, t.line) {
+                    continue;
+                }
+                out.push(PuritySink {
+                    owner,
+                    level,
+                    line: t.line,
+                    what,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Run the purity analysis over already-parsed files.
+pub fn analyze(files: &[SourceFile]) -> PurityTable {
+    let tab = symbols::extract(files, &|krate| !profiles::flow_exempt(krate));
+    let graph = callgraph::build(&tab);
+    let sinks = find_sinks(files, &tab);
+    let n = tab.fns.len();
+
+    // Fixed-point join propagation, callee → caller.
+    let mut levels = vec![0u8; n];
+    for s in &sinks {
+        levels[s.owner as usize] = levels[s.owner as usize].max(s.level as u8);
+    }
+    let rev = graph.reversed();
+    let mut work: Vec<u32> = (0..n as u32).filter(|&f| levels[f as usize] != 0).collect();
+    while let Some(f) = work.pop() {
+        let l = levels[f as usize];
+        for &caller in &rev[f as usize] {
+            if levels[caller as usize] < l {
+                levels[caller as usize] = l;
+                work.push(caller);
+            }
+        }
+    }
+
+    // Per-level witness chains: multi-source BFS over the *reverse* graph
+    // from the owners of direct sinks at that level. `next[f]` points one
+    // hop toward the sink, `seed[f]` names the sink reached. Sources and
+    // neighbors are visited in id order, so chains are deterministic.
+    let mut next: Vec<[Option<u32>; 4]> = vec![[None; 4]; n];
+    let mut seed: Vec<[Option<usize>; 4]> = vec![[None; 4]; n];
+    for level in [Purity::DetImpure, Purity::AmbientRead, Purity::Nondet] {
+        let lx = level as usize;
+        let mut queue = std::collections::VecDeque::new();
+        let mut seen = vec![false; n];
+        // First sink per owner at exactly this level, in sink order
+        // (file/token order) — deterministic.
+        for (sx, s) in sinks.iter().enumerate() {
+            if s.level == level && !seen[s.owner as usize] {
+                seen[s.owner as usize] = true;
+                seed[s.owner as usize][lx] = Some(sx);
+                queue.push_back(s.owner);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &caller in &rev[f as usize] {
+                if !seen[caller as usize] {
+                    seen[caller as usize] = true;
+                    next[caller as usize][lx] = Some(f);
+                    seed[caller as usize][lx] = seed[f as usize][lx];
+                    queue.push_back(caller);
+                }
+            }
+        }
+    }
+
+    let mut verdicts = Vec::with_capacity(n);
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for f in 0..n {
+        let sym = &tab.fns[f];
+        let level = Purity::from_u8(levels[f]);
+        let (witness, sink_desc, sink_path, sink_line) = if level == Purity::Pure {
+            (Vec::new(), String::new(), String::new(), 0)
+        } else {
+            let lx = level as usize;
+            let mut chain = Vec::new();
+            let mut cur = Some(f as u32);
+            while let Some(c) = cur {
+                let csym = &tab.fns[c as usize];
+                chain.push(ChainHop {
+                    name: csym.name.clone(),
+                    path: csym.path.clone(),
+                    line: csym.line,
+                });
+                cur = next[c as usize][lx];
+                if chain.len() > 64 {
+                    break; // cycle guard; BFS next-pointers cannot cycle
+                }
+            }
+            let s = seed[f][lx].map(|sx| &sinks[sx]);
+            (
+                chain,
+                s.map_or(String::new(), |s| s.what.clone()),
+                s.map_or(String::new(), |s| tab.fns[s.owner as usize].path.clone()),
+                s.map_or(0, |s| s.line),
+            )
+        };
+        by_name.entry(sym.name.clone()).or_default().push(f);
+        verdicts.push(PurityVerdict {
+            name: sym.name.clone(),
+            crate_name: sym.crate_name.clone(),
+            path: sym.path.clone(),
+            line: sym.line,
+            is_pub: sym.is_pub,
+            level,
+            witness,
+            sink: sink_desc,
+            sink_path,
+            sink_line,
+        });
+    }
+    PurityTable { verdicts, by_name }
+}
+
+/// Walk the workspace at `root` and compute the purity table for every
+/// member crate (bench excluded, same as sciflow).
+pub fn analyze_workspace(root: &Path) -> io::Result<PurityTable> {
+    let files = walk::load_workspace(root)?;
+    Ok(analyze(&files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn run(files: &[(&str, &str, &str)]) -> PurityTable {
+        let parsed: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, krate, src)| SourceFile::parse(path, krate, FileKind::Library, src))
+            .collect();
+        analyze(&parsed)
+    }
+
+    fn level_of(t: &PurityTable, name: &str) -> Purity {
+        t.worst_named(name).expect("fn known").level
+    }
+
+    #[test]
+    fn pure_fn_is_pure() {
+        let t = run(&[("lib.rs", "sciops", "pub fn f(x: u32) -> u32 { x + 1 }\n")]);
+        assert_eq!(level_of(&t, "f"), Purity::Pure);
+        assert!(t.worst_named("f").expect("f").witness.is_empty());
+    }
+
+    #[test]
+    fn clock_read_is_nondet_with_witness() {
+        let t = run(&[(
+            "lib.rs",
+            "sciops",
+            "pub fn k() { helper(); }\nfn helper() { let _ = Instant::now(); }\n",
+        )]);
+        let v = t.worst_named("k").expect("k");
+        assert_eq!(v.level, Purity::Nondet);
+        let names: Vec<&str> = v.witness.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, ["k", "helper"]);
+        assert!(v.sink.contains("clock"), "{}", v.sink);
+    }
+
+    #[test]
+    fn env_read_is_ambient() {
+        let t = run(&[(
+            "lib.rs",
+            "parexec",
+            "pub fn auto() { let _ = std::env::var(\"T\"); }\n",
+        )]);
+        assert_eq!(level_of(&t, "auto"), Purity::AmbientRead);
+        assert!(!Purity::AmbientRead.memoizable());
+    }
+
+    #[test]
+    fn thread_count_read_is_ambient() {
+        let t = run(&[(
+            "lib.rs",
+            "parexec",
+            "pub fn detect() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }\n",
+        )]);
+        assert_eq!(level_of(&t, "detect"), Purity::AmbientRead);
+    }
+
+    #[test]
+    fn ledger_bump_is_det_impure_and_memoizable() {
+        let t = run(&[(
+            "lib.rs",
+            "marray",
+            "pub fn record(b: u64) { COPIES.fetch_add(b, Ordering::Relaxed); }\n\
+             pub fn kernel() { record(1); }\n",
+        )]);
+        assert_eq!(level_of(&t, "kernel"), Purity::DetImpure);
+        assert!(Purity::DetImpure.memoizable());
+    }
+
+    #[test]
+    fn join_takes_the_worst_callee() {
+        let t = run(&[(
+            "lib.rs",
+            "sciops",
+            "pub fn top() { a(); b(); }\n\
+             fn a() { println!(\"x\"); }\n\
+             fn b() { let _: HashMap<u32, u32> = HashMap::new(); }\n",
+        )]);
+        assert_eq!(level_of(&t, "a"), Purity::DetImpure);
+        assert_eq!(level_of(&t, "b"), Purity::Nondet);
+        assert_eq!(level_of(&t, "top"), Purity::Nondet);
+    }
+
+    #[test]
+    fn sanctioned_nondet_sink_seeds_nothing() {
+        let t = run(&[(
+            "lib.rs",
+            "parexec",
+            "pub fn stats() {\n\
+             // scilint: allow(F002, timing feeds scheduler stats only; results stay bit-identical)\n\
+             let _ = Instant::now();\n\
+             }\n",
+        )]);
+        assert_eq!(level_of(&t, "stats"), Purity::Pure);
+    }
+
+    #[test]
+    fn worst_named_joins_over_same_named_fns() {
+        let t = run(&[
+            ("a.rs", "sciops", "pub fn go() {}\n"),
+            ("b.rs", "core", "pub fn go() { let _ = Instant::now(); }\n"),
+        ]);
+        assert_eq!(level_of(&t, "go"), Purity::Nondet);
+    }
+
+    #[test]
+    fn summary_counts_every_level() {
+        let t = run(&[(
+            "lib.rs",
+            "sciops",
+            "pub fn p() {}\nfn d() { println!(\"x\"); }\nfn n() { let _ = Instant::now(); }\n",
+        )]);
+        let s = t.summary();
+        assert_eq!(s["pure"], 1);
+        assert_eq!(s["det_impure"], 1);
+        assert_eq!(s["nondet"], 1);
+        assert_eq!(s["ambient_read"], 0);
+    }
+}

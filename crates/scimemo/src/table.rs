@@ -1,0 +1,123 @@
+//! The runtime half of the certifier: a fingerprint-keyed memo table.
+//!
+//! Keys are the canonical node fingerprints of
+//! [`plancheck::node_fingerprints`]; values are whatever payload the
+//! caller produces — in the engines that is an
+//! [`marray::NdArray`](marray) whose `clone` is a reference-count bump on
+//! the shared [`marray::ChunkBuf`], so both storing a computed result and
+//! serving a hit move **zero payload bytes** (verified by the
+//! `CopyCounter` in this crate's tests).
+//!
+//! The table enforces the certifier's gate at the API: every probe states
+//! whether the static certificate covers the key, and uncertified probes
+//! always recompute and never populate the table. There is no way to
+//! insert a value without asserting certification, so an unsound node can
+//! never be served stale results even if its fingerprint collides with
+//! nothing.
+
+use std::collections::BTreeMap;
+
+/// Cache traffic counters, for reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Probes served from the table.
+    pub hits: u64,
+    /// Certified probes that computed and populated the table.
+    pub misses: u64,
+    /// Uncertified probes: computed, never stored, never served.
+    pub bypasses: u64,
+}
+
+/// A fingerprint-keyed result cache gated by the static certificate.
+#[derive(Debug, Default)]
+pub struct MemoTable<V> {
+    entries: BTreeMap<u64, V>,
+    stats: MemoStats,
+}
+
+impl<V: Clone> MemoTable<V> {
+    /// An empty table.
+    pub fn new() -> MemoTable<V> {
+        MemoTable {
+            entries: BTreeMap::new(),
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// Serve `key` from the table, or run `compute` and (when `certified`)
+    /// remember the result.
+    ///
+    /// `certified` is the verdict of [`crate::certify`] for the node that
+    /// produced `key`. Uncertified probes never touch the table in either
+    /// direction: the result is recomputed every time, and nothing is
+    /// stored, so a later *certified* node whose fingerprint happens to
+    /// equal `key` cannot observe an unsound value.
+    pub fn get_or_compute(&mut self, key: u64, certified: bool, compute: impl FnOnce() -> V) -> V {
+        if !certified {
+            self.stats.bypasses += 1;
+            return compute();
+        }
+        if let Some(v) = self.entries.get(&key) {
+            self.stats.hits += 1;
+            return v.clone();
+        }
+        let v = compute();
+        self.entries.insert(key, v.clone());
+        self.stats.misses += 1;
+        v
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_bypass_accounting() {
+        let mut t: MemoTable<u64> = MemoTable::new();
+        assert_eq!(t.get_or_compute(7, true, || 42), 42);
+        assert_eq!(t.get_or_compute(7, true, || unreachable!()), 42);
+        assert_eq!(t.get_or_compute(9, false, || 5), 5);
+        assert_eq!(t.get_or_compute(9, false, || 6), 6); // recomputed
+        assert!(!t.contains(9));
+        assert_eq!(
+            t.stats(),
+            MemoStats {
+                hits: 1,
+                misses: 1,
+                bypasses: 2
+            }
+        );
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn uncertified_probe_cannot_poison_a_certified_key() {
+        let mut t: MemoTable<&'static str> = MemoTable::new();
+        assert_eq!(t.get_or_compute(1, false, || "unsound"), "unsound");
+        // The same fingerprint probed with a certificate sees a cold
+        // table, not the unsound value.
+        assert_eq!(t.get_or_compute(1, true, || "sound"), "sound");
+        assert_eq!(t.get_or_compute(1, true, || unreachable!()), "sound");
+    }
+}

@@ -27,6 +27,23 @@ flow_schema='"schema": "sciflow/v1"'
 grep -qF "$flow_schema" "$tmp_flow" || {
   echo "ci: FAIL - scilint --flow no longer emits $flow_schema" >&2; exit 1; }
 
+echo "== scibench lint --memo (memoization-soundness certifier)"
+# Certifies every shipped lowering for result-cache soundness (scilint
+# purity verdicts joined with plancheck plan fingerprints), asserts the
+# deliberately-unsafe fixture is rejected with its witness chain, and
+# checks the committed MEMO_report.json still speaks scimemo/v1; details
+# in DESIGN.md §3.14.
+tmp_memo="$(mktemp)"
+trap 'rm -f "$tmp_flow" "$tmp_memo"' EXIT
+cargo run --release -q -p scibench-bench --bin scibench -- lint --memo --out "$tmp_memo"
+memo_schema='"schema": "scimemo/v1"'
+grep -qF "$memo_schema" "$tmp_memo" || {
+  echo "ci: FAIL - lint --memo no longer emits $memo_schema" >&2; exit 1; }
+grep -qF "$memo_schema" MEMO_report.json || {
+  echo "ci: FAIL - committed MEMO_report.json schema drifted from $memo_schema" >&2
+  echo "     regenerate it: cargo run --release -p scibench-bench --bin scibench -- lint --memo --out MEMO_report.json" >&2
+  exit 1; }
+
 echo "== cargo test"
 cargo test -q --workspace
 
@@ -46,7 +63,7 @@ echo "== scibench bench e2e --quick (copy accounting, eager vs shared)"
 tmp_e2e="$(mktemp)"
 tmp_skew="$(mktemp)"
 tmp_compress="$(mktemp)"
-trap 'rm -f "$tmp_e2e" "$tmp_skew" "$tmp_compress" "$tmp_flow"' EXIT
+trap 'rm -f "$tmp_e2e" "$tmp_skew" "$tmp_compress" "$tmp_flow" "$tmp_memo"' EXIT
 cargo run --release -q -p scibench-bench --bin scibench -- bench e2e --quick --out "$tmp_e2e"
 schema_line='"schema": "scibench-bench-e2e/v1"'
 grep -qF "$schema_line" "$tmp_e2e" || {
