@@ -21,14 +21,18 @@
 //! engine ingest boundary, runs the run-level kernel fast paths against
 //! their dense twins, replays two full pipelines under `CompressMode`
 //! Off and Auto (fingerprint equality enforced), and emits
-//! `BENCH_compress.json`; `scibench perf-smoke` asserts the serial and
+//! `BENCH_compress.json`; `scibench bench serve` replays a seeded
+//! hot/cold query schedule against the resident service ([`sciserve`]) —
+//! serial, concurrent, and cache-off, all fingerprint-identical — and
+//! emits `BENCH_serve.json`; `scibench perf-smoke` asserts the serial and
 //! multi-threaded paths produce bit-identical outputs (the CI determinism
-//! gate). `bench` and `perf-smoke` honor `--threads N` and the
-//! `SCIBENCH_THREADS` environment variable.
+//! gate). `bench`, `bench serve` and `perf-smoke` honor `--threads N`;
+//! `bench` and `perf-smoke` also read the `SCIBENCH_THREADS` environment
+//! variable.
 
 use parexec::{parse_threads, Parallelism};
 use plancheck::{check, Code, Report};
-use scibench_bench::{compress, e2e, hostinfo, kernels, memo, plans, skew};
+use scibench_bench::{compress, e2e, hostinfo, kernels, memo, plans, serve, skew};
 use scibench_core::experiments::Setup;
 use scibench_core::lower::Engine;
 
@@ -180,9 +184,10 @@ fn lint(verbose: bool) -> i32 {
 
 /// `scibench lint --memo`: the memoization-soundness sweep. Certifies
 /// every shipped lowering with [`scimemo`] (purity verdicts joined with
-/// canonical plan fingerprints) and emits the `scimemo/v1` report to
-/// stdout or `--out`. Human-readable progress goes to stderr so the JSON
-/// stream stays clean, mirroring the bench subcommands.
+/// canonical plan fingerprints) and emits the `scimemo/v2` report —
+/// including the live `memo_stats` counter block — to stdout or `--out`.
+/// Human-readable progress goes to stderr so the JSON stream stays clean,
+/// mirroring the bench subcommands.
 fn lint_memo(out_path: Option<std::path::PathBuf>) -> i32 {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
@@ -258,33 +263,78 @@ fn threads_arg(value: Option<&String>, usage: &str) -> Result<Parallelism, i32> 
     }
 }
 
-fn bench_e2e(args: &[String]) -> i32 {
-    const USAGE: &str = "usage: scibench bench e2e [--quick] [--out PATH]";
-    let mut out_path: Option<std::path::PathBuf> = None;
-    let mut quick = false;
+/// Flags shared by the artifact-emitting subcommands.
+#[derive(Default)]
+struct BenchFlags {
+    quick: bool,
+    out_path: Option<std::path::PathBuf>,
+    threads: Option<Parallelism>,
+}
+
+/// Parse the `[--quick] [--threads N] [--out PATH]` tail every bench
+/// subcommand shares. Which optional flags a subcommand accepts is
+/// declared at the call site, so e.g. `--quick` on the kernel ladder is
+/// still an error. On a bad argument the usage error has already been
+/// printed and the exit code is returned.
+fn bench_flags(
+    args: &[String],
+    usage: &str,
+    quick_ok: bool,
+    threads_ok: bool,
+) -> Result<BenchFlags, i32> {
+    let mut f = BenchFlags::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => {
-                quick = true;
+            "--quick" if quick_ok => {
+                f.quick = true;
                 i += 1;
+            }
+            "--threads" if threads_ok => {
+                f.threads = Some(threads_arg(args.get(i + 1), usage)?);
+                i += 2;
             }
             "--out" => {
                 let Some(p) = args.get(i + 1) else {
                     eprintln!("error: --out requires a path");
-                    eprintln!("{USAGE}");
-                    return 2;
+                    eprintln!("{usage}");
+                    return Err(2);
                 };
-                out_path = Some(std::path::PathBuf::from(p));
+                f.out_path = Some(std::path::PathBuf::from(p));
                 i += 2;
             }
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("{USAGE}");
-                return 2;
+                eprintln!("{usage}");
+                return Err(2);
             }
         }
     }
+    Ok(f)
+}
+
+/// Write `json` to `--out` or stdout; a write failure decides the code.
+fn emit_json(json: &str, out_path: Option<std::path::PathBuf>) -> Result<(), i32> {
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, json) {
+                eprintln!("error: cannot write {}: {e}", p.display());
+                return Err(1);
+            }
+            eprintln!("wrote {}", p.display());
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
+fn bench_e2e(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: scibench bench e2e [--quick] [--out PATH]";
+    let flags = match bench_flags(args, USAGE, true, false) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let quick = flags.quick;
 
     let host = hostinfo::available_parallelism();
     eprintln!(
@@ -318,15 +368,8 @@ fn bench_e2e(args: &[String]) -> i32 {
         eprintln!("  {:<6} {:<11} skipped: {}", s.pipeline, s.engine, s.status);
     }
     let json = e2e::results_to_json(&results, &skipped, host, quick);
-    match out_path {
-        Some(p) => {
-            if let Err(e) = std::fs::write(&p, &json) {
-                eprintln!("error: cannot write {}: {e}", p.display());
-                return 1;
-            }
-            eprintln!("wrote {}", p.display());
-        }
-        None => print!("{json}"),
+    if let Err(code) = emit_json(&json, flags.out_path) {
+        return code;
     }
     if diverged > 0 {
         eprintln!("error: {diverged} pipeline(s) diverged between copy modes");
@@ -337,31 +380,11 @@ fn bench_e2e(args: &[String]) -> i32 {
 
 fn bench_skew(args: &[String]) -> i32 {
     const USAGE: &str = "usage: scibench bench skew [--quick] [--out PATH]";
-    let mut out_path: Option<std::path::PathBuf> = None;
-    let mut quick = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => {
-                quick = true;
-                i += 1;
-            }
-            "--out" => {
-                let Some(p) = args.get(i + 1) else {
-                    eprintln!("error: --out requires a path");
-                    eprintln!("{USAGE}");
-                    return 2;
-                };
-                out_path = Some(std::path::PathBuf::from(p));
-                i += 2;
-            }
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                eprintln!("{USAGE}");
-                return 2;
-            }
-        }
-    }
+    let flags = match bench_flags(args, USAGE, true, false) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let quick = flags.quick;
 
     let host = hostinfo::available_parallelism();
     if host == 1 {
@@ -411,15 +434,8 @@ fn bench_skew(args: &[String]) -> i32 {
         }
     }
     let json = skew::results_to_json(&run, host, quick);
-    match out_path {
-        Some(p) => {
-            if let Err(e) = std::fs::write(&p, &json) {
-                eprintln!("error: cannot write {}: {e}", p.display());
-                return 1;
-            }
-            eprintln!("wrote {}", p.display());
-        }
-        None => print!("{json}"),
+    if let Err(code) = emit_json(&json, flags.out_path) {
+        return code;
     }
     if bad > 0 {
         eprintln!("error: {bad} worker count(s) diverged or scheduled worse than a static split");
@@ -430,31 +446,11 @@ fn bench_skew(args: &[String]) -> i32 {
 
 fn bench_compress(args: &[String]) -> i32 {
     const USAGE: &str = "usage: scibench bench compress [--quick] [--out PATH]";
-    let mut out_path: Option<std::path::PathBuf> = None;
-    let mut quick = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => {
-                quick = true;
-                i += 1;
-            }
-            "--out" => {
-                let Some(p) = args.get(i + 1) else {
-                    eprintln!("error: --out requires a path");
-                    eprintln!("{USAGE}");
-                    return 2;
-                };
-                out_path = Some(std::path::PathBuf::from(p));
-                i += 2;
-            }
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                eprintln!("{USAGE}");
-                return 2;
-            }
-        }
-    }
+    let flags = match bench_flags(args, USAGE, true, false) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let quick = flags.quick;
 
     let host = hostinfo::available_parallelism();
     eprintln!(
@@ -524,15 +520,8 @@ fn bench_compress(args: &[String]) -> i32 {
         }
     }
     let json = compress::results_to_json(&run, host, quick);
-    match out_path {
-        Some(p) => {
-            if let Err(e) = std::fs::write(&p, &json) {
-                eprintln!("error: cannot write {}: {e}", p.display());
-                return 1;
-            }
-            eprintln!("wrote {}", p.display());
-        }
-        None => print!("{json}"),
+    if let Err(code) = emit_json(&json, flags.out_path) {
+        return code;
     }
     if bad > 0 {
         eprintln!("error: {bad} compression check(s) failed (ratio floor, win, or fingerprint)");
@@ -541,8 +530,86 @@ fn bench_compress(args: &[String]) -> i32 {
     0
 }
 
+fn bench_serve(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: scibench bench serve [--quick] [--threads N] [--out PATH]";
+    let flags = match bench_flags(args, USAGE, true, true) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let quick = flags.quick;
+    let par = flags.threads.unwrap_or_else(|| Parallelism::threads(4));
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/bench sits two levels below the workspace root");
+
+    let host = hostinfo::available_parallelism();
+    eprintln!(
+        "serve bench: replaying a seeded hot/cold query schedule against the resident \
+         service — serial cache-on, concurrent x{} cache-on, serial cache-off{}...",
+        par.workers(),
+        if quick { " (quick)" } else { "" }
+    );
+    let run = match serve::run_serve(root, quick, par) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: workspace unreadable: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "  {} requests: {} served ({} warm / {} cold / {} bypass), {} rejected",
+        run.requests, run.served, run.warm, run.cold, run.bypass, run.rejected
+    );
+    eprintln!(
+        "  cache: {} hits / {} misses / {} bypasses; {} entries resident ({} bytes), {} evictions",
+        run.stats.hits,
+        run.stats.misses,
+        run.stats.bypasses,
+        run.resident_entries,
+        run.resident_bytes,
+        run.stats.evictions
+    );
+    eprintln!(
+        "  latency p50 {:.1}us p95 {:.1}us p99 {:.1}us | cold p50 {:.1}us vs warm p50 {:.1}us ({:.0}x)",
+        run.p50_us, run.p95_us, run.p99_us, run.cold_p50_us, run.warm_p50_us, run.warm_speedup
+    );
+    eprintln!(
+        "  copies: warm hits {} / {} bytes (must be 0/0); cache-off replay {} / {} bytes",
+        run.warm_copies, run.warm_copy_bytes, run.cache_off_copies, run.cache_off_copy_bytes
+    );
+    eprintln!(
+        "  throughput: serial {:.1} rps, concurrent {:.1} rps, cache-off {:.1} rps",
+        run.requests as f64 / run.serial_s.max(1e-9),
+        run.requests as f64 / run.concurrent_s.max(1e-9),
+        run.requests as f64 / run.cache_off_s.max(1e-9)
+    );
+    for q in &run.queries {
+        eprintln!(
+            "  {:<52} x{:<4} first=[{}]{}",
+            q.key,
+            q.requests,
+            q.first_probes.join(","),
+            if q.rejected > 0 { "  rejected" } else { "" }
+        );
+    }
+    let json = serve::results_to_json(&run, host, quick);
+    if let Err(code) = emit_json(&json, flags.out_path) {
+        return code;
+    }
+    if !run.violations.is_empty() {
+        eprintln!("error: {} serve check(s) failed:", run.violations.len());
+        for v in &run.violations {
+            eprintln!("  {v}");
+        }
+        return 1;
+    }
+    0
+}
+
 fn bench(args: &[String]) -> i32 {
-    const USAGE: &str = "usage: scibench bench [e2e|skew|compress] [--threads N] [--out PATH]";
+    const USAGE: &str =
+        "usage: scibench bench [e2e|skew|compress|serve] [--threads N] [--out PATH]";
     if args.first().map(String::as_str) == Some("e2e") {
         return bench_e2e(&args[1..]);
     }
@@ -552,38 +619,17 @@ fn bench(args: &[String]) -> i32 {
     if args.first().map(String::as_str) == Some("compress") {
         return bench_compress(&args[1..]);
     }
-    let mut out_path: Option<std::path::PathBuf> = None;
-    let mut explicit: Option<Parallelism> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--threads" => {
-                match threads_arg(args.get(i + 1), USAGE) {
-                    Ok(p) => explicit = Some(p),
-                    Err(code) => return code,
-                }
-                i += 2;
-            }
-            "--out" => {
-                let Some(p) = args.get(i + 1) else {
-                    eprintln!("error: --out requires a path");
-                    eprintln!("{USAGE}");
-                    return 2;
-                };
-                out_path = Some(std::path::PathBuf::from(p));
-                i += 2;
-            }
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                eprintln!("{USAGE}");
-                return 2;
-            }
-        }
+    if args.first().map(String::as_str) == Some("serve") {
+        return bench_serve(&args[1..]);
     }
+    let flags = match bench_flags(args, USAGE, false, true) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
 
     // The ladder: default 1/2/4/8, extended by an explicit --threads value.
     let mut levels: Vec<usize> = BENCH_LADDER.to_vec();
-    if let Some(p) = explicit {
+    if let Some(p) = flags.threads {
         levels.push(p.workers());
     }
     levels.sort_unstable();
@@ -607,15 +653,8 @@ fn bench(args: &[String]) -> i32 {
         );
     }
     let json = kernels::results_to_json(&results, host);
-    match out_path {
-        Some(p) => {
-            if let Err(e) = std::fs::write(&p, &json) {
-                eprintln!("error: cannot write {}: {e}", p.display());
-                return 1;
-            }
-            eprintln!("wrote {}", p.display());
-        }
-        None => print!("{json}"),
+    if let Err(code) = emit_json(&json, flags.out_path) {
+        return code;
     }
     0
 }
@@ -693,7 +732,7 @@ fn usage() -> i32 {
     eprintln!("              options: [--verbose]");
     eprintln!("  lint --memo certify every shipped lowering for result-cache soundness");
     eprintln!("              (scimemo purity x fingerprint join) and emit the");
-    eprintln!("              scimemo/v1 JSON report");
+    eprintln!("              scimemo/v2 JSON report with live cache counters");
     eprintln!("              options: [--out PATH]");
     eprintln!("  bench       time the five hottest kernels across thread counts and");
     eprintln!("              emit BENCH_kernels.json");
@@ -712,6 +751,11 @@ fn usage() -> i32 {
     eprintln!("              chunks, and Off-vs-Auto pipeline fingerprints, and");
     eprintln!("              emit BENCH_compress.json");
     eprintln!("              options: [--quick] [--out PATH]");
+    eprintln!("  bench serve replay a seeded hot/cold query schedule against the");
+    eprintln!("              resident service (sciserve): serial, concurrent, and");
+    eprintln!("              cache-off, all fingerprint-identical, warm hits zero-copy,");
+    eprintln!("              and emit BENCH_serve.json");
+    eprintln!("              options: [--quick] [--threads N] [--out PATH]");
     eprintln!("  perf-smoke  assert serial and multi-threaded kernel outputs are");
     eprintln!("              bit-identical (CI gate)");
     eprintln!("              options: [--threads N]");

@@ -4,8 +4,9 @@
 //! `perf-smoke` kernel harness) — and in `scibench-core`; this library
 //! holds the shared kernel-benchmark cases ([`kernels`]), the end-to-end
 //! copy-accounting harness ([`e2e`]), the scheduler-skew harness
-//! ([`skew`]), the chunk-compression harness ([`compress`]), and lets
-//! `cargo bench` targets link against the crate.
+//! ([`skew`]), the chunk-compression harness ([`compress`]), the
+//! resident-service replay harness ([`serve`]), and lets `cargo bench`
+//! targets link against the crate.
 
 pub mod compress;
 pub mod e2e;
@@ -13,4 +14,5 @@ pub mod hostinfo;
 pub mod kernels;
 pub mod memo;
 pub mod plans;
+pub mod serve;
 pub mod skew;

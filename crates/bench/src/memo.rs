@@ -1,5 +1,11 @@
 //! The `scibench lint --memo` sweep: certify every shipped lowering for
-//! result-cache soundness and emit the `scimemo/v1` report.
+//! result-cache soundness and emit the `scimemo/v2` report.
+//!
+//! The v2 schema adds a `memo_stats` block: the sweep replays every node
+//! fingerprint through a live [`MemoTable`], so the previously write-only
+//! hit/miss/bypass/eviction counters are surfaced in the report instead
+//! of silently accumulating (see also the serve report, which carries the
+//! same block for the resident cache).
 //!
 //! For each of the shipped configurations ([`crate::plans`]) the sweep
 //! joins the engine's operator-binding tables with the workspace purity
@@ -20,7 +26,9 @@ use std::path::Path;
 
 use scibench_core::experiments::Setup;
 use scilint::purity::PurityTable;
-use scimemo::{certify, Certification, ConfigReport, FixtureReport, NodeClass, Report};
+use scimemo::{
+    certify, Certification, ConfigReport, FixtureReport, MemoTable, NodeClass, Report, StatsBlock,
+};
 use simcluster::{TaskGraph, TaskSpec};
 
 use crate::plans::shipped_configs;
@@ -129,6 +137,29 @@ pub fn run_memo(root: &Path) -> io::Result<MemoSweep> {
             ));
         }
     }
+    // Replay every node of the sweep — and the fixture's — through a live
+    // `MemoTable`, so the report's stats block carries real counter
+    // traffic instead of zeroes: sub-plans shared across configs surface
+    // as hits, first sights as misses, and every uncertified node as a
+    // bypass. The table is unbounded here; eviction behavior is covered
+    // by the scimemo unit tests and measured by `scibench bench serve`.
+    let mut table: MemoTable<u64> = MemoTable::new();
+    let mut replay = |cert: &Certification| {
+        for n in &cert.nodes {
+            let fp = n.fingerprint;
+            table.get_or_compute_weighed(fp, n.certified, || fp, |_| 8);
+        }
+    };
+    for c in &report.configs {
+        replay(&c.cert);
+    }
+    replay(&fixture);
+    report.memo_stats = Some(StatsBlock {
+        stats: table.stats(),
+        resident_entries: table.len(),
+        resident_bytes: table.resident_bytes(),
+    });
+
     report.fixtures.push(FixtureReport {
         name: "unsafe-ambient".to_string(),
         cert: fixture,
@@ -153,6 +184,14 @@ mod tests {
         let sweep = run_memo(workspace_root()).expect("workspace readable");
         assert_eq!(sweep.failures, Vec::<String>::new());
         assert_eq!(sweep.report.configs.len(), 137);
+        // The stats replay surfaced live counters: shared sub-plans hit,
+        // first sights miss, uncertified (infra/fixture) nodes bypass.
+        let stats = sweep.report.memo_stats.expect("v2 reports carry stats");
+        assert!(stats.stats.hits > 0);
+        assert!(stats.stats.misses > 0);
+        assert!(stats.stats.bypasses > 0);
+        assert_eq!(stats.stats.evictions, 0);
+        assert_eq!(stats.resident_entries as u64, stats.stats.misses);
         let fams = sweep.report.family_certified();
         for family in ["neuro", "astro", "ingest", "steps"] {
             let (tasks, certified) = fams[family];
@@ -187,6 +226,7 @@ mod tests {
         let a = run_memo(workspace_root()).unwrap().report.to_json();
         let b = run_memo(workspace_root()).unwrap().report.to_json();
         assert_eq!(a, b);
-        assert!(a.contains("\"schema\": \"scimemo/v1\""));
+        assert!(a.contains("\"schema\": \"scimemo/v2\""));
+        assert!(a.contains("\"memo_stats\""));
     }
 }

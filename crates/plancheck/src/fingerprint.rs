@@ -104,6 +104,24 @@ pub fn graph_fingerprint(graph: &TaskGraph) -> u64 {
     h
 }
 
+/// Fold two fingerprints into one composite cache key, order-sensitively.
+///
+/// The resident query service keys its result cache by
+/// `combine_fingerprints(plan, input)`: the canonical plan digest of the
+/// stage that produced a result, folded with the content fingerprint of
+/// the dataset it consumed. Unlike the input multiset inside
+/// [`node_fingerprints`], this fold is deliberately *ordered* — the plan
+/// and input halves play different roles, so `(a, b)` and `(b, a)` must
+/// not collide by construction.
+pub fn combine_fingerprints(plan: u64, input: u64) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(b"plan=", h);
+    h = fnv1a(&plan.to_be_bytes(), h);
+    h = fnv1a(b";input=", h);
+    h = fnv1a(&input.to_be_bytes(), h);
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +297,14 @@ mod tests {
         let c2 = g2.add(TaskSpec::compute("coadd", 3.0).after(&[b2, a2]));
         assert_eq!(node_fingerprints(&g1)[c1], node_fingerprints(&g2)[c2]);
         assert_eq!(graph_fingerprint(&g1), graph_fingerprint(&g2));
+    }
+
+    #[test]
+    fn combine_is_deterministic_ordered_and_collision_shy() {
+        assert_eq!(combine_fingerprints(1, 2), combine_fingerprints(1, 2));
+        assert_ne!(combine_fingerprints(1, 2), combine_fingerprints(2, 1));
+        assert_ne!(combine_fingerprints(1, 2), combine_fingerprints(1, 3));
+        assert_ne!(combine_fingerprints(0, 0), 0);
     }
 
     #[test]

@@ -60,7 +60,7 @@ mod passes;
 mod profile;
 
 pub use diag::{Code, Diagnostic, Report, Severity};
-pub use fingerprint::{graph_fingerprint, node_fingerprints};
+pub use fingerprint::{combine_fingerprints, graph_fingerprint, node_fingerprints};
 pub use memo::{OpBinding, OpClass};
 pub use profile::{measured_imbalance_from_bench, BarrierDiscipline, InvariantProfile};
 

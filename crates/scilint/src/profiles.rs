@@ -69,6 +69,10 @@ pub fn rules_for(crate_name: &str) -> &'static [&'static str] {
         // is on crate-wide: morsel.rs (the MorselPool internals) is the one
         // sanctioned spawn site, everything else routes through the pool.
         "parexec" => PAREXEC,
+        // serve is resident infrastructure: D002 stays off because request
+        // latency measurement is the service's job, but the hygiene and
+        // determinism-container rules still apply.
+        "serve" => INFRA,
         "simcluster" | "plancheck" | "scilint" => INFRA,
         // formats and core convert on purpose (N002 would be noise) but must
         // not panic on bad input, and core's use-case drivers feed results.

@@ -129,7 +129,7 @@ pub struct PurityVerdict {
 }
 
 /// The workspace purity table.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PurityTable {
     /// One verdict per analyzed function, in symbol-table id order
     /// (sorted by (path, token position)).

@@ -23,8 +23,8 @@
 pub mod report;
 pub mod table;
 
-pub use report::{ConfigReport, FixtureReport, Report};
-pub use table::{MemoStats, MemoTable};
+pub use report::{ConfigReport, FixtureReport, Report, StatsBlock};
+pub use table::{MemoStats, MemoTable, Probe, SharedMemoTable};
 
 use plancheck::{node_fingerprints, OpBinding, OpClass};
 use scilint::purity::PurityTable;

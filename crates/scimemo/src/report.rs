@@ -1,19 +1,25 @@
-//! The `scimemo/v1` cacheability report.
+//! The `scimemo/v2` cacheability report.
 //!
 //! One report covers a whole sweep: the workspace purity summary, one
 //! entry per shipped config (with per-plan certification rollups and
-//! deduplicated rejection reasons), and the deliberately-unsafe fixtures
-//! that prove the gate rejects what it must. The JSON is emitted with
-//! sorted keys and stable ordering throughout, so a byte-level diff (and
-//! the cross-process re-execution test) is meaningful: any schema or
-//! verdict drift shows up as a diff, not silently.
+//! deduplicated rejection reasons), the deliberately-unsafe fixtures
+//! that prove the gate rejects what it must, and — since v2 — the
+//! [`StatsBlock`] surfacing the [`MemoStats`] traffic counters of a
+//! [`crate::MemoTable`] actually exercised over the sweep's certified
+//! fingerprints (the counters existed since v1 but were write-only:
+//! nothing ever read them back out). The JSON is emitted with sorted keys
+//! and stable ordering throughout, so a byte-level diff (and the
+//! cross-process re-execution test) is meaningful: any schema or verdict
+//! drift shows up as a diff, not silently.
 
 use std::collections::BTreeMap;
 
-use crate::Certification;
+use crate::{Certification, MemoStats};
 
-/// Schema tag written into every report.
-pub const SCHEMA: &str = "scimemo/v1";
+/// Schema tag written into every report. Bumped v1 → v2 when the
+/// `memo_stats` block was added (hit/miss/bypass/eviction counters were
+/// previously recorded but never serialized anywhere).
+pub const SCHEMA: &str = "scimemo/v2";
 
 /// Certification of one shipped config.
 #[derive(Debug, Clone)]
@@ -38,7 +44,19 @@ pub struct FixtureReport {
     pub cert: Certification,
 }
 
-/// A full sweep: purity summary + configs + fixtures.
+/// Traffic counters of a memo table exercised during the sweep, plus its
+/// residency at the end — the observable half of cache efficacy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsBlock {
+    /// Hit/miss/bypass/eviction counters.
+    pub stats: MemoStats,
+    /// Entries resident when the sweep finished.
+    pub resident_entries: usize,
+    /// Declared bytes resident when the sweep finished.
+    pub resident_bytes: u64,
+}
+
+/// A full sweep: purity summary + configs + fixtures + cache traffic.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
     /// Workspace purity summary (level name → function count).
@@ -47,6 +65,8 @@ pub struct Report {
     pub configs: Vec<ConfigReport>,
     /// Unsafe fixtures, in sweep order.
     pub fixtures: Vec<FixtureReport>,
+    /// Memo-table traffic over the sweep's fingerprints, when measured.
+    pub memo_stats: Option<StatsBlock>,
 }
 
 /// One label's rollup within a config: `(class, tasks, certified)`.
@@ -209,6 +229,21 @@ impl Report {
         }
         s.push_str("  ],\n");
 
+        if let Some(m) = &self.memo_stats {
+            s.push_str(&format!(
+                "  \"memo_stats\": {{\"hits\": {}, \"misses\": {}, \"bypasses\": {}, \
+                 \"evictions\": {}, \"evicted_bytes\": {}, \"resident_entries\": {}, \
+                 \"resident_bytes\": {}}},\n",
+                m.stats.hits,
+                m.stats.misses,
+                m.stats.bypasses,
+                m.stats.evictions,
+                m.stats.evicted_bytes,
+                m.resident_entries,
+                m.resident_bytes
+            ));
+        }
+
         s.push_str("  \"families\": {");
         let fams: Vec<String> = self
             .family_certified()
@@ -279,6 +314,17 @@ mod tests {
                     graph_fingerprint: 0x5678,
                 },
             }],
+            memo_stats: Some(StatsBlock {
+                stats: MemoStats {
+                    hits: 3,
+                    misses: 2,
+                    bypasses: 1,
+                    evictions: 0,
+                    evicted_bytes: 0,
+                },
+                resident_entries: 2,
+                resident_bytes: 16,
+            }),
         }
     }
 
@@ -288,10 +334,21 @@ mod tests {
         let a = r.to_json();
         let b = r.to_json();
         assert_eq!(a, b);
-        assert!(a.contains("\"schema\": \"scimemo/v1\""));
+        assert!(a.contains("\"schema\": \"scimemo/v2\""));
         assert!(a.contains("\"graph_fingerprint\": \"0000000000001234\""));
         assert!(a.contains("\"fixture:dirty\""));
         assert!(a.contains("ambient_read"));
+        assert!(a.contains(
+            "\"memo_stats\": {\"hits\": 3, \"misses\": 2, \"bypasses\": 1, \"evictions\": 0, \
+             \"evicted_bytes\": 0, \"resident_entries\": 2, \"resident_bytes\": 16}"
+        ));
+    }
+
+    #[test]
+    fn memo_stats_block_is_optional() {
+        let mut r = sample();
+        r.memo_stats = None;
+        assert!(!r.to_json().contains("\"memo_stats\""));
     }
 
     #[test]

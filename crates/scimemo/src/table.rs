@@ -14,8 +14,28 @@
 //! insert a value without asserting certification, so an unsound node can
 //! never be served stale results even if its fingerprint collides with
 //! nothing.
+//!
+//! Two residency policies coexist:
+//!
+//! * an unbounded table ([`MemoTable::new`]) — every certified result
+//!   stays resident, the mode the single-process sweeps use;
+//! * a byte-budgeted table ([`MemoTable::with_budget`]) — each admitted
+//!   entry declares a weight, and admission evicts least-recently-used
+//!   entries until the total weight fits the budget again. Eviction is a
+//!   capacity decision, never a soundness one: an evicted key simply
+//!   recomputes (and re-admits) on its next certified probe.
+//!
+//! [`SharedMemoTable`] wraps the table in a poisoning-safe mutex for use
+//! from `&self` contexts — the resident query service serves many
+//! concurrent requests against one process-wide table. The `compute`
+//! closure runs *outside* the lock, so a slow recompute never blocks
+//! other keys; two threads racing the same cold key may both compute, but
+//! the workspace determinism contract makes their values bit-identical,
+//! so whichever admission lands first is indistinguishable from the
+//! other.
 
 use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Cache traffic counters, for reports and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -26,21 +46,62 @@ pub struct MemoStats {
     pub misses: u64,
     /// Uncertified probes: computed, never stored, never served.
     pub bypasses: u64,
+    /// Entries evicted to fit the byte budget.
+    pub evictions: u64,
+    /// Total declared weight of the evicted entries.
+    pub evicted_bytes: u64,
+}
+
+/// How one probe was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Served from the table (a clone of the resident value).
+    Hit,
+    /// Computed and admitted (the probe was certified).
+    Miss,
+    /// Computed and discarded (the probe was uncertified).
+    Bypass,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    weight: u64,
+    last_used: u64,
 }
 
 /// A fingerprint-keyed result cache gated by the static certificate.
 #[derive(Debug, Default)]
 pub struct MemoTable<V> {
-    entries: BTreeMap<u64, V>,
+    entries: BTreeMap<u64, Entry<V>>,
     stats: MemoStats,
+    /// LRU byte budget; `None` means unbounded.
+    budget: Option<u64>,
+    resident_bytes: u64,
+    /// Monotonic probe clock driving the LRU order.
+    tick: u64,
 }
 
 impl<V: Clone> MemoTable<V> {
-    /// An empty table.
+    /// An empty, unbounded table.
     pub fn new() -> MemoTable<V> {
         MemoTable {
             entries: BTreeMap::new(),
             stats: MemoStats::default(),
+            budget: None,
+            resident_bytes: 0,
+            tick: 0,
+        }
+    }
+
+    /// An empty table that evicts least-recently-used entries once the
+    /// total admitted weight exceeds `budget_bytes`. The most recently
+    /// admitted entry is never evicted, even when it alone exceeds the
+    /// budget — a result that was just computed is always servable once.
+    pub fn with_budget(budget_bytes: u64) -> MemoTable<V> {
+        MemoTable {
+            budget: Some(budget_bytes),
+            ..MemoTable::new()
         }
     }
 
@@ -52,19 +113,91 @@ impl<V: Clone> MemoTable<V> {
     /// direction: the result is recomputed every time, and nothing is
     /// stored, so a later *certified* node whose fingerprint happens to
     /// equal `key` cannot observe an unsound value.
+    ///
+    /// Entries admitted through this method carry zero weight (they never
+    /// count against a byte budget); use [`MemoTable::get_or_compute_weighed`]
+    /// when residency should be bounded.
     pub fn get_or_compute(&mut self, key: u64, certified: bool, compute: impl FnOnce() -> V) -> V {
+        self.get_or_compute_weighed(key, certified, compute, |_| 0)
+            .0
+    }
+
+    /// [`MemoTable::get_or_compute`] with an explicit per-entry weight
+    /// (charged against the byte budget) and the probe outcome returned.
+    ///
+    /// `weigh` runs only on a miss, after `compute`, and should return the
+    /// payload bytes the resident value pins (for zero-copy payloads: the
+    /// bytes of the shared buffers the entry keeps alive).
+    pub fn get_or_compute_weighed(
+        &mut self,
+        key: u64,
+        certified: bool,
+        compute: impl FnOnce() -> V,
+        weigh: impl FnOnce(&V) -> u64,
+    ) -> (V, Probe) {
         if !certified {
             self.stats.bypasses += 1;
-            return compute();
+            return (compute(), Probe::Bypass);
         }
-        if let Some(v) = self.entries.get(&key) {
-            self.stats.hits += 1;
-            return v.clone();
+        if let Some(v) = self.touch(key) {
+            return (v, Probe::Hit);
         }
         let v = compute();
-        self.entries.insert(key, v.clone());
+        let weight = weigh(&v);
+        self.admit(key, v.clone(), weight);
+        (v, Probe::Miss)
+    }
+
+    /// Serve a resident `key`, counting a hit and refreshing its LRU slot.
+    fn touch(&mut self, key: u64) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.get_mut(&key)?;
+        e.last_used = tick;
+        self.stats.hits += 1;
+        Some(e.value.clone())
+    }
+
+    /// Admit a computed value, counting a miss and evicting LRU entries
+    /// past the budget. A concurrent admission that lost the race (the key
+    /// is already resident) still counts the miss — it did compute — but
+    /// keeps the incumbent entry, whose value is bit-identical under the
+    /// determinism contract.
+    fn admit(&mut self, key: u64, value: V, weight: u64) {
         self.stats.misses += 1;
-        v
+        if self.entries.contains_key(&key) {
+            return;
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                weight,
+                last_used: self.tick,
+            },
+        );
+        self.resident_bytes += weight;
+        if let Some(budget) = self.budget {
+            while self.resident_bytes > budget {
+                let lru = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&k, _)| k);
+                // The just-admitted entry holds the newest tick; reaching
+                // it means nothing older is left to evict.
+                match lru {
+                    Some(k) if k != key => {
+                        let evicted = self.entries.remove(&k).expect("lru key came from this map");
+                        self.resident_bytes -= evicted.weight;
+                        self.stats.evictions += 1;
+                        self.stats.evicted_bytes += evicted.weight;
+                    }
+                    _ => break,
+                }
+            }
+        }
     }
 
     /// Whether `key` is resident.
@@ -86,6 +219,103 @@ impl<V: Clone> MemoTable<V> {
     pub fn stats(&self) -> MemoStats {
         self.stats
     }
+
+    /// Total declared weight of the resident entries.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// The byte budget, when one is set.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+}
+
+/// A [`MemoTable`] behind a poisoning-safe mutex, probed through `&self`.
+///
+/// This is the process-wide result cache of the resident query service:
+/// many concurrent requests share one table. Locking is recovery-first —
+/// a panic while the lock was held poisons the mutex, and every later
+/// probe claims the inner value anyway (`PoisonError::into_inner`): the
+/// table's state is a plain map plus counters, valid after any partial
+/// update, and serving a possibly-stale LRU tick is strictly better than
+/// wedging the whole service.
+#[derive(Debug, Default)]
+pub struct SharedMemoTable<V> {
+    inner: Mutex<MemoTable<V>>,
+}
+
+impl<V: Clone> SharedMemoTable<V> {
+    /// An empty, unbounded shared table.
+    pub fn new() -> SharedMemoTable<V> {
+        SharedMemoTable {
+            inner: Mutex::new(MemoTable::new()),
+        }
+    }
+
+    /// An empty shared table with an LRU byte budget.
+    pub fn with_budget(budget_bytes: u64) -> SharedMemoTable<V> {
+        SharedMemoTable {
+            inner: Mutex::new(MemoTable::with_budget(budget_bytes)),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, MemoTable<V>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Serve `key` or compute it, stating certification — the shared-table
+    /// form of [`MemoTable::get_or_compute_weighed`].
+    ///
+    /// `compute` (and `weigh`) run with the lock **released**, so one
+    /// cold key never serializes the whole service behind its recompute.
+    /// Two threads racing the same cold key may therefore both compute;
+    /// both count as misses, the first admission wins residency, and the
+    /// determinism contract makes the two values bit-identical.
+    pub fn get_or_compute(
+        &self,
+        key: u64,
+        certified: bool,
+        compute: impl FnOnce() -> V,
+        weigh: impl FnOnce(&V) -> u64,
+    ) -> (V, Probe) {
+        if !certified {
+            self.lock().stats.bypasses += 1;
+            return (compute(), Probe::Bypass);
+        }
+        if let Some(v) = self.lock().touch(key) {
+            return (v, Probe::Hit);
+        }
+        let v = compute();
+        let weight = weigh(&v);
+        self.lock().admit(key, v.clone(), weight);
+        (v, Probe::Miss)
+    }
+
+    /// Whether `key` is resident right now.
+    pub fn contains(&self, key: u64) -> bool {
+        self.lock().contains(key)
+    }
+
+    /// Number of resident entries right now.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is cached right now.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> MemoStats {
+        self.lock().stats()
+    }
+
+    /// Total declared weight of the resident entries right now.
+    pub fn resident_bytes(&self) -> u64 {
+        self.lock().resident_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -105,7 +335,8 @@ mod tests {
             MemoStats {
                 hits: 1,
                 misses: 1,
-                bypasses: 2
+                bypasses: 2,
+                ..MemoStats::default()
             }
         );
         assert_eq!(t.len(), 1);
@@ -119,5 +350,125 @@ mod tests {
         // table, not the unsound value.
         assert_eq!(t.get_or_compute(1, true, || "sound"), "sound");
         assert_eq!(t.get_or_compute(1, true, || unreachable!()), "sound");
+    }
+
+    #[test]
+    fn probe_outcomes_are_reported() {
+        let mut t: MemoTable<u32> = MemoTable::new();
+        let w = |_: &u32| 4;
+        assert_eq!(t.get_or_compute_weighed(1, true, || 10, w).1, Probe::Miss);
+        assert_eq!(t.get_or_compute_weighed(1, true, || 10, w).1, Probe::Hit);
+        assert_eq!(
+            t.get_or_compute_weighed(2, false, || 20, w).1,
+            Probe::Bypass
+        );
+        assert_eq!(t.resident_bytes(), 4);
+    }
+
+    #[test]
+    fn lru_budget_evicts_oldest_and_counts_stats() {
+        // Budget of 10 bytes, entries of 4: the third admission must evict
+        // the least-recently-used entry, which a preceding hit has moved
+        // away from the insertion order.
+        let mut t: MemoTable<u64> = MemoTable::with_budget(10);
+        let w = |_: &u64| 4;
+        t.get_or_compute_weighed(1, true, || 100, w);
+        t.get_or_compute_weighed(2, true, || 200, w);
+        t.get_or_compute_weighed(1, true, || unreachable!(), w); // refresh key 1
+        t.get_or_compute_weighed(3, true, || 300, w);
+        assert!(t.contains(1), "recently-touched entry survives");
+        assert!(!t.contains(2), "LRU entry is evicted");
+        assert!(t.contains(3));
+        assert_eq!(t.resident_bytes(), 8);
+        let s = t.stats();
+        assert_eq!((s.hits, s.misses), (1, 3));
+        assert_eq!((s.evictions, s.evicted_bytes), (1, 4));
+        // The evicted key recomputes and re-admits: capacity, not soundness.
+        assert_eq!(
+            t.get_or_compute_weighed(2, true, || 201, w),
+            (201, Probe::Miss)
+        );
+    }
+
+    #[test]
+    fn oversized_entry_is_admitted_then_alone() {
+        let mut t: MemoTable<u8> = MemoTable::with_budget(3);
+        let w = |_: &u8| 2;
+        t.get_or_compute_weighed(1, true, || 1, w);
+        // 9 bytes > budget: everything else goes, the new entry stays.
+        t.get_or_compute_weighed(2, true, || 2, |_| 9);
+        assert!(!t.contains(1));
+        assert!(t.contains(2));
+        assert_eq!(t.resident_bytes(), 9);
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_weight_entries_never_trip_the_budget() {
+        let mut t: MemoTable<u8> = MemoTable::with_budget(1);
+        for k in 0..10 {
+            t.get_or_compute(k, true, || k as u8);
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.stats().evictions, 0);
+    }
+
+    #[test]
+    fn shared_table_serves_hits_across_threads() {
+        let t: SharedMemoTable<u64> = SharedMemoTable::new();
+        let (v, p) = t.get_or_compute(5, true, || 55, |_| 8);
+        assert_eq!((v, p), (55, Probe::Miss));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let (v, p) = t.get_or_compute(5, true, || unreachable!(), |_| 8);
+                    assert_eq!((v, p), (55, Probe::Hit));
+                });
+            }
+        });
+        let st = t.stats();
+        assert_eq!((st.hits, st.misses, st.bypasses), (4, 1, 0));
+        assert_eq!(t.resident_bytes(), 8);
+    }
+
+    #[test]
+    fn shared_table_racing_cold_probes_agree() {
+        // Every thread races the same cold key: each probe either hits or
+        // computes the same deterministic value; residency is exactly one
+        // entry and hits+misses covers all probes.
+        let t: SharedMemoTable<u64> = SharedMemoTable::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let (v, _) = t.get_or_compute(1, true, || 42, |_| 8);
+                    assert_eq!(v, 42);
+                });
+            }
+        });
+        let st = t.stats();
+        assert_eq!(st.hits + st.misses, 8);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.resident_bytes(), 8);
+    }
+
+    #[test]
+    fn shared_table_survives_a_poisoned_lock() {
+        let t: SharedMemoTable<u64> = SharedMemoTable::new();
+        t.get_or_compute(1, true, || 10, |_| 0);
+        // Poison the mutex: panic while holding the guard.
+        let r = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = t.inner.lock().unwrap();
+                panic!("poison the table lock");
+            })
+            .join()
+        });
+        assert!(r.is_err(), "the poisoning thread panicked");
+        // Probes keep working: recovery-first locking claims the state.
+        assert_eq!(
+            t.get_or_compute(1, true, || unreachable!(), |_| 0),
+            (10, Probe::Hit)
+        );
+        assert_eq!(t.stats().hits, 1);
     }
 }

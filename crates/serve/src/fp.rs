@@ -1,0 +1,122 @@
+//! FNV-1a 64 content fingerprints for catalog payloads and responses.
+//!
+//! Same constants and convention as `plancheck::fingerprint` (the
+//! workspace's structural digest) and the bench crate's kernel
+//! fingerprints: floats hash as IEEE bit patterns, so bit-identical
+//! payloads — the workspace determinism contract — yield equal digests,
+//! and any single-bit divergence perturbs them.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64 hasher over typed pushes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    /// Start a fresh digest.
+    pub fn new() -> Fingerprint {
+        Fingerprint(FNV_OFFSET)
+    }
+
+    /// Fold raw bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Fold one `u64`.
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_be_bytes());
+    }
+
+    /// Fold one `i64`.
+    pub fn push_i64(&mut self, v: i64) {
+        self.push_bytes(&v.to_be_bytes());
+    }
+
+    /// Fold one `usize` (as `u64`, platform-independently).
+    pub fn push_usize(&mut self, v: usize) {
+        self.push_u64(v as u64);
+    }
+
+    /// Fold one `f64` as its IEEE bit pattern.
+    pub fn push_f64(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+
+    /// Fold a slice of `f64` bit patterns, length-prefixed.
+    pub fn push_f64_slice(&mut self, vs: &[f64]) {
+        self.push_usize(vs.len());
+        for &v in vs {
+            self.push_u64(v.to_bits());
+        }
+    }
+
+    /// Fold a slice of bools as bytes, length-prefixed.
+    pub fn push_bool_slice(&mut self, vs: &[bool]) {
+        self.push_usize(vs.len());
+        for &v in vs {
+            self.push_bytes(&[u8::from(v)]);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let digest = |f: &dyn Fn(&mut Fingerprint)| {
+            let mut fp = Fingerprint::new();
+            f(&mut fp);
+            fp.finish()
+        };
+        assert_eq!(
+            digest(&|f| f.push_f64_slice(&[1.0, 2.0])),
+            digest(&|f| f.push_f64_slice(&[1.0, 2.0]))
+        );
+        assert_ne!(
+            digest(&|f| f.push_f64_slice(&[1.0, 2.0])),
+            digest(&|f| f.push_f64_slice(&[2.0, 1.0]))
+        );
+        // -0.0 and 0.0 differ bitwise, so they differ here too.
+        assert_ne!(digest(&|f| f.push_f64(0.0)), digest(&|f| f.push_f64(-0.0)));
+        assert_ne!(digest(&|f| f.push_i64(-1)), digest(&|f| f.push_i64(1)));
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_aliasing() {
+        let a = {
+            let mut f = Fingerprint::new();
+            f.push_f64_slice(&[1.0]);
+            f.push_f64_slice(&[2.0]);
+            f.finish()
+        };
+        let b = {
+            let mut f = Fingerprint::new();
+            f.push_f64_slice(&[1.0, 2.0]);
+            f.push_f64_slice(&[]);
+            f.finish()
+        };
+        assert_ne!(a, b);
+    }
+}

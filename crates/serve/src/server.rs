@@ -1,0 +1,825 @@
+//! The resident query service.
+//!
+//! A [`Server`] holds the dataset catalog, the workspace purity table
+//! (computed once at startup — the service is resident, so the static
+//! analysis is paid once and amortized over every request), a plan cache,
+//! a shared [`MorselPool`] for concurrent requests, and the process-wide
+//! result cache: a [`SharedMemoTable`] keyed by
+//! `combine_fingerprints(stage plan fingerprint, input content
+//! fingerprint)`.
+//!
+//! # Life of a request
+//!
+//! 1. **Resolve** the dataset (`name@version`) in the catalog.
+//! 2. **Plan**: lower the query through the engine's existing analogs
+//!    into per-stage task graphs; fingerprint each stage (chained, so a
+//!    stage's fingerprint covers every upstream stage); certify each
+//!    stage with [`scimemo::certify`]; admission-check every graph with
+//!    [`plancheck::check`] — a plan with *any* error, memory errors
+//!    included, is refused (the Figure 15 pipelined-OOM configuration is
+//!    the canonical rejection). The whole `Result` is cached per query
+//!    key, so repeat queries skip lowering and certification entirely.
+//! 3. **Execute** stage by stage. Every stage probes the result cache:
+//!    certified stages hit (an `Arc` clone of the resident payload —
+//!    zero copies, verified by `CopyCounter` in the serve bench) or
+//!    compute-and-admit; uncertified stages always take the bypass path.
+//!    Because execution is *always* stage-wise, a cold query whose prefix
+//!    matches a previously-served plan reuses the warm prefix (sub-plan
+//!    memoization), and cache-on/cache-off runs execute byte-identical
+//!    stage code.
+//!
+//! # Soundness
+//!
+//! The cache can only be populated through a probe that asserts the
+//! stage's static certificate (see `scimemo::table`), the key's plan half
+//! covers operator kind, parameters and upstream stages, and the input
+//! half covers every payload byte of the dataset. DESIGN.md §3.15 spells
+//! out the full argument.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use marray::{Mask, NdArray};
+use parexec::{CostHint, MorselPool, Parallelism};
+use plancheck::{combine_fingerprints, graph_fingerprint, OpBinding, OpClass};
+use scibench_core::experiments::{tuned_partitions, Setup};
+use scibench_core::lower::Engine;
+use scibench_core::lower::{astro as lower_astro, neuro as lower_neuro, steps as lower_steps};
+use scibench_core::usecases::astro as astro_uc;
+use scibench_core::usecases::neuro as neuro_uc;
+use scibench_core::workload::{AstroWorkload, NeuroWorkload};
+use scilint::purity::PurityTable;
+use scimemo::{certify, MemoStats, Probe, SharedMemoTable};
+use simcluster::{TaskGraph, TaskSpec};
+
+use crate::catalog::{Catalog, Dataset, DatasetPayload};
+use crate::fp::Fingerprint;
+use crate::query::{Pipeline, QueryDesc};
+
+/// The deliberately-unsafe fixture's binding table: `fixture:auto-tile`
+/// claims to run `auto`, the ambient thread-count probe in `parexec`,
+/// whose purity verdict is `ambient_read` — so the certifier must refuse
+/// to let the fixture populate the cache.
+pub const FIXTURE_OPS: &[OpBinding] = &[
+    OpBinding::new("fixture:ingest", OpClass::Source),
+    OpBinding::new("fixture:auto-tile", OpClass::Kernel(&["auto"])),
+];
+
+/// The fixture plan: a versioned ingest feeding the ambient-read kernel.
+pub fn fixture_graph() -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let ingest = g.add(TaskSpec::compute("fixture:ingest", 1.0).output(1 << 20));
+    g.add(TaskSpec::compute("fixture:auto-tile", 1.0).after(&[ingest]));
+    g
+}
+
+/// One cacheable stage payload. Every variant is behind an `Arc`, so a
+/// cache hit's `clone` is a refcount bump: zero payload bytes move.
+#[derive(Clone)]
+enum Payload {
+    /// Per-subject `(volume, mask)` pairs — segmentation's `(mean_b0,
+    /// mask)` or denoising's `(denoised, mask)`.
+    VolMask(Arc<BTreeMap<u32, (NdArray<f64>, Mask)>>),
+    /// Per-subject volumes (the FA maps).
+    Vols(Arc<BTreeMap<u32, NdArray<f64>>>),
+    /// The full astronomy result: per-patch coadds and catalogs.
+    Astro(Arc<astro_uc::AstroResult>),
+    /// The clipped-coadd plane.
+    Coadd(Arc<NdArray<f64>>),
+    /// A scalar (the fixture's output).
+    Scalar(f64),
+}
+
+/// A payload plus its content fingerprint and pinned bytes, both computed
+/// once when the payload is first produced — hits reuse them, so serving
+/// a warm request never re-reads the payload.
+#[derive(Clone)]
+struct Cached {
+    payload: Payload,
+    fingerprint: u64,
+    nbytes: u64,
+}
+
+impl Cached {
+    fn wrap(payload: Payload) -> Cached {
+        let mut fp = Fingerprint::new();
+        let mut nbytes: u64 = 0;
+        match &payload {
+            Payload::VolMask(m) => {
+                for (id, (vol, mask)) in m.iter() {
+                    fp.push_u64(u64::from(*id));
+                    fp.push_f64_slice(vol.data());
+                    fp.push_bool_slice(mask.bits());
+                    nbytes += vol.nbytes() as u64 + mask.bits().len() as u64;
+                }
+            }
+            Payload::Vols(m) => {
+                for (id, vol) in m.iter() {
+                    fp.push_u64(u64::from(*id));
+                    fp.push_f64_slice(vol.data());
+                    nbytes += vol.nbytes() as u64;
+                }
+            }
+            Payload::Astro(r) => {
+                for (patch, flux) in &r.coadd_flux {
+                    fp.push_usize(patch.0 as usize);
+                    fp.push_usize(patch.1 as usize);
+                    fp.push_f64_slice(flux.data());
+                    nbytes += flux.nbytes() as u64;
+                }
+                for sources in r.catalogs.values() {
+                    fp.push_usize(sources.len());
+                    nbytes += 48 * sources.len() as u64;
+                    for s in sources {
+                        fp.push_f64(s.centroid.0);
+                        fp.push_f64(s.centroid.1);
+                        fp.push_f64(s.flux);
+                        fp.push_f64(s.peak);
+                        fp.push_usize(s.npix);
+                    }
+                }
+            }
+            Payload::Coadd(c) => {
+                fp.push_f64_slice(c.data());
+                nbytes += c.nbytes() as u64;
+            }
+            Payload::Scalar(v) => {
+                fp.push_f64(*v);
+                nbytes += 8;
+            }
+        }
+        Cached {
+            payload,
+            fingerprint: fp.finish(),
+            nbytes,
+        }
+    }
+}
+
+/// One stage of an admitted plan.
+struct StagePlan {
+    /// Stage name, stable across runs.
+    name: &'static str,
+    /// Chained plan fingerprint: this stage's canonical graph digest
+    /// folded over every upstream stage's.
+    fingerprint: u64,
+    /// Whether [`scimemo::certify`] certified every payload node.
+    certified: bool,
+}
+
+/// A lowered, certified, admission-checked plan.
+struct PlanInfo {
+    stages: Vec<StagePlan>,
+}
+
+/// How one stage of a served request was satisfied.
+#[derive(Debug, Clone, Copy)]
+pub struct StageOutcome {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Hit / miss / bypass (with caching disabled, every stage reports
+    /// [`Probe::Bypass`]: it computed and nothing was consulted or
+    /// stored).
+    pub probe: Probe,
+}
+
+/// A successfully-served request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The query key ([`QueryDesc::key`]).
+    pub key: String,
+    /// Content fingerprint of the final payload.
+    pub fingerprint: u64,
+    /// Service latency in microseconds (plan lookup + all stages).
+    pub micros: f64,
+    /// Per-stage cache outcomes, in execution order.
+    pub stages: Vec<StageOutcome>,
+}
+
+impl Response {
+    /// True when every stage was served from the cache.
+    pub fn all_hits(&self) -> bool {
+        self.stages.iter().all(|s| s.probe == Probe::Hit)
+    }
+
+    /// True when any stage computed and admitted.
+    pub fn any_miss(&self) -> bool {
+        self.stages.iter().any(|s| s.probe == Probe::Miss)
+    }
+
+    /// True when any stage took the uncertified bypass path.
+    pub fn any_bypass(&self) -> bool {
+        self.stages.iter().any(|s| s.probe == Probe::Bypass)
+    }
+}
+
+/// The outcome of one request.
+#[derive(Debug, Clone)]
+pub enum ServeOutcome {
+    /// The plan was admitted and executed.
+    Done(Response),
+    /// The query was refused before execution: unknown dataset, an
+    /// engine/pipeline combination the engine cannot express, or an
+    /// admission failure (the plan would error — e.g. overrun memory).
+    Rejected {
+        /// The query key.
+        key: String,
+        /// Why the query was refused.
+        reason: String,
+    },
+}
+
+impl ServeOutcome {
+    /// The response, when the request was served.
+    pub fn response(&self) -> Option<&Response> {
+        match self {
+            ServeOutcome::Done(r) => Some(r),
+            ServeOutcome::Rejected { .. } => None,
+        }
+    }
+
+    /// True when the query was refused.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, ServeOutcome::Rejected { .. })
+    }
+}
+
+/// The resident query service. See the module docs for the life of a
+/// request.
+pub struct Server {
+    setup: Setup,
+    catalog: Catalog,
+    purity: PurityTable,
+    pool: MorselPool,
+    plans: Mutex<BTreeMap<String, Arc<Result<PlanInfo, String>>>>,
+    cache: SharedMemoTable<Cached>,
+    caching: bool,
+}
+
+impl Server {
+    /// Start a server over `catalog`. `purity` is the workspace purity
+    /// table backing certification — the caller runs
+    /// `scilint::purity::analyze_workspace` once at startup and the cost
+    /// is amortized over every request. (The analysis is deliberately not
+    /// run *here*: it reads the filesystem, and the purity walk is
+    /// name-based and interprocedural, so burying an ambient read inside
+    /// a constructor named `new` would taint every `new` in the
+    /// workspace — the certifier would then refuse its own kernels.)
+    pub fn new(catalog: Catalog, purity: PurityTable) -> Server {
+        Server {
+            setup: Setup::default(),
+            catalog,
+            purity,
+            pool: MorselPool::with_hint(Parallelism::Serial, CostHint::min_items(1)),
+            plans: Mutex::new(BTreeMap::new()),
+            cache: SharedMemoTable::new(),
+            caching: true,
+        }
+    }
+
+    /// Serve concurrent batches across `par` workers (each request is one
+    /// morsel item; the pool is shared by every batch).
+    pub fn with_parallelism(mut self, par: Parallelism) -> Server {
+        self.pool = MorselPool::with_hint(par, CostHint::min_items(1));
+        self
+    }
+
+    /// Bound the result cache to `bytes` (LRU eviction past it). Replaces
+    /// the cache, so call before serving.
+    pub fn with_cache_budget(mut self, bytes: u64) -> Server {
+        self.cache = SharedMemoTable::with_budget(bytes);
+        self
+    }
+
+    /// Enable or disable the result cache entirely — the cache-off
+    /// baseline replays every stage from scratch. Call before serving.
+    pub fn with_caching(mut self, on: bool) -> Server {
+        self.caching = on;
+        self
+    }
+
+    /// The catalog this server answers queries against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Whether the result cache is consulted at all.
+    pub fn caching(&self) -> bool {
+        self.caching
+    }
+
+    /// Result-cache traffic counters so far.
+    pub fn cache_stats(&self) -> MemoStats {
+        self.cache.stats()
+    }
+
+    /// Resident result-cache entries right now.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Resident result-cache bytes right now.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.resident_bytes()
+    }
+
+    fn plans_lock(&self) -> MutexGuard<'_, BTreeMap<String, Arc<Result<PlanInfo, String>>>> {
+        self.plans.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Serve one request.
+    pub fn serve_one(&self, q: &QueryDesc) -> ServeOutcome {
+        let key = q.key();
+        let t0 = Instant::now();
+        let Some(dataset) = self.catalog.get(&q.dataset, q.version) else {
+            return ServeOutcome::Rejected {
+                key,
+                reason: format!("unknown dataset `{}@v{}`", q.dataset, q.version),
+            };
+        };
+        let plan = self.plan_for(&key, q, dataset);
+        let plan = match plan.as_ref() {
+            Ok(p) => p,
+            Err(reason) => {
+                return ServeOutcome::Rejected {
+                    key,
+                    reason: reason.clone(),
+                }
+            }
+        };
+        let mut prev: Option<Cached> = None;
+        let mut stages = Vec::with_capacity(plan.stages.len());
+        for st in &plan.stages {
+            let cache_key = combine_fingerprints(st.fingerprint, dataset.fingerprint);
+            let (out, probe) = if self.caching {
+                // `prev` is cloned into the compute closure: an Arc bump,
+                // and unused entirely when the probe hits.
+                let prev = prev.clone();
+                self.cache.get_or_compute(
+                    cache_key,
+                    st.certified,
+                    || Cached::wrap(exec_stage(st.name, q, dataset, prev.as_ref())),
+                    |c| c.nbytes,
+                )
+            } else {
+                (
+                    Cached::wrap(exec_stage(st.name, q, dataset, prev.as_ref())),
+                    Probe::Bypass,
+                )
+            };
+            stages.push(StageOutcome {
+                stage: st.name,
+                probe,
+            });
+            prev = Some(out);
+        }
+        let last = prev.expect("every admitted plan has at least one stage");
+        ServeOutcome::Done(Response {
+            key,
+            fingerprint: last.fingerprint,
+            micros: t0.elapsed().as_secs_f64() * 1e6,
+            stages,
+        })
+    }
+
+    /// Serve a batch of requests concurrently on the shared pool,
+    /// results in input order.
+    pub fn serve_batch(&self, queries: &[QueryDesc]) -> Vec<ServeOutcome> {
+        self.pool.map(queries, |_, q| self.serve_one(q))
+    }
+
+    /// The cached plan (or cached rejection) for `key`, building it on
+    /// first sight. Building happens outside the lock: two requests
+    /// racing a new key both lower, deterministically identically, and
+    /// the first insertion wins.
+    fn plan_for(
+        &self,
+        key: &str,
+        q: &QueryDesc,
+        dataset: &Dataset,
+    ) -> Arc<Result<PlanInfo, String>> {
+        if let Some(p) = self.plans_lock().get(key) {
+            return Arc::clone(p);
+        }
+        let built = Arc::new(self.build_plan(q, dataset));
+        self.plans_lock()
+            .entry(key.to_string())
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Validate, lower, fingerprint, certify and admission-check `q`.
+    fn build_plan(&self, q: &QueryDesc, dataset: &Dataset) -> Result<PlanInfo, String> {
+        validate(q, dataset)?;
+        let cluster = self.setup.cluster_for(q.engine, q.nodes);
+        let admit = |graph: &TaskGraph| -> Result<(), String> {
+            let report =
+                plancheck::check(graph, &cluster, &self.setup.profiles.invariants(q.engine));
+            let errors = report.errors().count();
+            if errors == 0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "admission: plancheck refused the plan ({errors} error(s); {})",
+                    report.summary()
+                ))
+            }
+        };
+        let certified = |graph: &TaskGraph| -> bool {
+            let tables = self.setup.profiles.op_bindings(q.engine);
+            certify(graph, &tables, &self.purity)
+                .rejections()
+                .next()
+                .is_none()
+        };
+        let mut stages = Vec::new();
+        match q.pipeline {
+            Pipeline::NeuroSegment | Pipeline::NeuroDenoise | Pipeline::NeuroFa => {
+                let n = match &dataset.payload {
+                    DatasetPayload::Neuro(subs) => subs.len(),
+                    _ => unreachable!("validated as a neuro payload"),
+                };
+                let w = NeuroWorkload { subjects: n };
+                let seg = lower_steps::mean_step(
+                    q.engine,
+                    &w,
+                    &self.setup.cm,
+                    &self.setup.profiles,
+                    &cluster,
+                );
+                admit(&seg)?;
+                let seg_fp = graph_fingerprint(&seg);
+                stages.push(StagePlan {
+                    name: "segment",
+                    fingerprint: seg_fp,
+                    certified: certified(&seg),
+                });
+                if q.pipeline != Pipeline::NeuroSegment {
+                    let den = lower_steps::denoise_step(
+                        q.engine,
+                        &w,
+                        &self.setup.cm,
+                        &self.setup.profiles,
+                        &cluster,
+                    );
+                    admit(&den)?;
+                    let den_fp = combine_fingerprints(seg_fp, graph_fingerprint(&den));
+                    stages.push(StagePlan {
+                        name: "denoise",
+                        fingerprint: den_fp,
+                        certified: certified(&den),
+                    });
+                    if q.pipeline == Pipeline::NeuroFa {
+                        let full = match q.engine {
+                            Engine::Spark => lower_neuro::spark(
+                                &w,
+                                &self.setup.cm,
+                                &self.setup.profiles,
+                                &cluster,
+                                Some(tuned_partitions(&cluster)),
+                                true,
+                            ),
+                            Engine::Myria => lower_neuro::myria(
+                                &w,
+                                &self.setup.cm,
+                                &self.setup.profiles,
+                                &cluster,
+                            ),
+                            Engine::Dask => lower_neuro::dask(
+                                &w,
+                                &self.setup.cm,
+                                &self.setup.profiles,
+                                &cluster,
+                            ),
+                            _ => unreachable!("validated: only the e2e engines reach here"),
+                        };
+                        admit(&full)?;
+                        stages.push(StagePlan {
+                            name: "fa",
+                            fingerprint: combine_fingerprints(den_fp, graph_fingerprint(&full)),
+                            certified: certified(&full),
+                        });
+                    }
+                }
+            }
+            Pipeline::AstroFull => {
+                let visits = match &dataset.payload {
+                    DatasetPayload::AstroSurvey(sv) => sv.visits.len(),
+                    _ => unreachable!("validated as a survey payload"),
+                };
+                let w = AstroWorkload { visits };
+                let graph = match q.engine {
+                    Engine::Spark => {
+                        lower_astro::spark(&w, &self.setup.cm, &self.setup.profiles, &cluster)
+                    }
+                    Engine::Myria => {
+                        lower_astro::myria(
+                            &w,
+                            &self.setup.cm,
+                            &self.setup.profiles,
+                            &cluster,
+                            q.mode.execution_mode(),
+                        )
+                        .0
+                    }
+                    _ => unreachable!("validated: only Spark/Myria reach here"),
+                };
+                admit(&graph)?;
+                stages.push(StagePlan {
+                    name: "astro-full",
+                    fingerprint: graph_fingerprint(&graph),
+                    certified: certified(&graph),
+                });
+            }
+            Pipeline::AstroCoadd => {
+                let visits = match &dataset.payload {
+                    DatasetPayload::AstroCube(c) => c.dims()[0],
+                    _ => unreachable!("validated as a cube payload"),
+                };
+                let w = AstroWorkload { visits };
+                let graph = lower_astro::scidb_coadd(
+                    &w,
+                    &self.setup.cm,
+                    &self.setup.profiles,
+                    &cluster,
+                    1000,
+                );
+                admit(&graph)?;
+                stages.push(StagePlan {
+                    name: "coadd",
+                    fingerprint: graph_fingerprint(&graph),
+                    certified: certified(&graph),
+                });
+            }
+            Pipeline::FixtureAmbient => {
+                let graph = fixture_graph();
+                admit(&graph)?;
+                // The fixture certifies against its own binding table,
+                // which routes its kernel to the ambient-read probe: the
+                // certifier decides (and must refuse) — nothing is
+                // hard-coded here, so this is live regression coverage.
+                let cert = certify(&graph, &[FIXTURE_OPS], &self.purity);
+                stages.push(StagePlan {
+                    name: "ambient",
+                    fingerprint: graph_fingerprint(&graph),
+                    certified: cert.rejections().next().is_none(),
+                });
+            }
+        }
+        Ok(PlanInfo { stages })
+    }
+}
+
+/// Which engine/pipeline/payload combinations are expressible, mirroring
+/// the paper's capability matrix.
+fn validate(q: &QueryDesc, dataset: &Dataset) -> Result<(), String> {
+    if q.nodes == 0 {
+        return Err("admission: a zero-node cluster cannot run anything".to_string());
+    }
+    let engine_ok = match q.pipeline {
+        Pipeline::NeuroSegment | Pipeline::NeuroDenoise | Pipeline::FixtureAmbient => true,
+        Pipeline::NeuroFa => Engine::neuro_e2e().contains(&q.engine),
+        Pipeline::AstroFull => Engine::astro_e2e().contains(&q.engine),
+        Pipeline::AstroCoadd => q.engine == Engine::SciDb,
+    };
+    if !engine_ok {
+        return Err(format!(
+            "{} cannot express `{}` (the paper reports this combination NA)",
+            q.engine.name(),
+            q.pipeline.name()
+        ));
+    }
+    let payload_ok = match q.pipeline {
+        Pipeline::NeuroSegment
+        | Pipeline::NeuroDenoise
+        | Pipeline::NeuroFa
+        | Pipeline::FixtureAmbient => {
+            matches!(&dataset.payload, DatasetPayload::Neuro(s) if !s.is_empty())
+        }
+        Pipeline::AstroFull => {
+            matches!(&dataset.payload, DatasetPayload::AstroSurvey(sv) if !sv.visits.is_empty())
+        }
+        Pipeline::AstroCoadd => matches!(&dataset.payload, DatasetPayload::AstroCube(_)),
+    };
+    if !payload_ok {
+        return Err(format!(
+            "pipeline `{}` cannot consume dataset `{}@v{}` (payload kind `{}`)",
+            q.pipeline.name(),
+            dataset.name,
+            dataset.version,
+            dataset.payload.kind()
+        ));
+    }
+    Ok(())
+}
+
+/// Execute one stage. Always runs the same shared kernels regardless of
+/// cache state — cache-on and cache-off runs are byte-identical by
+/// construction, which the serve bench verifies end to end.
+fn exec_stage(name: &str, q: &QueryDesc, dataset: &Dataset, prev: Option<&Cached>) -> Payload {
+    match (name, &dataset.payload) {
+        ("segment", DatasetPayload::Neuro(subs)) => {
+            let mut out = BTreeMap::new();
+            for s in subs.iter() {
+                let (mean_b0, mask) = sciops::neuro::pipeline::segmentation(&s.data, &s.gtab);
+                out.insert(s.id, (mean_b0, mask));
+            }
+            Payload::VolMask(Arc::new(out))
+        }
+        ("denoise", DatasetPayload::Neuro(subs)) => {
+            let seg = prev_volmask(prev);
+            let params = neuro_uc::nlm_params();
+            let mut out = BTreeMap::new();
+            for s in subs.iter() {
+                let (_, mask) = seg
+                    .get(&s.id)
+                    .expect("segment stage output covers every subject");
+                let denoised = sciops::neuro::pipeline::denoise_all(&s.data, mask, &params);
+                out.insert(s.id, (denoised, mask.clone()));
+            }
+            Payload::VolMask(Arc::new(out))
+        }
+        ("fa", DatasetPayload::Neuro(subs)) => {
+            let den = prev_volmask(prev);
+            let mut out = BTreeMap::new();
+            for s in subs.iter() {
+                let (denoised, mask) = den
+                    .get(&s.id)
+                    .expect("denoise stage output covers every subject");
+                out.insert(s.id, sciops::neuro::fit_dtm_volume(denoised, mask, &s.gtab));
+            }
+            Payload::Vols(Arc::new(out))
+        }
+        ("astro-full", DatasetPayload::AstroSurvey(sv)) => {
+            // Execution runs the test-scale engine analogs at their e2e
+            // bench shapes; `q.nodes` sizes only the admission model.
+            let result = match q.engine {
+                Engine::Spark => astro_uc::spark(sv, 6),
+                Engine::Myria => astro_uc::myria(sv, 4, 1),
+                _ => unreachable!("validated: only Spark/Myria reach here"),
+            };
+            Payload::Astro(Arc::new(result))
+        }
+        ("coadd", DatasetPayload::AstroCube(cube)) => {
+            let db = engine_array::ArrayDb::connect(4);
+            let out = astro_uc::scidb_coadd_cube(&db, cube, 8)
+                .expect("the registered cube satisfies the coadd's shape contract");
+            Payload::Coadd(Arc::new(out))
+        }
+        ("ambient", DatasetPayload::Neuro(subs)) => {
+            // Runtime-deterministic on purpose: the fixture is *statically*
+            // uncertifiable (its operator binds to an ambient-read sink),
+            // which is exactly what the bypass path must handle; a
+            // genuinely nondeterministic payload would break the replay
+            // comparisons without testing anything further.
+            let s = subs.first().expect("validated as a non-empty dataset");
+            let data = s.data.data();
+            let mean = data.iter().sum::<f64>() / data.len() as f64;
+            Payload::Scalar(mean)
+        }
+        _ => unreachable!("stage/payload pairs are fixed by build_plan"),
+    }
+}
+
+fn prev_volmask(prev: Option<&Cached>) -> &BTreeMap<u32, (NdArray<f64>, Mask)> {
+    match prev.map(|c| &c.payload) {
+        Some(Payload::VolMask(m)) => m,
+        _ => unreachable!("stage order is fixed by build_plan"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::demo_catalog;
+    use crate::query::AstroMode;
+    use marray::CopyCounter;
+    use std::path::Path;
+
+    fn workspace_root() -> &'static Path {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/serve sits two levels below the workspace root")
+    }
+
+    fn server() -> Server {
+        let purity =
+            scilint::purity::analyze_workspace(workspace_root()).expect("workspace readable");
+        Server::new(demo_catalog(true), purity)
+    }
+
+    fn fp(outcome: &ServeOutcome) -> u64 {
+        outcome.response().expect("served").fingerprint
+    }
+
+    #[test]
+    fn warm_hit_is_zero_copy_and_bit_identical() {
+        let srv = server();
+        let q = QueryDesc::new(Engine::Spark, Pipeline::NeuroSegment, "dmri", 1);
+        let cold = srv.serve_one(&q);
+        assert!(cold.response().expect("served").any_miss());
+        let before = CopyCounter::snapshot();
+        let warm = srv.serve_one(&q);
+        let delta = CopyCounter::snapshot().since(&before);
+        assert_eq!((delta.copies, delta.bytes), (0, 0), "hit must move nothing");
+        assert!(warm.response().expect("served").all_hits());
+        assert_eq!(fp(&cold), fp(&warm));
+    }
+
+    #[test]
+    fn cold_query_reuses_the_warm_prefix_of_a_previous_plan() {
+        let srv = server();
+        let den = QueryDesc::new(Engine::Spark, Pipeline::NeuroDenoise, "dmri", 1);
+        srv.serve_one(&den);
+        // The FA query has never run, but its first two stages have.
+        let fa = QueryDesc::new(Engine::Spark, Pipeline::NeuroFa, "dmri", 1);
+        let r = srv.serve_one(&fa);
+        let probes: Vec<Probe> = r
+            .response()
+            .expect("served")
+            .stages
+            .iter()
+            .map(|s| s.probe)
+            .collect();
+        assert_eq!(probes, [Probe::Hit, Probe::Hit, Probe::Miss]);
+    }
+
+    #[test]
+    fn engines_and_inputs_do_not_share_cache_entries() {
+        let srv = server();
+        let spark = QueryDesc::new(Engine::Spark, Pipeline::NeuroSegment, "dmri", 1);
+        let dask = QueryDesc::new(Engine::Dask, Pipeline::NeuroSegment, "dmri", 1);
+        let v2 = QueryDesc::new(Engine::Spark, Pipeline::NeuroSegment, "dmri", 2);
+        srv.serve_one(&spark);
+        for q in [&dask, &v2] {
+            assert!(
+                srv.serve_one(q).response().expect("served").any_miss(),
+                "{}: distinct plan or input must not hit",
+                q.key()
+            );
+        }
+    }
+
+    #[test]
+    fn fixture_always_bypasses_and_stays_deterministic() {
+        let srv = server();
+        let q = QueryDesc::new(Engine::Spark, Pipeline::FixtureAmbient, "dmri", 1);
+        let a = srv.serve_one(&q);
+        let resident = srv.cache_len();
+        let b = srv.serve_one(&q);
+        assert!(a.response().expect("served").any_bypass());
+        assert!(b.response().expect("served").any_bypass());
+        assert_eq!(srv.cache_len(), resident, "bypass must never populate");
+        assert_eq!(fp(&a), fp(&b));
+        assert_eq!(srv.cache_stats().bypasses, 2);
+    }
+
+    #[test]
+    fn figure_15_plan_is_refused_at_admission() {
+        let srv = server();
+        let q = QueryDesc::new(Engine::Myria, Pipeline::AstroFull, "hits-deep", 1)
+            .with_mode(AstroMode::Pipelined)
+            .with_nodes(16);
+        match srv.serve_one(&q) {
+            ServeOutcome::Rejected { reason, .. } => {
+                assert!(reason.contains("admission"), "{reason}");
+            }
+            ServeOutcome::Done(_) => panic!("the Figure 15 OOM plan must be refused"),
+        }
+        // The disk-backed mode of the same query is admitted.
+        let ok = srv.serve_one(&q.with_mode(AstroMode::Materialized));
+        assert!(ok.response().is_some());
+    }
+
+    #[test]
+    fn inexpressible_combinations_are_refused() {
+        let srv = server();
+        for q in [
+            QueryDesc::new(Engine::TensorFlow, Pipeline::NeuroFa, "dmri", 1),
+            QueryDesc::new(Engine::SciDb, Pipeline::AstroFull, "hits", 1),
+            QueryDesc::new(Engine::Spark, Pipeline::AstroCoadd, "hits-cube", 1),
+            QueryDesc::new(Engine::Spark, Pipeline::AstroFull, "dmri", 1),
+            QueryDesc::new(Engine::Spark, Pipeline::NeuroFa, "nope", 1),
+        ] {
+            assert!(srv.serve_one(&q).is_rejected(), "{}", q.key());
+        }
+    }
+
+    #[test]
+    fn cache_off_server_matches_cache_on_fingerprints() {
+        let on = server();
+        let off = server().with_caching(false);
+        let queries = [
+            QueryDesc::new(Engine::Spark, Pipeline::NeuroSegment, "dmri", 1),
+            QueryDesc::new(Engine::Spark, Pipeline::NeuroSegment, "dmri", 1),
+            QueryDesc::new(Engine::Dask, Pipeline::NeuroDenoise, "dmri", 1),
+        ];
+        for q in &queries {
+            assert_eq!(fp(&on.serve_one(q)), fp(&off.serve_one(q)), "{}", q.key());
+        }
+        assert_eq!(off.cache_len(), 0);
+        assert_eq!(off.cache_stats(), MemoStats::default());
+    }
+}

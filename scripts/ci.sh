@@ -31,12 +31,12 @@ echo "== scibench lint --memo (memoization-soundness certifier)"
 # Certifies every shipped lowering for result-cache soundness (scilint
 # purity verdicts joined with plancheck plan fingerprints), asserts the
 # deliberately-unsafe fixture is rejected with its witness chain, and
-# checks the committed MEMO_report.json still speaks scimemo/v1; details
-# in DESIGN.md §3.14.
+# checks the committed MEMO_report.json still speaks scimemo/v2 (v2 added
+# the live memo_stats counter block); details in DESIGN.md §3.14.
 tmp_memo="$(mktemp)"
 trap 'rm -f "$tmp_flow" "$tmp_memo"' EXIT
 cargo run --release -q -p scibench-bench --bin scibench -- lint --memo --out "$tmp_memo"
-memo_schema='"schema": "scimemo/v1"'
+memo_schema='"schema": "scimemo/v2"'
 grep -qF "$memo_schema" "$tmp_memo" || {
   echo "ci: FAIL - lint --memo no longer emits $memo_schema" >&2; exit 1; }
 grep -qF "$memo_schema" MEMO_report.json || {
@@ -102,6 +102,24 @@ grep -qF "$compress_schema" "$tmp_compress" || {
 grep -qF "$compress_schema" BENCH_compress.json || {
   echo "ci: FAIL - committed BENCH_compress.json schema drifted from $compress_schema" >&2
   echo "     regenerate it: cargo run --release -p scibench-bench --bin scibench -- bench compress --out BENCH_compress.json" >&2
+  exit 1; }
+
+echo "== scibench bench serve --quick (resident service, certified zero-copy cache)"
+# Replays the seeded hot/cold query schedule against the resident service
+# three ways — serial cache-on, concurrent cache-on, serial cache-off —
+# with the tool exiting non-zero on any fingerprint divergence, a warm hit
+# that moved bytes, an unrejected Figure 15 plan, or an uncertified
+# fixture request that did not bypass. Also checks the committed
+# BENCH_serve.json still speaks the schema the tool emits.
+tmp_serve="$(mktemp)"
+trap 'rm -f "$tmp_e2e" "$tmp_skew" "$tmp_compress" "$tmp_serve" "$tmp_flow" "$tmp_memo"' EXIT
+cargo run --release -q -p scibench-bench --bin scibench -- bench serve --quick --out "$tmp_serve"
+serve_schema='"schema": "scibench-bench-serve/v1"'
+grep -qF "$serve_schema" "$tmp_serve" || {
+  echo "ci: FAIL - bench serve no longer emits $serve_schema" >&2; exit 1; }
+grep -qF "$serve_schema" BENCH_serve.json || {
+  echo "ci: FAIL - committed BENCH_serve.json schema drifted from $serve_schema" >&2
+  echo "     regenerate it: cargo run --release -p scibench-bench --bin scibench -- bench serve --out BENCH_serve.json" >&2
   exit 1; }
 
 echo "ci: all gates passed"
