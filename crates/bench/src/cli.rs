@@ -23,18 +23,71 @@
 //! Off and Auto (fingerprint equality enforced), and emits
 //! `BENCH_compress.json`; `scibench bench serve` replays a seeded
 //! hot/cold query schedule against the resident service ([`sciserve`]) —
-//! serial, concurrent, and cache-off, all fingerprint-identical — and
-//! emits `BENCH_serve.json`; `scibench perf-smoke` asserts the serial and
-//! multi-threaded paths produce bit-identical outputs (the CI determinism
-//! gate). `bench`, `bench serve` and `perf-smoke` honor `--threads N`;
-//! `bench` and `perf-smoke` also read the `SCIBENCH_THREADS` environment
-//! variable.
+//! serial, concurrent, cache-off, and under a halved cache budget that
+//! forces LRU eviction, all fingerprint-identical — and emits
+//! `BENCH_serve.json`; `scibench bench ooc` streams a stack deliberately
+//! larger than the memory budget through the governor's spill tier at
+//! three budgets (25 %, 50 %, unbounded), runs every engine analog
+//! out-of-core, gates bit-identical fingerprints and budget-respecting
+//! peak residency, and emits `BENCH_ooc.json`; `scibench perf-smoke`
+//! asserts the serial and multi-threaded paths produce bit-identical
+//! outputs (the CI determinism gate). `bench`, `bench serve` and
+//! `perf-smoke` honor `--threads N`; `bench` and `perf-smoke` also read
+//! the `SCIBENCH_THREADS` environment variable; `bench serve` honors
+//! `--budget-bytes N` for the result-cache budget; and the
+//! `SCIBENCH_MEM_BUDGET` environment variable (a byte count with an
+//! optional `k`/`m`/`g` suffix) activates the process-wide memory
+//! governor for any subcommand.
 
 use parexec::{parse_threads, Parallelism};
 use plancheck::{check, Code, Report};
-use scibench_bench::{compress, e2e, hostinfo, kernels, memo, plans, serve, skew};
+use scibench_bench::{compress, e2e, hostinfo, kernels, memo, ooc, plans, serve, skew};
 use scibench_core::experiments::Setup;
 use scibench_core::lower::Engine;
+
+/// Process-wide memory budget for the governor's spill tier, in bytes
+/// (optional `k`/`m`/`g` suffix, powers of 1024). Parsed here — the bench
+/// binary is the sanctioned home for ambient reads — and applied via
+/// [`marray::set_mem_budget`] before any subcommand runs, so every bench
+/// and lint can be replayed out-of-core without code changes.
+const MEM_BUDGET_ENV: &str = "SCIBENCH_MEM_BUDGET";
+
+/// Parse a byte count with an optional `k`/`m`/`g` suffix (powers of
+/// 1024). Zero is rejected: the governor treats 0 as "unbounded", so a
+/// literal `0` budget would silently mean the opposite of what it says.
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let (digits, mult) = match t.as_bytes().last() {
+        Some(b'k' | b'K') => (&t[..t.len() - 1], 1u64 << 10),
+        Some(b'm' | b'M') => (&t[..t.len() - 1], 1u64 << 20),
+        Some(b'g' | b'G') => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t, 1),
+    };
+    let n = digits
+        .trim()
+        .parse::<u64>()
+        .map_err(|e| e.to_string())?
+        .checked_mul(mult)
+        .ok_or_else(|| "byte count overflows u64".to_string())?;
+    if n == 0 {
+        return Err("byte count must be positive".to_string());
+    }
+    Ok(n)
+}
+
+/// Apply `SCIBENCH_MEM_BUDGET` when set; an invalid value warns and is
+/// ignored (matching how `SCIBENCH_THREADS` is handled).
+fn apply_mem_budget_env() {
+    if let Ok(v) = std::env::var(MEM_BUDGET_ENV) {
+        match parse_bytes(&v) {
+            Ok(n) => {
+                eprintln!("note: {MEM_BUDGET_ENV}={v}: memory governor active ({n} bytes)");
+                marray::set_mem_budget(Some(n));
+            }
+            Err(e) => eprintln!("warning: ignoring invalid {MEM_BUDGET_ENV}={v}: {e}"),
+        }
+    }
+}
 
 fn is_memory(code: Code) -> bool {
     matches!(code, Code::M001 | Code::M002 | Code::M003 | Code::M004)
@@ -269,18 +322,20 @@ struct BenchFlags {
     quick: bool,
     out_path: Option<std::path::PathBuf>,
     threads: Option<Parallelism>,
+    budget_bytes: Option<u64>,
 }
 
-/// Parse the `[--quick] [--threads N] [--out PATH]` tail every bench
-/// subcommand shares. Which optional flags a subcommand accepts is
-/// declared at the call site, so e.g. `--quick` on the kernel ladder is
-/// still an error. On a bad argument the usage error has already been
-/// printed and the exit code is returned.
+/// Parse the `[--quick] [--threads N] [--budget-bytes N] [--out PATH]`
+/// tail every bench subcommand shares. Which optional flags a subcommand
+/// accepts is declared at the call site, so e.g. `--quick` on the kernel
+/// ladder is still an error. On a bad argument the usage error has
+/// already been printed and the exit code is returned.
 fn bench_flags(
     args: &[String],
     usage: &str,
     quick_ok: bool,
     threads_ok: bool,
+    budget_ok: bool,
 ) -> Result<BenchFlags, i32> {
     let mut f = BenchFlags::default();
     let mut i = 0;
@@ -292,6 +347,22 @@ fn bench_flags(
             }
             "--threads" if threads_ok => {
                 f.threads = Some(threads_arg(args.get(i + 1), usage)?);
+                i += 2;
+            }
+            "--budget-bytes" if budget_ok => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("error: --budget-bytes requires a value");
+                    eprintln!("{usage}");
+                    return Err(2);
+                };
+                match parse_bytes(v) {
+                    Ok(n) => f.budget_bytes = Some(n),
+                    Err(e) => {
+                        eprintln!("error: invalid --budget-bytes value: {e}");
+                        eprintln!("{usage}");
+                        return Err(2);
+                    }
+                }
                 i += 2;
             }
             "--out" => {
@@ -330,7 +401,7 @@ fn emit_json(json: &str, out_path: Option<std::path::PathBuf>) -> Result<(), i32
 
 fn bench_e2e(args: &[String]) -> i32 {
     const USAGE: &str = "usage: scibench bench e2e [--quick] [--out PATH]";
-    let flags = match bench_flags(args, USAGE, true, false) {
+    let flags = match bench_flags(args, USAGE, true, false, false) {
         Ok(f) => f,
         Err(code) => return code,
     };
@@ -380,7 +451,7 @@ fn bench_e2e(args: &[String]) -> i32 {
 
 fn bench_skew(args: &[String]) -> i32 {
     const USAGE: &str = "usage: scibench bench skew [--quick] [--out PATH]";
-    let flags = match bench_flags(args, USAGE, true, false) {
+    let flags = match bench_flags(args, USAGE, true, false, false) {
         Ok(f) => f,
         Err(code) => return code,
     };
@@ -446,7 +517,7 @@ fn bench_skew(args: &[String]) -> i32 {
 
 fn bench_compress(args: &[String]) -> i32 {
     const USAGE: &str = "usage: scibench bench compress [--quick] [--out PATH]";
-    let flags = match bench_flags(args, USAGE, true, false) {
+    let flags = match bench_flags(args, USAGE, true, false, false) {
         Ok(f) => f,
         Err(code) => return code,
     };
@@ -531,13 +602,15 @@ fn bench_compress(args: &[String]) -> i32 {
 }
 
 fn bench_serve(args: &[String]) -> i32 {
-    const USAGE: &str = "usage: scibench bench serve [--quick] [--threads N] [--out PATH]";
-    let flags = match bench_flags(args, USAGE, true, true) {
+    const USAGE: &str =
+        "usage: scibench bench serve [--quick] [--threads N] [--budget-bytes N] [--out PATH]";
+    let flags = match bench_flags(args, USAGE, true, true, true) {
         Ok(f) => f,
         Err(code) => return code,
     };
     let quick = flags.quick;
     let par = flags.threads.unwrap_or_else(|| Parallelism::threads(4));
+    let budget_bytes = flags.budget_bytes.unwrap_or(serve::CACHE_BUDGET);
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(std::path::Path::parent)
@@ -550,7 +623,7 @@ fn bench_serve(args: &[String]) -> i32 {
         par.workers(),
         if quick { " (quick)" } else { "" }
     );
-    let run = match serve::run_serve(root, quick, par) {
+    let run = match serve::run_serve(root, quick, par, budget_bytes) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: workspace unreadable: {e}");
@@ -584,6 +657,14 @@ fn bench_serve(args: &[String]) -> i32 {
         run.requests as f64 / run.concurrent_s.max(1e-9),
         run.requests as f64 / run.cache_off_s.max(1e-9)
     );
+    eprintln!(
+        "  small-budget replay ({} bytes): {} evictions ({} bytes), {} resident, matches={}",
+        run.small_budget_bytes,
+        run.small_stats.evictions,
+        run.small_stats.evicted_bytes,
+        run.small_resident_bytes,
+        run.small_matches
+    );
     for q in &run.queries {
         eprintln!(
             "  {:<52} x{:<4} first=[{}]{}",
@@ -607,9 +688,79 @@ fn bench_serve(args: &[String]) -> i32 {
     0
 }
 
+fn bench_ooc(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: scibench bench ooc [--quick] [--out PATH]";
+    let flags = match bench_flags(args, USAGE, true, false, false) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let quick = flags.quick;
+
+    let host = hostinfo::available_parallelism();
+    eprintln!(
+        "ooc bench: streaming a larger-than-budget stack through the memory governor \
+         at 25%/50%/unbounded budgets, then every engine analog out-of-core{}...",
+        if quick { " (quick)" } else { "" }
+    );
+    let run = ooc::run_ooc(quick);
+    eprintln!("  dataset {} bytes", run.dataset_bytes);
+    for r in &run.rows {
+        eprintln!(
+            "  budget {:<9} ({:>10} B) chunk_rows={:<3} fp={:016x} spills={:<4} \
+             reloads={:<4} peak={:>10} B  {:>8.1} ms",
+            r.label,
+            r.budget_bytes,
+            r.chunk_rows,
+            r.fingerprint,
+            r.gov.spills,
+            r.gov.reloads,
+            r.gov.peak_resident,
+            r.ms
+        );
+    }
+    eprintln!(
+        "  plancheck demand estimate {} B vs measured peak {} B (ratio {:.2}, bound {:.0}x)",
+        run.estimated_demand_bytes,
+        run.measured_peak_bytes,
+        run.demand_ratio,
+        ooc::DEMAND_FACTOR
+    );
+    for e in &run.engines {
+        eprintln!(
+            "  {:<6} {:<11} spills={:<5} spilled={:>10} B  {:>8.1} ms -> {:<8.1} ms{}",
+            e.pipeline,
+            e.engine,
+            e.gov.spills,
+            e.gov.spilled_bytes,
+            e.ms_unbounded,
+            e.ms_budget,
+            if e.outputs_identical {
+                ""
+            } else {
+                "  FINGERPRINT DIVERGED"
+            }
+        );
+    }
+    let json = ooc::results_to_json(&run, host, quick);
+    if let Err(code) = emit_json(&json, flags.out_path) {
+        return code;
+    }
+    if !run.violations.is_empty() {
+        eprintln!(
+            "error: {} out-of-core check(s) failed:",
+            run.violations.len()
+        );
+        for v in &run.violations {
+            eprintln!("  {v}");
+        }
+        return 1;
+    }
+    0
+}
+
 fn bench(args: &[String]) -> i32 {
     const USAGE: &str =
-        "usage: scibench bench [e2e|skew|compress|serve] [--threads N] [--out PATH]";
+        "usage: scibench bench [e2e|skew|compress|serve|ooc] [--threads N] [--out PATH]";
     if args.first().map(String::as_str) == Some("e2e") {
         return bench_e2e(&args[1..]);
     }
@@ -622,7 +773,10 @@ fn bench(args: &[String]) -> i32 {
     if args.first().map(String::as_str) == Some("serve") {
         return bench_serve(&args[1..]);
     }
-    let flags = match bench_flags(args, USAGE, false, true) {
+    if args.first().map(String::as_str) == Some("ooc") {
+        return bench_ooc(&args[1..]);
+    }
+    let flags = match bench_flags(args, USAGE, false, true, false) {
         Ok(f) => f,
         Err(code) => return code,
     };
@@ -752,17 +906,26 @@ fn usage() -> i32 {
     eprintln!("              emit BENCH_compress.json");
     eprintln!("              options: [--quick] [--out PATH]");
     eprintln!("  bench serve replay a seeded hot/cold query schedule against the");
-    eprintln!("              resident service (sciserve): serial, concurrent, and");
-    eprintln!("              cache-off, all fingerprint-identical, warm hits zero-copy,");
-    eprintln!("              and emit BENCH_serve.json");
-    eprintln!("              options: [--quick] [--threads N] [--out PATH]");
+    eprintln!("              resident service (sciserve): serial, concurrent, cache-off,");
+    eprintln!("              and halved-budget (eviction) replays, all fingerprint-");
+    eprintln!("              identical, warm hits zero-copy, and emit BENCH_serve.json");
+    eprintln!("              options: [--quick] [--threads N] [--budget-bytes N] [--out PATH]");
+    eprintln!("  bench ooc   stream a larger-than-budget stack through the memory");
+    eprintln!("              governor at 25%/50%/unbounded budgets plus every engine");
+    eprintln!("              analog out-of-core, gate bit-identical fingerprints and");
+    eprintln!("              peak residency <= budget, and emit BENCH_ooc.json");
+    eprintln!("              options: [--quick] [--out PATH]");
     eprintln!("  perf-smoke  assert serial and multi-threaded kernel outputs are");
     eprintln!("              bit-identical (CI gate)");
     eprintln!("              options: [--threads N]");
+    eprintln!();
+    eprintln!("  SCIBENCH_MEM_BUDGET=N[k|m|g] activates the process-wide memory");
+    eprintln!("  governor for any subcommand (chunks spill to disk past the budget).");
     2
 }
 
 fn main() {
+    apply_mem_budget_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("lint") => {
@@ -810,4 +973,34 @@ fn main() {
         _ => usage(),
     };
     std::process::exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_bytes;
+
+    #[test]
+    fn byte_suffixes_are_powers_of_1024() {
+        assert_eq!(parse_bytes("4096"), Ok(4096));
+        assert_eq!(parse_bytes("4k"), Ok(4 << 10));
+        assert_eq!(parse_bytes("64M"), Ok(64 << 20));
+        assert_eq!(parse_bytes("2g"), Ok(2 << 30));
+        assert_eq!(parse_bytes(" 8 k "), Ok(8 << 10));
+    }
+
+    #[test]
+    fn zero_junk_and_overflow_are_rejected() {
+        // 0 is the governor's internal "unbounded" sentinel, so a literal
+        // zero budget must be an error, not a silent no-op.
+        assert!(parse_bytes("0").is_err());
+        assert!(parse_bytes("0k").is_err());
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("12q").is_err());
+        assert!(parse_bytes("-4k").is_err());
+        assert!(parse_bytes("99999999999999999999g").is_err());
+        assert!(
+            parse_bytes("18446744073709551615k").is_err(),
+            "checked_mul overflow"
+        );
+    }
 }

@@ -1,10 +1,12 @@
 //! The shared `"host"` block of every bench JSON artifact.
 //!
-//! All four emitters (`BENCH_kernels.json`, `BENCH_e2e.json`,
-//! `BENCH_skew.json`, `BENCH_compress.json`) stamp the host's available
-//! parallelism and the single-core flag so a ~1x curve or a serial wall
-//! time from a one-core host can never be mistaken for a real parallel
-//! measurement. One writer here keeps the four schemas byte-compatible.
+//! Every emitter (`BENCH_kernels.json`, `BENCH_e2e.json`,
+//! `BENCH_skew.json`, `BENCH_compress.json`, `BENCH_serve.json`,
+//! `BENCH_ooc.json`) stamps the host's available parallelism, total
+//! system memory, and the single-core flag, so a ~1x curve, a serial
+//! wall time from a one-core host, or a spill measurement from a
+//! memory-starved host can never be mistaken for a representative
+//! measurement. One writer here keeps the schemas byte-compatible.
 
 /// Detect the host's available parallelism (1 when the query fails).
 pub fn available_parallelism() -> usize {
@@ -13,12 +15,34 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// Total system memory in bytes, from `/proc/meminfo`'s `MemTotal` line;
+/// 0 when undetectable (non-Linux hosts, restricted procfs). The bench
+/// crate is the sanctioned home for ambient host probes like this one —
+/// library crates stay deterministic.
+pub fn total_memory_bytes() -> u64 {
+    let Ok(meminfo) = std::fs::read_to_string("/proc/meminfo") else {
+        return 0;
+    };
+    meminfo
+        .lines()
+        .find_map(|line| line.strip_prefix("MemTotal:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
 /// Render the shared host block, indented for a top-level JSON object:
 /// `  "host": {...},` plus the trailing newline.
 pub fn host_block(host_parallelism: usize) -> String {
     format!(
         "  \"host\": {{\n    \"available_parallelism\": {host_parallelism},\n    \
-         \"single_core_host\": {}\n  }},\n",
+         \"total_memory_bytes\": {},\n    \"single_core_host\": {}\n  }},\n",
+        total_memory_bytes(),
         host_parallelism == 1
     )
 }
@@ -37,5 +61,15 @@ mod tests {
     #[test]
     fn detection_reports_at_least_one() {
         assert!(available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn host_block_carries_total_memory() {
+        assert!(host_block(1).contains("\"total_memory_bytes\": "));
+        // On Linux (the CI host) /proc/meminfo is readable and non-zero;
+        // elsewhere the probe degrades to the explicit 0 sentinel.
+        if cfg!(target_os = "linux") {
+            assert!(total_memory_bytes() > 0);
+        }
     }
 }

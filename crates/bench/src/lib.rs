@@ -5,14 +5,16 @@
 //! holds the shared kernel-benchmark cases ([`kernels`]), the end-to-end
 //! copy-accounting harness ([`e2e`]), the scheduler-skew harness
 //! ([`skew`]), the chunk-compression harness ([`compress`]), the
-//! resident-service replay harness ([`serve`]), and lets `cargo bench`
-//! targets link against the crate.
+//! out-of-core spill-tier harness ([`ooc`]), the resident-service replay
+//! harness ([`serve`]), and lets `cargo bench` targets link against the
+//! crate.
 
 pub mod compress;
 pub mod e2e;
 pub mod hostinfo;
 pub mod kernels;
 pub mod memo;
+pub mod ooc;
 pub mod plans;
 pub mod serve;
 pub mod skew;

@@ -2,7 +2,7 @@
 //! schedule of mixed hot/cold queries against the resident service
 //! ([`sciserve`]) and measure what the certified result cache buys.
 //!
-//! Three replays of the *same* schedule:
+//! Four replays of the *same* schedule:
 //!
 //! 1. **serial, cache on** — per-request latency (cold = any stage
 //!    missed, warm = every stage hit) and a per-request `CopyCounter`
@@ -13,7 +13,11 @@
 //!    replay;
 //! 3. **serial, cache off** — the baseline the speedup is measured
 //!    against; every response must again be byte-identical, proving the
-//!    cache never changes a payload byte.
+//!    cache never changes a payload byte;
+//! 4. **serial, small budget** — the cache squeezed to half the measured
+//!    resident footprint: LRU eviction must fire, residency must stay
+//!    within the budget, and the responses must still be byte-identical
+//!    (an evicted entry recomputes to the same bits by its certificate).
 //!
 //! The schedule always contains the uncertified ambient-read fixture
 //! (must bypass on every request) and the Figure 15 Myria-pipelined
@@ -31,9 +35,11 @@ use scibench_core::lower::Engine;
 use scimemo::MemoStats;
 use sciserve::{demo_catalog, AstroMode, Pipeline, QueryDesc, ServeOutcome, Server};
 
-/// Result-cache byte budget for the replay servers: generous enough that
-/// the demo catalog's working set stays fully resident (evictions are
-/// exercised by the scimemo unit tests, not re-measured here).
+/// Default result-cache byte budget for the replay servers (overridable
+/// with `--budget-bytes`): generous enough that the demo catalog's
+/// working set stays fully resident. Eviction under pressure is measured
+/// live by the small-budget replay, which re-runs the schedule with the
+/// budget squeezed below the measured resident footprint.
 pub const CACHE_BUDGET: u64 = 256 << 20;
 
 /// How one request was satisfied.
@@ -132,6 +138,17 @@ pub struct ServeRun {
     pub concurrent_matches: bool,
     /// Cache-off replay byte-identical to cache-on.
     pub cache_off_matches: bool,
+    /// Byte budget of the small-budget replay (half the measured
+    /// resident footprint, so eviction must fire).
+    pub small_budget_bytes: u64,
+    /// Result-cache counters after the small-budget replay — its
+    /// `evictions` is the live LRU-eviction measurement.
+    pub small_stats: MemoStats,
+    /// Resident cache bytes after the small-budget replay (must sit at
+    /// or under the small budget).
+    pub small_resident_bytes: u64,
+    /// Small-budget replay byte-identical to the full-budget replay.
+    pub small_matches: bool,
     /// Per-distinct-query aggregates.
     pub queries: Vec<QuerySummary>,
     /// Acceptance failures (empty on a green run).
@@ -252,8 +269,15 @@ fn probe_name(p: scimemo::Probe) -> &'static str {
 }
 
 /// Run the full serve bench. `root` is the workspace root (for the purity
-/// analysis backing certification); `par` sizes the concurrent replay.
-pub fn run_serve(root: &Path, quick: bool, par: Parallelism) -> io::Result<ServeRun> {
+/// analysis backing certification); `par` sizes the concurrent replay;
+/// `budget_bytes` bounds the result cache of the cache-on replays (the
+/// small-budget replay derives its own, tighter budget).
+pub fn run_serve(
+    root: &Path,
+    quick: bool,
+    par: Parallelism,
+    budget_bytes: u64,
+) -> io::Result<ServeRun> {
     let n = if quick { 160 } else { 2400 };
     let (sched, which) = schedule(n);
     let mix = query_mix();
@@ -261,7 +285,7 @@ pub fn run_serve(root: &Path, quick: bool, par: Parallelism) -> io::Result<Serve
     let mut violations = Vec::new();
 
     // Replay 1: serial, cache on — per-request latency and copy ledger.
-    let server = Server::new(demo_catalog(quick), purity.clone()).with_cache_budget(CACHE_BUDGET);
+    let server = Server::new(demo_catalog(quick), purity.clone()).with_cache_budget(budget_bytes);
     let t0 = Instant::now();
     let mut outcomes = Vec::with_capacity(n);
     let mut classes = Vec::with_capacity(n);
@@ -357,7 +381,7 @@ pub fn run_serve(root: &Path, quick: bool, par: Parallelism) -> io::Result<Serve
     // Replay 2: concurrent, cache on, fresh server — byte-identity vs
     // the serial replay.
     let concurrent =
-        Server::new(demo_catalog(quick), purity.clone()).with_cache_budget(CACHE_BUDGET);
+        Server::new(demo_catalog(quick), purity.clone()).with_cache_budget(budget_bytes);
     let concurrent = concurrent.with_parallelism(par);
     let t1 = Instant::now();
     let conc_outcomes = concurrent.serve_batch(&sched);
@@ -369,9 +393,9 @@ pub fn run_serve(root: &Path, quick: bool, par: Parallelism) -> io::Result<Serve
 
     // Replay 3: serial, cache off, fresh server — byte-identity and the
     // baseline wall-clock/copy cost the cache is measured against.
-    let off = Server::new(demo_catalog(quick), purity)
+    let off = Server::new(demo_catalog(quick), purity.clone())
         .with_caching(false)
-        .with_cache_budget(CACHE_BUDGET);
+        .with_cache_budget(budget_bytes);
     let t2 = Instant::now();
     let off_ledger0 = CopyCounter::snapshot();
     let off_outcomes: Vec<ServeOutcome> = sched.iter().map(|q| off.serve_one(q)).collect();
@@ -380,6 +404,32 @@ pub fn run_serve(root: &Path, quick: bool, par: Parallelism) -> io::Result<Serve
     let cache_off_matches = fingerprints(&outcomes) == fingerprints(&off_outcomes);
     if !cache_off_matches {
         violations.push("cache-off replay diverged from the cache-on replay".to_string());
+    }
+
+    // Replay 4: serial, cache on, a budget squeezed to half the measured
+    // resident footprint — LRU eviction must fire, residency must stay
+    // within the budget, and every response must still be byte-identical
+    // (an evicted entry recomputes to the same bits by the certificate).
+    let small_budget_bytes = (resident_bytes / 2).max(1);
+    let small = Server::new(demo_catalog(quick), purity).with_cache_budget(small_budget_bytes);
+    let small_outcomes: Vec<ServeOutcome> = sched.iter().map(|q| small.serve_one(q)).collect();
+    let small_stats = small.cache_stats();
+    let small_resident_bytes = small.cache_bytes();
+    let small_matches = fingerprints(&outcomes) == fingerprints(&small_outcomes);
+    if !small_matches {
+        violations.push("small-budget replay diverged from the full-budget replay".to_string());
+    }
+    if small_stats.evictions == 0 {
+        violations.push(format!(
+            "small-budget replay ({small_budget_bytes} bytes for a {resident_bytes}-byte \
+             working set) never evicted"
+        ));
+    }
+    if small_resident_bytes > small_budget_bytes {
+        violations.push(format!(
+            "small-budget replay resident bytes {small_resident_bytes} exceed the budget \
+             {small_budget_bytes}"
+        ));
     }
 
     // Per-distinct-query aggregates from the serial replay.
@@ -428,7 +478,7 @@ pub fn run_serve(root: &Path, quick: bool, par: Parallelism) -> io::Result<Serve
         stats,
         resident_entries,
         resident_bytes,
-        budget_bytes: CACHE_BUDGET,
+        budget_bytes,
         p50_us: percentile(&all_us, 0.5),
         p95_us: percentile(&all_us, 0.95),
         p99_us: percentile(&all_us, 0.99),
@@ -446,6 +496,10 @@ pub fn run_serve(root: &Path, quick: bool, par: Parallelism) -> io::Result<Serve
         cache_off_copy_bytes: off_ledger.bytes,
         concurrent_matches,
         cache_off_matches,
+        small_budget_bytes,
+        small_stats,
+        small_resident_bytes,
+        small_matches,
         queries,
         violations,
     })
@@ -498,6 +552,18 @@ pub fn results_to_json(run: &ServeRun, host_parallelism: usize, quick: bool) -> 
         run.requests as f64 / run.serial_s.max(1e-9),
         run.requests as f64 / run.concurrent_s.max(1e-9),
         run.requests as f64 / run.cache_off_s.max(1e-9)
+    ));
+    out.push_str(&format!(
+        "  \"small_budget\": {{\"budget_bytes\": {}, \"hits\": {}, \"misses\": {}, \
+         \"evictions\": {}, \"evicted_bytes\": {}, \"resident_bytes\": {}, \
+         \"matches_full_budget\": {}}},\n",
+        run.small_budget_bytes,
+        run.small_stats.hits,
+        run.small_stats.misses,
+        run.small_stats.evictions,
+        run.small_stats.evicted_bytes,
+        run.small_resident_bytes,
+        run.small_matches
     ));
     out.push_str(&format!(
         "  \"comparisons\": {{\"concurrent_matches_serial\": {}, \

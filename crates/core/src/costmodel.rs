@@ -203,6 +203,96 @@ pub fn pack_for_boundary<T: marray::Element>(
     (packed.repr() != marray::ChunkRepr::Dense).then_some(packed)
 }
 
+/// Headroom factor of the budget-derived granularity formula: each
+/// worker's share of the budget must cover its pinned input chunk, the
+/// output it is building, and the governor's transient double-residency
+/// during a reload, so a chunk targets `budget / (workers × SLACK)`.
+pub const CHUNK_BUDGET_SLACK: u64 = 4;
+
+/// Elements one chunk should hold under a memory budget: the largest
+/// count whose bytes fit `budget / (workers × slack)`, floored at one
+/// element. `None` (unbounded) keeps everything in one chunk.
+///
+/// Hayot-Sasson et al. (arXiv:1812.06492) measured exactly this on the
+/// paper's neuroimaging pipelines: chunk granularity, not thread count,
+/// governs scaling once data exceeds memory — too-large chunks thrash
+/// the spill tier (SciDB's mis-sized chunks in Figure 15), too-small
+/// chunks drown in per-chunk overhead.
+pub fn choose_chunk_elems(
+    total_elems: usize,
+    elem_bytes: usize,
+    workers: usize,
+    budget: Option<u64>,
+) -> usize {
+    let Some(budget) = budget else {
+        return total_elems.max(1);
+    };
+    let share = budget / (workers.max(1) as u64 * CHUNK_BUDGET_SLACK);
+    let cap = (share / elem_bytes.max(1) as u64).max(1) as usize;
+    total_elems.clamp(1, cap)
+}
+
+/// Chunk shape for a row-major array of `dims` under a memory budget:
+/// splits along axis 0 (the slab axis every partitioner already uses) so
+/// one chunk holds as many whole planes as fit the per-worker budget
+/// share, with a floor of one plane. `None` (unbounded) keeps the array
+/// in one chunk, matching the in-memory plane's historical behaviour.
+pub fn choose_chunk_shape(
+    dims: &[usize],
+    elem_bytes: usize,
+    workers: usize,
+    budget: Option<u64>,
+) -> Vec<usize> {
+    if dims.is_empty() {
+        return Vec::new();
+    }
+    let plane: usize = dims[1..].iter().product::<usize>().max(1);
+    let target = choose_chunk_elems(
+        dims.iter().product::<usize>().max(1),
+        elem_bytes,
+        workers,
+        budget,
+    );
+    let rows = (target / plane).clamp(1, dims[0].max(1));
+    let mut shape = dims.to_vec();
+    shape[0] = rows;
+    shape
+}
+
+/// Morsel sizing under a memory budget: a [`parexec::CostHint`] whose
+/// `max_items` bounds one morsel's working set (`item_bytes` per item) to
+/// the per-worker budget share, layered over the kernel's granularity
+/// floor (`min_items`, which still wins a conflict — see
+/// [`parexec::CostHint::max_items`]).
+pub fn budget_cost_hint(
+    min_items: usize,
+    item_bytes: usize,
+    workers: usize,
+    budget: Option<u64>,
+) -> parexec::CostHint {
+    let hint = parexec::CostHint::min_items(min_items);
+    match budget {
+        None => hint,
+        Some(b) => {
+            let share = b / (workers.max(1) as u64 * CHUNK_BUDGET_SLACK);
+            hint.with_max_items((share / item_bytes.max(1) as u64).max(1) as usize)
+        }
+    }
+}
+
+/// Apply the memory governor at an engine ingest boundary: when a
+/// process-wide budget is active ([`marray::mem_budget`]), a governed
+/// handle whose bytes the governor may spill under pressure; `None`
+/// (keep the caller's handle, like [`pack_for_boundary`]) otherwise, so
+/// the unbounded path is byte-for-byte the historical one. This is the
+/// single choke point the engine analogs share, so "every engine really
+/// executes a larger-than-budget dataset" is one code path, not five.
+pub fn govern_for_boundary<T: marray::Element>(
+    arr: &marray::NdArray<T>,
+) -> Option<marray::NdArray<T>> {
+    marray::mem_budget().is_some().then(|| arr.govern())
+}
+
 /// A measured intra-node kernel scaling curve: aggregate speedup over the
 /// single-threaded run at each thread count, obtained by timing a real
 /// parallel kernel on the host (or loaded from a `scibench bench` run).
@@ -452,6 +542,53 @@ mod tests {
         assert!(pack_for_boundary(&packed, PlaneKind::Variance).is_none());
         let single: marray::NdArray<f64> = marray::NdArray::zeros(&[1]);
         assert!(pack_for_boundary(&single, PlaneKind::Mask).is_none());
+    }
+
+    #[test]
+    fn budget_derives_chunk_granularity() {
+        // Unbounded: one chunk, whole array.
+        assert_eq!(
+            choose_chunk_shape(&[24, 100, 100], 8, 4, None),
+            vec![24, 100, 100]
+        );
+        // 32 MiB over 4 workers, slack 4: 2 MiB per chunk = 26 planes of
+        // 100×100 f64 — floored to whole planes.
+        let budget = Some(32u64 << 20);
+        let shape = choose_chunk_shape(&[1000, 100, 100], 8, 4, budget);
+        assert_eq!(&shape[1..], &[100, 100]);
+        assert!(shape[0] >= 1 && shape[0] < 1000);
+        assert!(shape[0] as u64 * 100 * 100 * 8 <= (32u64 << 20) / (4 * CHUNK_BUDGET_SLACK));
+        // A budget smaller than one plane still yields one whole plane.
+        assert_eq!(
+            choose_chunk_shape(&[10, 512, 512], 8, 8, Some(1 << 20))[0],
+            1
+        );
+        // Tighter budget, smaller chunks (monotone).
+        let loose = choose_chunk_elems(1 << 24, 8, 2, Some(256 << 20));
+        let tight = choose_chunk_elems(1 << 24, 8, 2, Some(16 << 20));
+        assert!(tight < loose);
+        // Morsel hints inherit the same share, floor winning conflicts.
+        let h = budget_cost_hint(16, 8, 4, Some(1 << 20));
+        assert_eq!(h.min_items, 16);
+        assert_eq!(
+            h.max_items as u64,
+            (1u64 << 20) / (4 * CHUNK_BUDGET_SLACK) / 8
+        );
+        assert_eq!(budget_cost_hint(16, 8, 4, None).max_items, 0);
+    }
+
+    #[test]
+    fn boundary_governing_follows_the_budget() {
+        let arr: marray::NdArray<f64> = marray::NdArray::zeros(&[64, 64]);
+        assert!(
+            govern_for_boundary(&arr).is_none(),
+            "no budget: caller's handle"
+        );
+        marray::with_mem_budget(Some(1 << 20), || {
+            let governed = govern_for_boundary(&arr).expect("budget active");
+            assert_eq!(governed.residency(), marray::Residency::Resident);
+            assert_eq!(governed.data(), arr.data());
+        });
     }
 
     #[test]

@@ -40,16 +40,24 @@ pub struct AstroResult {
 /// sufficiently runny variance plane, while noisy flux stays dense. The
 /// clone is a refcount bump when the heuristic declines, an encoded
 /// (smaller) buffer when it packs — downstream kernels' run-level fast
-/// paths consume the encoded forms directly.
+/// paths consume the encoded forms directly. Under an active memory
+/// budget ([`marray::mem_budget`]) each plane additionally enters the
+/// governor's spill tier ([`crate::costmodel::govern_for_boundary`]), so
+/// an ingested working set larger than the budget degrades to spill I/O
+/// instead of exhausting memory.
 fn pack_exposure(e: &Exposure) -> Exposure {
+    let plane = |arr: &NdArray<f64>, kind: PlaneKind| {
+        let packed = pack_for_boundary(arr, kind).unwrap_or_else(|| arr.clone());
+        crate::costmodel::govern_for_boundary(&packed).unwrap_or(packed)
+    };
+    let mask = pack_for_boundary(&e.mask, PlaneKind::Mask).unwrap_or_else(|| e.mask.clone());
     Exposure {
         visit: e.visit,
         sensor: e.sensor,
         bbox: e.bbox,
-        flux: pack_for_boundary(&e.flux, PlaneKind::Flux).unwrap_or_else(|| e.flux.clone()),
-        variance: pack_for_boundary(&e.variance, PlaneKind::Variance)
-            .unwrap_or_else(|| e.variance.clone()),
-        mask: pack_for_boundary(&e.mask, PlaneKind::Mask).unwrap_or_else(|| e.mask.clone()),
+        flux: plane(&e.flux, PlaneKind::Flux),
+        variance: plane(&e.variance, PlaneKind::Variance),
+        mask: crate::costmodel::govern_for_boundary(&mask).unwrap_or(mask),
     }
 }
 

@@ -42,9 +42,15 @@ impl Subject {
 /// boundary. dMRI volumes carry noise in every voxel, so the cost-model
 /// heuristic ([`crate::costmodel::choose_repr`]) usually keeps them dense
 /// after a cheap run-length probe — the boundary *chooses*, it does not
-/// blindly encode. Zero-padded or masked-out volumes do pack.
+/// blindly encode. Zero-padded or masked-out volumes do pack. Under an
+/// active memory budget ([`marray::mem_budget`]) the volume additionally
+/// enters the governor's spill tier
+/// ([`crate::costmodel::govern_for_boundary`]), so a working set larger
+/// than the budget degrades to spill I/O instead of exhausting memory.
 fn pack_volume(vol: NdArray<f64>) -> NdArray<f64> {
-    crate::costmodel::pack_for_boundary(&vol, crate::costmodel::PlaneKind::Other).unwrap_or(vol)
+    let v = crate::costmodel::pack_for_boundary(&vol, crate::costmodel::PlaneKind::Other)
+        .unwrap_or(vol);
+    crate::costmodel::govern_for_boundary(&v).unwrap_or(v)
 }
 
 /// The NLM parameters every implementation shares (matching the reference).

@@ -123,6 +123,15 @@ impl ArrayDb {
                 *chunk = chunk.compressed();
             }
         }
+        // Under an active memory budget the stored chunks enter the
+        // governor's spill tier, so an ingested array larger than the
+        // budget degrades to spill I/O instead of exhausting memory.
+        // Compressed chunks are governed (and spilled) in encoded form.
+        if marray::mem_budget().is_some() {
+            for (_, chunk) in &mut chunks {
+                *chunk = chunk.govern();
+            }
+        }
         Ok(ScidbArray {
             db: self.clone(),
             grid,

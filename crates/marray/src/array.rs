@@ -158,6 +158,45 @@ impl<T: Element> NdArray<T> {
         }
     }
 
+    /// Internal: a handle clone (refcount bump) regardless of the global
+    /// [`crate::CopyMode`] — for representation-level reads that must
+    /// never be charged as payload copies. The clone starts unpinned, so
+    /// reading a governed array through it leaves the stored handle
+    /// spillable (the pin dies with the temporary).
+    pub(crate) fn handle_clone(&self) -> NdArray<T> {
+        NdArray {
+            shape: self.shape.clone(),
+            data: self.data.handle_clone(),
+        }
+    }
+
+    /// Place this array's buffer under [`crate::MemoryGovernor`]
+    /// management (see [`ChunkBuf::govern`]): the governor may spill the
+    /// bytes to disk under budget pressure, and the next read reloads
+    /// them bit-exactly. No copy; the returned array starts unpinned.
+    pub fn govern(&self) -> NdArray<T> {
+        NdArray {
+            shape: self.shape.clone(),
+            data: self.data.govern(),
+        }
+    }
+
+    /// Where this array's buffer currently lives (always
+    /// [`crate::Residency::Resident`] for non-governed arrays).
+    pub fn residency(&self) -> crate::Residency {
+        self.data.residency()
+    }
+
+    /// Drop this handle's pin on a governed buffer, making it spillable
+    /// again without dropping the handle (see [`ChunkBuf::release`]);
+    /// the next [`NdArray::data`] re-pins, reloading if the buffer
+    /// spilled in the meantime. No-op for non-governed arrays. Streaming
+    /// consumers call this between chunks so their working set, not
+    /// their whole traversal history, is what counts against the budget.
+    pub fn release(&mut self) {
+        self.data.release();
+    }
+
     /// The stored representation of this array's buffer.
     pub fn repr(&self) -> crate::ChunkRepr {
         self.data.repr()

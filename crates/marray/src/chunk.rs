@@ -125,11 +125,15 @@ impl ChunkGrid {
     }
 
     /// Reassemble chunks (in any order) into the full array.
+    ///
+    /// Governed chunks are read through a temporary handle so the
+    /// caller's stored handles stay unpinned (and spillable) afterwards.
     pub fn assemble<T: Element>(&self, chunks: &[(ChunkIx, NdArray<T>)]) -> Result<NdArray<T>> {
         let mut out = NdArray::zeros(&self.array_dims);
         for (ix, chunk) in chunks {
             let origin = self.chunk_origin(ix);
-            out.write_subarray(&origin, chunk)?;
+            let reader = chunk.handle_clone();
+            out.write_subarray(&origin, &reader)?;
         }
         Ok(out)
     }

@@ -35,6 +35,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::codec::{compress_mode, ChunkRepr, CompressMode, Encoded};
 use crate::element::Element;
+use crate::spill::{govern_stored, GovernedCell, Stored};
 
 /// How [`ChunkBuf::clone`] behaves, process-wide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,7 +230,8 @@ impl CopyStats {
     }
 }
 
-/// The storage behind a [`ChunkBuf`]: dense bytes or a compressed cell.
+/// The storage behind a [`ChunkBuf`]: dense bytes, a compressed cell, or
+/// a budget-governed cell that may be spilled to disk.
 #[derive(Debug, Clone)]
 enum Payload<T: Element> {
     /// Uncompressed shared vector.
@@ -237,6 +239,47 @@ enum Payload<T: Element> {
     /// Compressed form plus a lazily materialized dense cache shared by
     /// every handle to the cell.
     Encoded(Arc<EncodedCell<T>>),
+    /// A cell under [`crate::MemoryGovernor`] management (resident or
+    /// spilled), plus this handle's pin on the dense bytes.
+    Governed(Arc<GovernedCell<T>>, HandlePin<T>),
+}
+
+/// One handle's hold on a governed cell's dense bytes.
+///
+/// The pin fills on the handle's first [`ChunkBuf::as_slice`] and keeps
+/// the bytes resident (the governor skips pinned cells) until the handle
+/// drops or calls [`ChunkBuf::release`]. Cloning a handle yields an
+/// *empty* pin: stored handles that were never read do not hold memory,
+/// and a worker that reads through a temporary clone releases the cell
+/// when the clone drops.
+#[derive(Debug)]
+struct HandlePin<T: Element> {
+    pin: OnceLock<Arc<Vec<T>>>,
+}
+
+impl<T: Element> HandlePin<T> {
+    fn new() -> HandlePin<T> {
+        HandlePin {
+            pin: OnceLock::new(),
+        }
+    }
+}
+
+impl<T: Element> Clone for HandlePin<T> {
+    /// A fresh, empty pin — each handle pins independently.
+    fn clone(&self) -> Self {
+        HandlePin::new()
+    }
+}
+
+/// Where a [`ChunkBuf`]'s bytes currently live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// In memory (every non-governed buffer, and governed cells whose
+    /// bytes are currently loaded).
+    Resident,
+    /// On disk in the process spill file; the next read reloads it.
+    Spilled,
 }
 
 /// A compressed buffer with a shared lazy dense cache: readers that need a
@@ -301,6 +344,7 @@ impl<T: Element> ChunkBuf<T> {
         match &self.payload {
             Payload::Dense(v) => v,
             Payload::Encoded(cell) => cell.dense(),
+            Payload::Governed(cell, pin) => pin.pin.get_or_init(|| cell.acquire()),
         }
     }
 
@@ -310,6 +354,7 @@ impl<T: Element> ChunkBuf<T> {
         match &self.payload {
             Payload::Dense(v) => v.len(),
             Payload::Encoded(cell) => cell.enc.len(),
+            Payload::Governed(cell, _) => cell.len(),
         }
     }
 
@@ -334,6 +379,7 @@ impl<T: Element> ChunkBuf<T> {
         match &self.payload {
             Payload::Dense(v) => v.len() * T::BYTES,
             Payload::Encoded(cell) => cell.enc.encoded_bytes(),
+            Payload::Governed(cell, _) => cell.stored_nbytes(),
         }
     }
 
@@ -342,15 +388,21 @@ impl<T: Element> ChunkBuf<T> {
         match &self.payload {
             Payload::Dense(_) => ChunkRepr::Dense,
             Payload::Encoded(cell) => cell.enc.repr(),
+            Payload::Governed(cell, _) => cell.repr(),
         }
     }
 
     /// The compressed form, when the buffer holds one. The encoded runs
     /// stay authoritative even after a dense cache materializes, so
     /// run-consuming kernels can branch on this without forcing a decode.
+    ///
+    /// `None` for a governed buffer even when it stores an encoded form:
+    /// the runs live behind the residency lock and may be on disk, so
+    /// run-consuming fast paths fall back to the (bit-identical) dense
+    /// path instead.
     pub fn encoded(&self) -> Option<&Encoded<T>> {
         match &self.payload {
-            Payload::Dense(_) => None,
+            Payload::Dense(_) | Payload::Governed(..) => None,
             Payload::Encoded(cell) => Some(&cell.enc),
         }
     }
@@ -360,6 +412,7 @@ impl<T: Element> ChunkBuf<T> {
         match &self.payload {
             Payload::Dense(v) => Arc::strong_count(v),
             Payload::Encoded(cell) => Arc::strong_count(cell),
+            Payload::Governed(cell, _) => Arc::strong_count(cell),
         }
     }
 
@@ -368,6 +421,7 @@ impl<T: Element> ChunkBuf<T> {
         match (&self.payload, &other.payload) {
             (Payload::Dense(a), Payload::Dense(b)) => Arc::ptr_eq(a, b),
             (Payload::Encoded(a), Payload::Encoded(b)) => Arc::ptr_eq(a, b),
+            (Payload::Governed(a, _), Payload::Governed(b, _)) => Arc::ptr_eq(a, b),
             _ => false,
         }
     }
@@ -376,7 +430,7 @@ impl<T: Element> ChunkBuf<T> {
     /// [`CopyMode`] — for representation changes that must never be
     /// charged as payload copies.
     // scilint: allow(F003, Payload is an enum of Arcs: cloning it bumps refcounts, never copies chunk bytes)
-    fn handle_clone(&self) -> ChunkBuf<T> {
+    pub(crate) fn handle_clone(&self) -> ChunkBuf<T> {
         ChunkBuf {
             payload: self.payload.clone(),
         }
@@ -391,11 +445,59 @@ impl<T: Element> ChunkBuf<T> {
             return self.handle_clone();
         }
         match &self.payload {
-            Payload::Encoded(_) => self.handle_clone(),
+            Payload::Encoded(_) | Payload::Governed(..) => self.handle_clone(),
             Payload::Dense(v) => match Encoded::encode_counted(v) {
                 Some(enc) => ChunkBuf::from_encoded(enc),
                 None => self.handle_clone(),
             },
+        }
+    }
+
+    /// A handle to this buffer's bytes under [`crate::MemoryGovernor`]
+    /// management: the governor accounts the stored bytes as resident and
+    /// may spill them to the process spill file under budget pressure;
+    /// the next read reloads them bit-exactly. No copy: dense storage
+    /// shares the existing allocation, encoded storage shares the runs.
+    ///
+    /// Governing an already-governed buffer is a handle clone. The
+    /// returned handle starts unpinned even if `self` was pinned.
+    pub fn govern(&self) -> ChunkBuf<T> {
+        let cell = match &self.payload {
+            Payload::Governed(..) => return self.handle_clone(),
+            Payload::Dense(v) => govern_stored(Stored::Dense(v.clone()), v.len(), ChunkRepr::Dense),
+            Payload::Encoded(cell) => govern_stored(
+                Stored::Encoded(cell.enc.clone()),
+                cell.enc.len(),
+                cell.enc.repr(),
+            ),
+        };
+        ChunkBuf {
+            payload: Payload::Governed(cell, HandlePin::new()),
+        }
+    }
+
+    /// Where this buffer's bytes currently live. Non-governed buffers are
+    /// always [`Residency::Resident`].
+    pub fn residency(&self) -> Residency {
+        match &self.payload {
+            Payload::Dense(_) | Payload::Encoded(_) => Residency::Resident,
+            Payload::Governed(cell, _) => {
+                if cell.is_spilled() {
+                    Residency::Spilled
+                } else {
+                    Residency::Resident
+                }
+            }
+        }
+    }
+
+    /// Drop this handle's pin on a governed cell's dense bytes, making
+    /// the cell spillable again without dropping the handle. A later
+    /// [`ChunkBuf::as_slice`] re-pins (reloading if the cell spilled in
+    /// the meantime). No-op for non-governed buffers.
+    pub fn release(&mut self) {
+        if let Payload::Governed(_, pin) = &mut self.payload {
+            pin.pin.take();
         }
     }
 
@@ -405,15 +507,24 @@ impl<T: Element> ChunkBuf<T> {
     /// `"codec.decode"`; cloning an already-materialized cache is an
     /// ordinary deep copy under `reason`.
     fn ensure_dense(&mut self, reason: &str) {
-        if let Payload::Encoded(cell) = &self.payload {
-            let v = match cell.dense.get() {
-                Some(cached) => {
-                    CopyCounter::record(reason, cached.len() * T::BYTES);
-                    cached.clone()
-                }
-                None => cell.enc.decode_counted(),
-            };
-            self.payload = Payload::Dense(Arc::new(v));
+        match &self.payload {
+            Payload::Dense(_) => {}
+            Payload::Encoded(cell) => {
+                let v = match cell.dense.get() {
+                    Some(cached) => {
+                        CopyCounter::record(reason, cached.len() * T::BYTES);
+                        cached.clone()
+                    }
+                    None => cell.enc.decode_counted(),
+                };
+                self.payload = Payload::Dense(Arc::new(v));
+            }
+            Payload::Governed(cell, _) => {
+                // Leave the governed domain with a private dense buffer:
+                // mutation must not race residency transitions.
+                let v = cell.take_dense(reason);
+                self.payload = Payload::Dense(Arc::new(v));
+            }
         }
     }
 
@@ -769,6 +880,99 @@ mod tests {
         let a = ChunkBuf::from_vec(vec![3.0f64; 64]).compressed();
         let v = a.view(8, 4);
         assert_eq!(v.as_slice(), &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn governed_buffer_spills_and_reloads_bit_exactly() {
+        crate::with_mem_budget(Some(1024), || {
+            let payload: Vec<f64> = (0..256)
+                .map(|i| {
+                    if i % 97 == 0 {
+                        f64::from_bits(0x7ff8_dead_beef_0000 + i as u64)
+                    } else {
+                        i as f64 - 128.0
+                    }
+                })
+                .collect();
+            // Four 2 KiB chunks against a 1 KiB budget: nothing unpinned
+            // can stay resident.
+            let bufs: Vec<ChunkBuf<f64>> = (0..4)
+                .map(|c| {
+                    ChunkBuf::from_vec(payload.iter().map(|v| v + c as f64).collect()).govern()
+                })
+                .collect();
+            crate::MemoryGovernor::enforce();
+            let stats = crate::MemoryGovernor::snapshot();
+            assert!(stats.resident_bytes <= 1024, "budget enforced at ingest");
+            assert!(bufs.iter().any(|b| b.residency() == Residency::Spilled));
+
+            // Reads through clones reload bit-exactly and release on drop.
+            for (c, b) in bufs.iter().enumerate() {
+                let r = b.clone();
+                let got = r.as_slice();
+                assert_eq!(got.len(), 256);
+                for (i, (g, p)) in got.iter().zip(&payload).enumerate() {
+                    assert_eq!(g.to_bits(), (p + c as f64).to_bits(), "elem {i}");
+                }
+            }
+            let after = crate::MemoryGovernor::snapshot().since(&stats);
+            assert!(after.reloads >= 4, "each chunk reloaded");
+            assert!(after.spills >= 3, "re-spills under pressure");
+            assert!(
+                crate::MemoryGovernor::snapshot().peak_resident
+                    >= crate::MemoryGovernor::snapshot().resident_bytes
+            );
+        });
+    }
+
+    #[test]
+    fn governed_pin_blocks_spill_until_released() {
+        crate::with_mem_budget(Some(4096), || {
+            let mut a = ChunkBuf::from_vec(vec![1.5f64; 512]).govern(); // 4 KiB
+            let _ = a.as_slice(); // pin
+                                  // Ingesting another 4 KiB chunk wants the budget; `a` is
+                                  // pinned, so it must stay resident.
+            let b = ChunkBuf::from_vec(vec![2.5f64; 512]).govern();
+            assert_eq!(a.residency(), Residency::Resident);
+            a.release();
+            let _ = b.as_slice(); // pressure: reload/touch b, spill a
+            assert_eq!(a.residency(), Residency::Spilled);
+            assert_eq!(a.as_slice()[0], 1.5, "reload after release");
+        });
+    }
+
+    #[test]
+    fn governed_encoded_chunk_spills_in_encoded_form() {
+        crate::with_mem_budget(Some(64), || {
+            let g = ChunkBuf::from_vec(vec![7.0f64; 4096]).compressed().govern();
+            assert_eq!(g.repr(), ChunkRepr::Const);
+            assert!(g.encoded().is_none(), "governed cells hide the runs");
+            let before = crate::MemoryGovernor::snapshot();
+            // Force it out and back in: the spilled record is the tiny
+            // encoded form, not 32 KiB of dense bytes.
+            let small: Vec<ChunkBuf<f64>> = (0..4)
+                .map(|_| ChunkBuf::from_vec(vec![0.0f64; 4]).govern())
+                .collect();
+            let _ = g.as_slice();
+            let delta = crate::MemoryGovernor::snapshot().since(&before);
+            assert!(delta.spilled_bytes < 256, "encoded spill I/O stays tiny");
+            assert_eq!(g.len(), 4096);
+            assert_eq!(g.stored_nbytes(), before.resident_bytes as usize);
+            drop(small);
+        });
+    }
+
+    #[test]
+    fn governed_make_mut_leaves_the_governed_domain() {
+        crate::with_mem_budget(None, || {
+            let a = ChunkBuf::from_vec((0..64).map(|i| i as f64).collect::<Vec<_>>()).govern();
+            let mut b = a.clone();
+            b.make_mut("cow")[0] = 99.0;
+            assert_eq!(b.residency(), Residency::Resident);
+            assert_eq!(b.as_slice()[0], 99.0);
+            assert_eq!(a.as_slice()[0], 0.0, "other handle unaffected");
+            assert!(!a.ptr_eq(&b));
+        });
     }
 
     #[test]

@@ -35,13 +35,14 @@ mod error;
 mod mask;
 mod reduce;
 mod shape;
+mod spill;
 mod window;
 
 pub use array::NdArray;
 pub use chunk::{ChunkGrid, ChunkIx};
 pub use chunkstore::{
     copy_mode, record_copy, with_copy_mode, ChunkBuf, ChunkView, CopyCounter, CopyMode, CopyStats,
-    ReasonStats,
+    ReasonStats, Residency,
 };
 pub use codec::{
     compress_mode, with_compress_mode, ChunkRepr, CodecCounter, CodecReprStats, CodecStats,
@@ -51,4 +52,8 @@ pub use element::Element;
 pub use error::{ArrayError, Result};
 pub use mask::Mask;
 pub use shape::Shape;
+pub use spill::{
+    mem_budget, register_valve, set_mem_budget, with_mem_budget, GovStats, MemoryGovernor,
+    ValveGuard,
+};
 pub use window::{window_bounds, WindowIter};

@@ -40,6 +40,12 @@ pub struct CostHint {
     /// Never cut a morsel smaller than this many items (the final remainder
     /// morsel may still be shorter).
     pub min_items: usize,
+    /// Never cut a morsel larger than this many items; `0` = uncapped.
+    /// The out-of-core path sets this from the memory budget so one
+    /// morsel's working set (`max_items × item bytes`) fits each worker's
+    /// budget share. When the cap conflicts with the granularity floor,
+    /// the floor wins — a kernel's indivisible unit cannot be split.
+    pub max_items: usize,
 }
 
 impl CostHint {
@@ -48,6 +54,7 @@ impl CostHint {
         CostHint {
             item_cost: 1.0,
             min_items: 1,
+            max_items: 0,
         }
     }
 
@@ -56,6 +63,7 @@ impl CostHint {
         CostHint {
             item_cost: 1.0,
             min_items: n.max(1),
+            max_items: 0,
         }
     }
 
@@ -64,7 +72,15 @@ impl CostHint {
         CostHint {
             item_cost: c,
             min_items: 1,
+            max_items: 0,
         }
+    }
+
+    /// This hint with morsels capped at `n` items (`0` = uncapped); see
+    /// [`CostHint::max_items`].
+    pub fn with_max_items(mut self, n: usize) -> CostHint {
+        self.max_items = n;
+        self
     }
 
     /// The effective minimum morsel length this hint implies: the explicit
@@ -113,7 +129,12 @@ pub fn morsel_ranges(n_items: usize, workers: usize, hint: CostHint) -> Vec<Rang
         return Vec::new();
     }
     let target = workers.max(1) * MORSELS_PER_WORKER;
-    let len = n_items.div_ceil(target).max(hint.floor());
+    let mut len = n_items.div_ceil(target).max(hint.floor());
+    if hint.max_items > 0 {
+        // Budget cap: shorter morsels bound each worker's live working
+        // set; the granularity floor still wins a conflict.
+        len = len.min(hint.max_items).max(hint.floor());
+    }
     (0..n_items.div_ceil(len))
         .map(|m| m * len..((m + 1) * len).min(n_items))
         .collect()
@@ -552,6 +573,30 @@ mod tests {
             assert!(ranges.len() <= workers.max(1) * MORSELS_PER_WORKER);
         }
         assert!(morsel_ranges(0, 4, CostHint::uniform()).is_empty());
+    }
+
+    #[test]
+    fn max_items_caps_morsel_length_but_floor_wins() {
+        // 1000 items over 2 workers would make 125-item morsels; a
+        // budget cap of 50 shortens them (more, smaller morsels).
+        let capped = morsel_ranges(1000, 2, CostHint::uniform().with_max_items(50));
+        assert!(capped.iter().all(|r| r.len() <= 50));
+        let mut next = 0usize;
+        for r in &capped {
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, 1000, "cap never loses items");
+        // The kernel's indivisible unit beats the cap.
+        let floored = morsel_ranges(1000, 2, CostHint::min_items(200).with_max_items(50));
+        for r in &floored[..floored.len() - 1] {
+            assert!(r.len() >= 200, "{r:?}");
+        }
+        // Zero cap = uncapped.
+        assert_eq!(
+            morsel_ranges(1000, 2, CostHint::uniform().with_max_items(0)),
+            morsel_ranges(1000, 2, CostHint::uniform())
+        );
     }
 
     #[test]

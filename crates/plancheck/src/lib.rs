@@ -88,6 +88,17 @@ pub fn check(graph: &TaskGraph, cluster: &ClusterSpec, profile: &InvariantProfil
     }
 }
 
+/// The memory pass's estimated peak per-node demand for `graph` on
+/// `cluster`: the heaviest realizable concurrent working set (greedy
+/// heavy-first antichain, capped at a node's worker slots) over pinned
+/// and floating tasks. This is the static estimate the M-passes compare
+/// against node RAM; `scibench bench ooc` validates it against the
+/// memory governor's measured peak residency. Structurally broken graphs
+/// (cycles, dangling deps) estimate 0.
+pub fn estimated_peak_demand(graph: &TaskGraph, cluster: &ClusterSpec) -> u64 {
+    Analysis::new(graph).map_or(0, |an| passes::peak_demand(&an, cluster))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +332,35 @@ mod tests {
         let r = check(&g, &cluster(), &permissive());
         assert!(r.has(Code::M003), "{}", r.render_table());
         assert!(r.has_errors());
+    }
+
+    #[test]
+    fn estimated_peak_demand_is_the_realizable_antichain() {
+        // Ordered 40 GB tasks are never concurrently resident: the
+        // estimate is one of them, not their sum.
+        let mut g = TaskGraph::new();
+        let a = g.add(TaskSpec::compute("a", 10.0).mem(40 * GB).on_node(0));
+        g.add(
+            TaskSpec::compute("b", 10.0)
+                .mem(40 * GB)
+                .on_node(0)
+                .after(&[a]),
+        );
+        assert_eq!(estimated_peak_demand(&g, &cluster()), 40 * GB);
+
+        // Incomparable tasks add up, pinned and floating joined by max.
+        let mut g = TaskGraph::new();
+        g.add(TaskSpec::compute("p", 10.0).mem(40 * GB).on_node(0));
+        g.add(TaskSpec::compute("q", 10.0).mem(40 * GB).on_node(0));
+        g.add(TaskSpec::compute("f", 10.0).mem(10 * GB));
+        assert_eq!(estimated_peak_demand(&g, &cluster()), 80 * GB);
+
+        // Structurally broken graphs estimate zero instead of panicking.
+        let broken = TaskGraph::from_tasks_unchecked(vec![
+            TaskSpec::compute("a", 1.0).after(&[1]),
+            TaskSpec::compute("b", 1.0).after(&[0]),
+        ]);
+        assert_eq!(estimated_peak_demand(&broken, &cluster()), 0);
     }
 
     #[test]

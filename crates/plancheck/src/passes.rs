@@ -344,6 +344,34 @@ fn antichain_demand(an: &Analysis<'_>, ids: &[TaskId], slots: usize) -> (u64, Ve
     (sum, taken)
 }
 
+/// The memory pass's demand estimate, without diagnostics: the worst
+/// per-node realizable working set over pinned tasks, joined with the
+/// floating-task antichain. This is the number the M-passes compare
+/// against node RAM; `bench ooc` validates it against the governor's
+/// measured peak residency. Unlike [`memory`], the naive-sum shortcut is
+/// not taken — the antichain refinement always runs, so the estimate is
+/// realizable demand even when it fits the node.
+pub(crate) fn peak_demand(an: &Analysis<'_>, cluster: &ClusterSpec) -> u64 {
+    let slots = cluster.node.worker_slots.max(1);
+    let mut per_node: Vec<Vec<TaskId>> = vec![Vec::new(); cluster.nodes.max(1)];
+    let mut floating: Vec<TaskId> = Vec::new();
+    for (id, t) in an.tasks.iter().enumerate() {
+        if t.is_barrier || t.mem_bytes == 0 {
+            continue;
+        }
+        match t.placement {
+            Placement::Node(node) => per_node[node.min(cluster.nodes.saturating_sub(1))].push(id),
+            Placement::Any => floating.push(id),
+        }
+    }
+    let mut worst = 0u64;
+    for ids in per_node.iter().chain(std::iter::once(&floating)) {
+        let (demand, _) = antichain_demand(an, ids, slots);
+        worst = worst.max(demand);
+    }
+    worst
+}
+
 pub(crate) fn memory(
     an: &Analysis<'_>,
     cluster: &ClusterSpec,

@@ -1,0 +1,13 @@
+// A data-plane helper that opens its own scratch file: disk traffic
+// outside the governor's spill tier is unmetered (no spill/reload
+// counters, no budget accounting), so C002 must fire on each I/O token.
+pub fn stash(values: &[f64]) -> std::io::Result<()> {
+    let path = std::env::temp_dir().join("scratch.bin");
+    let mut file = std::fs::File::create(&path)?;
+    use std::io::Write as _;
+    for v in values {
+        file.write_all(&v.to_le_bytes())?;
+    }
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -17,12 +17,19 @@
 //!    are caught by the token-level seed scan instead).
 //! 4. `Type::name` where some workspace file defines or impls `Type` →
 //!    definitions named `name` in those files.
-//! 5. Method calls `recv.name(...)` → every workspace definition named
-//!    `name` (receiver types are unknown at token level).
-//! 6. Plain `name(...)` → same-*file* definitions when any exist (a local
-//!    definition always shadows anything imported), else same-crate
-//!    definitions, else every workspace definition named `name` (covers
-//!    `use`-imported free functions).
+//! 5. `Type::name` where `Type` is capitalized but no workspace file
+//!    defines or impls it → external, no edge. A capitalized qualifier is
+//!    a type path, and every workspace type appears in the type table, so
+//!    an unknown one is `std`/third-party (`Mutex::new`, `Vec::from`).
+//!    Fanning those out used to taint every same-named workspace fn —
+//!    one ambient read inside any constructor named `new` poisoned every
+//!    `new` in the workspace through `Mutex::new(..)` call sites.
+//! 6. Method calls `recv.name(...)` and plain `name(...)` → same-*file*
+//!    definitions when any exist (a local definition always shadows
+//!    anything imported, and a same-file method is the overwhelmingly
+//!    likely receiver), else same-crate definitions, else every workspace
+//!    definition named `name` (covers `use`-imported free functions and
+//!    cross-crate methods; receiver types are unknown at token level).
 //!
 //! Known blind spots (see DESIGN.md §3.12): trait-object dispatch and fn
 //! pointers produce no call token and therefore no edge; closures are
@@ -138,18 +145,24 @@ pub fn build(tab: &SymbolTable) -> CallGraph {
                     .copied()
                     .filter(|&c| files.contains(&tab.fns[c as usize].file))
                     .collect()
+            } else if q.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                // Capitalized qualifier naming no workspace type: a std or
+                // third-party type path (`Mutex::new`). Every workspace
+                // type is in the type table, so no edge — fanning out here
+                // would taint every same-named workspace fn.
+                Vec::new()
             } else {
-                // Unknown qualifier: over-approximate to every candidate.
+                // Unknown lowercase qualifier: a module path the table
+                // cannot place. Over-approximate to every candidate.
                 cands.clone()
             }
-        } else if call.method {
-            // Receiver type unknown: every candidate.
-            cands.clone()
         } else {
-            // Same-file → same-crate → whole-workspace ladder. Rust scoping
-            // makes the first rung exact, not heuristic: a definition in the
-            // calling module shadows any imported name, so when the caller's
-            // own file defines `name`, a crate- or workspace-wide fan-out
+            // Method calls and plain calls share the same-file →
+            // same-crate → whole-workspace ladder. Rust scoping makes the
+            // first rung exact for plain calls (a definition in the
+            // calling module shadows any imported name) and the right
+            // per-(crate, file) narrowing for methods: when the caller's
+            // own file or crate defines `name`, a workspace-wide fan-out
             // would mis-resolve witness chains through unrelated crates.
             let caller_file = tab.fns[call.caller as usize].file;
             let in_file: Vec<u32> = cands
@@ -269,7 +282,10 @@ mod tests {
     }
 
     #[test]
-    fn method_call_fans_out_to_every_candidate() {
+    fn method_call_without_local_def_still_fans_out_workspace_wide() {
+        // The caller's crate defines no `work`, so the ladder bottoms out
+        // at the workspace rung: both candidates stay (receiver types are
+        // unknown at token level, and dropping the call would be unsound).
         let (tab, g) = graph_of(&[
             ("a.rs", "ca", "pub fn root(x: T) { x.work(); }\n"),
             ("b.rs", "cb", "fn work() {}\n"),
@@ -277,6 +293,51 @@ mod tests {
         ]);
         let root = fn_ix(&tab, "root");
         assert_eq!(g.edges[root as usize].len(), 2);
+    }
+
+    #[test]
+    fn method_call_prefers_same_file_then_same_crate() {
+        // Regression for the `new`-taint gotcha: a method call resolves
+        // per (crate, file) like a plain call, so a same-named method in
+        // an unrelated crate no longer receives an edge.
+        let (tab, g) = graph_of(&[
+            (
+                "a.rs",
+                "ca",
+                "pub fn root(x: T) { x.work(); }\nfn work() {}\n",
+            ),
+            ("b.rs", "cb", "fn work() {}\n"),
+        ]);
+        let root = fn_ix(&tab, "root");
+        let edges = &g.edges[root as usize];
+        assert_eq!(edges.len(), 1);
+        let target = *edges.iter().next().expect("edge");
+        assert_eq!(tab.fns[target as usize].crate_name, "ca");
+    }
+
+    #[test]
+    fn unknown_capitalized_qualifier_is_external() {
+        // `Mutex` impls no workspace type, so `Mutex::new()` is a std
+        // constructor: no edge, instead of a workspace-wide fan-out to
+        // every fn named `new`.
+        let (tab, g) = graph_of(&[
+            ("a.rs", "ca", "pub fn root() { let _ = Mutex::new(0); }\n"),
+            ("b.rs", "cb", "impl Server { pub fn new() {} }\n"),
+        ]);
+        let root = fn_ix(&tab, "root");
+        assert!(g.edges[root as usize].is_empty());
+    }
+
+    #[test]
+    fn unknown_lowercase_qualifier_still_fans_out() {
+        // A lowercase qualifier is a module path the type table cannot
+        // place; the over-approximation keeps every candidate.
+        let (tab, g) = graph_of(&[
+            ("a.rs", "ca", "pub fn root() { pipeline::merge(); }\n"),
+            ("b.rs", "cb", "pub fn merge() {}\n"),
+        ]);
+        let root = fn_ix(&tab, "root");
+        assert_eq!(g.edges[root as usize].len(), 1);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //!   hash-seed-dependent iteration order there makes "engine behaviour"
 //!   depend on the process, so they get the full D family plus H001, and
 //!   C001 (chunk payloads ride the shared zero-copy plane; a deep copy
-//!   must be sanctioned or justified).
+//!   must be sanctioned or justified). Data-plane crates also get C002:
+//!   the only sanctioned disk traffic on the data plane is the memory
+//!   governor's spill tier in `marray/src/spill.rs`.
 //! * **`sciops`** holds the numeric kernels: the N family applies there
 //!   (and in `marray`, the array substrate), plus D-rules and the H002
 //!   serial-twin contract for its `_par` kernels.
@@ -48,12 +50,17 @@ pub fn flow_exempt(crate_name: &str) -> bool {
 /// exempt. Crate names are directory names under `crates/`; the workspace
 /// root package is `"scibench"`.
 pub fn rules_for(crate_name: &str) -> &'static [&'static str] {
-    const ENGINE: &[&str] = &["D001", "D002", "D003", "H001", "C001"];
+    const ENGINE: &[&str] = &["D001", "D002", "D003", "H001", "C001", "C002"];
     const SCIOPS: &[&str] = &[
-        "D001", "D002", "D003", "D004", "N001", "N002", "N003", "H001", "H002",
+        "D001", "D002", "D003", "D004", "N001", "N002", "N003", "H001", "H002", "C002",
     ];
-    const MARRAY: &[&str] = &["D001", "D002", "D003", "N001", "N003", "H001"];
-    const PAREXEC: &[&str] = &["D001", "D003", "D004", "H001"];
+    const MARRAY: &[&str] = &["D001", "D002", "D003", "N001", "N003", "H001", "C002"];
+    const PAREXEC: &[&str] = &["D001", "D003", "D004", "H001", "C002"];
+    // Data-plane infrastructure: chunk handles flow through these crates,
+    // so C002 pins their disk traffic to the governor's spill tier. The
+    // tooling crates (scilint itself, plancheck, simcluster) read source
+    // trees and stay on the plain INFRA profile.
+    const DATA_INFRA: &[&str] = &["D001", "D003", "H001", "C002"];
     const INFRA: &[&str] = &["D001", "D003", "H001"];
     const HYGIENE_ONLY: &[&str] = &["H001"];
     const EXEMPT: &[&str] = &[];
@@ -72,12 +79,14 @@ pub fn rules_for(crate_name: &str) -> &'static [&'static str] {
         // serve is resident infrastructure: D002 stays off because request
         // latency measurement is the service's job, but the hygiene and
         // determinism-container rules still apply.
-        "serve" => INFRA,
+        "serve" => DATA_INFRA,
         "simcluster" | "plancheck" | "scilint" => INFRA,
         // formats and core convert on purpose (N002 would be noise) but must
         // not panic on bad input, and core's use-case drivers feed results.
+        // formats is the workspace's file-format crate: reading and writing
+        // FITS/NIfTI files is its job, so C002 does not apply there.
         "formats" => HYGIENE_ONLY,
-        "core" | "scibench" => INFRA,
+        "core" | "scibench" => DATA_INFRA,
         // The bench harness exists to read the clock and print.
         "bench" => EXEMPT,
         _ => HYGIENE_ONLY,

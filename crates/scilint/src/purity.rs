@@ -140,12 +140,21 @@ pub struct PurityTable {
 impl PurityTable {
     /// The worst verdict over every function named `name` — the safe
     /// answer when a kernel binding names a function the token-level
-    /// resolver cannot disambiguate. Ties break by table order, which is
-    /// (path, token) order, so the answer is deterministic.
+    /// resolver cannot disambiguate. A `crate::name` qualified form
+    /// restricts the join to one crate's definitions, so a binding can
+    /// pin a common name (`new`, `run`) to the crate that owns it
+    /// instead of joining over every same-named fn in the workspace.
+    /// Ties break by table order, which is (path, token) order, so the
+    /// answer is deterministic.
     pub fn worst_named(&self, name: &str) -> Option<&PurityVerdict> {
-        let ids = self.by_name.get(name)?;
+        let (krate, bare) = match name.split_once("::") {
+            Some((k, b)) => (Some(k), b),
+            None => (None, name),
+        };
+        let ids = self.by_name.get(bare)?;
         ids.iter()
             .map(|&i| &self.verdicts[i])
+            .filter(|v| krate.is_none_or(|k| v.crate_name == k))
             .max_by_key(|v| (v.level, std::cmp::Reverse((v.path.clone(), v.line))))
     }
 
@@ -487,6 +496,39 @@ mod tests {
             ("b.rs", "core", "pub fn go() { let _ = Instant::now(); }\n"),
         ]);
         assert_eq!(level_of(&t, "go"), Purity::Nondet);
+    }
+
+    #[test]
+    fn crate_qualified_lookup_narrows_the_join() {
+        let t = run(&[
+            ("a.rs", "sciops", "pub fn go() {}\n"),
+            ("b.rs", "core", "pub fn go() { let _ = Instant::now(); }\n"),
+        ]);
+        assert_eq!(level_of(&t, "sciops::go"), Purity::Pure);
+        assert_eq!(level_of(&t, "core::go"), Purity::Nondet);
+        assert!(t.worst_named("formats::go").is_none());
+    }
+
+    #[test]
+    fn ambient_read_in_a_constructor_does_not_taint_unrelated_news() {
+        // Regression for the Server::new gotcha: an ambient read inside
+        // one crate's constructor must not leak through `Mutex::new(..)`
+        // call sites into every function in the workspace — call
+        // resolution is per (crate, file, fn), not bare name.
+        let t = run(&[
+            (
+                "server.rs",
+                "serve",
+                "impl Server { pub fn new() -> Server { let _ = std::fs::read_to_string(\"w\"); Server } }\n",
+            ),
+            (
+                "kernel.rs",
+                "sciops",
+                "pub fn kernel() -> u32 { let _m = Mutex::new(7); 7 }\n",
+            ),
+        ]);
+        assert_eq!(level_of(&t, "kernel"), Purity::Pure);
+        assert_eq!(level_of(&t, "serve::new"), Purity::AmbientRead);
     }
 
     #[test]

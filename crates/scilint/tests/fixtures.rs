@@ -34,7 +34,7 @@ fn fires(report: &Report, rule: &str) -> bool {
 /// The F-family fixtures parse under `engine-rdd` — a flow-root crate, so
 /// their `pub fn entry` becomes an analysis root and the helper's sink is
 /// reachable interprocedurally.
-const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 17] = [
+const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 18] = [
     ("D001", "engine-rdd", "d001_bad.rs", "d001_good.rs"),
     ("D002", "engine-rdd", "d002_bad.rs", "d002_good.rs"),
     ("D003", "engine-rdd", "d003_bad.rs", "d003_good.rs"),
@@ -51,6 +51,7 @@ const SINGLE_FILE_CASES: [(&str, &str, &str, &str); 17] = [
         "c001_codec_bad.rs",
         "c001_codec_good.rs",
     ),
+    ("C002", "marray", "c002_bad.rs", "c002_good.rs"),
     ("S001", "engine-rdd", "s001_bad.rs", "s001_good.rs"),
     ("S003", "engine-rdd", "s003_bad.rs", "s003_good.rs"),
     ("F001", "engine-rdd", "f001_bad.rs", "f001_good.rs"),
@@ -128,6 +129,28 @@ fn d004_sanctions_morsel_rs_as_parexec_spawn_site() {
     assert!(
         !fires(&report, "D004"),
         "D004 fired inside the sanctioned spawn site: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn c002_sanctions_spill_rs_as_data_plane_io_site() {
+    // The same file I/O is legal inside the governor's spill tier —
+    // marray/src/spill.rs is the data plane's one sanctioned I/O site.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("c002_bad.rs");
+    let src = std::fs::read_to_string(&path).expect("fixture unreadable");
+    let file = SourceFile::parse(
+        "crates/marray/src/spill.rs",
+        "marray",
+        FileKind::Library,
+        &src,
+    );
+    let report = analyze(&[file]);
+    assert!(
+        !fires(&report, "C002"),
+        "C002 fired inside the sanctioned spill-I/O site: {:?}",
         report.findings
     );
 }

@@ -200,6 +200,31 @@ impl<V: Clone> MemoTable<V> {
         }
     }
 
+    /// Evict least-recently-used entries until at least `bytes` of
+    /// declared weight are released (or the table is empty); returns the
+    /// weight actually released. This is the memory-governor valve entry
+    /// point: under pressure the resident query service drops cache
+    /// entries — cheap to recompute, and their payload `Arc`s may be the
+    /// pins keeping kernel chunks spillable — before any chunk pays for
+    /// spill I/O. Works on unbounded tables too.
+    pub fn evict_bytes(&mut self, bytes: u64) -> u64 {
+        let mut freed = 0u64;
+        while freed < bytes {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            let Some(k) = lru else { break };
+            let evicted = self.entries.remove(&k).expect("lru key came from this map");
+            self.resident_bytes -= evicted.weight;
+            self.stats.evictions += 1;
+            self.stats.evicted_bytes += evicted.weight;
+            freed += evicted.weight;
+        }
+        freed
+    }
+
     /// Whether `key` is resident.
     pub fn contains(&self, key: u64) -> bool {
         self.entries.contains_key(&key)
@@ -290,6 +315,13 @@ impl<V: Clone> SharedMemoTable<V> {
         let weight = weigh(&v);
         self.lock().admit(key, v.clone(), weight);
         (v, Probe::Miss)
+    }
+
+    /// Evict LRU entries until `bytes` of weight are released — the
+    /// shared-table form of [`MemoTable::evict_bytes`], shaped to back a
+    /// [`marray::register_valve`](marray) callback.
+    pub fn evict_bytes(&self, bytes: u64) -> u64 {
+        self.lock().evict_bytes(bytes)
     }
 
     /// Whether `key` is resident right now.
@@ -449,6 +481,101 @@ mod tests {
         assert_eq!(st.hits + st.misses, 8);
         assert_eq!(t.len(), 1);
         assert_eq!(t.resident_bytes(), 8);
+    }
+
+    #[test]
+    fn evict_bytes_drains_lru_first_and_reports_freed_weight() {
+        let t: SharedMemoTable<u64> = SharedMemoTable::new();
+        t.get_or_compute(1, true, || 10, |_| 4);
+        t.get_or_compute(2, true, || 20, |_| 4);
+        t.get_or_compute(1, true, || unreachable!(), |_| 4); // refresh 1
+        assert_eq!(t.evict_bytes(1), 4, "one LRU entry covers the request");
+        assert!(!t.contains(2), "LRU entry goes first");
+        assert!(t.contains(1));
+        // Asking for more than is resident frees what there is.
+        assert_eq!(t.evict_bytes(1 << 20), 4);
+        assert!(t.is_empty());
+        assert_eq!(t.evict_bytes(1), 0, "empty table frees nothing");
+        let s = t.stats();
+        assert_eq!((s.evictions, s.evicted_bytes), (2, 8));
+    }
+
+    #[test]
+    fn shared_table_entry_larger_than_budget_is_admitted_alone() {
+        // The just-computed entry is always servable once, even when its
+        // weight alone exceeds the budget — everything older goes.
+        let t: SharedMemoTable<u64> = SharedMemoTable::with_budget(16);
+        t.get_or_compute(1, true, || 10, |_| 8);
+        t.get_or_compute(2, true, || 20, |_| 8);
+        t.get_or_compute(3, true, || 30, |_| 64);
+        assert!(!t.contains(1));
+        assert!(!t.contains(2));
+        assert!(t.contains(3), "oversized entry stays resident");
+        assert_eq!(t.resident_bytes(), 64);
+        let s = t.stats();
+        assert_eq!((s.evictions, s.evicted_bytes), (2, 16));
+    }
+
+    #[test]
+    fn shared_table_exact_fit_never_evicts() {
+        // resident == budget is within budget: eviction triggers strictly
+        // past the boundary, so an exact fill keeps every entry.
+        let t: SharedMemoTable<u64> = SharedMemoTable::with_budget(8);
+        t.get_or_compute(1, true, || 10, |_| 4);
+        t.get_or_compute(2, true, || 20, |_| 4);
+        assert_eq!(t.resident_bytes(), 8);
+        assert_eq!(t.stats().evictions, 0);
+        // One more byte crosses the boundary and evicts exactly the LRU.
+        t.get_or_compute(3, true, || 30, |_| 1);
+        assert!(!t.contains(1), "oldest entry pays for the overflow");
+        assert!(t.contains(2));
+        assert!(t.contains(3));
+        assert_eq!(t.resident_bytes(), 5);
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn shared_table_repeated_hits_protect_an_old_entry() {
+        // Key 1 is admitted first but hit repeatedly; the untouched key 2
+        // is the true LRU when key 4 needs room, and eviction follows use
+        // order, not insertion order.
+        let t: SharedMemoTable<u64> = SharedMemoTable::with_budget(12);
+        t.get_or_compute(1, true, || 10, |_| 4);
+        t.get_or_compute(2, true, || 20, |_| 4);
+        t.get_or_compute(3, true, || 30, |_| 4);
+        for _ in 0..3 {
+            let (v, p) = t.get_or_compute(1, true, || unreachable!(), |_| 4);
+            assert_eq!((v, p), (10, Probe::Hit));
+        }
+        t.get_or_compute(4, true, || 40, |_| 4);
+        assert!(t.contains(1), "repeatedly-hit entry survives");
+        assert!(!t.contains(2), "least-recently-used entry is evicted");
+        assert!(t.contains(3));
+        assert!(t.contains(4));
+        assert_eq!(t.resident_bytes(), 12);
+    }
+
+    #[test]
+    fn shared_table_budget_accounting_survives_a_poisoned_lock() {
+        // Recovery-first locking must leave the budget machinery working:
+        // admissions after a poisoning panic still evict correctly.
+        let t: SharedMemoTable<u64> = SharedMemoTable::with_budget(8);
+        t.get_or_compute(1, true, || 10, |_| 4);
+        let r = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = t.inner.lock().unwrap();
+                panic!("poison the table lock");
+            })
+            .join()
+        });
+        assert!(r.is_err(), "the poisoning thread panicked");
+        t.get_or_compute(2, true, || 20, |_| 4);
+        t.get_or_compute(3, true, || 30, |_| 4);
+        assert!(!t.contains(1), "post-poison admission still evicts LRU");
+        assert!(t.contains(2));
+        assert!(t.contains(3));
+        assert_eq!(t.resident_bytes(), 8);
+        assert_eq!(t.stats().evictions, 1);
     }
 
     #[test]

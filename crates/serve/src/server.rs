@@ -8,6 +8,13 @@
 //! `combine_fingerprints(stage plan fingerprint, input content
 //! fingerprint)`.
 //!
+//! The result cache and the kernels' working set share one memory
+//! governor: the server registers the cache as a governor *valve*
+//! ([`marray::register_valve`]), so when a process-wide budget
+//! ([`marray::mem_budget`]) comes under pressure, clean cached results —
+//! which are recomputable from their certificates — are evicted before
+//! any working-set chunk pays spill I/O.
+//!
 //! # Life of a request
 //!
 //! 1. **Resolve** the dataset (`name@version`) in the catalog.
@@ -17,8 +24,13 @@
 //!    stage with [`scimemo::certify`]; admission-check every graph with
 //!    [`plancheck::check`] — a plan with *any* error, memory errors
 //!    included, is refused (the Figure 15 pipelined-OOM configuration is
-//!    the canonical rejection). The whole `Result` is cached per query
-//!    key, so repeat queries skip lowering and certification entirely.
+//!    the canonical rejection). When a process-wide memory budget is
+//!    active the governor gives every engine analog a spill tier, so
+//!    memory overruns degrade to spill I/O instead of OOM and admission
+//!    runs with `spills = true` — the Figure 15 plan becomes runnable
+//!    (slowly) rather than refused. The whole `Result` is cached per
+//!    (query key, budget-active bit), so repeat queries skip lowering
+//!    and certification entirely.
 //! 3. **Execute** stage by stage. Every stage probes the result cache:
 //!    certified stages hit (an `Arc` clone of the resident payload —
 //!    zero copies, verified by `CopyCounter` in the serve bench) or
@@ -253,7 +265,12 @@ pub struct Server {
     purity: PurityTable,
     pool: MorselPool,
     plans: Mutex<BTreeMap<String, Arc<Result<PlanInfo, String>>>>,
-    cache: SharedMemoTable<Cached>,
+    cache: Arc<SharedMemoTable<Cached>>,
+    /// Keeps the cache registered as a memory-governor valve for the
+    /// server's lifetime: under budget pressure the governor drains LRU
+    /// cache entries (recomputable) before spilling working-set chunks
+    /// (which cost reload I/O). Never read — dropping it unregisters.
+    _cache_valve: marray::ValveGuard,
     caching: bool,
 }
 
@@ -261,21 +278,27 @@ impl Server {
     /// Start a server over `catalog`. `purity` is the workspace purity
     /// table backing certification — the caller runs
     /// `scilint::purity::analyze_workspace` once at startup and the cost
-    /// is amortized over every request. (The analysis is deliberately not
-    /// run *here*: it reads the filesystem, and the purity walk is
-    /// name-based and interprocedural, so burying an ambient read inside
-    /// a constructor named `new` would taint every `new` in the
-    /// workspace — the certifier would then refuse its own kernels.)
+    /// is amortized over every request.
     pub fn new(catalog: Catalog, purity: PurityTable) -> Server {
+        let cache = Arc::new(SharedMemoTable::new());
         Server {
             setup: Setup::default(),
             catalog,
             purity,
             pool: MorselPool::with_hint(Parallelism::Serial, CostHint::min_items(1)),
             plans: Mutex::new(BTreeMap::new()),
-            cache: SharedMemoTable::new(),
+            _cache_valve: Self::arm_valve(&cache),
+            cache,
             caching: true,
         }
+    }
+
+    /// Register `cache` as a governor valve. Valves only fire when a
+    /// memory budget is both set and under pressure, so unconditional
+    /// registration costs nothing in the unbounded case.
+    fn arm_valve(cache: &Arc<SharedMemoTable<Cached>>) -> marray::ValveGuard {
+        let cache = Arc::clone(cache);
+        marray::register_valve(Box::new(move |excess| cache.evict_bytes(excess)))
     }
 
     /// Serve concurrent batches across `par` workers (each request is one
@@ -288,7 +311,8 @@ impl Server {
     /// Bound the result cache to `bytes` (LRU eviction past it). Replaces
     /// the cache, so call before serving.
     pub fn with_cache_budget(mut self, bytes: u64) -> Server {
-        self.cache = SharedMemoTable::with_budget(bytes);
+        self.cache = Arc::new(SharedMemoTable::with_budget(bytes));
+        self._cache_valve = Self::arm_valve(&self.cache);
         self
     }
 
@@ -392,30 +416,39 @@ impl Server {
     /// The cached plan (or cached rejection) for `key`, building it on
     /// first sight. Building happens outside the lock: two requests
     /// racing a new key both lower, deterministically identically, and
-    /// the first insertion wins.
+    /// the first insertion wins. The admission verdict depends on whether
+    /// a memory budget (and therefore a spill tier) is active, so the
+    /// internal key carries that bit; [`Response::key`] stays
+    /// [`QueryDesc::key`].
     fn plan_for(
         &self,
         key: &str,
         q: &QueryDesc,
         dataset: &Dataset,
     ) -> Arc<Result<PlanInfo, String>> {
-        if let Some(p) = self.plans_lock().get(key) {
+        let plan_key = format!("{key}|spill={}", marray::mem_budget().is_some());
+        if let Some(p) = self.plans_lock().get(&plan_key) {
             return Arc::clone(p);
         }
         let built = Arc::new(self.build_plan(q, dataset));
-        self.plans_lock()
-            .entry(key.to_string())
-            .or_insert(built)
-            .clone()
+        self.plans_lock().entry(plan_key).or_insert(built).clone()
     }
 
     /// Validate, lower, fingerprint, certify and admission-check `q`.
     fn build_plan(&self, q: &QueryDesc, dataset: &Dataset) -> Result<PlanInfo, String> {
         validate(q, dataset)?;
         let cluster = self.setup.cluster_for(q.engine, q.nodes);
+        let mut inv = self.setup.profiles.invariants(q.engine);
+        // With a process-wide budget active the governor gives every
+        // engine analog a spill tier: memory pressure degrades to spill
+        // I/O instead of OOM, so admission treats overruns the way it
+        // treats Spark's native spilling — the Figure 15 pipelined plan
+        // becomes runnable (slowly) rather than refused.
+        if marray::mem_budget().is_some() {
+            inv.spills = true;
+        }
         let admit = |graph: &TaskGraph| -> Result<(), String> {
-            let report =
-                plancheck::check(graph, &cluster, &self.setup.profiles.invariants(q.engine));
+            let report = plancheck::check(graph, &cluster, &inv);
             let errors = report.errors().count();
             if errors == 0 {
                 Ok(())
@@ -716,34 +749,40 @@ mod tests {
 
     #[test]
     fn warm_hit_is_zero_copy_and_bit_identical() {
-        let srv = server();
-        let q = QueryDesc::new(Engine::Spark, Pipeline::NeuroSegment, "dmri", 1);
-        let cold = srv.serve_one(&q);
-        assert!(cold.response().expect("served").any_miss());
-        let before = CopyCounter::snapshot();
-        let warm = srv.serve_one(&q);
-        let delta = CopyCounter::snapshot().since(&before);
-        assert_eq!((delta.copies, delta.bytes), (0, 0), "hit must move nothing");
-        assert!(warm.response().expect("served").all_hits());
-        assert_eq!(fp(&cold), fp(&warm));
+        // Budget pinned off: a concurrent budget test's governor pressure
+        // would otherwise drain this server's cache through its valve.
+        marray::with_mem_budget(None, || {
+            let srv = server();
+            let q = QueryDesc::new(Engine::Spark, Pipeline::NeuroSegment, "dmri", 1);
+            let cold = srv.serve_one(&q);
+            assert!(cold.response().expect("served").any_miss());
+            let before = CopyCounter::snapshot();
+            let warm = srv.serve_one(&q);
+            let delta = CopyCounter::snapshot().since(&before);
+            assert_eq!((delta.copies, delta.bytes), (0, 0), "hit must move nothing");
+            assert!(warm.response().expect("served").all_hits());
+            assert_eq!(fp(&cold), fp(&warm));
+        });
     }
 
     #[test]
     fn cold_query_reuses_the_warm_prefix_of_a_previous_plan() {
-        let srv = server();
-        let den = QueryDesc::new(Engine::Spark, Pipeline::NeuroDenoise, "dmri", 1);
-        srv.serve_one(&den);
-        // The FA query has never run, but its first two stages have.
-        let fa = QueryDesc::new(Engine::Spark, Pipeline::NeuroFa, "dmri", 1);
-        let r = srv.serve_one(&fa);
-        let probes: Vec<Probe> = r
-            .response()
-            .expect("served")
-            .stages
-            .iter()
-            .map(|s| s.probe)
-            .collect();
-        assert_eq!(probes, [Probe::Hit, Probe::Hit, Probe::Miss]);
+        marray::with_mem_budget(None, || {
+            let srv = server();
+            let den = QueryDesc::new(Engine::Spark, Pipeline::NeuroDenoise, "dmri", 1);
+            srv.serve_one(&den);
+            // The FA query has never run, but its first two stages have.
+            let fa = QueryDesc::new(Engine::Spark, Pipeline::NeuroFa, "dmri", 1);
+            let r = srv.serve_one(&fa);
+            let probes: Vec<Probe> = r
+                .response()
+                .expect("served")
+                .stages
+                .iter()
+                .map(|s| s.probe)
+                .collect();
+            assert_eq!(probes, [Probe::Hit, Probe::Hit, Probe::Miss]);
+        });
     }
 
     #[test]
@@ -778,19 +817,65 @@ mod tests {
 
     #[test]
     fn figure_15_plan_is_refused_at_admission() {
-        let srv = server();
-        let q = QueryDesc::new(Engine::Myria, Pipeline::AstroFull, "hits-deep", 1)
-            .with_mode(AstroMode::Pipelined)
-            .with_nodes(16);
-        match srv.serve_one(&q) {
-            ServeOutcome::Rejected { reason, .. } => {
-                assert!(reason.contains("admission"), "{reason}");
+        // Admission depends on the budget-active bit — pin it off.
+        marray::with_mem_budget(None, || {
+            let srv = server();
+            let q = QueryDesc::new(Engine::Myria, Pipeline::AstroFull, "hits-deep", 1)
+                .with_mode(AstroMode::Pipelined)
+                .with_nodes(16);
+            match srv.serve_one(&q) {
+                ServeOutcome::Rejected { reason, .. } => {
+                    assert!(reason.contains("admission"), "{reason}");
+                }
+                ServeOutcome::Done(_) => panic!("the Figure 15 OOM plan must be refused"),
             }
-            ServeOutcome::Done(_) => panic!("the Figure 15 OOM plan must be refused"),
-        }
-        // The disk-backed mode of the same query is admitted.
-        let ok = srv.serve_one(&q.with_mode(AstroMode::Materialized));
-        assert!(ok.response().is_some());
+            // The disk-backed mode of the same query is admitted.
+            let ok = srv.serve_one(&q.with_mode(AstroMode::Materialized));
+            assert!(ok.response().is_some());
+        });
+    }
+
+    #[test]
+    fn figure_15_plan_runs_under_a_memory_budget() {
+        marray::with_mem_budget(Some(64 << 20), || {
+            let srv = server();
+            let q = QueryDesc::new(Engine::Myria, Pipeline::AstroFull, "hits-deep", 1)
+                .with_mode(AstroMode::Pipelined)
+                .with_nodes(16);
+            // Statically this plan overruns cluster memory (the refusal
+            // above); with the governor's spill tier active, memory
+            // pressure degrades to spill I/O, so admission lets it run.
+            let pipelined = srv.serve_one(&q);
+            let r = pipelined.response().expect("spill tier admits the plan");
+            // Execution modes lower to different plans but the same
+            // kernels: the spilled pipelined run must be bit-identical
+            // to the disk-backed one.
+            let materialized = srv.serve_one(&q.with_mode(AstroMode::Materialized));
+            assert_eq!(r.fingerprint, fp(&materialized));
+        });
+    }
+
+    #[test]
+    fn governor_pressure_drains_the_result_cache_first() {
+        let srv = server();
+        let q = QueryDesc::new(Engine::Spark, Pipeline::NeuroSegment, "dmri", 1);
+        marray::with_mem_budget(None, || srv.serve_one(&q));
+        assert!(srv.cache_len() > 0, "the served stage must be cached");
+        let before = srv.cache_stats().evictions;
+        marray::with_mem_budget(Some(1024), || {
+            // Governing any chunk bigger than the budget puts the
+            // governor under pressure; valves (the result cache) run
+            // before any chunk is spilled.
+            let arr = NdArray::from_fn(&[64, 64], |ix| (ix[0] + ix[1]) as f64);
+            let governed = arr.govern();
+            marray::MemoryGovernor::enforce();
+            drop(governed);
+        });
+        assert!(
+            srv.cache_stats().evictions > before,
+            "the valve must evict cached results under pressure"
+        );
+        assert_eq!(srv.cache_len(), 0, "1 KiB of headroom fits no payload");
     }
 
     #[test]

@@ -106,11 +106,13 @@ grep -qF "$compress_schema" BENCH_compress.json || {
 
 echo "== scibench bench serve --quick (resident service, certified zero-copy cache)"
 # Replays the seeded hot/cold query schedule against the resident service
-# three ways — serial cache-on, concurrent cache-on, serial cache-off —
-# with the tool exiting non-zero on any fingerprint divergence, a warm hit
-# that moved bytes, an unrejected Figure 15 plan, or an uncertified
-# fixture request that did not bypass. Also checks the committed
-# BENCH_serve.json still speaks the schema the tool emits.
+# four ways — serial cache-on, concurrent cache-on, serial cache-off, and
+# under a halved cache budget that forces LRU eviction — with the tool
+# exiting non-zero on any fingerprint divergence, a warm hit that moved
+# bytes, an unrejected Figure 15 plan, an uncertified fixture request that
+# did not bypass, or a small-budget replay that never evicted or overran
+# its budget. Also checks the committed BENCH_serve.json still speaks the
+# schema the tool emits.
 tmp_serve="$(mktemp)"
 trap 'rm -f "$tmp_e2e" "$tmp_skew" "$tmp_compress" "$tmp_serve" "$tmp_flow" "$tmp_memo"' EXIT
 cargo run --release -q -p scibench-bench --bin scibench -- bench serve --quick --out "$tmp_serve"
@@ -120,6 +122,25 @@ grep -qF "$serve_schema" "$tmp_serve" || {
 grep -qF "$serve_schema" BENCH_serve.json || {
   echo "ci: FAIL - committed BENCH_serve.json schema drifted from $serve_schema" >&2
   echo "     regenerate it: cargo run --release -p scibench-bench --bin scibench -- bench serve --out BENCH_serve.json" >&2
+  exit 1; }
+
+echo "== scibench bench ooc --quick (memory governor, LRU spill tier)"
+# Streams a stack deliberately larger than the memory budget through the
+# governor at 25%/50%/unbounded budgets and runs every engine analog
+# out-of-core; the tool exits non-zero if any fingerprint diverges across
+# budgets, a bounded row fails to spill+reload or overruns its budget, the
+# plancheck demand estimate drifts outside the documented factor of the
+# measured peak, or no engine analog spills. Also checks the committed
+# BENCH_ooc.json still speaks the schema the tool emits.
+tmp_ooc="$(mktemp)"
+trap 'rm -f "$tmp_e2e" "$tmp_skew" "$tmp_compress" "$tmp_serve" "$tmp_ooc" "$tmp_flow" "$tmp_memo"' EXIT
+cargo run --release -q -p scibench-bench --bin scibench -- bench ooc --quick --out "$tmp_ooc"
+ooc_schema='"schema": "scibench-bench-ooc/v1"'
+grep -qF "$ooc_schema" "$tmp_ooc" || {
+  echo "ci: FAIL - bench ooc no longer emits $ooc_schema" >&2; exit 1; }
+grep -qF "$ooc_schema" BENCH_ooc.json || {
+  echo "ci: FAIL - committed BENCH_ooc.json schema drifted from $ooc_schema" >&2
+  echo "     regenerate it: cargo run --release -p scibench-bench --bin scibench -- bench ooc --out BENCH_ooc.json" >&2
   exit 1; }
 
 echo "ci: all gates passed"
